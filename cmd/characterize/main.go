@@ -1,0 +1,78 @@
+// Command characterize runs the structural characterization stages of
+// the paper over a trace: size distributions before/after conflation
+// (Fig 3), per-size-group features (Figs 4/5), the pattern census
+// (§V-B) and the M/J/R task-type table (Fig 6).
+//
+// Usage:
+//
+//	characterize [-trace batch_task.csv | -gen 10000] [-sample 100] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"jobgraph/internal/cli"
+	"jobgraph/internal/core"
+	"jobgraph/internal/sampling"
+)
+
+func main() {
+	var (
+		tracePath = flag.String("trace", "", "batch_task CSV (empty: generate)")
+		gen       = flag.Int("gen", 10000, "jobs to generate when no trace given")
+		sample    = flag.Int("sample", 100, "jobs to sample for the per-job tables")
+		seed      = flag.Int64("seed", 1, "RNG seed")
+	)
+	flag.Parse()
+
+	jobs, err := cli.LoadOrGenerate(*tracePath, *gen, *seed)
+	if err != nil {
+		cli.Fatalf("characterize: %v", err)
+	}
+	cands, fstats, err := sampling.Filter(jobs, sampling.PaperCriteria(cli.TraceWindow()))
+	if err != nil {
+		cli.Fatalf("characterize: %v", err)
+	}
+	fmt.Printf("filtering: %d jobs in, %d eligible DAG jobs (integrity %d, availability %d, non-DAG %d)\n\n",
+		fstats.Input, fstats.Kept, fstats.NotTerminated, fstats.OutsideWindow, fstats.NonDAG)
+
+	graphs := sampling.Graphs(cands)
+
+	fig3, err := core.Fig3Conflation(graphs)
+	if err != nil {
+		cli.Fatalf("characterize: %v", err)
+	}
+	fmt.Println(fig3)
+
+	rows, err := core.FigSizeGroupFeatures(graphs, false)
+	if err != nil {
+		cli.Fatalf("characterize: %v", err)
+	}
+	fmt.Println(core.FigSizeGroupTable(rows, "Fig 4: job features before node conflation"))
+
+	rowsC, err := core.FigSizeGroupFeatures(graphs, true)
+	if err != nil {
+		cli.Fatalf("characterize: %v", err)
+	}
+	fmt.Println(core.FigSizeGroupTable(rowsC, "Fig 5: job features after node conflation"))
+
+	census, _, err := core.PatternCensusTable(graphs)
+	if err != nil {
+		cli.Fatalf("characterize: %v", err)
+	}
+	fmt.Println(census)
+
+	// Fig 6 needs a bounded per-job table: sample first.
+	an, err := core.Run(jobs, sampleConfig(*sample, *seed))
+	if err != nil {
+		cli.Fatalf("characterize: %v", err)
+	}
+	fmt.Println(core.Fig6TaskTypes(an))
+}
+
+func sampleConfig(sample int, seed int64) core.Config {
+	cfg := core.DefaultConfig(cli.TraceWindow(), seed)
+	cfg.SampleSize = sample
+	return cfg
+}

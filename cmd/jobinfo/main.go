@@ -1,0 +1,150 @@
+// Command jobinfo inspects a single batch job: it decodes the task-name
+// dependency structure and prints every structural measure the paper
+// defines — size, critical path, width profile, degree stats, shape
+// class, node conflation and transitive reduction — plus DOT output.
+//
+// The job is given either as task names on the command line or as a job
+// id to look up in a trace:
+//
+//	jobinfo M1 M3 R2_1 R4_3 R5_4_3_2_1
+//	jobinfo -trace batch_task.csv -job j_1001388
+//	jobinfo -dot M1 R2_1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+
+	"jobgraph/internal/cli"
+	"jobgraph/internal/conflate"
+	"jobgraph/internal/dag"
+	"jobgraph/internal/pattern"
+	"jobgraph/internal/trace"
+)
+
+func main() {
+	var (
+		tracePath = flag.String("trace", "", "batch_task CSV to look the job up in")
+		jobID     = flag.String("job", "", "job id to look up (requires -trace)")
+		dotOnly   = flag.Bool("dot", false, "print only the Graphviz DOT document")
+	)
+	flag.Parse()
+
+	g, err := loadJob(*tracePath, *jobID, flag.Args())
+	if err != nil {
+		cli.Fatalf("jobinfo: %v", err)
+	}
+	if *dotOnly {
+		fmt.Print(g.DOT())
+		return
+	}
+	printInfo(g)
+}
+
+func loadJob(tracePath, jobID string, names []string) (*dag.Graph, error) {
+	if tracePath != "" {
+		if jobID == "" {
+			return nil, fmt.Errorf("-trace requires -job")
+		}
+		r, err := trace.OpenTable(tracePath)
+		if err != nil {
+			return nil, err
+		}
+		defer r.Close()
+		var specs []dag.TaskSpec
+		err = trace.ReadTasks(r, func(rec trace.TaskRecord) error {
+			if rec.JobName == jobID {
+				specs = append(specs, dag.TaskSpec{
+					Name:      rec.TaskName,
+					Duration:  rec.Duration(),
+					Instances: rec.InstanceNum,
+					PlanCPU:   rec.PlanCPU,
+					PlanMem:   rec.PlanMem,
+				})
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		if len(specs) == 0 {
+			return nil, fmt.Errorf("job %s not found in %s", jobID, tracePath)
+		}
+		res, err := dag.FromTasks(jobID, specs, dag.BuildOptions{SkipMissingDeps: true})
+		if err != nil {
+			return nil, err
+		}
+		return res.Graph, nil
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("give task names as arguments or -trace/-job")
+	}
+	specs := make([]dag.TaskSpec, 0, len(names))
+	for _, n := range names {
+		specs = append(specs, dag.TaskSpec{Name: n, Instances: 1})
+	}
+	res, err := dag.FromTasks("cli", specs, dag.BuildOptions{})
+	if err != nil {
+		return nil, err
+	}
+	if res.Independent > 0 {
+		fmt.Printf("note: %d task name(s) without DAG structure were skipped\n", res.Independent)
+	}
+	return res.Graph, nil
+}
+
+func printInfo(g *dag.Graph) {
+	fmt.Println(g.Summary())
+	fmt.Println()
+	fmt.Print(g.ASCII())
+	fmt.Println()
+
+	shape, err := pattern.Classify(g)
+	if err != nil {
+		cli.Fatalf("jobinfo: %v", err)
+	}
+	fmt.Printf("shape:           %s\n", shape)
+
+	widths, err := g.WidthProfile()
+	if err != nil {
+		cli.Fatalf("jobinfo: %v", err)
+	}
+	fmt.Printf("width profile:   %v\n", widths)
+
+	path, err := g.CriticalPath()
+	if err != nil {
+		cli.Fatalf("jobinfo: %v", err)
+	}
+	steps := make([]string, len(path))
+	for i, id := range path {
+		steps[i] = fmt.Sprintf("%s%d", g.Node(id).Type, id)
+	}
+	fmt.Printf("critical path:   %s\n", strings.Join(steps, " -> "))
+
+	deg := g.Degrees()
+	fmt.Printf("degrees:         max in %d, max out %d, mean %.2f\n", deg.MaxIn, deg.MaxOut, deg.MeanIn)
+
+	counts := g.TypeCounts()
+	var parts []string
+	for _, k := range dag.SortedTypeKeys(counts) {
+		parts = append(parts, fmt.Sprintf("%s=%d", k, counts[k]))
+	}
+	fmt.Printf("task types:      %s\n", strings.Join(parts, " "))
+	fmt.Printf("sources/sinks:   %d / %d\n", len(g.Sources()), len(g.Sinks()))
+	fmt.Printf("signature:       %016x\n", uint64(g.CanonicalSignature()))
+
+	conflated, st, err := conflate.Conflate(g)
+	if err != nil {
+		cli.Fatalf("jobinfo: %v", err)
+	}
+	fmt.Printf("conflation:      %d -> %d tasks (%d merge groups)\n",
+		st.SizeBefore, st.SizeAfter, st.Groups)
+	_ = conflated
+
+	redundant, err := g.RedundantEdges()
+	if err != nil {
+		cli.Fatalf("jobinfo: %v", err)
+	}
+	fmt.Printf("redundant edges: %d of %d are transitively implied\n", redundant, g.NumEdges())
+}

@@ -1,0 +1,65 @@
+// Command tracegen synthesizes an Alibaba-v2018-style batch workload
+// trace and writes the batch_task (and optionally batch_instance) CSV
+// tables.
+//
+// Usage:
+//
+//	tracegen -jobs 100000 -seed 1 -out batch_task.csv [-instances batch_instance.csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"jobgraph/internal/cli"
+	"jobgraph/internal/trace"
+	"jobgraph/internal/tracegen"
+)
+
+func main() {
+	var (
+		jobs      = flag.Int("jobs", 10000, "number of jobs to generate")
+		seed      = flag.Int64("seed", 1, "RNG seed")
+		out       = flag.String("out", "batch_task.csv", "batch_task output path")
+		instances = flag.String("instances", "", "optional batch_instance output path")
+		dagFrac   = flag.Float64("dag-fraction", 0.5, "share of jobs with DAG structure")
+	)
+	flag.Parse()
+
+	cfg := tracegen.DefaultConfig(*jobs, *seed)
+	cfg.DAGFraction = *dagFrac
+	records, err := tracegen.Generate(cfg)
+	if err != nil {
+		cli.Fatalf("tracegen: %v", err)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		cli.Fatalf("tracegen: %v", err)
+	}
+	if err := trace.WriteTasks(f, records); err != nil {
+		cli.Fatalf("tracegen: write: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		cli.Fatalf("tracegen: close: %v", err)
+	}
+	fmt.Printf("wrote %d task rows for %d jobs to %s\n", len(records), *jobs, *out)
+
+	if *instances != "" {
+		inst, err := tracegen.GenerateInstances(records, tracegen.DefaultInstanceConfig(*seed))
+		if err != nil {
+			cli.Fatalf("tracegen: instances: %v", err)
+		}
+		g, err := os.Create(*instances)
+		if err != nil {
+			cli.Fatalf("tracegen: %v", err)
+		}
+		if err := trace.WriteInstances(g, inst); err != nil {
+			cli.Fatalf("tracegen: write instances: %v", err)
+		}
+		if err := g.Close(); err != nil {
+			cli.Fatalf("tracegen: close: %v", err)
+		}
+		fmt.Printf("wrote %d instance rows to %s\n", len(inst), *instances)
+	}
+}

@@ -1,0 +1,3 @@
+module jobgraph
+
+go 1.22

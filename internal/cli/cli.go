@@ -1,0 +1,47 @@
+// Package cli provides the small amount of shared plumbing used by the
+// command-line tools: loading a trace from CSV or generating a
+// synthetic one, with consistent flags and error text.
+package cli
+
+import (
+	"fmt"
+	"os"
+
+	"jobgraph/internal/trace"
+	"jobgraph/internal/tracegen"
+)
+
+// LoadOrGenerate returns trace jobs either parsed from the batch_task
+// CSV at path (when non-empty) or synthesized with numJobs/seed.
+func LoadOrGenerate(path string, numJobs int, seed int64) ([]trace.Job, error) {
+	if path != "" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, fmt.Errorf("open trace: %w", err)
+		}
+		defer f.Close()
+		jobs, err := trace.ReadJobs(f)
+		if err != nil {
+			return nil, fmt.Errorf("parse trace %s: %w", path, err)
+		}
+		return jobs, nil
+	}
+	jobs, err := tracegen.GenerateJobs(tracegen.DefaultConfig(numJobs, seed))
+	if err != nil {
+		return nil, fmt.Errorf("generate trace: %w", err)
+	}
+	return jobs, nil
+}
+
+// TraceWindow returns the analysis window for generated traces: the
+// configured 8-day span plus slack for jobs whose execution extends
+// past their arrival.
+func TraceWindow() int64 {
+	return 2 * 8 * 24 * 3600
+}
+
+// Fatalf prints an error to stderr and exits non-zero.
+func Fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,75 @@
+package cli
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"jobgraph/internal/trace"
+	"jobgraph/internal/tracegen"
+)
+
+func TestLoadOrGenerateSynthetic(t *testing.T) {
+	jobs, err := LoadOrGenerate("", 200, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 200 {
+		t.Fatalf("jobs = %d", len(jobs))
+	}
+}
+
+func TestLoadOrGenerateFromFile(t *testing.T) {
+	records, err := tracegen.Generate(tracegen.DefaultConfig(100, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "batch_task.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.WriteTasks(f, records); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	jobs, err := LoadOrGenerate(path, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 100 {
+		t.Fatalf("jobs = %d, want 100", len(jobs))
+	}
+}
+
+func TestLoadOrGenerateMissingFile(t *testing.T) {
+	if _, err := LoadOrGenerate("/nonexistent/batch_task.csv", 0, 0); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestLoadOrGenerateMalformedFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.csv")
+	if err := os.WriteFile(path, []byte("not,a,trace\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadOrGenerate(path, 0, 0); err == nil {
+		t.Fatal("malformed file accepted")
+	}
+}
+
+func TestTraceWindowCoversGeneratedJobs(t *testing.T) {
+	jobs, err := LoadOrGenerate("", 500, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := TraceWindow()
+	for _, j := range jobs {
+		if _, end, ok := j.Window(); ok && end >= w {
+			t.Fatalf("job %s ends at %d beyond window %d", j.Name, end, w)
+		}
+	}
+}

@@ -1,0 +1,202 @@
+// Package cluster implements the unsupervised learning stage of the
+// paper (§VI): k-means++ in Euclidean space and Ng–Jordan–Weiss spectral
+// clustering over the WL similarity matrix, plus the agreement and
+// quality metrics used to compare clusterings (silhouette, adjusted Rand
+// index, normalized mutual information, purity).
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// KMeansOptions configures Lloyd's algorithm with k-means++ seeding.
+type KMeansOptions struct {
+	K        int
+	MaxIter  int   // default 100
+	Restarts int   // independent seedings, best inertia wins; default 8
+	Seed     int64 // RNG seed for reproducible experiments
+}
+
+func (o *KMeansOptions) defaults() {
+	if o.MaxIter <= 0 {
+		o.MaxIter = 100
+	}
+	if o.Restarts <= 0 {
+		o.Restarts = 8
+	}
+}
+
+// KMeansResult is the best clustering found across restarts.
+type KMeansResult struct {
+	Labels     []int       // cluster id per input point, in [0, K)
+	Centers    [][]float64 // K centroids
+	Inertia    float64     // sum of squared distances to assigned centroid
+	Iterations int         // Lloyd iterations of the winning restart
+}
+
+// KMeans clusters points (each a d-dimensional vector) into K groups.
+func KMeans(points [][]float64, opt KMeansOptions) (*KMeansResult, error) {
+	opt.defaults()
+	n := len(points)
+	if n == 0 {
+		return nil, fmt.Errorf("cluster: kmeans over zero points")
+	}
+	d := len(points[0])
+	for i, p := range points {
+		if len(p) != d {
+			return nil, fmt.Errorf("cluster: point %d has dim %d, want %d", i, len(p), d)
+		}
+	}
+	if opt.K < 1 || opt.K > n {
+		return nil, fmt.Errorf("cluster: k=%d out of range [1,%d]", opt.K, n)
+	}
+
+	rng := rand.New(rand.NewSource(opt.Seed))
+	var best *KMeansResult
+	for r := 0; r < opt.Restarts; r++ {
+		res := lloyd(points, opt.K, opt.MaxIter, rng)
+		if best == nil || res.Inertia < best.Inertia {
+			best = res
+		}
+	}
+	return best, nil
+}
+
+// lloyd runs one k-means++ seeded Lloyd descent.
+func lloyd(points [][]float64, k, maxIter int, rng *rand.Rand) *KMeansResult {
+	n, d := len(points), len(points[0])
+	centers := seedPlusPlus(points, k, rng)
+	labels := make([]int, n)
+	counts := make([]int, k)
+
+	iters := 0
+	for ; iters < maxIter; iters++ {
+		changed := false
+		for i, p := range points {
+			c := nearest(centers, p)
+			if c != labels[i] {
+				labels[i] = c
+				changed = true
+			}
+		}
+		// Recompute centroids.
+		for c := range centers {
+			for j := range centers[c] {
+				centers[c][j] = 0
+			}
+			counts[c] = 0
+		}
+		for i, p := range points {
+			c := labels[i]
+			counts[c]++
+			for j, v := range p {
+				centers[c][j] += v
+			}
+		}
+		for c := range centers {
+			if counts[c] == 0 {
+				// Empty cluster: restart its centroid at the point
+				// farthest from its current assignment, the standard
+				// fix that keeps K clusters alive.
+				centers[c] = append([]float64(nil), farthestPoint(points, centers, labels)...)
+				changed = true
+				continue
+			}
+			for j := range centers[c] {
+				centers[c][j] /= float64(counts[c])
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+
+	var inertia float64
+	for i, p := range points {
+		inertia += sqDist(p, centers[labels[i]])
+	}
+	_ = d
+	return &KMeansResult{
+		Labels:     append([]int(nil), labels...),
+		Centers:    centers,
+		Inertia:    inertia,
+		Iterations: iters,
+	}
+}
+
+// seedPlusPlus picks k initial centroids with D² weighting
+// (Arthur & Vassilvitskii 2007).
+func seedPlusPlus(points [][]float64, k int, rng *rand.Rand) [][]float64 {
+	n := len(points)
+	centers := make([][]float64, 0, k)
+	first := points[rng.Intn(n)]
+	centers = append(centers, append([]float64(nil), first...))
+
+	dist := make([]float64, n)
+	for i, p := range points {
+		dist[i] = sqDist(p, centers[0])
+	}
+	for len(centers) < k {
+		var total float64
+		for _, v := range dist {
+			total += v
+		}
+		var idx int
+		if total == 0 {
+			// All remaining points coincide with a centroid; pick any.
+			idx = rng.Intn(n)
+		} else {
+			target := rng.Float64() * total
+			acc := 0.0
+			for i, v := range dist {
+				acc += v
+				if acc >= target {
+					idx = i
+					break
+				}
+			}
+		}
+		c := append([]float64(nil), points[idx]...)
+		centers = append(centers, c)
+		for i, p := range points {
+			if ds := sqDist(p, c); ds < dist[i] {
+				dist[i] = ds
+			}
+		}
+	}
+	return centers
+}
+
+// nearest returns the index of the closest centroid to p.
+func nearest(centers [][]float64, p []float64) int {
+	best, bestD := 0, math.MaxFloat64
+	for c, ctr := range centers {
+		if d := sqDist(p, ctr); d < bestD {
+			best, bestD = c, d
+		}
+	}
+	return best
+}
+
+// farthestPoint returns the point with the largest distance to its
+// assigned centroid.
+func farthestPoint(points [][]float64, centers [][]float64, labels []int) []float64 {
+	bestI, bestD := 0, -1.0
+	for i, p := range points {
+		if d := sqDist(p, centers[labels[i]]); d > bestD {
+			bestI, bestD = i, d
+		}
+	}
+	return points[bestI]
+}
+
+func sqDist(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}

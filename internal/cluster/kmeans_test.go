@@ -1,0 +1,168 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// blobs generates k well-separated Gaussian blobs and returns the points
+// plus ground-truth labels.
+func blobs(rng *rand.Rand, k, perCluster int, sep float64) ([][]float64, []int) {
+	var points [][]float64
+	var truth []int
+	for c := 0; c < k; c++ {
+		cx := float64(c) * sep
+		cy := float64(c%2) * sep
+		for i := 0; i < perCluster; i++ {
+			points = append(points, []float64{
+				cx + rng.NormFloat64()*0.2,
+				cy + rng.NormFloat64()*0.2,
+			})
+			truth = append(truth, c)
+		}
+	}
+	return points, truth
+}
+
+func TestKMeansSeparatedBlobs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	points, truth := blobs(rng, 3, 30, 10)
+	res, err := KMeans(points, KMeansOptions{K: 3, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ari, err := ARI(res.Labels, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ari != 1 {
+		t.Fatalf("ARI = %g, want 1 on well-separated blobs", ari)
+	}
+}
+
+func TestKMeansValidation(t *testing.T) {
+	if _, err := KMeans(nil, KMeansOptions{K: 1}); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	pts := [][]float64{{1}, {2}}
+	if _, err := KMeans(pts, KMeansOptions{K: 0}); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := KMeans(pts, KMeansOptions{K: 3}); err == nil {
+		t.Fatal("k>n accepted")
+	}
+	if _, err := KMeans([][]float64{{1, 2}, {1}}, KMeansOptions{K: 1}); err == nil {
+		t.Fatal("ragged points accepted")
+	}
+}
+
+func TestKMeansK1(t *testing.T) {
+	pts := [][]float64{{0, 0}, {2, 0}, {4, 0}}
+	res, err := KMeans(pts, KMeansOptions{K: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Centers[0][0] != 2 || res.Centers[0][1] != 0 {
+		t.Fatalf("centroid = %v, want [2 0]", res.Centers[0])
+	}
+	// Inertia = 4 + 0 + 4.
+	if res.Inertia != 8 {
+		t.Fatalf("inertia = %g, want 8", res.Inertia)
+	}
+}
+
+func TestKMeansKEqualsN(t *testing.T) {
+	pts := [][]float64{{0}, {5}, {10}}
+	res, err := KMeans(pts, KMeansOptions{K: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Inertia != 0 {
+		t.Fatalf("inertia = %g, want 0 when every point is a centroid", res.Inertia)
+	}
+	seen := map[int]bool{}
+	for _, l := range res.Labels {
+		seen[l] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("labels = %v, want 3 distinct", res.Labels)
+	}
+}
+
+func TestKMeansIdenticalPoints(t *testing.T) {
+	pts := [][]float64{{1, 1}, {1, 1}, {1, 1}, {1, 1}}
+	res, err := KMeans(pts, KMeansOptions{K: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Inertia != 0 {
+		t.Fatalf("inertia = %g, want 0", res.Inertia)
+	}
+}
+
+func TestKMeansDeterministicWithSeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	points, _ := blobs(rng, 4, 20, 6)
+	a, err := KMeans(points, KMeansOptions{K: 4, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := KMeans(points, KMeansOptions{K: 4, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Labels {
+		if a.Labels[i] != b.Labels[i] {
+			t.Fatal("same seed produced different labelings")
+		}
+	}
+}
+
+func TestKMeansInvariantsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(40)
+		d := 1 + rng.Intn(4)
+		pts := make([][]float64, n)
+		for i := range pts {
+			p := make([]float64, d)
+			for j := range p {
+				p[j] = rng.NormFloat64() * 5
+			}
+			pts[i] = p
+		}
+		k := 1 + rng.Intn(n)
+		res, err := KMeans(pts, KMeansOptions{K: k, Seed: seed, Restarts: 2})
+		if err != nil {
+			return false
+		}
+		if len(res.Labels) != n || len(res.Centers) != k {
+			return false
+		}
+		for _, l := range res.Labels {
+			if l < 0 || l >= k {
+				return false
+			}
+		}
+		if res.Inertia < 0 || math.IsNaN(res.Inertia) {
+			return false
+		}
+		// Every point must be assigned to its nearest centroid.
+		for i, p := range pts {
+			if nearest(res.Centers, p) != res.Labels[i] {
+				// Ties can break either way; accept equal distances.
+				got := sqDist(p, res.Centers[res.Labels[i]])
+				best := sqDist(p, res.Centers[nearest(res.Centers, p)])
+				if got-best > 1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

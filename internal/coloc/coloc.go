@@ -1,0 +1,113 @@
+// Package coloc analyzes job co-location from instance placements —
+// the gap the paper's introduction calls out: "Existing works do not
+// consider the structural patterns and resource needs of multiple jobs
+// co-run on a node."
+//
+// Given batch_instance rows (which carry machine ids) and a job → group
+// labeling from the clustering pipeline, the package measures which
+// topological groups actually share machines, and whether group pairs
+// co-occur more or less often than independent placement would predict.
+package coloc
+
+import (
+	"fmt"
+	"sort"
+
+	"jobgraph/internal/trace"
+)
+
+// Overlap is the observed/expected co-occurrence of one group pair.
+type Overlap struct {
+	GroupA, GroupB string
+	// Observed is the number of machines hosting instances of both
+	// groups.
+	Observed int
+	// Expected is the count independent placement would produce given
+	// each group's machine coverage.
+	Expected float64
+	// Lift is Observed/Expected (1 = independent, >1 = attraction,
+	// <1 = avoidance). Zero expected yields lift 0.
+	Lift float64
+}
+
+// Result is the full co-location analysis.
+type Result struct {
+	Machines int // machines that hosted at least one labeled instance
+	// GroupMachines counts machines touched per group.
+	GroupMachines map[string]int
+	// Overlaps holds one entry per unordered group pair (A < B),
+	// sorted by group names.
+	Overlaps []Overlap
+}
+
+// Analyze computes group co-location from instance placements.
+// jobGroup maps job names to group labels; instances of unlabeled jobs
+// (not part of the analyzed sample) are ignored.
+func Analyze(instances []trace.InstanceRecord, jobGroup map[string]string) (*Result, error) {
+	if len(jobGroup) == 0 {
+		return nil, fmt.Errorf("coloc: empty job→group labeling")
+	}
+	// machine -> set of groups present.
+	perMachine := make(map[string]map[string]bool)
+	for _, r := range instances {
+		group, ok := jobGroup[r.JobName]
+		if !ok {
+			continue
+		}
+		if r.MachineID == "" {
+			return nil, fmt.Errorf("coloc: instance %s has no machine", r.InstanceName)
+		}
+		set := perMachine[r.MachineID]
+		if set == nil {
+			set = make(map[string]bool)
+			perMachine[r.MachineID] = set
+		}
+		set[group] = true
+	}
+	res := &Result{
+		Machines:      len(perMachine),
+		GroupMachines: make(map[string]int),
+	}
+	if res.Machines == 0 {
+		return res, nil
+	}
+
+	pairCounts := make(map[[2]string]int)
+	for _, set := range perMachine {
+		groups := make([]string, 0, len(set))
+		for g := range set {
+			groups = append(groups, g)
+			res.GroupMachines[g]++
+		}
+		sort.Strings(groups)
+		for i := 0; i < len(groups); i++ {
+			for j := i + 1; j < len(groups); j++ {
+				pairCounts[[2]string{groups[i], groups[j]}]++
+			}
+		}
+	}
+
+	groups := make([]string, 0, len(res.GroupMachines))
+	for g := range res.GroupMachines {
+		groups = append(groups, g)
+	}
+	sort.Strings(groups)
+	m := float64(res.Machines)
+	for i := 0; i < len(groups); i++ {
+		for j := i + 1; j < len(groups); j++ {
+			a, b := groups[i], groups[j]
+			obs := pairCounts[[2]string{a, b}]
+			// Independence: P(both) = P(a)·P(b).
+			exp := float64(res.GroupMachines[a]) * float64(res.GroupMachines[b]) / m
+			lift := 0.0
+			if exp > 0 {
+				lift = float64(obs) / exp
+			}
+			res.Overlaps = append(res.Overlaps, Overlap{
+				GroupA: a, GroupB: b,
+				Observed: obs, Expected: exp, Lift: lift,
+			})
+		}
+	}
+	return res, nil
+}

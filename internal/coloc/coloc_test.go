@@ -1,0 +1,131 @@
+package coloc
+
+import (
+	"math"
+	"testing"
+
+	"jobgraph/internal/trace"
+)
+
+func inst(job, machine string) trace.InstanceRecord {
+	return trace.InstanceRecord{
+		InstanceName: job + "@" + machine,
+		TaskName:     "M1",
+		JobName:      job,
+		MachineID:    machine,
+	}
+}
+
+func TestAnalyzeBasicOverlap(t *testing.T) {
+	groups := map[string]string{"j1": "A", "j2": "A", "j3": "B"}
+	instances := []trace.InstanceRecord{
+		inst("j1", "m1"), inst("j3", "m1"), // A+B co-located on m1
+		inst("j2", "m2"), // A alone on m2
+		inst("j3", "m3"), // B alone on m3
+	}
+	res, err := Analyze(instances, groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Machines != 3 {
+		t.Fatalf("machines = %d", res.Machines)
+	}
+	if res.GroupMachines["A"] != 2 || res.GroupMachines["B"] != 2 {
+		t.Fatalf("group machines: %v", res.GroupMachines)
+	}
+	if len(res.Overlaps) != 1 {
+		t.Fatalf("overlaps = %+v", res.Overlaps)
+	}
+	ov := res.Overlaps[0]
+	if ov.GroupA != "A" || ov.GroupB != "B" || ov.Observed != 1 {
+		t.Fatalf("overlap = %+v", ov)
+	}
+	// Expected = 2*2/3; lift = 1 / (4/3) = 0.75.
+	if math.Abs(ov.Expected-4.0/3.0) > 1e-12 || math.Abs(ov.Lift-0.75) > 1e-12 {
+		t.Fatalf("expected/lift = %g/%g", ov.Expected, ov.Lift)
+	}
+}
+
+func TestAnalyzePerfectSegregation(t *testing.T) {
+	groups := map[string]string{"j1": "A", "j2": "B"}
+	instances := []trace.InstanceRecord{
+		inst("j1", "m1"), inst("j1", "m2"),
+		inst("j2", "m3"), inst("j2", "m4"),
+	}
+	res, err := Analyze(instances, groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Overlaps[0].Observed != 0 || res.Overlaps[0].Lift != 0 {
+		t.Fatalf("segregated overlap = %+v", res.Overlaps[0])
+	}
+}
+
+func TestAnalyzeFullMixing(t *testing.T) {
+	groups := map[string]string{"j1": "A", "j2": "B"}
+	instances := []trace.InstanceRecord{
+		inst("j1", "m1"), inst("j2", "m1"),
+		inst("j1", "m2"), inst("j2", "m2"),
+	}
+	res, err := Analyze(instances, groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ov := res.Overlaps[0]
+	if ov.Observed != 2 || math.Abs(ov.Lift-1) > 1e-12 {
+		t.Fatalf("fully mixed overlap = %+v", ov)
+	}
+}
+
+func TestAnalyzeIgnoresUnlabeledJobs(t *testing.T) {
+	groups := map[string]string{"j1": "A"}
+	instances := []trace.InstanceRecord{
+		inst("j1", "m1"), inst("unknown", "m1"), inst("unknown", "m9"),
+	}
+	res, err := Analyze(instances, groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Machines != 1 || len(res.Overlaps) != 0 {
+		t.Fatalf("result = %+v", res)
+	}
+}
+
+func TestAnalyzeValidation(t *testing.T) {
+	if _, err := Analyze(nil, nil); err == nil {
+		t.Fatal("empty labeling accepted")
+	}
+	bad := []trace.InstanceRecord{{InstanceName: "i", JobName: "j1", TaskName: "M1"}}
+	if _, err := Analyze(bad, map[string]string{"j1": "A"}); err == nil {
+		t.Fatal("missing machine id accepted")
+	}
+}
+
+func TestAnalyzeNoLabeledInstances(t *testing.T) {
+	res, err := Analyze(nil, map[string]string{"j1": "A"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Machines != 0 || len(res.Overlaps) != 0 {
+		t.Fatalf("result = %+v", res)
+	}
+}
+
+func TestAnalyzeThreeGroupsAllPairs(t *testing.T) {
+	groups := map[string]string{"j1": "A", "j2": "B", "j3": "C"}
+	instances := []trace.InstanceRecord{
+		inst("j1", "m1"), inst("j2", "m1"), inst("j3", "m1"),
+	}
+	res, err := Analyze(instances, groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Overlaps) != 3 { // AB, AC, BC
+		t.Fatalf("overlaps = %d", len(res.Overlaps))
+	}
+	// Sorted pair order.
+	if res.Overlaps[0].GroupA != "A" || res.Overlaps[0].GroupB != "B" ||
+		res.Overlaps[2].GroupA != "B" || res.Overlaps[2].GroupB != "C" {
+		t.Fatalf("pair order: %+v", res.Overlaps)
+	}
+}

@@ -1,0 +1,144 @@
+// Package conflate implements the paper's node-conflation step (§IV-C):
+// tasks that perform the same kind of operation and have no
+// "sophisticated dependency" of their own are merged, shrinking large
+// jobs before structural analysis.
+//
+// Concretely, two tasks are conflatable when they have the same task
+// type, the same predecessor set and the same successor set — they are
+// interchangeable shards of one logical stage (e.g. the 30 parallel Map
+// tasks of one input scan). Merging such siblings cannot create a cycle:
+// an edge between two members would put one in the other's predecessor
+// set, contradicting set equality in a DAG.
+package conflate
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"jobgraph/internal/dag"
+)
+
+// Stats describes what one conflation pass did.
+type Stats struct {
+	SizeBefore  int
+	SizeAfter   int
+	EdgesBefore int
+	EdgesAfter  int
+	Groups      int // number of merged groups with ≥2 members
+}
+
+// Conflate returns a new graph with conflatable sibling tasks merged and
+// the pass statistics. The input graph is not modified.
+//
+// The representative of each merge group is its smallest task id. Merged
+// node attributes aggregate the group: instance counts and planned
+// resources sum (the logical stage still needs all of them), durations
+// take the maximum (shards run in parallel, the stage ends with the
+// slowest).
+func Conflate(g *dag.Graph) (*dag.Graph, Stats, error) {
+	st := Stats{
+		SizeBefore:  g.Size(),
+		EdgesBefore: g.NumEdges(),
+	}
+	if err := g.Validate(); err != nil {
+		return nil, st, fmt.Errorf("conflate: %w", err)
+	}
+
+	// Group vertices by (type, preds, succs).
+	groups := make(map[string][]dag.NodeID)
+	for _, id := range g.NodeIDs() {
+		key := groupKey(g, id)
+		groups[key] = append(groups[key], id)
+	}
+
+	// Representative mapping: every node → smallest id in its group.
+	rep := make(map[dag.NodeID]dag.NodeID, g.Size())
+	for _, members := range groups {
+		sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+		r := members[0]
+		for _, m := range members {
+			rep[m] = r
+		}
+		if len(members) > 1 {
+			st.Groups++
+		}
+	}
+
+	out := dag.New(g.JobID)
+	// Nodes: aggregate each group into its representative.
+	for _, members := range groups {
+		r := members[0]
+		base := *g.Node(r)
+		for _, m := range members[1:] {
+			n := g.Node(m)
+			base.Instances += n.Instances
+			base.PlanCPU += n.PlanCPU
+			base.PlanMem += n.PlanMem
+			if n.Duration > base.Duration {
+				base.Duration = n.Duration
+			}
+		}
+		if err := out.AddNode(base); err != nil {
+			return nil, st, fmt.Errorf("conflate: %w", err)
+		}
+	}
+	// Edges: project through rep and deduplicate.
+	seen := make(map[[2]dag.NodeID]bool)
+	for _, from := range g.NodeIDs() {
+		for _, to := range g.Succ(from) {
+			e := [2]dag.NodeID{rep[from], rep[to]}
+			if e[0] == e[1] || seen[e] {
+				continue
+			}
+			seen[e] = true
+			if err := out.AddEdge(e[0], e[1]); err != nil {
+				return nil, st, fmt.Errorf("conflate: %w", err)
+			}
+		}
+	}
+	if err := out.Validate(); err != nil {
+		return nil, st, fmt.Errorf("conflate: result invalid: %w", err)
+	}
+	st.SizeAfter = out.Size()
+	st.EdgesAfter = out.NumEdges()
+	return out, st, nil
+}
+
+// groupKey canonically encodes (type, predecessor set, successor set).
+func groupKey(g *dag.Graph, id dag.NodeID) string {
+	var b strings.Builder
+	b.WriteString(g.Node(id).Type.String())
+	b.WriteString("|P:")
+	for _, p := range g.Pred(id) {
+		fmt.Fprintf(&b, "%d,", p)
+	}
+	b.WriteString("|S:")
+	for _, s := range g.Succ(id) {
+		fmt.Fprintf(&b, "%d,", s)
+	}
+	return b.String()
+}
+
+// FixedPoint applies Conflate repeatedly until the graph stops
+// shrinking. With the exact neighbor-set merge rule a single pass is
+// already idempotent (merging requires identical neighbor sets *before*
+// projection), but the loop is kept as a cheap guarantee should the
+// merge rule ever be relaxed; it terminates in at most Size() passes.
+func FixedPoint(g *dag.Graph) (*dag.Graph, Stats, error) {
+	total := Stats{SizeBefore: g.Size(), EdgesBefore: g.NumEdges()}
+	cur := g
+	for {
+		next, st, err := Conflate(cur)
+		if err != nil {
+			return nil, total, err
+		}
+		total.Groups += st.Groups
+		total.SizeAfter = st.SizeAfter
+		total.EdgesAfter = st.EdgesAfter
+		if next.Size() == cur.Size() {
+			return next, total, nil
+		}
+		cur = next
+	}
+}

@@ -1,0 +1,261 @@
+package conflate
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"jobgraph/internal/dag"
+	"jobgraph/internal/taskname"
+)
+
+// mapReduce builds k parallel map tasks feeding a single reducer.
+func mapReduce(t testing.TB, k int) *dag.Graph {
+	t.Helper()
+	g := dag.New("mr")
+	sink := dag.NodeID(k + 1)
+	if err := g.AddNode(dag.Node{ID: sink, Type: taskname.TypeReduce, Duration: 5, Instances: 1}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= k; i++ {
+		if err := g.AddNode(dag.Node{
+			ID: dag.NodeID(i), Type: taskname.TypeMap,
+			Duration: float64(i), Instances: 2, PlanCPU: 1, PlanMem: 0.5,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if err := g.AddEdge(dag.NodeID(i), sink); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+func TestConflateMapReduceShards(t *testing.T) {
+	g := mapReduce(t, 30)
+	out, st, err := Conflate(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Size() != 2 {
+		t.Fatalf("size after = %d, want 2", out.Size())
+	}
+	if st.SizeBefore != 31 || st.SizeAfter != 2 || st.Groups != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	merged := out.Node(1)
+	if merged == nil {
+		t.Fatal("representative should be the smallest id")
+	}
+	if merged.Instances != 60 { // 30 shards × 2 instances
+		t.Fatalf("instances = %d, want 60", merged.Instances)
+	}
+	if merged.Duration != 30 { // max shard duration
+		t.Fatalf("duration = %g, want 30", merged.Duration)
+	}
+	if merged.PlanCPU != 30 || merged.PlanMem != 15 {
+		t.Fatalf("resources = %g/%g", merged.PlanCPU, merged.PlanMem)
+	}
+	if !out.HasEdge(1, 31) {
+		t.Fatal("merged edge missing")
+	}
+}
+
+func TestConflateChainUnchanged(t *testing.T) {
+	g := dag.New("chain")
+	for i := 1; i <= 5; i++ {
+		if err := g.AddNode(dag.Node{ID: dag.NodeID(i), Type: taskname.TypeReduce}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 1; i < 5; i++ {
+		if err := g.AddEdge(dag.NodeID(i), dag.NodeID(i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out, st, err := Conflate(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Size() != 5 || st.Groups != 0 {
+		t.Fatalf("chain was conflated: size=%d stats=%+v", out.Size(), st)
+	}
+}
+
+func TestConflateTypeMatters(t *testing.T) {
+	// Two sources with identical wiring but different types stay apart.
+	g := dag.New("j")
+	for _, n := range []dag.Node{
+		{ID: 1, Type: taskname.TypeMap},
+		{ID: 2, Type: taskname.TypeJoin},
+		{ID: 3, Type: taskname.TypeReduce},
+	} {
+		if err := g.AddNode(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := g.AddEdge(1, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(2, 3); err != nil {
+		t.Fatal(err)
+	}
+	out, _, err := Conflate(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Size() != 3 {
+		t.Fatalf("different types merged: size=%d", out.Size())
+	}
+}
+
+func TestConflateDifferentNeighborhoodsKept(t *testing.T) {
+	// Diamond: 1 -> {2,3} -> 4 plus extra edge 2 -> 5 -> 4 breaks the
+	// symmetry between 2 and 3.
+	g := dag.New("j")
+	for i := 1; i <= 5; i++ {
+		if err := g.AddNode(dag.Node{ID: dag.NodeID(i), Type: taskname.TypeMap}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	edges := [][2]dag.NodeID{{1, 2}, {1, 3}, {2, 4}, {3, 4}, {2, 5}, {5, 4}}
+	for _, e := range edges {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out, _, err := Conflate(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Size() != 5 {
+		t.Fatalf("asymmetric siblings merged: size=%d", out.Size())
+	}
+}
+
+func TestConflateSymmetricDiamondMerges(t *testing.T) {
+	g := dag.New("j")
+	for i := 1; i <= 4; i++ {
+		if err := g.AddNode(dag.Node{ID: dag.NodeID(i), Type: taskname.TypeMap}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, e := range [][2]dag.NodeID{{1, 2}, {1, 3}, {2, 4}, {3, 4}} {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out, st, err := Conflate(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Size() != 3 || st.Groups != 1 {
+		t.Fatalf("diamond middles not merged: size=%d stats=%+v", out.Size(), st)
+	}
+	d, _ := out.Depth()
+	if d != 3 {
+		t.Fatalf("conflation changed depth: %d", d)
+	}
+}
+
+func TestConflateEmptyGraph(t *testing.T) {
+	out, st, err := Conflate(dag.New("e"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Size() != 0 || st.SizeBefore != 0 || st.SizeAfter != 0 {
+		t.Fatalf("empty conflation: %+v", st)
+	}
+}
+
+// randomDAG mirrors the generator in the dag tests.
+func randomDAG(rng *rand.Rand, n int) *dag.Graph {
+	g := dag.New("rand")
+	types := []taskname.Type{taskname.TypeMap, taskname.TypeReduce, taskname.TypeJoin}
+	for i := 1; i <= n; i++ {
+		_ = g.AddNode(dag.Node{ID: dag.NodeID(i), Type: types[rng.Intn(3)], Instances: 1})
+	}
+	for i := 1; i <= n; i++ {
+		for j := i + 1; j <= n; j++ {
+			if rng.Float64() < 0.25 {
+				_ = g.AddEdge(dag.NodeID(i), dag.NodeID(j))
+			}
+		}
+	}
+	return g
+}
+
+func TestConflatePreservesInvariantsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomDAG(rng, 1+rng.Intn(25))
+		out, st, err := Conflate(g)
+		if err != nil {
+			return false
+		}
+		if out.Size() > g.Size() || out.NumEdges() > g.NumEdges() {
+			return false // conflation never grows the graph
+		}
+		if err := out.Validate(); err != nil {
+			return false // stays a DAG
+		}
+		// Depth is preserved: merged siblings share levels.
+		d0, _ := g.Depth()
+		d1, _ := out.Depth()
+		if d0 != d1 {
+			return false
+		}
+		// Total instances preserved.
+		sum := func(gr *dag.Graph) int {
+			s := 0
+			for _, id := range gr.NodeIDs() {
+				s += gr.Node(id).Instances
+			}
+			return s
+		}
+		if sum(g) != sum(out) {
+			return false
+		}
+		return st.SizeBefore == g.Size() && st.SizeAfter == out.Size()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConflateIdempotentAtFixedPointProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomDAG(rng, 1+rng.Intn(20))
+		fp, _, err := FixedPoint(g)
+		if err != nil {
+			return false
+		}
+		again, st, err := Conflate(fp)
+		if err != nil {
+			return false
+		}
+		return again.Size() == fp.Size() && st.Groups == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFixedPointMatchesSinglePass(t *testing.T) {
+	g := mapReduce(t, 10)
+	fp, st, err := FixedPoint(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, _, err := Conflate(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp.Size() != one.Size() || fp.Size() != 2 {
+		t.Fatalf("fixed point %d vs single pass %d, want 2", fp.Size(), one.Size())
+	}
+	if st.SizeBefore != 11 || st.SizeAfter != 2 || st.Groups != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}

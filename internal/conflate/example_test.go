@@ -1,0 +1,33 @@
+package conflate_test
+
+import (
+	"fmt"
+
+	"jobgraph/internal/conflate"
+	"jobgraph/internal/dag"
+)
+
+func ExampleConflate() {
+	// Thirty parallel Map shards feeding one Reduce collapse into a
+	// two-stage job.
+	specs := make([]dag.TaskSpec, 0, 31)
+	deps := ""
+	for i := 1; i <= 30; i++ {
+		specs = append(specs, dag.TaskSpec{Name: fmt.Sprintf("M%d", i), Instances: 1})
+		deps += fmt.Sprintf("_%d", i)
+	}
+	specs = append(specs, dag.TaskSpec{Name: "R31" + deps, Instances: 1})
+	res, err := dag.FromTasks("wide", specs, dag.BuildOptions{})
+	if err != nil {
+		panic(err)
+	}
+	merged, st, err := conflate.Conflate(res.Graph)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%d -> %d tasks (%d merge group)\n", st.SizeBefore, st.SizeAfter, st.Groups)
+	fmt.Printf("merged map stage carries %d instances\n", merged.Node(1).Instances)
+	// Output:
+	// 31 -> 2 tasks (1 merge group)
+	// merged map stage carries 30 instances
+}

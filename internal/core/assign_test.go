@@ -1,0 +1,94 @@
+package core
+
+import (
+	"testing"
+
+	"jobgraph/internal/dag"
+	"jobgraph/internal/taskname"
+)
+
+// mkChainJob builds a simple chain DAG of the given size.
+func mkChainJob(t testing.TB, id string, n int) *dag.Graph {
+	t.Helper()
+	g := dag.New(id)
+	for i := 1; i <= n; i++ {
+		typ := taskname.TypeReduce
+		if i == 1 {
+			typ = taskname.TypeMap
+		}
+		if err := g.AddNode(dag.Node{ID: dag.NodeID(i), Type: typ}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 1; i < n; i++ {
+		if err := g.AddEdge(dag.NodeID(i), dag.NodeID(i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+func TestAssignGroupChainJob(t *testing.T) {
+	an := runPipeline(t, 8000, 40)
+	// A fresh 2-task chain must land in a chain-dominated group with
+	// near-perfect similarity (identical jobs exist in the sample).
+	gp, score, err := an.AssignGroup(mkChainJob(t, "new-job", 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gp.ChainFraction < 0.9 || gp.ShortFraction < 0.9 {
+		t.Fatalf("2-chain assigned to group %s (chain=%.2f short=%.2f)",
+			gp.Name, gp.ChainFraction, gp.ShortFraction)
+	}
+	if score < 0.9 {
+		t.Fatalf("similarity score = %.3f, want near 1", score)
+	}
+}
+
+func TestAssignGroupLargeJobAvoidsChainGroup(t *testing.T) {
+	an := runPipeline(t, 8000, 41)
+	// A wide inverted triangle should not land in a pure-chain group.
+	g := dag.New("wide")
+	sink := dag.NodeID(21)
+	if err := g.AddNode(dag.Node{ID: sink, Type: taskname.TypeReduce}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 20; i++ {
+		if err := g.AddNode(dag.Node{ID: dag.NodeID(i), Type: taskname.TypeMap}); err != nil {
+			t.Fatal(err)
+		}
+		if err := g.AddEdge(dag.NodeID(i), sink); err != nil {
+			t.Fatal(err)
+		}
+	}
+	gp, _, err := an.AssignGroup(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gp.ChainFraction > 0.5 {
+		t.Fatalf("wide triangle assigned to chain group %s", gp.Name)
+	}
+}
+
+func TestAssignGroupDeterministic(t *testing.T) {
+	an := runPipeline(t, 3000, 42)
+	g := mkChainJob(t, "q", 3)
+	g1, s1, err := an.AssignGroup(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, s2, err := an.AssignGroup(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1.Name != g2.Name || s1 != s2 {
+		t.Fatal("assignment not deterministic")
+	}
+}
+
+func TestAssignGroupWithoutKernelState(t *testing.T) {
+	an := &Analysis{}
+	if _, _, err := an.AssignGroup(mkChainJob(t, "q", 2)); err == nil {
+		t.Fatal("missing kernel state accepted")
+	}
+}

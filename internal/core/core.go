@@ -1,0 +1,325 @@
+// Package core assembles the paper's full analysis pipeline:
+//
+//	trace jobs → integrity/availability filtering → diverse sampling →
+//	(optional) node conflation → WL kernel similarity matrix →
+//	spectral clustering → per-group structural profiles.
+//
+// Each stage is implemented by its own substrate package; core wires
+// them with one configuration and exposes the Analysis result the
+// experiment runners and example programs consume.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"jobgraph/internal/cluster"
+	"jobgraph/internal/conflate"
+	"jobgraph/internal/dag"
+	"jobgraph/internal/linalg"
+	"jobgraph/internal/pattern"
+	"jobgraph/internal/sampling"
+	"jobgraph/internal/stats"
+	"jobgraph/internal/trace"
+	"jobgraph/internal/wl"
+)
+
+// Config drives one end-to-end analysis.
+type Config struct {
+	// Criteria filters jobs (integrity / availability / size bounds).
+	Criteria sampling.Criteria
+	// SampleSize is the number of jobs analyzed (the paper uses 100).
+	SampleSize int
+	// Seed controls sampling and clustering reproducibility.
+	Seed int64
+	// Conflate applies node conflation to every sampled DAG before the
+	// kernel computation.
+	Conflate bool
+	// WL configures the graph kernel.
+	WL wl.Options
+	// Groups is the spectral cluster count (the paper finds 5).
+	Groups int
+	// Workers bounds kernel-matrix parallelism (<=0: GOMAXPROCS).
+	Workers int
+}
+
+// DefaultConfig mirrors the paper's experimental setup for a trace
+// window of the given length (seconds).
+func DefaultConfig(window int64, seed int64) Config {
+	return Config{
+		Criteria:   sampling.PaperCriteria(window),
+		SampleSize: 100,
+		Seed:       seed,
+		Conflate:   false,
+		WL:         wl.DefaultOptions(),
+		Groups:     5,
+		Workers:    0,
+	}
+}
+
+func (c Config) validate() error {
+	if c.SampleSize < 1 {
+		return fmt.Errorf("core: SampleSize %d < 1", c.SampleSize)
+	}
+	if c.Groups < 1 {
+		return fmt.Errorf("core: Groups %d < 1", c.Groups)
+	}
+	return nil
+}
+
+// GroupProfile is the per-cluster statistics of Figure 9.
+type GroupProfile struct {
+	// Name is the population-rank label: "A" is the largest group.
+	Name  string
+	Count int
+	// Population is Count / sample size.
+	Population float64
+
+	Sizes  stats.Summary // job size distribution
+	Depths stats.Summary // critical-path distribution
+	Widths stats.Summary // max-parallelism distribution
+
+	// Resource profile of the group — the direction the paper's
+	// conclusion points to ("combining resource analysis techniques for
+	// job scheduling optimization"): knowing a new job's group predicts
+	// its demand.
+	MeanInstances float64 // mean total instances per job
+	MeanPlanCPU   float64 // mean summed CPU request per job
+	MeanDuration  float64 // mean summed task duration per job (s)
+
+	// ChainFraction is the share of straight-chain jobs in the group
+	// (91% in the paper's group A).
+	ChainFraction float64
+	// ShortFraction is the share of jobs with fewer than three tasks
+	// (90.6% in the paper's group A).
+	ShortFraction float64
+	// Representative is the job id closest to the group's similarity
+	// centroid — the paper's Figure 8 exemplar.
+	Representative string
+
+	// Members are sample indices belonging to the group.
+	Members []int
+}
+
+// Analysis is the full pipeline output.
+type Analysis struct {
+	// Sample is the analyzed candidate set (post-filter, post-sample).
+	Sample []sampling.Candidate
+	// Graphs are the DAGs the kernel ran on (conflated when configured).
+	Graphs []*dag.Graph
+	// FilterStats reports the §IV-B selection outcome.
+	FilterStats sampling.FilterStats
+	// Similarity is the n×n normalized WL kernel matrix (Figure 7).
+	Similarity *linalg.Matrix
+	// Labels are raw spectral cluster ids per sample index.
+	Labels []int
+	// Groups are population-ranked profiles (Figure 9); Groups[0] is
+	// group "A".
+	Groups []GroupProfile
+	// Silhouette is the clustering quality in kernel-distance space.
+	Silhouette float64
+
+	// Kernel state retained for classifying new jobs (AssignGroup).
+	wlOpts  wl.Options
+	dict    *wl.Dictionary
+	vectors []wl.Vector
+}
+
+// AssignGroup classifies a job that was not part of the analysis into
+// the most similar existing group: the job is embedded with the
+// analysis's WL dictionary and assigned to the group with the highest
+// mean kernel similarity to its members. This is the paper's intended
+// application — predicting a new job's behaviour from the group of
+// structurally similar historical jobs.
+//
+// If the analysis ran with Config.Conflate, pass a conflated graph here
+// too (conflate.Conflate) so the query lives in the same representation
+// as the indexed corpus.
+func (an *Analysis) AssignGroup(g *dag.Graph) (GroupProfile, float64, error) {
+	if an.dict == nil || len(an.vectors) != len(an.Graphs) {
+		return GroupProfile{}, 0, fmt.Errorf("core: analysis lacks kernel state")
+	}
+	vec, err := an.dict.Embed(g, an.wlOpts)
+	if err != nil {
+		return GroupProfile{}, 0, err
+	}
+	bestIdx, bestScore := -1, -1.0
+	for gi, gp := range an.Groups {
+		var sum float64
+		for _, m := range gp.Members {
+			sum += wl.Similarity(vec, an.vectors[m])
+		}
+		score := sum / float64(len(gp.Members))
+		if score > bestScore {
+			bestIdx, bestScore = gi, score
+		}
+	}
+	return an.Groups[bestIdx], bestScore, nil
+}
+
+// Run executes the pipeline over the given trace jobs.
+func Run(jobs []trace.Job, cfg Config) (*Analysis, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	cands, fstats, err := sampling.Filter(jobs, cfg.Criteria)
+	if err != nil {
+		return nil, err
+	}
+	if len(cands) == 0 {
+		return nil, fmt.Errorf("core: no jobs survive filtering (stats %+v)", fstats)
+	}
+	sample := sampling.SampleDiverse(cands, cfg.SampleSize, cfg.Seed)
+	if len(sample) < cfg.Groups {
+		return nil, fmt.Errorf("core: sample of %d too small for %d groups", len(sample), cfg.Groups)
+	}
+
+	graphs := make([]*dag.Graph, len(sample))
+	for i, c := range sample {
+		g := c.Graph
+		if cfg.Conflate {
+			cg, _, err := conflate.Conflate(g)
+			if err != nil {
+				return nil, fmt.Errorf("core: conflating %s: %w", g.JobID, err)
+			}
+			g = cg
+		}
+		graphs[i] = g
+	}
+
+	vectors, dict, err := wl.Features(graphs, cfg.WL)
+	if err != nil {
+		return nil, err
+	}
+	sim, err := wl.MatrixFromVectors(vectors, cfg.Workers)
+	if err != nil {
+		return nil, err
+	}
+
+	spec, err := cluster.Spectral(sim, cluster.SpectralOptions{
+		K:      cfg.Groups,
+		KMeans: cluster.KMeansOptions{Seed: cfg.Seed},
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	an := &Analysis{
+		Sample:      sample,
+		Graphs:      graphs,
+		FilterStats: fstats,
+		Similarity:  sim,
+		Labels:      spec.Labels,
+		wlOpts:      cfg.WL,
+		dict:        dict,
+		vectors:     vectors,
+	}
+	if an.Groups, err = profileGroups(graphs, sim, spec.Labels); err != nil {
+		return nil, err
+	}
+	if dist, err := cluster.DistanceFromSimilarity(sim); err == nil {
+		if s, err := cluster.Silhouette(dist, spec.Labels); err == nil {
+			an.Silhouette = s
+		}
+	}
+	return an, nil
+}
+
+// profileGroups computes population-ranked group statistics.
+func profileGroups(graphs []*dag.Graph, sim *linalg.Matrix, labels []int) ([]GroupProfile, error) {
+	byLabel := make(map[int][]int)
+	for i, l := range labels {
+		byLabel[l] = append(byLabel[l], i)
+	}
+	type entry struct {
+		label   int
+		members []int
+	}
+	entries := make([]entry, 0, len(byLabel))
+	for l, m := range byLabel {
+		entries = append(entries, entry{l, m})
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if len(entries[i].members) != len(entries[j].members) {
+			return len(entries[i].members) > len(entries[j].members)
+		}
+		return entries[i].label < entries[j].label
+	})
+
+	total := float64(len(labels))
+	groups := make([]GroupProfile, 0, len(entries))
+	for rank, e := range entries {
+		gp := GroupProfile{
+			Name:       groupName(rank),
+			Count:      len(e.members),
+			Population: float64(len(e.members)) / total,
+			Members:    append([]int(nil), e.members...),
+		}
+		var sizes, depths, widths []float64
+		chains, short := 0, 0
+		var sumInst, sumCPU, sumDur float64
+		for _, idx := range e.members {
+			g := graphs[idx]
+			depth, err := g.Depth()
+			if err != nil {
+				return nil, err
+			}
+			width, err := g.MaxWidth()
+			if err != nil {
+				return nil, err
+			}
+			sizes = append(sizes, float64(g.Size()))
+			depths = append(depths, float64(depth))
+			widths = append(widths, float64(width))
+			if s, err := pattern.Classify(g); err == nil && s == pattern.Chain {
+				chains++
+			}
+			if g.Size() < 3 {
+				short++
+			}
+			for _, id := range g.NodeIDs() {
+				n := g.Node(id)
+				sumInst += float64(n.Instances)
+				sumCPU += n.PlanCPU
+				sumDur += n.Duration
+			}
+		}
+		gp.MeanInstances = sumInst / float64(len(e.members))
+		gp.MeanPlanCPU = sumCPU / float64(len(e.members))
+		gp.MeanDuration = sumDur / float64(len(e.members))
+		gp.Sizes, _ = stats.Describe(sizes)
+		gp.Depths, _ = stats.Describe(depths)
+		gp.Widths, _ = stats.Describe(widths)
+		gp.ChainFraction = float64(chains) / float64(len(e.members))
+		gp.ShortFraction = float64(short) / float64(len(e.members))
+		gp.Representative = graphs[medoid(sim, e.members)].JobID
+		groups = append(groups, gp)
+	}
+	return groups, nil
+}
+
+// medoid returns the member index with the highest total similarity to
+// its group — the most central exemplar.
+func medoid(sim *linalg.Matrix, members []int) int {
+	best := members[0]
+	bestScore := -1.0
+	for _, i := range members {
+		var s float64
+		for _, j := range members {
+			s += sim.At(i, j)
+		}
+		if s > bestScore {
+			best, bestScore = i, s
+		}
+	}
+	return best
+}
+
+// groupName converts a population rank to the paper's letter labels:
+// A, B, C, ... then G26, G27 beyond Z.
+func groupName(rank int) string {
+	if rank < 26 {
+		return string(rune('A' + rank))
+	}
+	return fmt.Sprintf("G%d", rank)
+}

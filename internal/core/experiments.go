@@ -1,0 +1,320 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"jobgraph/internal/conflate"
+	"jobgraph/internal/dag"
+	"jobgraph/internal/pattern"
+	"jobgraph/internal/report"
+	"jobgraph/internal/stats"
+)
+
+// Fig2DOT renders the first n sampled job DAGs as Graphviz documents —
+// the paper's Figure 2 "job-level abstraction" sample.
+func Fig2DOT(an *Analysis, n int) []string {
+	if n > len(an.Graphs) {
+		n = len(an.Graphs)
+	}
+	out := make([]string, n)
+	for i := 0; i < n; i++ {
+		out[i] = an.Graphs[i].DOT()
+	}
+	return out
+}
+
+// Fig3Conflation reproduces Figure 3: the job-size distribution before
+// and after node conflation over a set of DAGs.
+func Fig3Conflation(graphs []*dag.Graph) (*report.Table, error) {
+	before := stats.NewIntCounter()
+	after := stats.NewIntCounter()
+	for _, g := range graphs {
+		before.Add(g.Size())
+		cg, _, err := conflate.Conflate(g)
+		if err != nil {
+			return nil, err
+		}
+		after.Add(cg.Size())
+	}
+	tbl := report.NewTable("Fig 3: DAG job sizes before/after node conflation",
+		"size", "before", "before_frac", "after", "after_frac")
+	seen := make(map[int]bool)
+	var sizes []int
+	for _, v := range before.Values() {
+		if !seen[v] {
+			seen[v] = true
+			sizes = append(sizes, v)
+		}
+	}
+	for _, v := range after.Values() {
+		if !seen[v] {
+			seen[v] = true
+			sizes = append(sizes, v)
+		}
+	}
+	sortInts(sizes)
+	for _, s := range sizes {
+		tbl.AddRow(
+			fmt.Sprintf("%d", s),
+			fmt.Sprintf("%d", before.Count(s)),
+			fmt.Sprintf("%.3f", before.Fraction(s)),
+			fmt.Sprintf("%d", after.Count(s)),
+			fmt.Sprintf("%.3f", after.Fraction(s)),
+		)
+	}
+	return tbl, nil
+}
+
+// SizeGroupFeatures is one row of Figures 4/5: per size group, the job
+// count, the maximum critical path and the maximum width observed.
+type SizeGroupFeatures struct {
+	Size     int
+	Count    int
+	MaxDepth int
+	MaxWidth int
+}
+
+// FigSizeGroupFeatures computes the Figure 4 (raw) or Figure 5
+// (conflated) rows over a set of DAGs.
+func FigSizeGroupFeatures(graphs []*dag.Graph, conflated bool) ([]SizeGroupFeatures, error) {
+	byDim := make(map[int]*SizeGroupFeatures)
+	for _, g := range graphs {
+		cur := g
+		if conflated {
+			cg, _, err := conflate.Conflate(g)
+			if err != nil {
+				return nil, err
+			}
+			cur = cg
+		}
+		depth, err := cur.Depth()
+		if err != nil {
+			return nil, err
+		}
+		width, err := cur.MaxWidth()
+		if err != nil {
+			return nil, err
+		}
+		row, ok := byDim[cur.Size()]
+		if !ok {
+			row = &SizeGroupFeatures{Size: cur.Size()}
+			byDim[cur.Size()] = row
+		}
+		row.Count++
+		if depth > row.MaxDepth {
+			row.MaxDepth = depth
+		}
+		if width > row.MaxWidth {
+			row.MaxWidth = width
+		}
+	}
+	var sizes []int
+	for s := range byDim {
+		sizes = append(sizes, s)
+	}
+	sortInts(sizes)
+	out := make([]SizeGroupFeatures, 0, len(sizes))
+	for _, s := range sizes {
+		out = append(out, *byDim[s])
+	}
+	return out, nil
+}
+
+// FigSizeGroupTable renders FigSizeGroupFeatures rows.
+func FigSizeGroupTable(rows []SizeGroupFeatures, title string) *report.Table {
+	tbl := report.NewTable(title, "size", "jobs", "max_critical_path", "max_width")
+	for _, r := range rows {
+		tbl.AddRow(
+			fmt.Sprintf("%d", r.Size),
+			fmt.Sprintf("%d", r.Count),
+			fmt.Sprintf("%d", r.MaxDepth),
+			fmt.Sprintf("%d", r.MaxWidth),
+		)
+	}
+	return tbl
+}
+
+// PatternCensusTable reproduces the §V-B pattern shares (chain 58%,
+// inverted triangle 37%, ...) over a set of DAGs.
+func PatternCensusTable(graphs []*dag.Graph) (*report.Table, *pattern.Census, error) {
+	census := pattern.NewCensus()
+	for _, g := range graphs {
+		if err := census.Add(g); err != nil {
+			return nil, nil, err
+		}
+	}
+	tbl := report.NewTable("Pattern census (§V-B)", "shape", "jobs", "fraction")
+	for _, s := range pattern.AllShapes() {
+		if census.Counts[s] == 0 {
+			continue
+		}
+		tbl.AddRow(s.String(),
+			fmt.Sprintf("%d", census.Counts[s]),
+			fmt.Sprintf("%.3f", census.Fraction(s)))
+	}
+	return tbl, census, nil
+}
+
+// ModelCensusTable tallies the §V-C programming models (Map-Reduce,
+// Map-Join-Reduce, Map-Reduce-Merge) across a set of DAGs.
+func ModelCensusTable(graphs []*dag.Graph) (*report.Table, *pattern.ModelCensus, error) {
+	census := pattern.NewModelCensus()
+	for _, g := range graphs {
+		if err := census.Add(g); err != nil {
+			return nil, nil, err
+		}
+	}
+	tbl := report.NewTable("Programming models (§V-C)", "model", "jobs", "fraction")
+	for _, m := range pattern.AllModels() {
+		if census.Counts[m] == 0 {
+			continue
+		}
+		tbl.AddRow(m.String(),
+			fmt.Sprintf("%d", census.Counts[m]),
+			fmt.Sprintf("%.3f", census.Fraction(m)))
+	}
+	return tbl, census, nil
+}
+
+// Fig6TaskTypes reproduces Figure 6: per-job M/J/R task counts.
+func Fig6TaskTypes(an *Analysis) *report.Table {
+	tbl := report.NewTable("Fig 6: distribution of Map-Join-Reduce tasks",
+		"job", "size", "M", "J", "R")
+	for _, g := range an.Graphs {
+		c := g.TypeCounts()
+		tbl.AddRow(g.JobID,
+			fmt.Sprintf("%d", g.Size()),
+			fmt.Sprintf("%d", c["M"]),
+			fmt.Sprintf("%d", c["J"]),
+			fmt.Sprintf("%d", c["R"]))
+	}
+	return tbl
+}
+
+// Fig7Heatmap renders the similarity matrix as an ASCII heat map.
+func Fig7Heatmap(an *Analysis) string {
+	return report.Heatmap(an.Similarity)
+}
+
+// Fig8Representatives renders each group's medoid job in DOT.
+func Fig8Representatives(an *Analysis) map[string]string {
+	byID := make(map[string]*dag.Graph, len(an.Graphs))
+	for _, g := range an.Graphs {
+		byID[g.JobID] = g
+	}
+	out := make(map[string]string, len(an.Groups))
+	for _, gp := range an.Groups {
+		if g, ok := byID[gp.Representative]; ok {
+			out[gp.Name] = g.DOT()
+		}
+	}
+	return out
+}
+
+// Fig9GroupTable reproduces Figure 9: population, size, critical path
+// and parallelism per cluster group.
+func Fig9GroupTable(an *Analysis) *report.Table {
+	tbl := report.NewTable("Fig 9: properties of job DAGs in cluster groups",
+		"group", "jobs", "population", "mean_size", "median_size",
+		"mean_depth", "max_depth", "mean_width", "max_width",
+		"chain_frac", "short_frac", "representative")
+	for _, gp := range an.Groups {
+		tbl.AddRow(
+			gp.Name,
+			fmt.Sprintf("%d", gp.Count),
+			fmt.Sprintf("%.3f", gp.Population),
+			fmt.Sprintf("%.2f", gp.Sizes.Mean),
+			fmt.Sprintf("%.1f", gp.Sizes.Median),
+			fmt.Sprintf("%.2f", gp.Depths.Mean),
+			fmt.Sprintf("%.0f", gp.Depths.Max),
+			fmt.Sprintf("%.2f", gp.Widths.Mean),
+			fmt.Sprintf("%.0f", gp.Widths.Max),
+			fmt.Sprintf("%.3f", gp.ChainFraction),
+			fmt.Sprintf("%.3f", gp.ShortFraction),
+			gp.Representative,
+		)
+	}
+	return tbl
+}
+
+// Fig9BoxPlots renders the three panels of Figure 9 (b)–(d) — per-group
+// distributions of job size, critical path and maximum parallelism — as
+// ASCII box plots on shared scales.
+func Fig9BoxPlots(an *Analysis) (string, error) {
+	labels := make([]string, len(an.Groups))
+	sizes := make([][]float64, len(an.Groups))
+	depths := make([][]float64, len(an.Groups))
+	widths := make([][]float64, len(an.Groups))
+	for gi, gp := range an.Groups {
+		labels[gi] = gp.Name
+		for _, idx := range gp.Members {
+			g := an.Graphs[idx]
+			d, err := g.Depth()
+			if err != nil {
+				return "", err
+			}
+			w, err := g.MaxWidth()
+			if err != nil {
+				return "", err
+			}
+			sizes[gi] = append(sizes[gi], float64(g.Size()))
+			depths[gi] = append(depths[gi], float64(d))
+			widths[gi] = append(widths[gi], float64(w))
+		}
+	}
+	var b strings.Builder
+	for _, panel := range []struct {
+		title  string
+		series [][]float64
+	}{
+		{"Fig 9(b): job size by group", sizes},
+		{"Fig 9(c): critical path by group", depths},
+		{"Fig 9(d): max parallelism by group", widths},
+	} {
+		s, err := report.BoxPlotGroup(panel.title, labels, panel.series, 60)
+		if err != nil {
+			return "", err
+		}
+		b.WriteString(s)
+		b.WriteByte('\n')
+	}
+	return b.String(), nil
+}
+
+// GroupResourceTable renders each group's resource profile — the
+// extension experiment toward the paper's "combining resource analysis
+// techniques" future work.
+func GroupResourceTable(an *Analysis) *report.Table {
+	tbl := report.NewTable("Per-group resource profile",
+		"group", "jobs", "mean_instances", "mean_plan_cpu", "mean_total_duration_s")
+	for _, gp := range an.Groups {
+		tbl.AddRow(
+			gp.Name,
+			fmt.Sprintf("%d", gp.Count),
+			fmt.Sprintf("%.1f", gp.MeanInstances),
+			fmt.Sprintf("%.1f", gp.MeanPlanCPU),
+			fmt.Sprintf("%.1f", gp.MeanDuration),
+		)
+	}
+	return tbl
+}
+
+// SizeWidthCorrelation computes the Spearman rank correlation between
+// job size and max width across the analyzed sample — the paper's
+// "parallelism of a job is quite positively correlated to the size".
+func SizeWidthCorrelation(an *Analysis) (float64, error) {
+	var sizes, widths []float64
+	for _, g := range an.Graphs {
+		w, err := g.MaxWidth()
+		if err != nil {
+			return 0, err
+		}
+		sizes = append(sizes, float64(g.Size()))
+		widths = append(widths, float64(w))
+	}
+	return stats.Spearman(sizes, widths)
+}
+
+func sortInts(xs []int) { sort.Ints(xs) }

@@ -1,0 +1,253 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"jobgraph/internal/pattern"
+	"jobgraph/internal/sampling"
+)
+
+func TestFig2DOT(t *testing.T) {
+	an := runPipeline(t, 2000, 21)
+	dots := Fig2DOT(an, 5)
+	if len(dots) != 5 {
+		t.Fatalf("dots = %d", len(dots))
+	}
+	for _, d := range dots {
+		if !strings.HasPrefix(d, "digraph") {
+			t.Fatalf("not DOT:\n%s", d)
+		}
+	}
+	if got := Fig2DOT(an, 1000); len(got) != len(an.Graphs) {
+		t.Fatalf("over-request returned %d", len(got))
+	}
+}
+
+func TestFig3ConflationShiftsMassDown(t *testing.T) {
+	an := runPipeline(t, 5000, 22)
+	tbl, err := Fig3Conflation(an.Graphs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.NumRows() == 0 {
+		t.Fatal("empty Fig3 table")
+	}
+	// The paper's observation: the ratio of smaller jobs increases
+	// after conflation. Check mean size strictly decreases.
+	rows, err := FigSizeGroupFeatures(an.Graphs, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rowsC, err := FigSizeGroupFeatures(an.Graphs, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := func(rs []SizeGroupFeatures) float64 {
+		var sum, n float64
+		for _, r := range rs {
+			sum += float64(r.Size * r.Count)
+			n += float64(r.Count)
+		}
+		return sum / n
+	}
+	if mean(rowsC) >= mean(rows) {
+		t.Fatalf("conflation did not reduce mean size: %.2f -> %.2f",
+			mean(rows), mean(rowsC))
+	}
+}
+
+func TestFigSizeGroupFeaturesShape(t *testing.T) {
+	an := runPipeline(t, 8000, 23)
+	rows, err := FigSizeGroupFeatures(an.Graphs, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 10 {
+		t.Fatalf("size groups = %d", len(rows))
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Size <= rows[i-1].Size {
+			t.Fatal("rows not sorted by size")
+		}
+	}
+	for _, r := range rows {
+		// Critical path and width bounded by size; depth*width >= size.
+		if r.MaxDepth < 1 || r.MaxDepth > r.Size {
+			t.Fatalf("row %+v: bad depth", r)
+		}
+		if r.MaxWidth < 1 || r.MaxWidth > r.Size {
+			t.Fatalf("row %+v: bad width", r)
+		}
+	}
+	// Paper: depth grows sublinearly — the largest sizes should have
+	// depth well below size (they have parallel structure).
+	last := rows[len(rows)-1]
+	if last.Size >= 20 && last.MaxDepth >= last.Size {
+		t.Fatalf("size %d has chain-like max depth %d", last.Size, last.MaxDepth)
+	}
+	tbl := FigSizeGroupTable(rows, "Fig 4")
+	if tbl.NumRows() != len(rows) {
+		t.Fatal("table row mismatch")
+	}
+}
+
+func TestPatternCensusTable(t *testing.T) {
+	an := runPipeline(t, 8000, 24)
+	tbl, census, err := PatternCensusTable(an.Graphs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if census.Total != len(an.Graphs) {
+		t.Fatalf("census total %d", census.Total)
+	}
+	if tbl.NumRows() == 0 {
+		t.Fatal("empty census table")
+	}
+	// Chains must be the most common shape in the sample too.
+	if census.Counts[pattern.Chain] == 0 {
+		t.Fatal("no chains in sample")
+	}
+}
+
+func TestFig6TaskTypes(t *testing.T) {
+	an := runPipeline(t, 3000, 25)
+	tbl := Fig6TaskTypes(an)
+	if tbl.NumRows() != len(an.Graphs) {
+		t.Fatalf("rows = %d, want %d", tbl.NumRows(), len(an.Graphs))
+	}
+	out := tbl.String()
+	if !strings.Contains(out, "M") || !strings.Contains(out, "R") {
+		t.Fatal("missing type columns")
+	}
+}
+
+func TestFig7Heatmap(t *testing.T) {
+	an := runPipeline(t, 3000, 26)
+	hm := Fig7Heatmap(an)
+	lines := strings.Split(strings.TrimRight(hm, "\n"), "\n")
+	if len(lines) != 100 || len(lines[0]) != 100 {
+		t.Fatalf("heatmap %dx%d", len(lines), len(lines[0]))
+	}
+	// Diagonal is all max-similarity.
+	for i, l := range lines {
+		if l[i] != '@' {
+			t.Fatalf("diagonal (%d) = %q", i, l[i])
+		}
+	}
+}
+
+func TestFig8Representatives(t *testing.T) {
+	an := runPipeline(t, 3000, 27)
+	reps := Fig8Representatives(an)
+	if len(reps) != len(an.Groups) {
+		t.Fatalf("reps = %d, want %d", len(reps), len(an.Groups))
+	}
+	for name, dot := range reps {
+		if !strings.HasPrefix(dot, "digraph") {
+			t.Fatalf("group %s rep not DOT", name)
+		}
+	}
+}
+
+func TestFig9GroupTable(t *testing.T) {
+	an := runPipeline(t, 5000, 28)
+	tbl := Fig9GroupTable(an)
+	if tbl.NumRows() != len(an.Groups) {
+		t.Fatal("row count")
+	}
+	out := tbl.String()
+	if !strings.Contains(out, "A") || !strings.Contains(out, "population") {
+		t.Fatalf("table:\n%s", out)
+	}
+}
+
+func TestSizeWidthCorrelationPositive(t *testing.T) {
+	an := runPipeline(t, 8000, 29)
+	rho, err := SizeWidthCorrelation(an)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: "the parallelism of a job is quite positively correlated
+	// to the size of jobs".
+	if rho <= 0.2 {
+		t.Fatalf("size-width Spearman = %.3f, want clearly positive", rho)
+	}
+}
+
+func TestFig3OnEmptySliceIsEmptyTable(t *testing.T) {
+	tbl, err := Fig3Conflation(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.NumRows() != 0 {
+		t.Fatal("non-empty table from no graphs")
+	}
+}
+
+func TestDepthRange(t *testing.T) {
+	// Paper: critical path lengths range 2..8 in its 2..31-task sample
+	// (§V-A). The generator is calibrated to stay inside that band.
+	an := runPipeline(t, 10000, 30)
+	for _, g := range an.Graphs {
+		d, err := g.Depth()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d < 2 || d > 8 {
+			t.Fatalf("job %s depth %d outside the paper's 2-8 range", g.JobID, d)
+		}
+	}
+	_ = sampling.Criteria{}
+}
+
+func TestGroupResourceTable(t *testing.T) {
+	an := runPipeline(t, 3000, 31)
+	tbl := GroupResourceTable(an)
+	if tbl.NumRows() != len(an.Groups) {
+		t.Fatalf("rows = %d", tbl.NumRows())
+	}
+	for _, gp := range an.Groups {
+		if gp.MeanInstances <= 0 || gp.MeanPlanCPU <= 0 || gp.MeanDuration <= 0 {
+			t.Fatalf("group %s has zero resource profile: %+v", gp.Name, gp)
+		}
+	}
+}
+
+func TestModelCensusTable(t *testing.T) {
+	an := runPipeline(t, 5000, 32)
+	tbl, census, err := ModelCensusTable(an.Graphs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if census.Total != len(an.Graphs) || tbl.NumRows() == 0 {
+		t.Fatalf("census = %+v", census)
+	}
+	// Generated workloads are MapReduce-family: plain map-reduce
+	// dominates and the join model appears (multi-input middles).
+	if census.Fraction(pattern.ModelMapReduce) < 0.5 {
+		t.Fatalf("map-reduce share = %.3f", census.Fraction(pattern.ModelMapReduce))
+	}
+	if census.Counts[pattern.ModelMapJoinReduce] == 0 {
+		t.Fatal("no map-join-reduce jobs in sample")
+	}
+}
+
+func TestFig9BoxPlots(t *testing.T) {
+	an := runPipeline(t, 4000, 33)
+	out, err := Fig9BoxPlots(an)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Fig 9(b)", "Fig 9(c)", "Fig 9(d)", "A", "scale:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("box plots missing %q:\n%s", want, out)
+		}
+	}
+	// One row per group per panel plus title and scale lines.
+	lines := strings.Count(out, "\n")
+	wantLines := 3 * (len(an.Groups) + 2 + 1) // title + groups + scale + blank
+	if lines != wantLines {
+		t.Fatalf("line count %d, want %d:\n%s", lines, wantLines, out)
+	}
+}

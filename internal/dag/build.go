@@ -1,0 +1,88 @@
+package dag
+
+import (
+	"fmt"
+
+	"jobgraph/internal/taskname"
+)
+
+// TaskSpec is the per-task input to the DAG builder: a raw trace task
+// name plus the runtime attributes carried into the node.
+type TaskSpec struct {
+	Name      string
+	Duration  float64
+	Instances int
+	PlanCPU   float64
+	PlanMem   float64
+}
+
+// BuildOptions controls how FromTasks treats imperfect trace data.
+type BuildOptions struct {
+	// SkipMissingDeps drops dependency references whose target task is
+	// absent from the job (the raw trace contains a small number of
+	// these, typically jobs truncated at the collection boundary).
+	// When false, a missing target is an error.
+	SkipMissingDeps bool
+}
+
+// BuildResult reports what FromTasks did with the input.
+type BuildResult struct {
+	Graph *Graph
+	// Independent counts tasks whose names do not follow the DAG
+	// grammar; they are excluded from the graph. A job made entirely of
+	// independent tasks has Graph.Size() == 0.
+	Independent int
+	// DroppedDeps counts dependency references removed because the
+	// target task was missing (only with SkipMissingDeps).
+	DroppedDeps int
+}
+
+// FromTasks builds a job DAG from trace task records, decoding the
+// dependency structure from task names exactly as §IV-A describes. The
+// returned graph is validated (acyclic, consistent) before being handed
+// back.
+func FromTasks(jobID string, tasks []TaskSpec, opt BuildOptions) (BuildResult, error) {
+	res := BuildResult{Graph: New(jobID)}
+	parsed := make([]taskname.Parsed, 0, len(tasks))
+	for _, t := range tasks {
+		p, err := taskname.Parse(t.Name)
+		if err != nil {
+			return res, fmt.Errorf("dag: job %s: %w", jobID, err)
+		}
+		if p.Independent {
+			res.Independent++
+			continue
+		}
+		if err := res.Graph.AddNode(Node{
+			ID:        NodeID(p.ID),
+			Type:      p.Type,
+			Duration:  t.Duration,
+			Instances: t.Instances,
+			PlanCPU:   t.PlanCPU,
+			PlanMem:   t.PlanMem,
+		}); err != nil {
+			return res, err
+		}
+		parsed = append(parsed, p)
+	}
+	for _, p := range parsed {
+		for _, d := range p.Deps {
+			from, to := NodeID(d), NodeID(p.ID)
+			if res.Graph.Node(from) == nil {
+				if opt.SkipMissingDeps {
+					res.DroppedDeps++
+					continue
+				}
+				return res, fmt.Errorf("dag: job %s: task %s depends on missing task %d",
+					jobID, p.Raw, d)
+			}
+			if err := res.Graph.AddEdge(from, to); err != nil {
+				return res, err
+			}
+		}
+	}
+	if err := res.Graph.Validate(); err != nil {
+		return res, err
+	}
+	return res, nil
+}

@@ -1,0 +1,106 @@
+package dag
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+)
+
+// Signature is a structural fingerprint of a graph: two graphs with
+// different signatures are guaranteed non-isomorphic (as labeled DAGs);
+// graphs with equal signatures are isomorphic in all but adversarial
+// cases (the fingerprint is a fixed-point color refinement, the same
+// family of invariants the WL kernel uses).
+type Signature uint64
+
+// CanonicalSignature computes the fingerprint. It is label-aware: node
+// colors start from the task type, so an all-Map chain and an all-Reduce
+// chain differ.
+func (g *Graph) CanonicalSignature() Signature {
+	n := g.Size()
+	h := fnv.New64a()
+	fmt.Fprintf(h, "n=%d;e=%d;", n, g.edges)
+	if n == 0 {
+		return Signature(h.Sum64())
+	}
+
+	// Color refinement to a fixed point (at most n rounds).
+	colors := make(map[NodeID]string, n)
+	for id, node := range g.nodes {
+		colors[id] = fmt.Sprintf("%s/%d/%d", node.Type, len(g.pred[id]), len(g.succ[id]))
+	}
+	for round := 0; round < n; round++ {
+		next := make(map[NodeID]string, n)
+		for id := range g.nodes {
+			preds := make([]string, 0, len(g.pred[id]))
+			for _, p := range g.pred[id] {
+				preds = append(preds, colors[p])
+			}
+			succs := make([]string, 0, len(g.succ[id]))
+			for _, s := range g.succ[id] {
+				succs = append(succs, colors[s])
+			}
+			sort.Strings(preds)
+			sort.Strings(succs)
+			next[id] = colors[id] + "|P:" + strings.Join(preds, ",") + "|S:" + strings.Join(succs, ",")
+		}
+		// Compress to short color names to bound string growth.
+		next = compressColors(next)
+		if sameColoring(colors, next) {
+			break
+		}
+		colors = next
+	}
+
+	multiset := make([]string, 0, n)
+	for _, c := range colors {
+		multiset = append(multiset, c)
+	}
+	sort.Strings(multiset)
+	for _, c := range multiset {
+		h.Write([]byte(c))
+		h.Write([]byte{0})
+	}
+	return Signature(h.Sum64())
+}
+
+// compressColors renames each distinct color string to a short canonical
+// token ("c0", "c1", ... in lexicographic order of the original strings).
+func compressColors(colors map[NodeID]string) map[NodeID]string {
+	distinct := make([]string, 0, len(colors))
+	seen := make(map[string]bool, len(colors))
+	for _, c := range colors {
+		if !seen[c] {
+			seen[c] = true
+			distinct = append(distinct, c)
+		}
+	}
+	sort.Strings(distinct)
+	rename := make(map[string]string, len(distinct))
+	for i, c := range distinct {
+		rename[c] = fmt.Sprintf("c%d", i)
+	}
+	out := make(map[NodeID]string, len(colors))
+	for id, c := range colors {
+		out[id] = rename[c]
+	}
+	return out
+}
+
+// sameColoring reports whether two colorings induce the same partition
+// refinement state (same number of color classes and same class per
+// node up to renaming). Because compressColors canonicalizes names by
+// lexicographic order of the underlying strings, the refinement has
+// converged when the number of distinct classes stops growing.
+func sameColoring(a, b map[NodeID]string) bool {
+	return countDistinct(a) == countDistinct(b)
+}
+
+func countDistinct(colors map[NodeID]string) int {
+	seen := make(map[string]bool, len(colors))
+	for _, c := range colors {
+		seen[c] = true
+	}
+	return len(seen)
+}

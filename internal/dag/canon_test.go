@@ -1,0 +1,92 @@
+package dag
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"jobgraph/internal/taskname"
+)
+
+func TestSignatureIdenticalGraphs(t *testing.T) {
+	a := paperJob(t)
+	b := paperJob(t)
+	if a.CanonicalSignature() != b.CanonicalSignature() {
+		t.Fatal("identical graphs produced different signatures")
+	}
+}
+
+func TestSignatureIsomorphismInvariantProperty(t *testing.T) {
+	// Relabeling vertices must not change the signature.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(12)
+		g := randomDAG(rng, n)
+
+		perm := rng.Perm(n) // perm[i] is the new 0-based id for old id i+1
+		h := New("relabeled")
+		for _, id := range g.NodeIDs() {
+			node := *g.Node(id)
+			node.ID = NodeID(perm[int(id)-1] + 1)
+			if err := h.AddNode(node); err != nil {
+				return false
+			}
+		}
+		for _, from := range g.NodeIDs() {
+			for _, to := range g.Succ(from) {
+				nf := NodeID(perm[int(from)-1] + 1)
+				nt := NodeID(perm[int(to)-1] + 1)
+				if err := h.AddEdge(nf, nt); err != nil {
+					return false
+				}
+			}
+		}
+		return g.CanonicalSignature() == h.CanonicalSignature()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSignatureDistinguishesShapes(t *testing.T) {
+	chainG := chain(t, 4)
+	tri := invertedTriangle(t, 3) // also 4 nodes
+	if chainG.CanonicalSignature() == tri.CanonicalSignature() {
+		t.Fatal("chain(4) and inverted-triangle(4) collided")
+	}
+}
+
+func TestSignatureDistinguishesLabels(t *testing.T) {
+	// Same shape, different task types must differ (label-aware).
+	a := New("a")
+	b := New("b")
+	for i := 1; i <= 2; i++ {
+		if err := a.AddNode(Node{ID: NodeID(i), Type: taskname.TypeMap}); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.AddNode(Node{ID: NodeID(i), Type: taskname.TypeReduce}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := a.AddEdge(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddEdge(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if a.CanonicalSignature() == b.CanonicalSignature() {
+		t.Fatal("label-blind signature")
+	}
+}
+
+func TestSignatureDistinguishesSize(t *testing.T) {
+	if chain(t, 3).CanonicalSignature() == chain(t, 4).CanonicalSignature() {
+		t.Fatal("chains of different length collided")
+	}
+}
+
+func TestSignatureEmptyGraph(t *testing.T) {
+	if New("a").CanonicalSignature() != New("b").CanonicalSignature() {
+		t.Fatal("empty graphs should share a signature")
+	}
+}

@@ -1,0 +1,102 @@
+package dag
+
+import "sort"
+
+// Components returns the weakly connected components of g as slices of
+// node ids, each sorted ascending, ordered by their smallest member.
+// The paper's kernel operates on connected job graphs; disconnected
+// jobs (rare truncation artifacts in the trace) can be split into
+// components and analyzed piecewise.
+func (g *Graph) Components() [][]NodeID {
+	seen := make(map[NodeID]bool, g.Size())
+	var comps [][]NodeID
+	for _, start := range g.NodeIDs() {
+		if seen[start] {
+			continue
+		}
+		var comp []NodeID
+		queue := []NodeID{start}
+		seen[start] = true
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			comp = append(comp, v)
+			for _, nb := range g.succ[v] {
+				if !seen[nb] {
+					seen[nb] = true
+					queue = append(queue, nb)
+				}
+			}
+			for _, nb := range g.pred[v] {
+				if !seen[nb] {
+					seen[nb] = true
+					queue = append(queue, nb)
+				}
+			}
+		}
+		sort.Slice(comp, func(i, j int) bool { return comp[i] < comp[j] })
+		comps = append(comps, comp)
+	}
+	// NodeIDs() iterates ascending, so components already appear in
+	// order of smallest member; keep the contract explicit anyway.
+	sort.Slice(comps, func(i, j int) bool { return comps[i][0] < comps[j][0] })
+	return comps
+}
+
+// InducedSubgraph returns the subgraph of g on the given node ids (all
+// must exist), with every edge of g whose endpoints are both kept. The
+// job id is preserved.
+func (g *Graph) InducedSubgraph(ids []NodeID) (*Graph, error) {
+	sub := New(g.JobID)
+	keep := make(map[NodeID]bool, len(ids))
+	for _, id := range ids {
+		n := g.Node(id)
+		if n == nil {
+			return nil, &missingNodeError{job: g.JobID, id: id}
+		}
+		if keep[id] {
+			continue
+		}
+		keep[id] = true
+		if err := sub.AddNode(*n); err != nil {
+			return nil, err
+		}
+	}
+	for id := range keep {
+		for _, s := range g.succ[id] {
+			if keep[s] {
+				if err := sub.AddEdge(id, s); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return sub, nil
+}
+
+// LargestComponent returns the induced subgraph of g's largest weakly
+// connected component (ties broken toward the one with the smallest
+// member id). The empty graph returns an empty graph.
+func (g *Graph) LargestComponent() (*Graph, error) {
+	comps := g.Components()
+	if len(comps) == 0 {
+		return New(g.JobID), nil
+	}
+	best := comps[0]
+	for _, c := range comps[1:] {
+		if len(c) > len(best) {
+			best = c
+		}
+	}
+	return g.InducedSubgraph(best)
+}
+
+// missingNodeError reports an InducedSubgraph request for an absent id.
+type missingNodeError struct {
+	job string
+	id  NodeID
+}
+
+func (e *missingNodeError) Error() string {
+	return "dag: job " + e.job + ": induced subgraph references missing node"
+}

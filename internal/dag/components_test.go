@@ -1,0 +1,142 @@
+package dag
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"jobgraph/internal/taskname"
+)
+
+// twoIslands builds 1->2->3 and 10->11.
+func twoIslands(t testing.TB) *Graph {
+	t.Helper()
+	g := New("islands")
+	for _, id := range []NodeID{1, 2, 3, 10, 11} {
+		if err := g.AddNode(Node{ID: id, Type: taskname.TypeMap}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, e := range [][2]NodeID{{1, 2}, {2, 3}, {10, 11}} {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+func TestComponents(t *testing.T) {
+	comps := twoIslands(t).Components()
+	if len(comps) != 2 {
+		t.Fatalf("components = %v", comps)
+	}
+	if len(comps[0]) != 3 || comps[0][0] != 1 || comps[0][2] != 3 {
+		t.Fatalf("first component = %v", comps[0])
+	}
+	if len(comps[1]) != 2 || comps[1][0] != 10 {
+		t.Fatalf("second component = %v", comps[1])
+	}
+}
+
+func TestComponentsConnectedAndEmpty(t *testing.T) {
+	if got := New("e").Components(); got != nil {
+		t.Fatalf("empty graph components = %v", got)
+	}
+	comps := paperJob(t).Components()
+	if len(comps) != 1 || len(comps[0]) != 5 {
+		t.Fatalf("connected graph components = %v", comps)
+	}
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	g := paperJob(t)
+	sub, err := g.InducedSubgraph([]NodeID{1, 2, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.Size() != 3 {
+		t.Fatalf("size = %d", sub.Size())
+	}
+	// Kept edges: 1->2, 2->5, 1->5. Dropped: everything touching 3, 4.
+	if !sub.HasEdge(1, 2) || !sub.HasEdge(2, 5) || !sub.HasEdge(1, 5) {
+		t.Fatal("missing kept edges")
+	}
+	if sub.NumEdges() != 3 {
+		t.Fatalf("edges = %d, want 3", sub.NumEdges())
+	}
+	// Node attributes preserved.
+	if sub.Node(1).Duration != g.Node(1).Duration {
+		t.Fatal("attributes lost")
+	}
+	if _, err := g.InducedSubgraph([]NodeID{1, 99}); err == nil {
+		t.Fatal("missing node accepted")
+	}
+	// Duplicate ids are tolerated.
+	dup, err := g.InducedSubgraph([]NodeID{1, 1, 2})
+	if err != nil || dup.Size() != 2 {
+		t.Fatalf("duplicate ids: %v, size %d", err, dup.Size())
+	}
+}
+
+func TestLargestComponent(t *testing.T) {
+	lc, err := twoIslands(t).LargestComponent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lc.Size() != 3 || !lc.HasEdge(1, 2) {
+		t.Fatalf("largest component: %s", lc.Summary())
+	}
+	empty, err := New("e").LargestComponent()
+	if err != nil || empty.Size() != 0 {
+		t.Fatalf("empty largest component: %v", err)
+	}
+}
+
+func TestComponentsPartitionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomDAG(rng, 1+rng.Intn(20))
+		// Randomly delete edges to fragment the graph: rebuild with a
+		// subset of edges.
+		frag := New("frag")
+		for _, id := range g.NodeIDs() {
+			_ = frag.AddNode(*g.Node(id))
+		}
+		for _, from := range g.NodeIDs() {
+			for _, to := range g.Succ(from) {
+				if rng.Float64() < 0.5 {
+					_ = frag.AddEdge(from, to)
+				}
+			}
+		}
+		comps := frag.Components()
+		// Components partition the vertex set.
+		seen := make(map[NodeID]bool)
+		total := 0
+		for _, c := range comps {
+			total += len(c)
+			for _, id := range c {
+				if seen[id] {
+					return false
+				}
+				seen[id] = true
+			}
+		}
+		if total != frag.Size() {
+			return false
+		}
+		// Each component's induced subgraph is connected and its sizes
+		// sum to the whole.
+		for _, c := range comps {
+			sub, err := frag.InducedSubgraph(c)
+			if err != nil || !sub.IsConnected() {
+				return false
+			}
+		}
+		// Single component iff IsConnected.
+		return (len(comps) == 1) == frag.IsConnected() || frag.Size() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

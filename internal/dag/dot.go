@@ -1,0 +1,74 @@
+package dag
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DOT renders the graph in Graphviz dot format, one node per task
+// labeled "<Type><ID>", matching the paper's Figure 2/8 visual style.
+// Output is deterministic: nodes and edges appear in ascending order.
+func (g *Graph) DOT() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", "job_"+g.JobID)
+	b.WriteString("  rankdir=TB;\n  node [shape=circle];\n")
+	for _, id := range g.NodeIDs() {
+		n := g.nodes[id]
+		fmt.Fprintf(&b, "  t%d [label=\"%s%d\"];\n", id, n.Type, id)
+	}
+	type edge struct{ from, to NodeID }
+	var edges []edge
+	for from, ss := range g.succ {
+		for _, to := range ss {
+			edges = append(edges, edge{from, to})
+		}
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].from != edges[j].from {
+			return edges[i].from < edges[j].from
+		}
+		return edges[i].to < edges[j].to
+	})
+	for _, e := range edges {
+		fmt.Fprintf(&b, "  t%d -> t%d;\n", e.from, e.to)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// ASCII renders the graph level by level as indented text — a cheap
+// terminal visualization used by the example programs:
+//
+//	L0: M1 M3
+//	L1: R2 R4
+//	L2: R5
+func (g *Graph) ASCII() string {
+	if g.Size() == 0 {
+		return "(empty job)\n"
+	}
+	lvl, err := g.Levels()
+	if err != nil {
+		return fmt.Sprintf("(invalid job: %v)\n", err)
+	}
+	maxL := 0
+	for _, l := range lvl {
+		if l > maxL {
+			maxL = l
+		}
+	}
+	byLevel := make([][]NodeID, maxL+1)
+	for id, l := range lvl {
+		byLevel[l] = append(byLevel[l], id)
+	}
+	var b strings.Builder
+	for l, ids := range byLevel {
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		fmt.Fprintf(&b, "L%d:", l)
+		for _, id := range ids {
+			fmt.Fprintf(&b, " %s%d", g.nodes[id].Type, id)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,47 @@
+package dag_test
+
+import (
+	"fmt"
+
+	"jobgraph/internal/dag"
+)
+
+func ExampleFromTasks() {
+	// Build the paper's example job 1001388 from its trace task names.
+	res, err := dag.FromTasks("1001388", []dag.TaskSpec{
+		{Name: "M1"}, {Name: "M3"}, {Name: "R2_1"}, {Name: "R4_3"},
+		{Name: "R5_4_3_2_1"},
+	}, dag.BuildOptions{})
+	if err != nil {
+		panic(err)
+	}
+	g := res.Graph
+	depth, _ := g.Depth()
+	width, _ := g.MaxWidth()
+	fmt.Printf("%d tasks, %d edges, critical path %d, max width %d\n",
+		g.Size(), g.NumEdges(), depth, width)
+	fmt.Print(g.ASCII())
+	// Output:
+	// 5 tasks, 6 edges, critical path 3, max width 2
+	// L0: M1 M3
+	// L1: R2 R4
+	// L2: R5
+}
+
+func ExampleGraph_TransitiveReduction() {
+	res, err := dag.FromTasks("1001388", []dag.TaskSpec{
+		{Name: "M1"}, {Name: "M3"}, {Name: "R2_1"}, {Name: "R4_3"},
+		{Name: "R5_4_3_2_1"},
+	}, dag.BuildOptions{})
+	if err != nil {
+		panic(err)
+	}
+	reduced, err := res.Graph.TransitiveReduction()
+	if err != nil {
+		panic(err)
+	}
+	// R5_4_3_2_1 names all four ancestors, but two edges are implied.
+	fmt.Printf("%d edges -> %d essential\n", res.Graph.NumEdges(), reduced.NumEdges())
+	// Output:
+	// 6 edges -> 4 essential
+}

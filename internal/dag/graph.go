@@ -1,0 +1,279 @@
+// Package dag implements the job-DAG representation at the heart of the
+// paper: each batch job is a directed acyclic graph whose vertices are
+// tasks (labeled with their framework role — Map, Reduce, Join) and whose
+// edges are start-after dependencies decoded from task names.
+//
+// The package provides construction from parsed task names, structural
+// validation, and the topological metrics the paper characterizes:
+// critical path (depth), level widths (parallelism), degree statistics
+// and a canonical structural signature used to detect recurring shapes.
+package dag
+
+import (
+	"fmt"
+	"sort"
+
+	"jobgraph/internal/taskname"
+)
+
+// NodeID identifies a task within one job graph. IDs follow the trace's
+// 1-based numbering.
+type NodeID int
+
+// Node is one task vertex with the attributes the paper attaches to
+// running tasks (§IV-A): instance count, duration and planned resources.
+type Node struct {
+	ID        NodeID
+	Type      taskname.Type
+	Duration  float64 // seconds, end-to-end for the task
+	Instances int
+	PlanCPU   float64 // normalized cores requested
+	PlanMem   float64 // normalized memory requested
+}
+
+// Graph is a directed acyclic graph for a single batch job.
+//
+// The zero value is not usable; call New.
+type Graph struct {
+	JobID string
+
+	nodes map[NodeID]*Node
+	succ  map[NodeID][]NodeID
+	pred  map[NodeID][]NodeID
+	edges int
+}
+
+// New returns an empty graph for the given job.
+func New(jobID string) *Graph {
+	return &Graph{
+		JobID: jobID,
+		nodes: make(map[NodeID]*Node),
+		succ:  make(map[NodeID][]NodeID),
+		pred:  make(map[NodeID][]NodeID),
+	}
+}
+
+// AddNode inserts a task vertex. Adding a duplicate ID is an error: task
+// ids are unique within a job in the trace, so a duplicate means the
+// caller is mixing jobs.
+func (g *Graph) AddNode(n Node) error {
+	if n.ID <= 0 {
+		return fmt.Errorf("dag: node id %d must be positive", n.ID)
+	}
+	if _, ok := g.nodes[n.ID]; ok {
+		return fmt.Errorf("dag: duplicate node %d in job %s", n.ID, g.JobID)
+	}
+	copied := n
+	g.nodes[n.ID] = &copied
+	return nil
+}
+
+// AddEdge inserts a dependency edge from → to ("to starts after from").
+// Both endpoints must exist; self-loops and duplicate edges are errors.
+// Cycle freedom is checked globally by Validate, not per edge, so bulk
+// construction stays O(V+E).
+func (g *Graph) AddEdge(from, to NodeID) error {
+	if from == to {
+		return fmt.Errorf("dag: self-loop on node %d", from)
+	}
+	if _, ok := g.nodes[from]; !ok {
+		return fmt.Errorf("dag: edge source %d not in graph", from)
+	}
+	if _, ok := g.nodes[to]; !ok {
+		return fmt.Errorf("dag: edge target %d not in graph", to)
+	}
+	for _, s := range g.succ[from] {
+		if s == to {
+			return fmt.Errorf("dag: duplicate edge %d->%d", from, to)
+		}
+	}
+	g.succ[from] = append(g.succ[from], to)
+	g.pred[to] = append(g.pred[to], from)
+	g.edges++
+	return nil
+}
+
+// HasEdge reports whether the edge from → to exists.
+func (g *Graph) HasEdge(from, to NodeID) bool {
+	for _, s := range g.succ[from] {
+		if s == to {
+			return true
+		}
+	}
+	return false
+}
+
+// Node returns the vertex with the given id, or nil.
+func (g *Graph) Node(id NodeID) *Node { return g.nodes[id] }
+
+// Size returns the number of task vertices — the paper's "job size".
+func (g *Graph) Size() int { return len(g.nodes) }
+
+// NumEdges returns the number of dependency edges.
+func (g *Graph) NumEdges() int { return g.edges }
+
+// NodeIDs returns all vertex ids in increasing order.
+func (g *Graph) NodeIDs() []NodeID {
+	ids := make([]NodeID, 0, len(g.nodes))
+	for id := range g.nodes {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Succ returns a copy of the successors of id in increasing order.
+func (g *Graph) Succ(id NodeID) []NodeID { return sortedCopy(g.succ[id]) }
+
+// Pred returns a copy of the predecessors of id in increasing order.
+func (g *Graph) Pred(id NodeID) []NodeID { return sortedCopy(g.pred[id]) }
+
+// InDegree returns the number of dependencies of id.
+func (g *Graph) InDegree(id NodeID) int { return len(g.pred[id]) }
+
+// OutDegree returns the number of dependents of id.
+func (g *Graph) OutDegree(id NodeID) int { return len(g.succ[id]) }
+
+// Sources returns vertices with in-degree zero (the paper's "input
+// vertices") in increasing order.
+func (g *Graph) Sources() []NodeID {
+	var out []NodeID
+	for id := range g.nodes {
+		if len(g.pred[id]) == 0 {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Sinks returns vertices with out-degree zero (terminal tasks) in
+// increasing order.
+func (g *Graph) Sinks() []NodeID {
+	var out []NodeID
+	for id := range g.nodes {
+		if len(g.succ[id]) == 0 {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Clone returns a deep copy of g.
+func (g *Graph) Clone() *Graph {
+	c := New(g.JobID)
+	for id, n := range g.nodes {
+		copied := *n
+		c.nodes[id] = &copied
+	}
+	for id, ss := range g.succ {
+		c.succ[id] = append([]NodeID(nil), ss...)
+	}
+	for id, ps := range g.pred {
+		c.pred[id] = append([]NodeID(nil), ps...)
+	}
+	c.edges = g.edges
+	return c
+}
+
+// Validate checks structural invariants: every edge endpoint exists,
+// predecessor/successor lists agree, and the graph is acyclic.
+func (g *Graph) Validate() error {
+	for from, ss := range g.succ {
+		if _, ok := g.nodes[from]; !ok && len(ss) > 0 {
+			return fmt.Errorf("dag: job %s: edges from unknown node %d", g.JobID, from)
+		}
+		for _, to := range ss {
+			if _, ok := g.nodes[to]; !ok {
+				return fmt.Errorf("dag: job %s: edge %d->%d to unknown node", g.JobID, from, to)
+			}
+		}
+	}
+	if _, err := g.TopoSort(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// TopoSort returns a topological order of the vertices (Kahn's
+// algorithm, ties broken by ascending id for determinism), or an error
+// naming the job when a cycle exists.
+func (g *Graph) TopoSort() ([]NodeID, error) {
+	indeg := make(map[NodeID]int, len(g.nodes))
+	for id := range g.nodes {
+		indeg[id] = len(g.pred[id])
+	}
+	frontier := make([]NodeID, 0, len(g.nodes))
+	for id, d := range indeg {
+		if d == 0 {
+			frontier = append(frontier, id)
+		}
+	}
+	sort.Slice(frontier, func(i, j int) bool { return frontier[i] < frontier[j] })
+
+	order := make([]NodeID, 0, len(g.nodes))
+	for len(frontier) > 0 {
+		// Pop the smallest id to keep the order deterministic.
+		id := frontier[0]
+		frontier = frontier[1:]
+		order = append(order, id)
+		released := make([]NodeID, 0, len(g.succ[id]))
+		for _, s := range g.succ[id] {
+			indeg[s]--
+			if indeg[s] == 0 {
+				released = append(released, s)
+			}
+		}
+		sort.Slice(released, func(i, j int) bool { return released[i] < released[j] })
+		frontier = mergeSorted(frontier, released)
+	}
+	if len(order) != len(g.nodes) {
+		return nil, fmt.Errorf("dag: job %s contains a dependency cycle", g.JobID)
+	}
+	return order, nil
+}
+
+// Reachable returns the set of vertices reachable from id by following
+// dependency edges forward (id itself excluded).
+func (g *Graph) Reachable(id NodeID) map[NodeID]bool {
+	out := make(map[NodeID]bool)
+	stack := append([]NodeID(nil), g.succ[id]...)
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if out[v] {
+			continue
+		}
+		out[v] = true
+		stack = append(stack, g.succ[v]...)
+	}
+	return out
+}
+
+func sortedCopy(xs []NodeID) []NodeID {
+	out := append([]NodeID(nil), xs...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// mergeSorted merges two ascending NodeID slices into one.
+func mergeSorted(a, b []NodeID) []NodeID {
+	if len(b) == 0 {
+		return a
+	}
+	out := make([]NodeID, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] <= b[j] {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}

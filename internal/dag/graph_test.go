@@ -1,0 +1,297 @@
+package dag
+
+import (
+	"strings"
+	"testing"
+
+	"jobgraph/internal/taskname"
+)
+
+// paperJob builds the exact example DAG from §IV-A (job 1001388):
+// tasks M1, M3, R2_1, R4_3, R5_4_3_2_1.
+func paperJob(t testing.TB) *Graph {
+	t.Helper()
+	res, err := FromTasks("1001388", []TaskSpec{
+		{Name: "M1", Duration: 10, Instances: 4},
+		{Name: "M3", Duration: 20, Instances: 2},
+		{Name: "R2_1", Duration: 5, Instances: 1},
+		{Name: "R4_3", Duration: 8, Instances: 1},
+		{Name: "R5_4_3_2_1", Duration: 3, Instances: 1},
+	}, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Graph
+}
+
+// chain builds a straight chain M1 -> R2 -> R3 -> ... of the given size.
+func chain(t testing.TB, size int) *Graph {
+	t.Helper()
+	g := New("chain")
+	for i := 1; i <= size; i++ {
+		typ := taskname.TypeReduce
+		if i == 1 {
+			typ = taskname.TypeMap
+		}
+		if err := g.AddNode(Node{ID: NodeID(i), Type: typ, Duration: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 1; i < size; i++ {
+		if err := g.AddEdge(NodeID(i), NodeID(i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+func TestFromTasksPaperExample(t *testing.T) {
+	g := paperJob(t)
+	if g.Size() != 5 {
+		t.Fatalf("size = %d, want 5", g.Size())
+	}
+	if g.NumEdges() != 6 {
+		t.Fatalf("edges = %d, want 6", g.NumEdges())
+	}
+	for _, e := range [][2]NodeID{{1, 2}, {3, 4}, {4, 5}, {3, 5}, {2, 5}, {1, 5}} {
+		if !g.HasEdge(e[0], e[1]) {
+			t.Fatalf("missing edge %d->%d", e[0], e[1])
+		}
+	}
+	if g.HasEdge(2, 1) {
+		t.Fatal("reverse edge present")
+	}
+}
+
+func TestFromTasksIndependentCounted(t *testing.T) {
+	res, err := FromTasks("j", []TaskSpec{
+		{Name: "task_abc"}, {Name: "M1"}, {Name: "MergeTask"},
+	}, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Independent != 2 || res.Graph.Size() != 1 {
+		t.Fatalf("independent=%d size=%d", res.Independent, res.Graph.Size())
+	}
+}
+
+func TestFromTasksMissingDep(t *testing.T) {
+	tasks := []TaskSpec{{Name: "R2_1"}} // depends on absent task 1
+	if _, err := FromTasks("j", tasks, BuildOptions{}); err == nil {
+		t.Fatal("missing dependency accepted")
+	}
+	res, err := FromTasks("j", tasks, BuildOptions{SkipMissingDeps: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DroppedDeps != 1 || res.Graph.NumEdges() != 0 {
+		t.Fatalf("dropped=%d edges=%d", res.DroppedDeps, res.Graph.NumEdges())
+	}
+}
+
+func TestFromTasksDuplicateTaskID(t *testing.T) {
+	if _, err := FromTasks("j", []TaskSpec{{Name: "M1"}, {Name: "R1"}}, BuildOptions{}); err == nil {
+		t.Fatal("duplicate task id accepted")
+	}
+}
+
+func TestAddNodeValidation(t *testing.T) {
+	g := New("j")
+	if err := g.AddNode(Node{ID: 0}); err == nil {
+		t.Fatal("node id 0 accepted")
+	}
+	if err := g.AddNode(Node{ID: -1}); err == nil {
+		t.Fatal("negative node id accepted")
+	}
+	if err := g.AddNode(Node{ID: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddNode(Node{ID: 1}); err == nil {
+		t.Fatal("duplicate node accepted")
+	}
+}
+
+func TestAddEdgeValidation(t *testing.T) {
+	g := New("j")
+	if err := g.AddNode(Node{ID: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddNode(Node{ID: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(1, 1); err == nil {
+		t.Fatal("self loop accepted")
+	}
+	if err := g.AddEdge(1, 3); err == nil {
+		t.Fatal("edge to missing node accepted")
+	}
+	if err := g.AddEdge(3, 1); err == nil {
+		t.Fatal("edge from missing node accepted")
+	}
+	if err := g.AddEdge(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(1, 2); err == nil {
+		t.Fatal("duplicate edge accepted")
+	}
+}
+
+func TestTopoSortChain(t *testing.T) {
+	g := chain(t, 5)
+	order, err := g.TopoSort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, id := range order {
+		if id != NodeID(i+1) {
+			t.Fatalf("order = %v", order)
+		}
+	}
+}
+
+func TestTopoSortDetectsCycle(t *testing.T) {
+	g := New("cyclic")
+	for i := 1; i <= 3; i++ {
+		if err := g.AddNode(Node{ID: NodeID(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustEdge := func(a, b NodeID) {
+		t.Helper()
+		if err := g.AddEdge(a, b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustEdge(1, 2)
+	mustEdge(2, 3)
+	mustEdge(3, 1)
+	if _, err := g.TopoSort(); err == nil {
+		t.Fatal("cycle not detected")
+	}
+	if err := g.Validate(); err == nil {
+		t.Fatal("Validate missed the cycle")
+	}
+}
+
+func TestTopoSortIsValidOrder(t *testing.T) {
+	g := paperJob(t)
+	order, err := g.TopoSort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := make(map[NodeID]int)
+	for i, id := range order {
+		pos[id] = i
+	}
+	for _, from := range g.NodeIDs() {
+		for _, to := range g.Succ(from) {
+			if pos[from] >= pos[to] {
+				t.Fatalf("edge %d->%d violated by order %v", from, to, order)
+			}
+		}
+	}
+}
+
+func TestSourcesSinks(t *testing.T) {
+	g := paperJob(t)
+	src := g.Sources()
+	if len(src) != 2 || src[0] != 1 || src[1] != 3 {
+		t.Fatalf("sources = %v", src)
+	}
+	snk := g.Sinks()
+	if len(snk) != 1 || snk[0] != 5 {
+		t.Fatalf("sinks = %v", snk)
+	}
+}
+
+func TestReachable(t *testing.T) {
+	g := paperJob(t)
+	r := g.Reachable(1)
+	if !r[2] || !r[5] || r[3] || r[4] || r[1] {
+		t.Fatalf("reachable(1) = %v", r)
+	}
+	if len(g.Reachable(5)) != 0 {
+		t.Fatal("sink should reach nothing")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	g := paperJob(t)
+	c := g.Clone()
+	c.Node(1).Duration = 999
+	if g.Node(1).Duration == 999 {
+		t.Fatal("clone shares node storage")
+	}
+	if err := c.AddNode(Node{ID: 99}); err != nil {
+		t.Fatal(err)
+	}
+	if g.Size() == c.Size() {
+		t.Fatal("clone shares node map")
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIsConnected(t *testing.T) {
+	if !paperJob(t).IsConnected() {
+		t.Fatal("paper job is connected")
+	}
+	g := New("two-parts")
+	for i := 1; i <= 4; i++ {
+		if err := g.AddNode(Node{ID: NodeID(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := g.AddEdge(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(3, 4); err != nil {
+		t.Fatal(err)
+	}
+	if g.IsConnected() {
+		t.Fatal("disconnected graph reported connected")
+	}
+	if !New("empty").IsConnected() {
+		t.Fatal("empty graph should count as connected")
+	}
+}
+
+func TestSuccPredAreCopies(t *testing.T) {
+	g := paperJob(t)
+	s := g.Succ(1)
+	s[0] = 999
+	if g.Succ(1)[0] == 999 {
+		t.Fatal("Succ returned internal storage")
+	}
+}
+
+func TestSummaryAndASCII(t *testing.T) {
+	g := paperJob(t)
+	sum := g.Summary()
+	for _, want := range []string{"1001388", "5 tasks", "6 edges", "depth 3", "width 2"} {
+		if !strings.Contains(sum, want) {
+			t.Fatalf("summary %q missing %q", sum, want)
+		}
+	}
+	art := g.ASCII()
+	if !strings.Contains(art, "L0: M1 M3") || !strings.Contains(art, "L2: R5") {
+		t.Fatalf("ascii:\n%s", art)
+	}
+	if New("e").ASCII() != "(empty job)\n" {
+		t.Fatal("empty ASCII render")
+	}
+}
+
+func TestDOTDeterministic(t *testing.T) {
+	g := paperJob(t)
+	d1, d2 := g.DOT(), g.DOT()
+	if d1 != d2 {
+		t.Fatal("DOT output not deterministic")
+	}
+	for _, want := range []string{"t1 -> t2", "t4 -> t5", `label="M1"`, `label="R5"`} {
+		if !strings.Contains(d1, want) {
+			t.Fatalf("DOT missing %q:\n%s", want, d1)
+		}
+	}
+}

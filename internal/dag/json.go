@@ -1,0 +1,83 @@
+package dag
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"jobgraph/internal/taskname"
+)
+
+// jsonGraph is the stable wire format for a job DAG: nodes and edges in
+// ascending order, task types as their single-letter names.
+type jsonGraph struct {
+	JobID string     `json:"job_id"`
+	Nodes []jsonNode `json:"nodes"`
+	Edges [][2]int   `json:"edges"`
+}
+
+type jsonNode struct {
+	ID        int     `json:"id"`
+	Type      string  `json:"type"`
+	Duration  float64 `json:"duration,omitempty"`
+	Instances int     `json:"instances,omitempty"`
+	PlanCPU   float64 `json:"plan_cpu,omitempty"`
+	PlanMem   float64 `json:"plan_mem,omitempty"`
+}
+
+// MarshalJSON encodes the graph deterministically.
+func (g *Graph) MarshalJSON() ([]byte, error) {
+	jg := jsonGraph{JobID: g.JobID}
+	for _, id := range g.NodeIDs() {
+		n := g.Node(id)
+		jg.Nodes = append(jg.Nodes, jsonNode{
+			ID:        int(n.ID),
+			Type:      n.Type.String(),
+			Duration:  n.Duration,
+			Instances: n.Instances,
+			PlanCPU:   n.PlanCPU,
+			PlanMem:   n.PlanMem,
+		})
+		for _, s := range g.Succ(id) {
+			jg.Edges = append(jg.Edges, [2]int{int(id), int(s)})
+		}
+	}
+	return json.Marshal(jg)
+}
+
+// UnmarshalJSON decodes and validates a graph. The receiver is reset.
+func (g *Graph) UnmarshalJSON(data []byte) error {
+	var jg jsonGraph
+	if err := json.Unmarshal(data, &jg); err != nil {
+		return fmt.Errorf("dag: %w", err)
+	}
+	fresh := New(jg.JobID)
+	for _, n := range jg.Nodes {
+		typ := taskname.TypeOther
+		if len(n.Type) == 1 {
+			switch n.Type[0] {
+			case 'M', 'R', 'J':
+				typ = taskname.Type(n.Type[0])
+			}
+		}
+		if err := fresh.AddNode(Node{
+			ID:        NodeID(n.ID),
+			Type:      typ,
+			Duration:  n.Duration,
+			Instances: n.Instances,
+			PlanCPU:   n.PlanCPU,
+			PlanMem:   n.PlanMem,
+		}); err != nil {
+			return err
+		}
+	}
+	for _, e := range jg.Edges {
+		if err := fresh.AddEdge(NodeID(e[0]), NodeID(e[1])); err != nil {
+			return err
+		}
+	}
+	if err := fresh.Validate(); err != nil {
+		return err
+	}
+	*g = *fresh
+	return nil
+}

@@ -1,0 +1,116 @@
+package dag
+
+import (
+	"encoding/json"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	g := paperJob(t)
+	data, err := json.Marshal(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Graph
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.JobID != g.JobID || back.Size() != g.Size() || back.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip: %s", back.Summary())
+	}
+	for _, id := range g.NodeIDs() {
+		a, b := g.Node(id), back.Node(id)
+		if a.Type != b.Type || a.Duration != b.Duration || a.Instances != b.Instances ||
+			a.PlanCPU != b.PlanCPU || a.PlanMem != b.PlanMem {
+			t.Fatalf("node %d mismatch: %+v vs %+v", id, a, b)
+		}
+		for _, s := range g.Succ(id) {
+			if !back.HasEdge(id, s) {
+				t.Fatalf("missing edge %d->%d", id, s)
+			}
+		}
+	}
+}
+
+func TestJSONDeterministic(t *testing.T) {
+	g := paperJob(t)
+	a, err := json.Marshal(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatal("non-deterministic JSON")
+	}
+	if !strings.Contains(string(a), `"job_id":"1001388"`) {
+		t.Fatalf("json: %s", a)
+	}
+}
+
+func TestJSONRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomDAG(rng, 1+rng.Intn(15))
+		data, err := json.Marshal(g)
+		if err != nil {
+			return false
+		}
+		var back Graph
+		if err := json.Unmarshal(data, &back); err != nil {
+			return false
+		}
+		return back.CanonicalSignature() == g.CanonicalSignature() &&
+			back.Size() == g.Size() && back.NumEdges() == g.NumEdges()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJSONRejectsInvalid(t *testing.T) {
+	cases := map[string]string{
+		"cycle":          `{"job_id":"j","nodes":[{"id":1,"type":"M"},{"id":2,"type":"R"}],"edges":[[1,2],[2,1]]}`,
+		"self loop":      `{"job_id":"j","nodes":[{"id":1,"type":"M"}],"edges":[[1,1]]}`,
+		"missing target": `{"job_id":"j","nodes":[{"id":1,"type":"M"}],"edges":[[1,2]]}`,
+		"duplicate node": `{"job_id":"j","nodes":[{"id":1,"type":"M"},{"id":1,"type":"R"}],"edges":[]}`,
+		"bad id":         `{"job_id":"j","nodes":[{"id":0,"type":"M"}],"edges":[]}`,
+		"not json":       `{{{`,
+	}
+	for name, data := range cases {
+		var g Graph
+		if err := json.Unmarshal([]byte(data), &g); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestJSONUnknownTypeBecomesOther(t *testing.T) {
+	data := `{"job_id":"j","nodes":[{"id":1,"type":"X"}],"edges":[]}`
+	var g Graph
+	if err := json.Unmarshal([]byte(data), &g); err != nil {
+		t.Fatal(err)
+	}
+	if g.Node(1).Type.String() != "?" {
+		t.Fatalf("type = %s", g.Node(1).Type)
+	}
+}
+
+func TestJSONEmptyGraph(t *testing.T) {
+	data, err := json.Marshal(New("empty"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Graph
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Size() != 0 || back.JobID != "empty" {
+		t.Fatalf("empty round trip: %s", back.Summary())
+	}
+}

@@ -1,0 +1,248 @@
+package dag
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Levels assigns each vertex its longest-path layer: sources are level 0
+// and every other vertex sits one past its deepest predecessor. This is
+// the layering behind the paper's critical-path and width measurements.
+func (g *Graph) Levels() (map[NodeID]int, error) {
+	order, err := g.TopoSort()
+	if err != nil {
+		return nil, err
+	}
+	lvl := make(map[NodeID]int, len(order))
+	for _, id := range order {
+		l := 0
+		for _, p := range g.pred[id] {
+			if lvl[p]+1 > l {
+				l = lvl[p] + 1
+			}
+		}
+		lvl[id] = l
+	}
+	return lvl, nil
+}
+
+// Depth returns the critical-path length measured in vertices — the
+// paper's "job critical path" (§V-A), which ranges 2–8 in its sample.
+// The empty graph has depth 0; a single task has depth 1.
+func (g *Graph) Depth() (int, error) {
+	if g.Size() == 0 {
+		return 0, nil
+	}
+	lvl, err := g.Levels()
+	if err != nil {
+		return 0, err
+	}
+	maxL := 0
+	for _, l := range lvl {
+		if l > maxL {
+			maxL = l
+		}
+	}
+	return maxL + 1, nil
+}
+
+// WidthProfile returns the number of vertices per level, index = level.
+func (g *Graph) WidthProfile() ([]int, error) {
+	if g.Size() == 0 {
+		return nil, nil
+	}
+	lvl, err := g.Levels()
+	if err != nil {
+		return nil, err
+	}
+	maxL := 0
+	for _, l := range lvl {
+		if l > maxL {
+			maxL = l
+		}
+	}
+	widths := make([]int, maxL+1)
+	for _, l := range lvl {
+		widths[l]++
+	}
+	return widths, nil
+}
+
+// MaxWidth returns the maximum number of same-level tasks — the paper's
+// "job maximum width", its proxy for attainable parallelism (§V-A).
+func (g *Graph) MaxWidth() (int, error) {
+	widths, err := g.WidthProfile()
+	if err != nil {
+		return 0, err
+	}
+	maxW := 0
+	for _, w := range widths {
+		if w > maxW {
+			maxW = w
+		}
+	}
+	return maxW, nil
+}
+
+// CriticalPath returns one longest vertex path (by hop count) and its
+// length. Ties are broken toward smaller ids for determinism.
+func (g *Graph) CriticalPath() ([]NodeID, error) {
+	if g.Size() == 0 {
+		return nil, nil
+	}
+	order, err := g.TopoSort()
+	if err != nil {
+		return nil, err
+	}
+	best := make(map[NodeID]int, len(order)) // longest path ending at v, in vertices
+	prev := make(map[NodeID]NodeID, len(order))
+	for _, id := range order {
+		best[id] = 1
+		for _, p := range sortedCopy(g.pred[id]) {
+			if best[p]+1 > best[id] {
+				best[id] = best[p] + 1
+				prev[id] = p
+			}
+		}
+	}
+	var end NodeID
+	endLen := 0
+	for _, id := range order {
+		if best[id] > endLen || (best[id] == endLen && (endLen == 0 || id < end)) {
+			end = id
+			endLen = best[id]
+		}
+	}
+	path := make([]NodeID, 0, endLen)
+	for v := end; ; {
+		path = append(path, v)
+		p, ok := prev[v]
+		if !ok {
+			break
+		}
+		v = p
+	}
+	// Reverse into source→sink order.
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path, nil
+}
+
+// CriticalPathDuration returns the largest sum of node durations along
+// any dependency path — the lower bound on job completion time given
+// unlimited parallelism. Used by the scheduling application.
+func (g *Graph) CriticalPathDuration() (float64, error) {
+	order, err := g.TopoSort()
+	if err != nil {
+		return 0, err
+	}
+	finish := make(map[NodeID]float64, len(order))
+	var maxFinish float64
+	for _, id := range order {
+		var start float64
+		for _, p := range g.pred[id] {
+			if finish[p] > start {
+				start = finish[p]
+			}
+		}
+		finish[id] = start + g.nodes[id].Duration
+		if finish[id] > maxFinish {
+			maxFinish = finish[id]
+		}
+	}
+	return maxFinish, nil
+}
+
+// DegreeStats summarizes vertex degrees for the characterization tables.
+type DegreeStats struct {
+	MaxIn, MaxOut   int
+	MeanIn, MeanOut float64
+}
+
+// Degrees computes degree statistics. For a DAG, MeanIn == MeanOut ==
+// edges/vertices.
+func (g *Graph) Degrees() DegreeStats {
+	var s DegreeStats
+	n := g.Size()
+	if n == 0 {
+		return s
+	}
+	for id := range g.nodes {
+		if d := len(g.pred[id]); d > s.MaxIn {
+			s.MaxIn = d
+		}
+		if d := len(g.succ[id]); d > s.MaxOut {
+			s.MaxOut = d
+		}
+	}
+	s.MeanIn = float64(g.edges) / float64(n)
+	s.MeanOut = s.MeanIn
+	return s
+}
+
+// TypeCounts returns the number of tasks per framework role — the M/J/R
+// census of Figure 6.
+func (g *Graph) TypeCounts() map[string]int {
+	out := make(map[string]int)
+	for _, n := range g.nodes {
+		out[n.Type.String()]++
+	}
+	return out
+}
+
+// IsConnected reports whether the underlying undirected graph is a single
+// weakly connected component. The paper's WL kernel is defined over
+// connected graphs; disconnected jobs are rare and filtered upstream.
+func (g *Graph) IsConnected() bool {
+	if g.Size() <= 1 {
+		return true
+	}
+	// Undirected BFS from an arbitrary vertex.
+	var start NodeID
+	for id := range g.nodes {
+		start = id
+		break
+	}
+	seen := map[NodeID]bool{start: true}
+	queue := []NodeID{start}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, nb := range g.succ[v] {
+			if !seen[nb] {
+				seen[nb] = true
+				queue = append(queue, nb)
+			}
+		}
+		for _, nb := range g.pred[v] {
+			if !seen[nb] {
+				seen[nb] = true
+				queue = append(queue, nb)
+			}
+		}
+	}
+	return len(seen) == g.Size()
+}
+
+// Summary renders a one-line structural description for logs and tables.
+func (g *Graph) Summary() string {
+	depth, err := g.Depth()
+	if err != nil {
+		return fmt.Sprintf("job %s: invalid (%v)", g.JobID, err)
+	}
+	width, _ := g.MaxWidth()
+	return fmt.Sprintf("job %s: %d tasks, %d edges, depth %d, width %d",
+		g.JobID, g.Size(), g.NumEdges(), depth, width)
+}
+
+// SortedTypeKeys returns the type labels present, sorted, for stable
+// iteration in reports.
+func SortedTypeKeys(counts map[string]int) []string {
+	keys := make([]string, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

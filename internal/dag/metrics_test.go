@@ -1,0 +1,240 @@
+package dag
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"jobgraph/internal/taskname"
+)
+
+func TestLevelsPaperExample(t *testing.T) {
+	g := paperJob(t)
+	lvl, err := g.Levels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[NodeID]int{1: 0, 3: 0, 2: 1, 4: 1, 5: 2}
+	for id, w := range want {
+		if lvl[id] != w {
+			t.Fatalf("levels = %v, want %v", lvl, want)
+		}
+	}
+}
+
+func TestDepthAndWidth(t *testing.T) {
+	g := paperJob(t)
+	d, err := g.Depth()
+	if err != nil || d != 3 {
+		t.Fatalf("depth = %d, %v; want 3", d, err)
+	}
+	w, err := g.MaxWidth()
+	if err != nil || w != 2 {
+		t.Fatalf("width = %d, %v; want 2", w, err)
+	}
+	wp, _ := g.WidthProfile()
+	if len(wp) != 3 || wp[0] != 2 || wp[1] != 2 || wp[2] != 1 {
+		t.Fatalf("width profile = %v", wp)
+	}
+}
+
+func TestDepthEmptyAndSingle(t *testing.T) {
+	d, err := New("e").Depth()
+	if err != nil || d != 0 {
+		t.Fatalf("empty depth = %d, %v", d, err)
+	}
+	g := New("s")
+	if err := g.AddNode(Node{ID: 1}); err != nil {
+		t.Fatal(err)
+	}
+	d, err = g.Depth()
+	if err != nil || d != 1 {
+		t.Fatalf("single depth = %d, %v", d, err)
+	}
+	w, _ := g.MaxWidth()
+	if w != 1 {
+		t.Fatalf("single width = %d", w)
+	}
+}
+
+func TestChainMetrics(t *testing.T) {
+	g := chain(t, 8)
+	d, _ := g.Depth()
+	w, _ := g.MaxWidth()
+	if d != 8 || w != 1 {
+		t.Fatalf("chain(8): depth=%d width=%d, want 8, 1", d, w)
+	}
+}
+
+// invertedTriangle builds k map sources all feeding one reduce sink —
+// the paper's archetypal inverted-triangle (simple MapReduce) shape.
+func invertedTriangle(t testing.TB, k int) *Graph {
+	t.Helper()
+	g := New("invtri")
+	sink := NodeID(k + 1)
+	if err := g.AddNode(Node{ID: sink, Type: taskname.TypeReduce}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= k; i++ {
+		if err := g.AddNode(Node{ID: NodeID(i), Type: taskname.TypeMap}); err != nil {
+			t.Fatal(err)
+		}
+		if err := g.AddEdge(NodeID(i), sink); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+func TestInvertedTriangleMetrics(t *testing.T) {
+	// Paper's extreme case: 30 of 31 tasks in parallel, one reducer.
+	g := invertedTriangle(t, 30)
+	d, _ := g.Depth()
+	w, _ := g.MaxWidth()
+	if d != 2 || w != 30 {
+		t.Fatalf("depth=%d width=%d, want 2, 30", d, w)
+	}
+}
+
+func TestCriticalPath(t *testing.T) {
+	g := paperJob(t)
+	path, err := g.CriticalPath()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != 3 {
+		t.Fatalf("critical path = %v, want length 3", path)
+	}
+	// Path must follow edges.
+	for i := 0; i+1 < len(path); i++ {
+		if !g.HasEdge(path[i], path[i+1]) {
+			t.Fatalf("critical path %v uses missing edge", path)
+		}
+	}
+	if path[len(path)-1] != 5 {
+		t.Fatalf("critical path should end at the sink: %v", path)
+	}
+	empty, err := New("e").CriticalPath()
+	if err != nil || empty != nil {
+		t.Fatalf("empty critical path = %v, %v", empty, err)
+	}
+}
+
+func TestCriticalPathDuration(t *testing.T) {
+	g := paperJob(t)
+	// Longest duration path: M3(20) -> R4(8) -> R5(3) = 31.
+	got, err := g.CriticalPathDuration()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 31 {
+		t.Fatalf("critical path duration = %g, want 31", got)
+	}
+}
+
+func TestDegrees(t *testing.T) {
+	g := paperJob(t)
+	s := g.Degrees()
+	if s.MaxIn != 4 { // R5 has 4 predecessors
+		t.Fatalf("maxIn = %d, want 4", s.MaxIn)
+	}
+	if s.MaxOut != 2 { // M1/M3 feed their reduce and R5
+		t.Fatalf("maxOut = %d, want 2", s.MaxOut)
+	}
+	if s.MeanIn != 6.0/5.0 || s.MeanOut != s.MeanIn {
+		t.Fatalf("mean degrees = %+v", s)
+	}
+	if z := New("e").Degrees(); z.MaxIn != 0 || z.MeanIn != 0 {
+		t.Fatalf("empty degrees = %+v", z)
+	}
+}
+
+func TestTypeCounts(t *testing.T) {
+	g := paperJob(t)
+	c := g.TypeCounts()
+	if c["M"] != 2 || c["R"] != 3 {
+		t.Fatalf("type counts = %v", c)
+	}
+	keys := SortedTypeKeys(c)
+	if len(keys) != 2 || keys[0] != "M" || keys[1] != "R" {
+		t.Fatalf("sorted keys = %v", keys)
+	}
+}
+
+// randomDAG builds a random DAG where edges only go from lower to higher
+// ids, guaranteeing acyclicity by construction.
+func randomDAG(rng *rand.Rand, n int) *Graph {
+	g := New("rand")
+	types := []taskname.Type{taskname.TypeMap, taskname.TypeReduce, taskname.TypeJoin}
+	for i := 1; i <= n; i++ {
+		_ = g.AddNode(Node{ID: NodeID(i), Type: types[rng.Intn(3)], Duration: rng.Float64() * 100})
+	}
+	for i := 1; i <= n; i++ {
+		for j := i + 1; j <= n; j++ {
+			if rng.Float64() < 0.3 {
+				_ = g.AddEdge(NodeID(i), NodeID(j))
+			}
+		}
+	}
+	return g
+}
+
+func TestMetricInvariantsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomDAG(rng, 1+rng.Intn(20))
+		if err := g.Validate(); err != nil {
+			return false
+		}
+		depth, err1 := g.Depth()
+		width, err2 := g.MaxWidth()
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		n := g.Size()
+		// Depth and width both lie in [1, n] and cannot multiply to
+		// less than n (each level holds at most `width` nodes).
+		if depth < 1 || depth > n || width < 1 || width > n {
+			return false
+		}
+		if depth*width < n {
+			return false
+		}
+		path, err := g.CriticalPath()
+		if err != nil || len(path) != depth {
+			return false
+		}
+		for i := 0; i+1 < len(path); i++ {
+			if !g.HasEdge(path[i], path[i+1]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCriticalPathDurationAtLeastMaxNode(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomDAG(rng, 1+rng.Intn(15))
+		cpd, err := g.CriticalPathDuration()
+		if err != nil {
+			return false
+		}
+		var maxDur, sumDur float64
+		for _, id := range g.NodeIDs() {
+			d := g.Node(id).Duration
+			if d > maxDur {
+				maxDur = d
+			}
+			sumDur += d
+		}
+		return cpd >= maxDur-1e-9 && cpd <= sumDur+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

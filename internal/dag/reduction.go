@@ -1,0 +1,68 @@
+package dag
+
+// TransitiveReduction returns a copy of g with every edge removed whose
+// endpoints remain connected through a longer path — the unique minimal
+// DAG with g's reachability relation.
+//
+// Trace task names over-specify dependencies: the paper's example task
+// R5_4_3_2_1 lists all four upstream tasks even though 2 already
+// depends on 1 and 4 on 3, so edges 1→5 and 3→5 are transitively
+// implied. Reduction separates the *essential* precedence structure
+// from the naming convention's redundancy, and the reduction ratio is
+// itself a workload characteristic (see the redundant-edge experiment).
+func (g *Graph) TransitiveReduction() (*Graph, error) {
+	if _, err := g.TopoSort(); err != nil {
+		return nil, err
+	}
+	out := New(g.JobID)
+	for _, id := range g.NodeIDs() {
+		if err := out.AddNode(*g.Node(id)); err != nil {
+			return nil, err
+		}
+	}
+	for _, u := range g.NodeIDs() {
+		for _, v := range g.Succ(u) {
+			if !reachableAvoiding(g, u, v) {
+				if err := out.AddEdge(u, v); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// reachableAvoiding reports whether v is reachable from u without using
+// the direct edge u→v.
+func reachableAvoiding(g *Graph, u, v NodeID) bool {
+	stack := make([]NodeID, 0, len(g.succ[u]))
+	for _, s := range g.succ[u] {
+		if s != v {
+			stack = append(stack, s)
+		}
+	}
+	seen := make(map[NodeID]bool, len(g.nodes))
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if x == v {
+			return true
+		}
+		if seen[x] {
+			continue
+		}
+		seen[x] = true
+		stack = append(stack, g.succ[x]...)
+	}
+	return false
+}
+
+// RedundantEdges returns the number of transitively implied edges in g:
+// NumEdges() minus the reduced graph's edge count.
+func (g *Graph) RedundantEdges() (int, error) {
+	r, err := g.TransitiveReduction()
+	if err != nil {
+		return 0, err
+	}
+	return g.NumEdges() - r.NumEdges(), nil
+}

@@ -1,0 +1,134 @@
+package dag
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTransitiveReductionPaperExample(t *testing.T) {
+	// R5_4_3_2_1 over-specifies: with 1->2 and 3->4 present, edges
+	// 1->5 and 3->5 are implied by 2->5 and 4->5.
+	g := paperJob(t)
+	r, err := g.TransitiveReduction()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NumEdges() != 4 {
+		t.Fatalf("reduced edges = %d, want 4", r.NumEdges())
+	}
+	for _, e := range [][2]NodeID{{1, 2}, {3, 4}, {2, 5}, {4, 5}} {
+		if !r.HasEdge(e[0], e[1]) {
+			t.Fatalf("essential edge %d->%d removed", e[0], e[1])
+		}
+	}
+	for _, e := range [][2]NodeID{{1, 5}, {3, 5}} {
+		if r.HasEdge(e[0], e[1]) {
+			t.Fatalf("redundant edge %d->%d kept", e[0], e[1])
+		}
+	}
+	n, err := g.RedundantEdges()
+	if err != nil || n != 2 {
+		t.Fatalf("redundant = %d, %v; want 2", n, err)
+	}
+}
+
+func TestTransitiveReductionChainUnchanged(t *testing.T) {
+	g := chain(t, 6)
+	r, err := g.TransitiveReduction()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NumEdges() != g.NumEdges() {
+		t.Fatal("chain has no redundant edges")
+	}
+}
+
+func TestTransitiveReductionEmptyAndSingle(t *testing.T) {
+	if r, err := New("e").TransitiveReduction(); err != nil || r.Size() != 0 {
+		t.Fatalf("empty reduction: %v", err)
+	}
+}
+
+func TestTransitiveReductionCyclicRejected(t *testing.T) {
+	g := New("c")
+	for i := 1; i <= 2; i++ {
+		if err := g.AddNode(Node{ID: NodeID(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := g.AddEdge(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(2, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.TransitiveReduction(); err == nil {
+		t.Fatal("cyclic graph accepted")
+	}
+}
+
+// reachSet computes the full reachability relation of a graph.
+func reachSet(g *Graph) map[[2]NodeID]bool {
+	out := make(map[[2]NodeID]bool)
+	for _, u := range g.NodeIDs() {
+		for v := range g.Reachable(u) {
+			out[[2]NodeID{u, v}] = true
+		}
+	}
+	return out
+}
+
+func TestTransitiveReductionPreservesReachabilityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomDAG(rng, 1+rng.Intn(15))
+		r, err := g.TransitiveReduction()
+		if err != nil {
+			return false
+		}
+		// Same reachability, no more edges, still a valid DAG.
+		if r.NumEdges() > g.NumEdges() {
+			return false
+		}
+		if err := r.Validate(); err != nil {
+			return false
+		}
+		a, b := reachSet(g), reachSet(r)
+		if len(a) != len(b) {
+			return false
+		}
+		for k := range a {
+			if !b[k] {
+				return false
+			}
+		}
+		// Idempotent: reducing again removes nothing.
+		rr, err := r.TransitiveReduction()
+		if err != nil {
+			return false
+		}
+		return rr.NumEdges() == r.NumEdges()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransitiveReductionPreservesMetricsProperty(t *testing.T) {
+	// Depth (longest path) is invariant under transitive reduction.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomDAG(rng, 1+rng.Intn(12))
+		r, err := g.TransitiveReduction()
+		if err != nil {
+			return false
+		}
+		d0, err1 := g.Depth()
+		d1, err2 := r.Depth()
+		return err1 == nil && err2 == nil && d0 == d1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

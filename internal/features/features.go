@@ -1,0 +1,152 @@
+// Package features extracts per-job statistical feature vectors — the
+// representation used by the prior-work baseline the paper contrasts
+// with graph learning: clustering jobs by scalar properties (size,
+// depth, parallelism, resource demand, duration) instead of topology.
+package features
+
+import (
+	"fmt"
+	"math"
+
+	"jobgraph/internal/dag"
+)
+
+// JobFeatures is the scalar profile of one job DAG.
+type JobFeatures struct {
+	Size     int // number of tasks
+	Edges    int
+	Depth    int // critical path in tasks
+	MaxWidth int // maximum parallelism
+	MaxIn    int
+	MaxOut   int
+
+	MapTasks    int
+	ReduceTasks int
+	JoinTasks   int
+
+	TotalInstances int
+	TotalDuration  float64 // sum of task durations
+	CriticalPath   float64 // duration along the critical path
+	PlanCPU        float64 // summed CPU request
+	PlanMem        float64 // summed memory request
+}
+
+// Extract computes the features of g.
+func Extract(g *dag.Graph) (JobFeatures, error) {
+	var f JobFeatures
+	depth, err := g.Depth()
+	if err != nil {
+		return f, fmt.Errorf("features: %w", err)
+	}
+	width, err := g.MaxWidth()
+	if err != nil {
+		return f, fmt.Errorf("features: %w", err)
+	}
+	cpd, err := g.CriticalPathDuration()
+	if err != nil {
+		return f, fmt.Errorf("features: %w", err)
+	}
+	deg := g.Degrees()
+	f.Size = g.Size()
+	f.Edges = g.NumEdges()
+	f.Depth = depth
+	f.MaxWidth = width
+	f.MaxIn = deg.MaxIn
+	f.MaxOut = deg.MaxOut
+	f.CriticalPath = cpd
+	types := g.TypeCounts()
+	f.MapTasks = types["M"]
+	f.ReduceTasks = types["R"]
+	f.JoinTasks = types["J"]
+	for _, id := range g.NodeIDs() {
+		n := g.Node(id)
+		f.TotalInstances += n.Instances
+		f.TotalDuration += n.Duration
+		f.PlanCPU += n.PlanCPU
+		f.PlanMem += n.PlanMem
+	}
+	return f, nil
+}
+
+// Vector flattens the features into the fixed order used by the
+// baseline k-means clustering.
+func (f JobFeatures) Vector() []float64 {
+	return []float64{
+		float64(f.Size),
+		float64(f.Edges),
+		float64(f.Depth),
+		float64(f.MaxWidth),
+		float64(f.MaxIn),
+		float64(f.MaxOut),
+		float64(f.MapTasks),
+		float64(f.ReduceTasks),
+		float64(f.JoinTasks),
+		float64(f.TotalInstances),
+		f.TotalDuration,
+		f.CriticalPath,
+		f.PlanCPU,
+		f.PlanMem,
+	}
+}
+
+// VectorDim is the length of Vector().
+const VectorDim = 14
+
+// Matrix extracts and flattens features for a set of graphs.
+func Matrix(graphs []*dag.Graph) ([][]float64, error) {
+	out := make([][]float64, len(graphs))
+	for i, g := range graphs {
+		f, err := Extract(g)
+		if err != nil {
+			return nil, fmt.Errorf("features: graph %d (%s): %w", i, g.JobID, err)
+		}
+		out[i] = f.Vector()
+	}
+	return out, nil
+}
+
+// Standardize z-scores each column in place (zero mean, unit variance;
+// constant columns become all zeros) so k-means is not dominated by
+// large-magnitude features like durations. Returns the per-column means
+// and standard deviations for applying the same transform to new data.
+func Standardize(points [][]float64) (means, stds []float64, err error) {
+	if len(points) == 0 {
+		return nil, nil, fmt.Errorf("features: standardize over zero points")
+	}
+	d := len(points[0])
+	for i, p := range points {
+		if len(p) != d {
+			return nil, nil, fmt.Errorf("features: point %d has dim %d, want %d", i, len(p), d)
+		}
+	}
+	means = make([]float64, d)
+	stds = make([]float64, d)
+	n := float64(len(points))
+	for _, p := range points {
+		for j, v := range p {
+			means[j] += v
+		}
+	}
+	for j := range means {
+		means[j] /= n
+	}
+	for _, p := range points {
+		for j, v := range p {
+			dv := v - means[j]
+			stds[j] += dv * dv
+		}
+	}
+	for j := range stds {
+		stds[j] = math.Sqrt(stds[j] / n)
+	}
+	for _, p := range points {
+		for j := range p {
+			if stds[j] > 0 {
+				p[j] = (p[j] - means[j]) / stds[j]
+			} else {
+				p[j] = 0
+			}
+		}
+	}
+	return means, stds, nil
+}

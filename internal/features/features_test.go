@@ -1,0 +1,152 @@
+package features
+
+import (
+	"math"
+	"testing"
+
+	"jobgraph/internal/dag"
+	"jobgraph/internal/taskname"
+)
+
+func paperJob(t testing.TB) *dag.Graph {
+	t.Helper()
+	res, err := dag.FromTasks("1001388", []dag.TaskSpec{
+		{Name: "M1", Duration: 10, Instances: 4, PlanCPU: 100, PlanMem: 0.5},
+		{Name: "M3", Duration: 20, Instances: 2, PlanCPU: 100, PlanMem: 0.5},
+		{Name: "R2_1", Duration: 5, Instances: 1, PlanCPU: 50, PlanMem: 0.25},
+		{Name: "R4_3", Duration: 8, Instances: 1, PlanCPU: 50, PlanMem: 0.25},
+		{Name: "R5_4_3_2_1", Duration: 3, Instances: 1, PlanCPU: 50, PlanMem: 0.25},
+	}, dag.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Graph
+}
+
+func TestExtract(t *testing.T) {
+	f, err := Extract(paperJob(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Size != 5 || f.Edges != 6 || f.Depth != 3 || f.MaxWidth != 2 {
+		t.Fatalf("structure: %+v", f)
+	}
+	if f.MapTasks != 2 || f.ReduceTasks != 3 || f.JoinTasks != 0 {
+		t.Fatalf("types: %+v", f)
+	}
+	if f.TotalInstances != 9 {
+		t.Fatalf("instances = %d", f.TotalInstances)
+	}
+	if f.TotalDuration != 46 {
+		t.Fatalf("duration = %g", f.TotalDuration)
+	}
+	if f.CriticalPath != 31 { // M3(20)->R4(8)->R5(3)
+		t.Fatalf("critical path = %g", f.CriticalPath)
+	}
+	if f.PlanCPU != 350 || f.PlanMem != 1.75 {
+		t.Fatalf("resources: %+v", f)
+	}
+}
+
+func TestVectorDim(t *testing.T) {
+	f, err := Extract(paperJob(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := f.Vector()
+	if len(v) != VectorDim {
+		t.Fatalf("vector dim = %d, want %d", len(v), VectorDim)
+	}
+	if v[0] != 5 || v[2] != 3 {
+		t.Fatalf("vector layout: %v", v)
+	}
+}
+
+func TestMatrix(t *testing.T) {
+	g := paperJob(t)
+	m, err := Matrix([]*dag.Graph{g, g})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 2 || len(m[0]) != VectorDim {
+		t.Fatalf("matrix shape %dx%d", len(m), len(m[0]))
+	}
+}
+
+func TestExtractEmptyGraph(t *testing.T) {
+	f, err := Extract(dag.New("e"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Size != 0 || f.Depth != 0 {
+		t.Fatalf("empty features: %+v", f)
+	}
+}
+
+func TestStandardize(t *testing.T) {
+	pts := [][]float64{{1, 100, 5}, {3, 100, 15}, {5, 100, 25}}
+	means, stds, err := Standardize(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if means[0] != 3 || means[1] != 100 || means[2] != 15 {
+		t.Fatalf("means = %v", means)
+	}
+	// Constant column becomes zeros.
+	for i := range pts {
+		if pts[i][1] != 0 {
+			t.Fatalf("constant column not zeroed: %v", pts[i])
+		}
+	}
+	// Standardized columns: mean 0, unit population variance.
+	for col := 0; col < 3; col++ {
+		if col == 1 {
+			continue
+		}
+		var mean, ss float64
+		for i := range pts {
+			mean += pts[i][col]
+		}
+		mean /= 3
+		for i := range pts {
+			d := pts[i][col] - mean
+			ss += d * d
+		}
+		if math.Abs(mean) > 1e-12 || math.Abs(ss/3-1) > 1e-12 {
+			t.Fatalf("col %d not standardized: mean=%g var=%g", col, mean, ss/3)
+		}
+	}
+	if stds[1] != 0 {
+		t.Fatalf("constant column std = %g", stds[1])
+	}
+}
+
+func TestStandardizeValidation(t *testing.T) {
+	if _, _, err := Standardize(nil); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	if _, _, err := Standardize([][]float64{{1, 2}, {1}}); err == nil {
+		t.Fatal("ragged input accepted")
+	}
+}
+
+func TestExtractJoinCounts(t *testing.T) {
+	g := dag.New("j")
+	for i, typ := range []taskname.Type{taskname.TypeMap, taskname.TypeMap, taskname.TypeJoin, taskname.TypeReduce} {
+		if err := g.AddNode(dag.Node{ID: dag.NodeID(i + 1), Type: typ}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, e := range [][2]dag.NodeID{{1, 3}, {2, 3}, {3, 4}} {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f, err := Extract(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.JoinTasks != 1 || f.MaxIn != 2 {
+		t.Fatalf("join features: %+v", f)
+	}
+}

@@ -1,0 +1,190 @@
+package ged
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"jobgraph/internal/dag"
+)
+
+func TestHungarianKnown(t *testing.T) {
+	// Classic 3x3 with unique optimum 5: (0,1)=1, (1,0)=2, (2,2)=2.
+	cost := [][]float64{
+		{4, 1, 3},
+		{2, 0, 5},
+		{3, 2, 2},
+	}
+	got := hungarian(cost)
+	total := 0.0
+	for i, j := range got {
+		total += cost[i][j]
+	}
+	if total != 5 {
+		t.Fatalf("assignment %v cost %g, want 5", got, total)
+	}
+}
+
+func TestHungarianIsPermutationProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(8)
+		cost := make([][]float64, n)
+		for i := range cost {
+			cost[i] = make([]float64, n)
+			for j := range cost[i] {
+				cost[i][j] = rng.Float64() * 10
+			}
+		}
+		got := hungarian(cost)
+		if len(got) != n {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, j := range got {
+			if j < 0 || j >= n || seen[j] {
+				return false
+			}
+			seen[j] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHungarianOptimalBruteForceProperty(t *testing.T) {
+	// Compare against brute force for n <= 5.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(5)
+		cost := make([][]float64, n)
+		for i := range cost {
+			cost[i] = make([]float64, n)
+			for j := range cost[i] {
+				cost[i][j] = float64(rng.Intn(20))
+			}
+		}
+		got := hungarian(cost)
+		var gotCost float64
+		for i, j := range got {
+			gotCost += cost[i][j]
+		}
+		best := math.MaxFloat64
+		perm := make([]int, n)
+		for i := range perm {
+			perm[i] = i
+		}
+		var rec func(k int, used []bool, acc float64)
+		rec = func(k int, used []bool, acc float64) {
+			if acc >= best {
+				return
+			}
+			if k == n {
+				best = acc
+				return
+			}
+			for j := 0; j < n; j++ {
+				if !used[j] {
+					used[j] = true
+					rec(k+1, used, acc+cost[k][j])
+					used[j] = false
+				}
+			}
+		}
+		rec(0, make([]bool, n), 0)
+		return math.Abs(gotCost-best) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBipartiteIdenticalGraphsZero(t *testing.T) {
+	a := mustChain(t, "a", tM, tR, tR)
+	b := mustChain(t, "b", tM, tR, tR)
+	d, err := Bipartite(a, b, DefaultCosts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 0 {
+		t.Fatalf("bipartite(identical) = %g, want 0", d)
+	}
+}
+
+func TestBipartiteEmptyGraphs(t *testing.T) {
+	e := dag.New("e")
+	b := mustChain(t, "b", tM, tR)
+	d, err := Bipartite(e, b, DefaultCosts())
+	if err != nil || d != 3 {
+		t.Fatalf("bipartite(empty, chain2) = %g, %v; want 3", d, err)
+	}
+	d, err = Bipartite(b, e, DefaultCosts())
+	if err != nil || d != 3 {
+		t.Fatalf("bipartite(chain2, empty) = %g, %v; want 3", d, err)
+	}
+}
+
+func TestBipartiteSandwichedProperty(t *testing.T) {
+	// Exact <= Bipartite <= MaxCost for every small random pair.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randomSmallDAG(rng, "a", 1+rng.Intn(6))
+		b := randomSmallDAG(rng, "b", 1+rng.Intn(6))
+		exact, err1 := Exact(a, b, DefaultCosts(), 0)
+		bp, err2 := Bipartite(a, b, DefaultCosts())
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return bp >= exact-1e-9 && bp <= MaxCost(a, b, DefaultCosts())+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBipartiteScalesToLargeGraphs(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := randomSmallDAG(rng, "a", 60)
+	b := randomSmallDAG(rng, "b", 55)
+	d, err := Bipartite(a, b, DefaultCosts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d < 0 || d > MaxCost(a, b, DefaultCosts()) {
+		t.Fatalf("bipartite distance %g out of range", d)
+	}
+}
+
+func TestBipartiteCostValidation(t *testing.T) {
+	a := dag.New("a")
+	if _, err := Bipartite(a, a, Costs{NodeSub: -1}); err == nil {
+		t.Fatal("negative cost accepted")
+	}
+}
+
+func TestBipartiteCloseToExactOnJobShapes(t *testing.T) {
+	// On typical job shapes (chains, triangles) the approximation
+	// should usually hit the optimum; assert the mean gap stays small.
+	rng := rand.New(rand.NewSource(9))
+	var gap, total float64
+	for i := 0; i < 30; i++ {
+		a := randomSmallDAG(rng, "a", 2+rng.Intn(5))
+		b := randomSmallDAG(rng, "b", 2+rng.Intn(5))
+		exact, err := Exact(a, b, DefaultCosts(), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bp, err := Bipartite(a, b, DefaultCosts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		gap += bp - exact
+		total += exact
+	}
+	if total > 0 && gap/total > 0.35 {
+		t.Fatalf("mean relative gap %.2f too large", gap/total)
+	}
+}

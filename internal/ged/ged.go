@@ -1,0 +1,327 @@
+// Package ged implements graph edit distance between job DAGs — the
+// conventional similarity measure the paper rejects for its exponential
+// cost (§V-C: "the computational cost is exponential depending on the
+// number of nodes, which is less effective"). It exists as a measured
+// baseline: the ablation benchmarks compare its cost and its agreement
+// with the WL kernel on small jobs.
+//
+// Two solvers are provided: an exact A* search over node assignments
+// (feasible for jobs up to roughly ten tasks) and a beam-search
+// approximation with bounded frontier for anything larger.
+package ged
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+
+	"jobgraph/internal/dag"
+)
+
+// Costs is the edit cost model. Node substitution applies only when the
+// two tasks' types differ; matching same-type tasks is free.
+type Costs struct {
+	NodeSub float64 // relabel a task's type
+	NodeDel float64 // delete a task from A
+	NodeIns float64 // insert a task from B
+	EdgeDel float64 // delete a dependency edge of A
+	EdgeIns float64 // insert a dependency edge of B
+}
+
+// DefaultCosts returns the unit-cost model used in the experiments.
+func DefaultCosts() Costs {
+	return Costs{NodeSub: 1, NodeDel: 1, NodeIns: 1, EdgeDel: 1, EdgeIns: 1}
+}
+
+func (c Costs) validate() error {
+	for _, v := range []float64{c.NodeSub, c.NodeDel, c.NodeIns, c.EdgeDel, c.EdgeIns} {
+		if v < 0 || math.IsNaN(v) {
+			return fmt.Errorf("ged: negative or NaN edit cost")
+		}
+	}
+	return nil
+}
+
+// MaxCost returns the edit distance of the trivial script that deletes
+// all of a and inserts all of b — an upper bound used to normalize
+// distances into similarities.
+func MaxCost(a, b *dag.Graph, c Costs) float64 {
+	return float64(a.Size())*c.NodeDel + float64(a.NumEdges())*c.EdgeDel +
+		float64(b.Size())*c.NodeIns + float64(b.NumEdges())*c.EdgeIns
+}
+
+// Similarity converts a distance into [0,1]: 1 − d/MaxCost. Two empty
+// graphs have similarity 1.
+func Similarity(d float64, a, b *dag.Graph, c Costs) float64 {
+	mx := MaxCost(a, b, c)
+	if mx == 0 {
+		return 1
+	}
+	s := 1 - d/mx
+	if s < 0 {
+		s = 0
+	}
+	if s > 1 {
+		s = 1
+	}
+	return s
+}
+
+// graphView is a flattened adjacency representation for the search.
+type graphView struct {
+	n     int
+	types []byte
+	adj   [][]bool // adj[i][j]: edge i -> j
+	edges int
+}
+
+func view(g *dag.Graph) *graphView {
+	ids := g.NodeIDs()
+	idx := make(map[dag.NodeID]int, len(ids))
+	for i, id := range ids {
+		idx[id] = i
+	}
+	v := &graphView{n: len(ids), types: make([]byte, len(ids)), edges: g.NumEdges()}
+	v.adj = make([][]bool, len(ids))
+	for i, id := range ids {
+		v.types[i] = byte(g.Node(id).Type)
+		v.adj[i] = make([]bool, len(ids))
+	}
+	for _, from := range ids {
+		for _, to := range g.Succ(from) {
+			v.adj[idx[from]][idx[to]] = true
+		}
+	}
+	return v
+}
+
+// state is a partial assignment of A's first `depth` nodes; map entries
+// are B indices or -1 for deletion.
+type state struct {
+	assign []int8 // len == depth; B has < 128 nodes within solver limits
+	g      float64
+	f      float64 // g + admissible heuristic
+}
+
+// pq is a min-heap on f.
+type pq []*state
+
+func (p pq) Len() int            { return len(p) }
+func (p pq) Less(i, j int) bool  { return p[i].f < p[j].f }
+func (p pq) Swap(i, j int)       { p[i], p[j] = p[j], p[i] }
+func (p *pq) Push(x interface{}) { *p = append(*p, x.(*state)) }
+func (p *pq) Pop() interface{} {
+	old := *p
+	n := len(old)
+	s := old[n-1]
+	*p = old[:n-1]
+	return s
+}
+
+// ExactLimit is the largest graph size Exact accepts by default; beyond
+// it the factorial search space makes exact GED impractical — which is
+// precisely the paper's argument for graph kernels.
+const ExactLimit = 10
+
+// Exact computes the exact graph edit distance between a and b with an
+// A* search. It refuses graphs larger than limit nodes (limit <= 0
+// selects ExactLimit) rather than running for hours.
+func Exact(a, b *dag.Graph, c Costs, limit int) (float64, error) {
+	if err := c.validate(); err != nil {
+		return 0, err
+	}
+	if limit <= 0 {
+		limit = ExactLimit
+	}
+	if a.Size() > limit || b.Size() > limit {
+		return 0, fmt.Errorf("ged: exact solver limited to %d nodes, got %d and %d",
+			limit, a.Size(), b.Size())
+	}
+	va, vb := view(a), view(b)
+	if vb.n > 127 {
+		return 0, fmt.Errorf("ged: graph B too large for solver encoding")
+	}
+
+	if va.n == 0 {
+		return completionCost(va, vb, nil, c), nil
+	}
+	open := &pq{{assign: nil, g: 0, f: 0}}
+	heap.Init(open)
+	for open.Len() > 0 {
+		cur := heap.Pop(open).(*state)
+		if len(cur.assign) == va.n {
+			// Completed states carry their full cost (completionCost
+			// folded in by child), so the first one popped is optimal.
+			return cur.g, nil
+		}
+		for _, next := range expand(va, vb, cur, c) {
+			heap.Push(open, next)
+		}
+	}
+	// Unreachable: deleting everything is always a complete assignment.
+	return 0, fmt.Errorf("ged: search exhausted without a solution")
+}
+
+// Beam computes an upper-bound approximation of the edit distance using
+// beam search with the given frontier width (width <= 0 selects 100).
+func Beam(a, b *dag.Graph, c Costs, width int) (float64, error) {
+	if err := c.validate(); err != nil {
+		return 0, err
+	}
+	if width <= 0 {
+		width = 100
+	}
+	va, vb := view(a), view(b)
+	if vb.n > 127 {
+		return 0, fmt.Errorf("ged: graph B too large for solver encoding")
+	}
+	if va.n == 0 {
+		return completionCost(va, vb, nil, c), nil
+	}
+	frontier := []*state{{assign: nil, g: 0, f: 0}}
+	for depth := 0; depth < va.n; depth++ {
+		var next []*state
+		for _, s := range frontier {
+			next = append(next, expand(va, vb, s, c)...)
+		}
+		sort.Slice(next, func(i, j int) bool { return next[i].f < next[j].f })
+		if len(next) > width {
+			next = next[:width]
+		}
+		frontier = next
+	}
+	// Terminal states carry their completion cost in g already.
+	best := math.MaxFloat64
+	for _, s := range frontier {
+		if s.g < best {
+			best = s.g
+		}
+	}
+	return best, nil
+}
+
+// expand generates all child states of cur: assign A-node `depth` to
+// every unused B node, or delete it.
+func expand(va, vb *graphView, cur *state, c Costs) []*state {
+	used := make([]bool, vb.n)
+	for _, m := range cur.assign {
+		if m >= 0 {
+			used[m] = true
+		}
+	}
+	out := make([]*state, 0, vb.n+1)
+	for j := 0; j < vb.n; j++ {
+		if used[j] {
+			continue
+		}
+		out = append(out, child(va, vb, cur, int8(j), c))
+	}
+	out = append(out, child(va, vb, cur, -1, c)) // deletion
+	return out
+}
+
+// child extends cur by one decision and computes incremental cost.
+func child(va, vb *graphView, cur *state, choice int8, c Costs) *state {
+	depth := len(cur.assign)
+	g := cur.g
+	if choice < 0 {
+		g += c.NodeDel
+		// All A-edges between node `depth` and earlier nodes are
+		// deleted edges if the earlier endpoint exists (mapped or not:
+		// the edge is gone from A either way).
+		for i := 0; i < depth; i++ {
+			if va.adj[i][depth] {
+				g += c.EdgeDel
+			}
+			if va.adj[depth][i] {
+				g += c.EdgeDel
+			}
+		}
+	} else {
+		if va.types[depth] != vb.types[choice] {
+			g += c.NodeSub
+		}
+		for i := 0; i < depth; i++ {
+			mi := cur.assign[i]
+			// Edge i -> depth in A vs mapped edge in B.
+			g += edgePairCost(va.adj[i][depth], mi >= 0 && vb.adj[mi][choice], c)
+			g += edgePairCost(va.adj[depth][i], mi >= 0 && vb.adj[choice][mi], c)
+		}
+	}
+	assign := make([]int8, depth+1)
+	copy(assign, cur.assign)
+	assign[depth] = choice
+	if len(assign) == va.n {
+		// Terminal: fold the completion cost (insert unmatched B nodes
+		// and their incident edges) into g so f is the true total.
+		g += completionCost(va, vb, assign, c)
+		return &state{assign: assign, g: g, f: g}
+	}
+	h := heuristic(va, vb, assign, c)
+	return &state{assign: assign, g: g, f: g + h}
+}
+
+// edgePairCost charges for one (A-edge?, B-edge?) combination between a
+// decided pair of nodes.
+func edgePairCost(inA, inB bool, c Costs) float64 {
+	switch {
+	case inA && !inB:
+		return c.EdgeDel
+	case !inA && inB:
+		return c.EdgeIns
+	default:
+		return 0
+	}
+}
+
+// completionCost closes a full assignment of A: every unmatched B node
+// is inserted, and every B edge with at least one unmatched endpoint is
+// inserted.
+func completionCost(va, vb *graphView, assign []int8, c Costs) float64 {
+	matched := make([]bool, vb.n)
+	for _, m := range assign {
+		if m >= 0 {
+			matched[m] = true
+		}
+	}
+	var cost float64
+	for j := 0; j < vb.n; j++ {
+		if !matched[j] {
+			cost += c.NodeIns
+		}
+	}
+	for x := 0; x < vb.n; x++ {
+		for y := 0; y < vb.n; y++ {
+			if vb.adj[x][y] && (!matched[x] || !matched[y]) {
+				cost += c.EdgeIns
+			}
+		}
+	}
+	return cost
+}
+
+// heuristic is an admissible lower bound on the remaining cost: the
+// unavoidable node insertions/deletions implied by the size imbalance.
+func heuristic(va, vb *graphView, assign []int8, c Costs) float64 {
+	remainingA := va.n - len(assign)
+	matchedB := 0
+	for _, m := range assign {
+		if m >= 0 {
+			matchedB++
+		}
+	}
+	remainingB := vb.n - matchedB
+	if remainingA >= remainingB {
+		// At least remainingA-remainingB A-nodes must be deleted.
+		return float64(remainingA-remainingB) * min64(c.NodeDel, c.NodeSub+c.NodeIns)
+	}
+	return float64(remainingB-remainingA) * c.NodeIns
+}
+
+func min64(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

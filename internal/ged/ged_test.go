@@ -1,0 +1,262 @@
+package ged
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"jobgraph/internal/dag"
+	"jobgraph/internal/taskname"
+)
+
+func mustChain(t testing.TB, id string, types ...taskname.Type) *dag.Graph {
+	t.Helper()
+	g := dag.New(id)
+	for i, typ := range types {
+		if err := g.AddNode(dag.Node{ID: dag.NodeID(i + 1), Type: typ}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 1; i < len(types); i++ {
+		if err := g.AddEdge(dag.NodeID(i), dag.NodeID(i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+const (
+	tM = taskname.TypeMap
+	tR = taskname.TypeReduce
+	tJ = taskname.TypeJoin
+)
+
+func TestExactIdenticalGraphsZero(t *testing.T) {
+	a := mustChain(t, "a", tM, tR, tR)
+	b := mustChain(t, "b", tM, tR, tR)
+	d, err := Exact(a, b, DefaultCosts(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 0 {
+		t.Fatalf("GED(identical) = %g, want 0", d)
+	}
+}
+
+func TestExactSingleRelabel(t *testing.T) {
+	a := mustChain(t, "a", tM, tR)
+	b := mustChain(t, "b", tM, tJ)
+	d, err := Exact(a, b, DefaultCosts(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 1 {
+		t.Fatalf("GED = %g, want 1 (one relabel)", d)
+	}
+}
+
+func TestExactNodeInsertion(t *testing.T) {
+	a := mustChain(t, "a", tM, tR)
+	b := mustChain(t, "b", tM, tR, tR)
+	// Extend chain by one: insert node (1) + insert edge (1).
+	d, err := Exact(a, b, DefaultCosts(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 2 {
+		t.Fatalf("GED = %g, want 2", d)
+	}
+}
+
+func TestExactEmptyGraphs(t *testing.T) {
+	e := dag.New("e")
+	b := mustChain(t, "b", tM, tR)
+	d, err := Exact(e, b, DefaultCosts(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 3 { // 2 node insertions + 1 edge insertion
+		t.Fatalf("GED(empty, chain2) = %g, want 3", d)
+	}
+	d, err = Exact(b, e, DefaultCosts(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 3 {
+		t.Fatalf("GED(chain2, empty) = %g, want 3", d)
+	}
+	d, err = Exact(e, dag.New("e2"), DefaultCosts(), 0)
+	if err != nil || d != 0 {
+		t.Fatalf("GED(empty, empty) = %g, %v", d, err)
+	}
+}
+
+func TestExactEdgeOnlyDifference(t *testing.T) {
+	// Same nodes, chain vs triangle wiring.
+	a := mustChain(t, "a", tM, tM, tR) // edges 1->2, 2->3
+	b := dag.New("b")
+	for i, typ := range []taskname.Type{tM, tM, tR} {
+		if err := b.AddNode(dag.Node{ID: dag.NodeID(i + 1), Type: typ}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.AddEdge(1, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddEdge(2, 3); err != nil {
+		t.Fatal(err)
+	}
+	d, err := Exact(a, b, DefaultCosts(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Map M1->M1, M2->M2, R3->R3: delete 1->2, insert 1->3 ⇒ 2. No
+	// cheaper script exists with unit costs.
+	if d != 2 {
+		t.Fatalf("GED = %g, want 2", d)
+	}
+}
+
+func TestExactRefusesLargeGraphs(t *testing.T) {
+	big := dag.New("big")
+	for i := 1; i <= ExactLimit+1; i++ {
+		if err := big.AddNode(dag.Node{ID: dag.NodeID(i), Type: tM}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := Exact(big, dag.New("e"), DefaultCosts(), 0); err == nil {
+		t.Fatal("oversized graph accepted")
+	}
+}
+
+func TestCostValidation(t *testing.T) {
+	a := dag.New("a")
+	bad := Costs{NodeSub: -1}
+	if _, err := Exact(a, a, bad, 0); err == nil {
+		t.Fatal("negative cost accepted")
+	}
+	if _, err := Beam(a, a, Costs{NodeDel: math.NaN()}, 0); err == nil {
+		t.Fatal("NaN cost accepted")
+	}
+}
+
+func randomSmallDAG(rng *rand.Rand, id string, n int) *dag.Graph {
+	g := dag.New(id)
+	types := []taskname.Type{tM, tR, tJ}
+	for i := 1; i <= n; i++ {
+		_ = g.AddNode(dag.Node{ID: dag.NodeID(i), Type: types[rng.Intn(3)]})
+	}
+	for i := 1; i <= n; i++ {
+		for j := i + 1; j <= n; j++ {
+			if rng.Float64() < 0.35 {
+				_ = g.AddEdge(dag.NodeID(i), dag.NodeID(j))
+			}
+		}
+	}
+	return g
+}
+
+func TestExactSymmetricProperty(t *testing.T) {
+	// With symmetric costs, GED(a,b) == GED(b,a).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randomSmallDAG(rng, "a", 1+rng.Intn(5))
+		b := randomSmallDAG(rng, "b", 1+rng.Intn(5))
+		d1, err1 := Exact(a, b, DefaultCosts(), 0)
+		d2, err2 := Exact(b, a, DefaultCosts(), 0)
+		return err1 == nil && err2 == nil && math.Abs(d1-d2) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExactTriangleInequalityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randomSmallDAG(rng, "a", 1+rng.Intn(4))
+		b := randomSmallDAG(rng, "b", 1+rng.Intn(4))
+		c := randomSmallDAG(rng, "c", 1+rng.Intn(4))
+		dab, e1 := Exact(a, b, DefaultCosts(), 0)
+		dbc, e2 := Exact(b, c, DefaultCosts(), 0)
+		dac, e3 := Exact(a, c, DefaultCosts(), 0)
+		if e1 != nil || e2 != nil || e3 != nil {
+			return false
+		}
+		return dac <= dab+dbc+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBeamUpperBoundsExactProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randomSmallDAG(rng, "a", 1+rng.Intn(6))
+		b := randomSmallDAG(rng, "b", 1+rng.Intn(6))
+		exact, err1 := Exact(a, b, DefaultCosts(), 0)
+		beam, err2 := Beam(a, b, DefaultCosts(), 20)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		// Beam is an upper bound; never below exact.
+		return beam >= exact-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBeamWideEqualsExactOnSmall(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for i := 0; i < 10; i++ {
+		a := randomSmallDAG(rng, "a", 1+rng.Intn(4))
+		b := randomSmallDAG(rng, "b", 1+rng.Intn(4))
+		exact, err := Exact(a, b, DefaultCosts(), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		beam, err := Beam(a, b, DefaultCosts(), 100000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(exact-beam) > 1e-9 {
+			t.Fatalf("unbounded beam %g != exact %g", beam, exact)
+		}
+	}
+}
+
+func TestBeamHandlesLargerGraphs(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := randomSmallDAG(rng, "a", 20)
+	b := randomSmallDAG(rng, "b", 22)
+	d, err := Beam(a, b, DefaultCosts(), 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d < 0 || d > MaxCost(a, b, DefaultCosts()) {
+		t.Fatalf("beam distance %g outside [0, max]", d)
+	}
+}
+
+func TestSimilarityBounds(t *testing.T) {
+	a := mustChain(t, "a", tM, tR)
+	b := mustChain(t, "b", tM, tR)
+	d, err := Exact(a, b, DefaultCosts(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := Similarity(d, a, b, DefaultCosts()); s != 1 {
+		t.Fatalf("similarity(identical) = %g", s)
+	}
+	e := dag.New("e")
+	if s := Similarity(0, e, e, DefaultCosts()); s != 1 {
+		t.Fatalf("similarity(empty,empty) = %g", s)
+	}
+	d2, _ := Exact(a, e, DefaultCosts(), 0)
+	if s := Similarity(d2, a, e, DefaultCosts()); s != 0 {
+		t.Fatalf("similarity(a, empty) = %g, want 0", s)
+	}
+}

@@ -1,0 +1,81 @@
+package ged
+
+import "math"
+
+// hungarian solves the square linear-sum assignment problem: given an
+// n×n cost matrix it returns, for each row, the column assigned to it
+// so that the total cost is minimal. Implementation is the O(n³)
+// shortest-augmenting-path (Jonker–Volgenant style) algorithm with
+// potentials; costs may be +Inf to forbid pairs (at least one finite
+// perfect matching must exist).
+func hungarian(cost [][]float64) []int {
+	n := len(cost)
+	if n == 0 {
+		return nil
+	}
+	const inf = math.MaxFloat64
+	// Potentials for rows (u) and columns (v); p[j] = row matched to
+	// column j (0 = none; rows are 1-based internally).
+	u := make([]float64, n+1)
+	v := make([]float64, n+1)
+	p := make([]int, n+1)
+	way := make([]int, n+1)
+
+	for i := 1; i <= n; i++ {
+		p[0] = i
+		j0 := 0
+		minv := make([]float64, n+1)
+		used := make([]bool, n+1)
+		for j := range minv {
+			minv[j] = inf
+		}
+		for {
+			used[j0] = true
+			i0 := p[j0]
+			delta := inf
+			j1 := 0
+			for j := 1; j <= n; j++ {
+				if used[j] {
+					continue
+				}
+				cur := cost[i0-1][j-1] - u[i0] - v[j]
+				if cur < minv[j] {
+					minv[j] = cur
+					way[j] = j0
+				}
+				if minv[j] < delta {
+					delta = minv[j]
+					j1 = j
+				}
+			}
+			for j := 0; j <= n; j++ {
+				if used[j] {
+					u[p[j]] += delta
+					v[j] -= delta
+				} else {
+					minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if p[j0] == 0 {
+				break
+			}
+		}
+		for {
+			j1 := way[j0]
+			p[j0] = p[j1]
+			j0 = j1
+			if j0 == 0 {
+				break
+			}
+		}
+	}
+
+	assignment := make([]int, n)
+	for j := 1; j <= n; j++ {
+		if p[j] > 0 {
+			assignment[p[j]-1] = j - 1
+		}
+	}
+	return assignment
+}

@@ -1,0 +1,60 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// PowerIteration approximates the dominant eigenpair (largest |λ|) of a
+// square matrix by repeated multiplication. It is the cheap diagnostic
+// used to sanity-check similarity matrices (dominant eigenvalue of a
+// normalized affinity is ≈1) without paying for a full Jacobi sweep.
+// tol is the convergence threshold on the eigenvalue estimate (default
+// 1e-10), maxIter bounds the work (default 1000).
+func PowerIteration(a *Matrix, tol float64, maxIter int) (value float64, vector []float64, err error) {
+	if a.Rows != a.Cols {
+		return 0, nil, fmt.Errorf("linalg: power iteration needs square matrix")
+	}
+	if tol <= 0 {
+		tol = 1e-10
+	}
+	if maxIter <= 0 {
+		maxIter = 1000
+	}
+	n := a.Rows
+	v := make([]float64, n)
+	// Deterministic start: uniform vector plus a small ramp so we don't
+	// begin orthogonal to the dominant eigenvector of sign-alternating
+	// matrices.
+	for i := range v {
+		v[i] = 1 + float64(i)/float64(n)
+	}
+	Normalize(v)
+
+	lambda := 0.0
+	for it := 0; it < maxIter; it++ {
+		w, err := a.MulVec(v)
+		if err != nil {
+			return 0, nil, err
+		}
+		norm := Normalize(w)
+		if norm == 0 {
+			return 0, v, nil // a·v = 0: eigenvalue 0 along v
+		}
+		// Rayleigh quotient for a signed estimate.
+		av, err := a.MulVec(w)
+		if err != nil {
+			return 0, nil, err
+		}
+		next, err := Dot(w, av)
+		if err != nil {
+			return 0, nil, err
+		}
+		v = w
+		if math.Abs(next-lambda) <= tol*(1+math.Abs(next)) {
+			return next, v, nil
+		}
+		lambda = next
+	}
+	return lambda, v, nil
+}

@@ -1,0 +1,71 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dot returns the inner product of a and b.
+func Dot(a, b []float64) (float64, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("linalg: dot length mismatch %d vs %d", len(a), len(b))
+	}
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s, nil
+}
+
+// Norm2 returns the Euclidean norm of x.
+func Norm2(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// Normalize scales x in place to unit Euclidean norm and returns the
+// original norm. A zero vector is left unchanged (returned norm 0).
+func Normalize(x []float64) float64 {
+	n := Norm2(x)
+	if n == 0 {
+		return 0
+	}
+	for i := range x {
+		x[i] /= n
+	}
+	return n
+}
+
+// Dist2 returns the Euclidean distance between a and b.
+func Dist2(a, b []float64) (float64, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("linalg: dist length mismatch %d vs %d", len(a), len(b))
+	}
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s), nil
+}
+
+// AXPY computes y ← a·x + y in place.
+func AXPY(a float64, x, y []float64) error {
+	if len(x) != len(y) {
+		return fmt.Errorf("linalg: axpy length mismatch %d vs %d", len(x), len(y))
+	}
+	for i := range x {
+		y[i] += a * x[i]
+	}
+	return nil
+}
+
+// Scale multiplies x by a in place.
+func Scale(a float64, x []float64) {
+	for i := range x {
+		x[i] *= a
+	}
+}

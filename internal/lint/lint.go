@@ -1,0 +1,166 @@
+// Package lint validates batch-trace data quality: per-row schema
+// problems, per-job structural problems (cycles, dangling dependency
+// references, duplicate task ids) and corpus-level anomalies. It is the
+// "trace doctor" run before feeding unfamiliar data — the real Alibaba
+// tables contain all of these defects — and it reproduces, as checks,
+// the filtering rationale of the paper's §IV-B sampling criteria.
+package lint
+
+import (
+	"fmt"
+	"sort"
+
+	"jobgraph/internal/dag"
+	"jobgraph/internal/taskname"
+	"jobgraph/internal/trace"
+)
+
+// Severity grades a finding.
+type Severity int
+
+// Severity levels.
+const (
+	// Info findings are expected trace properties worth counting
+	// (running jobs, non-DAG jobs).
+	Info Severity = iota
+	// Warning findings degrade analysis quality (dangling deps,
+	// zero-duration terminated tasks).
+	Warning
+	// Error findings make a job unusable (cycles, duplicate ids).
+	Error
+)
+
+// String names the severity.
+func (s Severity) String() string {
+	switch s {
+	case Info:
+		return "info"
+	case Warning:
+		return "warning"
+	case Error:
+		return "error"
+	default:
+		return fmt.Sprintf("severity(%d)", int(s))
+	}
+}
+
+// Finding is one detected issue.
+type Finding struct {
+	Severity Severity
+	Job      string
+	Check    string // stable identifier, e.g. "cycle", "dangling-dep"
+	Detail   string
+}
+
+// Report aggregates findings for a corpus.
+type Report struct {
+	Jobs     int
+	Findings []Finding
+	// ByCheck counts findings per check id.
+	ByCheck map[string]int
+}
+
+// Count returns the number of findings at the given severity.
+func (r *Report) Count(s Severity) int {
+	n := 0
+	for _, f := range r.Findings {
+		if f.Severity == s {
+			n++
+		}
+	}
+	return n
+}
+
+// Clean reports whether the corpus has no Error findings.
+func (r *Report) Clean() bool { return r.Count(Error) == 0 }
+
+// Jobs lints a grouped trace.
+func Jobs(jobs []trace.Job) *Report {
+	rep := &Report{Jobs: len(jobs), ByCheck: make(map[string]int)}
+	for _, j := range jobs {
+		lintJob(rep, j)
+	}
+	// Deterministic output order: by job, then check.
+	sort.SliceStable(rep.Findings, func(a, b int) bool {
+		if rep.Findings[a].Job != rep.Findings[b].Job {
+			return rep.Findings[a].Job < rep.Findings[b].Job
+		}
+		return rep.Findings[a].Check < rep.Findings[b].Check
+	})
+	return rep
+}
+
+func (r *Report) add(sev Severity, job, check, detail string) {
+	r.Findings = append(r.Findings, Finding{Severity: sev, Job: job, Check: check, Detail: detail})
+	r.ByCheck[check]++
+}
+
+func lintJob(rep *Report, j trace.Job) {
+	if len(j.Tasks) == 0 {
+		rep.add(Error, j.Name, "empty-job", "job has no task rows")
+		return
+	}
+
+	seenIDs := make(map[int]string)
+	parsed := make([]taskname.Parsed, 0, len(j.Tasks))
+	dagTasks := 0
+	for _, t := range j.Tasks {
+		if err := t.Validate(); err != nil {
+			rep.add(Error, j.Name, "bad-record", err.Error())
+			continue
+		}
+		p, err := taskname.Parse(t.TaskName)
+		if err != nil {
+			rep.add(Error, j.Name, "self-dependency", fmt.Sprintf("task %q", t.TaskName))
+			continue
+		}
+		if t.Status == trace.StatusTerminated && t.Duration() == 0 {
+			rep.add(Warning, j.Name, "zero-duration",
+				fmt.Sprintf("terminated task %q has no interval", t.TaskName))
+		}
+		if !t.Status.Known() {
+			rep.add(Warning, j.Name, "unknown-status",
+				fmt.Sprintf("task %q status %q", t.TaskName, t.Status))
+		}
+		if p.Independent {
+			continue
+		}
+		dagTasks++
+		if prev, dup := seenIDs[p.ID]; dup {
+			rep.add(Error, j.Name, "duplicate-task-id",
+				fmt.Sprintf("tasks %q and %q share id %d", prev, t.TaskName, p.ID))
+			continue
+		}
+		seenIDs[p.ID] = t.TaskName
+		parsed = append(parsed, p)
+	}
+
+	if dagTasks == 0 {
+		rep.add(Info, j.Name, "non-dag", "no dependency-structured tasks")
+		return
+	}
+	if !j.AllTerminated() {
+		rep.add(Info, j.Name, "not-terminated", "job violates the integrity criterion")
+	}
+
+	// Dependency references and cycles, on the deduplicated task set.
+	g := dag.New(j.Name)
+	for _, p := range parsed {
+		_ = g.AddNode(dag.Node{ID: dag.NodeID(p.ID)})
+	}
+	for _, p := range parsed {
+		for _, d := range p.Deps {
+			if _, ok := seenIDs[d]; !ok {
+				rep.add(Warning, j.Name, "dangling-dep",
+					fmt.Sprintf("task %q references missing task %d", p.Raw, d))
+				continue
+			}
+			if err := g.AddEdge(dag.NodeID(d), dag.NodeID(p.ID)); err != nil {
+				rep.add(Warning, j.Name, "duplicate-edge", err.Error())
+			}
+		}
+	}
+	if _, err := g.TopoSort(); err != nil {
+		rep.add(Error, j.Name, "cycle", "dependency references form a cycle")
+	}
+}

@@ -1,0 +1,161 @@
+package lint
+
+import (
+	"testing"
+
+	"jobgraph/internal/trace"
+	"jobgraph/internal/tracegen"
+)
+
+func job(name string, tasks ...trace.TaskRecord) trace.Job {
+	for i := range tasks {
+		tasks[i].JobName = name
+		if tasks[i].Status == "" {
+			tasks[i].Status = trace.StatusTerminated
+		}
+		if tasks[i].EndTime == 0 && tasks[i].Status == trace.StatusTerminated {
+			tasks[i].StartTime = 10
+			tasks[i].EndTime = 20
+		}
+	}
+	return trace.Job{Name: name, Tasks: tasks}
+}
+
+func TestLintCleanJob(t *testing.T) {
+	rep := Jobs([]trace.Job{job("j",
+		trace.TaskRecord{TaskName: "M1", InstanceNum: 1},
+		trace.TaskRecord{TaskName: "R2_1", InstanceNum: 1},
+	)})
+	if !rep.Clean() {
+		t.Fatalf("clean job flagged: %+v", rep.Findings)
+	}
+	if len(rep.Findings) != 0 {
+		t.Fatalf("findings = %+v", rep.Findings)
+	}
+}
+
+func TestLintEmptyJob(t *testing.T) {
+	rep := Jobs([]trace.Job{{Name: "j"}})
+	if rep.Clean() || rep.ByCheck["empty-job"] != 1 {
+		t.Fatalf("report = %+v", rep)
+	}
+}
+
+func TestLintCycle(t *testing.T) {
+	rep := Jobs([]trace.Job{job("j",
+		trace.TaskRecord{TaskName: "M1_2", InstanceNum: 1},
+		trace.TaskRecord{TaskName: "R2_1", InstanceNum: 1},
+	)})
+	if rep.Clean() || rep.ByCheck["cycle"] != 1 {
+		t.Fatalf("cycle not detected: %+v", rep.Findings)
+	}
+}
+
+func TestLintDanglingDep(t *testing.T) {
+	rep := Jobs([]trace.Job{job("j",
+		trace.TaskRecord{TaskName: "R2_9", InstanceNum: 1},
+	)})
+	if rep.ByCheck["dangling-dep"] != 1 {
+		t.Fatalf("dangling dep not flagged: %+v", rep.Findings)
+	}
+	if !rep.Clean() {
+		t.Fatal("dangling dep should be a warning, not an error")
+	}
+}
+
+func TestLintDuplicateTaskID(t *testing.T) {
+	rep := Jobs([]trace.Job{job("j",
+		trace.TaskRecord{TaskName: "M1", InstanceNum: 1},
+		trace.TaskRecord{TaskName: "R1", InstanceNum: 1},
+	)})
+	if rep.Clean() || rep.ByCheck["duplicate-task-id"] != 1 {
+		t.Fatalf("duplicate id not flagged: %+v", rep.Findings)
+	}
+}
+
+func TestLintSelfDependency(t *testing.T) {
+	rep := Jobs([]trace.Job{job("j",
+		trace.TaskRecord{TaskName: "R2_2", InstanceNum: 1},
+	)})
+	if rep.Clean() || rep.ByCheck["self-dependency"] != 1 {
+		t.Fatalf("self dependency not flagged: %+v", rep.Findings)
+	}
+}
+
+func TestLintZeroDurationAndStatus(t *testing.T) {
+	rep := Jobs([]trace.Job{{Name: "j", Tasks: []trace.TaskRecord{
+		{TaskName: "M1", JobName: "j", InstanceNum: 1, Status: trace.StatusTerminated},
+		{TaskName: "R2_1", JobName: "j", InstanceNum: 1, Status: "Weird", StartTime: 1, EndTime: 2},
+	}}})
+	if rep.ByCheck["zero-duration"] != 1 {
+		t.Fatalf("zero duration not flagged: %+v", rep.Findings)
+	}
+	if rep.ByCheck["unknown-status"] != 1 {
+		t.Fatalf("unknown status not flagged: %+v", rep.Findings)
+	}
+	if rep.ByCheck["not-terminated"] != 1 {
+		t.Fatalf("integrity not flagged: %+v", rep.Findings)
+	}
+}
+
+func TestLintNonDAGJobIsInfo(t *testing.T) {
+	rep := Jobs([]trace.Job{job("j",
+		trace.TaskRecord{TaskName: "task_abc", InstanceNum: 1},
+	)})
+	if !rep.Clean() || rep.ByCheck["non-dag"] != 1 {
+		t.Fatalf("non-dag handling: %+v", rep.Findings)
+	}
+	if rep.Count(Info) != 1 {
+		t.Fatalf("info count = %d", rep.Count(Info))
+	}
+}
+
+func TestLintBadRecord(t *testing.T) {
+	rep := Jobs([]trace.Job{{Name: "j", Tasks: []trace.TaskRecord{
+		{TaskName: "M1", JobName: "j", InstanceNum: -5, Status: trace.StatusTerminated},
+	}}})
+	if rep.Clean() || rep.ByCheck["bad-record"] != 1 {
+		t.Fatalf("bad record not flagged: %+v", rep.Findings)
+	}
+}
+
+func TestLintGeneratedTraceIsStructurallyClean(t *testing.T) {
+	jobs, err := tracegen.GenerateJobs(tracegen.DefaultConfig(3000, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := Jobs(jobs)
+	if !rep.Clean() {
+		t.Fatalf("generated trace has %d errors: %+v", rep.Count(Error), rep.Findings[:5])
+	}
+	// Expected info findings: non-DAG jobs and running/failed jobs.
+	if rep.ByCheck["non-dag"] == 0 || rep.ByCheck["not-terminated"] == 0 {
+		t.Fatalf("expected info findings missing: %v", rep.ByCheck)
+	}
+	// Running jobs have one unfinished task -> zero-duration warnings
+	// must NOT appear for them (they are not terminated); generated
+	// terminated tasks always have intervals.
+	if rep.ByCheck["zero-duration"] != 0 {
+		t.Fatalf("unexpected zero-duration warnings: %d", rep.ByCheck["zero-duration"])
+	}
+}
+
+func TestSeverityString(t *testing.T) {
+	if Info.String() != "info" || Warning.String() != "warning" || Error.String() != "error" {
+		t.Fatal("severity names")
+	}
+	if Severity(9).String() != "severity(9)" {
+		t.Fatal("unknown severity")
+	}
+}
+
+func TestFindingsDeterministicOrder(t *testing.T) {
+	jobs := []trace.Job{
+		job("b", trace.TaskRecord{TaskName: "R2_9", InstanceNum: 1}),
+		job("a", trace.TaskRecord{TaskName: "R2_9", InstanceNum: 1}),
+	}
+	rep := Jobs(jobs)
+	if len(rep.Findings) != 2 || rep.Findings[0].Job != "a" || rep.Findings[1].Job != "b" {
+		t.Fatalf("order: %+v", rep.Findings)
+	}
+}

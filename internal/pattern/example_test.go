@@ -1,0 +1,30 @@
+package pattern_test
+
+import (
+	"fmt"
+
+	"jobgraph/internal/dag"
+	"jobgraph/internal/pattern"
+)
+
+func ExampleClassify() {
+	// A simple MapReduce job: two maps converging into one reduce —
+	// the paper's archetypal inverted triangle.
+	res, err := dag.FromTasks("job", []dag.TaskSpec{
+		{Name: "M1"}, {Name: "M2"}, {Name: "R3_1_2"},
+	}, dag.BuildOptions{})
+	if err != nil {
+		panic(err)
+	}
+	shape, err := pattern.Classify(res.Graph)
+	if err != nil {
+		panic(err)
+	}
+	model, err := pattern.ClassifyModel(res.Graph)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(shape, "/", model)
+	// Output:
+	// inverted-triangle / map-reduce
+}

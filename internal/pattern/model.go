@@ -1,0 +1,142 @@
+package pattern
+
+import (
+	"fmt"
+
+	"jobgraph/internal/dag"
+	"jobgraph/internal/taskname"
+)
+
+// Model is the batch programming model inferred from a job's task types
+// and their arrangement — the §V-C analysis: "there are some common
+// batch programming modes ... map-reduce, map-join-reduce, and
+// map-reduce-merge".
+type Model int
+
+// Programming models.
+const (
+	// ModelUnknown covers jobs whose task types don't match any of the
+	// known frameworks (e.g. all-Other types).
+	ModelUnknown Model = iota
+	// ModelMapOnly jobs have no Reduce or Join stage at all.
+	ModelMapOnly
+	// ModelMapReduce is the plain framework: Map and Reduce tasks only.
+	ModelMapReduce
+	// ModelMapJoinReduce contains independent Join stages between Maps
+	// and Reduces (the filtering-join-aggregation model).
+	ModelMapJoinReduce
+	// ModelMapReduceMerge has a Map/Merge stage running downstream of a
+	// Reduce — the Merge phase appended after map and reduce.
+	ModelMapReduceMerge
+)
+
+// String names the model.
+func (m Model) String() string {
+	switch m {
+	case ModelMapOnly:
+		return "map-only"
+	case ModelMapReduce:
+		return "map-reduce"
+	case ModelMapJoinReduce:
+		return "map-join-reduce"
+	case ModelMapReduceMerge:
+		return "map-reduce-merge"
+	case ModelUnknown:
+		return "unknown"
+	default:
+		return fmt.Sprintf("model(%d)", int(m))
+	}
+}
+
+// ClassifyModel infers the programming model of a job DAG. Precedence:
+// a Join stage anywhere makes the job Map-Join-Reduce; otherwise a
+// Map/Merge task downstream of any Reduce makes it Map-Reduce-Merge;
+// otherwise the presence of both M and R is plain Map-Reduce.
+func ClassifyModel(g *dag.Graph) (Model, error) {
+	if g.Size() == 0 {
+		return ModelUnknown, nil
+	}
+	order, err := g.TopoSort()
+	if err != nil {
+		return ModelUnknown, err
+	}
+	var hasM, hasR, hasJ, hasOther, mergeAfterReduce bool
+	reduceSeen := make(map[dag.NodeID]bool, len(order))
+	for _, id := range order {
+		n := g.Node(id)
+		// A task runs after a Reduce when any predecessor is a Reduce
+		// or itself runs after one.
+		after := false
+		for _, p := range g.Pred(id) {
+			if g.Node(p).Type == taskname.TypeReduce || reduceSeen[p] {
+				after = true
+				break
+			}
+		}
+		reduceSeen[id] = after
+		switch n.Type {
+		case taskname.TypeMap:
+			hasM = true
+			if after {
+				mergeAfterReduce = true
+			}
+		case taskname.TypeReduce:
+			hasR = true
+		case taskname.TypeJoin:
+			hasJ = true
+		default:
+			hasOther = true
+		}
+	}
+	switch {
+	case hasJ:
+		return ModelMapJoinReduce, nil
+	case mergeAfterReduce:
+		return ModelMapReduceMerge, nil
+	case hasM && hasR:
+		return ModelMapReduce, nil
+	case hasM && !hasR && !hasOther:
+		return ModelMapOnly, nil
+	case hasR && !hasM && !hasOther:
+		// Reduce-only fragments occur in truncated jobs; classify as
+		// plain map-reduce lineage rather than unknown.
+		return ModelMapReduce, nil
+	default:
+		return ModelUnknown, nil
+	}
+}
+
+// ModelCensus tallies programming models across jobs.
+type ModelCensus struct {
+	Counts map[Model]int
+	Total  int
+}
+
+// NewModelCensus returns an empty census.
+func NewModelCensus() *ModelCensus {
+	return &ModelCensus{Counts: make(map[Model]int)}
+}
+
+// Add classifies g and records the result.
+func (c *ModelCensus) Add(g *dag.Graph) error {
+	m, err := ClassifyModel(g)
+	if err != nil {
+		return err
+	}
+	c.Counts[m]++
+	c.Total++
+	return nil
+}
+
+// Fraction returns the share of jobs with the given model.
+func (c *ModelCensus) Fraction(m Model) float64 {
+	if c.Total == 0 {
+		return 0
+	}
+	return float64(c.Counts[m]) / float64(c.Total)
+}
+
+// AllModels lists models in report order.
+func AllModels() []Model {
+	return []Model{ModelMapReduce, ModelMapJoinReduce, ModelMapReduceMerge, ModelMapOnly, ModelUnknown}
+}

@@ -1,0 +1,137 @@
+package pattern
+
+import (
+	"testing"
+
+	"jobgraph/internal/dag"
+	"jobgraph/internal/taskname"
+)
+
+// mkTyped builds a graph from typed nodes and an edge list.
+func mkTyped(t testing.TB, types []taskname.Type, edges [][2]int) *dag.Graph {
+	t.Helper()
+	g := dag.New("m")
+	for i, typ := range types {
+		if err := g.AddNode(dag.Node{ID: dag.NodeID(i + 1), Type: typ}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, e := range edges {
+		if err := g.AddEdge(dag.NodeID(e[0]), dag.NodeID(e[1])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+const (
+	tM = taskname.TypeMap
+	tR = taskname.TypeReduce
+	tJ = taskname.TypeJoin
+	tO = taskname.TypeOther
+)
+
+func classifyModel(t testing.TB, g *dag.Graph) Model {
+	t.Helper()
+	m, err := ClassifyModel(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestClassifyModelMapReduce(t *testing.T) {
+	g := mkTyped(t, []taskname.Type{tM, tM, tR}, [][2]int{{1, 3}, {2, 3}})
+	if got := classifyModel(t, g); got != ModelMapReduce {
+		t.Fatalf("map-reduce = %v", got)
+	}
+}
+
+func TestClassifyModelMapJoinReduce(t *testing.T) {
+	g := mkTyped(t, []taskname.Type{tM, tM, tJ, tR},
+		[][2]int{{1, 3}, {2, 3}, {3, 4}})
+	if got := classifyModel(t, g); got != ModelMapJoinReduce {
+		t.Fatalf("map-join-reduce = %v", got)
+	}
+}
+
+func TestClassifyModelMapReduceMerge(t *testing.T) {
+	// M -> R -> M: the trailing Map-typed task after a Reduce is the
+	// Merge phase.
+	g := mkTyped(t, []taskname.Type{tM, tR, tM}, [][2]int{{1, 2}, {2, 3}})
+	if got := classifyModel(t, g); got != ModelMapReduceMerge {
+		t.Fatalf("map-reduce-merge = %v", got)
+	}
+	// Deeper: merge two levels below the reduce.
+	g = mkTyped(t, []taskname.Type{tM, tR, tR, tM},
+		[][2]int{{1, 2}, {2, 3}, {3, 4}})
+	if got := classifyModel(t, g); got != ModelMapReduceMerge {
+		t.Fatalf("deep merge = %v", got)
+	}
+}
+
+func TestClassifyModelMapOnly(t *testing.T) {
+	g := mkTyped(t, []taskname.Type{tM, tM}, [][2]int{{1, 2}})
+	if got := classifyModel(t, g); got != ModelMapOnly {
+		t.Fatalf("map-only = %v", got)
+	}
+}
+
+func TestClassifyModelJoinWinsOverMerge(t *testing.T) {
+	// Both a Join and a post-Reduce Map: Join takes precedence (it is
+	// the structural marker of the framework).
+	g := mkTyped(t, []taskname.Type{tM, tJ, tR, tM},
+		[][2]int{{1, 2}, {2, 3}, {3, 4}})
+	if got := classifyModel(t, g); got != ModelMapJoinReduce {
+		t.Fatalf("join precedence = %v", got)
+	}
+}
+
+func TestClassifyModelDegenerate(t *testing.T) {
+	if got := classifyModel(t, dag.New("e")); got != ModelUnknown {
+		t.Fatalf("empty = %v", got)
+	}
+	g := mkTyped(t, []taskname.Type{tO, tO}, [][2]int{{1, 2}})
+	if got := classifyModel(t, g); got != ModelUnknown {
+		t.Fatalf("other-typed = %v", got)
+	}
+	g = mkTyped(t, []taskname.Type{tR, tR}, [][2]int{{1, 2}})
+	if got := classifyModel(t, g); got != ModelMapReduce {
+		t.Fatalf("reduce-only fragment = %v", got)
+	}
+}
+
+func TestModelCensus(t *testing.T) {
+	c := NewModelCensus()
+	if err := c.Add(mkTyped(t, []taskname.Type{tM, tR}, [][2]int{{1, 2}})); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Add(mkTyped(t, []taskname.Type{tM, tJ, tR}, [][2]int{{1, 2}, {2, 3}})); err != nil {
+		t.Fatal(err)
+	}
+	if c.Total != 2 || c.Counts[ModelMapReduce] != 1 || c.Counts[ModelMapJoinReduce] != 1 {
+		t.Fatalf("census = %+v", c)
+	}
+	if c.Fraction(ModelMapReduce) != 0.5 {
+		t.Fatalf("fraction = %g", c.Fraction(ModelMapReduce))
+	}
+	if NewModelCensus().Fraction(ModelMapReduce) != 0 {
+		t.Fatal("empty census")
+	}
+}
+
+func TestModelString(t *testing.T) {
+	if ModelMapReduce.String() != "map-reduce" ||
+		ModelMapJoinReduce.String() != "map-join-reduce" ||
+		ModelMapReduceMerge.String() != "map-reduce-merge" ||
+		ModelMapOnly.String() != "map-only" ||
+		ModelUnknown.String() != "unknown" {
+		t.Fatal("model names")
+	}
+	if Model(9).String() != "model(9)" {
+		t.Fatal("unknown model name")
+	}
+	if len(AllModels()) != 5 {
+		t.Fatal("AllModels incomplete")
+	}
+}

@@ -1,0 +1,203 @@
+package pattern
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"jobgraph/internal/dag"
+	"jobgraph/internal/taskname"
+)
+
+// build constructs a graph from an edge list over 1..n.
+func build(t testing.TB, n int, edges [][2]int) *dag.Graph {
+	t.Helper()
+	g := dag.New("test")
+	for i := 1; i <= n; i++ {
+		typ := taskname.TypeMap
+		if i > n/2 {
+			typ = taskname.TypeReduce
+		}
+		if err := g.AddNode(dag.Node{ID: dag.NodeID(i), Type: typ}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, e := range edges {
+		if err := g.AddEdge(dag.NodeID(e[0]), dag.NodeID(e[1])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+func classify(t testing.TB, g *dag.Graph) Shape {
+	t.Helper()
+	s, err := Classify(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestClassifyDegenerate(t *testing.T) {
+	if got := classify(t, dag.New("e")); got != Empty {
+		t.Fatalf("empty = %v", got)
+	}
+	if got := classify(t, build(t, 1, nil)); got != Singleton {
+		t.Fatalf("singleton = %v", got)
+	}
+}
+
+func TestClassifyChain(t *testing.T) {
+	g := build(t, 4, [][2]int{{1, 2}, {2, 3}, {3, 4}})
+	if got := classify(t, g); got != Chain {
+		t.Fatalf("chain = %v", got)
+	}
+}
+
+func TestClassifyTwoNodeChain(t *testing.T) {
+	g := build(t, 2, [][2]int{{1, 2}})
+	if got := classify(t, g); got != Chain {
+		t.Fatalf("2-chain = %v", got)
+	}
+}
+
+func TestClassifyInvertedTriangle(t *testing.T) {
+	// The paper's simple MapReduce: two maps into one reduce.
+	g := build(t, 3, [][2]int{{1, 3}, {2, 3}})
+	if got := classify(t, g); got != InvertedTriangle {
+		t.Fatalf("map-reduce = %v", got)
+	}
+	// 30-of-31 extreme case.
+	edges := make([][2]int, 0, 30)
+	for i := 1; i <= 30; i++ {
+		edges = append(edges, [2]int{i, 31})
+	}
+	if got := classify(t, build(t, 31, edges)); got != InvertedTriangle {
+		t.Fatalf("wide map-reduce = %v", got)
+	}
+	// Convergent with a tail still narrows monotonically:
+	// {1,2} -> 3 -> 4.
+	g = build(t, 4, [][2]int{{1, 3}, {2, 3}, {3, 4}})
+	if got := classify(t, g); got != InvertedTriangle {
+		t.Fatalf("triangle+tail = %v", got)
+	}
+}
+
+func TestClassifyDiamond(t *testing.T) {
+	g := build(t, 4, [][2]int{{1, 2}, {1, 3}, {2, 4}, {3, 4}})
+	if got := classify(t, g); got != Diamond {
+		t.Fatalf("diamond = %v", got)
+	}
+	// Wider diamond with two middle levels.
+	g = build(t, 6, [][2]int{{1, 2}, {1, 3}, {2, 4}, {3, 5}, {4, 6}, {5, 6}})
+	if got := classify(t, g); got != Diamond {
+		t.Fatalf("long diamond = %v", got)
+	}
+}
+
+func TestClassifyHourglass(t *testing.T) {
+	// 2 sources -> 1 waist -> 2 sinks.
+	g := build(t, 5, [][2]int{{1, 3}, {2, 3}, {3, 4}, {3, 5}})
+	if got := classify(t, g); got != Hourglass {
+		t.Fatalf("hourglass = %v", got)
+	}
+}
+
+func TestClassifyTrapezium(t *testing.T) {
+	// One source diverging into three sinks — the paper's group E
+	// "released from a single node" style.
+	g := build(t, 4, [][2]int{{1, 2}, {1, 3}, {1, 4}})
+	if got := classify(t, g); got != Trapezium {
+		t.Fatalf("trapezium = %v", got)
+	}
+	// Gradual widening 1 -> 2 -> 3.
+	g = build(t, 6, [][2]int{{1, 2}, {1, 3}, {2, 4}, {2, 5}, {3, 6}})
+	if got := classify(t, g); got != Trapezium {
+		t.Fatalf("widening trapezium = %v", got)
+	}
+}
+
+func TestClassifyHybrid(t *testing.T) {
+	// Two disconnected chains: widths all 1 but not one connected run.
+	g := build(t, 4, [][2]int{{1, 2}, {3, 4}})
+	if got := classify(t, g); got != Hybrid {
+		t.Fatalf("parallel rails = %v", got)
+	}
+	// Widen-then-narrow-then-widen: none of the monotone classes.
+	g = build(t, 7, [][2]int{{1, 2}, {1, 3}, {2, 4}, {3, 4}, {4, 5}, {4, 6}, {5, 7}, {6, 7}})
+	// widths: 1,2,1,2,1 — single source/sink with wider middle → Diamond
+	// by our definition; build a genuinely mixed shape instead:
+	// 2 sources -> 1 -> 2 sinks -> extra level of 1.
+	g = build(t, 6, [][2]int{{1, 3}, {2, 3}, {3, 4}, {3, 5}, {4, 6}})
+	// widths: 2,1,2,1; sources 2, sinks 2 (5 and 6): not monotone,
+	// ends differ from hourglass (last width 1).
+	if got := classify(t, g); got != Hybrid {
+		t.Fatalf("mixed shape = %v", got)
+	}
+}
+
+func TestClassifyNeverErrorsOnRandomDAGsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(20)
+		g := dag.New("r")
+		for i := 1; i <= n; i++ {
+			_ = g.AddNode(dag.Node{ID: dag.NodeID(i), Type: taskname.TypeMap})
+		}
+		for i := 1; i <= n; i++ {
+			for j := i + 1; j <= n; j++ {
+				if rng.Float64() < 0.3 {
+					_ = g.AddEdge(dag.NodeID(i), dag.NodeID(j))
+				}
+			}
+		}
+		s, err := Classify(g)
+		if err != nil {
+			return false
+		}
+		// A classified shape must be one of the taxonomy values.
+		switch s {
+		case Empty, Singleton, Chain, InvertedTriangle, Diamond, Hourglass, Trapezium, Hybrid:
+			return true
+		}
+		return false
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCensus(t *testing.T) {
+	c := NewCensus()
+	if err := c.Add(build(t, 3, [][2]int{{1, 2}, {2, 3}})); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Add(build(t, 3, [][2]int{{1, 3}, {2, 3}})); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Add(build(t, 2, [][2]int{{1, 2}})); err != nil {
+		t.Fatal(err)
+	}
+	if c.Total != 3 || c.Counts[Chain] != 2 || c.Counts[InvertedTriangle] != 1 {
+		t.Fatalf("census = %+v", c)
+	}
+	if got := c.Fraction(Chain); got != 2.0/3.0 {
+		t.Fatalf("fraction = %g", got)
+	}
+	if NewCensus().Fraction(Chain) != 0 {
+		t.Fatal("empty census fraction")
+	}
+}
+
+func TestShapeString(t *testing.T) {
+	if Chain.String() != "chain" || InvertedTriangle.String() != "inverted-triangle" {
+		t.Fatal("shape names")
+	}
+	if Shape(99).String() != "shape(99)" {
+		t.Fatal("unknown shape name")
+	}
+	if len(AllShapes()) != 8 {
+		t.Fatal("AllShapes incomplete")
+	}
+}

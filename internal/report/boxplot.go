@@ -1,0 +1,102 @@
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"jobgraph/internal/stats"
+)
+
+// BoxPlot renders one horizontal box-and-whisker row scaled to the
+// interval [lo, hi]:
+//
+//	label |   ·  |-----[===+===]--|      · |
+//
+// '[' and ']' mark the quartiles, '+' the median, '-' the whiskers and
+// '·' any outliers. width is the number of plot columns (default 60).
+func BoxPlot(label string, b stats.BoxStats, lo, hi float64, width int) string {
+	if width < 10 {
+		width = 60
+	}
+	if !(hi > lo) {
+		hi = lo + 1
+	}
+	col := func(v float64) int {
+		f := (v - lo) / (hi - lo)
+		if f < 0 {
+			f = 0
+		}
+		if f > 1 {
+			f = 1
+		}
+		c := int(math.Round(f * float64(width-1)))
+		return c
+	}
+	row := make([]byte, width)
+	for i := range row {
+		row[i] = ' '
+	}
+	// Whisker-to-box runs.
+	for i := col(b.LowerWhisker); i <= col(b.Q1); i++ {
+		row[i] = '-'
+	}
+	for i := col(b.Q3); i <= col(b.UpperWhisker); i++ {
+		row[i] = '-'
+	}
+	// Box body.
+	for i := col(b.Q1); i <= col(b.Q3); i++ {
+		row[i] = '='
+	}
+	row[col(b.Q1)] = '['
+	row[col(b.Q3)] = ']'
+	row[col(b.Median)] = '+'
+	for _, o := range b.Outliers {
+		row[col(o)] = byte(0)
+		row[col(o)] = '.'
+	}
+	return fmt.Sprintf("%-8s |%s|", label, string(row))
+}
+
+// BoxPlotGroup renders a labeled set of distributions on one shared
+// scale, with an axis line giving the bounds — the textual equivalent
+// of one panel of the paper's Figure 9 box plots.
+func BoxPlotGroup(title string, labels []string, series [][]float64, width int) (string, error) {
+	if len(labels) != len(series) {
+		return "", fmt.Errorf("report: %d labels for %d series", len(labels), len(series))
+	}
+	if len(series) == 0 {
+		return "", fmt.Errorf("report: no series")
+	}
+	lo, hi := math.MaxFloat64, -math.MaxFloat64
+	boxes := make([]stats.BoxStats, len(series))
+	for i, xs := range series {
+		b, err := stats.Box(xs)
+		if err != nil {
+			return "", fmt.Errorf("report: series %q: %w", labels[i], err)
+		}
+		boxes[i] = b
+		for _, v := range xs {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+	}
+	var out strings.Builder
+	if title != "" {
+		out.WriteString(title)
+		out.WriteByte('\n')
+	}
+	for i, b := range boxes {
+		out.WriteString(BoxPlot(labels[i], b, lo, hi, width))
+		out.WriteByte('\n')
+	}
+	if width < 10 {
+		width = 60
+	}
+	fmt.Fprintf(&out, "%-8s  %-*.4g%*.4g\n", "scale:", width/2, lo, width-width/2, hi)
+	return out.String(), nil
+}

@@ -1,0 +1,84 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"jobgraph/internal/stats"
+)
+
+func TestBoxPlotMarkers(t *testing.T) {
+	b, err := stats.Box([]float64{1, 2, 2, 3, 3, 3, 4, 4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := BoxPlot("grp", b, 0, 6, 60)
+	for _, marker := range []string{"[", "]", "+", "grp"} {
+		if !strings.Contains(row, marker) {
+			t.Fatalf("missing %q in %q", marker, row)
+		}
+	}
+	// Median column sits between the quartile columns.
+	if strings.Index(row, "[") >= strings.Index(row, "+") ||
+		strings.Index(row, "+") >= strings.Index(row, "]") {
+		t.Fatalf("marker order wrong: %q", row)
+	}
+}
+
+func TestBoxPlotOutliers(t *testing.T) {
+	b, err := stats.Box([]float64{1, 2, 2, 3, 3, 3, 4, 4, 5, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := BoxPlot("o", b, 0, 100, 60)
+	if !strings.Contains(row, ".") {
+		t.Fatalf("outlier marker missing: %q", row)
+	}
+}
+
+func TestBoxPlotDegenerateScale(t *testing.T) {
+	b, err := stats.Box([]float64{5, 5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// lo == hi must not divide by zero.
+	row := BoxPlot("c", b, 5, 5, 40)
+	if !strings.Contains(row, "+") {
+		t.Fatalf("constant distribution: %q", row)
+	}
+}
+
+func TestBoxPlotGroupSharedScale(t *testing.T) {
+	out, err := BoxPlotGroup("sizes by group",
+		[]string{"A", "B"},
+		[][]float64{{2, 2, 2, 3}, {10, 12, 14, 30}},
+		60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // title + 2 rows + scale
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	// Group A (small values) must sit left of group B's box.
+	aPlus := strings.Index(lines[1], "+")
+	bPlus := strings.Index(lines[2], "+")
+	if aPlus >= bPlus {
+		t.Fatalf("scaling wrong:\n%s", out)
+	}
+	if !strings.Contains(lines[3], "2") || !strings.Contains(lines[3], "30") {
+		t.Fatalf("scale line: %q", lines[3])
+	}
+}
+
+func TestBoxPlotGroupValidation(t *testing.T) {
+	if _, err := BoxPlotGroup("t", []string{"a"}, nil, 40); err == nil {
+		t.Fatal("mismatched labels accepted")
+	}
+	if _, err := BoxPlotGroup("t", nil, nil, 40); err == nil {
+		t.Fatal("empty series accepted")
+	}
+	if _, err := BoxPlotGroup("t", []string{"a"}, [][]float64{{}}, 40); err == nil {
+		t.Fatal("empty series data accepted")
+	}
+}

@@ -1,0 +1,157 @@
+package resource
+
+import (
+	"testing"
+
+	"jobgraph/internal/trace"
+	"jobgraph/internal/tracegen"
+)
+
+func TestSplitByDependencyManual(t *testing.T) {
+	jobs := []trace.Job{
+		{Name: "j_dag", Tasks: []trace.TaskRecord{
+			{TaskName: "M1", JobName: "j_dag", InstanceNum: 2, StartTime: 0, EndTime: 10, PlanCPU: 100, PlanMem: 1},
+			{TaskName: "R2_1", JobName: "j_dag", InstanceNum: 1, StartTime: 10, EndTime: 20, PlanCPU: 50, PlanMem: 0.5},
+		}},
+		{Name: "j_flat", Tasks: []trace.TaskRecord{
+			{TaskName: "task_xyz", JobName: "j_flat", InstanceNum: 1, StartTime: 0, EndTime: 10, PlanCPU: 100, PlanMem: 1},
+		}},
+	}
+	s, err := SplitByDependency(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.DAG.Jobs != 1 || s.Flat.Jobs != 1 {
+		t.Fatalf("split jobs: %+v", s)
+	}
+	// DAG CPU-seconds: 100*10*2 + 50*10*1 = 2500; flat: 100*10 = 1000.
+	if s.DAG.CPUSeconds != 2500 || s.Flat.CPUSeconds != 1000 {
+		t.Fatalf("cpu seconds: dag=%g flat=%g", s.DAG.CPUSeconds, s.Flat.CPUSeconds)
+	}
+	if got := s.DAGCPUShare(); got != 2500.0/3500.0 {
+		t.Fatalf("dag cpu share = %g", got)
+	}
+	if got := s.DAGJobShare(); got != 0.5 {
+		t.Fatalf("dag job share = %g", got)
+	}
+	if s.DAG.Instances != 3 || s.DAG.Tasks != 2 {
+		t.Fatalf("dag usage: %+v", s.DAG)
+	}
+	if s.DAGMemShare() <= 0.5 {
+		t.Fatalf("mem share = %g", s.DAGMemShare())
+	}
+}
+
+func TestSplitEmpty(t *testing.T) {
+	s, err := SplitByDependency(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.DAGJobShare() != 0 || s.DAGCPUShare() != 0 || s.DAGMemShare() != 0 {
+		t.Fatal("empty split should report zero shares")
+	}
+}
+
+func TestPaperSharesOnGeneratedTrace(t *testing.T) {
+	// §II-B: ~50% of jobs have dependencies and consume 70–80% of
+	// batch resources. The generator is calibrated to reproduce both.
+	jobs, err := tracegen.GenerateJobs(tracegen.DefaultConfig(8000, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := SplitByDependency(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if share := s.DAGJobShare(); share < 0.45 || share > 0.55 {
+		t.Fatalf("DAG job share = %.3f, want ~0.50", share)
+	}
+	if share := s.DAGCPUShare(); share < 0.70 || share > 0.85 {
+		t.Fatalf("DAG CPU share = %.3f, want 0.70-0.80", share)
+	}
+}
+
+func TestHourlyProfileDiurnal(t *testing.T) {
+	recs, err := tracegen.Generate(tracegen.DefaultConfig(20000, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := HourlyProfile(recs)
+	ratio := PeakTroughRatio(prof)
+	if ratio < 1.5 {
+		t.Fatalf("peak/trough = %.2f, want a visible diurnal pattern", ratio)
+	}
+}
+
+func TestHourlyProfileSkipsUnfinished(t *testing.T) {
+	prof := HourlyProfile([]trace.TaskRecord{
+		{TaskName: "M1", JobName: "j", StartTime: 3600, EndTime: 0, PlanCPU: 100},
+	})
+	for _, v := range prof {
+		if v != 0 {
+			t.Fatal("unfinished task contributed load")
+		}
+	}
+}
+
+func TestPeakTroughRatioEdgeCases(t *testing.T) {
+	var zero [24]float64
+	if PeakTroughRatio(zero) != 0 {
+		t.Fatal("all-zero profile")
+	}
+	var spike [24]float64
+	spike[3] = 10
+	if PeakTroughRatio(spike) != 10 {
+		t.Fatal("zero-trough profile should return peak")
+	}
+	var flat [24]float64
+	for i := range flat {
+		flat[i] = 5
+	}
+	if PeakTroughRatio(flat) != 1 {
+		t.Fatal("flat profile ratio should be 1")
+	}
+}
+
+func TestMachineConcentration(t *testing.T) {
+	inst := []trace.InstanceRecord{
+		{MachineID: "m_1"}, {MachineID: "m_1"}, {MachineID: "m_1"},
+		{MachineID: "m_2"}, {MachineID: "m_3"},
+	}
+	if got := MachineConcentration(inst, 1); got != 0.6 {
+		t.Fatalf("top-1 = %g, want 0.6", got)
+	}
+	if got := MachineConcentration(inst, 10); got != 1 {
+		t.Fatalf("top-10 = %g, want 1", got)
+	}
+	if MachineConcentration(nil, 1) != 0 || MachineConcentration(inst, 0) != 0 {
+		t.Fatal("degenerate inputs")
+	}
+}
+
+func TestLoadImbalance(t *testing.T) {
+	balanced := []trace.InstanceRecord{
+		{MachineID: "m_1"}, {MachineID: "m_2"}, {MachineID: "m_3"},
+	}
+	g, err := LoadImbalance(balanced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g != 0 {
+		t.Fatalf("balanced Gini = %g, want 0", g)
+	}
+	skewed := []trace.InstanceRecord{
+		{MachineID: "m_1"}, {MachineID: "m_1"}, {MachineID: "m_1"},
+		{MachineID: "m_1"}, {MachineID: "m_2"},
+	}
+	gs, err := LoadImbalance(skewed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gs <= g {
+		t.Fatalf("skewed Gini %g not above balanced %g", gs, g)
+	}
+	if _, err := LoadImbalance(nil); err == nil {
+		t.Fatal("empty instances accepted")
+	}
+}

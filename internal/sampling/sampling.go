@@ -1,0 +1,185 @@
+// Package sampling implements the paper's job selection criteria
+// (§IV-B): Integrity (only fully terminated jobs), Availability (the
+// job's execution window lies entirely inside the observed trace
+// interval, so durations are trustworthy) and Variability (the sample
+// spans many distinct topologies and sizes).
+package sampling
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"jobgraph/internal/dag"
+	"jobgraph/internal/trace"
+)
+
+// Criteria configures eligibility filtering.
+type Criteria struct {
+	// WindowStart/WindowEnd delimit the observed trace interval;
+	// Availability requires every job's [start, end] to fall strictly
+	// inside (jobs touching the boundary may be truncated records).
+	WindowStart, WindowEnd int64
+
+	// RequireTerminated enforces Integrity.
+	RequireTerminated bool
+
+	// MinSize/MaxSize bound the DAG size (tasks after name decoding);
+	// the paper studies jobs of 2–31 tasks.
+	MinSize, MaxSize int
+}
+
+// PaperCriteria returns the selection used in the paper-scale
+// experiments for a trace covering [0, window].
+func PaperCriteria(window int64) Criteria {
+	return Criteria{
+		WindowStart:       0,
+		WindowEnd:         window,
+		RequireTerminated: true,
+		MinSize:           2,
+		MaxSize:           31,
+	}
+}
+
+func (c Criteria) validate() error {
+	if c.WindowEnd <= c.WindowStart {
+		return fmt.Errorf("sampling: empty window [%d,%d]", c.WindowStart, c.WindowEnd)
+	}
+	if c.MinSize < 0 || (c.MaxSize > 0 && c.MaxSize < c.MinSize) {
+		return fmt.Errorf("sampling: bad size bounds [%d,%d]", c.MinSize, c.MaxSize)
+	}
+	return nil
+}
+
+// Candidate pairs a trace job with its decoded DAG.
+type Candidate struct {
+	Job   trace.Job
+	Graph *dag.Graph
+}
+
+// FilterStats reports why jobs were rejected.
+type FilterStats struct {
+	Input         int
+	Kept          int
+	NotTerminated int // integrity failures
+	OutsideWindow int // availability failures
+	NoWindow      int // no valid execution interval at all
+	NonDAG        int // no decodable dependency structure
+	SizeRejected  int
+	BuildErrors   int
+}
+
+// Filter applies Integrity and Availability, building a DAG for every
+// surviving job. Jobs whose names fail to decode into any DAG vertices
+// are counted as NonDAG and dropped (they are the ~50% independent
+// workload, not an error).
+func Filter(jobs []trace.Job, c Criteria) ([]Candidate, FilterStats, error) {
+	if err := c.validate(); err != nil {
+		return nil, FilterStats{}, err
+	}
+	st := FilterStats{Input: len(jobs)}
+	var out []Candidate
+	for _, j := range jobs {
+		if c.RequireTerminated && !j.AllTerminated() {
+			st.NotTerminated++
+			continue
+		}
+		start, end, ok := j.Window()
+		if !ok {
+			st.NoWindow++
+			continue
+		}
+		if start <= c.WindowStart || end >= c.WindowEnd {
+			st.OutsideWindow++
+			continue
+		}
+		specs := make([]dag.TaskSpec, 0, len(j.Tasks))
+		for _, t := range j.Tasks {
+			specs = append(specs, dag.TaskSpec{
+				Name:      t.TaskName,
+				Duration:  t.Duration(),
+				Instances: t.InstanceNum,
+				PlanCPU:   t.PlanCPU,
+				PlanMem:   t.PlanMem,
+			})
+		}
+		res, err := dag.FromTasks(j.Name, specs, dag.BuildOptions{SkipMissingDeps: true})
+		if err != nil {
+			st.BuildErrors++
+			continue
+		}
+		size := res.Graph.Size()
+		if size == 0 {
+			st.NonDAG++
+			continue
+		}
+		if size < c.MinSize || (c.MaxSize > 0 && size > c.MaxSize) {
+			st.SizeRejected++
+			continue
+		}
+		out = append(out, Candidate{Job: j, Graph: res.Graph})
+	}
+	st.Kept = len(out)
+	return out, st, nil
+}
+
+// SampleDiverse draws n candidates preserving Variability without
+// destroying the workload's natural size skew: a first pass picks one
+// random job per distinct size so every size present in the pool is
+// represented (the paper's "17 different size types"), and the
+// remainder is filled by uniform random sampling from the rest of the
+// pool, which keeps small jobs as dominant in the sample as they are in
+// the trace. When n exceeds the pool, the whole pool is returned.
+func SampleDiverse(pool []Candidate, n int, seed int64) []Candidate {
+	if n <= 0 {
+		return nil
+	}
+	if n >= len(pool) {
+		out := append([]Candidate(nil), pool...)
+		return out
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	bySize := make(map[int][]Candidate)
+	for _, c := range pool {
+		bySize[c.Graph.Size()] = append(bySize[c.Graph.Size()], c)
+	}
+	sizes := make([]int, 0, len(bySize))
+	for s := range bySize {
+		sizes = append(sizes, s)
+	}
+	sort.Ints(sizes)
+
+	out := make([]Candidate, 0, n)
+	var rest []Candidate
+	// Coverage pass, in deterministic (sorted-size) order so the sample
+	// is reproducible for a given seed.
+	for _, s := range sizes {
+		group := bySize[s]
+		rng.Shuffle(len(group), func(i, j int) { group[i], group[j] = group[j], group[i] })
+		if len(out) < n {
+			out = append(out, group[0])
+			rest = append(rest, group[1:]...)
+		} else {
+			rest = append(rest, group...)
+		}
+	}
+	// Natural-skew fill.
+	rng.Shuffle(len(rest), func(i, j int) { rest[i], rest[j] = rest[j], rest[i] })
+	for _, c := range rest {
+		if len(out) == n {
+			break
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// Graphs extracts the DAGs of a candidate list, in order.
+func Graphs(cands []Candidate) []*dag.Graph {
+	gs := make([]*dag.Graph, len(cands))
+	for i, c := range cands {
+		gs[i] = c.Graph
+	}
+	return gs
+}

@@ -1,0 +1,201 @@
+package sched
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"jobgraph/internal/trace"
+)
+
+// PlacementPolicy selects how job instances are spread over machines.
+type PlacementPolicy int
+
+// Placement policies.
+const (
+	// RandomPlacement assigns each instance to a uniformly random
+	// machine — the trace's apparent default, producing co-location
+	// lifts near 1.
+	RandomPlacement PlacementPolicy = iota
+	// LeastLoadedPlacement assigns each instance to the machine with
+	// the fewest instances so far (deterministic tie-break by id),
+	// minimizing load imbalance.
+	LeastLoadedPlacement
+	// GroupPackedPlacement partitions machines across groups and keeps
+	// each group's instances on its own partition — the segregated
+	// extreme a group-aware placer could implement to isolate
+	// interference-sensitive topologies.
+	GroupPackedPlacement
+)
+
+// String names the policy.
+func (p PlacementPolicy) String() string {
+	switch p {
+	case RandomPlacement:
+		return "random"
+	case LeastLoadedPlacement:
+		return "least-loaded"
+	case GroupPackedPlacement:
+		return "group-packed"
+	default:
+		return fmt.Sprintf("placement(%d)", int(p))
+	}
+}
+
+// PlacementJob is one job to place: a total instance count plus the
+// cluster-group label driving group-aware policies.
+type PlacementJob struct {
+	JobID     string
+	Group     string
+	Instances int
+}
+
+// PlacementOptions configures Place.
+type PlacementOptions struct {
+	Machines int // size of the machine pool
+	Policy   PlacementPolicy
+	Seed     int64
+}
+
+// Place assigns every instance of every job to a machine under the
+// given policy and returns instance records (MachineID, JobName set)
+// ready for co-location and imbalance analysis.
+func Place(jobs []PlacementJob, opt PlacementOptions) ([]trace.InstanceRecord, error) {
+	if opt.Machines < 1 {
+		return nil, fmt.Errorf("sched: need >=1 machine, got %d", opt.Machines)
+	}
+	switch opt.Policy {
+	case RandomPlacement, LeastLoadedPlacement, GroupPackedPlacement:
+	default:
+		return nil, fmt.Errorf("sched: unknown placement policy %d", int(opt.Policy))
+	}
+	for i, j := range jobs {
+		if j.JobID == "" {
+			return nil, fmt.Errorf("sched: job %d has empty id", i)
+		}
+		if j.Instances < 0 {
+			return nil, fmt.Errorf("sched: job %s has negative instances", j.JobID)
+		}
+	}
+
+	rng := rand.New(rand.NewSource(opt.Seed))
+	var out []trace.InstanceRecord
+
+	switch opt.Policy {
+	case RandomPlacement:
+		for _, j := range jobs {
+			for i := 0; i < j.Instances; i++ {
+				out = append(out, record(j, i, 1+rng.Intn(opt.Machines)))
+			}
+		}
+	case LeastLoadedPlacement:
+		load := make([]int, opt.Machines)
+		for _, j := range jobs {
+			for i := 0; i < j.Instances; i++ {
+				m := argminLoad(load)
+				load[m]++
+				out = append(out, record(j, i, m+1))
+			}
+		}
+	case GroupPackedPlacement:
+		partitions := groupPartitions(jobs, opt.Machines)
+		for _, j := range jobs {
+			part := partitions[j.Group]
+			for i := 0; i < j.Instances; i++ {
+				m := part.lo + rng.Intn(part.hi-part.lo+1)
+				out = append(out, record(j, i, m))
+			}
+		}
+	}
+	return out, nil
+}
+
+func record(j PlacementJob, seq, machine int) trace.InstanceRecord {
+	return trace.InstanceRecord{
+		InstanceName: fmt.Sprintf("%s_%d", j.JobID, seq+1),
+		TaskName:     "placed",
+		JobName:      j.JobID,
+		Status:       trace.StatusTerminated,
+		MachineID:    fmt.Sprintf("m_%d", machine),
+		SeqNo:        seq + 1,
+		TotalSeqNo:   j.Instances,
+	}
+}
+
+func argminLoad(load []int) int {
+	best := 0
+	for i, l := range load {
+		if l < load[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// machineRange is an inclusive 1-based machine id range.
+type machineRange struct{ lo, hi int }
+
+// groupPartitions slices the machine pool into contiguous per-group
+// ranges proportional to each group's instance demand (at least one
+// machine each), groups in sorted order for determinism.
+func groupPartitions(jobs []PlacementJob, machines int) map[string]machineRange {
+	demand := make(map[string]int)
+	for _, j := range jobs {
+		demand[j.Group] += j.Instances
+	}
+	groups := make([]string, 0, len(demand))
+	total := 0
+	for g, d := range demand {
+		groups = append(groups, g)
+		total += d
+	}
+	sort.Strings(groups)
+
+	out := make(map[string]machineRange, len(groups))
+	if len(groups) == 0 {
+		return out
+	}
+	// Proportional allocation with a 1-machine floor; hand out the
+	// remainder left to right.
+	alloc := make([]int, len(groups))
+	assigned := 0
+	for i, g := range groups {
+		share := 1
+		if total > 0 {
+			share = machines * demand[g] / total
+			if share < 1 {
+				share = 1
+			}
+		}
+		alloc[i] = share
+		assigned += share
+	}
+	// Trim or extend to exactly `machines` (floors may overshoot on
+	// many tiny groups; overshoot falls back to sharing the tail range).
+	for i := 0; assigned > machines && i < len(alloc); {
+		if alloc[i] > 1 {
+			alloc[i]--
+			assigned--
+		} else {
+			i++
+		}
+	}
+	for i := 0; assigned < machines; i = (i + 1) % len(alloc) {
+		alloc[i]++
+		assigned++
+	}
+
+	lo := 1
+	for i, g := range groups {
+		hi := lo + alloc[i] - 1
+		if hi > machines {
+			hi = machines
+		}
+		if lo > machines {
+			lo = machines
+		}
+		out[g] = machineRange{lo: lo, hi: hi}
+		lo = hi + 1
+	}
+	return out
+}

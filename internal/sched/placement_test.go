@@ -1,0 +1,231 @@
+package sched
+
+import (
+	"math/rand"
+	"strconv"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"jobgraph/internal/coloc"
+	"jobgraph/internal/resource"
+)
+
+func placementJobs(n int, seed int64) []PlacementJob {
+	rng := rand.New(rand.NewSource(seed))
+	groups := []string{"A", "B", "C"}
+	jobs := make([]PlacementJob, n)
+	for i := range jobs {
+		jobs[i] = PlacementJob{
+			JobID:     "j_" + string(rune('a'+i%26)) + string(rune('0'+i/26)),
+			Group:     groups[rng.Intn(len(groups))],
+			Instances: 1 + rng.Intn(20),
+		}
+	}
+	return jobs
+}
+
+func groupMap(jobs []PlacementJob) map[string]string {
+	m := make(map[string]string, len(jobs))
+	for _, j := range jobs {
+		m[j.JobID] = j.Group
+	}
+	return m
+}
+
+func TestPlaceInstanceCounts(t *testing.T) {
+	jobs := placementJobs(30, 1)
+	want := 0
+	for _, j := range jobs {
+		want += j.Instances
+	}
+	for _, pol := range []PlacementPolicy{RandomPlacement, LeastLoadedPlacement, GroupPackedPlacement} {
+		recs, err := Place(jobs, PlacementOptions{Machines: 10, Policy: pol, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(recs) != want {
+			t.Fatalf("%s: %d records, want %d", pol, len(recs), want)
+		}
+		for _, r := range recs {
+			if r.MachineID == "" || !strings.HasPrefix(r.MachineID, "m_") {
+				t.Fatalf("%s: bad machine id %q", pol, r.MachineID)
+			}
+			if err := r.Validate(); err != nil {
+				t.Fatalf("%s: %v", pol, err)
+			}
+		}
+	}
+}
+
+func TestPlaceLeastLoadedBalances(t *testing.T) {
+	jobs := placementJobs(50, 2)
+	recs, err := Place(jobs, PlacementOptions{Machines: 16, Policy: LeastLoadedPlacement, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gini, err := resource.LoadImbalance(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Perfectly level modulo rounding: near-zero Gini.
+	if gini > 0.01 {
+		t.Fatalf("least-loaded Gini = %.4f, want ~0", gini)
+	}
+	random, err := Place(jobs, PlacementOptions{Machines: 16, Policy: RandomPlacement, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	giniRandom, err := resource.LoadImbalance(random)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if giniRandom <= gini {
+		t.Fatalf("random Gini %.4f not above least-loaded %.4f", giniRandom, gini)
+	}
+}
+
+func TestPlaceGroupPackedSegregates(t *testing.T) {
+	jobs := placementJobs(60, 3)
+	recs, err := Place(jobs, PlacementOptions{Machines: 30, Policy: GroupPackedPlacement, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := coloc.Analyze(recs, groupMap(jobs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ov := range res.Overlaps {
+		if ov.Observed != 0 {
+			t.Fatalf("group-packed placement co-located %s+%s on %d machines",
+				ov.GroupA, ov.GroupB, ov.Observed)
+		}
+	}
+}
+
+func TestPlaceRandomMixes(t *testing.T) {
+	jobs := placementJobs(100, 4)
+	recs, err := Place(jobs, PlacementOptions{Machines: 20, Policy: RandomPlacement, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := coloc.Analyze(recs, groupMap(jobs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With heavy load per machine, every group pair should co-occur.
+	for _, ov := range res.Overlaps {
+		if ov.Observed == 0 {
+			t.Fatalf("random placement never co-located %s+%s", ov.GroupA, ov.GroupB)
+		}
+		if ov.Lift < 0.5 || ov.Lift > 1.5 {
+			t.Fatalf("random placement lift %.2f for %s+%s", ov.Lift, ov.GroupA, ov.GroupB)
+		}
+	}
+}
+
+func TestPlaceValidation(t *testing.T) {
+	jobs := placementJobs(3, 5)
+	if _, err := Place(jobs, PlacementOptions{Machines: 0}); err == nil {
+		t.Fatal("zero machines accepted")
+	}
+	if _, err := Place(jobs, PlacementOptions{Machines: 5, Policy: PlacementPolicy(9)}); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+	if _, err := Place([]PlacementJob{{JobID: "", Instances: 1}},
+		PlacementOptions{Machines: 2}); err == nil {
+		t.Fatal("empty job id accepted")
+	}
+	if _, err := Place([]PlacementJob{{JobID: "j", Instances: -1}},
+		PlacementOptions{Machines: 2}); err == nil {
+		t.Fatal("negative instances accepted")
+	}
+}
+
+func TestPlaceDeterministicWithSeed(t *testing.T) {
+	jobs := placementJobs(20, 6)
+	a, err := Place(jobs, PlacementOptions{Machines: 8, Policy: RandomPlacement, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Place(jobs, PlacementOptions{Machines: 8, Policy: RandomPlacement, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].MachineID != b[i].MachineID {
+			t.Fatal("same seed, different placement")
+		}
+	}
+}
+
+func TestPlaceMoreGroupsThanMachines(t *testing.T) {
+	// Degenerate: 5 groups, 2 machines — must not panic and must place
+	// every instance on a valid machine.
+	jobs := []PlacementJob{
+		{JobID: "a", Group: "g1", Instances: 2},
+		{JobID: "b", Group: "g2", Instances: 2},
+		{JobID: "c", Group: "g3", Instances: 2},
+		{JobID: "d", Group: "g4", Instances: 2},
+		{JobID: "e", Group: "g5", Instances: 2},
+	}
+	recs, err := Place(jobs, PlacementOptions{Machines: 2, Policy: GroupPackedPlacement, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if r.MachineID != "m_1" && r.MachineID != "m_2" {
+			t.Fatalf("instance on invalid machine %q", r.MachineID)
+		}
+	}
+}
+
+func TestPlacementPolicyString(t *testing.T) {
+	if RandomPlacement.String() != "random" || LeastLoadedPlacement.String() != "least-loaded" ||
+		GroupPackedPlacement.String() != "group-packed" {
+		t.Fatal("policy names")
+	}
+	if PlacementPolicy(9).String() != "placement(9)" {
+		t.Fatal("unknown policy name")
+	}
+}
+
+func TestPlacePropertyAllInstancesPlaced(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		jobs := placementJobs(1+rng.Intn(40), seed)
+		machines := 1 + rng.Intn(50)
+		pol := []PlacementPolicy{RandomPlacement, LeastLoadedPlacement, GroupPackedPlacement}[rng.Intn(3)]
+		recs, err := Place(jobs, PlacementOptions{Machines: machines, Policy: pol, Seed: seed})
+		if err != nil {
+			return false
+		}
+		want := 0
+		perJob := make(map[string]int)
+		for _, j := range jobs {
+			want += j.Instances
+		}
+		if len(recs) != want {
+			return false
+		}
+		for _, r := range recs {
+			perJob[r.JobName]++
+			if !strings.HasPrefix(r.MachineID, "m_") {
+				return false
+			}
+			id, err := strconv.Atoi(strings.TrimPrefix(r.MachineID, "m_"))
+			if err != nil || id < 1 || id > machines {
+				return false
+			}
+		}
+		for _, j := range jobs {
+			if perJob[j.JobID] != j.Instances {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,283 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"jobgraph/internal/dag"
+	"jobgraph/internal/taskname"
+)
+
+// mkChain builds a chain job with the given per-task durations.
+func mkChain(t testing.TB, id string, durs ...float64) *dag.Graph {
+	t.Helper()
+	g := dag.New(id)
+	for i, d := range durs {
+		if err := g.AddNode(dag.Node{ID: dag.NodeID(i + 1), Type: taskname.TypeMap, Duration: d}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 1; i < len(durs); i++ {
+		if err := g.AddEdge(dag.NodeID(i), dag.NodeID(i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+// mkFork builds one source feeding k parallel children into a sink.
+func mkFork(t testing.TB, id string, k int, dur float64) *dag.Graph {
+	t.Helper()
+	g := dag.New(id)
+	if err := g.AddNode(dag.Node{ID: 1, Type: taskname.TypeMap, Duration: dur}); err != nil {
+		t.Fatal(err)
+	}
+	sink := dag.NodeID(k + 2)
+	if err := g.AddNode(dag.Node{ID: sink, Type: taskname.TypeReduce, Duration: dur}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < k; i++ {
+		id := dag.NodeID(i + 2)
+		if err := g.AddNode(dag.Node{ID: id, Type: taskname.TypeReduce, Duration: dur}); err != nil {
+			t.Fatal(err)
+		}
+		if err := g.AddEdge(1, id); err != nil {
+			t.Fatal(err)
+		}
+		if err := g.AddEdge(id, sink); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+func TestSimulateSingleChain(t *testing.T) {
+	g := mkChain(t, "c", 10, 20, 30)
+	res, err := Simulate([]JobSpec{{Graph: g}}, Options{Slots: 4, Policy: FIFO})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan != 60 {
+		t.Fatalf("makespan = %g, want 60", res.Makespan)
+	}
+	if res.Jobs[0].Completion != 60 || res.Jobs[0].Start != 0 {
+		t.Fatalf("job result = %+v", res.Jobs[0])
+	}
+}
+
+func TestSimulateParallelismLimitedBySlots(t *testing.T) {
+	// Fork with 4 parallel middle tasks of 10s each: with 4 slots the
+	// middle layer takes 10s; with 1 slot it takes 40s.
+	g := mkFork(t, "f", 4, 10)
+	wide, err := Simulate([]JobSpec{{Graph: g}}, Options{Slots: 8, Policy: FIFO})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wide.Makespan != 30 {
+		t.Fatalf("wide makespan = %g, want 30", wide.Makespan)
+	}
+	narrow, err := Simulate([]JobSpec{{Graph: g}}, Options{Slots: 1, Policy: FIFO})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if narrow.Makespan != 60 { // 6 tasks × 10s serialized
+		t.Fatalf("narrow makespan = %g, want 60", narrow.Makespan)
+	}
+}
+
+func TestSimulateRespectsDependencies(t *testing.T) {
+	g := mkChain(t, "c", 5, 5)
+	res, err := Simulate([]JobSpec{{Graph: g}}, Options{Slots: 2, Policy: FIFO})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Even with 2 slots, a chain cannot parallelize.
+	if res.Makespan != 10 {
+		t.Fatalf("makespan = %g, want 10", res.Makespan)
+	}
+}
+
+func TestSimulateArrivals(t *testing.T) {
+	a := mkChain(t, "a", 10)
+	b := mkChain(t, "b", 10)
+	res, err := Simulate([]JobSpec{
+		{Graph: a, Arrival: 0},
+		{Graph: b, Arrival: 100},
+	}, Options{Slots: 1, Policy: FIFO})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cluster idles between jobs.
+	if res.Jobs[1].Start != 100 || res.Jobs[1].Finish != 110 {
+		t.Fatalf("job b = %+v", res.Jobs[1])
+	}
+	if res.Makespan != 110 {
+		t.Fatalf("makespan = %g", res.Makespan)
+	}
+}
+
+func TestCriticalPathFirstBeatsFIFOOnMixedLoad(t *testing.T) {
+	// One long chain (critical) and many short independent singles.
+	// FIFO by arrival lets shorts block the chain on a single slot;
+	// CP-first starts the chain immediately.
+	jobs := []JobSpec{}
+	long := mkChain(t, "long", 50, 50, 50)
+	for i := 0; i < 6; i++ {
+		jobs = append(jobs, JobSpec{Graph: mkChain(t, "s", 10), Arrival: 0})
+	}
+	jobs = append(jobs, JobSpec{Graph: long, Arrival: 0}) // arrives "last"
+	fifo, err := Simulate(jobs, Options{Slots: 2, Policy: FIFO})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := Simulate(jobs, Options{Slots: 2, Policy: CriticalPathFirst})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.Makespan >= fifo.Makespan {
+		t.Fatalf("CP-first makespan %g !< FIFO %g", cp.Makespan, fifo.Makespan)
+	}
+}
+
+func TestGroupAwareUsesBoost(t *testing.T) {
+	// Two identical jobs; the boosted one must start first under
+	// GroupAware despite arriving at the same time with a later seq.
+	a := mkChain(t, "a", 10, 10)
+	b := mkChain(t, "b", 10, 10)
+	res, err := Simulate([]JobSpec{
+		{Graph: a, GroupPriority: 0},
+		{Graph: b, GroupPriority: 5},
+	}, Options{Slots: 1, Policy: GroupAware})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Jobs[1].Start != 0 {
+		t.Fatalf("boosted job started at %g, want 0", res.Jobs[1].Start)
+	}
+	if res.Jobs[0].Start == 0 {
+		t.Fatal("unboosted job should wait")
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	g := mkChain(t, "a", 1)
+	if _, err := Simulate([]JobSpec{{Graph: g}}, Options{Slots: 0}); err == nil {
+		t.Fatal("zero slots accepted")
+	}
+	if _, err := Simulate([]JobSpec{{Graph: g}}, Options{Slots: 1, Policy: Policy(99)}); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+	if _, err := Simulate([]JobSpec{{Graph: dag.New("e")}}, Options{Slots: 1}); err == nil {
+		t.Fatal("empty job accepted")
+	}
+	if _, err := Simulate([]JobSpec{{Graph: g, Arrival: -1}}, Options{Slots: 1}); err == nil {
+		t.Fatal("negative arrival accepted")
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if FIFO.String() != "fifo" || CriticalPathFirst.String() != "critical-path" ||
+		GroupAware.String() != "group-aware" {
+		t.Fatal("policy names")
+	}
+	if Policy(42).String() != "policy(42)" {
+		t.Fatal("unknown policy name")
+	}
+}
+
+func randomJob(t testing.TB, rng *rand.Rand, id string) *dag.Graph {
+	t.Helper()
+	n := 1 + rng.Intn(8)
+	g := dag.New(id)
+	for i := 1; i <= n; i++ {
+		if err := g.AddNode(dag.Node{
+			ID: dag.NodeID(i), Type: taskname.TypeMap,
+			Duration: 1 + float64(rng.Intn(20)),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 1; i <= n; i++ {
+		for j := i + 1; j <= n; j++ {
+			if rng.Float64() < 0.3 {
+				if err := g.AddEdge(dag.NodeID(i), dag.NodeID(j)); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	return g
+}
+
+func TestSimulateInvariantsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nJobs := 1 + rng.Intn(8)
+		jobs := make([]JobSpec, nJobs)
+		for i := range jobs {
+			jobs[i] = JobSpec{
+				Graph:   randomJob(t, rng, "j"),
+				Arrival: float64(rng.Intn(100)),
+			}
+		}
+		slots := 1 + rng.Intn(4)
+		for _, pol := range []Policy{FIFO, CriticalPathFirst, GroupAware} {
+			res, err := Simulate(jobs, Options{Slots: slots, Policy: pol})
+			if err != nil {
+				return false
+			}
+			for i, jr := range res.Jobs {
+				// Completion >= critical path duration (lower bound).
+				cpd, _ := jobs[i].Graph.CriticalPathDuration()
+				if jr.Completion < cpd-1e-9 {
+					return false
+				}
+				if jr.Start < jobs[i].Arrival-1e-9 || jr.Finish < jr.Start {
+					return false
+				}
+				if jr.Finish > res.Makespan+1e-9 {
+					return false
+				}
+			}
+			// Makespan >= total work / slots (capacity bound) given all
+			// arrivals at or after 0.
+			var work float64
+			for _, j := range jobs {
+				for _, id := range j.Graph.NodeIDs() {
+					work += j.Graph.Node(id).Duration
+				}
+			}
+			if res.Makespan < work/float64(slots)-1e-9-100 {
+				// -100 slack for late arrivals shifting the window.
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimulateWorkConservingOnBacklog(t *testing.T) {
+	// With all jobs arriving at t=0, makespan with S slots is at most
+	// total work (never worse than a single slot).
+	rng := rand.New(rand.NewSource(4))
+	var jobs []JobSpec
+	var work float64
+	for i := 0; i < 5; i++ {
+		g := randomJob(t, rng, "j")
+		jobs = append(jobs, JobSpec{Graph: g})
+		for _, id := range g.NodeIDs() {
+			work += g.Node(id).Duration
+		}
+	}
+	res, err := Simulate(jobs, Options{Slots: 3, Policy: CriticalPathFirst})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan > work+1e-9 {
+		t.Fatalf("makespan %g exceeds serialized work %g", res.Makespan, work)
+	}
+}

@@ -1,0 +1,113 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPearsonPerfect(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{2, 4, 6, 8}
+	r, err := Pearson(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(r, 1, 1e-12) {
+		t.Fatalf("r = %g, want 1", r)
+	}
+	for i := range ys {
+		ys[i] = -ys[i]
+	}
+	r, _ = Pearson(xs, ys)
+	if !almostEqual(r, -1, 1e-12) {
+		t.Fatalf("r = %g, want -1", r)
+	}
+}
+
+func TestPearsonConstantInput(t *testing.T) {
+	r, err := Pearson([]float64{1, 1, 1}, []float64{1, 2, 3})
+	if err != nil || r != 0 {
+		t.Fatalf("constant input: r=%g err=%v, want 0, nil", r, err)
+	}
+}
+
+func TestPearsonErrors(t *testing.T) {
+	if _, err := Pearson([]float64{1}, []float64{1, 2}); err != ErrLengthMismatch {
+		t.Fatalf("err = %v, want ErrLengthMismatch", err)
+	}
+	if _, err := Pearson(nil, nil); err != ErrEmpty {
+		t.Fatalf("err = %v, want ErrEmpty", err)
+	}
+}
+
+func TestPearsonBoundedProperty(t *testing.T) {
+	f := func(pairs [][2]float64) bool {
+		var xs, ys []float64
+		for _, p := range pairs {
+			if math.IsNaN(p[0]) || math.IsNaN(p[1]) ||
+				math.IsInf(p[0], 0) || math.IsInf(p[1], 0) ||
+				math.Abs(p[0]) > 1e8 || math.Abs(p[1]) > 1e8 {
+				continue
+			}
+			xs = append(xs, p[0])
+			ys = append(ys, p[1])
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		r, err := Pearson(xs, ys)
+		return err == nil && r >= -1-1e-9 && r <= 1+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpearmanMonotone(t *testing.T) {
+	// Monotone but nonlinear relationship: Spearman 1, Pearson < 1.
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{1, 8, 27, 64, 125}
+	rs, err := Spearman(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(rs, 1, 1e-12) {
+		t.Fatalf("spearman = %g, want 1", rs)
+	}
+	rp, _ := Pearson(xs, ys)
+	if rp >= 1-1e-9 {
+		t.Fatalf("pearson = %g, expected < 1 for cubic", rp)
+	}
+}
+
+func TestSpearmanTies(t *testing.T) {
+	// With ties averaged, ranks of {1,1,2} are {1.5,1.5,3}.
+	r := ranks([]float64{1, 1, 2})
+	if r[0] != 1.5 || r[1] != 1.5 || r[2] != 3 {
+		t.Fatalf("ranks = %v", r)
+	}
+}
+
+func TestSpearmanSymmetryProperty(t *testing.T) {
+	f := func(pairs [][2]float64) bool {
+		var xs, ys []float64
+		for _, p := range pairs {
+			if math.IsNaN(p[0]) || math.IsNaN(p[1]) ||
+				math.IsInf(p[0], 0) || math.IsInf(p[1], 0) {
+				continue
+			}
+			xs = append(xs, p[0])
+			ys = append(ys, p[1])
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		a, err1 := Spearman(xs, ys)
+		b, err2 := Spearman(ys, xs)
+		return err1 == nil && err2 == nil && almostEqual(a, b, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

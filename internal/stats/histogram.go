@@ -1,0 +1,226 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Histogram is a fixed-bin histogram over float64 observations.
+// Bins are half-open [Edges[i], Edges[i+1]), except the last bin which is
+// closed on both sides so that the maximum observation is counted.
+type Histogram struct {
+	Edges   []float64 // len = len(Counts)+1, strictly increasing
+	Counts  []int
+	total   int
+	dropped int
+}
+
+// NewHistogram builds a histogram with n equal-width bins spanning
+// [lo, hi]. It returns an error when n < 1 or hi <= lo.
+func NewHistogram(lo, hi float64, n int) (*Histogram, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("stats: histogram needs >=1 bin, got %d", n)
+	}
+	if !(hi > lo) {
+		return nil, fmt.Errorf("stats: histogram range [%g,%g] is empty", lo, hi)
+	}
+	edges := make([]float64, n+1)
+	w := (hi - lo) / float64(n)
+	for i := 0; i <= n; i++ {
+		edges[i] = lo + float64(i)*w
+	}
+	edges[n] = hi // avoid accumulation error on the last edge
+	return &Histogram{Edges: edges, Counts: make([]int, n)}, nil
+}
+
+// NewHistogramEdges builds a histogram from explicit, strictly increasing
+// bin edges.
+func NewHistogramEdges(edges []float64) (*Histogram, error) {
+	if len(edges) < 2 {
+		return nil, fmt.Errorf("stats: need >=2 edges, got %d", len(edges))
+	}
+	for i := 1; i < len(edges); i++ {
+		if !(edges[i] > edges[i-1]) {
+			return nil, fmt.Errorf("stats: edges not strictly increasing at %d", i)
+		}
+	}
+	return &Histogram{
+		Edges:  append([]float64(nil), edges...),
+		Counts: make([]int, len(edges)-1),
+	}, nil
+}
+
+// Add records one observation. Observations outside the histogram range
+// are silently dropped and reported via Dropped (callers working with the
+// trace want totals to still add up, so we count them).
+func (h *Histogram) Add(x float64) {
+	i := h.binOf(x)
+	if i < 0 {
+		h.dropped++
+		return
+	}
+	h.Counts[i]++
+	h.total++
+}
+
+// AddAll records every observation in xs.
+func (h *Histogram) AddAll(xs []float64) {
+	for _, x := range xs {
+		h.Add(x)
+	}
+}
+
+// binOf returns the bin index for x, or -1 when out of range.
+func (h *Histogram) binOf(x float64) int {
+	n := len(h.Counts)
+	if x < h.Edges[0] || x > h.Edges[n] {
+		return -1
+	}
+	if x == h.Edges[n] {
+		return n - 1
+	}
+	// Binary search for the right-most edge <= x.
+	i := sort.SearchFloat64s(h.Edges, x)
+	if i < len(h.Edges) && h.Edges[i] == x {
+		return min(i, n-1)
+	}
+	return i - 1
+}
+
+// Total returns the number of observations recorded (excluding dropped).
+func (h *Histogram) Total() int { return h.total }
+
+// Dropped returns the number of observations outside the histogram range.
+func (h *Histogram) Dropped() int { return h.dropped }
+
+// Fractions returns the per-bin fraction of total observations.
+// All zeros when the histogram is empty.
+func (h *Histogram) Fractions() []float64 {
+	fs := make([]float64, len(h.Counts))
+	if h.total == 0 {
+		return fs
+	}
+	for i, c := range h.Counts {
+		fs[i] = float64(c) / float64(h.total)
+	}
+	return fs
+}
+
+// Render draws an ASCII bar chart of the histogram, one row per bin, with
+// bars scaled so the fullest bin spans width characters.
+func (h *Histogram) Render(width int) string {
+	if width < 1 {
+		width = 40
+	}
+	maxC := 0
+	for _, c := range h.Counts {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	var b strings.Builder
+	for i, c := range h.Counts {
+		bar := 0
+		if maxC > 0 {
+			bar = int(math.Round(float64(c) / float64(maxC) * float64(width)))
+		}
+		fmt.Fprintf(&b, "[%8.2f, %8.2f) %6d |%s\n",
+			h.Edges[i], h.Edges[i+1], c, strings.Repeat("#", bar))
+	}
+	return b.String()
+}
+
+// IntCounter counts occurrences of integer-valued observations (job sizes,
+// critical-path lengths). It is the natural representation for the paper's
+// "17 size groups" style figures where bins are exact values, not ranges.
+type IntCounter struct {
+	counts map[int]int
+	total  int
+}
+
+// NewIntCounter returns an empty counter.
+func NewIntCounter() *IntCounter {
+	return &IntCounter{counts: make(map[int]int)}
+}
+
+// Add records one observation of value v.
+func (c *IntCounter) Add(v int) {
+	c.counts[v]++
+	c.total++
+}
+
+// AddN records n observations of value v.
+func (c *IntCounter) AddN(v, n int) {
+	if n <= 0 {
+		return
+	}
+	c.counts[v] += n
+	c.total += n
+}
+
+// Count returns the number of observations with value v.
+func (c *IntCounter) Count(v int) int { return c.counts[v] }
+
+// Total returns the number of observations recorded.
+func (c *IntCounter) Total() int { return c.total }
+
+// Distinct returns the number of distinct observed values — the paper's
+// "17 different size types".
+func (c *IntCounter) Distinct() int { return len(c.counts) }
+
+// Values returns the distinct observed values in increasing order.
+func (c *IntCounter) Values() []int {
+	vs := make([]int, 0, len(c.counts))
+	for v := range c.counts {
+		vs = append(vs, v)
+	}
+	sort.Ints(vs)
+	return vs
+}
+
+// Fraction returns the share of observations with value v (0 when empty).
+func (c *IntCounter) Fraction(v int) float64 {
+	if c.total == 0 {
+		return 0
+	}
+	return float64(c.counts[v]) / float64(c.total)
+}
+
+// ECDF is an empirical cumulative distribution function.
+type ECDF struct {
+	sorted []float64
+}
+
+// NewECDF builds an ECDF from observations xs.
+func NewECDF(xs []float64) (*ECDF, error) {
+	if len(xs) == 0 {
+		return nil, ErrEmpty
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return &ECDF{sorted: s}, nil
+}
+
+// At returns P(X <= x) under the empirical distribution.
+func (e *ECDF) At(x float64) float64 {
+	// Index of the first element > x.
+	i := sort.Search(len(e.sorted), func(i int) bool { return e.sorted[i] > x })
+	return float64(i) / float64(len(e.sorted))
+}
+
+// Inverse returns the smallest observation x with P(X <= x) >= p.
+func (e *ECDF) Inverse(p float64) float64 {
+	if p <= 0 {
+		return e.sorted[0]
+	}
+	if p >= 1 {
+		return e.sorted[len(e.sorted)-1]
+	}
+	i := int(math.Ceil(p*float64(len(e.sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	return e.sorted[i]
+}

@@ -1,0 +1,180 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramBasic(t *testing.T) {
+	h, err := NewHistogram(0, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.AddAll([]float64{0, 1, 2, 3, 9, 10})
+	if h.Total() != 6 {
+		t.Fatalf("total = %d, want 6", h.Total())
+	}
+	want := []int{2, 2, 0, 0, 2} // 10 falls into the closed last bin
+	for i, w := range want {
+		if h.Counts[i] != w {
+			t.Fatalf("counts = %v, want %v", h.Counts, want)
+		}
+	}
+}
+
+func TestHistogramDrop(t *testing.T) {
+	h, _ := NewHistogram(0, 1, 2)
+	h.Add(-0.5)
+	h.Add(1.5)
+	h.Add(0.5)
+	if h.Total() != 1 || h.Dropped() != 2 {
+		t.Fatalf("total=%d dropped=%d, want 1, 2", h.Total(), h.Dropped())
+	}
+}
+
+func TestHistogramEdgeObservationOnBoundary(t *testing.T) {
+	h, _ := NewHistogram(0, 4, 4)
+	h.Add(2) // exactly on the boundary between bins 1 and 2 → bin 2
+	if h.Counts[2] != 1 {
+		t.Fatalf("boundary went to wrong bin: %v", h.Counts)
+	}
+}
+
+func TestHistogramInvalid(t *testing.T) {
+	if _, err := NewHistogram(0, 0, 3); err == nil {
+		t.Error("empty range accepted")
+	}
+	if _, err := NewHistogram(0, 1, 0); err == nil {
+		t.Error("zero bins accepted")
+	}
+	if _, err := NewHistogramEdges([]float64{1}); err == nil {
+		t.Error("single edge accepted")
+	}
+	if _, err := NewHistogramEdges([]float64{1, 1}); err == nil {
+		t.Error("non-increasing edges accepted")
+	}
+}
+
+func TestHistogramFractionsSumToOne(t *testing.T) {
+	h, _ := NewHistogram(0, 100, 10)
+	for i := 0; i < 1000; i++ {
+		h.Add(float64(i % 100))
+	}
+	var sum float64
+	for _, f := range h.Fractions() {
+		sum += f
+	}
+	if !almostEqual(sum, 1, 1e-12) {
+		t.Fatalf("fractions sum = %g", sum)
+	}
+}
+
+func TestHistogramConservationProperty(t *testing.T) {
+	// total + dropped == number of Add calls, regardless of input.
+	f := func(xs []float64) bool {
+		h, _ := NewHistogram(-10, 10, 7)
+		n := 0
+		for _, x := range xs {
+			h.Add(x)
+			n++
+		}
+		return h.Total()+h.Dropped() == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramRender(t *testing.T) {
+	h, _ := NewHistogram(0, 2, 2)
+	h.AddAll([]float64{0.5, 0.6, 1.5})
+	out := h.Render(10)
+	if !strings.Contains(out, "##########") {
+		t.Fatalf("fullest bin not at full width:\n%s", out)
+	}
+	if lines := strings.Count(out, "\n"); lines != 2 {
+		t.Fatalf("expected 2 rows, got %d:\n%s", lines, out)
+	}
+}
+
+func TestIntCounter(t *testing.T) {
+	c := NewIntCounter()
+	c.Add(2)
+	c.Add(2)
+	c.Add(31)
+	c.AddN(5, 3)
+	c.AddN(5, 0) // no-op
+	c.AddN(5, -1)
+	if c.Total() != 6 {
+		t.Fatalf("total = %d, want 6", c.Total())
+	}
+	if c.Distinct() != 3 {
+		t.Fatalf("distinct = %d, want 3", c.Distinct())
+	}
+	if got := c.Values(); len(got) != 3 || got[0] != 2 || got[1] != 5 || got[2] != 31 {
+		t.Fatalf("values = %v", got)
+	}
+	if !almostEqual(c.Fraction(2), 2.0/6.0, 1e-12) {
+		t.Fatalf("fraction = %g", c.Fraction(2))
+	}
+	if c.Count(99) != 0 {
+		t.Fatal("unseen value should count 0")
+	}
+}
+
+func TestIntCounterEmptyFraction(t *testing.T) {
+	c := NewIntCounter()
+	if c.Fraction(1) != 0 {
+		t.Fatal("empty counter fraction should be 0")
+	}
+}
+
+func TestECDF(t *testing.T) {
+	e, err := NewECDF([]float64{1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct{ x, want float64 }{
+		{0, 0}, {1, 0.25}, {2.5, 0.5}, {4, 1}, {10, 1},
+	}
+	for _, c := range cases {
+		if got := e.At(c.x); !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("At(%g) = %g, want %g", c.x, got, c.want)
+		}
+	}
+}
+
+func TestECDFInverseRoundTripProperty(t *testing.T) {
+	f := func(raw []float64, p float64) bool {
+		xs := raw[:0:0]
+		for _, x := range raw {
+			if x == x && x > -1e12 && x < 1e12 { // finite, non-NaN
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		e, err := NewECDF(xs)
+		if err != nil {
+			return false
+		}
+		pp := p - float64(int(p))
+		if pp < 0 {
+			pp = -pp
+		}
+		x := e.Inverse(pp)
+		// CDF at the inverse must reach at least pp.
+		return e.At(x) >= pp-1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestECDFEmpty(t *testing.T) {
+	if _, err := NewECDF(nil); err != ErrEmpty {
+		t.Fatalf("err = %v, want ErrEmpty", err)
+	}
+}

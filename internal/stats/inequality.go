@@ -1,0 +1,82 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Gini returns the Gini coefficient of the non-negative values xs: 0
+// for perfect equality, approaching 1 as mass concentrates on a single
+// element. Used to characterize load imbalance across machines and
+// resource-demand skew across job groups (cf. the "Imbalance in the
+// cloud" analyses the paper cites). Negative inputs are an error.
+func Gini(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if s[0] < 0 {
+		return 0, ErrNegative
+	}
+	var cum, weighted float64
+	for i, v := range s {
+		cum += v
+		weighted += float64(i+1) * v
+	}
+	if cum == 0 {
+		return 0, nil // all zeros: perfectly equal
+	}
+	n := float64(len(s))
+	return (2*weighted - (n+1)*cum) / (n * cum), nil
+}
+
+// ErrNegative is returned when an input that must be non-negative is not.
+var ErrNegative = negErr{}
+
+type negErr struct{}
+
+func (negErr) Error() string { return "stats: negative value" }
+
+// Entropy returns the Shannon entropy (nats) of a discrete distribution
+// given as non-negative weights; weights are normalized internally.
+// Empty input is ErrEmpty; an all-zero weight vector has entropy 0.
+func Entropy(weights []float64) (float64, error) {
+	if len(weights) == 0 {
+		return 0, ErrEmpty
+	}
+	var total float64
+	for _, w := range weights {
+		if w < 0 {
+			return 0, ErrNegative
+		}
+		total += w
+	}
+	if total == 0 {
+		return 0, nil
+	}
+	var h float64
+	for _, w := range weights {
+		if w == 0 {
+			continue
+		}
+		p := w / total
+		h -= p * math.Log(p)
+	}
+	return h, nil
+}
+
+// NormalizedEntropy returns Entropy divided by log(n) so the result
+// lies in [0, 1]; n == 1 returns 1 by the convention that a single
+// outcome is maximally concentrated yet trivially uniform — callers
+// comparing distributions should use n > 1.
+func NormalizedEntropy(weights []float64) (float64, error) {
+	h, err := Entropy(weights)
+	if err != nil {
+		return 0, err
+	}
+	if len(weights) == 1 {
+		return 1, nil
+	}
+	return h / math.Log(float64(len(weights))), nil
+}

@@ -1,0 +1,137 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestGiniEquality(t *testing.T) {
+	g, err := Gini([]float64{5, 5, 5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g != 0 {
+		t.Fatalf("equal values Gini = %g, want 0", g)
+	}
+}
+
+func TestGiniConcentration(t *testing.T) {
+	// One element owns everything among n: Gini = (n-1)/n.
+	g, err := Gini([]float64{0, 0, 0, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(g, 0.75, 1e-12) {
+		t.Fatalf("concentrated Gini = %g, want 0.75", g)
+	}
+}
+
+func TestGiniKnownValue(t *testing.T) {
+	// {1,3}: mean 2, mean abs diff = (0+2+2+0)/4 = 1, G = 1/(2·2) = 0.25.
+	g, err := Gini([]float64{1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(g, 0.25, 1e-12) {
+		t.Fatalf("Gini = %g, want 0.25", g)
+	}
+}
+
+func TestGiniEdgeCases(t *testing.T) {
+	if _, err := Gini(nil); err != ErrEmpty {
+		t.Fatal("empty accepted")
+	}
+	if _, err := Gini([]float64{1, -1}); err != ErrNegative {
+		t.Fatal("negative accepted")
+	}
+	if g, err := Gini([]float64{0, 0}); err != nil || g != 0 {
+		t.Fatalf("all-zero Gini = %g, %v", g, err)
+	}
+	if g, err := Gini([]float64{7}); err != nil || g != 0 {
+		t.Fatalf("singleton Gini = %g, %v", g, err)
+	}
+}
+
+func TestGiniBoundedScaleInvariantProperty(t *testing.T) {
+	f := func(raw []float64, scale float64) bool {
+		xs := raw[:0:0]
+		for _, x := range raw {
+			// Bound magnitudes: sums of values near MaxFloat64 overflow
+			// to Inf, which is the caller's problem, not Gini's.
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e100 {
+				xs = append(xs, math.Abs(x))
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		g, err := Gini(xs)
+		if err != nil || g < 0 || g >= 1 {
+			return false
+		}
+		// Scale invariance.
+		k := 1 + math.Abs(math.Mod(scale, 100))
+		scaled := make([]float64, len(xs))
+		for i, x := range xs {
+			scaled[i] = x * k
+		}
+		g2, err := Gini(scaled)
+		return err == nil && almostEqual(g, g2, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEntropyUniform(t *testing.T) {
+	h, err := Entropy([]float64{1, 1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(h, math.Log(4), 1e-12) {
+		t.Fatalf("uniform entropy = %g, want ln 4", h)
+	}
+	nh, err := NormalizedEntropy([]float64{1, 1, 1, 1})
+	if err != nil || !almostEqual(nh, 1, 1e-12) {
+		t.Fatalf("normalized uniform = %g, %v", nh, err)
+	}
+}
+
+func TestEntropyDegenerate(t *testing.T) {
+	h, err := Entropy([]float64{1, 0, 0})
+	if err != nil || h != 0 {
+		t.Fatalf("point mass entropy = %g, %v", h, err)
+	}
+	if _, err := Entropy(nil); err != ErrEmpty {
+		t.Fatal("empty accepted")
+	}
+	if _, err := Entropy([]float64{-1}); err != ErrNegative {
+		t.Fatal("negative accepted")
+	}
+	if h, err := Entropy([]float64{0, 0}); err != nil || h != 0 {
+		t.Fatalf("all-zero entropy = %g, %v", h, err)
+	}
+	if nh, err := NormalizedEntropy([]float64{3}); err != nil || nh != 1 {
+		t.Fatalf("singleton normalized = %g, %v", nh, err)
+	}
+}
+
+func TestNormalizedEntropyBoundedProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		ws := raw[:0:0]
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e100 {
+				ws = append(ws, math.Abs(x))
+			}
+		}
+		if len(ws) < 2 {
+			return true
+		}
+		nh, err := NormalizedEntropy(ws)
+		return err == nil && nh >= -1e-12 && nh <= 1+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,224 @@
+// Package stats provides the descriptive statistics used throughout the
+// workload characterization pipeline: summaries, quantiles, histograms,
+// empirical CDFs, box-plot statistics and rank/linear correlation.
+//
+// The package is deliberately dependency-free and operates on float64
+// slices. All functions treat NaN inputs as programmer error and never
+// produce NaN for non-empty, finite input.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned by functions that cannot operate on empty input.
+var ErrEmpty = errors.New("stats: empty input")
+
+// ErrLengthMismatch is returned by bivariate functions when the two input
+// slices differ in length.
+var ErrLengthMismatch = errors.New("stats: input length mismatch")
+
+// Sum returns the sum of xs. An empty slice sums to 0.
+func Sum(xs []float64) float64 {
+	// Kahan summation: the pipeline aggregates millions of per-task
+	// durations, where naive summation loses precision.
+	var sum, comp float64
+	for _, x := range xs {
+		y := x - comp
+		t := sum + y
+		comp = (t - sum) - y
+		sum = t
+	}
+	return sum
+}
+
+// Mean returns the arithmetic mean of xs.
+func Mean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	return Sum(xs) / float64(len(xs)), nil
+}
+
+// Variance returns the unbiased sample variance of xs (n-1 denominator).
+// A single observation has variance 0.
+func Variance(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	if len(xs) == 1 {
+		return 0, nil
+	}
+	m, _ := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return ss / float64(len(xs)-1), nil
+}
+
+// StdDev returns the unbiased sample standard deviation of xs.
+func StdDev(xs []float64) (float64, error) {
+	v, err := Variance(xs)
+	if err != nil {
+		return 0, err
+	}
+	return math.Sqrt(v), nil
+}
+
+// Min returns the smallest value in xs.
+func Min(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m, nil
+}
+
+// Max returns the largest value in xs.
+func Max(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m, nil
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of xs using linear
+// interpolation between order statistics (type-7 estimator, the R and
+// NumPy default). xs does not need to be sorted.
+func Quantile(xs []float64, q float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	if q < 0 || q > 1 || math.IsNaN(q) {
+		return 0, errors.New("stats: quantile out of range [0,1]")
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return quantileSorted(s, q), nil
+}
+
+// quantileSorted computes the type-7 quantile of an already-sorted slice.
+func quantileSorted(s []float64, q float64) float64 {
+	n := len(s)
+	if n == 1 {
+		return s[0]
+	}
+	h := q * float64(n-1)
+	lo := int(math.Floor(h))
+	hi := lo + 1
+	if hi >= n {
+		return s[n-1]
+	}
+	frac := h - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Median returns the 0.5-quantile of xs.
+func Median(xs []float64) (float64, error) {
+	return Quantile(xs, 0.5)
+}
+
+// Summary bundles the descriptive statistics reported for each
+// distribution in the paper's figures (job size, critical path,
+// parallelism per cluster group).
+type Summary struct {
+	N      int
+	Mean   float64
+	StdDev float64
+	Min    float64
+	P25    float64
+	Median float64
+	P75    float64
+	P90    float64
+	P99    float64
+	Max    float64
+}
+
+// Describe computes a Summary of xs.
+func Describe(xs []float64) (Summary, error) {
+	if len(xs) == 0 {
+		return Summary{}, ErrEmpty
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	mean, _ := Mean(s)
+	sd, _ := StdDev(s)
+	return Summary{
+		N:      len(s),
+		Mean:   mean,
+		StdDev: sd,
+		Min:    s[0],
+		P25:    quantileSorted(s, 0.25),
+		Median: quantileSorted(s, 0.5),
+		P75:    quantileSorted(s, 0.75),
+		P90:    quantileSorted(s, 0.90),
+		P99:    quantileSorted(s, 0.99),
+		Max:    s[len(s)-1],
+	}, nil
+}
+
+// BoxStats holds the five-number summary drawn as one box in the paper's
+// Figure 9 box plots, plus the observations flagged as outliers under the
+// 1.5×IQR rule.
+type BoxStats struct {
+	LowerWhisker float64
+	Q1           float64
+	Median       float64
+	Q3           float64
+	UpperWhisker float64
+	Outliers     []float64
+}
+
+// Box computes box-plot statistics for xs using Tukey's 1.5×IQR whiskers:
+// whiskers extend to the most extreme observation within 1.5×IQR of the
+// nearer quartile; observations beyond are reported as outliers.
+func Box(xs []float64) (BoxStats, error) {
+	if len(xs) == 0 {
+		return BoxStats{}, ErrEmpty
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	b := BoxStats{
+		Q1:     quantileSorted(s, 0.25),
+		Median: quantileSorted(s, 0.5),
+		Q3:     quantileSorted(s, 0.75),
+	}
+	iqr := b.Q3 - b.Q1
+	loFence := b.Q1 - 1.5*iqr
+	hiFence := b.Q3 + 1.5*iqr
+	b.LowerWhisker = b.Q3 // will be lowered below
+	b.UpperWhisker = b.Q1
+	for _, x := range s {
+		if x < loFence || x > hiFence {
+			b.Outliers = append(b.Outliers, x)
+			continue
+		}
+		if x < b.LowerWhisker {
+			b.LowerWhisker = x
+		}
+		if x > b.UpperWhisker {
+			b.UpperWhisker = x
+		}
+	}
+	// All points can be outliers only when IQR is 0 and values differ;
+	// degenerate but keep whiskers at the quartiles in that case.
+	if len(b.Outliers) == len(s) {
+		b.LowerWhisker, b.UpperWhisker = b.Q1, b.Q3
+	}
+	return b, nil
+}

@@ -1,0 +1,224 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestSumEmpty(t *testing.T) {
+	if got := Sum(nil); got != 0 {
+		t.Fatalf("Sum(nil) = %g, want 0", got)
+	}
+}
+
+func TestSumKahanPrecision(t *testing.T) {
+	// 1e8 copies of 0.1 would drift badly under naive summation in
+	// float32; in float64 Kahan keeps us within a tight bound.
+	xs := make([]float64, 100000)
+	for i := range xs {
+		xs[i] = 0.1
+	}
+	if got, want := Sum(xs), 10000.0; !almostEqual(got, want, 1e-9) {
+		t.Fatalf("Sum = %.15f, want %.1f", got, want)
+	}
+}
+
+func TestMean(t *testing.T) {
+	got, err := Mean([]float64{1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 2.5 {
+		t.Fatalf("Mean = %g, want 2.5", got)
+	}
+}
+
+func TestMeanEmpty(t *testing.T) {
+	if _, err := Mean(nil); err != ErrEmpty {
+		t.Fatalf("err = %v, want ErrEmpty", err)
+	}
+}
+
+func TestVariance(t *testing.T) {
+	got, err := Variance([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sample variance with n-1 denominator: 32/7.
+	if want := 32.0 / 7.0; !almostEqual(got, want, 1e-12) {
+		t.Fatalf("Variance = %g, want %g", got, want)
+	}
+}
+
+func TestVarianceSingleton(t *testing.T) {
+	got, err := Variance([]float64{42})
+	if err != nil || got != 0 {
+		t.Fatalf("Variance([42]) = %g, %v; want 0, nil", got, err)
+	}
+}
+
+func TestStdDevNonNegativeProperty(t *testing.T) {
+	f := func(xs []float64) bool {
+		clean := xs[:0:0]
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e6 {
+				clean = append(clean, x)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		sd, err := StdDev(clean)
+		return err == nil && sd >= 0 && !math.IsNaN(sd)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 0}
+	lo, err := Min(xs)
+	if err != nil || lo != -1 {
+		t.Fatalf("Min = %g, %v", lo, err)
+	}
+	hi, err := Max(xs)
+	if err != nil || hi != 7 {
+		t.Fatalf("Max = %g, %v", hi, err)
+	}
+}
+
+func TestQuantileInterpolation(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	cases := []struct {
+		q, want float64
+	}{
+		{0, 1}, {1, 4}, {0.5, 2.5}, {0.25, 1.75}, {1.0 / 3.0, 2},
+	}
+	for _, c := range cases {
+		got, err := Quantile(xs, c.q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("Quantile(%g) = %g, want %g", c.q, got, c.want)
+		}
+	}
+}
+
+func TestQuantileRejectsBadQ(t *testing.T) {
+	for _, q := range []float64{-0.1, 1.1, math.NaN()} {
+		if _, err := Quantile([]float64{1}, q); err == nil {
+			t.Errorf("Quantile(q=%g) accepted, want error", q)
+		}
+	}
+}
+
+func TestQuantileDoesNotMutateInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if _, err := Quantile(xs, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatalf("input mutated: %v", xs)
+	}
+}
+
+func TestQuantileMonotoneProperty(t *testing.T) {
+	f := func(raw []float64, a, b float64) bool {
+		xs := raw[:0:0]
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		qa := math.Abs(math.Mod(a, 1))
+		qb := math.Abs(math.Mod(b, 1))
+		if qa > qb {
+			qa, qb = qb, qa
+		}
+		va, err1 := Quantile(xs, qa)
+		vb, err2 := Quantile(xs, qb)
+		return err1 == nil && err2 == nil && va <= vb
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	s, err := Describe([]float64{1, 2, 3, 4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.Median != 3 {
+		t.Fatalf("Describe = %+v", s)
+	}
+	if !almostEqual(s.StdDev, math.Sqrt(2.5), 1e-12) {
+		t.Fatalf("StdDev = %g", s.StdDev)
+	}
+}
+
+func TestDescribeOrderingProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := raw[:0:0]
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		s, err := Describe(xs)
+		if err != nil {
+			return false
+		}
+		return s.Min <= s.P25 && s.P25 <= s.Median && s.Median <= s.P75 &&
+			s.P75 <= s.P90 && s.P90 <= s.P99 && s.P99 <= s.Max
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBoxWhiskersWithinData(t *testing.T) {
+	xs := []float64{1, 2, 2, 3, 3, 3, 4, 4, 5, 100}
+	b, err := Box(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Outliers) != 1 || b.Outliers[0] != 100 {
+		t.Fatalf("outliers = %v, want [100]", b.Outliers)
+	}
+	if b.LowerWhisker != 1 || b.UpperWhisker != 5 {
+		t.Fatalf("whiskers = [%g, %g], want [1, 5]", b.LowerWhisker, b.UpperWhisker)
+	}
+	if b.Q1 > b.Median || b.Median > b.Q3 {
+		t.Fatalf("quartiles out of order: %+v", b)
+	}
+}
+
+func TestBoxConstantInput(t *testing.T) {
+	b, err := Box([]float64{7, 7, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.LowerWhisker != 7 || b.UpperWhisker != 7 || len(b.Outliers) != 0 {
+		t.Fatalf("Box constant = %+v", b)
+	}
+}
+
+func TestBoxEmpty(t *testing.T) {
+	if _, err := Box(nil); err != ErrEmpty {
+		t.Fatalf("err = %v, want ErrEmpty", err)
+	}
+}

@@ -1,0 +1,86 @@
+package stats
+
+import "math"
+
+// Accumulator computes count, mean, variance, min and max of a stream
+// in O(1) memory using Welford's algorithm — the tool for full-trace
+// aggregations (millions of task rows) where buffering a slice for
+// Describe would be wasteful.
+type Accumulator struct {
+	n        int
+	mean, m2 float64
+	min, max float64
+}
+
+// Add folds one observation into the accumulator.
+func (a *Accumulator) Add(x float64) {
+	a.n++
+	if a.n == 1 {
+		a.min, a.max = x, x
+	} else {
+		if x < a.min {
+			a.min = x
+		}
+		if x > a.max {
+			a.max = x
+		}
+	}
+	delta := x - a.mean
+	a.mean += delta / float64(a.n)
+	a.m2 += delta * (x - a.mean)
+}
+
+// AddAll folds every observation in xs.
+func (a *Accumulator) AddAll(xs []float64) {
+	for _, x := range xs {
+		a.Add(x)
+	}
+}
+
+// N returns the number of observations.
+func (a *Accumulator) N() int { return a.n }
+
+// Mean returns the running mean (0 when empty).
+func (a *Accumulator) Mean() float64 { return a.mean }
+
+// Variance returns the unbiased sample variance (0 for fewer than two
+// observations).
+func (a *Accumulator) Variance() float64 {
+	if a.n < 2 {
+		return 0
+	}
+	return a.m2 / float64(a.n-1)
+}
+
+// StdDev returns the unbiased sample standard deviation.
+func (a *Accumulator) StdDev() float64 { return math.Sqrt(a.Variance()) }
+
+// Min returns the smallest observation (0 when empty).
+func (a *Accumulator) Min() float64 { return a.min }
+
+// Max returns the largest observation (0 when empty).
+func (a *Accumulator) Max() float64 { return a.max }
+
+// Merge folds another accumulator into a (parallel aggregation:
+// accumulate per shard, then merge). Chan's parallel variance formula
+// keeps the result exact.
+func (a *Accumulator) Merge(b *Accumulator) {
+	if b.n == 0 {
+		return
+	}
+	if a.n == 0 {
+		*a = *b
+		return
+	}
+	delta := b.mean - a.mean
+	n := float64(a.n + b.n)
+	a.m2 += b.m2 + delta*delta*float64(a.n)*float64(b.n)/n
+	a.mean += delta * float64(b.n) / n
+	a.n += b.n
+	if b.min < a.min {
+		a.min = b.min
+	}
+	if b.max > a.max {
+		a.max = b.max
+	}
+}

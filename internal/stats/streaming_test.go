@@ -1,0 +1,112 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAccumulatorMatchesBatch(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	var a Accumulator
+	a.AddAll(xs)
+	if a.N() != 8 {
+		t.Fatalf("n = %d", a.N())
+	}
+	mean, _ := Mean(xs)
+	if !almostEqual(a.Mean(), mean, 1e-12) {
+		t.Fatalf("mean %g vs %g", a.Mean(), mean)
+	}
+	v, _ := Variance(xs)
+	if !almostEqual(a.Variance(), v, 1e-12) {
+		t.Fatalf("variance %g vs %g", a.Variance(), v)
+	}
+	if a.Min() != 2 || a.Max() != 9 {
+		t.Fatalf("min/max %g/%g", a.Min(), a.Max())
+	}
+}
+
+func TestAccumulatorEmptyAndSingleton(t *testing.T) {
+	var a Accumulator
+	if a.N() != 0 || a.Mean() != 0 || a.Variance() != 0 || a.StdDev() != 0 {
+		t.Fatal("empty accumulator not zeroed")
+	}
+	a.Add(7)
+	if a.Mean() != 7 || a.Variance() != 0 || a.Min() != 7 || a.Max() != 7 {
+		t.Fatalf("singleton: %+v", a)
+	}
+}
+
+func TestAccumulatorMatchesBatchProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := raw[:0:0]
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e6 {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		var a Accumulator
+		a.AddAll(xs)
+		mean, _ := Mean(xs)
+		v, _ := Variance(xs)
+		lo, _ := Min(xs)
+		hi, _ := Max(xs)
+		scale := 1 + math.Abs(mean)
+		return almostEqual(a.Mean(), mean, 1e-9*scale) &&
+			almostEqual(a.Variance(), v, 1e-6*(1+v)) &&
+			a.Min() == lo && a.Max() == hi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAccumulatorMergeEqualsSequentialProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(200)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 100
+		}
+		cut := 0
+		if n > 0 {
+			cut = rng.Intn(n + 1)
+		}
+		var whole, left, right Accumulator
+		whole.AddAll(xs)
+		left.AddAll(xs[:cut])
+		right.AddAll(xs[cut:])
+		left.Merge(&right)
+		if whole.N() != left.N() {
+			return false
+		}
+		if whole.N() == 0 {
+			return true
+		}
+		return almostEqual(whole.Mean(), left.Mean(), 1e-9*(1+math.Abs(whole.Mean()))) &&
+			almostEqual(whole.Variance(), left.Variance(), 1e-6*(1+whole.Variance())) &&
+			whole.Min() == left.Min() && whole.Max() == left.Max()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAccumulatorMergeEmptySides(t *testing.T) {
+	var a, b Accumulator
+	a.Add(5)
+	a.Merge(&b) // empty right
+	if a.N() != 1 || a.Mean() != 5 {
+		t.Fatalf("merge empty right: %+v", a)
+	}
+	var c Accumulator
+	c.Merge(&a) // empty left
+	if c.N() != 1 || c.Mean() != 5 || c.Min() != 5 {
+		t.Fatalf("merge empty left: %+v", c)
+	}
+}

@@ -1,0 +1,23 @@
+package taskname_test
+
+import (
+	"fmt"
+
+	"jobgraph/internal/taskname"
+)
+
+func ExampleParse() {
+	// The paper's example task: Reduce 5 depends on tasks 4, 3, 2, 1.
+	p, err := taskname.Parse("R5_4_3_2_1")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(p.Type, p.ID, p.Deps)
+
+	// Names outside the convention are independent, not errors.
+	q, _ := taskname.Parse("task_Nzg3ODcwNzI2")
+	fmt.Println(q.Independent)
+	// Output:
+	// R 5 [4 3 2 1]
+	// true
+}

@@ -1,0 +1,43 @@
+package taskname
+
+import "testing"
+
+// FuzzParse drives the name parser with arbitrary byte strings; Parse
+// must never panic, and every accepted parse must satisfy the package
+// invariants.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"M1", "R2_1", "J3_2_1", "R5_4_3_2_1", "task_Nzg3",
+		"MergeTask", "", "M", "M0", "M1_0", "m1_2", "MRG7_3",
+		"M999999999999999999999", "M1_1", "M1__2", "_1", "1_M",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, name string) {
+		p, err := Parse(name)
+		if err != nil {
+			return // explicit rejection is allowed
+		}
+		if p.Independent {
+			return
+		}
+		if p.ID <= 0 {
+			t.Fatalf("accepted non-positive id: %+v", p)
+		}
+		seen := map[int]bool{}
+		for _, d := range p.Deps {
+			if d <= 0 || d == p.ID {
+				t.Fatalf("invalid dep in %+v", p)
+			}
+			if seen[d] {
+				t.Fatalf("duplicate dep in %+v", p)
+			}
+			seen[d] = true
+		}
+		// Round trip through Format must be stable.
+		back, err := Parse(Format(p))
+		if err != nil || back.Independent || back.ID != p.ID || back.Type != p.Type {
+			t.Fatalf("format round trip broke: %+v -> %+v (%v)", p, back, err)
+		}
+	})
+}

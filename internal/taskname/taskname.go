@@ -1,0 +1,203 @@
+// Package taskname parses the Alibaba cluster-trace-v2018 task naming
+// convention, which encodes both the task's role in its computation
+// framework and its position in the job's dependency DAG.
+//
+// In the trace, a DAG-structured task is named
+//
+//	<TYPE><ID>[_<DEP>]*
+//
+// for example:
+//
+//	M1          a Map task with id 1 and no upstream dependency
+//	R2_1        a Reduce task with id 2 depending on task 1
+//	J3_2_1      a Join task with id 3 depending on tasks 2 and 1
+//	R5_4_3_2_1  a Reduce task with id 5 depending on 4, 3, 2 and 1
+//
+// The paper (§IV-A, §V-C) derives the entire job DAG from these names:
+// vertex ids from the numeric part, edges from the dependency suffix and
+// task types (M = Map/Merge, R = Reduce, J = Join) from the letter prefix.
+//
+// Task names that do not follow the convention (e.g. "task_Nzg3...",
+// "MergeTask") belong to jobs without DAG structure; Parse reports them
+// as independent rather than failing, because they are a majority of the
+// raw trace and must flow through filtering, not error paths.
+package taskname
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Type classifies a task by the letter prefix of its name.
+type Type byte
+
+// Task types observed in the trace. The paper's Figure 6 counts M, J and
+// R tasks; everything else (including un-parseable names) is Other.
+const (
+	TypeMap    Type = 'M' // Map or Merge stage
+	TypeReduce Type = 'R' // Reduce stage
+	TypeJoin   Type = 'J' // independent Join stage (Map-Join-Reduce)
+	TypeOther  Type = '?'
+)
+
+// String returns the single-letter name of the type.
+func (t Type) String() string {
+	switch t {
+	case TypeMap, TypeReduce, TypeJoin:
+		return string(byte(t))
+	default:
+		return "?"
+	}
+}
+
+// typeOf maps a name's letter prefix to a Type.
+func typeOf(prefix string) Type {
+	if len(prefix) == 0 {
+		return TypeOther
+	}
+	switch prefix[0] {
+	case 'M', 'm':
+		return TypeMap
+	case 'R', 'r':
+		return TypeReduce
+	case 'J', 'j':
+		return TypeJoin
+	default:
+		return TypeOther
+	}
+}
+
+// Parsed is the decoded form of one task name.
+type Parsed struct {
+	Raw         string
+	Type        Type
+	ID          int   // numeric task id within the job; 0 when Independent
+	Deps        []int // upstream task ids, deduplicated, order preserved
+	Independent bool  // true when the name does not follow the DAG grammar
+}
+
+// Parse decodes one task name. It never returns an error for merely
+// unconventional names — those come back with Independent=true — but it
+// does reject structurally impossible DAG names (self-dependency,
+// dependency id 0) since silently accepting them would corrupt the DAG
+// builder downstream.
+func Parse(name string) (Parsed, error) {
+	p := Parsed{Raw: name, Type: TypeOther, Independent: true}
+	trimmed := strings.TrimSpace(name)
+	if trimmed == "" {
+		return p, nil
+	}
+	p.Raw = trimmed
+
+	head, rest := splitHead(trimmed)
+	if head == "" {
+		return p, nil // no "<letters><digits>" head: independent task
+	}
+	letters, digits := splitLetters(head)
+	if letters == "" || digits == "" {
+		return p, nil
+	}
+	id, err := strconv.Atoi(digits)
+	if err != nil || id <= 0 {
+		return p, nil
+	}
+	// A plausible DAG head; now every suffix component must be a numeric
+	// dependency, otherwise the name is a free-form identifier that just
+	// happens to start like one (e.g. "M1_stage_final").
+	var deps []int
+	if rest != "" {
+		for _, part := range strings.Split(rest, "_") {
+			d, err := strconv.Atoi(part)
+			if err != nil || d <= 0 {
+				return p, nil
+			}
+			deps = append(deps, d)
+		}
+	}
+	for _, d := range deps {
+		if d == id {
+			return p, fmt.Errorf("taskname: %q depends on itself", trimmed)
+		}
+	}
+	p.Type = typeOf(letters)
+	p.ID = id
+	p.Deps = dedupInts(deps)
+	p.Independent = false
+	return p, nil
+}
+
+// splitHead cuts a name into the "<letters><digits>" head and the
+// remainder after the first underscore. It returns head="" when the name
+// has no underscore-free leading segment of that form.
+func splitHead(s string) (head, rest string) {
+	if i := strings.IndexByte(s, '_'); i >= 0 {
+		return s[:i], s[i+1:]
+	}
+	return s, ""
+}
+
+// splitLetters separates a leading run of letters from a trailing run of
+// digits. Both must be non-empty and jointly cover the input for the
+// name to qualify as a DAG head.
+func splitLetters(s string) (letters, digits string) {
+	i := 0
+	for i < len(s) && isLetter(s[i]) {
+		i++
+	}
+	j := i
+	for j < len(s) && isDigit(s[j]) {
+		j++
+	}
+	if i == 0 || j != len(s) || i == j {
+		return "", ""
+	}
+	return s[:i], s[i:]
+}
+
+func isLetter(b byte) bool {
+	return (b >= 'a' && b <= 'z') || (b >= 'A' && b <= 'Z')
+}
+
+func isDigit(b byte) bool { return b >= '0' && b <= '9' }
+
+// dedupInts removes duplicates preserving first-seen order. The trace
+// contains a handful of names with repeated dependency ids; the DAG has
+// at most one edge per pair.
+func dedupInts(xs []int) []int {
+	if len(xs) < 2 {
+		return xs
+	}
+	seen := make(map[int]bool, len(xs))
+	out := xs[:0]
+	for _, x := range xs {
+		if !seen[x] {
+			seen[x] = true
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// Format renders a parsed task back into the trace naming convention.
+// Independent tasks render as their raw name. Tasks of TypeOther (whose
+// original letter prefix was not M/R/J) are rendered with the neutral
+// prefix "T" so the output re-parses to the same structure; "?" — the
+// display name of TypeOther — is not a letter and would not.
+func Format(p Parsed) string {
+	if p.Independent {
+		return p.Raw
+	}
+	var b strings.Builder
+	if p.Type == TypeOther {
+		b.WriteString("T")
+	} else {
+		b.WriteString(p.Type.String())
+	}
+	b.WriteString(strconv.Itoa(p.ID))
+	for _, d := range p.Deps {
+		b.WriteByte('_')
+		b.WriteString(strconv.Itoa(d))
+	}
+	return b.String()
+}

@@ -1,0 +1,197 @@
+package taskname
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseSimpleMap(t *testing.T) {
+	p, err := Parse("M1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Independent || p.Type != TypeMap || p.ID != 1 || len(p.Deps) != 0 {
+		t.Fatalf("Parse(M1) = %+v", p)
+	}
+}
+
+func TestParsePaperExamples(t *testing.T) {
+	// The exact examples from §IV-A of the paper (job 1001388).
+	cases := []struct {
+		name string
+		typ  Type
+		id   int
+		deps []int
+	}{
+		{"M1", TypeMap, 1, nil},
+		{"M3", TypeMap, 3, nil},
+		{"R2_1", TypeReduce, 2, []int{1}},
+		{"R4_3", TypeReduce, 4, []int{3}},
+		{"R5_4_3_2_1", TypeReduce, 5, []int{4, 3, 2, 1}},
+		{"J3_2_1", TypeJoin, 3, []int{2, 1}},
+	}
+	for _, c := range cases {
+		p, err := Parse(c.name)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", c.name, err)
+		}
+		if p.Independent {
+			t.Fatalf("Parse(%q) marked independent", c.name)
+		}
+		if p.Type != c.typ || p.ID != c.id || !reflect.DeepEqual(p.Deps, c.deps) {
+			t.Fatalf("Parse(%q) = %+v", c.name, p)
+		}
+	}
+}
+
+func TestParseIndependentNames(t *testing.T) {
+	for _, name := range []string{
+		"task_Nzg3ODcwNzI2",
+		"MergeTask",
+		"", "   ",
+		"M",      // type but no id
+		"1",      // id but no type
+		"M0",     // ids are 1-based in the trace
+		"M1_x",   // non-numeric dependency suffix
+		"M1_0",   // dependency id 0 impossible
+		"M1_2_x", // partially numeric suffix
+		"M1x",    // trailing junk in head
+	} {
+		p, err := Parse(name)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", name, err)
+		}
+		if !p.Independent {
+			t.Fatalf("Parse(%q) = %+v, want independent", name, p)
+		}
+	}
+}
+
+func TestParseSelfDependencyRejected(t *testing.T) {
+	if _, err := Parse("R2_2"); err == nil {
+		t.Fatal("self-dependency accepted")
+	}
+	if _, err := Parse("R2_1_2"); err == nil {
+		t.Fatal("self-dependency in longer list accepted")
+	}
+}
+
+func TestParseDuplicateDepsDeduplicated(t *testing.T) {
+	p, err := Parse("R3_1_1_2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p.Deps, []int{1, 2}) {
+		t.Fatalf("deps = %v, want [1 2]", p.Deps)
+	}
+}
+
+func TestParseLowercaseAndMultiLetter(t *testing.T) {
+	p, _ := Parse("r2_1")
+	if p.Independent || p.Type != TypeReduce {
+		t.Fatalf("lowercase: %+v", p)
+	}
+	// Multi-letter prefixes occur in the trace ("MR", "Stg"); type comes
+	// from the first letter, structure from the digits.
+	p, _ = Parse("MRG7_3")
+	if p.Independent || p.Type != TypeMap || p.ID != 7 || p.Deps[0] != 3 {
+		t.Fatalf("multi-letter: %+v", p)
+	}
+	p, _ = Parse("Stg2_1")
+	if p.Independent || p.Type != TypeOther {
+		t.Fatalf("unknown letter prefix: %+v", p)
+	}
+}
+
+func TestParseWhitespaceTrimmed(t *testing.T) {
+	p, err := Parse("  M2_1 ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Independent || p.ID != 2 {
+		t.Fatalf("whitespace: %+v", p)
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	if TypeMap.String() != "M" || TypeReduce.String() != "R" ||
+		TypeJoin.String() != "J" || TypeOther.String() != "?" {
+		t.Fatal("Type.String mismatch")
+	}
+	if Type('Z').String() != "?" {
+		t.Fatal("unknown type should render ?")
+	}
+}
+
+func TestFormatRoundTripProperty(t *testing.T) {
+	// Any structurally valid parsed task formats to a name that parses
+	// back to an identical structure.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		types := []Type{TypeMap, TypeReduce, TypeJoin}
+		id := 2 + rng.Intn(30)
+		nDeps := rng.Intn(4)
+		deps := make([]int, 0, nDeps)
+		seen := map[int]bool{id: true}
+		for len(deps) < nDeps {
+			d := 1 + rng.Intn(31)
+			if !seen[d] {
+				seen[d] = true
+				deps = append(deps, d)
+			}
+		}
+		orig := Parsed{Type: types[rng.Intn(3)], ID: id, Deps: deps}
+		back, err := Parse(Format(orig))
+		if err != nil || back.Independent {
+			return false
+		}
+		if back.Type != orig.Type || back.ID != orig.ID {
+			return false
+		}
+		if len(back.Deps) != len(orig.Deps) {
+			return false
+		}
+		for i := range deps {
+			if back.Deps[i] != deps[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFormatIndependent(t *testing.T) {
+	p, _ := Parse("task_abc")
+	if Format(p) != "task_abc" {
+		t.Fatalf("Format(independent) = %q", Format(p))
+	}
+}
+
+func TestParseNeverPanicsProperty(t *testing.T) {
+	f := func(s string) bool {
+		p, err := Parse(s)
+		if err != nil {
+			return true // explicit rejection is fine
+		}
+		// Invariants of an accepted parse.
+		if !p.Independent {
+			if p.ID <= 0 {
+				return false
+			}
+			for _, d := range p.Deps {
+				if d <= 0 || d == p.ID {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}

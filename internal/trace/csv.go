@@ -1,0 +1,213 @@
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Column counts of the two header-less tables.
+const (
+	taskColumns     = 9
+	instanceColumns = 14
+)
+
+// ReadTasks streams batch_task rows from r, invoking fn for each record.
+// fn returning an error aborts the scan with that error. Empty numeric
+// fields (common in the raw trace) parse as zero.
+func ReadTasks(r io.Reader, fn func(TaskRecord) error) error {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = taskColumns
+	cr.ReuseRecord = true
+	line := 0
+	for {
+		row, err := cr.Read()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("trace: batch_task row %d: %w", line+1, err)
+		}
+		line++
+		rec, err := parseTask(row)
+		if err != nil {
+			return fmt.Errorf("trace: batch_task row %d: %w", line, err)
+		}
+		if err := fn(rec); err != nil {
+			return err
+		}
+	}
+}
+
+// parseTask decodes one batch_task row:
+// task_name,instance_num,job_name,task_type,status,start_time,end_time,plan_cpu,plan_mem
+func parseTask(row []string) (TaskRecord, error) {
+	var rec TaskRecord
+	rec.TaskName = row[0]
+	n, err := atoiEmpty(row[1])
+	if err != nil {
+		return rec, fmt.Errorf("instance_num: %w", err)
+	}
+	rec.InstanceNum = n
+	rec.JobName = row[2]
+	rec.TaskType = row[3]
+	rec.Status = Status(row[4])
+	if rec.StartTime, err = atoi64Empty(row[5]); err != nil {
+		return rec, fmt.Errorf("start_time: %w", err)
+	}
+	if rec.EndTime, err = atoi64Empty(row[6]); err != nil {
+		return rec, fmt.Errorf("end_time: %w", err)
+	}
+	if rec.PlanCPU, err = atofEmpty(row[7]); err != nil {
+		return rec, fmt.Errorf("plan_cpu: %w", err)
+	}
+	if rec.PlanMem, err = atofEmpty(row[8]); err != nil {
+		return rec, fmt.Errorf("plan_mem: %w", err)
+	}
+	return rec, rec.Validate()
+}
+
+// WriteTasks encodes records to w in trace column order.
+func WriteTasks(w io.Writer, records []TaskRecord) error {
+	cw := csv.NewWriter(w)
+	row := make([]string, taskColumns)
+	for _, rec := range records {
+		if err := rec.Validate(); err != nil {
+			return err
+		}
+		row[0] = rec.TaskName
+		row[1] = strconv.Itoa(rec.InstanceNum)
+		row[2] = rec.JobName
+		row[3] = rec.TaskType
+		row[4] = string(rec.Status)
+		row[5] = strconv.FormatInt(rec.StartTime, 10)
+		row[6] = strconv.FormatInt(rec.EndTime, 10)
+		row[7] = formatFloat(rec.PlanCPU)
+		row[8] = formatFloat(rec.PlanMem)
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("trace: write: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadInstances streams batch_instance rows from r.
+func ReadInstances(r io.Reader, fn func(InstanceRecord) error) error {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = instanceColumns
+	cr.ReuseRecord = true
+	line := 0
+	for {
+		row, err := cr.Read()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("trace: batch_instance row %d: %w", line+1, err)
+		}
+		line++
+		rec, err := parseInstance(row)
+		if err != nil {
+			return fmt.Errorf("trace: batch_instance row %d: %w", line, err)
+		}
+		if err := fn(rec); err != nil {
+			return err
+		}
+	}
+}
+
+// parseInstance decodes one batch_instance row:
+// instance_name,task_name,job_name,task_type,status,start_time,end_time,
+// machine_id,seq_no,total_seq_no,cpu_avg,cpu_max,mem_avg,mem_max
+func parseInstance(row []string) (InstanceRecord, error) {
+	var rec InstanceRecord
+	var err error
+	rec.InstanceName = row[0]
+	rec.TaskName = row[1]
+	rec.JobName = row[2]
+	rec.TaskType = row[3]
+	rec.Status = Status(row[4])
+	if rec.StartTime, err = atoi64Empty(row[5]); err != nil {
+		return rec, fmt.Errorf("start_time: %w", err)
+	}
+	if rec.EndTime, err = atoi64Empty(row[6]); err != nil {
+		return rec, fmt.Errorf("end_time: %w", err)
+	}
+	rec.MachineID = row[7]
+	if rec.SeqNo, err = atoiEmpty(row[8]); err != nil {
+		return rec, fmt.Errorf("seq_no: %w", err)
+	}
+	if rec.TotalSeqNo, err = atoiEmpty(row[9]); err != nil {
+		return rec, fmt.Errorf("total_seq_no: %w", err)
+	}
+	if rec.CPUAvg, err = atofEmpty(row[10]); err != nil {
+		return rec, fmt.Errorf("cpu_avg: %w", err)
+	}
+	if rec.CPUMax, err = atofEmpty(row[11]); err != nil {
+		return rec, fmt.Errorf("cpu_max: %w", err)
+	}
+	if rec.MemAvg, err = atofEmpty(row[12]); err != nil {
+		return rec, fmt.Errorf("mem_avg: %w", err)
+	}
+	if rec.MemMax, err = atofEmpty(row[13]); err != nil {
+		return rec, fmt.Errorf("mem_max: %w", err)
+	}
+	return rec, rec.Validate()
+}
+
+// WriteInstances encodes records to w in trace column order.
+func WriteInstances(w io.Writer, records []InstanceRecord) error {
+	cw := csv.NewWriter(w)
+	row := make([]string, instanceColumns)
+	for _, rec := range records {
+		if err := rec.Validate(); err != nil {
+			return err
+		}
+		row[0] = rec.InstanceName
+		row[1] = rec.TaskName
+		row[2] = rec.JobName
+		row[3] = rec.TaskType
+		row[4] = string(rec.Status)
+		row[5] = strconv.FormatInt(rec.StartTime, 10)
+		row[6] = strconv.FormatInt(rec.EndTime, 10)
+		row[7] = rec.MachineID
+		row[8] = strconv.Itoa(rec.SeqNo)
+		row[9] = strconv.Itoa(rec.TotalSeqNo)
+		row[10] = formatFloat(rec.CPUAvg)
+		row[11] = formatFloat(rec.CPUMax)
+		row[12] = formatFloat(rec.MemAvg)
+		row[13] = formatFloat(rec.MemMax)
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("trace: write: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func atoiEmpty(s string) (int, error) {
+	if s == "" {
+		return 0, nil
+	}
+	return strconv.Atoi(s)
+}
+
+func atoi64Empty(s string) (int64, error) {
+	if s == "" {
+		return 0, nil
+	}
+	return strconv.ParseInt(s, 10, 64)
+}
+
+func atofEmpty(s string) (float64, error) {
+	if s == "" {
+		return 0, nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+func formatFloat(f float64) string {
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}

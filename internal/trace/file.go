@@ -1,0 +1,74 @@
+package trace
+
+import (
+	"compress/gzip"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// OpenTable opens a trace table file for reading, transparently
+// decompressing when the path ends in ".gz" — the real Alibaba tables
+// ship gzip-compressed. The returned ReadCloser closes both the gzip
+// layer and the file.
+func OpenTable(path string) (io.ReadCloser, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	if !strings.HasSuffix(path, ".gz") {
+		return f, nil
+	}
+	zr, err := gzip.NewReader(f)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("trace: %s: %w", path, err)
+	}
+	return &gzipReadCloser{zr: zr, f: f}, nil
+}
+
+type gzipReadCloser struct {
+	zr *gzip.Reader
+	f  *os.File
+}
+
+func (g *gzipReadCloser) Read(p []byte) (int, error) { return g.zr.Read(p) }
+
+func (g *gzipReadCloser) Close() error {
+	zerr := g.zr.Close()
+	ferr := g.f.Close()
+	if zerr != nil {
+		return zerr
+	}
+	return ferr
+}
+
+// CreateTable creates a trace table file for writing, gzip-compressing
+// when the path ends in ".gz". Close the returned WriteCloser to flush.
+func CreateTable(path string) (io.WriteCloser, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	if !strings.HasSuffix(path, ".gz") {
+		return f, nil
+	}
+	return &gzipWriteCloser{zw: gzip.NewWriter(f), f: f}, nil
+}
+
+type gzipWriteCloser struct {
+	zw *gzip.Writer
+	f  *os.File
+}
+
+func (g *gzipWriteCloser) Write(p []byte) (int, error) { return g.zw.Write(p) }
+
+func (g *gzipWriteCloser) Close() error {
+	zerr := g.zw.Close()
+	ferr := g.f.Close()
+	if zerr != nil {
+		return zerr
+	}
+	return ferr
+}

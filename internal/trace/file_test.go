@@ -1,0 +1,130 @@
+package trace
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestOpenCreateTablePlain(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "batch_task.csv")
+	w, err := CreateTable(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteTasks(w, sampleTasks()); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := OpenTable(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	count := 0
+	if err := ReadTasks(r, func(TaskRecord) error {
+		count++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if count != len(sampleTasks()) {
+		t.Fatalf("rows = %d", count)
+	}
+}
+
+func TestOpenCreateTableGzip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "batch_task.csv.gz")
+	w, err := CreateTable(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteTasks(w, sampleTasks()); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The file on disk must actually be gzip (magic bytes).
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw) < 2 || raw[0] != 0x1f || raw[1] != 0x8b {
+		t.Fatal("output is not gzip-compressed")
+	}
+	r, err := OpenTable(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Fatal("no decompressed content")
+	}
+}
+
+func TestOpenTableErrors(t *testing.T) {
+	if _, err := OpenTable("/nonexistent/x.csv"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	// A .gz file that is not gzip.
+	path := filepath.Join(t.TempDir(), "bad.csv.gz")
+	if err := os.WriteFile(path, []byte("plain text"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenTable(path); err == nil {
+		t.Fatal("invalid gzip accepted")
+	}
+}
+
+func TestMachineRoundTrip(t *testing.T) {
+	want := []MachineRecord{
+		{MachineID: "m_1", TimeStamp: 10, FailureDomain1: "fd_1",
+			FailureDomain2: "rack_9", CPUNum: 96, MemSize: 1, Status: "USING"},
+		{MachineID: "m_2", CPUNum: 64, MemSize: 0.5, Status: "USING"},
+	}
+	path := filepath.Join(t.TempDir(), "machine_meta.csv")
+	w, err := CreateTable(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteMachines(w, want); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := OpenTable(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	var got []MachineRecord
+	if err := ReadMachines(r, func(m MachineRecord) error {
+		got = append(got, m)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("round trip: %+v", got)
+	}
+}
+
+func TestMachineValidate(t *testing.T) {
+	if err := (MachineRecord{}).Validate(); err == nil {
+		t.Fatal("missing id accepted")
+	}
+	if err := (MachineRecord{MachineID: "m", CPUNum: -1}).Validate(); err == nil {
+		t.Fatal("negative cpu accepted")
+	}
+}

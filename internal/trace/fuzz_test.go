@@ -1,0 +1,54 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadTasks feeds arbitrary bytes to the batch_task CSV reader: it
+// must never panic, and everything it accepts must re-encode and
+// re-parse to the same records.
+func FuzzReadTasks(f *testing.F) {
+	var buf bytes.Buffer
+	if err := WriteTasks(&buf, []TaskRecord{
+		{TaskName: "M1", InstanceNum: 2, JobName: "j_1", TaskType: "1",
+			Status: StatusTerminated, StartTime: 10, EndTime: 20, PlanCPU: 100, PlanMem: 0.5},
+	}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add("M1,1,j_1,1,Terminated,100,200,,\n")
+	f.Add("bad row\n")
+	f.Add(",,,,,,,,\n")
+	f.Add("M1,1,j_1,1,Terminated,-1,0,0,0\n")
+
+	f.Fuzz(func(t *testing.T, data string) {
+		var recs []TaskRecord
+		if err := ReadTasks(strings.NewReader(data), func(r TaskRecord) error {
+			recs = append(recs, r)
+			return nil
+		}); err != nil {
+			return
+		}
+		for _, r := range recs {
+			if err := r.Validate(); err != nil {
+				t.Fatalf("reader accepted invalid record: %v", err)
+			}
+		}
+		var out bytes.Buffer
+		if err := WriteTasks(&out, recs); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		var again []TaskRecord
+		if err := ReadTasks(&out, func(r TaskRecord) error {
+			again = append(again, r)
+			return nil
+		}); err != nil {
+			t.Fatalf("re-parse failed: %v", err)
+		}
+		if len(again) != len(recs) {
+			t.Fatalf("round trip count %d != %d", len(again), len(recs))
+		}
+	})
+}

@@ -1,0 +1,38 @@
+package trace
+
+import (
+	"io"
+	"sort"
+)
+
+// GroupTasks collects task rows into per-job bundles. Jobs are returned
+// sorted by name; each job's tasks are sorted by task name for
+// deterministic downstream processing.
+func GroupTasks(records []TaskRecord) []Job {
+	byJob := make(map[string][]TaskRecord)
+	for _, r := range records {
+		byJob[r.JobName] = append(byJob[r.JobName], r)
+	}
+	jobs := make([]Job, 0, len(byJob))
+	for name, tasks := range byJob {
+		sort.Slice(tasks, func(i, j int) bool { return tasks[i].TaskName < tasks[j].TaskName })
+		jobs = append(jobs, Job{Name: name, Tasks: tasks})
+	}
+	sort.Slice(jobs, func(i, j int) bool { return jobs[i].Name < jobs[j].Name })
+	return jobs
+}
+
+// ReadJobs streams batch_task rows from r and returns them grouped by
+// job. It buffers the whole table: callers working with the full-scale
+// trace should use ReadTasks and their own windowed accumulation; for
+// the paper-scale samples this convenience is the right tool.
+func ReadJobs(r io.Reader) ([]Job, error) {
+	var records []TaskRecord
+	if err := ReadTasks(r, func(rec TaskRecord) error {
+		records = append(records, rec)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return GroupTasks(records), nil
+}

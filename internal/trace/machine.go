@@ -1,0 +1,94 @@
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// MachineRecord is one row of machine_meta: the static description of a
+// server in the cluster.
+type MachineRecord struct {
+	MachineID      string
+	TimeStamp      int64
+	FailureDomain1 string
+	FailureDomain2 string
+	CPUNum         int     // cores
+	MemSize        float64 // normalized memory capacity
+	Status         string  // e.g. "USING"
+}
+
+// Validate checks internal consistency of the record.
+func (m MachineRecord) Validate() error {
+	if m.MachineID == "" {
+		return fmt.Errorf("trace: machine record missing id")
+	}
+	if m.CPUNum < 0 || m.MemSize < 0 {
+		return fmt.Errorf("trace: machine %s has negative capacity", m.MachineID)
+	}
+	return nil
+}
+
+const machineColumns = 7
+
+// ReadMachines streams machine_meta rows from r.
+func ReadMachines(r io.Reader, fn func(MachineRecord) error) error {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = machineColumns
+	cr.ReuseRecord = true
+	line := 0
+	for {
+		row, err := cr.Read()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("trace: machine_meta row %d: %w", line+1, err)
+		}
+		line++
+		var rec MachineRecord
+		rec.MachineID = row[0]
+		if rec.TimeStamp, err = atoi64Empty(row[1]); err != nil {
+			return fmt.Errorf("trace: machine_meta row %d: timestamp: %w", line, err)
+		}
+		rec.FailureDomain1 = row[2]
+		rec.FailureDomain2 = row[3]
+		if rec.CPUNum, err = atoiEmpty(row[4]); err != nil {
+			return fmt.Errorf("trace: machine_meta row %d: cpu_num: %w", line, err)
+		}
+		if rec.MemSize, err = atofEmpty(row[5]); err != nil {
+			return fmt.Errorf("trace: machine_meta row %d: mem_size: %w", line, err)
+		}
+		rec.Status = row[6]
+		if err := rec.Validate(); err != nil {
+			return fmt.Errorf("trace: machine_meta row %d: %w", line, err)
+		}
+		if err := fn(rec); err != nil {
+			return err
+		}
+	}
+}
+
+// WriteMachines encodes records to w in trace column order.
+func WriteMachines(w io.Writer, records []MachineRecord) error {
+	cw := csv.NewWriter(w)
+	row := make([]string, machineColumns)
+	for _, rec := range records {
+		if err := rec.Validate(); err != nil {
+			return err
+		}
+		row[0] = rec.MachineID
+		row[1] = strconv.FormatInt(rec.TimeStamp, 10)
+		row[2] = rec.FailureDomain1
+		row[3] = rec.FailureDomain2
+		row[4] = strconv.Itoa(rec.CPUNum)
+		row[5] = formatFloat(rec.MemSize)
+		row[6] = rec.Status
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("trace: write: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

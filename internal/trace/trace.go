@@ -1,0 +1,152 @@
+// Package trace models the Alibaba cluster-trace-v2018 batch tables the
+// paper analyzes: batch_task (one row per task, dependency encoded in
+// task_name) and batch_instance (one row per instance execution).
+//
+// The package provides the record types, their CSV encoding (the trace
+// ships as header-less CSV), streaming readers that scale to multi-
+// gigabyte files, and grouping of task rows into per-job slices ready
+// for DAG construction.
+package trace
+
+import "fmt"
+
+// Status is a task or instance lifecycle state as recorded in the trace.
+type Status string
+
+// Status values observed in the v2018 trace.
+const (
+	StatusWaiting     Status = "Waiting"
+	StatusReady       Status = "Ready"
+	StatusRunning     Status = "Running"
+	StatusTerminated  Status = "Terminated" // completed successfully
+	StatusFailed      Status = "Failed"
+	StatusCancelled   Status = "Cancelled"
+	StatusInterrupted Status = "Interrupted"
+)
+
+// Known reports whether s is one of the trace's documented states.
+func (s Status) Known() bool {
+	switch s {
+	case StatusWaiting, StatusReady, StatusRunning, StatusTerminated,
+		StatusFailed, StatusCancelled, StatusInterrupted:
+		return true
+	}
+	return false
+}
+
+// TaskRecord is one row of batch_task.
+type TaskRecord struct {
+	TaskName    string // dependency-encoded name, e.g. "R5_4_3_2_1"
+	InstanceNum int    // number of instances of this task
+	JobName     string // parent job id, e.g. "j_1001388"
+	TaskType    string // opaque numeric type tag in the raw trace
+	Status      Status
+	StartTime   int64   // seconds since trace start
+	EndTime     int64   // seconds since trace start; 0 when unfinished
+	PlanCPU     float64 // requested CPU in units of 100 = 1 core
+	PlanMem     float64 // requested memory, normalized percentage
+}
+
+// Duration returns the task's wall-clock run time in seconds, 0 when
+// the record lacks a valid interval.
+func (t TaskRecord) Duration() float64 {
+	if t.EndTime <= t.StartTime {
+		return 0
+	}
+	return float64(t.EndTime - t.StartTime)
+}
+
+// Validate checks internal consistency of the record.
+func (t TaskRecord) Validate() error {
+	if t.JobName == "" {
+		return fmt.Errorf("trace: task %q has empty job name", t.TaskName)
+	}
+	if t.TaskName == "" {
+		return fmt.Errorf("trace: job %s has a task with empty name", t.JobName)
+	}
+	if t.InstanceNum < 0 {
+		return fmt.Errorf("trace: task %s/%s has negative instance count %d",
+			t.JobName, t.TaskName, t.InstanceNum)
+	}
+	if t.StartTime < 0 || t.EndTime < 0 {
+		return fmt.Errorf("trace: task %s/%s has negative timestamp", t.JobName, t.TaskName)
+	}
+	return nil
+}
+
+// InstanceRecord is one row of batch_instance.
+type InstanceRecord struct {
+	InstanceName string
+	TaskName     string
+	JobName      string
+	TaskType     string
+	Status       Status
+	StartTime    int64
+	EndTime      int64
+	MachineID    string
+	SeqNo        int
+	TotalSeqNo   int
+	CPUAvg       float64
+	CPUMax       float64
+	MemAvg       float64
+	MemMax       float64
+}
+
+// Duration returns the instance run time in seconds (0 if unfinished).
+func (r InstanceRecord) Duration() float64 {
+	if r.EndTime <= r.StartTime {
+		return 0
+	}
+	return float64(r.EndTime - r.StartTime)
+}
+
+// Validate checks internal consistency of the record.
+func (r InstanceRecord) Validate() error {
+	if r.JobName == "" || r.TaskName == "" {
+		return fmt.Errorf("trace: instance %q missing job/task name", r.InstanceName)
+	}
+	if r.SeqNo < 0 || r.TotalSeqNo < 0 || (r.TotalSeqNo > 0 && r.SeqNo > r.TotalSeqNo) {
+		return fmt.Errorf("trace: instance %s has bad sequence %d/%d",
+			r.InstanceName, r.SeqNo, r.TotalSeqNo)
+	}
+	return nil
+}
+
+// Job bundles all task rows of one job, the unit handed to the DAG
+// builder.
+type Job struct {
+	Name  string
+	Tasks []TaskRecord
+}
+
+// Window returns the job's earliest start and latest end across its
+// tasks. ok is false when no task carries a valid interval.
+func (j Job) Window() (start, end int64, ok bool) {
+	for _, t := range j.Tasks {
+		if t.EndTime <= t.StartTime {
+			continue
+		}
+		if !ok || t.StartTime < start {
+			start = t.StartTime
+		}
+		if t.EndTime > end {
+			end = t.EndTime
+		}
+		ok = true
+	}
+	return start, end, ok
+}
+
+// AllTerminated reports whether every task of the job completed — the
+// paper's "integrity" criterion.
+func (j Job) AllTerminated() bool {
+	if len(j.Tasks) == 0 {
+		return false
+	}
+	for _, t := range j.Tasks {
+		if t.Status != StatusTerminated {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,101 @@
+package tracegen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"jobgraph/internal/trace"
+)
+
+// InstanceConfig controls batch_instance synthesis.
+type InstanceConfig struct {
+	Seed int64
+	// Machines is the size of the simulated machine pool (the real
+	// trace covers ~4000 nodes).
+	Machines int
+	// FailureRate is the probability that an individual instance of a
+	// terminated task failed and was retried (the trace keeps failed
+	// attempts as extra rows).
+	FailureRate float64
+}
+
+// DefaultInstanceConfig mirrors the trace's scale.
+func DefaultInstanceConfig(seed int64) InstanceConfig {
+	return InstanceConfig{Seed: seed, Machines: 4000, FailureRate: 0.02}
+}
+
+func (c InstanceConfig) validate() error {
+	if c.Machines <= 0 {
+		return fmt.Errorf("tracegen: Machines %d <= 0", c.Machines)
+	}
+	if c.FailureRate < 0 || c.FailureRate >= 1 {
+		return fmt.Errorf("tracegen: FailureRate %g outside [0,1)", c.FailureRate)
+	}
+	return nil
+}
+
+// GenerateInstances expands task rows into per-instance rows: each task
+// spawns InstanceNum instances spread across machines, jittered within
+// the task's execution window, with actual resource usage below the
+// plan.
+func GenerateInstances(tasks []trace.TaskRecord, cfg InstanceConfig) ([]trace.InstanceRecord, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var out []trace.InstanceRecord
+	for _, t := range tasks {
+		n := t.InstanceNum
+		if n <= 0 {
+			continue
+		}
+		for i := 1; i <= n; i++ {
+			rec := trace.InstanceRecord{
+				InstanceName: fmt.Sprintf("%s_%s_%d", t.JobName, t.TaskName, i),
+				TaskName:     t.TaskName,
+				JobName:      t.JobName,
+				TaskType:     t.TaskType,
+				Status:       t.Status,
+				MachineID:    fmt.Sprintf("m_%d", 1+rng.Intn(cfg.Machines)),
+				SeqNo:        i,
+				TotalSeqNo:   n,
+			}
+			if t.EndTime > t.StartTime {
+				// Jitter the instance inside the task window.
+				window := t.EndTime - t.StartTime
+				off := int64(0)
+				if window > 1 {
+					off = rng.Int63n(window / 2)
+				}
+				rec.StartTime = t.StartTime + off
+				rec.EndTime = t.EndTime - rng.Int63n(maxI64(1, window/4))
+				if rec.EndTime <= rec.StartTime {
+					rec.EndTime = rec.StartTime + 1
+				}
+			} else {
+				rec.StartTime = t.StartTime
+				rec.EndTime = 0
+			}
+			if t.Status == trace.StatusTerminated && rng.Float64() < cfg.FailureRate {
+				rec.Status = trace.StatusFailed
+			}
+			// Actual usage: a fraction of the plan with noise.
+			rec.CPUAvg = round2(t.PlanCPU * (0.3 + 0.5*rng.Float64()))
+			rec.CPUMax = round2(math.Min(t.PlanCPU, rec.CPUAvg*(1.1+0.5*rng.Float64())))
+			rec.MemAvg = round2(t.PlanMem * (0.3 + 0.5*rng.Float64()))
+			rec.MemMax = round2(math.Min(t.PlanMem, rec.MemAvg*(1.1+0.5*rng.Float64())))
+			out = append(out, rec)
+		}
+	}
+	return out, nil
+}
+
+func round2(f float64) float64 { return math.Round(f*100) / 100 }
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

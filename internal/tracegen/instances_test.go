@@ -1,0 +1,97 @@
+package tracegen
+
+import (
+	"bytes"
+	"testing"
+
+	"jobgraph/internal/trace"
+)
+
+func TestGenerateInstancesExpandsCounts(t *testing.T) {
+	tasks, err := Generate(DefaultConfig(50, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := GenerateInstances(tasks, DefaultInstanceConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for _, tk := range tasks {
+		want += tk.InstanceNum
+	}
+	if len(inst) != want {
+		t.Fatalf("instances = %d, want %d", len(inst), want)
+	}
+}
+
+func TestGenerateInstancesValidRecords(t *testing.T) {
+	tasks, err := Generate(DefaultConfig(100, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := GenerateInstances(tasks, DefaultInstanceConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	byTask := make(map[string]trace.TaskRecord)
+	for _, tk := range tasks {
+		byTask[tk.JobName+"/"+tk.TaskName] = tk
+	}
+	for _, r := range inst {
+		if err := r.Validate(); err != nil {
+			t.Fatalf("invalid instance: %v", err)
+		}
+		parent, ok := byTask[r.JobName+"/"+r.TaskName]
+		if !ok {
+			t.Fatalf("instance %s has no parent task", r.InstanceName)
+		}
+		if parent.EndTime > parent.StartTime {
+			if r.StartTime < parent.StartTime || (r.EndTime > parent.EndTime) {
+				t.Fatalf("instance window [%d,%d] outside task [%d,%d]",
+					r.StartTime, r.EndTime, parent.StartTime, parent.EndTime)
+			}
+		}
+		if r.CPUMax > parent.PlanCPU+1e-9 {
+			t.Fatalf("instance cpu_max %g exceeds plan %g", r.CPUMax, parent.PlanCPU)
+		}
+		if r.SeqNo < 1 || r.SeqNo > r.TotalSeqNo {
+			t.Fatalf("bad seq %d/%d", r.SeqNo, r.TotalSeqNo)
+		}
+	}
+}
+
+func TestGenerateInstancesConfigValidation(t *testing.T) {
+	tasks, _ := Generate(DefaultConfig(5, 3))
+	if _, err := GenerateInstances(tasks, InstanceConfig{Machines: 0}); err == nil {
+		t.Fatal("zero machines accepted")
+	}
+	if _, err := GenerateInstances(tasks, InstanceConfig{Machines: 10, FailureRate: 1}); err == nil {
+		t.Fatal("failure rate 1 accepted")
+	}
+}
+
+func TestGenerateInstancesRoundTripCSV(t *testing.T) {
+	tasks, err := Generate(DefaultConfig(20, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := GenerateInstances(tasks, DefaultInstanceConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cnt int
+	var buf bytes.Buffer
+	if err := trace.WriteInstances(&buf, inst); err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.ReadInstances(&buf, func(trace.InstanceRecord) error {
+		cnt++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if cnt != len(inst) {
+		t.Fatalf("round trip count %d != %d", cnt, len(inst))
+	}
+}

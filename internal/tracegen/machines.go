@@ -1,0 +1,30 @@
+package tracegen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"jobgraph/internal/trace"
+)
+
+// GenerateMachines synthesizes the machine_meta table: n servers with
+// the trace's typical 96-core profile, spread over failure domains.
+func GenerateMachines(n int, seed int64) ([]trace.MachineRecord, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("tracegen: machine count %d <= 0", n)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]trace.MachineRecord, 0, n)
+	for i := 1; i <= n; i++ {
+		out = append(out, trace.MachineRecord{
+			MachineID:      fmt.Sprintf("m_%d", i),
+			TimeStamp:      0,
+			FailureDomain1: fmt.Sprintf("fd_%d", 1+rng.Intn(20)),
+			FailureDomain2: fmt.Sprintf("rack_%d", 1+rng.Intn(200)),
+			CPUNum:         96,
+			MemSize:        1, // capacities are normalized in the trace
+			Status:         "USING",
+		})
+	}
+	return out, nil
+}

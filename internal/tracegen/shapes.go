@@ -1,0 +1,273 @@
+package tracegen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"jobgraph/internal/taskname"
+)
+
+// blueprint is the structural plan of one generated DAG job before it is
+// serialized into trace task names: tasks are numbered 1..n in
+// topological order, deps[i] lists the parents of task i+1, and types
+// assigns each task its framework role.
+type blueprint struct {
+	n     int
+	deps  [][]int
+	types []taskname.Type
+}
+
+// levelPlan builds a blueprint from a level-width profile: widths[l]
+// tasks at level l, every task wired to parents drawn from level l-1.
+// Wiring guarantees (a) every non-source has ≥1 parent, (b) every
+// non-sink level task has ≥1 child, keeping the profile exact.
+func levelPlan(widths []int, rng *rand.Rand) *blueprint {
+	n := 0
+	for _, w := range widths {
+		n += w
+	}
+	bp := &blueprint{n: n, deps: make([][]int, n), types: make([]taskname.Type, n)}
+
+	// Task ids per level, assigned in order.
+	levels := make([][]int, len(widths))
+	id := 1
+	for l, w := range widths {
+		for i := 0; i < w; i++ {
+			levels[l] = append(levels[l], id)
+			id++
+		}
+	}
+
+	for l := 1; l < len(levels); l++ {
+		prev := levels[l-1]
+		cur := levels[l]
+		// Every current task picks 1..min(3,len(prev)) parents.
+		covered := make(map[int]bool, len(prev))
+		for _, t := range cur {
+			k := 1 + rng.Intn(minInt(3, len(prev)))
+			seen := make(map[int]bool, k)
+			for len(seen) < k {
+				p := prev[rng.Intn(len(prev))]
+				if !seen[p] {
+					seen[p] = true
+					covered[p] = true
+					bp.deps[t-1] = append(bp.deps[t-1], p)
+				}
+			}
+		}
+		// Ensure every previous-level task has at least one child so the
+		// width profile (longest-path levels) stays exactly as planned.
+		for _, p := range prev {
+			if !covered[p] {
+				t := cur[rng.Intn(len(cur))]
+				bp.deps[t-1] = append(bp.deps[t-1], p)
+			}
+		}
+	}
+
+	bp.assignTypes(levels)
+	return bp
+}
+
+// assignTypes labels tasks by level following the programming-model
+// conventions the paper observes (§V-C): first level Map, converging
+// multi-parent middle tasks Join, everything downstream Reduce.
+func (bp *blueprint) assignTypes(levels [][]int) {
+	for l, lvl := range levels {
+		for _, t := range lvl {
+			switch {
+			case l == 0:
+				bp.types[t-1] = taskname.TypeMap
+			case len(bp.deps[t-1]) >= 2 && l < len(levels)-1:
+				bp.types[t-1] = taskname.TypeJoin
+			default:
+				bp.types[t-1] = taskname.TypeReduce
+			}
+		}
+	}
+}
+
+// chainPlan builds a straight chain of n tasks. Following the paper's
+// observation, chains of four or more tasks deploy more Reduce than Map
+// tasks (single Map head), while tiny chains are Map-heavy.
+func chainPlan(n int) *blueprint {
+	bp := &blueprint{n: n, deps: make([][]int, n), types: make([]taskname.Type, n)}
+	for i := 1; i < n; i++ {
+		bp.deps[i] = []int{i}
+	}
+	for i := 0; i < n; i++ {
+		bp.types[i] = taskname.TypeReduce
+	}
+	bp.types[0] = taskname.TypeMap
+	if n == 3 {
+		bp.types[1] = taskname.TypeMap
+	}
+	return bp
+}
+
+// shapeWidths produces a level-width profile of total size n for the
+// given shape. Callers must pass a feasible (shape, n) pair; see
+// feasible().
+func shapeWidths(s shapeKind, n int, rng *rand.Rand) []int {
+	switch s {
+	case shapeChain:
+		w := make([]int, n)
+		for i := range w {
+			w[i] = 1
+		}
+		return w
+	case shapeInvTriangle:
+		// Non-increasing, ending at 1, first level > 1, optionally a
+		// width-1 tail (the paper's "convergence with longer tails").
+		tail := 0
+		if n >= 6 && rng.Float64() < 0.4 {
+			tail = 1 + rng.Intn(2)
+		}
+		body := n - tail
+		// Split body into 2–3 non-increasing levels, last = 1. Bodies
+		// under 4 can only form [k,1] without degenerating to a chain.
+		if body < 4 || rng.Float64() < 0.6 {
+			ws := []int{body - 1, 1}
+			return append(ws, ones(tail)...)
+		}
+		mid := 1 + rng.Intn(maxInt(1, (body-2)/2))
+		first := body - 1 - mid
+		if first < mid { // keep non-increasing
+			first, mid = mid, first
+		}
+		if mid < 1 {
+			mid = 1
+			first = body - 2
+		}
+		ws := []int{first, mid, 1}
+		return append(ws, ones(tail)...)
+	case shapeDiamond:
+		// 1, widths…, 1 with a wider middle.
+		middle := n - 2
+		if middle <= 2 || rng.Float64() < 0.5 {
+			return []int{1, middle, 1}
+		}
+		a := 1 + rng.Intn(middle-1)
+		return []int{1, a, middle - a, 1}
+	case shapeHourglass:
+		// wide, 1, wide.
+		left := (n - 1) / 2
+		right := n - 1 - left
+		return []int{left, 1, right}
+	case shapeTrapezium:
+		// Non-decreasing, diverging to more sinks than sources.
+		if n < 5 || rng.Float64() < 0.6 {
+			return []int{1, n - 1}
+		}
+		mid := 1 + rng.Intn((n-2)/2)
+		last := n - 1 - mid
+		if last < mid {
+			mid, last = last, mid
+		}
+		if mid < 1 {
+			mid = 1
+			last = n - 2
+		}
+		return []int{1, mid, last}
+	case shapeHybrid:
+		// Inverted triangle head followed by a serial tail — the
+		// paper's explicit "combination style" example. The tail is
+		// bounded so critical paths stay in the observed 2–8 range.
+		tail := minInt(3, n-3)
+		head := n - 1 - tail
+		ws := []int{head, 1}
+		return append(ws, ones(tail)...)
+	default:
+		panic(fmt.Sprintf("tracegen: unknown shape %d", s))
+	}
+}
+
+func ones(k int) []int {
+	w := make([]int, k)
+	for i := range w {
+		w[i] = 1
+	}
+	return w
+}
+
+// shapeKind enumerates generated topology families. It deliberately
+// mirrors pattern.Shape but stays a separate type: the classifier is
+// what's under test, and the generator must not depend on it.
+type shapeKind int
+
+const (
+	shapeChain shapeKind = iota
+	shapeInvTriangle
+	shapeDiamond
+	shapeHourglass
+	shapeTrapezium
+	shapeHybrid
+	numShapes
+)
+
+func (s shapeKind) String() string {
+	switch s {
+	case shapeChain:
+		return "chain"
+	case shapeInvTriangle:
+		return "inverted-triangle"
+	case shapeDiamond:
+		return "diamond"
+	case shapeHourglass:
+		return "hourglass"
+	case shapeTrapezium:
+		return "trapezium"
+	case shapeHybrid:
+		return "hybrid"
+	default:
+		return "unknown"
+	}
+}
+
+// maxChainSize bounds straight chains: the paper's sample has critical
+// paths of 2–8 (§V-A), and chains are its small jobs; unbounded chains
+// would put 31-deep critical paths in the trace that the real workload
+// never shows.
+const maxChainSize = 8
+
+// feasible reports whether a shape can be realized with n tasks.
+func feasible(s shapeKind, n int) bool {
+	switch s {
+	case shapeChain:
+		return n >= 2 && n <= maxChainSize
+	case shapeInvTriangle:
+		return n >= 3
+	case shapeDiamond:
+		return n >= 4
+	case shapeHourglass:
+		return n >= 5
+	case shapeTrapezium:
+		return n >= 3
+	case shapeHybrid:
+		return n >= 4
+	default:
+		return false
+	}
+}
+
+// plan generates the blueprint for one DAG job of the given shape/size.
+func plan(s shapeKind, n int, rng *rand.Rand) *blueprint {
+	if s == shapeChain {
+		return chainPlan(n)
+	}
+	return levelPlan(shapeWidths(s, n, rng), rng)
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,191 @@
+package tracegen
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"jobgraph/internal/dag"
+	"jobgraph/internal/pattern"
+)
+
+// planToGraph materializes a blueprint as a dag.Graph.
+func planToGraph(t testing.TB, bp *blueprint) *dag.Graph {
+	t.Helper()
+	g := dag.New("bp")
+	for i := 0; i < bp.n; i++ {
+		if err := g.AddNode(dag.Node{ID: dag.NodeID(i + 1), Type: bp.types[i]}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < bp.n; i++ {
+		for _, d := range bp.deps[i] {
+			if err := g.AddEdge(dag.NodeID(d), dag.NodeID(i+1)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return g
+}
+
+func TestChainPlanShape(t *testing.T) {
+	for _, n := range []int{2, 3, 5, 31} {
+		g := planToGraph(t, chainPlan(n))
+		s, err := pattern.Classify(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s != pattern.Chain {
+			t.Fatalf("chainPlan(%d) classified as %v", n, s)
+		}
+	}
+}
+
+func TestChainPlanTypeBalance(t *testing.T) {
+	// Chains of ≥4 tasks must deploy more R than M (§V-C).
+	g := planToGraph(t, chainPlan(6))
+	counts := g.TypeCounts()
+	if counts["R"] <= counts["M"] {
+		t.Fatalf("chain(6) types = %v, want R > M", counts)
+	}
+	// Tiny chains are allowed to be Map-heavy or balanced.
+	g = planToGraph(t, chainPlan(3))
+	counts = g.TypeCounts()
+	if counts["M"] < counts["R"] {
+		t.Fatalf("chain(3) types = %v, want M >= R", counts)
+	}
+}
+
+func TestShapePlansClassifyCorrectly(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cases := []struct {
+		kind shapeKind
+		want pattern.Shape
+		min  int
+	}{
+		{shapeInvTriangle, pattern.InvertedTriangle, 3},
+		{shapeDiamond, pattern.Diamond, 4},
+		{shapeHourglass, pattern.Hourglass, 5},
+		{shapeTrapezium, pattern.Trapezium, 3},
+	}
+	for _, c := range cases {
+		for n := c.min; n <= 31; n++ {
+			for trial := 0; trial < 5; trial++ {
+				g := planToGraph(t, plan(c.kind, n, rng))
+				if g.Size() != n {
+					t.Fatalf("%v(%d): generated %d tasks", c.kind, n, g.Size())
+				}
+				got, err := pattern.Classify(g)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != c.want {
+					t.Fatalf("%v(%d) trial %d classified as %v, widths %v",
+						c.kind, n, trial, got, mustWidths(t, g))
+				}
+			}
+		}
+	}
+}
+
+func mustWidths(t testing.TB, g *dag.Graph) []int {
+	t.Helper()
+	w, err := g.WidthProfile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestHybridPlanIsConvergent(t *testing.T) {
+	// Hybrid (triangle + tail) classifies as a convergent shape under
+	// the width-profile taxonomy; it must at minimum be a valid DAG of
+	// the right size with a single sink.
+	rng := rand.New(rand.NewSource(2))
+	for n := 4; n <= 31; n++ {
+		g := planToGraph(t, plan(shapeHybrid, n, rng))
+		if g.Size() != n {
+			t.Fatalf("hybrid(%d): %d tasks", n, g.Size())
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if len(g.Sinks()) != 1 {
+			t.Fatalf("hybrid(%d): %d sinks, want 1", n, len(g.Sinks()))
+		}
+	}
+}
+
+func TestLevelPlanWidthsExactProperty(t *testing.T) {
+	// The realized longest-path width profile must equal the plan.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nLevels := 2 + rng.Intn(4)
+		widths := make([]int, nLevels)
+		for i := range widths {
+			widths[i] = 1 + rng.Intn(5)
+		}
+		bp := levelPlan(widths, rng)
+		g := dag.New("w")
+		for i := 0; i < bp.n; i++ {
+			if err := g.AddNode(dag.Node{ID: dag.NodeID(i + 1), Type: bp.types[i]}); err != nil {
+				return false
+			}
+		}
+		for i := 0; i < bp.n; i++ {
+			for _, d := range bp.deps[i] {
+				if err := g.AddEdge(dag.NodeID(d), dag.NodeID(i+1)); err != nil {
+					return false
+				}
+			}
+		}
+		got, err := g.WidthProfile()
+		if err != nil || len(got) != len(widths) {
+			return false
+		}
+		for i := range widths {
+			if got[i] != widths[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFeasibility(t *testing.T) {
+	if feasible(shapeDiamond, 3) || !feasible(shapeDiamond, 4) {
+		t.Fatal("diamond feasibility")
+	}
+	if feasible(shapeHourglass, 4) || !feasible(shapeHourglass, 5) {
+		t.Fatal("hourglass feasibility")
+	}
+	if feasible(shapeChain, 1) || !feasible(shapeChain, 2) {
+		t.Fatal("chain feasibility")
+	}
+	if feasible(shapeChain, maxChainSize+1) || !feasible(shapeChain, maxChainSize) {
+		t.Fatal("chain size cap")
+	}
+	if feasible(numShapes, 10) {
+		t.Fatal("unknown shape feasible")
+	}
+}
+
+func TestShapeNames(t *testing.T) {
+	seen := make(map[string]bool)
+	for s := shapeKind(0); s < numShapes; s++ {
+		name := s.String()
+		if name == "unknown" || seen[name] {
+			t.Fatalf("bad or duplicate shape name %q", name)
+		}
+		seen[name] = true
+		if shapeByName(name) != s {
+			t.Fatalf("shapeByName(%q) mismatch", name)
+		}
+	}
+	if numShapes.String() != "unknown" {
+		t.Fatal("sentinel should be unknown")
+	}
+}

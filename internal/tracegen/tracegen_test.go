@@ -1,0 +1,298 @@
+package tracegen
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"jobgraph/internal/dag"
+	"jobgraph/internal/pattern"
+	"jobgraph/internal/trace"
+)
+
+func defaultGen(t testing.TB, n int, seed int64) []trace.Job {
+	t.Helper()
+	jobs, err := GenerateJobs(DefaultConfig(n, seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return jobs
+}
+
+// buildDAG converts a generated job into a graph, failing the test on
+// any structural error — generated traces must always build.
+func buildDAG(t testing.TB, j trace.Job) *dag.Graph {
+	t.Helper()
+	specs := make([]dag.TaskSpec, 0, len(j.Tasks))
+	for _, task := range j.Tasks {
+		specs = append(specs, dag.TaskSpec{
+			Name:      task.TaskName,
+			Duration:  task.Duration(),
+			Instances: task.InstanceNum,
+			PlanCPU:   task.PlanCPU,
+			PlanMem:   task.PlanMem,
+		})
+	}
+	res, err := dag.FromTasks(j.Name, specs, dag.BuildOptions{})
+	if err != nil {
+		t.Fatalf("job %s does not build: %v", j.Name, err)
+	}
+	return res.Graph
+}
+
+func TestGenerateJobCount(t *testing.T) {
+	jobs := defaultGen(t, 500, 1)
+	if len(jobs) != 500 {
+		t.Fatalf("jobs = %d, want 500", len(jobs))
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(DefaultConfig(200, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(DefaultConfig(200, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different traces")
+	}
+	c, err := Generate(DefaultConfig(200, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestGeneratedJobsAllBuildAsDAGs(t *testing.T) {
+	for _, j := range defaultGen(t, 1000, 2) {
+		g := buildDAG(t, j)
+		if err := g.Validate(); err != nil {
+			t.Fatalf("job %s: %v", j.Name, err)
+		}
+	}
+}
+
+func TestGeneratedDAGFraction(t *testing.T) {
+	jobs := defaultGen(t, 3000, 3)
+	dagJobs := 0
+	for _, j := range jobs {
+		if buildDAG(t, j).Size() > 0 {
+			dagJobs++
+		}
+	}
+	frac := float64(dagJobs) / float64(len(jobs))
+	if frac < 0.45 || frac > 0.55 {
+		t.Fatalf("DAG fraction = %.3f, want ~0.50", frac)
+	}
+}
+
+func TestGeneratedShapeMixtureMatchesPaper(t *testing.T) {
+	jobs := defaultGen(t, 4000, 4)
+	census := pattern.NewCensus()
+	for _, j := range jobs {
+		g := buildDAG(t, j)
+		if g.Size() < 2 {
+			continue // flat jobs
+		}
+		if err := census.Add(g); err != nil {
+			t.Fatal(err)
+		}
+	}
+	chain := census.Fraction(pattern.Chain)
+	tri := census.Fraction(pattern.InvertedTriangle)
+	if math.Abs(chain-0.58) > 0.05 {
+		t.Fatalf("chain share = %.3f, want ~0.58", chain)
+	}
+	// Generated hybrids classify as convergent too, so allow the band.
+	if math.Abs(tri-0.38) > 0.05 {
+		t.Fatalf("inverted-triangle share = %.3f, want ~0.37", tri)
+	}
+	if chain <= tri {
+		t.Fatalf("paper ordering violated: chain %.3f <= triangle %.3f", chain, tri)
+	}
+}
+
+func TestGeneratedSizesInRangeAndDecaying(t *testing.T) {
+	cfg := DefaultConfig(5000, 5)
+	jobs, err := GenerateJobs(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[int]int)
+	for _, j := range jobs {
+		g := buildDAG(t, j)
+		if g.Size() >= 2 {
+			counts[g.Size()]++
+		}
+	}
+	allowed := make(map[int]bool)
+	for _, s := range cfg.Sizes {
+		allowed[s] = true
+	}
+	for size := range counts {
+		if !allowed[size] {
+			t.Fatalf("generated size %d not in configured set", size)
+		}
+	}
+	// Counts must broadly decay: size 2 most frequent, size 31 rare.
+	if counts[2] <= counts[31] {
+		t.Fatalf("size decay violated: n(2)=%d n(31)=%d", counts[2], counts[31])
+	}
+	if counts[2] <= counts[10] {
+		t.Fatalf("size decay violated: n(2)=%d n(10)=%d", counts[2], counts[10])
+	}
+}
+
+func TestGeneratedStatusMix(t *testing.T) {
+	jobs := defaultGen(t, 3000, 6)
+	byStatus := make(map[trace.Status]int)
+	for _, j := range jobs {
+		byStatus[j.Tasks[0].Status]++
+	}
+	term := float64(byStatus[trace.StatusTerminated]) / float64(len(jobs))
+	if term < 0.83 || term > 0.93 {
+		t.Fatalf("terminated fraction = %.3f, want ~0.88", term)
+	}
+	if byStatus[trace.StatusRunning] == 0 || byStatus[trace.StatusFailed] == 0 {
+		t.Fatalf("missing running/failed jobs: %v", byStatus)
+	}
+}
+
+func TestGeneratedTimesWithinWindow(t *testing.T) {
+	cfg := DefaultConfig(1000, 7)
+	recs, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if r.StartTime < 0 {
+			t.Fatalf("negative start: %+v", r)
+		}
+		if r.Status == trace.StatusTerminated && r.EndTime <= r.StartTime {
+			t.Fatalf("terminated task without interval: %+v", r)
+		}
+	}
+}
+
+func TestGeneratedDiurnalPattern(t *testing.T) {
+	cfg := DefaultConfig(20000, 8)
+	recs, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Arrival density in the sinusoid's peak half-day should exceed the
+	// trough half-day.
+	peak, trough := 0, 0
+	seen := make(map[string]bool)
+	for _, r := range recs {
+		if seen[r.JobName] {
+			continue
+		}
+		seen[r.JobName] = true
+		phase := float64(r.StartTime%86400) / 86400
+		if phase < 0.5 {
+			peak++ // sin positive on (0, 0.5)
+		} else {
+			trough++
+		}
+	}
+	if peak <= trough {
+		t.Fatalf("diurnal pattern absent: peak=%d trough=%d", peak, trough)
+	}
+	ratio := float64(peak) / float64(trough)
+	if ratio < 1.5 {
+		t.Fatalf("diurnal contrast too weak: %.2f", ratio)
+	}
+}
+
+func TestGenerateConfigValidation(t *testing.T) {
+	bads := []func(*Config){
+		func(c *Config) { c.NumJobs = -1 },
+		func(c *Config) { c.DAGFraction = 1.5 },
+		func(c *Config) { c.Sizes = nil },
+		func(c *Config) { c.Sizes = []int{1} },
+		func(c *Config) { c.SizeDecay = 0 },
+		func(c *Config) { c.SizeDecay = 1.5 },
+		func(c *Config) { c.TraceDuration = 0 },
+		func(c *Config) { c.DiurnalAmplitude = 1 },
+		func(c *Config) { c.TerminatedFrac = 0.9; c.RunningFrac = 0.2 },
+		func(c *Config) { c.ShapeWeights = nil },
+		func(c *Config) { c.ShapeWeights = map[string]float64{"nonsense": 1} },
+		func(c *Config) { c.ShapeWeights = map[string]float64{"chain": -1} },
+		func(c *Config) { c.ShapeWeights = map[string]float64{"chain": 0} },
+	}
+	for i, mutate := range bads {
+		cfg := DefaultConfig(10, 1)
+		mutate(&cfg)
+		if _, err := Generate(cfg); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestGenerateZeroJobs(t *testing.T) {
+	recs, err := Generate(DefaultConfig(0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("records = %d, want 0", len(recs))
+	}
+}
+
+func TestGeneratedSeventeenSizeGroups(t *testing.T) {
+	// The default config must be able to reproduce the paper's "17
+	// different size types" at sufficient sample volume.
+	cfg := DefaultConfig(20000, 9)
+	if len(cfg.Sizes) != 17 {
+		t.Fatalf("default config has %d sizes, want 17", len(cfg.Sizes))
+	}
+	jobs, err := GenerateJobs(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	distinct := make(map[int]bool)
+	for _, j := range jobs {
+		g := buildDAG(t, j)
+		if g.Size() >= 2 {
+			distinct[g.Size()] = true
+		}
+	}
+	if len(distinct) != 17 {
+		t.Fatalf("distinct sizes = %d, want 17", len(distinct))
+	}
+}
+
+func TestGeneratedRedundantNaming(t *testing.T) {
+	// The generator must reproduce the trace's over-specified naming
+	// style on a meaningful share of aggregate tasks (the paper's
+	// R5_4_3_2_1 example), without ever corrupting the DAG.
+	jobs := defaultGen(t, 5000, 10)
+	withRedundant, totalEdges, redundantEdges := 0, 0, 0
+	for _, j := range jobs {
+		g := buildDAG(t, j)
+		if g.Size() < 4 {
+			continue
+		}
+		r, err := g.RedundantEdges()
+		if err != nil {
+			t.Fatal(err)
+		}
+		totalEdges += g.NumEdges()
+		redundantEdges += r
+		if r > 0 {
+			withRedundant++
+		}
+	}
+	if withRedundant == 0 {
+		t.Fatal("no jobs with paper-style redundant dependency naming")
+	}
+	if redundantEdges == 0 || redundantEdges >= totalEdges/2 {
+		t.Fatalf("redundant edge share implausible: %d of %d", redundantEdges, totalEdges)
+	}
+}

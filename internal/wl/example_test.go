@@ -1,0 +1,36 @@
+package wl_test
+
+import (
+	"fmt"
+
+	"jobgraph/internal/dag"
+	"jobgraph/internal/wl"
+)
+
+func mustJob(id string, names ...string) *dag.Graph {
+	specs := make([]dag.TaskSpec, len(names))
+	for i, n := range names {
+		specs[i] = dag.TaskSpec{Name: n}
+	}
+	res, err := dag.FromTasks(id, specs, dag.BuildOptions{})
+	if err != nil {
+		panic(err)
+	}
+	return res.Graph
+}
+
+func ExampleGraphSimilarity() {
+	// Two structurally identical MapReduce jobs score exactly 1; a
+	// chain scores lower against them.
+	mr1 := mustJob("a", "M1", "M2", "R3_1_2")
+	mr2 := mustJob("b", "M1", "M2", "R3_2_1")
+	chain := mustJob("c", "M1", "R2_1", "R3_2")
+
+	same, _ := wl.GraphSimilarity(mr1, mr2, wl.DefaultOptions())
+	diff, _ := wl.GraphSimilarity(mr1, chain, wl.DefaultOptions())
+	fmt.Printf("identical: %.2f\n", same)
+	fmt.Printf("different shape below 1: %v\n", diff < 1)
+	// Output:
+	// identical: 1.00
+	// different shape below 1: true
+}

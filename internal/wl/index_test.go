@@ -1,0 +1,146 @@
+package wl
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func buildIndex(t testing.TB, n int) *Index {
+	t.Helper()
+	ix, err := NewIndex(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, g := range sampleGraphs(t, n, 9) {
+		g.JobID = g.JobID + "_" + string(rune('a'+i%26)) + string(rune('0'+i/26))
+		if err := ix.Add(g); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return ix
+}
+
+func TestIndexAddAndQuery(t *testing.T) {
+	ix, err := NewIndex(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{2, 3, 4} {
+		if err := ix.Add(chainGraph(t, "chain", n)); err == nil && n > 2 {
+			t.Fatal("duplicate job id accepted")
+		}
+	}
+	// Rebuild with distinct ids.
+	ix, _ = NewIndex(DefaultOptions())
+	for _, n := range []int{2, 3, 4} {
+		g := chainGraph(t, "chain", n)
+		g.JobID = g.JobID + string(rune('0'+n))
+		if err := ix.Add(g); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ix.Len() != 3 {
+		t.Fatalf("len = %d", ix.Len())
+	}
+	hits, err := ix.Query(chainGraph(t, "q", 3), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 2 {
+		t.Fatalf("hits = %d", len(hits))
+	}
+	if hits[0].JobID != "chain3" || hits[0].Similarity != 1 {
+		t.Fatalf("top hit = %+v", hits[0])
+	}
+	if hits[1].Similarity >= 1 {
+		t.Fatalf("second hit = %+v", hits[1])
+	}
+}
+
+func TestIndexQueryValidation(t *testing.T) {
+	ix := buildIndex(t, 5)
+	if _, err := ix.Query(chainGraph(t, "q", 2), 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	hits, err := ix.Query(chainGraph(t, "q", 2), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 5 {
+		t.Fatalf("over-request returned %d", len(hits))
+	}
+}
+
+func TestIndexSaveLoadRoundTrip(t *testing.T) {
+	ix := buildIndex(t, 12)
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadIndex(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != ix.Len() {
+		t.Fatalf("loaded len = %d, want %d", loaded.Len(), ix.Len())
+	}
+	// Queries against the loaded index must match the original exactly.
+	q := triangleGraph(t, "query", 3)
+	a, err := ix.Query(q, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := loaded.Query(q, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].JobID != b[i].JobID || math.Abs(a[i].Similarity-b[i].Similarity) > 1e-15 {
+			t.Fatalf("hit %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	// The loaded index must also accept new jobs (dictionary intact).
+	g := chainGraph(t, "new-one", 6)
+	if err := loaded.Add(g); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadIndexRejectsCorrupt(t *testing.T) {
+	cases := map[string]string{
+		"not json":         "{{{",
+		"job/vec miscount": `{"options":{"Iterations":1},"labels":{},"jobs":["a"],"vectors":[]}`,
+		"bad option":       `{"options":{"Iterations":-1},"labels":{},"jobs":[],"vectors":[]}`,
+		"bad dict id":      `{"options":{"Iterations":1},"labels":{"x":5},"jobs":[],"vectors":[]}`,
+		"dup dict id":      `{"options":{"Iterations":1},"labels":{"x":0,"y":0},"jobs":[],"vectors":[]}`,
+		"bad vector key":   `{"options":{"Iterations":1},"labels":{"x":0},"jobs":["a"],"vectors":[{"zz":1}]}`,
+		"negative count":   `{"options":{"Iterations":1},"labels":{"x":0},"jobs":["a"],"vectors":[{"0":-1}]}`,
+	}
+	for name, data := range cases {
+		if _, err := LoadIndex(strings.NewReader(data)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestNewIndexRejectsBadOptions(t *testing.T) {
+	if _, err := NewIndex(Options{Iterations: -2}); err == nil {
+		t.Fatal("bad options accepted")
+	}
+}
+
+func TestIndexEmptyQuery(t *testing.T) {
+	ix, err := NewIndex(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits, err := ix.Query(chainGraph(t, "q", 2), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 0 {
+		t.Fatalf("empty index returned hits: %+v", hits)
+	}
+}

@@ -1,0 +1,84 @@
+package wl
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"jobgraph/internal/dag"
+	"jobgraph/internal/linalg"
+)
+
+// KernelMatrix computes the full normalized similarity matrix over the
+// given job graphs — the data behind the paper's Figure 7 heat map.
+// Entry (i, j) is Similarity(φ(Gi), φ(Gj)); the matrix is symmetric with
+// unit diagonal.
+//
+// Feature extraction runs once, sequentially, against a shared label
+// dictionary (interning must be deterministic); the O(n²) pairwise dot
+// products are then fanned out across `workers` goroutines, each owning
+// a contiguous band of rows. workers <= 0 selects GOMAXPROCS.
+func KernelMatrix(graphs []*dag.Graph, opt Options, workers int) (*linalg.Matrix, error) {
+	if len(graphs) == 0 {
+		return nil, fmt.Errorf("wl: kernel matrix over zero graphs")
+	}
+	vecs, _, err := Features(graphs, opt)
+	if err != nil {
+		return nil, err
+	}
+	return MatrixFromVectors(vecs, workers)
+}
+
+// MatrixFromVectors computes the normalized similarity matrix from
+// pre-computed feature vectors (they must share one dictionary).
+func MatrixFromVectors(vecs []Vector, workers int) (*linalg.Matrix, error) {
+	n := len(vecs)
+	if n == 0 {
+		return nil, fmt.Errorf("wl: kernel matrix over zero vectors")
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+
+	// Pre-compute self-kernels once.
+	self := make([]float64, n)
+	for i, v := range vecs {
+		self[i] = Dot(v, v)
+	}
+
+	m := linalg.NewMatrix(n, n)
+	// Row i owns columns j >= i (upper triangle). Rows are handed out
+	// via a channel so long rows (small i) and short rows (large i)
+	// balance across workers without precomputing a schedule.
+	rows := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range rows {
+				vi := vecs[i]
+				for j := i; j < n; j++ {
+					var s float64
+					if i == j {
+						s = 1
+					} else {
+						s = similarityWithSelf(vi, vecs[j], self[i], self[j])
+					}
+					// Distinct cells per (i,j): no write conflicts.
+					m.Set(i, j, s)
+					m.Set(j, i, s)
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		rows <- i
+	}
+	close(rows)
+	wg.Wait()
+	return m, nil
+}

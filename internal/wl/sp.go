@@ -1,0 +1,90 @@
+package wl
+
+import (
+	"fmt"
+
+	"jobgraph/internal/dag"
+)
+
+// BaseKernel selects the substructure counted at every WL iteration.
+// The paper's kernel definition admits "a base kernel function, such as
+// subtree or shortest path kernel" (§V-D); both are provided.
+type BaseKernel int
+
+const (
+	// BaseSubtree counts refined node labels (the classic WL subtree
+	// kernel) — the default and the paper's primary instrument.
+	BaseSubtree BaseKernel = iota
+	// BaseShortestPath counts (label_u, label_v, d(u, v)) triples over
+	// directed shortest paths, recomputed under each iteration's
+	// refined labels (the WL shortest-path kernel of Shervashidze et
+	// al.). Distance-0 self pairs are included so single-task jobs
+	// retain a non-empty feature vector.
+	BaseShortestPath
+	// BaseEdge counts (label_u, label_v) pairs over direct edges plus
+	// plain node labels — the WL edge kernel, a middle ground between
+	// subtree (nodes only) and shortest-path (all pairs). Node labels
+	// are included so edge-free graphs keep non-empty vectors.
+	BaseEdge
+)
+
+// String names the base kernel.
+func (b BaseKernel) String() string {
+	switch b {
+	case BaseSubtree:
+		return "subtree"
+	case BaseShortestPath:
+		return "shortest-path"
+	case BaseEdge:
+		return "edge"
+	default:
+		return fmt.Sprintf("base(%d)", int(b))
+	}
+}
+
+// shortestPaths computes directed unit-weight shortest-path distances
+// from every vertex via BFS. dist[u][v] is absent when v is unreachable
+// from u.
+func shortestPaths(g *dag.Graph) map[dag.NodeID]map[dag.NodeID]int {
+	ids := g.NodeIDs()
+	all := make(map[dag.NodeID]map[dag.NodeID]int, len(ids))
+	for _, src := range ids {
+		dist := map[dag.NodeID]int{src: 0}
+		queue := []dag.NodeID{src}
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, v := range g.Succ(u) {
+				if _, seen := dist[v]; !seen {
+					dist[v] = dist[u] + 1
+					queue = append(queue, v)
+				}
+			}
+		}
+		all[src] = dist
+	}
+	return all
+}
+
+// recordEdge interns one iteration's edge pairs and node labels into
+// the vector.
+func (d *Dictionary) recordEdge(vec Vector, g *dag.Graph, labels map[dag.NodeID]string) {
+	for _, u := range g.NodeIDs() {
+		vec[d.id("N|"+labels[u])]++
+		for _, v := range g.Succ(u) {
+			vec[d.id(fmt.Sprintf("E|%s|%s", labels[u], labels[v]))]++
+		}
+	}
+}
+
+// recordShortestPath interns one iteration's shortest-path triples into
+// the vector.
+func (d *Dictionary) recordShortestPath(vec Vector, g *dag.Graph,
+	labels map[dag.NodeID]string, dists map[dag.NodeID]map[dag.NodeID]int) {
+	for u, row := range dists {
+		lu := labels[u]
+		for v, dist := range row {
+			vec[d.id(fmt.Sprintf("SP|%s|%s|%d", lu, labels[v], dist))]++
+		}
+	}
+}

@@ -1,0 +1,264 @@
+// Package wl implements the Weisfeiler–Lehman subtree kernel of
+// Shervashidze et al. (JMLR 2011) specialized to job DAGs, the graph
+// learning method the paper uses to compare batch-job topologies (§V-D).
+//
+// For each graph, node labels are iteratively refined: a node's label at
+// iteration i+1 is its label at iteration i augmented with the sorted
+// multiset of its neighbors' iteration-i labels. The subtree kernel
+// between two graphs is the inner product of their label-count vectors
+// accumulated over iterations 0..h; normalizing by the self-similarities
+// yields the paper's similarity score in [0,1], where 1 means the two
+// job graphs are indistinguishable by h rounds of refinement (and in
+// practice isomorphic).
+package wl
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"jobgraph/internal/dag"
+)
+
+// Options configures the kernel.
+type Options struct {
+	// Iterations is the number of refinement rounds h. The label-count
+	// vector includes iteration 0 (initial labels) through h.
+	// Values 2–4 are standard; the paper-scale experiments use 3.
+	Iterations int
+
+	// UseTypeLabels seeds refinement with the task type (M/R/J) so that
+	// an all-Map chain and an all-Reduce chain differ. When false all
+	// nodes start with a uniform label and only topology matters.
+	UseTypeLabels bool
+
+	// Undirected treats dependency edges as undirected during
+	// refinement. The default (false) keeps direction: a node's
+	// predecessors and successors contribute separate multisets, which
+	// distinguishes convergent from divergent shapes — essential for
+	// separating the paper's inverted-triangle and trapezium classes.
+	Undirected bool
+
+	// Base selects the substructure counted per iteration: the WL
+	// subtree kernel (default) or the WL shortest-path kernel.
+	Base BaseKernel
+}
+
+// DefaultOptions returns the configuration used for the paper-scale
+// experiments: h=3, type-seeded, direction-aware.
+func DefaultOptions() Options {
+	return Options{Iterations: 3, UseTypeLabels: true}
+}
+
+func (o Options) validate() error {
+	if o.Iterations < 0 {
+		return fmt.Errorf("wl: negative iterations %d", o.Iterations)
+	}
+	switch o.Base {
+	case BaseSubtree, BaseShortestPath, BaseEdge:
+	default:
+		return fmt.Errorf("wl: unknown base kernel %d", int(o.Base))
+	}
+	return nil
+}
+
+// Vector is a sparse label-count feature vector φ(G). Keys are
+// dictionary-compressed label ids, values are occurrence counts.
+type Vector map[int]float64
+
+// Dot returns ⟨a, b⟩ — the un-normalized WL subtree kernel value.
+func Dot(a, b Vector) float64 {
+	if len(b) < len(a) {
+		a, b = b, a
+	}
+	var s float64
+	for k, va := range a {
+		if vb, ok := b[k]; ok {
+			s += va * vb
+		}
+	}
+	return s
+}
+
+// Similarity returns the normalized kernel k(a,b)/√(k(a,a)·k(b,b)) in
+// [0, 1]. Two empty vectors (empty graphs) are defined as similarity 1;
+// an empty vector against a non-empty one is 0.
+func Similarity(a, b Vector) float64 {
+	return similarityWithSelf(a, b, Dot(a, a), Dot(b, b))
+}
+
+// similarityWithSelf is Similarity with the self-kernels precomputed,
+// shared with the kernel-matrix fast path.
+func similarityWithSelf(a, b Vector, ka, kb float64) float64 {
+	if ka == 0 && kb == 0 {
+		return 1
+	}
+	if ka == 0 || kb == 0 {
+		return 0
+	}
+	kab := Dot(a, b)
+	// By Cauchy–Schwarz kab² ≤ ka·kb with equality iff the vectors are
+	// parallel; identical graphs must report exactly 1.0 (the paper's
+	// Figure 7 relies on exact-1 blocks), so catch equality before the
+	// square roots introduce rounding.
+	if kab*kab >= ka*kb {
+		return 1
+	}
+	// √(ka)·√(kb) instead of √(ka·kb): label counts can be large enough
+	// that the product overflows before the square root tames it.
+	s := kab / (math.Sqrt(ka) * math.Sqrt(kb))
+	// Clamp tiny float excursions so callers can rely on [0,1].
+	if s > 1 {
+		s = 1
+	}
+	if s < 0 {
+		s = 0
+	}
+	return s
+}
+
+// Dictionary compresses refined label strings into dense integer ids so
+// feature vectors stay small and dot products stay cheap. A Dictionary
+// must be shared by every graph participating in one kernel computation:
+// ids are only comparable within a dictionary.
+type Dictionary struct {
+	ids map[string]int
+}
+
+// NewDictionary returns an empty label dictionary.
+func NewDictionary() *Dictionary {
+	return &Dictionary{ids: make(map[string]int)}
+}
+
+// id interns a label.
+func (d *Dictionary) id(label string) int {
+	if v, ok := d.ids[label]; ok {
+		return v
+	}
+	v := len(d.ids)
+	d.ids[label] = v
+	return v
+}
+
+// Len returns the number of distinct labels interned so far.
+func (d *Dictionary) Len() int { return len(d.ids) }
+
+// Embed computes the WL feature vector of g against the dictionary,
+// interning any new labels. Embedding is deterministic given the
+// dictionary state, and embedding the same graph twice yields the same
+// vector.
+func (d *Dictionary) Embed(g *dag.Graph, opt Options) (Vector, error) {
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	vec := make(Vector)
+	ids := g.NodeIDs()
+	if len(ids) == 0 {
+		return vec, nil
+	}
+
+	labels := make(map[dag.NodeID]string, len(ids))
+	for _, id := range ids {
+		if opt.UseTypeLabels {
+			labels[id] = g.Node(id).Type.String()
+		} else {
+			labels[id] = "·"
+		}
+	}
+	var dists map[dag.NodeID]map[dag.NodeID]int
+	if opt.Base == BaseShortestPath {
+		// Distances are label-independent; compute once, reuse across
+		// iterations with each round's refined labels.
+		dists = shortestPaths(g)
+	}
+	record := func() {
+		switch opt.Base {
+		case BaseShortestPath:
+			d.recordShortestPath(vec, g, labels, dists)
+		case BaseEdge:
+			d.recordEdge(vec, g, labels)
+		default:
+			for _, id := range ids {
+				vec[d.id(labels[id])]++
+			}
+		}
+	}
+	record() // iteration 0
+
+	for it := 0; it < opt.Iterations; it++ {
+		next := make(map[dag.NodeID]string, len(ids))
+		for _, id := range ids {
+			next[id] = refineLabel(g, id, labels, opt.Undirected)
+		}
+		// Compress through the dictionary so label strings don't grow
+		// exponentially across iterations.
+		for id, l := range next {
+			next[id] = fmt.Sprintf("#%d", d.id(l))
+		}
+		labels = next
+		record()
+	}
+	return vec, nil
+}
+
+// refineLabel builds the iteration-(i+1) label string for one node.
+func refineLabel(g *dag.Graph, id dag.NodeID, labels map[dag.NodeID]string, undirected bool) string {
+	var b strings.Builder
+	b.WriteString(labels[id])
+	if undirected {
+		nbr := make([]string, 0, g.InDegree(id)+g.OutDegree(id))
+		for _, p := range g.Pred(id) {
+			nbr = append(nbr, labels[p])
+		}
+		for _, s := range g.Succ(id) {
+			nbr = append(nbr, labels[s])
+		}
+		sort.Strings(nbr)
+		b.WriteString("(")
+		b.WriteString(strings.Join(nbr, ","))
+		b.WriteString(")")
+		return b.String()
+	}
+	preds := make([]string, 0, g.InDegree(id))
+	for _, p := range g.Pred(id) {
+		preds = append(preds, labels[p])
+	}
+	succs := make([]string, 0, g.OutDegree(id))
+	for _, s := range g.Succ(id) {
+		succs = append(succs, labels[s])
+	}
+	sort.Strings(preds)
+	sort.Strings(succs)
+	b.WriteString("(P:")
+	b.WriteString(strings.Join(preds, ","))
+	b.WriteString("|S:")
+	b.WriteString(strings.Join(succs, ","))
+	b.WriteString(")")
+	return b.String()
+}
+
+// Features embeds every graph with one shared dictionary and returns the
+// vectors in input order.
+func Features(graphs []*dag.Graph, opt Options) ([]Vector, *Dictionary, error) {
+	d := NewDictionary()
+	out := make([]Vector, len(graphs))
+	for i, g := range graphs {
+		v, err := d.Embed(g, opt)
+		if err != nil {
+			return nil, nil, fmt.Errorf("wl: graph %d (%s): %w", i, g.JobID, err)
+		}
+		out[i] = v
+	}
+	return out, d, nil
+}
+
+// GraphSimilarity is a convenience for one-off pairs: it embeds both
+// graphs in a fresh dictionary and returns their normalized similarity.
+func GraphSimilarity(a, b *dag.Graph, opt Options) (float64, error) {
+	vecs, _, err := Features([]*dag.Graph{a, b}, opt)
+	if err != nil {
+		return 0, err
+	}
+	return Similarity(vecs[0], vecs[1]), nil
+}
