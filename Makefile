@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race bench fuzz reproduce fmt vet clean
+.PHONY: all build test test-short race bench fuzz reproduce metrics fmt vet clean
 
 all: build test
 
@@ -27,6 +27,11 @@ fuzz:
 
 reproduce:
 	$(GO) run ./cmd/reproduce -gen 20000 -seed 1 -out results/
+
+# Small instrumented run; the snapshot is already indented JSON.
+metrics:
+	$(GO) run ./cmd/reproduce -gen 2000 -seed 1 -out results/ -v >/dev/null
+	cat results/metrics.json
 
 fmt:
 	gofmt -w .

@@ -15,6 +15,7 @@ import (
 	"jobgraph/internal/dag"
 	"jobgraph/internal/features"
 	"jobgraph/internal/ged"
+	"jobgraph/internal/obs"
 	"jobgraph/internal/pattern"
 	"jobgraph/internal/sampling"
 	"jobgraph/internal/sched"
@@ -441,4 +442,34 @@ func BenchmarkApplicationScheduling(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkInstrumentedWL quantifies the observability tax on the
+// pipeline's hot path: the paper-scale WL kernel matrix wrapped in a
+// span, with the Default registry enabled (the production default) and
+// disabled. Instrumentation is deliberately per-call — one span, one
+// counter add, one histogram observation per matrix — so the enabled
+// tax must stay under 2% of kernel runtime, and disabling the registry
+// reduces every hook to a single atomic load.
+func BenchmarkInstrumentedWL(b *testing.B) {
+	f := getFixture(b)
+	reg := obs.Default()
+	kernel := func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sp := reg.StartSpan("bench.wl.kernel")
+			if _, err := wl.KernelMatrix(f.sample, wl.DefaultOptions(), 0); err != nil {
+				b.Fatal(err)
+			}
+			sp.End()
+		}
+	}
+	b.Run("enabled", func(b *testing.B) {
+		reg.SetEnabled(true)
+		kernel(b)
+	})
+	b.Run("disabled", func(b *testing.B) {
+		reg.SetEnabled(false)
+		defer reg.SetEnabled(true)
+		kernel(b)
+	})
 }

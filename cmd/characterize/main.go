@@ -17,7 +17,9 @@ import (
 	"jobgraph/internal/sampling"
 )
 
-func main() {
+func main() { cli.Run(run) }
+
+func run() error {
 	var (
 		tracePath = flag.String("trace", "", "batch_task CSV (empty: generate)")
 		gen       = flag.Int("gen", 10000, "jobs to generate when no trace given")
@@ -28,11 +30,11 @@ func main() {
 
 	jobs, err := cli.LoadOrGenerate(*tracePath, *gen, *seed)
 	if err != nil {
-		cli.Fatalf("characterize: %v", err)
+		return fmt.Errorf("characterize: %v", err)
 	}
 	cands, fstats, err := sampling.Filter(jobs, sampling.PaperCriteria(cli.TraceWindow()))
 	if err != nil {
-		cli.Fatalf("characterize: %v", err)
+		return fmt.Errorf("characterize: %v", err)
 	}
 	fmt.Printf("filtering: %d jobs in, %d eligible DAG jobs (integrity %d, availability %d, non-DAG %d)\n\n",
 		fstats.Input, fstats.Kept, fstats.NotTerminated, fstats.OutsideWindow, fstats.NonDAG)
@@ -41,34 +43,35 @@ func main() {
 
 	fig3, err := core.Fig3Conflation(graphs)
 	if err != nil {
-		cli.Fatalf("characterize: %v", err)
+		return fmt.Errorf("characterize: %v", err)
 	}
 	fmt.Println(fig3)
 
 	rows, err := core.FigSizeGroupFeatures(graphs, false)
 	if err != nil {
-		cli.Fatalf("characterize: %v", err)
+		return fmt.Errorf("characterize: %v", err)
 	}
 	fmt.Println(core.FigSizeGroupTable(rows, "Fig 4: job features before node conflation"))
 
 	rowsC, err := core.FigSizeGroupFeatures(graphs, true)
 	if err != nil {
-		cli.Fatalf("characterize: %v", err)
+		return fmt.Errorf("characterize: %v", err)
 	}
 	fmt.Println(core.FigSizeGroupTable(rowsC, "Fig 5: job features after node conflation"))
 
 	census, _, err := core.PatternCensusTable(graphs)
 	if err != nil {
-		cli.Fatalf("characterize: %v", err)
+		return fmt.Errorf("characterize: %v", err)
 	}
 	fmt.Println(census)
 
 	// Fig 6 needs a bounded per-job table: sample first.
 	an, err := core.Run(jobs, sampleConfig(*sample, *seed))
 	if err != nil {
-		cli.Fatalf("characterize: %v", err)
+		return fmt.Errorf("characterize: %v", err)
 	}
 	fmt.Println(core.Fig6TaskTypes(an))
+	return nil
 }
 
 func sampleConfig(sample int, seed int64) core.Config {

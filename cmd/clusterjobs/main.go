@@ -6,7 +6,7 @@
 // Usage:
 //
 //	clusterjobs [-trace batch_task.csv | -gen 10000] [-groups 5]
-//	            [-sample 100] [-dot-dir reps/]
+//	            [-sample 100] [-dot-dir reps/] [-v] [-debug-addr localhost:6060]
 package main
 
 import (
@@ -19,7 +19,9 @@ import (
 	"jobgraph/internal/core"
 )
 
-func main() {
+func main() { cli.Run(run) }
+
+func run() error {
 	var (
 		tracePath = flag.String("trace", "", "batch_task CSV (empty: generate)")
 		gen       = flag.Int("gen", 10000, "jobs to generate when no trace given")
@@ -27,19 +29,28 @@ func main() {
 		seed      = flag.Int64("seed", 1, "RNG seed")
 		groups    = flag.Int("groups", 5, "number of spectral groups")
 		dotDir    = flag.String("dot-dir", "", "optional directory for representative DOT files")
+		verbose   = flag.Bool("v", false, "log per-stage progress to stderr")
+		debugAddr = flag.String("debug-addr", "", "serve /debug/vars and /debug/pprof/ on this address")
 	)
 	flag.Parse()
+	cli.SetupVerbose(*verbose)
+
+	closeDebug, err := cli.StartDebugServer(*debugAddr)
+	if err != nil {
+		return fmt.Errorf("clusterjobs: %v", err)
+	}
+	defer closeDebug()
 
 	jobs, err := cli.LoadOrGenerate(*tracePath, *gen, *seed)
 	if err != nil {
-		cli.Fatalf("clusterjobs: %v", err)
+		return fmt.Errorf("clusterjobs: %v", err)
 	}
 	cfg := core.DefaultConfig(cli.TraceWindow(), *seed)
 	cfg.SampleSize = *sample
 	cfg.Groups = *groups
 	an, err := core.Run(jobs, cfg)
 	if err != nil {
-		cli.Fatalf("clusterjobs: %v", err)
+		return fmt.Errorf("clusterjobs: %v", err)
 	}
 
 	fmt.Println(core.Fig9GroupTable(an))
@@ -54,14 +65,15 @@ func main() {
 
 	if *dotDir != "" {
 		if err := os.MkdirAll(*dotDir, 0o755); err != nil {
-			cli.Fatalf("clusterjobs: %v", err)
+			return fmt.Errorf("clusterjobs: %v", err)
 		}
 		for name, dot := range core.Fig8Representatives(an) {
 			path := filepath.Join(*dotDir, fmt.Sprintf("group_%s.dot", name))
 			if err := os.WriteFile(path, []byte(dot), 0o644); err != nil {
-				cli.Fatalf("clusterjobs: %v", err)
+				return fmt.Errorf("clusterjobs: %v", err)
 			}
 		}
 		fmt.Printf("representative DAGs written to %s\n", *dotDir)
 	}
+	return nil
 }

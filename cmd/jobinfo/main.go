@@ -23,7 +23,9 @@ import (
 	"jobgraph/internal/trace"
 )
 
-func main() {
+func main() { cli.Run(run) }
+
+func run() error {
 	var (
 		tracePath = flag.String("trace", "", "batch_task CSV to look the job up in")
 		jobID     = flag.String("job", "", "job id to look up (requires -trace)")
@@ -33,13 +35,14 @@ func main() {
 
 	g, err := loadJob(*tracePath, *jobID, flag.Args())
 	if err != nil {
-		cli.Fatalf("jobinfo: %v", err)
+		return fmt.Errorf("jobinfo: %v", err)
 	}
 	if *dotOnly {
 		fmt.Print(g.DOT())
-		return
+		return nil
 	}
 	printInfo(g)
+	return nil
 }
 
 func loadJob(tracePath, jobID string, names []string) (*dag.Graph, error) {

@@ -5,7 +5,11 @@
 //
 // Usage:
 //
-//	reproduce [-gen 20000] [-seed 1] [-out results/]
+//	reproduce [-trace batch_task.csv | -gen 20000] [-seed 1] [-out results/]
+//	          [-v] [-debug-addr localhost:6060]
+//
+// With -out, a metrics.json snapshot of every pipeline counter, span
+// and histogram is written next to the CSV artifacts.
 package main
 
 import (
@@ -32,27 +36,46 @@ import (
 	"jobgraph/internal/wl"
 )
 
-func main() {
+func main() { cli.Run(run) }
+
+func run() error {
 	var (
-		gen    = flag.Int("gen", 20000, "jobs to generate")
-		seed   = flag.Int64("seed", 1, "RNG seed")
-		outDir = flag.String("out", "", "optional output directory for CSV artifacts")
+		tracePath = flag.String("trace", "", "batch_task CSV (.gz supported; empty: generate)")
+		gen       = flag.Int("gen", 20000, "jobs to generate when no trace given")
+		seed      = flag.Int64("seed", 1, "RNG seed")
+		outDir    = flag.String("out", "", "optional output directory for CSV artifacts and metrics.json")
+		verbose   = flag.Bool("v", false, "log per-stage progress to stderr")
+		debugAddr = flag.String("debug-addr", "", "serve /debug/vars and /debug/pprof/ on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
+	cli.SetupVerbose(*verbose)
 
-	jobs, err := cli.LoadOrGenerate("", *gen, *seed)
+	closeDebug, err := cli.StartDebugServer(*debugAddr)
 	if err != nil {
-		cli.Fatalf("reproduce: %v", err)
+		return fmt.Errorf("reproduce: %v", err)
 	}
+	defer closeDebug()
+
 	if *outDir != "" {
 		if err := os.MkdirAll(*outDir, 0o755); err != nil {
-			cli.Fatalf("reproduce: %v", err)
+			return fmt.Errorf("reproduce: %v", err)
 		}
+		// Deferred so the snapshot also lands when a later stage fails.
+		defer func() {
+			if err := cli.WriteMetrics(*outDir); err != nil {
+				fmt.Fprintf(os.Stderr, "reproduce: metrics snapshot: %v\n", err)
+			}
+		}()
+	}
+
+	jobs, err := cli.LoadOrGenerate(*tracePath, *gen, *seed)
+	if err != nil {
+		return fmt.Errorf("reproduce: %v", err)
 	}
 
 	cands, fstats, err := sampling.Filter(jobs, sampling.PaperCriteria(cli.TraceWindow()))
 	if err != nil {
-		cli.Fatalf("reproduce: %v", err)
+		return fmt.Errorf("reproduce: %v", err)
 	}
 	graphs := sampling.Graphs(cands)
 	fmt.Printf("== Trace ==\n%d jobs generated, %d eligible DAG jobs\n", len(jobs), len(cands))
@@ -61,7 +84,7 @@ func main() {
 
 	an, err := core.Run(jobs, core.DefaultConfig(cli.TraceWindow(), *seed))
 	if err != nil {
-		cli.Fatalf("reproduce: %v", err)
+		return fmt.Errorf("reproduce: %v", err)
 	}
 
 	runE0(jobs)
@@ -83,6 +106,7 @@ func main() {
 	runE10(graphs)
 	runE11(an, cands, jobs, *seed)
 	runE12(an, cands, *seed)
+	return nil
 }
 
 func must(err error) {

@@ -19,7 +19,9 @@ import (
 	"jobgraph/internal/wl"
 )
 
-func main() {
+func main() { cli.Run(run) }
+
+func run() error {
 	var (
 		tracePath  = flag.String("trace", "", "batch_task CSV (empty: generate)")
 		gen        = flag.Int("gen", 10000, "jobs to generate when no trace given")
@@ -41,12 +43,12 @@ func main() {
 	case "edge":
 		baseKernel = wl.BaseEdge
 	default:
-		cli.Fatalf("similarity: unknown base kernel %q", *base)
+		return fmt.Errorf("similarity: unknown base kernel %q", *base)
 	}
 
 	jobs, err := cli.LoadOrGenerate(*tracePath, *gen, *seed)
 	if err != nil {
-		cli.Fatalf("similarity: %v", err)
+		return fmt.Errorf("similarity: %v", err)
 	}
 	cfg := core.DefaultConfig(cli.TraceWindow(), *seed)
 	cfg.SampleSize = *sample
@@ -54,7 +56,7 @@ func main() {
 	cfg.Workers = *workers
 	an, err := core.Run(jobs, cfg)
 	if err != nil {
-		cli.Fatalf("similarity: %v", err)
+		return fmt.Errorf("similarity: %v", err)
 	}
 
 	fmt.Printf("Fig 7: WL similarity map over %d jobs (h=%d, %s base)\n",
@@ -64,14 +66,15 @@ func main() {
 	if *csvOut != "" {
 		f, err := os.Create(*csvOut)
 		if err != nil {
-			cli.Fatalf("similarity: %v", err)
+			return fmt.Errorf("similarity: %v", err)
 		}
 		if err := report.WriteMatrixCSV(f, an.Similarity); err != nil {
-			cli.Fatalf("similarity: csv: %v", err)
+			return fmt.Errorf("similarity: csv: %v", err)
 		}
 		if err := f.Close(); err != nil {
-			cli.Fatalf("similarity: close: %v", err)
+			return fmt.Errorf("similarity: close: %v", err)
 		}
 		fmt.Printf("matrix written to %s\n", *csvOut)
 	}
+	return nil
 }

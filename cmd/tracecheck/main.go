@@ -12,14 +12,15 @@ package main
 import (
 	"flag"
 	"fmt"
-	"os"
 	"sort"
 
 	"jobgraph/internal/cli"
 	"jobgraph/internal/lint"
 )
 
-func main() {
+func main() { cli.Run(run) }
+
+func run() error {
 	var (
 		tracePath   = flag.String("trace", "", "batch_task CSV (.gz supported; empty: generate)")
 		gen         = flag.Int("gen", 5000, "jobs to generate when no trace given")
@@ -30,7 +31,7 @@ func main() {
 
 	jobs, err := cli.LoadOrGenerate(*tracePath, *gen, *seed)
 	if err != nil {
-		cli.Fatalf("tracecheck: %v", err)
+		return fmt.Errorf("tracecheck: %v", err)
 	}
 	rep := lint.Jobs(jobs)
 
@@ -62,7 +63,10 @@ func main() {
 		}
 	}
 
+	// Non-zero exit for dirty traces, but through cli.Exit so any
+	// deferred cleanup in future revisions still runs.
 	if !rep.Clean() {
-		os.Exit(1)
+		cli.Exit(1)
 	}
+	return nil
 }

@@ -17,7 +17,9 @@ import (
 	"jobgraph/internal/tracegen"
 )
 
-func main() {
+func main() { cli.Run(run) }
+
+func run() error {
 	var (
 		jobs      = flag.Int("jobs", 10000, "number of jobs to generate")
 		seed      = flag.Int64("seed", 1, "RNG seed")
@@ -31,35 +33,36 @@ func main() {
 	cfg.DAGFraction = *dagFrac
 	records, err := tracegen.Generate(cfg)
 	if err != nil {
-		cli.Fatalf("tracegen: %v", err)
+		return fmt.Errorf("tracegen: %v", err)
 	}
 	f, err := os.Create(*out)
 	if err != nil {
-		cli.Fatalf("tracegen: %v", err)
+		return fmt.Errorf("tracegen: %v", err)
 	}
 	if err := trace.WriteTasks(f, records); err != nil {
-		cli.Fatalf("tracegen: write: %v", err)
+		return fmt.Errorf("tracegen: write: %v", err)
 	}
 	if err := f.Close(); err != nil {
-		cli.Fatalf("tracegen: close: %v", err)
+		return fmt.Errorf("tracegen: close: %v", err)
 	}
 	fmt.Printf("wrote %d task rows for %d jobs to %s\n", len(records), *jobs, *out)
 
 	if *instances != "" {
 		inst, err := tracegen.GenerateInstances(records, tracegen.DefaultInstanceConfig(*seed))
 		if err != nil {
-			cli.Fatalf("tracegen: instances: %v", err)
+			return fmt.Errorf("tracegen: instances: %v", err)
 		}
 		g, err := os.Create(*instances)
 		if err != nil {
-			cli.Fatalf("tracegen: %v", err)
+			return fmt.Errorf("tracegen: %v", err)
 		}
 		if err := trace.WriteInstances(g, inst); err != nil {
-			cli.Fatalf("tracegen: write instances: %v", err)
+			return fmt.Errorf("tracegen: write instances: %v", err)
 		}
 		if err := g.Close(); err != nil {
-			cli.Fatalf("tracegen: close: %v", err)
+			return fmt.Errorf("tracegen: close: %v", err)
 		}
 		fmt.Printf("wrote %d instance rows to %s\n", len(inst), *instances)
 	}
+	return nil
 }

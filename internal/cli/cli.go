@@ -1,21 +1,100 @@
 // Package cli provides the small amount of shared plumbing used by the
-// command-line tools: loading a trace from CSV or generating a
-// synthetic one, with consistent flags and error text.
+// command-line tools: a main wrapper that guarantees deferred cleanup
+// runs before exit, loading a trace from CSV or generating a synthetic
+// one, and shared observability flags (-v progress logging, -debug-addr
+// live metrics, metrics.json snapshots).
 package cli
 
 import (
+	"errors"
 	"fmt"
+	"log"
 	"os"
+	"path/filepath"
+	"time"
 
+	"jobgraph/internal/obs"
 	"jobgraph/internal/trace"
 	"jobgraph/internal/tracegen"
 )
 
+// exitError carries a fatal condition through a panic so that Run can
+// unwind main's defers (snapshot writers, file closes) before exiting.
+type exitError struct {
+	code int
+	err  error
+}
+
+// Run executes a command's body and exits non-zero on failure. Unlike
+// a bare os.Exit in main, errors surfaced through the returned error,
+// Fatalf or Exit unwind fn's deferred functions first, so metrics
+// snapshots and output files are flushed even on the failure path.
+//
+// Every command's main is a single call:
+//
+//	func main() { cli.Run(run) }
+func Run(fn func() error) {
+	err := protect(fn)
+	if err == nil {
+		return
+	}
+	var ee *exitError
+	if errors.As(err, &ee) {
+		if ee.err != nil {
+			fmt.Fprintln(os.Stderr, ee.err)
+		}
+		os.Exit(ee.code)
+	}
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}
+
+// protect runs fn, converting Fatalf/Exit panics into ordinary errors
+// after the panic has unwound (and therefore run) fn's defers.
+func protect(fn func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if ee, ok := r.(*exitError); ok {
+				err = ee
+				return
+			}
+			panic(r)
+		}
+	}()
+	return fn()
+}
+
+// Error implements error.
+func (e *exitError) Error() string {
+	if e.err != nil {
+		return e.err.Error()
+	}
+	return fmt.Sprintf("exit status %d", e.code)
+}
+
+// Fatalf aborts the command with a formatted error and exit status 1.
+// Inside cli.Run (every command), deferred cleanup runs first.
+func Fatalf(format string, args ...interface{}) {
+	panic(&exitError{code: 1, err: fmt.Errorf(format, args...)})
+}
+
+// Exit aborts the command with the given status and no message —
+// for tools like tracecheck whose non-zero exit is a finding count,
+// not an error.
+func Exit(code int) {
+	panic(&exitError{code: code})
+}
+
 // LoadOrGenerate returns trace jobs either parsed from the batch_task
-// CSV at path (when non-empty) or synthesized with numJobs/seed.
+// CSV at path (when non-empty) or synthesized with numJobs/seed. Either
+// way the work is recorded as a span (trace.load / trace.generate) on
+// the Default obs registry, with one progress line when -v logging is
+// enabled.
 func LoadOrGenerate(path string, numJobs int, seed int64) ([]trace.Job, error) {
+	reg := obs.Default()
 	if path != "" {
-		f, err := os.Open(path)
+		sp := reg.StartSpan("trace.load")
+		f, err := trace.OpenTable(path)
 		if err != nil {
 			return nil, fmt.Errorf("open trace: %w", err)
 		}
@@ -24,12 +103,19 @@ func LoadOrGenerate(path string, numJobs int, seed int64) ([]trace.Job, error) {
 		if err != nil {
 			return nil, fmt.Errorf("parse trace %s: %w", path, err)
 		}
+		reg.Counter("trace.jobs_loaded").Add(int64(len(jobs)))
+		d := sp.End()
+		reg.Logf("stage %-16s %10v  %d jobs from %s", "trace.load", d.Round(time.Microsecond), len(jobs), path)
 		return jobs, nil
 	}
+	sp := reg.StartSpan("trace.generate")
 	jobs, err := tracegen.GenerateJobs(tracegen.DefaultConfig(numJobs, seed))
 	if err != nil {
 		return nil, fmt.Errorf("generate trace: %w", err)
 	}
+	reg.Counter("tracegen.jobs_generated").Add(int64(len(jobs)))
+	d := sp.End()
+	reg.Logf("stage %-16s %10v  %d synthetic jobs (seed %d)", "trace.generate", d.Round(time.Microsecond), len(jobs), seed)
 	return jobs, nil
 }
 
@@ -40,8 +126,42 @@ func TraceWindow() int64 {
 	return 2 * 8 * 24 * 3600
 }
 
-// Fatalf prints an error to stderr and exits non-zero.
-func Fatalf(format string, args ...interface{}) {
-	fmt.Fprintf(os.Stderr, format+"\n", args...)
-	os.Exit(1)
+// SetupVerbose wires the Default registry's progress lines to stderr
+// when on is true. Call it right after flag.Parse.
+func SetupVerbose(on bool) {
+	if !on {
+		return
+	}
+	l := log.New(os.Stderr, "", log.Ltime)
+	obs.Default().SetLogf(l.Printf)
+}
+
+// StartDebugServer starts the expvar+pprof endpoint on addr when
+// non-empty, returning a closer (safe to defer even when addr is "").
+// The bound address is announced on stderr so :0 ports are usable.
+func StartDebugServer(addr string) (func() error, error) {
+	if addr == "" {
+		return func() error { return nil }, nil
+	}
+	ds, err := obs.Default().ServeDebug(addr)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(os.Stderr, "debug server listening on http://%s/debug/vars and /debug/pprof/\n", ds.Addr)
+	return ds.Close, nil
+}
+
+// WriteMetrics snapshots the Default registry into dir/metrics.json.
+// A no-op when dir is empty; intended to be deferred so the snapshot
+// is written on both success and Fatalf paths.
+func WriteMetrics(dir string) error {
+	if dir == "" {
+		return nil
+	}
+	path := filepath.Join(dir, "metrics.json")
+	if err := obs.Default().WriteSnapshotFile(path); err != nil {
+		return err
+	}
+	obs.Default().Logf("metrics snapshot written to %s", path)
+	return nil
 }

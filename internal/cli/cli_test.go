@@ -1,9 +1,13 @@
 package cli
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
+
+	"jobgraph/internal/obs"
 
 	"jobgraph/internal/trace"
 	"jobgraph/internal/tracegen"
@@ -71,5 +75,71 @@ func TestTraceWindowCoversGeneratedJobs(t *testing.T) {
 		if _, end, ok := j.Window(); ok && end >= w {
 			t.Fatalf("job %s ends at %d beyond window %d", j.Name, end, w)
 		}
+	}
+}
+
+func TestProtectRunsDefersOnFatalf(t *testing.T) {
+	cleaned := false
+	err := protect(func() error {
+		defer func() { cleaned = true }()
+		Fatalf("boom %d", 42)
+		return nil
+	})
+	if !cleaned {
+		t.Fatal("deferred cleanup skipped on Fatalf")
+	}
+	var ee *exitError
+	if !errors.As(err, &ee) {
+		t.Fatalf("err = %v, want *exitError", err)
+	}
+	if ee.code != 1 || ee.Error() != "boom 42" {
+		t.Fatalf("exitError = code %d %q", ee.code, ee.Error())
+	}
+}
+
+func TestProtectExitCarriesCode(t *testing.T) {
+	err := protect(func() error {
+		Exit(3)
+		return nil
+	})
+	var ee *exitError
+	if !errors.As(err, &ee) || ee.code != 3 {
+		t.Fatalf("err = %v, want exit code 3", err)
+	}
+}
+
+func TestProtectPassesThroughErrors(t *testing.T) {
+	want := errors.New("plain failure")
+	if err := protect(func() error { return want }); err != want {
+		t.Fatalf("err = %v, want %v", err, want)
+	}
+	if err := protect(func() error { return nil }); err != nil {
+		t.Fatalf("err = %v, want nil", err)
+	}
+}
+
+func TestProtectRepanicsForeignPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("foreign panic swallowed")
+		}
+	}()
+	_ = protect(func() error { panic("unrelated") })
+}
+
+func TestWriteMetricsSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	if err := WriteMetrics(dir); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "metrics.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), obs.SnapshotSchema) {
+		t.Fatalf("snapshot missing schema marker: %s", data)
+	}
+	if err := WriteMetrics(""); err != nil {
+		t.Fatalf("empty dir should be a no-op, got %v", err)
 	}
 }

@@ -9,6 +9,16 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+
+	"jobgraph/internal/obs"
+)
+
+// Convergence telemetry: Lloyd iterations of the winning restart and
+// its final inertia, one observation per KMeans call.
+var (
+	obsKMeansRuns       = obs.Default().Counter("cluster.kmeans.runs")
+	obsKMeansIterations = obs.Default().Histogram("cluster.kmeans.iterations")
+	obsKMeansInertia    = obs.Default().Histogram("cluster.kmeans.inertia")
 )
 
 // KMeansOptions configures Lloyd's algorithm with k-means++ seeding.
@@ -61,6 +71,9 @@ func KMeans(points [][]float64, opt KMeansOptions) (*KMeansResult, error) {
 			best = res
 		}
 	}
+	obsKMeansRuns.Add(1)
+	obsKMeansIterations.Observe(float64(best.Iterations))
+	obsKMeansInertia.Observe(best.Inertia)
 	return best, nil
 }
 

@@ -5,7 +5,12 @@ import (
 	"math"
 
 	"jobgraph/internal/linalg"
+	"jobgraph/internal/obs"
 )
+
+// obsSpectralRuns counts full spectral clusterings (eigendecomposition
+// plus embedded k-means).
+var obsSpectralRuns = obs.Default().Counter("cluster.spectral.runs")
 
 // SpectralOptions configures Ng–Jordan–Weiss spectral clustering.
 type SpectralOptions struct {
@@ -101,6 +106,7 @@ func Spectral(affinity *linalg.Matrix, opt SpectralOptions) (*SpectralResult, er
 	if err != nil {
 		return nil, fmt.Errorf("cluster: %w", err)
 	}
+	obsSpectralRuns.Add(1)
 	return &SpectralResult{
 		Labels:      res.Labels,
 		Embedding:   x,

@@ -17,6 +17,16 @@ import (
 	"strings"
 
 	"jobgraph/internal/dag"
+	"jobgraph/internal/obs"
+)
+
+// Conflation volume tallies: how much shard-level detail the merge
+// removes across the whole run.
+var (
+	obsConflateRuns   = obs.Default().Counter("conflate.runs")
+	obsNodesMerged    = obs.Default().Counter("conflate.nodes_merged")
+	obsGroupsMerged   = obs.Default().Counter("conflate.merge_groups")
+	obsEdgesCollapsed = obs.Default().Counter("conflate.edges_collapsed")
 )
 
 // Stats describes what one conflation pass did.
@@ -102,6 +112,10 @@ func Conflate(g *dag.Graph) (*dag.Graph, Stats, error) {
 	}
 	st.SizeAfter = out.Size()
 	st.EdgesAfter = out.NumEdges()
+	obsConflateRuns.Add(1)
+	obsNodesMerged.Add(int64(st.SizeBefore - st.SizeAfter))
+	obsGroupsMerged.Add(int64(st.Groups))
+	obsEdgesCollapsed.Add(int64(st.EdgesBefore - st.EdgesAfter))
 	return out, st, nil
 }
 

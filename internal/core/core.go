@@ -12,11 +12,13 @@ package core
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"jobgraph/internal/cluster"
 	"jobgraph/internal/conflate"
 	"jobgraph/internal/dag"
 	"jobgraph/internal/linalg"
+	"jobgraph/internal/obs"
 	"jobgraph/internal/pattern"
 	"jobgraph/internal/sampling"
 	"jobgraph/internal/stats"
@@ -119,10 +121,32 @@ type Analysis struct {
 	// Silhouette is the clustering quality in kernel-distance space.
 	Silhouette float64
 
+	// Stages records each pipeline stage's wall time in execution
+	// order — the per-run view of the durations the obs span tree
+	// aggregates across runs.
+	Stages []StageTiming
+
 	// Kernel state retained for classifying new jobs (AssignGroup).
 	wlOpts  wl.Options
 	dict    *wl.Dictionary
 	vectors []wl.Vector
+}
+
+// StageTiming is one pipeline stage's measured wall time.
+type StageTiming struct {
+	Name     string
+	Duration time.Duration
+}
+
+// StageDuration returns the recorded wall time of the named stage and
+// whether the stage ran.
+func (an *Analysis) StageDuration(name string) (time.Duration, bool) {
+	for _, s := range an.Stages {
+		if s.Name == name {
+			return s.Duration, true
+		}
+	}
+	return 0, false
 }
 
 // AssignGroup classifies a job that was not part of the analysis into
@@ -158,69 +182,148 @@ func (an *Analysis) AssignGroup(g *dag.Graph) (GroupProfile, float64, error) {
 }
 
 // Run executes the pipeline over the given trace jobs.
+//
+// Every stage is wrapped in an obs span (aggregated under "pipeline" in
+// the Default registry's stage tree) and timed on Analysis.Stages; with
+// a logger installed (obs.Default().SetLogf, the commands' -v flag) one
+// progress line per stage reports its duration and key counts.
 func Run(jobs []trace.Job, cfg Config) (*Analysis, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	cands, fstats, err := sampling.Filter(jobs, cfg.Criteria)
-	if err != nil {
+	reg := obs.Default()
+	an := &Analysis{}
+	root := reg.StartSpan("pipeline")
+	defer root.End()
+	// stage runs fn inside a child span, records the wall time on the
+	// analysis, and emits one progress line with the returned counts.
+	stage := func(name string, fn func() (string, error)) error {
+		sp := root.Child(name)
+		detail, err := fn()
+		d := sp.End()
+		an.Stages = append(an.Stages, StageTiming{Name: name, Duration: d})
+		if err != nil {
+			reg.Logf("stage %-16s %10v  FAILED: %v", name, d.Round(time.Microsecond), err)
+			return err
+		}
+		reg.Logf("stage %-16s %10v  %s", name, d.Round(time.Microsecond), detail)
+		return nil
+	}
+
+	var cands, sample []sampling.Candidate
+	var fstats sampling.FilterStats
+	if err := stage("sampling.filter", func() (string, error) {
+		var err error
+		cands, fstats, err = sampling.Filter(jobs, cfg.Criteria)
+		if err != nil {
+			return "", err
+		}
+		if len(cands) == 0 {
+			return "", fmt.Errorf("core: no jobs survive filtering (stats %+v)", fstats)
+		}
+		return fmt.Sprintf("kept %d/%d (integrity %d, availability %d, non-DAG %d)",
+			fstats.Kept, fstats.Input, fstats.NotTerminated, fstats.OutsideWindow, fstats.NonDAG), nil
+	}); err != nil {
 		return nil, err
 	}
-	if len(cands) == 0 {
-		return nil, fmt.Errorf("core: no jobs survive filtering (stats %+v)", fstats)
-	}
-	sample := sampling.SampleDiverse(cands, cfg.SampleSize, cfg.Seed)
-	if len(sample) < cfg.Groups {
-		return nil, fmt.Errorf("core: sample of %d too small for %d groups", len(sample), cfg.Groups)
+
+	if err := stage("sampling.sample", func() (string, error) {
+		sample = sampling.SampleDiverse(cands, cfg.SampleSize, cfg.Seed)
+		if len(sample) < cfg.Groups {
+			return "", fmt.Errorf("core: sample of %d too small for %d groups", len(sample), cfg.Groups)
+		}
+		return fmt.Sprintf("%d jobs from pool of %d", len(sample), len(cands)), nil
+	}); err != nil {
+		return nil, err
 	}
 
 	graphs := make([]*dag.Graph, len(sample))
-	for i, c := range sample {
-		g := c.Graph
-		if cfg.Conflate {
-			cg, _, err := conflate.Conflate(g)
-			if err != nil {
-				return nil, fmt.Errorf("core: conflating %s: %w", g.JobID, err)
+	if err := stage("conflate", func() (string, error) {
+		merged := 0
+		for i, c := range sample {
+			g := c.Graph
+			if cfg.Conflate {
+				cg, cst, err := conflate.Conflate(g)
+				if err != nil {
+					return "", fmt.Errorf("core: conflating %s: %w", g.JobID, err)
+				}
+				merged += cst.SizeBefore - cst.SizeAfter
+				g = cg
 			}
-			g = cg
+			graphs[i] = g
 		}
-		graphs[i] = g
-	}
-
-	vectors, dict, err := wl.Features(graphs, cfg.WL)
-	if err != nil {
-		return nil, err
-	}
-	sim, err := wl.MatrixFromVectors(vectors, cfg.Workers)
-	if err != nil {
-		return nil, err
-	}
-
-	spec, err := cluster.Spectral(sim, cluster.SpectralOptions{
-		K:      cfg.Groups,
-		KMeans: cluster.KMeansOptions{Seed: cfg.Seed},
-	})
-	if err != nil {
-		return nil, err
-	}
-
-	an := &Analysis{
-		Sample:      sample,
-		Graphs:      graphs,
-		FilterStats: fstats,
-		Similarity:  sim,
-		Labels:      spec.Labels,
-		wlOpts:      cfg.WL,
-		dict:        dict,
-		vectors:     vectors,
-	}
-	if an.Groups, err = profileGroups(graphs, sim, spec.Labels); err != nil {
-		return nil, err
-	}
-	if dist, err := cluster.DistanceFromSimilarity(sim); err == nil {
-		if s, err := cluster.Silhouette(dist, spec.Labels); err == nil {
-			an.Silhouette = s
+		if !cfg.Conflate {
+			return "disabled", nil
 		}
+		return fmt.Sprintf("merged %d nodes across %d graphs", merged, len(graphs)), nil
+	}); err != nil {
+		return nil, err
+	}
+
+	var vectors []wl.Vector
+	var dict *wl.Dictionary
+	if err := stage("wl.features", func() (string, error) {
+		var err error
+		vectors, dict, err = wl.Features(graphs, cfg.WL)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("%d graphs embedded, %d distinct labels (h=%d)",
+			len(vectors), dict.Len(), cfg.WL.Iterations), nil
+	}); err != nil {
+		return nil, err
+	}
+
+	var sim *linalg.Matrix
+	if err := stage("wl.matrix", func() (string, error) {
+		var err error
+		sim, err = wl.MatrixFromVectors(vectors, cfg.Workers)
+		if err != nil {
+			return "", err
+		}
+		n := len(vectors)
+		return fmt.Sprintf("%dx%d similarities (%d pairs)", n, n, n*(n+1)/2), nil
+	}); err != nil {
+		return nil, err
+	}
+
+	var spec *cluster.SpectralResult
+	if err := stage("cluster.spectral", func() (string, error) {
+		var err error
+		spec, err = cluster.Spectral(sim, cluster.SpectralOptions{
+			K:      cfg.Groups,
+			KMeans: cluster.KMeansOptions{Seed: cfg.Seed},
+		})
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("%d groups over %d jobs", cfg.Groups, len(spec.Labels)), nil
+	}); err != nil {
+		return nil, err
+	}
+
+	an.Sample = sample
+	an.Graphs = graphs
+	an.FilterStats = fstats
+	an.Similarity = sim
+	an.Labels = spec.Labels
+	an.wlOpts = cfg.WL
+	an.dict = dict
+	an.vectors = vectors
+
+	if err := stage("profile.groups", func() (string, error) {
+		var err error
+		if an.Groups, err = profileGroups(graphs, sim, spec.Labels); err != nil {
+			return "", err
+		}
+		if dist, err := cluster.DistanceFromSimilarity(sim); err == nil {
+			if s, err := cluster.Silhouette(dist, spec.Labels); err == nil {
+				an.Silhouette = s
+			}
+		}
+		return fmt.Sprintf("%d groups, silhouette %.3f", len(an.Groups), an.Silhouette), nil
+	}); err != nil {
+		return nil, err
 	}
 	return an, nil
 }

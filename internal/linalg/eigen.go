@@ -4,6 +4,16 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"jobgraph/internal/obs"
+)
+
+// Eigensolver convergence telemetry: Jacobi sweeps to convergence per
+// decomposition. A sweep count creeping toward jacobiMaxSweeps means
+// the affinity matrix is ill-conditioned and results are suspect.
+var (
+	obsEigenRuns   = obs.Default().Counter("linalg.eigen.runs")
+	obsEigenSweeps = obs.Default().Histogram("linalg.eigen.sweeps")
 )
 
 // EigenResult holds the eigendecomposition of a real symmetric matrix:
@@ -48,7 +58,8 @@ func SymmetricEigen(a *Matrix, tol float64) (*EigenResult, error) {
 		scale = 1 // zero matrix: eigenvalues all zero, identity vectors
 	}
 
-	for sweep := 0; sweep < jacobiMaxSweeps; sweep++ {
+	sweeps := 0
+	for ; sweeps < jacobiMaxSweeps; sweeps++ {
 		off := m.MaxAbsOffDiag()
 		if off <= tol*scale {
 			break
@@ -63,6 +74,8 @@ func SymmetricEigen(a *Matrix, tol float64) (*EigenResult, error) {
 			}
 		}
 	}
+	obsEigenRuns.Add(1)
+	obsEigenSweeps.Observe(float64(sweeps))
 
 	res := &EigenResult{
 		Values:  make([]float64, n),

@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// DebugServer is the live debug endpoint behind the commands'
+// -debug-addr flag: /debug/vars (expvar, including the registry
+// snapshot) and /debug/pprof/ (profiles) on a dedicated mux, so
+// long-running analyses can be inspected without instrumented binaries
+// touching http.DefaultServeMux.
+type DebugServer struct {
+	Addr string // bound address, e.g. "127.0.0.1:6060"
+	ln   net.Listener
+	srv  *http.Server
+}
+
+// ServeDebug publishes the registry over expvar under "jobgraph" and
+// starts the debug HTTP server on addr (e.g. "localhost:6060"; a :0
+// port picks a free one). The server runs until Close.
+func (r *Registry) ServeDebug(addr string) (*DebugServer, error) {
+	r.PublishExpvar("jobgraph")
+
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		fmt.Fprintf(w, "jobgraph debug endpoint\n\n/debug/vars\n/debug/pprof/\n")
+	})
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: debug listen %s: %w", addr, err)
+	}
+	ds := &DebugServer{
+		Addr: ln.Addr().String(),
+		ln:   ln,
+		srv: &http.Server{
+			Handler:           mux,
+			ReadHeaderTimeout: 5 * time.Second,
+		},
+	}
+	go func() {
+		// Serve returns ErrServerClosed on Close; anything else means the
+		// debug endpoint died mid-run, which is worth a progress line but
+		// must not take the analysis down.
+		if err := ds.srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			r.Logf("debug server: %v", err)
+		}
+	}()
+	return ds, nil
+}
+
+// Close shuts the debug server down.
+func (ds *DebugServer) Close() error {
+	if ds == nil {
+		return nil
+	}
+	return ds.srv.Close()
+}

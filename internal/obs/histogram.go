@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"sync"
+
+	"jobgraph/internal/stats"
+)
+
+// Histogram summarizes a stream of observations in O(1) memory:
+// count/mean/min/max via stats.Accumulator and streaming quantile
+// estimates (p50/p90/p99) via the P² estimators in internal/stats.
+// It is safe for concurrent use; Observe takes a mutex, so use
+// histograms for per-stage or per-item observations, not per-element
+// inner loops (use a Counter there).
+type Histogram struct {
+	reg *Registry
+	mu  sync.Mutex
+	acc stats.Accumulator
+	p50 *stats.P2Quantile
+	p90 *stats.P2Quantile
+	p99 *stats.P2Quantile
+}
+
+func newHistogram(r *Registry) *Histogram {
+	h := &Histogram{reg: r}
+	h.reset()
+	return h
+}
+
+func (h *Histogram) reset() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.acc = stats.Accumulator{}
+	// The probabilities are compile-time valid; errors are impossible.
+	h.p50, _ = stats.NewP2Quantile(0.50)
+	h.p90, _ = stats.NewP2Quantile(0.90)
+	h.p99, _ = stats.NewP2Quantile(0.99)
+}
+
+// Observe folds one observation into the histogram (no-op while the
+// registry is disabled).
+func (h *Histogram) Observe(x float64) {
+	if !h.reg.enabled.Load() {
+		return
+	}
+	h.mu.Lock()
+	h.acc.Add(x)
+	h.p50.Add(x)
+	h.p90.Add(x)
+	h.p99.Add(x)
+	h.mu.Unlock()
+}
+
+// HistogramSnapshot is the exported summary of a histogram.
+type HistogramSnapshot struct {
+	Count int64   `json:"count"`
+	Mean  float64 `json:"mean"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+}
+
+// snapshot captures the histogram's current summary.
+func (h *Histogram) snapshot() HistogramSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return HistogramSnapshot{
+		Count: int64(h.acc.N()),
+		Mean:  h.acc.Mean(),
+		Min:   h.acc.Min(),
+		Max:   h.acc.Max(),
+		P50:   h.p50.Value(),
+		P90:   h.p90.Value(),
+		P99:   h.p99.Value(),
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return int64(h.acc.N())
+}
+
+// Quantile returns the streaming estimate for p ∈ {0.5, 0.9, 0.99};
+// other probabilities return the nearest tracked estimate's bound —
+// callers needing arbitrary quantiles should buffer and use
+// stats.Quantile instead.
+func (h *Histogram) Quantile(p float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	switch {
+	case p <= 0.5:
+		return h.p50.Value()
+	case p <= 0.9:
+		return h.p90.Value()
+	default:
+		return h.p99.Value()
+	}
+}

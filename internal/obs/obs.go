@@ -1,0 +1,192 @@
+// Package obs is the pipeline's observability layer: a stdlib-only
+// metrics registry (counters, gauges, streaming histograms), lightweight
+// nested spans that aggregate into a per-stage tree, a JSON snapshot
+// writer (results/metrics.json), and an optional localhost debug server
+// exposing expvar and pprof.
+//
+// The package exists so every performance claim about the pipeline can
+// be backed by numbers it emits: each substrate package increments its
+// own counters through the shared Default registry, core.Run wraps the
+// pipeline stages in spans, and the command-line tools snapshot the
+// registry on exit.
+//
+// Instrumented code obtains handles once (typically in package vars):
+//
+//	var rowsParsed = obs.Default().Counter("trace.rows_parsed")
+//
+// and pays one atomic add per event. Disabling a registry
+// (SetEnabled(false)) turns every handle into a near-zero-cost no-op,
+// so library users who never look at metrics pay only a single atomic
+// load per event.
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry holds one coherent set of metrics. The Default registry is
+// shared by the instrumented pipeline packages; independent registries
+// are for tests and embedded use.
+type Registry struct {
+	enabled     atomic.Bool
+	trackAllocs atomic.Bool
+	logf        atomic.Pointer[func(format string, args ...any)]
+
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+
+	spanMu sync.Mutex
+	root   *SpanStats // unnamed root of the aggregated span tree
+}
+
+// NewRegistry returns an enabled registry with allocation tracking on.
+func NewRegistry() *Registry {
+	r := &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+		root:     newSpanStats(""),
+	}
+	r.enabled.Store(true)
+	r.trackAllocs.Store(true)
+	return r
+}
+
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry the pipeline packages
+// report into.
+func Default() *Registry { return defaultRegistry }
+
+// SetEnabled toggles the registry. While disabled, counter, gauge,
+// histogram and span operations are no-ops (handles stay valid).
+func (r *Registry) SetEnabled(on bool) { r.enabled.Store(on) }
+
+// Enabled reports whether the registry is recording.
+func (r *Registry) Enabled() bool { return r.enabled.Load() }
+
+// SetTrackAllocs toggles per-span allocation deltas. Reading
+// runtime.MemStats costs tens of microseconds, which is irrelevant for
+// stage-level spans but worth switching off for span-per-call
+// micro-benchmarks.
+func (r *Registry) SetTrackAllocs(on bool) { r.trackAllocs.Store(on) }
+
+// SetLogf installs a progress logger (nil to disable). Spans log one
+// line on End; instrumented stages log key counts. The commands wire
+// this to stderr behind -v.
+func (r *Registry) SetLogf(f func(format string, args ...any)) {
+	if f == nil {
+		r.logf.Store(nil)
+		return
+	}
+	r.logf.Store(&f)
+}
+
+// Logf emits one progress line through the installed logger, if any.
+func (r *Registry) Logf(format string, args ...any) {
+	if f := r.logf.Load(); f != nil {
+		(*f)(format, args...)
+	}
+}
+
+// Counter is a monotonically increasing metric, safe for concurrent use.
+type Counter struct {
+	reg *Registry
+	v   atomic.Int64
+}
+
+// Add increments the counter by n (no-op while the registry is disabled).
+func (c *Counter) Add(n int64) {
+	if c.reg.enabled.Load() {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a last-value-wins metric, safe for concurrent use.
+type Gauge struct {
+	reg *Registry
+	v   atomic.Int64
+}
+
+// Set records the current value (no-op while the registry is disabled).
+func (g *Gauge) Set(v int64) {
+	if g.reg.enabled.Load() {
+		g.v.Store(v)
+	}
+}
+
+// Value returns the last recorded value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Counter interns and returns the named counter.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{reg: r}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge interns and returns the named gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{reg: r}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram interns and returns the named histogram.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = newHistogram(r)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Reset clears every metric and the span tree but keeps handles valid:
+// counters and gauges are zeroed in place, histograms restarted. Used
+// between runs that share the Default registry (tests, ablations).
+func (r *Registry) Reset() {
+	r.mu.Lock()
+	for _, c := range r.counters {
+		c.v.Store(0)
+	}
+	for _, g := range r.gauges {
+		g.v.Store(0)
+	}
+	for _, h := range r.hists {
+		h.reset()
+	}
+	r.mu.Unlock()
+	r.spanMu.Lock()
+	r.root = newSpanStats("")
+	r.spanMu.Unlock()
+}
+
+// sortedKeys returns the map's keys in lexical order.
+func sortedKeys[V any](m map[string]V) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}

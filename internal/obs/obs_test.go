@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCounterConcurrentIncrements(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test.hits")
+	const workers, per = 16, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*per {
+		t.Fatalf("counter = %d, want %d", got, workers*per)
+	}
+}
+
+func TestCounterGaugeHistogramInterned(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("a") != r.Counter("a") {
+		t.Fatal("counter not interned")
+	}
+	if r.Gauge("g") != r.Gauge("g") {
+		t.Fatal("gauge not interned")
+	}
+	if r.Histogram("h") != r.Histogram("h") {
+		t.Fatal("histogram not interned")
+	}
+}
+
+func TestDisabledRegistryIsNoop(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	g := r.Gauge("g")
+	h := r.Histogram("h")
+	r.SetEnabled(false)
+	c.Add(5)
+	g.Set(7)
+	h.Observe(1)
+	if sp := r.StartSpan("x"); sp != nil {
+		t.Fatal("disabled registry returned live span")
+	}
+	var nilSpan *Span
+	if d := nilSpan.End(); d != 0 {
+		t.Fatalf("nil span End = %v", d)
+	}
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 {
+		t.Fatalf("disabled registry recorded: c=%d g=%d h=%d", c.Value(), g.Value(), h.Count())
+	}
+
+	r.SetEnabled(true)
+	c.Add(5)
+	g.Set(7)
+	h.Observe(1)
+	if c.Value() != 5 || g.Value() != 7 || h.Count() != 1 {
+		t.Fatalf("re-enabled registry lost updates: c=%d g=%d h=%d", c.Value(), g.Value(), h.Count())
+	}
+}
+
+func TestResetKeepsHandles(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	g := r.Gauge("g")
+	h := r.Histogram("h")
+	c.Add(3)
+	g.Set(9)
+	h.Observe(2)
+	r.RecordSpan([]string{"stage"}, 10, 0)
+	r.Reset()
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 {
+		t.Fatalf("reset left values: c=%d g=%d h=%d", c.Value(), g.Value(), h.Count())
+	}
+	if len(r.SpanTree()) != 0 {
+		t.Fatal("reset left span tree")
+	}
+	c.Add(1)
+	if r.Counter("c").Value() != 1 {
+		t.Fatal("handle detached from registry after reset")
+	}
+}
+
+func TestLogf(t *testing.T) {
+	r := NewRegistry()
+	var lines []string
+	r.Logf("dropped %d", 1) // no logger installed: must not panic
+	r.SetLogf(func(format string, args ...any) {
+		lines = append(lines, format)
+	})
+	r.Logf("kept %d", 2)
+	r.SetLogf(nil)
+	r.Logf("dropped %d", 3)
+	if len(lines) != 1 || lines[0] != "kept %d" {
+		t.Fatalf("logged lines = %q", lines)
+	}
+}
+
+func TestDefaultRegistryIsSingleton(t *testing.T) {
+	if Default() != Default() {
+		t.Fatal("Default not a singleton")
+	}
+}

@@ -1,0 +1,134 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+// SnapshotSchema identifies the metrics.json layout; bump on breaking
+// changes so downstream tooling can dispatch.
+const SnapshotSchema = "jobgraph-metrics/v1"
+
+// Snapshot is a point-in-time export of a registry, the document
+// written to results/metrics.json and served over expvar.
+type Snapshot struct {
+	Schema     string                       `json:"schema"`
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+	Spans      []SpanSnapshot               `json:"spans"`
+}
+
+// SpanSnapshot is the exported form of one aggregated stage-tree node.
+// Durations are milliseconds: JSON-friendly and directly comparable
+// across runs.
+type SpanSnapshot struct {
+	Name       string         `json:"name"`
+	Count      int64          `json:"count"`
+	TotalMs    float64        `json:"total_ms"`
+	MinMs      float64        `json:"min_ms"`
+	MaxMs      float64        `json:"max_ms"`
+	AllocBytes uint64         `json:"alloc_bytes"`
+	Children   []SpanSnapshot `json:"children,omitempty"`
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+func spanSnapshot(st *SpanStats) SpanSnapshot {
+	out := SpanSnapshot{
+		Name:       st.Name,
+		Count:      st.Count,
+		TotalMs:    ms(st.Total),
+		MinMs:      ms(st.Min),
+		MaxMs:      ms(st.Max),
+		AllocBytes: st.AllocBytes,
+	}
+	for _, name := range sortedKeys(st.Children) {
+		out.Children = append(out.Children, spanSnapshot(st.Children[name]))
+	}
+	return out
+}
+
+// Snapshot exports the registry's current state. Maps are keyed by
+// metric name; encoding/json sorts keys, and span children are sorted
+// here, so the serialized form is deterministic for a given state.
+func (r *Registry) Snapshot() Snapshot {
+	snap := Snapshot{
+		Schema:     SnapshotSchema,
+		Counters:   make(map[string]int64),
+		Gauges:     make(map[string]int64),
+		Histograms: make(map[string]HistogramSnapshot),
+	}
+	r.mu.Lock()
+	for name, c := range r.counters {
+		snap.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		snap.Gauges[name] = g.Value()
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for name, h := range r.hists {
+		hists[name] = h
+	}
+	r.mu.Unlock()
+	// Histogram snapshots take each histogram's own lock; do it outside
+	// the registry lock to keep Observe callers unblocked.
+	for name, h := range hists {
+		snap.Histograms[name] = h.snapshot()
+	}
+	for _, st := range r.SpanTree() {
+		snap.Spans = append(snap.Spans, spanSnapshot(st))
+	}
+	return snap
+}
+
+// WriteSnapshot serializes the registry as indented JSON (the
+// metrics.json format).
+func (r *Registry) WriteSnapshot(w io.Writer) error {
+	data, err := json.MarshalIndent(r.Snapshot(), "", "  ")
+	if err != nil {
+		return fmt.Errorf("obs: marshal snapshot: %w", err)
+	}
+	data = append(data, '\n')
+	if _, err := w.Write(data); err != nil {
+		return fmt.Errorf("obs: write snapshot: %w", err)
+	}
+	return nil
+}
+
+// WriteSnapshotFile writes the metrics.json document at path.
+func (r *Registry) WriteSnapshotFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("obs: %w", err)
+	}
+	if err := r.WriteSnapshot(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// expvar.Publish panics on duplicate names; remember what we exported.
+var (
+	expvarMu        sync.Mutex
+	expvarPublished = map[string]bool{}
+)
+
+// PublishExpvar exports the registry's live snapshot under the given
+// expvar name (shown at /debug/vars). Publishing the same name twice is
+// a no-op: the first registry wins, matching expvar's global namespace.
+func (r *Registry) PublishExpvar(name string) {
+	expvarMu.Lock()
+	defer expvarMu.Unlock()
+	if expvarPublished[name] {
+		return
+	}
+	expvarPublished[name] = true
+	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+}

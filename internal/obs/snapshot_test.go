@@ -1,0 +1,187 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"jobgraph/internal/stats"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenRegistry builds a fully deterministic registry: fixed counter
+// and gauge values, a histogram over 1..100, and a span tree recorded
+// with synthetic durations.
+func goldenRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("trace.rows_parsed").Add(12345)
+	r.Counter("sampling.filter.kept").Add(100)
+	r.Gauge("wl.dict_labels").Set(4096)
+	h := r.Histogram("wl.vector_size")
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i))
+	}
+	r.RecordSpan([]string{"pipeline"}, 1500*time.Millisecond, 1<<20)
+	r.RecordSpan([]string{"pipeline", "sampling.filter"}, 200*time.Millisecond, 1<<10)
+	r.RecordSpan([]string{"pipeline", "wl.kernel"}, 800*time.Millisecond, 1<<19)
+	r.RecordSpan([]string{"pipeline", "wl.kernel"}, 400*time.Millisecond, 1<<18)
+	return r
+}
+
+// TestSnapshotGolden pins the metrics.json schema: any change to the
+// serialized layout must be deliberate (run with -update) and noted in
+// the README's Observability section.
+func TestSnapshotGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRegistry().WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "metrics_golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run `go test ./internal/obs/ -run Golden -update` to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("snapshot differs from golden:\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+func TestSnapshotRoundTripsAndIsStable(t *testing.T) {
+	r := goldenRegistry()
+	var a, b bytes.Buffer
+	if err := r.WriteSnapshot(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteSnapshot(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("same registry state serialized differently twice")
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(a.Bytes(), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Schema != SnapshotSchema {
+		t.Fatalf("schema %q", snap.Schema)
+	}
+	if snap.Counters["trace.rows_parsed"] != 12345 {
+		t.Fatalf("counters %v", snap.Counters)
+	}
+	if len(snap.Spans) != 1 || snap.Spans[0].Name != "pipeline" {
+		t.Fatalf("spans %+v", snap.Spans)
+	}
+	kids := snap.Spans[0].Children
+	if len(kids) != 2 || kids[0].Name != "sampling.filter" || kids[1].Name != "wl.kernel" {
+		t.Fatalf("children %+v", kids)
+	}
+	if kids[1].Count != 2 || kids[1].TotalMs != 1200 || kids[1].MinMs != 400 || kids[1].MaxMs != 800 {
+		t.Fatalf("wl.kernel aggregate %+v", kids[1])
+	}
+}
+
+func TestWriteSnapshotFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "metrics.json")
+	if err := goldenRegistry().WriteSnapshotFile(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatalf("metrics.json not valid JSON: %v", err)
+	}
+}
+
+// TestHistogramQuantilesMatchStats compares the streaming histogram's
+// P² quantile estimates against the exact sort-based quantiles from
+// internal/stats on the same sample.
+func TestHistogramQuantilesMatchStats(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat")
+	rng := rand.New(rand.NewSource(42))
+	xs := make([]float64, 50000)
+	for i := range xs {
+		xs[i] = rng.ExpFloat64() * 100
+		h.Observe(xs[i])
+	}
+	snap := h.snapshot()
+	mean, _ := stats.Mean(xs)
+	if math.Abs(snap.Mean-mean) > 1e-9*(1+math.Abs(mean)) {
+		t.Fatalf("mean %g vs %g", snap.Mean, mean)
+	}
+	for _, q := range []struct {
+		p    float64
+		got  float64
+		name string
+	}{
+		{0.5, snap.P50, "p50"}, {0.9, snap.P90, "p90"}, {0.99, snap.P99, "p99"},
+	} {
+		exact, err := stats.Quantile(xs, q.p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// 5% relative-to-spread tolerance, same contract as the stats
+		// package's own P² test.
+		lo, _ := stats.Min(xs)
+		hi, _ := stats.Max(xs)
+		if math.Abs(q.got-exact) > 0.05*(hi-lo) {
+			t.Fatalf("%s: streaming %g vs exact %g", q.name, q.got, exact)
+		}
+	}
+}
+
+func TestDebugServerServesVarsAndPprof(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("debug.test_counter").Add(3)
+	ds, err := r.ServeDebug("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+
+	get := func(path string) string {
+		resp, err := http.Get(fmt.Sprintf("http://%s%s", ds.Addr, path))
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+
+	vars := get("/debug/vars")
+	if !strings.Contains(vars, "jobgraph") || !strings.Contains(vars, "debug.test_counter") {
+		t.Fatalf("/debug/vars missing registry export: %.200s", vars)
+	}
+	if idx := get("/debug/pprof/"); !strings.Contains(idx, "goroutine") {
+		t.Fatalf("/debug/pprof/ index unexpected: %.200s", idx)
+	}
+}

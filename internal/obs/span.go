@@ -1,0 +1,151 @@
+package obs
+
+import (
+	"runtime"
+	"time"
+)
+
+// Span measures one stage of work: wall time, heap allocation delta
+// (runtime.MemStats.TotalAlloc, when the registry tracks allocations)
+// and its position in the stage tree. Spans nest through Child; ending
+// a span folds it into the registry's aggregated per-stage tree.
+//
+// A nil *Span is a valid no-op (StartSpan returns nil on a disabled
+// registry), so instrumented code never branches:
+//
+//	sp := reg.StartSpan("wl.kernel")
+//	defer sp.End()
+type Span struct {
+	reg         *Registry
+	path        []string
+	start       time.Time
+	startAllocs uint64
+	allocs      bool
+}
+
+// StartSpan begins a root-level span. Returns nil (a no-op span) while
+// the registry is disabled.
+func (r *Registry) StartSpan(name string) *Span {
+	if !r.enabled.Load() {
+		return nil
+	}
+	return r.startSpan([]string{name})
+}
+
+// Child begins a nested span under s. On a nil/no-op span it returns a
+// root-level span on the Default registry if that is enabled, else nil —
+// instrumentation stays correct whether or not a parent was started.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return Default().StartSpan(name)
+	}
+	path := make([]string, 0, len(s.path)+1)
+	path = append(path, s.path...)
+	return s.reg.startSpan(append(path, name))
+}
+
+func (r *Registry) startSpan(path []string) *Span {
+	s := &Span{reg: r, path: path, start: time.Now()}
+	if r.trackAllocs.Load() {
+		s.allocs = true
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		s.startAllocs = ms.TotalAlloc
+	}
+	return s
+}
+
+// End stops the span, folds it into the registry's stage tree and
+// returns the duration. It does not log: progress lines are the
+// caller's responsibility (core.Run emits exactly one per stage, with
+// the stage's key counts).
+func (s *Span) End() time.Duration {
+	if s == nil {
+		return 0
+	}
+	dur := time.Since(s.start)
+	var allocs uint64
+	if s.allocs {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		// TotalAlloc is monotone; guard anyway against a zero reading.
+		if ms.TotalAlloc > s.startAllocs {
+			allocs = ms.TotalAlloc - s.startAllocs
+		}
+	}
+	s.reg.RecordSpan(s.path, dur, allocs)
+	return dur
+}
+
+// SpanStats aggregates every completed span that shared one tree path.
+type SpanStats struct {
+	Name       string
+	Count      int64
+	Total      time.Duration
+	Min, Max   time.Duration
+	AllocBytes uint64
+	Children   map[string]*SpanStats
+}
+
+func newSpanStats(name string) *SpanStats {
+	return &SpanStats{Name: name, Children: make(map[string]*SpanStats)}
+}
+
+func (st *SpanStats) add(dur time.Duration, allocs uint64) {
+	st.Count++
+	st.Total += dur
+	if st.Count == 1 || dur < st.Min {
+		st.Min = dur
+	}
+	if dur > st.Max {
+		st.Max = dur
+	}
+	st.AllocBytes += allocs
+}
+
+// RecordSpan folds one completed span directly into the stage tree.
+// Span.End calls it; tests and replay tooling may call it with
+// synthetic durations to build deterministic trees.
+func (r *Registry) RecordSpan(path []string, dur time.Duration, allocBytes uint64) {
+	if len(path) == 0 || !r.enabled.Load() {
+		return
+	}
+	r.spanMu.Lock()
+	defer r.spanMu.Unlock()
+	node := r.root
+	for _, seg := range path {
+		child, ok := node.Children[seg]
+		if !ok {
+			child = newSpanStats(seg)
+			node.Children[seg] = child
+		}
+		node = child
+	}
+	node.add(dur, allocBytes)
+}
+
+// SpanTree returns a deep copy of the aggregated stage tree's roots,
+// sorted by name.
+func (r *Registry) SpanTree() []*SpanStats {
+	r.spanMu.Lock()
+	defer r.spanMu.Unlock()
+	return copyChildren(r.root)
+}
+
+func copyChildren(st *SpanStats) []*SpanStats {
+	out := make([]*SpanStats, 0, len(st.Children))
+	for _, name := range sortedKeys(st.Children) {
+		c := st.Children[name]
+		cp := *c
+		cp.Children = nil
+		kids := copyChildren(c)
+		if len(kids) > 0 {
+			cp.Children = make(map[string]*SpanStats, len(kids))
+			for _, k := range kids {
+				cp.Children[k.Name] = k
+			}
+		}
+		out = append(out, &cp)
+	}
+	return out
+}

@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanNestingAggregatesIntoTree(t *testing.T) {
+	r := NewRegistry()
+	r.SetTrackAllocs(false)
+
+	root := r.StartSpan("pipeline")
+	for i := 0; i < 3; i++ {
+		c := root.Child("wl.kernel")
+		gc := c.Child("embed")
+		gc.End()
+		c.End()
+	}
+	root.End()
+
+	tree := r.SpanTree()
+	if len(tree) != 1 || tree[0].Name != "pipeline" {
+		t.Fatalf("roots = %+v", tree)
+	}
+	p := tree[0]
+	if p.Count != 1 {
+		t.Fatalf("pipeline count = %d", p.Count)
+	}
+	k, ok := p.Children["wl.kernel"]
+	if !ok {
+		t.Fatalf("missing wl.kernel child; children %v", p.Children)
+	}
+	if k.Count != 3 {
+		t.Fatalf("wl.kernel count = %d", k.Count)
+	}
+	e, ok := k.Children["embed"]
+	if !ok || e.Count != 3 {
+		t.Fatalf("embed stats = %+v", e)
+	}
+	if k.Min > k.Max || k.Total < k.Max {
+		t.Fatalf("inconsistent aggregate: min %v max %v total %v", k.Min, k.Max, k.Total)
+	}
+}
+
+// allocSink defeats dead-allocation elimination in the alloc-delta test.
+var allocSink []byte
+
+func TestSpanDurationAndAllocs(t *testing.T) {
+	r := NewRegistry()
+	sp := r.StartSpan("work")
+	time.Sleep(5 * time.Millisecond)
+	allocSink = make([]byte, 1<<20)
+	allocSink[len(allocSink)-1] = 1
+	d := sp.End()
+	if d < 5*time.Millisecond {
+		t.Fatalf("span duration %v < sleep", d)
+	}
+	st := r.SpanTree()[0]
+	if st.Total < 5*time.Millisecond {
+		t.Fatalf("recorded total %v", st.Total)
+	}
+	if st.AllocBytes < 1<<20 {
+		t.Fatalf("alloc delta %d, want >= 1MiB", st.AllocBytes)
+	}
+}
+
+func TestChildOfNilSpanFallsBackToDefault(t *testing.T) {
+	var s *Span
+	child := s.Child("orphan")
+	if child == nil {
+		t.Fatal("nil parent with enabled Default registry should still record")
+	}
+	if child.reg != Default() {
+		t.Fatal("orphan child not on Default registry")
+	}
+	child.End()
+}
+
+func TestRecordSpanConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				r.RecordSpan([]string{"a", "b"}, time.Millisecond, 1)
+			}
+		}()
+	}
+	wg.Wait()
+	a := r.SpanTree()[0]
+	b := a.Children["b"]
+	if b.Count != 1600 || b.AllocBytes != 1600 {
+		t.Fatalf("b = %+v", b)
+	}
+}
+
+func TestSpanEndDoesNotLog(t *testing.T) {
+	r := NewRegistry()
+	r.SetTrackAllocs(false)
+	var sb strings.Builder
+	r.SetLogf(func(format string, args ...any) {
+		sb.WriteString(format)
+	})
+	r.StartSpan("stage.x").End()
+	if sb.Len() != 0 {
+		t.Fatalf("End logged %q; progress lines are the pipeline's job", sb.String())
+	}
+}

@@ -11,8 +11,36 @@ import (
 	"sort"
 
 	"jobgraph/internal/dag"
+	"jobgraph/internal/obs"
 	"jobgraph/internal/trace"
 )
+
+// Filter outcome tallies, keyed by rejection reason — the counter form
+// of FilterStats, accumulated across every Filter call in the process
+// so metrics.json shows the §IV-B selection funnel.
+var (
+	obsFilterInput    = obs.Default().Counter("sampling.filter.input")
+	obsFilterKept     = obs.Default().Counter("sampling.filter.kept")
+	obsRejTerminated  = obs.Default().Counter("sampling.filter.rejected.not_terminated")
+	obsRejWindow      = obs.Default().Counter("sampling.filter.rejected.outside_window")
+	obsRejNoWindow    = obs.Default().Counter("sampling.filter.rejected.no_window")
+	obsRejNonDAG      = obs.Default().Counter("sampling.filter.rejected.non_dag")
+	obsRejSize        = obs.Default().Counter("sampling.filter.rejected.size")
+	obsRejBuildErrors = obs.Default().Counter("sampling.filter.rejected.build_error")
+	obsSampledJobs    = obs.Default().Counter("sampling.sampled_jobs")
+)
+
+// record mirrors one Filter outcome into the process-wide counters.
+func (st FilterStats) record() {
+	obsFilterInput.Add(int64(st.Input))
+	obsFilterKept.Add(int64(st.Kept))
+	obsRejTerminated.Add(int64(st.NotTerminated))
+	obsRejWindow.Add(int64(st.OutsideWindow))
+	obsRejNoWindow.Add(int64(st.NoWindow))
+	obsRejNonDAG.Add(int64(st.NonDAG))
+	obsRejSize.Add(int64(st.SizeRejected))
+	obsRejBuildErrors.Add(int64(st.BuildErrors))
+}
 
 // Criteria configures eligibility filtering.
 type Criteria struct {
@@ -120,6 +148,7 @@ func Filter(jobs []trace.Job, c Criteria) ([]Candidate, FilterStats, error) {
 		out = append(out, Candidate{Job: j, Graph: res.Graph})
 	}
 	st.Kept = len(out)
+	st.record()
 	return out, st, nil
 }
 
@@ -136,6 +165,7 @@ func SampleDiverse(pool []Candidate, n int, seed int64) []Candidate {
 	}
 	if n >= len(pool) {
 		out := append([]Candidate(nil), pool...)
+		obsSampledJobs.Add(int64(len(out)))
 		return out
 	}
 	rng := rand.New(rand.NewSource(seed))
@@ -172,6 +202,7 @@ func SampleDiverse(pool []Candidate, n int, seed int64) []Candidate {
 		}
 		out = append(out, c)
 	}
+	obsSampledJobs.Add(int64(len(out)))
 	return out
 }
 

@@ -1,6 +1,10 @@
 package stats
 
-import "math"
+import (
+	"fmt"
+	"math"
+	"sort"
+)
 
 // Accumulator computes count, mean, variance, min and max of a stream
 // in O(1) memory using Welford's algorithm — the tool for full-trace
@@ -60,6 +64,125 @@ func (a *Accumulator) Min() float64 { return a.min }
 
 // Max returns the largest observation (0 when empty).
 func (a *Accumulator) Max() float64 { return a.max }
+
+// P2Quantile estimates a single quantile of a stream in O(1) memory
+// with the P² algorithm (Jain & Chlamtac, CACM 1985): five markers
+// track the minimum, the target quantile, the two mid-quantiles and
+// the maximum, and are nudged toward their desired positions with a
+// piecewise-parabolic height update as observations arrive. The first
+// five observations are exact; afterwards the estimate converges to
+// the true quantile for stationary streams. This is the quantile
+// companion to Accumulator for full-trace aggregations where sorting
+// a buffered slice (Quantile) would be wasteful.
+type P2Quantile struct {
+	p   float64
+	n   int
+	q   [5]float64 // marker heights
+	pos [5]float64 // actual marker positions (1-based)
+	des [5]float64 // desired marker positions
+	inc [5]float64 // desired-position increments per observation
+}
+
+// NewP2Quantile returns an estimator for the p-quantile, 0 < p < 1.
+func NewP2Quantile(p float64) (*P2Quantile, error) {
+	if !(p > 0 && p < 1) {
+		return nil, fmt.Errorf("stats: p2 quantile p=%v outside (0,1)", p)
+	}
+	e := &P2Quantile{p: p}
+	e.inc = [5]float64{0, p / 2, p, (1 + p) / 2, 1}
+	return e, nil
+}
+
+// Add folds one observation into the estimator.
+func (e *P2Quantile) Add(x float64) {
+	if e.n < 5 {
+		e.q[e.n] = x
+		e.n++
+		if e.n == 5 {
+			sort.Float64s(e.q[:])
+			for i := 0; i < 5; i++ {
+				e.pos[i] = float64(i + 1)
+				e.des[i] = 1 + 4*e.inc[i]
+			}
+		}
+		return
+	}
+	e.n++
+
+	// Locate the cell k with q[k] <= x < q[k+1], widening the extreme
+	// markers when x falls outside the current span.
+	var k int
+	switch {
+	case x < e.q[0]:
+		e.q[0] = x
+		k = 0
+	case x >= e.q[4]:
+		e.q[4] = x
+		k = 3
+	default:
+		for k = 0; k < 3; k++ {
+			if x < e.q[k+1] {
+				break
+			}
+		}
+	}
+	for i := k + 1; i < 5; i++ {
+		e.pos[i]++
+	}
+	for i := 0; i < 5; i++ {
+		e.des[i] += e.inc[i]
+	}
+
+	// Nudge interior markers toward their desired positions.
+	for i := 1; i <= 3; i++ {
+		d := e.des[i] - e.pos[i]
+		if (d >= 1 && e.pos[i+1]-e.pos[i] > 1) || (d <= -1 && e.pos[i-1]-e.pos[i] < -1) {
+			sign := 1.0
+			if d < 0 {
+				sign = -1
+			}
+			h := e.parabolic(i, sign)
+			if e.q[i-1] < h && h < e.q[i+1] {
+				e.q[i] = h
+			} else {
+				e.q[i] = e.linear(i, sign)
+			}
+			e.pos[i] += sign
+		}
+	}
+}
+
+// parabolic is the P² piecewise-parabolic height prediction for moving
+// marker i one position in direction d (±1).
+func (e *P2Quantile) parabolic(i int, d float64) float64 {
+	return e.q[i] + d/(e.pos[i+1]-e.pos[i-1])*
+		((e.pos[i]-e.pos[i-1]+d)*(e.q[i+1]-e.q[i])/(e.pos[i+1]-e.pos[i])+
+			(e.pos[i+1]-e.pos[i]-d)*(e.q[i]-e.q[i-1])/(e.pos[i]-e.pos[i-1]))
+}
+
+// linear is the fallback height update when the parabola overshoots a
+// neighboring marker.
+func (e *P2Quantile) linear(i int, d float64) float64 {
+	j := i + int(d)
+	return e.q[i] + d*(e.q[j]-e.q[i])/(e.pos[j]-e.pos[i])
+}
+
+// N returns the number of observations.
+func (e *P2Quantile) N() int { return e.n }
+
+// Value returns the current quantile estimate. For fewer than five
+// observations it falls back to the exact order statistic.
+func (e *P2Quantile) Value() float64 {
+	if e.n == 0 {
+		return 0
+	}
+	if e.n < 5 {
+		s := append([]float64(nil), e.q[:e.n]...)
+		sort.Float64s(s)
+		return quantileSorted(s, e.p)
+	}
+	return e.q[2]
+}
 
 // Merge folds another accumulator into a (parallel aggregation:
 // accumulate per shard, then merge). Chan's parallel variance formula

@@ -97,6 +97,66 @@ func TestAccumulatorMergeEqualsSequentialProperty(t *testing.T) {
 	}
 }
 
+func TestP2QuantileRejectsBadP(t *testing.T) {
+	for _, p := range []float64{0, 1, -0.5, 1.5, math.NaN()} {
+		if _, err := NewP2Quantile(p); err == nil {
+			t.Fatalf("p=%v accepted", p)
+		}
+	}
+}
+
+func TestP2QuantileSmallStreamsExact(t *testing.T) {
+	e, err := NewP2Quantile(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Value() != 0 {
+		t.Fatalf("empty estimator value %g", e.Value())
+	}
+	xs := []float64{9, 1, 5, 3}
+	for _, x := range xs {
+		e.Add(x)
+	}
+	want, _ := Quantile(xs, 0.5)
+	if !almostEqual(e.Value(), want, 1e-12) {
+		t.Fatalf("median of %v: got %g want %g", xs, e.Value(), want)
+	}
+}
+
+func TestP2QuantileTracksSortedBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, p := range []float64{0.5, 0.9, 0.99} {
+		for _, gen := range []struct {
+			name string
+			draw func() float64
+		}{
+			{"uniform", rng.Float64},
+			{"normal", rng.NormFloat64},
+			{"exponential", rng.ExpFloat64},
+		} {
+			e, err := NewP2Quantile(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			xs := make([]float64, 20000)
+			for i := range xs {
+				xs[i] = gen.draw()
+				e.Add(xs[i])
+			}
+			exact, _ := Quantile(xs, p)
+			// Tolerance relative to the distribution's spread: P² is an
+			// estimate, but on 20k stationary samples it sits close.
+			lo, _ := Min(xs)
+			hi, _ := Max(xs)
+			tol := 0.05 * (hi - lo)
+			if math.Abs(e.Value()-exact) > tol {
+				t.Fatalf("%s p=%g: estimate %g vs exact %g (tol %g)",
+					gen.name, p, e.Value(), exact, tol)
+			}
+		}
+	}
+}
+
 func TestAccumulatorMergeEmptySides(t *testing.T) {
 	var a, b Accumulator
 	a.Add(5)

@@ -5,12 +5,24 @@ import (
 	"fmt"
 	"io"
 	"strconv"
+
+	"jobgraph/internal/obs"
 )
 
 // Column counts of the two header-less tables.
 const (
 	taskColumns     = 9
 	instanceColumns = 14
+)
+
+// Parse volume and failure tallies; millions of rows stream through
+// here on a real trace, so these are the first numbers to look at when
+// a load is slow or lossy.
+var (
+	obsTaskRows    = obs.Default().Counter("trace.task_rows_parsed")
+	obsTaskRowErrs = obs.Default().Counter("trace.task_row_errors")
+	obsInstRows    = obs.Default().Counter("trace.instance_rows_parsed")
+	obsInstRowErrs = obs.Default().Counter("trace.instance_row_errors")
 )
 
 // ReadTasks streams batch_task rows from r, invoking fn for each record.
@@ -27,13 +39,16 @@ func ReadTasks(r io.Reader, fn func(TaskRecord) error) error {
 			return nil
 		}
 		if err != nil {
+			obsTaskRowErrs.Add(1)
 			return fmt.Errorf("trace: batch_task row %d: %w", line+1, err)
 		}
 		line++
 		rec, err := parseTask(row)
 		if err != nil {
+			obsTaskRowErrs.Add(1)
 			return fmt.Errorf("trace: batch_task row %d: %w", line, err)
 		}
+		obsTaskRows.Add(1)
 		if err := fn(rec); err != nil {
 			return err
 		}
@@ -105,13 +120,16 @@ func ReadInstances(r io.Reader, fn func(InstanceRecord) error) error {
 			return nil
 		}
 		if err != nil {
+			obsInstRowErrs.Add(1)
 			return fmt.Errorf("trace: batch_instance row %d: %w", line+1, err)
 		}
 		line++
 		rec, err := parseInstance(row)
 		if err != nil {
+			obsInstRowErrs.Add(1)
 			return fmt.Errorf("trace: batch_instance row %d: %w", line, err)
 		}
+		obsInstRows.Add(1)
 		if err := fn(rec); err != nil {
 			return err
 		}

@@ -7,7 +7,13 @@ import (
 
 	"jobgraph/internal/dag"
 	"jobgraph/internal/linalg"
+	"jobgraph/internal/obs"
 )
+
+// obsKernelPairs counts pairwise similarity evaluations (upper
+// triangle including the diagonal) — the O(n²) term every scaling
+// argument about the kernel matrix rests on.
+var obsKernelPairs = obs.Default().Counter("wl.kernel_pairs")
 
 // KernelMatrix computes the full normalized similarity matrix over the
 // given job graphs — the data behind the paper's Figure 7 heat map.
@@ -80,5 +86,6 @@ func MatrixFromVectors(vecs []Vector, workers int) (*linalg.Matrix, error) {
 	}
 	close(rows)
 	wg.Wait()
+	obsKernelPairs.Add(int64(n) * int64(n+1) / 2)
 	return m, nil
 }

@@ -19,6 +19,16 @@ import (
 	"strings"
 
 	"jobgraph/internal/dag"
+	"jobgraph/internal/obs"
+)
+
+// Kernel workload tallies. Incremented once per graph/matrix (never
+// per node) so the refinement inner loops stay unperturbed.
+var (
+	obsEmbeds       = obs.Default().Counter("wl.graphs_embedded")
+	obsRefineRounds = obs.Default().Counter("wl.refine_rounds")
+	obsDictLabels   = obs.Default().Gauge("wl.dict_labels")
+	obsVectorSize   = obs.Default().Histogram("wl.vector_size")
 )
 
 // Options configures the kernel.
@@ -199,6 +209,10 @@ func (d *Dictionary) Embed(g *dag.Graph, opt Options) (Vector, error) {
 		labels = next
 		record()
 	}
+	obsEmbeds.Add(1)
+	obsRefineRounds.Add(int64(opt.Iterations))
+	obsVectorSize.Observe(float64(len(vec)))
+	obsDictLabels.Set(int64(d.Len()))
 	return vec, nil
 }
 
