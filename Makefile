@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race bench fuzz reproduce metrics fmt vet clean
+.PHONY: all build test test-short race bench fuzz reproduce metrics trace ledger benchdiff fmt vet clean
 
 all: build test
 
@@ -28,10 +28,30 @@ fuzz:
 reproduce:
 	$(GO) run ./cmd/reproduce -gen 20000 -seed 1 -out results/
 
-# Small instrumented run; the snapshot is already indented JSON.
+# Regenerate the committed results/metrics.json baseline from a small
+# instrumented run and print it. The run lands in a scratch dir so the
+# published fig*.csv files (full 20000-job run) stay untouched.
 metrics:
-	$(GO) run ./cmd/reproduce -gen 2000 -seed 1 -out results/ -v >/dev/null
+	$(GO) run ./cmd/reproduce -gen 2000 -seed 1 -out /tmp/jobgraph-metrics/ >/dev/null
+	cp /tmp/jobgraph-metrics/metrics.json results/metrics.json
 	cat results/metrics.json
+
+# Perfetto timeline for a small run: open results/trace.json at
+# https://ui.perfetto.dev (or chrome://tracing).
+trace:
+	$(GO) run ./cmd/reproduce -gen 2000 -seed 1 -out /tmp/jobgraph-metrics/ -trace-out results/trace.json >/dev/null
+	@echo "wrote results/trace.json — load it at https://ui.perfetto.dev"
+
+# Append a run snapshot to the local run ledger.
+ledger:
+	$(GO) run ./cmd/reproduce -gen 2000 -seed 1 -out /tmp/jobgraph-metrics/ -ledger results/runs/ledger.jsonl >/dev/null
+	@echo "appended to results/runs/ledger.jsonl"
+
+# Compare the current run against the committed metrics baseline.
+# Warn-only locally; CI decides whether to enforce.
+benchdiff:
+	$(GO) run ./cmd/reproduce -gen 2000 -seed 1 -out /tmp/jobgraph-bench/ >/dev/null
+	$(GO) run ./cmd/benchdiff -base results/metrics.json -cur /tmp/jobgraph-bench/metrics.json -warn-only
 
 fmt:
 	gofmt -w .

@@ -1,0 +1,154 @@
+// Command benchdiff is the perf-regression gate: it diffs the
+// per-stage wall-time and allocation profile of two instrumented runs
+// and exits non-zero when any stage regressed beyond the threshold.
+// Inputs are either two metrics.json snapshots or a run ledger
+// (results/runs/ledger.jsonl), where the default comparison is the
+// newest entry against the oldest (HEAD vs ledger baseline).
+//
+// Usage:
+//
+//	benchdiff -base results/metrics.json -cur out/metrics.json
+//	benchdiff -ledger results/runs/ledger.jsonl
+//	benchdiff -ledger ledger.jsonl -base-run 1a2b... -cur-run 3c4d...
+//	benchdiff ... -threshold 0.25 -alloc-threshold 0.5 -min-ms 5 -warn-only
+//
+// CI runs it warn-only against the committed baseline; locally,
+// `make benchdiff` compares a fresh run to the checked-in snapshot.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"jobgraph/internal/cli"
+	"jobgraph/internal/ledger"
+	"jobgraph/internal/obs"
+)
+
+func main() { cli.Run(run) }
+
+type config struct {
+	basePath   string
+	curPath    string
+	ledgerPath string
+	baseRun    string
+	curRun     string
+	opt        ledger.Options
+	warnOnly   bool
+}
+
+func run() error {
+	var cfg config
+	def := ledger.DefaultOptions()
+	flag.StringVar(&cfg.basePath, "base", "", "baseline metrics.json snapshot")
+	flag.StringVar(&cfg.curPath, "cur", "", "current metrics.json snapshot")
+	flag.StringVar(&cfg.ledgerPath, "ledger", "", "run ledger JSONL (alternative to -base/-cur)")
+	flag.StringVar(&cfg.baseRun, "base-run", "", "ledger run id to use as baseline (default: oldest entry)")
+	flag.StringVar(&cfg.curRun, "cur-run", "", "ledger run id to compare (default: newest entry)")
+	flag.Float64Var(&cfg.opt.TimePct, "threshold", def.TimePct, "wall-time regression threshold (fraction, 0 disables)")
+	flag.Float64Var(&cfg.opt.AllocPct, "alloc-threshold", def.AllocPct, "allocation regression threshold (fraction, 0 disables)")
+	flag.Float64Var(&cfg.opt.MinMs, "min-ms", def.MinMs, "ignore stages faster than this in both runs")
+	flag.BoolVar(&cfg.warnOnly, "warn-only", false, "report regressions but exit 0")
+	flag.Parse()
+	return execute(cfg, os.Stdout)
+}
+
+// execute loads the two snapshots, prints the stage-delta report and
+// returns an error (non-zero exit under cli.Run) when the gate fails.
+func execute(cfg config, w io.Writer) error {
+	base, cur, err := load(cfg, w)
+	if err != nil {
+		return fmt.Errorf("benchdiff: %v", err)
+	}
+	rep := ledger.Diff(base, cur, cfg.opt)
+	fmt.Fprint(w, rep.String())
+	if n := len(rep.Regressions); n > 0 && !cfg.warnOnly {
+		return fmt.Errorf("benchdiff: %d stage(s) regressed beyond threshold", n)
+	}
+	return nil
+}
+
+func load(cfg config, w io.Writer) (base, cur obs.Snapshot, err error) {
+	switch {
+	case cfg.ledgerPath != "":
+		entries, err := ledger.Read(cfg.ledgerPath)
+		if err != nil {
+			return base, cur, err
+		}
+		if len(entries) < 2 && (cfg.baseRun == "" || cfg.curRun == "") {
+			return base, cur, fmt.Errorf("ledger %s has %d run(s); need two to compare", cfg.ledgerPath, len(entries))
+		}
+		be, err := pick(entries, cfg.baseRun, 0)
+		if err != nil {
+			return base, cur, err
+		}
+		ce, err := pick(entries, cfg.curRun, len(entries)-1)
+		if err != nil {
+			return base, cur, err
+		}
+		if be.RunID == ce.RunID {
+			return base, cur, fmt.Errorf("baseline and current are the same run %s", be.RunID)
+		}
+		fmt.Fprintf(w, "base: run %s (%s, git %s, %s)\n", be.RunID, be.Command, short(be.GitSHA), be.StartedAt.Format("2006-01-02 15:04:05"))
+		fmt.Fprintf(w, "cur:  run %s (%s, git %s, %s)\n", ce.RunID, ce.Command, short(ce.GitSHA), ce.StartedAt.Format("2006-01-02 15:04:05"))
+		if be.ConfigHash != ce.ConfigHash {
+			fmt.Fprintf(w, "note: config hashes differ (%s vs %s) — deltas may reflect configuration, not code\n",
+				be.ConfigHash, ce.ConfigHash)
+		}
+		if be.Host.Hostname != ce.Host.Hostname || be.Host.NumCPU != ce.Host.NumCPU {
+			fmt.Fprintf(w, "note: hosts differ — wall times are not directly comparable\n")
+		}
+		return be.Metrics, ce.Metrics, nil
+	case cfg.basePath != "" && cfg.curPath != "":
+		if base, err = readSnapshot(cfg.basePath); err != nil {
+			return base, cur, err
+		}
+		if cur, err = readSnapshot(cfg.curPath); err != nil {
+			return base, cur, err
+		}
+		return base, cur, nil
+	default:
+		return base, cur, fmt.Errorf("give either -ledger, or both -base and -cur")
+	}
+}
+
+// pick resolves a ledger entry by run id, falling back to the given
+// position.
+func pick(entries []ledger.Entry, runID string, fallback int) (ledger.Entry, error) {
+	if runID == "" {
+		return entries[fallback], nil
+	}
+	e, ok := ledger.Find(entries, runID)
+	if !ok {
+		return ledger.Entry{}, fmt.Errorf("run %s not found in ledger", runID)
+	}
+	return e, nil
+}
+
+func readSnapshot(path string) (obs.Snapshot, error) {
+	var snap obs.Snapshot
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return snap, err
+	}
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return snap, fmt.Errorf("parse %s: %w", path, err)
+	}
+	if snap.Schema != obs.SnapshotSchema {
+		return snap, fmt.Errorf("%s: schema %q, want %q", path, snap.Schema, obs.SnapshotSchema)
+	}
+	return snap, nil
+}
+
+func short(sha string) string {
+	if sha == "" {
+		return "unknown"
+	}
+	if len(sha) > 12 {
+		return sha[:12]
+	}
+	return sha
+}

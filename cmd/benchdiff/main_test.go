@@ -1,0 +1,173 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"jobgraph/internal/ledger"
+	"jobgraph/internal/obs"
+)
+
+func writeSnapshot(t *testing.T, dir, name string, stageMs float64) string {
+	t.Helper()
+	r := obs.NewRegistry()
+	r.RecordSpan([]string{"pipeline"}, 200*time.Millisecond, 1<<20)
+	r.RecordSpan([]string{"pipeline", "wl.matrix"}, time.Duration(stageMs*float64(time.Millisecond)), 1<<19)
+	path := filepath.Join(dir, name)
+	if err := r.WriteSnapshotFile(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestExecuteFailsOnRegression is the gate's contract: a synthetic
+// above-threshold regression makes execute return an error, which
+// cli.Run maps to a non-zero exit.
+func TestExecuteFailsOnRegression(t *testing.T) {
+	dir := t.TempDir()
+	cfg := config{
+		basePath: writeSnapshot(t, dir, "base.json", 50),
+		curPath:  writeSnapshot(t, dir, "cur.json", 100), // +100% > 25%
+		opt:      ledger.Options{TimePct: 0.25, MinMs: 5},
+	}
+	var out bytes.Buffer
+	err := execute(cfg, &out)
+	if err == nil {
+		t.Fatalf("regression passed the gate; report:\n%s", out.String())
+	}
+	if !strings.Contains(err.Error(), "regressed") {
+		t.Fatalf("err = %v", err)
+	}
+	if !strings.Contains(out.String(), "pipeline/wl.matrix") {
+		t.Fatalf("report lacks the regressed stage:\n%s", out.String())
+	}
+}
+
+func TestExecutePassesWithinThreshold(t *testing.T) {
+	dir := t.TempDir()
+	cfg := config{
+		basePath: writeSnapshot(t, dir, "base.json", 50),
+		curPath:  writeSnapshot(t, dir, "cur.json", 55), // +10% < 25%
+		opt:      ledger.Options{TimePct: 0.25, MinMs: 5},
+	}
+	var out bytes.Buffer
+	if err := execute(cfg, &out); err != nil {
+		t.Fatalf("clean diff failed: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "no regressions above threshold") {
+		t.Fatalf("report:\n%s", out.String())
+	}
+}
+
+func TestExecuteWarnOnly(t *testing.T) {
+	dir := t.TempDir()
+	cfg := config{
+		basePath: writeSnapshot(t, dir, "base.json", 50),
+		curPath:  writeSnapshot(t, dir, "cur.json", 200),
+		opt:      ledger.Options{TimePct: 0.25, MinMs: 5},
+		warnOnly: true,
+	}
+	var out bytes.Buffer
+	if err := execute(cfg, &out); err != nil {
+		t.Fatalf("warn-only still failed: %v", err)
+	}
+	if !strings.Contains(out.String(), "regressed") {
+		t.Fatalf("warn-only hid the regression:\n%s", out.String())
+	}
+}
+
+func TestExecuteLedgerMode(t *testing.T) {
+	dir := t.TempDir()
+	lpath := filepath.Join(dir, "ledger.jsonl")
+	mk := func(runID string, stageMs float64) ledger.Entry {
+		r := obs.NewRegistry()
+		r.RecordSpan([]string{"pipeline"}, 200*time.Millisecond, 1<<20)
+		r.RecordSpan([]string{"pipeline", "wl.matrix"}, time.Duration(stageMs*float64(time.Millisecond)), 1<<19)
+		return ledger.Entry{
+			RunID: runID, Command: "reproduce", ConfigHash: "same",
+			StartedAt: time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC),
+			Metrics:   r.Snapshot(),
+		}
+	}
+	for _, e := range []ledger.Entry{mk("baseline", 50), mk("mid", 52), mk("head", 120)} {
+		if err := ledger.Append(lpath, e); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Default: oldest vs newest → regression.
+	cfg := config{ledgerPath: lpath, opt: ledger.Options{TimePct: 0.25, MinMs: 5}}
+	var out bytes.Buffer
+	if err := execute(cfg, &out); err == nil {
+		t.Fatalf("head regression passed:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "base: run baseline") || !strings.Contains(out.String(), "cur:  run head") {
+		t.Fatalf("entry labels missing:\n%s", out.String())
+	}
+
+	// Explicit run selection: baseline vs mid → clean.
+	cfg.curRun = "mid"
+	out.Reset()
+	if err := execute(cfg, &out); err != nil {
+		t.Fatalf("baseline-vs-mid failed: %v\n%s", err, out.String())
+	}
+
+	// Unknown run id errors.
+	cfg.curRun = "nope"
+	if err := execute(cfg, &out); err == nil || !strings.Contains(err.Error(), "not found") {
+		t.Fatalf("unknown run = %v", err)
+	}
+}
+
+func TestExecuteInputValidation(t *testing.T) {
+	var out bytes.Buffer
+	if err := execute(config{}, &out); err == nil {
+		t.Fatal("no inputs accepted")
+	}
+	dir := t.TempDir()
+	base := writeSnapshot(t, dir, "base.json", 50)
+	if err := execute(config{basePath: base}, &out); err == nil {
+		t.Fatal("-base without -cur accepted")
+	}
+	// A non-snapshot JSON file is rejected by the schema check.
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"schema":"other/v9"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := execute(config{basePath: bad, curPath: base}, &out); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Fatalf("schema mismatch = %v", err)
+	}
+	// Single-entry ledger cannot be compared.
+	lpath := filepath.Join(dir, "one.jsonl")
+	r := obs.NewRegistry()
+	r.RecordSpan([]string{"pipeline"}, time.Millisecond, 0)
+	if err := ledger.Append(lpath, ledger.Entry{RunID: "only", Metrics: r.Snapshot()}); err != nil {
+		t.Fatal(err)
+	}
+	if err := execute(config{ledgerPath: lpath}, &out); err == nil {
+		t.Fatal("single-run ledger accepted")
+	}
+}
+
+// TestSnapshotFilesRemainParseable guards the coupling benchdiff relies
+// on: obs.WriteSnapshotFile output must parse back as obs.Snapshot.
+func TestSnapshotFilesRemainParseable(t *testing.T) {
+	dir := t.TempDir()
+	path := writeSnapshot(t, dir, "m.json", 50)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Schema != obs.SnapshotSchema {
+		t.Fatalf("schema = %q", snap.Schema)
+	}
+}

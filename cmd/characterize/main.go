@@ -6,6 +6,8 @@
 // Usage:
 //
 //	characterize [-trace batch_task.csv | -gen 10000] [-sample 100] [-seed 1]
+//	             [-v] [-log-json] [-debug-addr localhost:6060]
+//	             [-trace-out trace.json] [-ledger results/runs/ledger.jsonl]
 package main
 
 import (
@@ -26,7 +28,14 @@ func run() error {
 		sample    = flag.Int("sample", 100, "jobs to sample for the per-job tables")
 		seed      = flag.Int64("seed", 1, "RNG seed")
 	)
+	obsFlags := cli.RegisterObsFlags()
 	flag.Parse()
+
+	sess, err := obsFlags.Start("characterize")
+	if err != nil {
+		return fmt.Errorf("characterize: %v", err)
+	}
+	defer sess.Close()
 
 	jobs, err := cli.LoadOrGenerate(*tracePath, *gen, *seed)
 	if err != nil {

@@ -6,7 +6,9 @@
 // Usage:
 //
 //	clusterjobs [-trace batch_task.csv | -gen 10000] [-groups 5]
-//	            [-sample 100] [-dot-dir reps/] [-v] [-debug-addr localhost:6060]
+//	            [-sample 100] [-dot-dir reps/] [-v] [-log-json]
+//	            [-debug-addr localhost:6060] [-trace-out trace.json]
+//	            [-ledger results/runs/ledger.jsonl]
 package main
 
 import (
@@ -29,17 +31,15 @@ func run() error {
 		seed      = flag.Int64("seed", 1, "RNG seed")
 		groups    = flag.Int("groups", 5, "number of spectral groups")
 		dotDir    = flag.String("dot-dir", "", "optional directory for representative DOT files")
-		verbose   = flag.Bool("v", false, "log per-stage progress to stderr")
-		debugAddr = flag.String("debug-addr", "", "serve /debug/vars and /debug/pprof/ on this address")
 	)
+	obsFlags := cli.RegisterObsFlags()
 	flag.Parse()
-	cli.SetupVerbose(*verbose)
 
-	closeDebug, err := cli.StartDebugServer(*debugAddr)
+	sess, err := obsFlags.Start("clusterjobs")
 	if err != nil {
 		return fmt.Errorf("clusterjobs: %v", err)
 	}
-	defer closeDebug()
+	defer sess.Close()
 
 	jobs, err := cli.LoadOrGenerate(*tracePath, *gen, *seed)
 	if err != nil {

@@ -9,6 +9,9 @@
 //	jobinfo M1 M3 R2_1 R4_3 R5_4_3_2_1
 //	jobinfo -trace batch_task.csv -job j_1001388
 //	jobinfo -dot M1 R2_1
+//
+// The shared observability flags (-v, -log-json, -debug-addr,
+// -trace-out, -ledger) are accepted too.
 package main
 
 import (
@@ -31,7 +34,14 @@ func run() error {
 		jobID     = flag.String("job", "", "job id to look up (requires -trace)")
 		dotOnly   = flag.Bool("dot", false, "print only the Graphviz DOT document")
 	)
+	obsFlags := cli.RegisterObsFlags()
 	flag.Parse()
+
+	sess, err := obsFlags.Start("jobinfo")
+	if err != nil {
+		return fmt.Errorf("jobinfo: %v", err)
+	}
+	defer sess.Close()
 
 	g, err := loadJob(*tracePath, *jobID, flag.Args())
 	if err != nil {

@@ -6,10 +6,13 @@
 // Usage:
 //
 //	reproduce [-trace batch_task.csv | -gen 20000] [-seed 1] [-out results/]
-//	          [-v] [-debug-addr localhost:6060]
+//	          [-v] [-log-json] [-debug-addr localhost:6060]
+//	          [-trace-out trace.json] [-ledger results/runs/ledger.jsonl]
 //
 // With -out, a metrics.json snapshot of every pipeline counter, span
-// and histogram is written next to the CSV artifacts.
+// and histogram is written next to the CSV artifacts. -trace-out emits
+// a timeline that loads in ui.perfetto.dev, and -ledger appends the
+// run's snapshot to the JSONL history cmd/benchdiff compares.
 package main
 
 import (
@@ -44,17 +47,15 @@ func run() error {
 		gen       = flag.Int("gen", 20000, "jobs to generate when no trace given")
 		seed      = flag.Int64("seed", 1, "RNG seed")
 		outDir    = flag.String("out", "", "optional output directory for CSV artifacts and metrics.json")
-		verbose   = flag.Bool("v", false, "log per-stage progress to stderr")
-		debugAddr = flag.String("debug-addr", "", "serve /debug/vars and /debug/pprof/ on this address (e.g. localhost:6060)")
 	)
+	obsFlags := cli.RegisterObsFlags()
 	flag.Parse()
-	cli.SetupVerbose(*verbose)
 
-	closeDebug, err := cli.StartDebugServer(*debugAddr)
+	sess, err := obsFlags.Start("reproduce")
 	if err != nil {
 		return fmt.Errorf("reproduce: %v", err)
 	}
-	defer closeDebug()
+	defer sess.Close()
 
 	if *outDir != "" {
 		if err := os.MkdirAll(*outDir, 0o755); err != nil {

@@ -5,7 +5,9 @@
 // Usage:
 //
 //	similarity [-trace batch_task.csv | -gen 10000] [-sample 100]
-//	           [-h 3] [-csv sim.csv] [-workers 0]
+//	           [-h 3] [-csv sim.csv] [-workers 0] [-v] [-log-json]
+//	           [-debug-addr localhost:6060] [-trace-out trace.json]
+//	           [-ledger results/runs/ledger.jsonl]
 package main
 
 import (
@@ -32,7 +34,14 @@ func run() error {
 		csvOut     = flag.String("csv", "", "optional CSV output for the matrix")
 		workers    = flag.Int("workers", 0, "kernel workers (0 = GOMAXPROCS)")
 	)
+	obsFlags := cli.RegisterObsFlags()
 	flag.Parse()
+
+	sess, err := obsFlags.Start("similarity")
+	if err != nil {
+		return fmt.Errorf("similarity: %v", err)
+	}
+	defer sess.Close()
 
 	var baseKernel wl.BaseKernel
 	switch *base {

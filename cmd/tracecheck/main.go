@@ -7,6 +7,9 @@
 //
 //	tracecheck -trace batch_task.csv[.gz] [-max-findings 50]
 //	tracecheck -gen 5000            # lint a synthetic trace (self-test)
+//
+// The shared observability flags (-v, -log-json, -debug-addr,
+// -trace-out, -ledger) are accepted too.
 package main
 
 import (
@@ -27,7 +30,14 @@ func run() error {
 		seed        = flag.Int64("seed", 1, "RNG seed for generation")
 		maxFindings = flag.Int("max-findings", 50, "findings to print per severity")
 	)
+	obsFlags := cli.RegisterObsFlags()
 	flag.Parse()
+
+	sess, err := obsFlags.Start("tracecheck")
+	if err != nil {
+		return fmt.Errorf("tracecheck: %v", err)
+	}
+	defer sess.Close()
 
 	jobs, err := cli.LoadOrGenerate(*tracePath, *gen, *seed)
 	if err != nil {

@@ -5,6 +5,9 @@
 // Usage:
 //
 //	tracegen -jobs 100000 -seed 1 -out batch_task.csv [-instances batch_instance.csv]
+//
+// The shared observability flags (-v, -log-json, -debug-addr,
+// -trace-out, -ledger) are accepted too.
 package main
 
 import (
@@ -27,7 +30,14 @@ func run() error {
 		instances = flag.String("instances", "", "optional batch_instance output path")
 		dagFrac   = flag.Float64("dag-fraction", 0.5, "share of jobs with DAG structure")
 	)
+	obsFlags := cli.RegisterObsFlags()
 	flag.Parse()
+
+	sess, err := obsFlags.Start("tracegen")
+	if err != nil {
+		return fmt.Errorf("tracegen: %v", err)
+	}
+	defer sess.Close()
 
 	cfg := tracegen.DefaultConfig(*jobs, *seed)
 	cfg.DAGFraction = *dagFrac

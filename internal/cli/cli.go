@@ -1,14 +1,14 @@
 // Package cli provides the small amount of shared plumbing used by the
 // command-line tools: a main wrapper that guarantees deferred cleanup
 // runs before exit, loading a trace from CSV or generating a synthetic
-// one, and shared observability flags (-v progress logging, -debug-addr
-// live metrics, metrics.json snapshots).
+// one, and the shared observability session (structured slog logging,
+// -debug-addr live metrics, Perfetto trace export, the run ledger and
+// metrics.json snapshots) — see session.go.
 package cli
 
 import (
 	"errors"
 	"fmt"
-	"log"
 	"os"
 	"path/filepath"
 	"time"
@@ -88,8 +88,8 @@ func Exit(code int) {
 // LoadOrGenerate returns trace jobs either parsed from the batch_task
 // CSV at path (when non-empty) or synthesized with numJobs/seed. Either
 // way the work is recorded as a span (trace.load / trace.generate) on
-// the Default obs registry, with one progress line when -v logging is
-// enabled.
+// the Default obs registry, with one structured progress record when
+// -v logging is enabled.
 func LoadOrGenerate(path string, numJobs int, seed int64) ([]trace.Job, error) {
 	reg := obs.Default()
 	if path != "" {
@@ -105,7 +105,8 @@ func LoadOrGenerate(path string, numJobs int, seed int64) ([]trace.Job, error) {
 		}
 		reg.Counter("trace.jobs_loaded").Add(int64(len(jobs)))
 		d := sp.End()
-		reg.Logf("stage %-16s %10v  %d jobs from %s", "trace.load", d.Round(time.Microsecond), len(jobs), path)
+		reg.Logger().Info("stage complete", "stage", "trace.load",
+			"duration", d.Round(time.Microsecond), "jobs", len(jobs), "source", path)
 		return jobs, nil
 	}
 	sp := reg.StartSpan("trace.generate")
@@ -115,7 +116,8 @@ func LoadOrGenerate(path string, numJobs int, seed int64) ([]trace.Job, error) {
 	}
 	reg.Counter("tracegen.jobs_generated").Add(int64(len(jobs)))
 	d := sp.End()
-	reg.Logf("stage %-16s %10v  %d synthetic jobs (seed %d)", "trace.generate", d.Round(time.Microsecond), len(jobs), seed)
+	reg.Logger().Info("stage complete", "stage", "trace.generate",
+		"duration", d.Round(time.Microsecond), "jobs", len(jobs), "seed", seed)
 	return jobs, nil
 }
 
@@ -124,31 +126,6 @@ func LoadOrGenerate(path string, numJobs int, seed int64) ([]trace.Job, error) {
 // past their arrival.
 func TraceWindow() int64 {
 	return 2 * 8 * 24 * 3600
-}
-
-// SetupVerbose wires the Default registry's progress lines to stderr
-// when on is true. Call it right after flag.Parse.
-func SetupVerbose(on bool) {
-	if !on {
-		return
-	}
-	l := log.New(os.Stderr, "", log.Ltime)
-	obs.Default().SetLogf(l.Printf)
-}
-
-// StartDebugServer starts the expvar+pprof endpoint on addr when
-// non-empty, returning a closer (safe to defer even when addr is "").
-// The bound address is announced on stderr so :0 ports are usable.
-func StartDebugServer(addr string) (func() error, error) {
-	if addr == "" {
-		return func() error { return nil }, nil
-	}
-	ds, err := obs.Default().ServeDebug(addr)
-	if err != nil {
-		return nil, err
-	}
-	fmt.Fprintf(os.Stderr, "debug server listening on http://%s/debug/vars and /debug/pprof/\n", ds.Addr)
-	return ds.Close, nil
 }
 
 // WriteMetrics snapshots the Default registry into dir/metrics.json.
@@ -162,6 +139,6 @@ func WriteMetrics(dir string) error {
 	if err := obs.Default().WriteSnapshotFile(path); err != nil {
 		return err
 	}
-	obs.Default().Logf("metrics snapshot written to %s", path)
+	obs.Default().Logger().Info("metrics snapshot written", "path", path)
 	return nil
 }

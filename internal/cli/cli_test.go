@@ -127,6 +127,48 @@ func TestProtectRepanicsForeignPanics(t *testing.T) {
 	_ = protect(func() error { panic("unrelated") })
 }
 
+// TestProtectRepanicsWithOriginalValue: a non-Fatalf panic must
+// propagate with its original value, not a wrapped or stringified
+// copy, so callers' recover logic and crash reports see the real
+// cause.
+func TestProtectRepanicsWithOriginalValue(t *testing.T) {
+	type custom struct{ reason string }
+	want := &custom{reason: "index out of range"}
+	defer func() {
+		got := recover()
+		if got == nil {
+			t.Fatal("foreign panic swallowed")
+		}
+		if got != want {
+			t.Fatalf("panic value = %#v, want the original %#v", got, want)
+		}
+	}()
+	_ = protect(func() error { panic(want) })
+}
+
+// TestDeferredMetricsSnapshotRunsOnFatalf: reproduce defers
+// WriteMetrics before work begins; the snapshot must still land when
+// the run dies via Fatalf.
+func TestDeferredMetricsSnapshotRunsOnFatalf(t *testing.T) {
+	dir := t.TempDir()
+	err := protect(func() error {
+		defer func() {
+			if werr := WriteMetrics(dir); werr != nil {
+				t.Errorf("WriteMetrics on Fatalf path: %v", werr)
+			}
+		}()
+		Fatalf("pipeline exploded")
+		return nil
+	})
+	var ee *exitError
+	if !errors.As(err, &ee) {
+		t.Fatalf("err = %v, want *exitError", err)
+	}
+	if _, serr := os.Stat(filepath.Join(dir, "metrics.json")); serr != nil {
+		t.Fatalf("metrics snapshot missing after Fatalf: %v", serr)
+	}
+}
+
 func TestWriteMetricsSnapshot(t *testing.T) {
 	dir := t.TempDir()
 	if err := WriteMetrics(dir); err != nil {

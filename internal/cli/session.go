@@ -1,0 +1,236 @@
+package cli
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"flag"
+	"fmt"
+	"hash/fnv"
+	"log/slog"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"time"
+
+	"jobgraph/internal/ledger"
+	"jobgraph/internal/obs"
+	"jobgraph/internal/obs/traceexport"
+)
+
+// ObsFlags is the observability flag set shared by every command:
+//
+//	-v           per-stage progress logging (slog text, Info level)
+//	-log-json    structured JSON logs for machines
+//	-debug-addr  live expvar + pprof endpoint
+//	-trace-out   Perfetto/chrome://tracing timeline JSON on exit
+//	-ledger      append the run's metrics snapshot to a JSONL ledger
+//
+// Register the flags before flag.Parse, Start the session after.
+type ObsFlags struct {
+	Verbose   bool
+	LogJSON   bool
+	DebugAddr string
+	TraceOut  string
+	Ledger    string
+
+	fs *flag.FlagSet
+}
+
+// RegisterObsFlags registers the shared observability flags on the
+// process flag set.
+func RegisterObsFlags() *ObsFlags { return RegisterObsFlagsOn(flag.CommandLine) }
+
+// RegisterObsFlagsOn registers the shared observability flags on fs
+// (tests use private flag sets).
+func RegisterObsFlagsOn(fs *flag.FlagSet) *ObsFlags {
+	o := &ObsFlags{fs: fs}
+	fs.BoolVar(&o.Verbose, "v", false, "log per-stage progress to stderr")
+	fs.BoolVar(&o.LogJSON, "log-json", false, "emit logs as JSON instead of text")
+	fs.StringVar(&o.DebugAddr, "debug-addr", "", "serve /debug/vars and /debug/pprof/ on this address (e.g. localhost:6060)")
+	fs.StringVar(&o.TraceOut, "trace-out", "", "write a Perfetto-compatible trace JSON to this path on exit")
+	fs.StringVar(&o.Ledger, "ledger", "", "append this run's metrics snapshot to this JSONL run ledger")
+	return o
+}
+
+// RunInfo identifies one command invocation for logs, traces and the
+// ledger.
+type RunInfo struct {
+	RunID      string // random per-invocation id
+	Command    string
+	ConfigHash string // hash of the effective flag configuration
+	GitSHA     string // vcs revision when the binary carries build info
+	StartedAt  time.Time
+	Host       ledger.Host
+}
+
+// RunSession is one command's live observability state: the structured
+// logger (also installed on the Default obs registry) plus the exit
+// work — trace export, ledger append, debug-server shutdown — that
+// Close performs. Commands defer Close inside cli.Run so it also runs
+// on the Fatalf path.
+type RunSession struct {
+	Info   RunInfo
+	Logger *slog.Logger
+
+	flags      *ObsFlags
+	closeDebug func() error
+	closed     bool
+}
+
+// DefaultEventCapacity bounds the span event ring enabled by
+// -trace-out: at ~48 bytes per retained event this caps memory near
+// 800 KiB while holding every stage of even a reproduce run.
+const DefaultEventCapacity = 1 << 14
+
+// Start builds the run identity, installs the structured logger on the
+// Default obs registry, enables span-event retention when a trace is
+// requested, and starts the debug server when configured.
+func (o *ObsFlags) Start(command string) (*RunSession, error) {
+	info := RunInfo{
+		RunID:      newRunID(),
+		Command:    command,
+		ConfigHash: configHash(o.fs),
+		GitSHA:     gitSHA(),
+		StartedAt:  time.Now(),
+		Host:       hostInfo(),
+	}
+	level := slog.LevelWarn
+	if o.Verbose {
+		level = slog.LevelInfo
+	}
+	var h slog.Handler
+	if o.LogJSON {
+		h = slog.NewJSONHandler(os.Stderr, &slog.HandlerOptions{Level: level})
+	} else {
+		h = slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level})
+	}
+	lg := slog.New(h).With("cmd", command, "run_id", info.RunID, "config_hash", info.ConfigHash)
+	reg := obs.Default()
+	reg.SetLogger(lg)
+
+	if o.TraceOut != "" {
+		reg.SetEventCapacity(DefaultEventCapacity)
+	}
+
+	s := &RunSession{Info: info, Logger: lg, flags: o}
+	if o.DebugAddr != "" {
+		ds, err := reg.ServeDebug(o.DebugAddr)
+		if err != nil {
+			return nil, err
+		}
+		// Announced unconditionally (not at Info) so -debug-addr :0 is
+		// usable without -v.
+		fmt.Fprintf(os.Stderr, "debug server listening on http://%s/debug/vars and /debug/pprof/\n", ds.Addr)
+		s.closeDebug = ds.Close
+	}
+	lg.Info("run started", "git_sha", info.GitSHA, "host", info.Host.Hostname,
+		"go", info.Host.GoVersion, "cpus", info.Host.NumCPU)
+	return s, nil
+}
+
+// Close flushes the run's observability outputs: the Perfetto trace,
+// the ledger entry, and the debug server. Safe to call once deferred
+// and again explicitly; later calls are no-ops.
+func (s *RunSession) Close() error {
+	if s == nil || s.closed {
+		return nil
+	}
+	s.closed = true
+	reg := obs.Default()
+	var errs []error
+	if s.flags.TraceOut != "" {
+		events := reg.Events()
+		meta := traceexport.Meta{
+			Process: s.Info.Command,
+			Labels: map[string]string{
+				"run_id":      s.Info.RunID,
+				"config_hash": s.Info.ConfigHash,
+			},
+		}
+		if s.Info.GitSHA != "" {
+			meta.Labels["git_sha"] = s.Info.GitSHA
+		}
+		if err := traceexport.WriteFile(s.flags.TraceOut, events, meta); err != nil {
+			errs = append(errs, err)
+		} else {
+			s.Logger.Info("trace written", "path", s.flags.TraceOut,
+				"events", len(events), "dropped", reg.EventsDropped())
+		}
+	}
+	if s.flags.Ledger != "" {
+		e := ledger.Entry{
+			Schema:     ledger.Schema,
+			RunID:      s.Info.RunID,
+			Command:    s.Info.Command,
+			StartedAt:  s.Info.StartedAt.UTC(),
+			WallMs:     float64(time.Since(s.Info.StartedAt)) / float64(time.Millisecond),
+			GitSHA:     s.Info.GitSHA,
+			ConfigHash: s.Info.ConfigHash,
+			Host:       s.Info.Host,
+			Metrics:    reg.Snapshot(),
+		}
+		if err := ledger.Append(s.flags.Ledger, e); err != nil {
+			errs = append(errs, err)
+		} else {
+			s.Logger.Info("ledger appended", "path", s.flags.Ledger, "run_id", e.RunID)
+		}
+	}
+	if s.closeDebug != nil {
+		if err := s.closeDebug(); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// newRunID returns a 16-hex-char random run id (time-derived when the
+// system RNG is unavailable).
+func newRunID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return fmt.Sprintf("t%015x", time.Now().UnixNano())
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// configHash fingerprints the effective flag configuration — every
+// flag's value, defaults included — so runs are comparable exactly
+// when their configuration matches. Call after flag.Parse.
+func configHash(fs *flag.FlagSet) string {
+	if fs == nil {
+		return ""
+	}
+	h := fnv.New64a()
+	fs.VisitAll(func(f *flag.Flag) {
+		fmt.Fprintf(h, "%s=%s\n", f.Name, f.Value.String())
+	})
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// gitSHA reads the vcs revision stamped into the binary, if any
+// (absent under plain `go run` without VCS stamping).
+func gitSHA() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return ""
+	}
+	for _, s := range bi.Settings {
+		if s.Key == "vcs.revision" {
+			return s.Value
+		}
+	}
+	return ""
+}
+
+// hostInfo describes the current machine for the ledger.
+func hostInfo() ledger.Host {
+	hn, _ := os.Hostname()
+	return ledger.Host{
+		Hostname:  hn,
+		OS:        runtime.GOOS,
+		Arch:      runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		GoVersion: runtime.Version(),
+	}
+}

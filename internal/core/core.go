@@ -185,28 +185,30 @@ func (an *Analysis) AssignGroup(g *dag.Graph) (GroupProfile, float64, error) {
 //
 // Every stage is wrapped in an obs span (aggregated under "pipeline" in
 // the Default registry's stage tree) and timed on Analysis.Stages; with
-// a logger installed (obs.Default().SetLogf, the commands' -v flag) one
-// progress line per stage reports its duration and key counts.
+// a logger installed (obs.Default().SetLogger, the commands' -v flag)
+// one structured record per stage carries the stage name, duration and
+// key counts.
 func Run(jobs []trace.Job, cfg Config) (*Analysis, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
 	reg := obs.Default()
+	lg := reg.Logger()
 	an := &Analysis{}
 	root := reg.StartSpan("pipeline")
 	defer root.End()
 	// stage runs fn inside a child span, records the wall time on the
-	// analysis, and emits one progress line with the returned counts.
+	// analysis, and emits one structured record with the returned counts.
 	stage := func(name string, fn func() (string, error)) error {
 		sp := root.Child(name)
 		detail, err := fn()
 		d := sp.End()
 		an.Stages = append(an.Stages, StageTiming{Name: name, Duration: d})
 		if err != nil {
-			reg.Logf("stage %-16s %10v  FAILED: %v", name, d.Round(time.Microsecond), err)
+			lg.Error("stage failed", "stage", name, "duration", d.Round(time.Microsecond), "err", err)
 			return err
 		}
-		reg.Logf("stage %-16s %10v  %s", name, d.Round(time.Microsecond), detail)
+		lg.Info("stage complete", "stage", name, "duration", d.Round(time.Microsecond), "detail", detail)
 		return nil
 	}
 

@@ -1,0 +1,174 @@
+package ledger
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"jobgraph/internal/obs"
+)
+
+// Options tunes the regression gate.
+type Options struct {
+	// TimePct is the wall-time regression threshold as a fraction:
+	// 0.25 flags stages at least 25% slower than the baseline.
+	TimePct float64
+	// AllocPct is the allocation regression threshold (0 disables the
+	// alloc gate).
+	AllocPct float64
+	// MinMs ignores stages whose wall time is below this in both runs —
+	// sub-millisecond spans are scheduler noise, not regressions.
+	MinMs float64
+}
+
+// DefaultOptions is the gate used by `make benchdiff` and CI: 25%
+// slower or 50% more allocation on a stage that takes at least 5ms.
+func DefaultOptions() Options {
+	return Options{TimePct: 0.25, AllocPct: 0.50, MinMs: 5}
+}
+
+// StageDelta compares one span-tree path across two snapshots.
+type StageDelta struct {
+	Path       string
+	BaseCount  int64
+	CurCount   int64
+	BaseMs     float64
+	CurMs      float64
+	TimeDelta  float64 // fractional: (cur-base)/base; +Inf when base is 0
+	BaseAllocs uint64
+	CurAllocs  uint64
+	AllocDelta float64
+	Regression bool
+	Note       string
+}
+
+// Report is the outcome of diffing two snapshots.
+type Report struct {
+	Stages []StageDelta
+	// BaseOnly and CurOnly are span paths present in exactly one run —
+	// usually a config difference, reported but never failed on.
+	BaseOnly []string
+	CurOnly  []string
+	// Regressions lists the paths whose delta exceeded a threshold.
+	Regressions []string
+}
+
+// Diff flattens both snapshots' span trees to slash-joined paths and
+// compares per-stage wall time and allocation.
+func Diff(base, cur obs.Snapshot, opt Options) Report {
+	bm := flatten(base.Spans)
+	cm := flatten(cur.Spans)
+	var rep Report
+	paths := make([]string, 0, len(bm))
+	for p := range bm {
+		if _, ok := cm[p]; ok {
+			paths = append(paths, p)
+		} else {
+			rep.BaseOnly = append(rep.BaseOnly, p)
+		}
+	}
+	for p := range cm {
+		if _, ok := bm[p]; !ok {
+			rep.CurOnly = append(rep.CurOnly, p)
+		}
+	}
+	sort.Strings(paths)
+	sort.Strings(rep.BaseOnly)
+	sort.Strings(rep.CurOnly)
+
+	for _, p := range paths {
+		b, c := bm[p], cm[p]
+		d := StageDelta{
+			Path:       p,
+			BaseCount:  b.Count,
+			CurCount:   c.Count,
+			BaseMs:     b.TotalMs,
+			CurMs:      c.TotalMs,
+			BaseAllocs: b.AllocBytes,
+			CurAllocs:  c.AllocBytes,
+			TimeDelta:  frac(b.TotalMs, c.TotalMs),
+			AllocDelta: frac(float64(b.AllocBytes), float64(c.AllocBytes)),
+		}
+		var notes []string
+		if b.Count != c.Count {
+			notes = append(notes, fmt.Sprintf("count %d -> %d", b.Count, c.Count))
+		}
+		if b.TotalMs >= opt.MinMs || c.TotalMs >= opt.MinMs {
+			if opt.TimePct > 0 && d.TimeDelta > opt.TimePct {
+				d.Regression = true
+				notes = append(notes, fmt.Sprintf("time +%.0f%% > %.0f%%", 100*d.TimeDelta, 100*opt.TimePct))
+			}
+			if opt.AllocPct > 0 && d.AllocDelta > opt.AllocPct {
+				d.Regression = true
+				notes = append(notes, fmt.Sprintf("allocs +%.0f%% > %.0f%%", 100*d.AllocDelta, 100*opt.AllocPct))
+			}
+		}
+		d.Note = strings.Join(notes, ", ")
+		if d.Regression {
+			rep.Regressions = append(rep.Regressions, p)
+		}
+		rep.Stages = append(rep.Stages, d)
+	}
+	return rep
+}
+
+// frac returns (cur-base)/base, saturating when the baseline is zero.
+func frac(base, cur float64) float64 {
+	if base == 0 {
+		if cur == 0 {
+			return 0
+		}
+		return 1e9 // effectively infinite regression vs a zero baseline
+	}
+	return (cur - base) / base
+}
+
+// String renders the report as the table benchdiff prints.
+func (rep Report) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-40s %12s %12s %8s %8s  %s\n",
+		"stage", "base ms", "cur ms", "time", "allocs", "note")
+	for _, d := range rep.Stages {
+		marker := " "
+		if d.Regression {
+			marker = "!"
+		}
+		fmt.Fprintf(&sb, "%s%-39s %12.2f %12.2f %+7.1f%% %+7.1f%%  %s\n",
+			marker, d.Path, d.BaseMs, d.CurMs, 100*d.TimeDelta, 100*d.AllocDelta, d.Note)
+	}
+	for _, p := range rep.BaseOnly {
+		fmt.Fprintf(&sb, " %-39s only in baseline\n", p)
+	}
+	for _, p := range rep.CurOnly {
+		fmt.Fprintf(&sb, " %-39s only in current\n", p)
+	}
+	if len(rep.Regressions) == 0 {
+		sb.WriteString("no regressions above threshold\n")
+	} else {
+		fmt.Fprintf(&sb, "%d stage(s) regressed: %s\n",
+			len(rep.Regressions), strings.Join(rep.Regressions, ", "))
+	}
+	return sb.String()
+}
+
+// flatten indexes a span forest by slash-joined path.
+func flatten(spans []obs.SpanSnapshot) map[string]obs.SpanSnapshot {
+	out := make(map[string]obs.SpanSnapshot)
+	var walk func(prefix string, s obs.SpanSnapshot)
+	walk = func(prefix string, s obs.SpanSnapshot) {
+		path := s.Name
+		if prefix != "" {
+			path = prefix + "/" + s.Name
+		}
+		flat := s
+		flat.Children = nil
+		out[path] = flat
+		for _, c := range s.Children {
+			walk(path, c)
+		}
+	}
+	for _, s := range spans {
+		walk("", s)
+	}
+	return out
+}

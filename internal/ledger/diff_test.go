@@ -1,0 +1,110 @@
+package ledger
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"jobgraph/internal/obs"
+)
+
+func TestDiffFlagsTimeRegression(t *testing.T) {
+	base := snapshotWith(map[string]float64{"wl.matrix": 40, "cluster.spectral": 20})
+	cur := snapshotWith(map[string]float64{"wl.matrix": 80, "cluster.spectral": 21})
+	rep := Diff(base, cur, Options{TimePct: 0.25, MinMs: 5})
+
+	if len(rep.Regressions) != 1 || rep.Regressions[0] != "pipeline/wl.matrix" {
+		t.Fatalf("regressions = %v", rep.Regressions)
+	}
+	var found bool
+	for _, d := range rep.Stages {
+		if d.Path == "pipeline/wl.matrix" {
+			found = true
+			if !d.Regression || d.TimeDelta < 0.99 || d.TimeDelta > 1.01 {
+				t.Fatalf("delta = %+v", d)
+			}
+		}
+		if d.Path == "pipeline/cluster.spectral" && d.Regression {
+			t.Fatalf("5%% drift flagged: %+v", d)
+		}
+	}
+	if !found {
+		t.Fatal("wl.matrix missing from report")
+	}
+	if !strings.Contains(rep.String(), "1 stage(s) regressed") {
+		t.Fatalf("report text: %s", rep.String())
+	}
+}
+
+func TestDiffMinMsSuppressesNoise(t *testing.T) {
+	base := snapshotWith(map[string]float64{"conflate": 0.5})
+	cur := snapshotWith(map[string]float64{"conflate": 2.0}) // 4x slower but tiny
+	rep := Diff(base, cur, Options{TimePct: 0.25, MinMs: 5})
+	if len(rep.Regressions) != 0 {
+		t.Fatalf("sub-threshold stage flagged: %v", rep.Regressions)
+	}
+}
+
+func TestDiffAllocRegression(t *testing.T) {
+	mk := func(allocs uint64) obs.Snapshot {
+		r := obs.NewRegistry()
+		r.RecordSpan([]string{"pipeline"}, 100*time.Millisecond, allocs)
+		return r.Snapshot()
+	}
+	rep := Diff(mk(1<<20), mk(1<<22), Options{AllocPct: 0.5, MinMs: 5})
+	if len(rep.Regressions) != 1 || rep.Regressions[0] != "pipeline" {
+		t.Fatalf("alloc regression missed: %v", rep.Regressions)
+	}
+	rep = Diff(mk(1<<20), mk(1<<20+1<<18), Options{AllocPct: 0.5, MinMs: 5})
+	if len(rep.Regressions) != 0 {
+		t.Fatalf("25%% alloc growth flagged at 50%% threshold: %v", rep.Regressions)
+	}
+}
+
+func TestDiffImprovementIsNotRegression(t *testing.T) {
+	base := snapshotWith(map[string]float64{"wl.matrix": 80})
+	cur := snapshotWith(map[string]float64{"wl.matrix": 40})
+	rep := Diff(base, cur, DefaultOptions())
+	if len(rep.Regressions) != 0 {
+		t.Fatalf("speedup flagged as regression: %v", rep.Regressions)
+	}
+}
+
+func TestDiffDisjointStages(t *testing.T) {
+	base := snapshotWith(map[string]float64{"old.stage": 50})
+	cur := snapshotWith(map[string]float64{"new.stage": 50})
+	rep := Diff(base, cur, DefaultOptions())
+	if len(rep.BaseOnly) != 1 || rep.BaseOnly[0] != "pipeline/old.stage" {
+		t.Fatalf("BaseOnly = %v", rep.BaseOnly)
+	}
+	if len(rep.CurOnly) != 1 || rep.CurOnly[0] != "pipeline/new.stage" {
+		t.Fatalf("CurOnly = %v", rep.CurOnly)
+	}
+	// Disjoint stages never fail the gate.
+	if len(rep.Regressions) != 0 {
+		t.Fatalf("disjoint stages regressed: %v", rep.Regressions)
+	}
+}
+
+func TestDiffCountMismatchNoted(t *testing.T) {
+	base := snapshotWith(map[string]float64{"wl.matrix": 40})
+	cur := snapshotWith(map[string]float64{"wl.matrix": 40})
+	// Record the stage a second time in cur.
+	r := obs.NewRegistry()
+	r.RecordSpan([]string{"pipeline"}, 100*time.Millisecond, 1<<20)
+	r.RecordSpan([]string{"pipeline", "wl.matrix"}, 40*time.Millisecond, 1<<10)
+	r.RecordSpan([]string{"pipeline", "wl.matrix"}, 40*time.Millisecond, 1<<10)
+	cur = r.Snapshot()
+	_ = base
+
+	rep := Diff(base, cur, DefaultOptions())
+	for _, d := range rep.Stages {
+		if d.Path == "pipeline/wl.matrix" {
+			if !strings.Contains(d.Note, "count 1 -> 2") {
+				t.Fatalf("count mismatch not noted: %+v", d)
+			}
+			return
+		}
+	}
+	t.Fatal("stage missing")
+}

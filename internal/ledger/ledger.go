@@ -1,0 +1,112 @@
+// Package ledger persists one JSONL line per instrumented run — the
+// obs metrics snapshot keyed by run ID, git SHA, config hash and host
+// info — and diffs two snapshots for the perf-regression gate
+// (cmd/benchdiff). Where metrics.json is the latest run's state, the
+// ledger is the append-only history that makes runs comparable across
+// commits and configurations.
+package ledger
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"jobgraph/internal/obs"
+)
+
+// Schema identifies the ledger line layout; bump on breaking changes.
+const Schema = "jobgraph-ledger/v1"
+
+// Host describes the machine a run executed on — enough to know when
+// two wall-time measurements are not comparable.
+type Host struct {
+	Hostname  string `json:"hostname,omitempty"`
+	OS        string `json:"os"`
+	Arch      string `json:"arch"`
+	NumCPU    int    `json:"num_cpu"`
+	GoVersion string `json:"go_version"`
+}
+
+// Entry is one run's ledger line.
+type Entry struct {
+	Schema     string       `json:"schema"`
+	RunID      string       `json:"run_id"`
+	Command    string       `json:"command"`
+	StartedAt  time.Time    `json:"started_at"`
+	WallMs     float64      `json:"wall_ms"`
+	GitSHA     string       `json:"git_sha,omitempty"`
+	ConfigHash string       `json:"config_hash"`
+	Host       Host         `json:"host"`
+	Metrics    obs.Snapshot `json:"metrics"`
+}
+
+// Append writes e as one JSON line at the end of the ledger file,
+// creating the file and its directory as needed. Each entry is a
+// single O_APPEND write, so runs from different processes land as
+// whole lines.
+func Append(path string, e Entry) error {
+	if e.Schema == "" {
+		e.Schema = Schema
+	}
+	data, err := json.Marshal(e)
+	if err != nil {
+		return fmt.Errorf("ledger: marshal entry: %w", err)
+	}
+	data = append(data, '\n')
+	if dir := filepath.Dir(path); dir != "." && dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return fmt.Errorf("ledger: %w", err)
+		}
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("ledger: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return fmt.Errorf("ledger: append: %w", err)
+	}
+	return f.Close()
+}
+
+// Read loads every entry in the ledger, oldest first.
+func Read(path string) ([]Entry, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("ledger: %w", err)
+	}
+	defer f.Close()
+	var out []Entry
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<26)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Bytes()
+		if len(text) == 0 {
+			continue
+		}
+		var e Entry
+		if err := json.Unmarshal(text, &e); err != nil {
+			return nil, fmt.Errorf("ledger: %s:%d: %w", path, line, err)
+		}
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("ledger: scan %s: %w", path, err)
+	}
+	return out, nil
+}
+
+// Find returns the entry with the given run ID.
+func Find(entries []Entry, runID string) (Entry, bool) {
+	for _, e := range entries {
+		if e.RunID == runID {
+			return e, true
+		}
+	}
+	return Entry{}, false
+}

@@ -1,0 +1,107 @@
+package ledger
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"jobgraph/internal/obs"
+)
+
+// snapshotWith builds a deterministic snapshot whose pipeline/<stage>
+// spans have the given total durations (ms).
+func snapshotWith(stages map[string]float64) obs.Snapshot {
+	r := obs.NewRegistry()
+	r.RecordSpan([]string{"pipeline"}, 100*time.Millisecond, 1<<20)
+	for name, ms := range stages {
+		r.RecordSpan([]string{"pipeline", name}, time.Duration(ms*float64(time.Millisecond)), 1<<10)
+	}
+	return r.Snapshot()
+}
+
+func testEntry(runID string, stages map[string]float64) Entry {
+	return Entry{
+		RunID:      runID,
+		Command:    "reproduce",
+		StartedAt:  time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC),
+		WallMs:     1234.5,
+		GitSHA:     "abc123",
+		ConfigHash: "f00dfeed",
+		Host:       Host{OS: "linux", Arch: "amd64", NumCPU: 8, GoVersion: "go1.22"},
+		Metrics:    snapshotWith(stages),
+	}
+}
+
+func TestAppendReadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "runs", "ledger.jsonl")
+	a := testEntry("run-a", map[string]float64{"wl.matrix": 50})
+	b := testEntry("run-b", map[string]float64{"wl.matrix": 60})
+	if err := Append(path, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := Append(path, b); err != nil {
+		t.Fatal(err)
+	}
+
+	entries, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("entries = %d", len(entries))
+	}
+	if entries[0].RunID != "run-a" || entries[1].RunID != "run-b" {
+		t.Fatalf("order: %s, %s", entries[0].RunID, entries[1].RunID)
+	}
+	// Schema is stamped on append when absent.
+	if entries[0].Schema != Schema {
+		t.Fatalf("schema = %q", entries[0].Schema)
+	}
+	if entries[0].Metrics.Schema != obs.SnapshotSchema {
+		t.Fatalf("nested snapshot schema = %q", entries[0].Metrics.Schema)
+	}
+	if entries[1].Host.NumCPU != 8 || entries[1].ConfigHash != "f00dfeed" {
+		t.Fatalf("entry fields lost: %+v", entries[1])
+	}
+
+	got, ok := Find(entries, "run-b")
+	if !ok || got.RunID != "run-b" {
+		t.Fatal("Find missed run-b")
+	}
+	if _, ok := Find(entries, "nope"); ok {
+		t.Fatal("Find invented an entry")
+	}
+}
+
+func TestAppendIsOneLinePerEntry(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ledger.jsonl")
+	if err := Append(path, testEntry("r1", nil)); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	if strings.Count(s, "\n") != 1 || !strings.HasSuffix(s, "\n") {
+		t.Fatalf("entry is not exactly one newline-terminated line: %q", s)
+	}
+}
+
+func TestReadRejectsMalformedLine(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ledger.jsonl")
+	if err := os.WriteFile(path, []byte("{\"schema\":\"jobgraph-ledger/v1\"}\nnot json\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(path); err == nil {
+		t.Fatal("malformed line accepted")
+	}
+}
+
+func TestReadMissingFile(t *testing.T) {
+	if _, err := Read(filepath.Join(t.TempDir(), "absent.jsonl")); err == nil {
+		t.Fatal("missing ledger accepted")
+	}
+}

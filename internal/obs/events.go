@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"sort"
+	"strings"
+	"time"
+)
+
+// TraceEvent is one completed span interval retained for timeline
+// export: the full begin/end information of a single Span (begin time
+// plus duration), unlike the SpanStats tree which only aggregates.
+// The traceexport package turns a slice of these into Chrome
+// trace_event / Perfetto JSON.
+type TraceEvent struct {
+	// Path is the span's slash-joined tree path, e.g.
+	// "pipeline/wl.matrix".
+	Path string
+	// Start is the span's begin time on the registry clock.
+	Start time.Time
+	// Dur is the span's wall time; Start.Add(Dur) is the end event.
+	Dur time.Duration
+}
+
+// SetEventCapacity sizes the trace-event ring buffer and enables
+// per-span event retention. Zero or negative disables retention (the
+// default): Span.End then pays only one atomic load for the feature.
+// Once more than n spans complete, the oldest events are overwritten —
+// the buffer keeps the most recent n, and EventsDropped counts the
+// loss. Resizing clears previously retained events.
+func (r *Registry) SetEventCapacity(n int) {
+	r.eventMu.Lock()
+	defer r.eventMu.Unlock()
+	if n <= 0 {
+		r.eventCap.Store(0)
+		r.eventBuf = nil
+	} else {
+		r.eventCap.Store(int64(n))
+		r.eventBuf = make([]TraceEvent, 0, n)
+	}
+	r.eventNext = 0
+	r.eventTotal = 0
+}
+
+// EventCapacity returns the configured ring size (0: retention off).
+func (r *Registry) EventCapacity() int { return int(r.eventCap.Load()) }
+
+// recordEvent appends one completed span to the ring. Span.End calls it
+// after folding the span into the aggregate tree.
+func (r *Registry) recordEvent(path []string, start time.Time, dur time.Duration) {
+	if r.eventCap.Load() == 0 {
+		return
+	}
+	ev := TraceEvent{Path: strings.Join(path, "/"), Start: start, Dur: dur}
+	r.eventMu.Lock()
+	defer r.eventMu.Unlock()
+	capNow := int(r.eventCap.Load())
+	if capNow == 0 {
+		return
+	}
+	r.eventTotal++
+	if len(r.eventBuf) < capNow {
+		r.eventBuf = append(r.eventBuf, ev)
+		return
+	}
+	r.eventBuf[r.eventNext] = ev
+	r.eventNext = (r.eventNext + 1) % capNow
+}
+
+// Events returns the retained trace events sorted by start time (ties
+// broken by longer duration first, so enclosing spans precede the spans
+// they contain).
+func (r *Registry) Events() []TraceEvent {
+	r.eventMu.Lock()
+	out := make([]TraceEvent, 0, len(r.eventBuf))
+	out = append(out, r.eventBuf[r.eventNext:]...)
+	out = append(out, r.eventBuf[:r.eventNext]...)
+	r.eventMu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool {
+		if !out[i].Start.Equal(out[j].Start) {
+			return out[i].Start.Before(out[j].Start)
+		}
+		if out[i].Dur != out[j].Dur {
+			return out[i].Dur > out[j].Dur
+		}
+		return out[i].Path < out[j].Path
+	})
+	return out
+}
+
+// EventsDropped reports how many completed spans were overwritten
+// because the ring was full.
+func (r *Registry) EventsDropped() int64 {
+	r.eventMu.Lock()
+	defer r.eventMu.Unlock()
+	d := r.eventTotal - int64(len(r.eventBuf))
+	if d < 0 {
+		return 0
+	}
+	return d
+}

@@ -1,0 +1,161 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a deterministic registry clock advancing a fixed step
+// per reading.
+func fakeClock(start time.Time, step time.Duration) func() time.Time {
+	var mu sync.Mutex
+	t := start
+	return func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		t = t.Add(step)
+		return t
+	}
+}
+
+func TestEventRetentionDisabledByDefault(t *testing.T) {
+	r := NewRegistry()
+	r.SetTrackAllocs(false)
+	r.StartSpan("a").End()
+	if evs := r.Events(); len(evs) != 0 {
+		t.Fatalf("events retained without capacity: %v", evs)
+	}
+	if r.EventCapacity() != 0 {
+		t.Fatalf("capacity = %d, want 0", r.EventCapacity())
+	}
+}
+
+func TestEventRetentionRecordsBeginEnd(t *testing.T) {
+	r := NewRegistry()
+	r.SetTrackAllocs(false)
+	base := time.Unix(1700000000, 0)
+	r.SetClock(fakeClock(base, time.Millisecond))
+	r.SetEventCapacity(16)
+
+	root := r.StartSpan("pipeline") // clock reads: start = base+1ms
+	child := root.Child("wl.matrix")
+	child.End()
+	root.End()
+
+	evs := r.Events()
+	if len(evs) != 2 {
+		t.Fatalf("events = %d, want 2", len(evs))
+	}
+	// Sorted chronologically, parent (earlier start) first.
+	if evs[0].Path != "pipeline" || evs[1].Path != "pipeline/wl.matrix" {
+		t.Fatalf("paths = %q, %q", evs[0].Path, evs[1].Path)
+	}
+	if !evs[0].Start.Equal(base.Add(time.Millisecond)) {
+		t.Fatalf("start = %v", evs[0].Start)
+	}
+	// Root saw clock reads 1 and 4 → 3ms; child reads 2 and 3 → 1ms.
+	if evs[0].Dur != 3*time.Millisecond || evs[1].Dur != time.Millisecond {
+		t.Fatalf("durs = %v, %v", evs[0].Dur, evs[1].Dur)
+	}
+	if d := r.EventsDropped(); d != 0 {
+		t.Fatalf("dropped = %d", d)
+	}
+}
+
+func TestEventRingOverwritesOldest(t *testing.T) {
+	r := NewRegistry()
+	r.SetTrackAllocs(false)
+	base := time.Unix(1700000000, 0)
+	r.SetClock(fakeClock(base, time.Second))
+	r.SetEventCapacity(4)
+
+	for i := 0; i < 10; i++ {
+		r.StartSpan("s").End()
+	}
+	evs := r.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained = %d, want 4", len(evs))
+	}
+	if d := r.EventsDropped(); d != 6 {
+		t.Fatalf("dropped = %d, want 6", d)
+	}
+	// The newest events survive: the last span started at clock read 19.
+	last := evs[len(evs)-1]
+	if want := base.Add(19 * time.Second); !last.Start.Equal(want) {
+		t.Fatalf("newest start = %v, want %v", last.Start, want)
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Start.Before(evs[i-1].Start) {
+			t.Fatalf("events out of order: %v after %v", evs[i].Start, evs[i-1].Start)
+		}
+	}
+}
+
+// TestEventRecordingConcurrent exercises concurrent span completion
+// with retention enabled; run under -race (CI does) to verify the ring
+// is safe.
+func TestEventRecordingConcurrent(t *testing.T) {
+	r := NewRegistry()
+	r.SetTrackAllocs(false)
+	const ringCap = 64
+	r.SetEventCapacity(ringCap)
+
+	var wg sync.WaitGroup
+	const workers, per = 8, 50
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				sp := r.StartSpan("worker")
+				sp.Child("unit").End()
+				sp.End()
+			}
+		}()
+	}
+	wg.Wait()
+
+	if got := len(r.Events()); got != ringCap {
+		t.Fatalf("retained = %d, want %d", got, ringCap)
+	}
+	if d := r.EventsDropped(); d != workers*per*2-ringCap {
+		t.Fatalf("dropped = %d, want %d", d, workers*per*2-ringCap)
+	}
+}
+
+func TestSetEventCapacityResizeClears(t *testing.T) {
+	r := NewRegistry()
+	r.SetTrackAllocs(false)
+	r.SetEventCapacity(8)
+	r.StartSpan("a").End()
+	r.SetEventCapacity(16)
+	if got := len(r.Events()); got != 0 {
+		t.Fatalf("resize kept %d events", got)
+	}
+	r.StartSpan("b").End()
+	r.SetEventCapacity(0)
+	if got := len(r.Events()); got != 0 {
+		t.Fatalf("disable kept %d events", got)
+	}
+	r.StartSpan("c").End()
+	if got := len(r.Events()); got != 0 {
+		t.Fatalf("disabled ring recorded %d events", got)
+	}
+}
+
+func TestResetClearsEvents(t *testing.T) {
+	r := NewRegistry()
+	r.SetTrackAllocs(false)
+	r.SetEventCapacity(8)
+	r.StartSpan("a").End()
+	r.Reset()
+	if got := len(r.Events()); got != 0 {
+		t.Fatalf("Reset kept %d events", got)
+	}
+	// Capacity survives Reset: the ring stays enabled for the next run.
+	r.StartSpan("b").End()
+	if got := len(r.Events()); got != 1 {
+		t.Fatalf("post-Reset recording broken: %d events", got)
+	}
+}

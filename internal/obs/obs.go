@@ -21,9 +21,14 @@
 package obs
 
 import (
+	"context"
+	"fmt"
+	"log/slog"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Registry holds one coherent set of metrics. The Default registry is
@@ -33,6 +38,8 @@ type Registry struct {
 	enabled     atomic.Bool
 	trackAllocs atomic.Bool
 	logf        atomic.Pointer[func(format string, args ...any)]
+	logger      atomic.Pointer[slog.Logger]
+	clock       atomic.Pointer[func() time.Time]
 
 	mu       sync.Mutex
 	counters map[string]*Counter
@@ -41,6 +48,15 @@ type Registry struct {
 
 	spanMu sync.Mutex
 	root   *SpanStats // unnamed root of the aggregated span tree
+
+	// Bounded trace-event ring buffer for timeline export (events.go).
+	// eventCap doubles as the enable flag: zero (the default) keeps
+	// Span.End free of any event work beyond one atomic load.
+	eventCap   atomic.Int64
+	eventMu    sync.Mutex
+	eventBuf   []TraceEvent
+	eventNext  int
+	eventTotal int64
 }
 
 // NewRegistry returns an enabled registry with allocation tracking on.
@@ -86,11 +102,107 @@ func (r *Registry) SetLogf(f func(format string, args ...any)) {
 	r.logf.Store(&f)
 }
 
-// Logf emits one progress line through the installed logger, if any.
+// Logf emits one progress line through the installed printf logger,
+// falling back to the structured logger at Info level. Retained for
+// call sites without meaningful attributes; new instrumentation should
+// prefer Logger().
 func (r *Registry) Logf(format string, args ...any) {
 	if f := r.logf.Load(); f != nil {
 		(*f)(format, args...)
+		return
 	}
+	if l := r.logger.Load(); l != nil {
+		l.Info(fmt.Sprintf(format, args...))
+	}
+}
+
+// SetLogger installs a structured logger (nil to disable). The commands
+// wire this to a text or JSON slog handler carrying the run ID and
+// config hash; pipeline stages attach their own attributes.
+func (r *Registry) SetLogger(l *slog.Logger) {
+	r.logger.Store(l)
+}
+
+// discardLogger drops every record; Logger returns it so instrumented
+// code never nil-checks.
+var discardLogger = slog.New(discardHandler{})
+
+type discardHandler struct{}
+
+func (discardHandler) Enabled(_ context.Context, _ slog.Level) bool  { return false }
+func (discardHandler) Handle(_ context.Context, _ slog.Record) error { return nil }
+func (discardHandler) WithAttrs(_ []slog.Attr) slog.Handler          { return discardHandler{} }
+func (discardHandler) WithGroup(_ string) slog.Handler               { return discardHandler{} }
+
+// Logger returns the structured logger for this registry. Precedence:
+// the SetLogger logger; else a shim over the legacy SetLogf printf
+// channel (attrs rendered as trailing key=value pairs); else a no-op
+// logger. The result is never nil.
+func (r *Registry) Logger() *slog.Logger {
+	if l := r.logger.Load(); l != nil {
+		return l
+	}
+	if f := r.logf.Load(); f != nil {
+		return slog.New(&logfHandler{logf: *f})
+	}
+	return discardLogger
+}
+
+// logfHandler adapts a printf-style progress logger to slog so code
+// written against Logger() still reaches tests and tools that installed
+// SetLogf.
+type logfHandler struct {
+	logf  func(format string, args ...any)
+	attrs []slog.Attr
+}
+
+func (h *logfHandler) Enabled(_ context.Context, level slog.Level) bool {
+	return level >= slog.LevelInfo
+}
+
+func (h *logfHandler) Handle(_ context.Context, rec slog.Record) error {
+	var sb strings.Builder
+	sb.WriteString(rec.Message)
+	emit := func(a slog.Attr) {
+		fmt.Fprintf(&sb, " %s=%v", a.Key, a.Value)
+	}
+	for _, a := range h.attrs {
+		emit(a)
+	}
+	rec.Attrs(func(a slog.Attr) bool {
+		emit(a)
+		return true
+	})
+	h.logf("%s", sb.String())
+	return nil
+}
+
+func (h *logfHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	na := make([]slog.Attr, 0, len(h.attrs)+len(attrs))
+	na = append(na, h.attrs...)
+	na = append(na, attrs...)
+	return &logfHandler{logf: h.logf, attrs: na}
+}
+
+func (h *logfHandler) WithGroup(_ string) slog.Handler { return h }
+
+// SetClock overrides the registry's time source (nil restores
+// time.Now). Tests inject a deterministic clock so span durations and
+// exported timelines are reproducible byte-for-byte.
+func (r *Registry) SetClock(f func() time.Time) {
+	if f == nil {
+		r.clock.Store(nil)
+		return
+	}
+	r.clock.Store(&f)
+}
+
+// now reads the registry clock.
+func (r *Registry) now() time.Time {
+	if f := r.clock.Load(); f != nil {
+		return (*f)()
+	}
+	return time.Now()
 }
 
 // Counter is a monotonically increasing metric, safe for concurrent use.
@@ -179,6 +291,11 @@ func (r *Registry) Reset() {
 	r.spanMu.Lock()
 	r.root = newSpanStats("")
 	r.spanMu.Unlock()
+	r.eventMu.Lock()
+	r.eventBuf = r.eventBuf[:0]
+	r.eventNext = 0
+	r.eventTotal = 0
+	r.eventMu.Unlock()
 }
 
 // sortedKeys returns the map's keys in lexical order.

@@ -45,7 +45,7 @@ func (s *Span) Child(name string) *Span {
 }
 
 func (r *Registry) startSpan(path []string) *Span {
-	s := &Span{reg: r, path: path, start: time.Now()}
+	s := &Span{reg: r, path: path, start: r.now()}
 	if r.trackAllocs.Load() {
 		s.allocs = true
 		var ms runtime.MemStats
@@ -55,15 +55,16 @@ func (r *Registry) startSpan(path []string) *Span {
 	return s
 }
 
-// End stops the span, folds it into the registry's stage tree and
-// returns the duration. It does not log: progress lines are the
-// caller's responsibility (core.Run emits exactly one per stage, with
-// the stage's key counts).
+// End stops the span, folds it into the registry's stage tree, retains
+// a begin/end trace event when the event ring is enabled, and returns
+// the duration. It does not log: progress lines are the caller's
+// responsibility (core.Run emits exactly one per stage, with the
+// stage's key counts).
 func (s *Span) End() time.Duration {
 	if s == nil {
 		return 0
 	}
-	dur := time.Since(s.start)
+	dur := s.reg.now().Sub(s.start)
 	var allocs uint64
 	if s.allocs {
 		var ms runtime.MemStats
@@ -74,6 +75,7 @@ func (s *Span) End() time.Duration {
 		}
 	}
 	s.reg.RecordSpan(s.path, dur, allocs)
+	s.reg.recordEvent(s.path, s.start, dur)
 	return dur
 }
 

@@ -1,0 +1,191 @@
+// Package traceexport serializes the obs registry's retained trace
+// events as Chrome trace_event JSON (the "JSON Object Format" with a
+// traceEvents array), which loads directly in ui.perfetto.dev and
+// chrome://tracing.
+//
+// Spans become "X" (complete) events with microsecond timestamps
+// relative to the earliest retained event. Overlapping intervals that
+// do not nest — concurrent spans from worker goroutines — are assigned
+// to separate lanes (trace "threads") so every event renders without
+// truncation; lane 0 carries the main pipeline nesting.
+//
+// The commands expose this behind -trace-out:
+//
+//	reproduce -gen 20000 -trace-out trace.json
+//	# then open trace.json at https://ui.perfetto.dev
+package traceexport
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"jobgraph/internal/obs"
+)
+
+// Event is one Chrome trace_event entry. Only the fields the viewers
+// consume are emitted; Args carries the full span path plus any
+// run-level labels on metadata events.
+type Event struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat,omitempty"`
+	Ph   string            `json:"ph"`
+	TS   float64           `json:"ts"`
+	Dur  float64           `json:"dur,omitempty"`
+	PID  int               `json:"pid"`
+	TID  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// Document is the top-level trace file: the event array plus run
+// metadata that Perfetto surfaces in its info panel.
+type Document struct {
+	TraceEvents     []Event           `json:"traceEvents"`
+	DisplayTimeUnit string            `json:"displayTimeUnit"`
+	OtherData       map[string]string `json:"otherData,omitempty"`
+}
+
+// Meta labels the exported process.
+type Meta struct {
+	// Process names the trace process row (usually the command name).
+	Process string
+	// Labels are run-level key/values (run ID, config hash, git SHA)
+	// recorded in otherData.
+	Labels map[string]string
+}
+
+const pid = 1
+
+// Build converts retained span events into a trace document. Events
+// are laid out deterministically: sorted by begin time (enclosing spans
+// first), timestamps relative to the earliest event, lanes assigned
+// greedily so partially overlapping spans never share one.
+func Build(events []obs.TraceEvent, meta Meta) Document {
+	doc := Document{DisplayTimeUnit: "ms"}
+	if len(meta.Labels) > 0 {
+		doc.OtherData = make(map[string]string, len(meta.Labels))
+		for k, v := range meta.Labels {
+			doc.OtherData[k] = v
+		}
+	}
+	process := meta.Process
+	if process == "" {
+		process = "jobgraph"
+	}
+	doc.TraceEvents = append(doc.TraceEvents, Event{
+		Name: "process_name", Ph: "M", PID: pid, TID: 0,
+		Args: map[string]string{"name": process},
+	})
+	if len(events) == 0 {
+		return doc
+	}
+
+	evs := append([]obs.TraceEvent(nil), events...)
+	sort.SliceStable(evs, func(i, j int) bool {
+		if !evs[i].Start.Equal(evs[j].Start) {
+			return evs[i].Start.Before(evs[j].Start)
+		}
+		if evs[i].Dur != evs[j].Dur {
+			return evs[i].Dur > evs[j].Dur
+		}
+		return evs[i].Path < evs[j].Path
+	})
+
+	base := evs[0].Start
+	// laneEnd[i] is the covering end (µs) of the interval currently
+	// open on lane i: a new event fits if it starts at or after that
+	// end (sibling) or finishes within it (nested child).
+	var laneEnd []float64
+	lanes := 1
+	out := make([]Event, 0, len(evs))
+	for _, ev := range evs {
+		ts := float64(ev.Start.Sub(base).Nanoseconds()) / 1e3
+		dur := float64(ev.Dur.Nanoseconds()) / 1e3
+		end := ts + dur
+		lane := -1
+		for i, le := range laneEnd {
+			if ts >= le {
+				laneEnd[i] = end
+				lane = i
+				break
+			}
+			if end <= le {
+				lane = i
+				break
+			}
+		}
+		if lane == -1 {
+			laneEnd = append(laneEnd, end)
+			lane = len(laneEnd) - 1
+		}
+		if lane+1 > lanes {
+			lanes = lane + 1
+		}
+		out = append(out, Event{
+			Name: leaf(ev.Path),
+			Cat:  root(ev.Path),
+			Ph:   "X",
+			TS:   ts,
+			Dur:  dur,
+			PID:  pid,
+			TID:  lane,
+			Args: map[string]string{"path": ev.Path},
+		})
+	}
+	for i := 0; i < lanes; i++ {
+		doc.TraceEvents = append(doc.TraceEvents, Event{
+			Name: "thread_name", Ph: "M", PID: pid, TID: i,
+			Args: map[string]string{"name": fmt.Sprintf("lane %d", i)},
+		})
+	}
+	doc.TraceEvents = append(doc.TraceEvents, out...)
+	return doc
+}
+
+// Write serializes the events as an indented trace document.
+func Write(w io.Writer, events []obs.TraceEvent, meta Meta) error {
+	data, err := json.MarshalIndent(Build(events, meta), "", "  ")
+	if err != nil {
+		return fmt.Errorf("traceexport: marshal: %w", err)
+	}
+	data = append(data, '\n')
+	if _, err := w.Write(data); err != nil {
+		return fmt.Errorf("traceexport: write: %w", err)
+	}
+	return nil
+}
+
+// WriteFile writes the trace document to path.
+func WriteFile(path string, events []obs.TraceEvent, meta Meta) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("traceexport: %w", err)
+	}
+	if err := Write(f, events, meta); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// leaf returns the last segment of a slash-joined span path.
+func leaf(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			return path[i+1:]
+		}
+	}
+	return path
+}
+
+// root returns the first segment of a slash-joined span path.
+func root(path string) string {
+	for i := 0; i < len(path); i++ {
+		if path[i] == '/' {
+			return path[:i]
+		}
+	}
+	return path
+}

@@ -1,0 +1,174 @@
+package traceexport
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"jobgraph/internal/obs"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenEvents drives real spans through a registry on a deterministic
+// injected clock — the same recording path the commands use — and
+// returns the retained events.
+func goldenEvents() []obs.TraceEvent {
+	r := obs.NewRegistry()
+	r.SetTrackAllocs(false)
+	var mu sync.Mutex
+	t := time.Unix(1700000000, 0).UTC()
+	r.SetClock(func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		t = t.Add(250 * time.Microsecond)
+		return t
+	})
+	r.SetEventCapacity(64)
+
+	root := r.StartSpan("pipeline")
+	filter := root.Child("sampling.filter")
+	filter.End()
+	kernel := root.Child("wl.matrix")
+	kernel.End()
+	root.End()
+	// A second root span after the pipeline, as reproduce's extra
+	// experiment passes produce.
+	r.StartSpan("trace.generate").End()
+	return r.Events()
+}
+
+// TestTraceGolden pins the exported Perfetto JSON byte-for-byte: any
+// layout change must be deliberate (-update) and re-validated against
+// ui.perfetto.dev.
+func TestTraceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	meta := Meta{
+		Process: "reproduce",
+		Labels:  map[string]string{"run_id": "cafe0123deadbeef", "config_hash": "0123456789abcdef"},
+	}
+	if err := Write(&buf, goldenEvents(), meta); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "trace_golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run `go test ./internal/obs/traceexport/ -run Golden -update` to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("trace differs from golden:\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestTraceDocumentShape checks the structural invariants the viewers
+// rely on: complete events with µs timestamps, nesting on one lane,
+// metadata rows present.
+func TestTraceDocumentShape(t *testing.T) {
+	doc := Build(goldenEvents(), Meta{Process: "reproduce"})
+
+	var meta, complete int
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			meta++
+		case "X":
+			complete++
+			if ev.Dur <= 0 {
+				t.Fatalf("event %q has non-positive dur %v", ev.Name, ev.Dur)
+			}
+			if ev.TS < 0 {
+				t.Fatalf("event %q has negative ts", ev.Name)
+			}
+			if ev.Args["path"] == "" {
+				t.Fatalf("event %q lacks path arg", ev.Name)
+			}
+		default:
+			t.Fatalf("unexpected phase %q", ev.Ph)
+		}
+	}
+	if complete != 4 {
+		t.Fatalf("complete events = %d, want 4", complete)
+	}
+	if meta < 2 { // process_name + at least one thread_name
+		t.Fatalf("metadata events = %d", meta)
+	}
+	// Everything nests within the pipeline, so one lane suffices.
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "X" && ev.TID != 0 {
+			t.Fatalf("nested event %q escaped to lane %d", ev.Name, ev.TID)
+		}
+	}
+
+	// The document round-trips as JSON (what the viewers parse).
+	data, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Document
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.TraceEvents) != len(doc.TraceEvents) {
+		t.Fatalf("round trip lost events: %d vs %d", len(back.TraceEvents), len(doc.TraceEvents))
+	}
+}
+
+// TestLaneAssignmentSeparatesOverlap gives the exporter two partially
+// overlapping spans (concurrent workers): they must land on different
+// lanes, while a nested child shares its parent's.
+func TestLaneAssignmentSeparatesOverlap(t *testing.T) {
+	base := time.Unix(1700000000, 0).UTC()
+	events := []obs.TraceEvent{
+		{Path: "a", Start: base, Dur: 10 * time.Millisecond},
+		{Path: "a/child", Start: base.Add(2 * time.Millisecond), Dur: 3 * time.Millisecond},
+		{Path: "b", Start: base.Add(8 * time.Millisecond), Dur: 10 * time.Millisecond},
+		{Path: "c", Start: base.Add(20 * time.Millisecond), Dur: time.Millisecond},
+	}
+	doc := Build(events, Meta{})
+	lanes := map[string]int{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "X" {
+			lanes[ev.Args["path"]] = ev.TID
+		}
+	}
+	if lanes["a"] != 0 || lanes["a/child"] != 0 {
+		t.Fatalf("nesting split lanes: %v", lanes)
+	}
+	if lanes["b"] == lanes["a"] {
+		t.Fatalf("overlapping spans share lane: %v", lanes)
+	}
+	if lanes["c"] != 0 {
+		t.Fatalf("disjoint span should reuse lane 0: %v", lanes)
+	}
+}
+
+func TestWriteFileEmptyEvents(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.json")
+	if err := WriteFile(path, nil, Meta{Process: "empty"}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc Document
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("empty trace not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != 1 || doc.TraceEvents[0].Name != "process_name" {
+		t.Fatalf("empty trace events: %+v", doc.TraceEvents)
+	}
+}
