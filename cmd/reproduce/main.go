@@ -49,6 +49,7 @@ func run() error {
 		outDir    = flag.String("out", "", "optional output directory for CSV artifacts and metrics.json")
 	)
 	obsFlags := cli.RegisterObsFlags()
+	ingestFlags := cli.RegisterIngestFlags()
 	flag.Parse()
 
 	sess, err := obsFlags.Start("reproduce")
@@ -56,6 +57,12 @@ func run() error {
 		return fmt.Errorf("reproduce: %v", err)
 	}
 	defer sess.Close()
+
+	readOpts, err := ingestFlags.Options()
+	if err != nil {
+		return fmt.Errorf("reproduce: %v", err)
+	}
+	defer ingestFlags.Close()
 
 	if *outDir != "" {
 		if err := os.MkdirAll(*outDir, 0o755); err != nil {
@@ -69,9 +76,12 @@ func run() error {
 		}()
 	}
 
-	jobs, err := cli.LoadOrGenerate(*tracePath, *gen, *seed)
+	jobs, istats, err := cli.LoadOrGenerateOpts(*tracePath, *gen, *seed, readOpts)
 	if err != nil {
 		return fmt.Errorf("reproduce: %v", err)
+	}
+	if istats != nil && (istats.BadRows > 0 || istats.Partial) {
+		fmt.Printf("== Ingest ==\n%s\n\n", istats.Summary())
 	}
 
 	cands, fstats, err := sampling.Filter(jobs, sampling.PaperCriteria(cli.TraceWindow()))
@@ -83,9 +93,21 @@ func run() error {
 	fmt.Printf("rejections: integrity=%d availability=%d non-DAG=%d no-window=%d\n\n",
 		fstats.NotTerminated, fstats.OutsideWindow, fstats.NonDAG, fstats.NoWindow)
 
-	an, err := core.Run(jobs, core.DefaultConfig(cli.TraceWindow(), *seed))
+	cfg := core.DefaultConfig(cli.TraceWindow(), *seed)
+	cfg.Ingest = istats
+	an, err := core.Run(jobs, cfg)
 	if err != nil {
 		return fmt.Errorf("reproduce: %v", err)
+	}
+	for _, w := range an.Warnings {
+		sess.AddWarning(w)
+	}
+	if len(an.Warnings) > 0 {
+		fmt.Printf("== Degraded run ==\n")
+		for _, w := range an.Warnings {
+			fmt.Printf("warning: %s\n", w)
+		}
+		fmt.Println()
 	}
 
 	runE0(jobs)

@@ -7,18 +7,26 @@
 //
 //	tracecheck -trace batch_task.csv[.gz] [-max-findings 50]
 //	tracecheck -gen 5000            # lint a synthetic trace (self-test)
+//	tracecheck -trace dirty.csv.gz -lenient -max-bad-ratio 0.01 \
+//	           -quarantine bad_rows.csv   # resilient pre-flight
 //
-// The shared observability flags (-v, -log-json, -debug-addr,
-// -trace-out, -ledger) are accepted too.
+// With -lenient the reader skips malformed rows (within the -max-bad-*
+// budgets) and the report gains an ingest-health section: rows parsed,
+// per-class bad-row tallies, quarantined count and the partial-read
+// flag. The exit status is non-zero when the error budget was exceeded
+// or the lint found errors. The shared observability flags (-v,
+// -log-json, -debug-addr, -trace-out, -ledger) are accepted too.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"sort"
 
 	"jobgraph/internal/cli"
 	"jobgraph/internal/lint"
+	"jobgraph/internal/trace"
 )
 
 func main() { cli.Run(run) }
@@ -31,6 +39,7 @@ func run() error {
 		maxFindings = flag.Int("max-findings", 50, "findings to print per severity")
 	)
 	obsFlags := cli.RegisterObsFlags()
+	ingestFlags := cli.RegisterIngestFlags()
 	flag.Parse()
 
 	sess, err := obsFlags.Start("tracecheck")
@@ -39,9 +48,28 @@ func run() error {
 	}
 	defer sess.Close()
 
-	jobs, err := cli.LoadOrGenerate(*tracePath, *gen, *seed)
+	readOpts, err := ingestFlags.Options()
 	if err != nil {
 		return fmt.Errorf("tracecheck: %v", err)
+	}
+	defer ingestFlags.Close()
+
+	jobs, stats, err := cli.LoadOrGenerateOpts(*tracePath, *gen, *seed, readOpts)
+	if err != nil {
+		var be *trace.BudgetError
+		if errors.As(err, &be) {
+			printIngestHealth(&be.Stats, ingestFlags.Quarantine)
+			fmt.Printf("FAIL: %v\n", be)
+			sess.AddWarning(be.Error())
+			cli.Exit(1)
+		}
+		return fmt.Errorf("tracecheck: %v", err)
+	}
+	if stats != nil && (stats.BadRows > 0 || stats.Partial || readOpts.Mode == trace.Lenient) {
+		printIngestHealth(stats, ingestFlags.Quarantine)
+		if stats.Partial {
+			sess.AddWarning(fmt.Sprintf("partial read: %v", stats.PartialCause))
+		}
 	}
 	rep := lint.Jobs(jobs)
 
@@ -79,4 +107,27 @@ func run() error {
 		cli.Exit(1)
 	}
 	return nil
+}
+
+// printIngestHealth renders the resilient reader's health report: the
+// rows parsed, the per-class rejection tallies, quarantine placement
+// and whether the table was cut short.
+func printIngestHealth(stats *trace.ReadStats, quarantinePath string) {
+	fmt.Printf("== Ingest health ==\n")
+	fmt.Printf("rows parsed:     %d\n", stats.Rows)
+	fmt.Printf("rows rejected:   %d\n", stats.BadRows)
+	for _, c := range stats.Classes() {
+		fmt.Printf("  %-15s %d\n", string(c)+":", stats.ByClass[c])
+	}
+	if stats.ZeroedFields > 0 {
+		fmt.Printf("fields zeroed:   %d (non-finite values in kept rows)\n", stats.ZeroedFields)
+	}
+	if quarantinePath != "" {
+		fmt.Printf("quarantined:     %d rows -> %s\n", stats.Quarantined, quarantinePath)
+	}
+	fmt.Printf("partial read:    %v", stats.Partial)
+	if stats.Partial {
+		fmt.Printf(" (%v)", stats.PartialCause)
+	}
+	fmt.Printf("\n\n")
 }

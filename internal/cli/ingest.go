@@ -1,0 +1,112 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"jobgraph/internal/obs"
+	"jobgraph/internal/trace"
+)
+
+// IngestFlags is the resilient-ingestion flag set shared by commands
+// that read trace tables:
+//
+//	-lenient        skip malformed rows instead of aborting
+//	-max-bad-rows   absolute bad-row budget (0: unlimited)
+//	-max-bad-ratio  bad/total ratio budget (0: unlimited)
+//	-quarantine     write skipped rows with provenance to this file
+//
+// Register before flag.Parse; call Options after to build the reader
+// configuration (which opens the quarantine sidecar), and defer Close.
+type IngestFlags struct {
+	Lenient     bool
+	MaxBadRows  int64
+	MaxBadRatio float64
+	Quarantine  string
+
+	qfile *os.File
+}
+
+// RegisterIngestFlags registers the ingestion flags on the process
+// flag set.
+func RegisterIngestFlags() *IngestFlags { return RegisterIngestFlagsOn(flag.CommandLine) }
+
+// RegisterIngestFlagsOn registers the ingestion flags on fs (tests use
+// private flag sets).
+func RegisterIngestFlagsOn(fs *flag.FlagSet) *IngestFlags {
+	f := &IngestFlags{}
+	fs.BoolVar(&f.Lenient, "lenient", false, "skip malformed trace rows (with budgets) instead of aborting on the first")
+	fs.Int64Var(&f.MaxBadRows, "max-bad-rows", 0, "abort a lenient read after this many bad rows (0: unlimited)")
+	fs.Float64Var(&f.MaxBadRatio, "max-bad-ratio", 0, "abort a lenient read when bad/total exceeds this ratio (0: unlimited)")
+	fs.StringVar(&f.Quarantine, "quarantine", "", "write skipped rows verbatim (with line/offset provenance) to this sidecar file")
+	return f
+}
+
+// Options builds the trace.ReadOptions the flags describe, creating the
+// quarantine sidecar when one is configured. The caller owns the
+// sidecar's lifetime through Close.
+func (f *IngestFlags) Options() (trace.ReadOptions, error) {
+	opt := trace.ReadOptions{
+		MaxBadRows:  f.MaxBadRows,
+		MaxBadRatio: f.MaxBadRatio,
+	}
+	if f.Lenient {
+		opt.Mode = trace.Lenient
+	}
+	if f.Quarantine != "" {
+		if !f.Lenient {
+			return opt, fmt.Errorf("cli: -quarantine requires -lenient (strict mode aborts on the first bad row)")
+		}
+		qf, err := os.Create(f.Quarantine)
+		if err != nil {
+			return opt, fmt.Errorf("cli: quarantine sidecar: %w", err)
+		}
+		f.qfile = qf
+		opt.Quarantine = qf
+	}
+	return opt, nil
+}
+
+// Close flushes and closes the quarantine sidecar, if open. Safe to
+// call when no sidecar was configured, and more than once.
+func (f *IngestFlags) Close() error {
+	if f.qfile == nil {
+		return nil
+	}
+	qf := f.qfile
+	f.qfile = nil
+	if err := qf.Close(); err != nil {
+		return fmt.Errorf("cli: quarantine sidecar: %w", err)
+	}
+	return nil
+}
+
+// LoadOrGenerateOpts is LoadOrGenerate under explicit trace read
+// options: it returns the ingest-health stats alongside the jobs when
+// the trace came from a file (nil when generated). Budget violations
+// surface as a *trace.BudgetError.
+func LoadOrGenerateOpts(path string, numJobs int, seed int64, opt trace.ReadOptions) ([]trace.Job, *trace.ReadStats, error) {
+	if path == "" {
+		jobs, err := LoadOrGenerate("", numJobs, seed)
+		return jobs, nil, err
+	}
+	reg := obs.Default()
+	sp := reg.StartSpan("trace.load")
+	f, err := trace.OpenTable(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("open trace: %w", err)
+	}
+	defer f.Close()
+	jobs, stats, err := trace.ReadJobsOpts(f, opt)
+	if err != nil {
+		return nil, &stats, fmt.Errorf("parse trace %s: %w", path, err)
+	}
+	reg.Counter("trace.jobs_loaded").Add(int64(len(jobs)))
+	d := sp.End()
+	reg.Logger().Info("stage complete", "stage", "trace.load",
+		"duration", d.Round(time.Microsecond), "jobs", len(jobs), "source", path,
+		"ingest", stats.Summary())
+	return jobs, &stats, nil
+}

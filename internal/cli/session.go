@@ -76,6 +76,18 @@ type RunSession struct {
 	flags      *ObsFlags
 	closeDebug func() error
 	closed     bool
+	warnings   []string
+}
+
+// AddWarning records a non-fatal degradation on the session: it is
+// logged immediately at Warn level and lands in the run's ledger entry
+// on Close. Call before Close.
+func (s *RunSession) AddWarning(w string) {
+	if s == nil || w == "" {
+		return
+	}
+	s.warnings = append(s.warnings, w)
+	s.Logger.Warn("run degraded", "warning", w)
 }
 
 // DefaultEventCapacity bounds the span event ring enabled by
@@ -169,6 +181,7 @@ func (s *RunSession) Close() error {
 			ConfigHash: s.Info.ConfigHash,
 			Host:       s.Info.Host,
 			Metrics:    reg.Snapshot(),
+			Warnings:   s.warnings,
 		}
 		if err := ledger.Append(s.flags.Ledger, e); err != nil {
 			errs = append(errs, err)

@@ -19,7 +19,15 @@ var (
 	obsKMeansRuns       = obs.Default().Counter("cluster.kmeans.runs")
 	obsKMeansIterations = obs.Default().Histogram("cluster.kmeans.iterations")
 	obsKMeansInertia    = obs.Default().Histogram("cluster.kmeans.inertia")
+	obsKMeansReseeds    = obs.Default().Counter("cluster.kmeans.reseeds")
+	obsKMeansDegenerate = obs.Default().Counter("cluster.kmeans.degenerate")
 )
+
+// kmeansMaxReseeds bounds the extra restart batches tried when the best
+// clustering is degenerate (fewer than K populated clusters, which
+// happens when many points coincide). Each batch reruns all restarts
+// from a derived seed, so the happy path is bit-for-bit unchanged.
+const kmeansMaxReseeds = 3
 
 // KMeansOptions configures Lloyd's algorithm with k-means++ seeding.
 type KMeansOptions struct {
@@ -44,6 +52,13 @@ type KMeansResult struct {
 	Centers    [][]float64 // K centroids
 	Inertia    float64     // sum of squared distances to assigned centroid
 	Iterations int         // Lloyd iterations of the winning restart
+
+	// Degenerate reports that fewer than K clusters are populated even
+	// after kmeansMaxReseeds reseeded retries — the data genuinely does
+	// not support K distinct groups (e.g. massive duplication). The
+	// labels are still valid; downstream profiling simply sees empty
+	// groups collapsed away.
+	Degenerate bool
 }
 
 // KMeans clusters points (each a d-dimensional vector) into K groups.
@@ -63,7 +78,37 @@ func KMeans(points [][]float64, opt KMeansOptions) (*KMeansResult, error) {
 		return nil, fmt.Errorf("cluster: k=%d out of range [1,%d]", opt.K, n)
 	}
 
-	rng := rand.New(rand.NewSource(opt.Seed))
+	best := bestOfRestarts(points, opt, opt.Seed)
+	if distinctLabels(best.Labels) < opt.K {
+		// Degenerate seeding: retry whole restart batches from derived
+		// seeds before giving up, preferring any non-degenerate result
+		// over a lower-inertia degenerate one.
+		for attempt := 1; attempt <= kmeansMaxReseeds; attempt++ {
+			obsKMeansReseeds.Add(1)
+			cand := bestOfRestarts(points, opt, opt.Seed+int64(attempt)*0x9E3779B9)
+			if distinctLabels(cand.Labels) >= opt.K {
+				best = cand
+				break
+			}
+			if cand.Inertia < best.Inertia {
+				best = cand
+			}
+		}
+		if distinctLabels(best.Labels) < opt.K {
+			best.Degenerate = true
+			obsKMeansDegenerate.Add(1)
+		}
+	}
+	obsKMeansRuns.Add(1)
+	obsKMeansIterations.Observe(float64(best.Iterations))
+	obsKMeansInertia.Observe(best.Inertia)
+	return best, nil
+}
+
+// bestOfRestarts runs opt.Restarts independent Lloyd descents from one
+// RNG seed and keeps the lowest-inertia result.
+func bestOfRestarts(points [][]float64, opt KMeansOptions, seed int64) *KMeansResult {
+	rng := rand.New(rand.NewSource(seed))
 	var best *KMeansResult
 	for r := 0; r < opt.Restarts; r++ {
 		res := lloyd(points, opt.K, opt.MaxIter, rng)
@@ -71,10 +116,16 @@ func KMeans(points [][]float64, opt KMeansOptions) (*KMeansResult, error) {
 			best = res
 		}
 	}
-	obsKMeansRuns.Add(1)
-	obsKMeansIterations.Observe(float64(best.Iterations))
-	obsKMeansInertia.Observe(best.Inertia)
-	return best, nil
+	return best
+}
+
+// distinctLabels counts the populated clusters of a labeling.
+func distinctLabels(labels []int) int {
+	seen := make(map[int]struct{}, 8)
+	for _, l := range labels {
+		seen[l] = struct{}{}
+	}
+	return len(seen)
 }
 
 // lloyd runs one k-means++ seeded Lloyd descent.

@@ -9,8 +9,18 @@ import (
 )
 
 // obsSpectralRuns counts full spectral clusterings (eigendecomposition
-// plus embedded k-means).
-var obsSpectralRuns = obs.Default().Counter("cluster.spectral.runs")
+// plus embedded k-means); obsSpectralEigenRetries counts relaxed-
+// tolerance re-decompositions after the solver hit its sweep cap.
+var (
+	obsSpectralRuns         = obs.Default().Counter("cluster.spectral.runs")
+	obsSpectralEigenRetries = obs.Default().Counter("cluster.spectral.eigen_retries")
+)
+
+// relaxedEigenTol is the fallback convergence threshold used when the
+// default-tolerance Jacobi decomposition exhausts its sweep budget. Four
+// orders looser than the 1e-12 default but still far tighter than the
+// cluster-separation scale, so the embedding stays trustworthy.
+const relaxedEigenTol = 1e-8
 
 // SpectralOptions configures Ng–Jordan–Weiss spectral clustering.
 type SpectralOptions struct {
@@ -28,6 +38,11 @@ type SpectralResult struct {
 	// Eigenvalues of the normalized affinity, descending. The gap after
 	// the K-th value is the usual heuristic check that K is sensible.
 	Eigenvalues []float64
+	// Warnings records non-fatal degradations taken to produce the
+	// result: a relaxed-tolerance eigendecomposition retry, a solver
+	// that never converged, or a degenerate k-means labeling. Empty on
+	// a clean run.
+	Warnings []string
 }
 
 // Spectral clusters n items given their symmetric, non-negative affinity
@@ -83,9 +98,27 @@ func Spectral(affinity *linalg.Matrix, opt SpectralOptions) (*SpectralResult, er
 		}
 	}
 
+	var warnings []string
 	eig, err := linalg.SymmetricEigen(l, 0)
 	if err != nil {
 		return nil, fmt.Errorf("cluster: %w", err)
+	}
+	if !eig.Converged {
+		// The solver hit its sweep cap at the default tolerance. Retry
+		// once with a relaxed threshold rather than failing the whole
+		// pipeline: the embedding only needs cluster-scale accuracy.
+		obsSpectralEigenRetries.Add(1)
+		warnings = append(warnings, fmt.Sprintf(
+			"eigensolver hit sweep cap after %d sweeps; retried with relaxed tolerance %g", eig.Sweeps, relaxedEigenTol))
+		retry, rerr := linalg.SymmetricEigen(l, relaxedEigenTol)
+		if rerr != nil {
+			return nil, fmt.Errorf("cluster: relaxed-tolerance retry: %w", rerr)
+		}
+		eig = retry
+		if !eig.Converged {
+			warnings = append(warnings, fmt.Sprintf(
+				"eigensolver still non-converged at tolerance %g; using best approximation", relaxedEigenTol))
+		}
 	}
 	x, err := linalg.TopKEigenvectors(eig, opt.K)
 	if err != nil {
@@ -106,11 +139,17 @@ func Spectral(affinity *linalg.Matrix, opt SpectralOptions) (*SpectralResult, er
 	if err != nil {
 		return nil, fmt.Errorf("cluster: %w", err)
 	}
+	if res.Degenerate {
+		warnings = append(warnings, fmt.Sprintf(
+			"k-means produced %d populated clusters for k=%d despite reseeding; groups may be merged",
+			distinctLabels(res.Labels), opt.K))
+	}
 	obsSpectralRuns.Add(1)
 	return &SpectralResult{
 		Labels:      res.Labels,
 		Embedding:   x,
 		Eigenvalues: eig.Values,
+		Warnings:    warnings,
 	}, nil
 }
 

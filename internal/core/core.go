@@ -26,6 +26,19 @@ import (
 	"jobgraph/internal/wl"
 )
 
+// Degradation telemetry: runs that completed with warnings, and runs
+// where spectral clustering failed outright and the size-quantile
+// fallback produced the grouping.
+var (
+	obsDegradedRuns     = obs.Default().Counter("core.degraded_runs")
+	obsSpectralFallback = obs.Default().Counter("core.spectral_fallbacks")
+)
+
+// spectralFn is the spectral-clustering entry point; a variable so
+// degradation tests can inject failures without corrupting a real
+// similarity matrix.
+var spectralFn = cluster.Spectral
+
 // Config drives one end-to-end analysis.
 type Config struct {
 	// Criteria filters jobs (integrity / availability / size bounds).
@@ -43,6 +56,11 @@ type Config struct {
 	Groups int
 	// Workers bounds kernel-matrix parallelism (<=0: GOMAXPROCS).
 	Workers int
+	// Ingest carries the trace reader's health stats when the jobs came
+	// from a lenient read. A partial or lossy ingest is surfaced as
+	// warnings on the Analysis (and Partial when the table was
+	// truncated) so consumers know the sample universe was incomplete.
+	Ingest *trace.ReadStats
 }
 
 // DefaultConfig mirrors the paper's experimental setup for a trace
@@ -120,6 +138,14 @@ type Analysis struct {
 	Groups []GroupProfile
 	// Silhouette is the clustering quality in kernel-distance space.
 	Silhouette float64
+
+	// Warnings lists every non-fatal degradation the run absorbed:
+	// lossy or partial ingest, eigensolver retries, degenerate k-means,
+	// or the size-quantile clustering fallback. Empty on a clean run.
+	Warnings []string
+	// Partial reports that the input trace was truncated mid-table and
+	// the analysis covers only the rows read before the cut.
+	Partial bool
 
 	// Stages records each pipeline stage's wall time in execution
 	// order — the per-run view of the durations the obs span tree
@@ -212,6 +238,19 @@ func Run(jobs []trace.Job, cfg Config) (*Analysis, error) {
 		return nil
 	}
 
+	if cfg.Ingest != nil {
+		if cfg.Ingest.Partial {
+			an.Partial = true
+			an.Warnings = append(an.Warnings, fmt.Sprintf(
+				"ingest: trace truncated (%v); analysis covers the %d rows read before the cut",
+				cfg.Ingest.PartialCause, cfg.Ingest.Rows))
+		}
+		if cfg.Ingest.BadRows > 0 {
+			an.Warnings = append(an.Warnings, fmt.Sprintf(
+				"ingest: %d malformed rows skipped (%s)", cfg.Ingest.BadRows, cfg.Ingest.Summary()))
+		}
+	}
+
 	var cands, sample []sampling.Candidate
 	var fstats sampling.FilterStats
 	if err := stage("sampling.filter", func() (string, error) {
@@ -292,13 +331,23 @@ func Run(jobs []trace.Job, cfg Config) (*Analysis, error) {
 	var spec *cluster.SpectralResult
 	if err := stage("cluster.spectral", func() (string, error) {
 		var err error
-		spec, err = cluster.Spectral(sim, cluster.SpectralOptions{
+		spec, err = spectralFn(sim, cluster.SpectralOptions{
 			K:      cfg.Groups,
 			KMeans: cluster.KMeansOptions{Seed: cfg.Seed},
 		})
 		if err != nil {
-			return "", err
+			// Degrade rather than abort: group by job-size quantiles so
+			// the run still yields profiles, flagged loudly. Size is the
+			// strongest single structural signal the paper identifies,
+			// so the fallback is coarse but not arbitrary.
+			obsSpectralFallback.Add(1)
+			an.Warnings = append(an.Warnings, fmt.Sprintf(
+				"spectral clustering failed (%v); fell back to size-quantile grouping", err))
+			lg.Warn("spectral clustering failed; using size-quantile fallback", "err", err)
+			spec = &cluster.SpectralResult{Labels: sizeQuantileLabels(graphs, cfg.Groups)}
+			return fmt.Sprintf("degraded: size-quantile fallback into %d groups", cfg.Groups), nil
 		}
+		an.Warnings = append(an.Warnings, spec.Warnings...)
 		return fmt.Sprintf("%d groups over %d jobs", cfg.Groups, len(spec.Labels)), nil
 	}); err != nil {
 		return nil, err
@@ -327,7 +376,37 @@ func Run(jobs []trace.Job, cfg Config) (*Analysis, error) {
 	}); err != nil {
 		return nil, err
 	}
+	if len(an.Warnings) > 0 {
+		obsDegradedRuns.Add(1)
+		for _, w := range an.Warnings {
+			lg.Warn("analysis degraded", "warning", w)
+		}
+	}
 	return an, nil
+}
+
+// sizeQuantileLabels groups graphs into k contiguous job-size quantile
+// buckets — the documented fallback grouping when spectral clustering
+// cannot run. Labels are assigned by size rank, so every bucket is
+// non-empty whenever len(graphs) >= k.
+func sizeQuantileLabels(graphs []*dag.Graph, k int) []int {
+	n := len(graphs)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		sa, sb := graphs[order[a]].Size(), graphs[order[b]].Size()
+		if sa != sb {
+			return sa < sb
+		}
+		return order[a] < order[b]
+	})
+	labels := make([]int, n)
+	for rank, idx := range order {
+		labels[idx] = rank * k / n
+	}
+	return labels
 }
 
 // profileGroups computes population-ranked group statistics.

@@ -1,0 +1,108 @@
+// Package faultinject wraps io.Reader with deterministic, seedable
+// fault injectors — truncation, bit flips, short reads, and
+// error-at-offset — used by tests and fuzz targets to prove the trace
+// readers' lenient and partial-read paths end-to-end without needing a
+// corrupt multi-gigabyte fixture on disk.
+//
+// All injectors are pure stream transforms keyed by absolute byte
+// offset, so the same wrapper over the same input always produces the
+// same fault — a failing test case replays exactly.
+package faultinject
+
+import (
+	"io"
+	"math/rand"
+)
+
+// TruncateAt returns a reader that delivers the first n bytes of r and
+// then fails with io.ErrUnexpectedEOF — a file whose tail was lost in
+// transfer. The error surfaces on the read that would cross offset n.
+func TruncateAt(r io.Reader, n int64) io.Reader {
+	return ErrAt(r, n, io.ErrUnexpectedEOF)
+}
+
+// CleanTruncateAt returns a reader that delivers the first n bytes of
+// r and then reports a normal io.EOF — a file cut exactly at n with no
+// trace of the missing tail (what a partial download looks like).
+func CleanTruncateAt(r io.Reader, n int64) io.Reader {
+	return ErrAt(r, n, io.EOF)
+}
+
+// ErrAt returns a reader that delivers the first n bytes of r and then
+// fails every subsequent Read with err.
+func ErrAt(r io.Reader, n int64, err error) io.Reader {
+	return &errAtReader{r: r, remain: n, err: err}
+}
+
+type errAtReader struct {
+	r      io.Reader
+	remain int64
+	err    error
+}
+
+func (e *errAtReader) Read(p []byte) (int, error) {
+	if e.remain <= 0 {
+		return 0, e.err
+	}
+	if int64(len(p)) > e.remain {
+		p = p[:e.remain]
+	}
+	// The fault is deferred to the call after the last good byte, so
+	// the caller consumes the full prefix first as a real short file
+	// would deliver it.
+	n, err := e.r.Read(p)
+	e.remain -= int64(n)
+	return n, err
+}
+
+// FlipBit returns a reader that passes r through unchanged except for
+// XOR-ing bit (0–7) of the byte at absolute offset off — single-bit
+// rot in the middle of a stream, the classic way a compressed file
+// goes bad without changing size.
+func FlipBit(r io.Reader, off int64, bit uint) io.Reader {
+	return &flipReader{r: r, target: off, mask: 1 << (bit & 7)}
+}
+
+type flipReader struct {
+	r      io.Reader
+	off    int64
+	target int64
+	mask   byte
+}
+
+func (f *flipReader) Read(p []byte) (int, error) {
+	n, err := f.r.Read(p)
+	if n > 0 && f.target >= f.off && f.target < f.off+int64(n) {
+		p[f.target-f.off] ^= f.mask
+	}
+	f.off += int64(n)
+	return n, err
+}
+
+// ShortReads returns a reader that delivers r's bytes unchanged but in
+// deterministic pseudo-random chunks of 1..maxChunk bytes, regardless
+// of the buffer offered — the adversarial schedule for code that
+// wrongly assumes one Read fills its buffer.
+func ShortReads(r io.Reader, maxChunk int, seed int64) io.Reader {
+	if maxChunk < 1 {
+		maxChunk = 1
+	}
+	return &shortReader{r: r, max: maxChunk, rng: rand.New(rand.NewSource(seed))}
+}
+
+type shortReader struct {
+	r   io.Reader
+	max int
+	rng *rand.Rand
+}
+
+func (s *shortReader) Read(p []byte) (int, error) {
+	if len(p) == 0 {
+		return s.r.Read(p)
+	}
+	k := 1 + s.rng.Intn(s.max)
+	if k > len(p) {
+		k = len(p)
+	}
+	return s.r.Read(p[:k])
+}

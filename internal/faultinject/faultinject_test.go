@@ -1,0 +1,162 @@
+package faultinject
+
+import (
+	"bytes"
+	"compress/gzip"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+
+	"jobgraph/internal/trace"
+)
+
+func TestTruncateAt(t *testing.T) {
+	src := strings.Repeat("x", 100)
+	r := TruncateAt(strings.NewReader(src), 40)
+	data, err := io.ReadAll(r)
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("err = %v, want ErrUnexpectedEOF", err)
+	}
+	if len(data) != 40 {
+		t.Fatalf("read %d bytes, want 40", len(data))
+	}
+}
+
+func TestCleanTruncateAt(t *testing.T) {
+	r := CleanTruncateAt(strings.NewReader("hello world"), 5)
+	data, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "hello" {
+		t.Fatalf("data = %q", data)
+	}
+}
+
+func TestErrAtCustomError(t *testing.T) {
+	boom := errors.New("disk on fire")
+	r := ErrAt(strings.NewReader("abcdef"), 3, boom)
+	data, err := io.ReadAll(r)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if string(data) != "abc" {
+		t.Fatalf("data = %q", data)
+	}
+}
+
+func TestFlipBit(t *testing.T) {
+	src := []byte{0x00, 0x00, 0x00, 0x00}
+	r := FlipBit(bytes.NewReader(src), 2, 3)
+	data, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{0x00, 0x00, 0x08, 0x00}
+	if !bytes.Equal(data, want) {
+		t.Fatalf("data = %v, want %v", data, want)
+	}
+}
+
+func TestFlipBitAcrossShortReads(t *testing.T) {
+	// The flip must land on the absolute offset even when reads are
+	// fragmented arbitrarily around it.
+	src := make([]byte, 64)
+	r := FlipBit(ShortReads(bytes.NewReader(src), 3, 42), 33, 0)
+	data, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range data {
+		want := byte(0)
+		if i == 33 {
+			want = 1
+		}
+		if b != want {
+			t.Fatalf("byte %d = %#x, want %#x", i, b, want)
+		}
+	}
+}
+
+func TestShortReadsDeterministic(t *testing.T) {
+	src := strings.Repeat("abc", 100)
+	read := func() []int {
+		r := ShortReads(strings.NewReader(src), 7, 99)
+		var sizes []int
+		buf := make([]byte, 32)
+		for {
+			n, err := r.Read(buf)
+			if n > 0 {
+				sizes = append(sizes, n)
+			}
+			if err != nil {
+				break
+			}
+		}
+		return sizes
+	}
+	a, b := read(), read()
+	if len(a) == 0 || len(a) != len(b) {
+		t.Fatalf("runs differ: %v vs %v", a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("chunk %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	for _, n := range a {
+		if n < 1 || n > 7 {
+			t.Fatalf("chunk size %d out of [1,7]", n)
+		}
+	}
+}
+
+// TestBitFlipCorruptsGzip proves the injector produces the error shapes
+// trace.IsTruncated classifies: a bit flip in the deflate stream
+// surfaces as corrupt/truncated input when decompressed.
+func TestBitFlipCorruptsGzip(t *testing.T) {
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	if _, err := zw.Write([]byte(strings.Repeat("the quick brown fox\n", 200))); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	compressed := buf.Bytes()
+	// Flip a bit well inside the deflate payload (past the ~18-byte
+	// header, before the 8-byte trailer).
+	zr, err := gzip.NewReader(FlipBit(bytes.NewReader(compressed), int64(len(compressed)/2), 1))
+	if err != nil {
+		t.Fatalf("header should be intact: %v", err)
+	}
+	_, err = io.ReadAll(zr)
+	if err == nil {
+		t.Fatal("corrupted stream decompressed cleanly")
+	}
+	if !trace.IsTruncated(err) {
+		t.Fatalf("err %v (%T) not classified as truncated/corrupt", err, err)
+	}
+}
+
+// TestTruncatedGzip proves truncation of a gzip stream surfaces as
+// io.ErrUnexpectedEOF, the signal the partial-read path keys on.
+func TestTruncatedGzip(t *testing.T) {
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	if _, err := zw.Write([]byte(strings.Repeat("row,row,row\n", 500))); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	zr, err := gzip.NewReader(CleanTruncateAt(bytes.NewReader(buf.Bytes()), int64(buf.Len()/2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = io.ReadAll(zr)
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("err = %v, want ErrUnexpectedEOF", err)
+	}
+}

@@ -41,6 +41,10 @@ type Entry struct {
 	ConfigHash string       `json:"config_hash"`
 	Host       Host         `json:"host"`
 	Metrics    obs.Snapshot `json:"metrics"`
+	// Warnings records the run's non-fatal degradations (partial
+	// ingest, clustering fallbacks, solver retries) so the history
+	// distinguishes clean runs from degraded ones.
+	Warnings []string `json:"warnings,omitempty"`
 }
 
 // Append writes e as one JSON line at the end of the ledger file,

@@ -12,8 +12,9 @@ import (
 // decomposition. A sweep count creeping toward jacobiMaxSweeps means
 // the affinity matrix is ill-conditioned and results are suspect.
 var (
-	obsEigenRuns   = obs.Default().Counter("linalg.eigen.runs")
-	obsEigenSweeps = obs.Default().Histogram("linalg.eigen.sweeps")
+	obsEigenRuns         = obs.Default().Counter("linalg.eigen.runs")
+	obsEigenSweeps       = obs.Default().Histogram("linalg.eigen.sweeps")
+	obsEigenNonConverged = obs.Default().Counter("linalg.eigen.nonconverged")
 )
 
 // EigenResult holds the eigendecomposition of a real symmetric matrix:
@@ -22,6 +23,15 @@ var (
 type EigenResult struct {
 	Values  []float64
 	Vectors [][]float64 // Vectors[k][i] = i-th component of eigenvector k
+
+	// Sweeps is the number of full Jacobi sweeps executed. Converged
+	// reports whether the off-diagonal mass actually dropped below the
+	// tolerance, or the solver stopped at the sweep cap with the best
+	// approximation it had. A non-converged result is still a usable
+	// (approximate) decomposition; callers decide whether to retry with
+	// a relaxed tolerance or degrade.
+	Sweeps    int
+	Converged bool
 }
 
 // jacobiMaxSweeps bounds the number of full Jacobi sweeps. Cyclic Jacobi
@@ -74,12 +84,18 @@ func SymmetricEigen(a *Matrix, tol float64) (*EigenResult, error) {
 			}
 		}
 	}
+	converged := m.MaxAbsOffDiag() <= tol*scale
 	obsEigenRuns.Add(1)
 	obsEigenSweeps.Observe(float64(sweeps))
+	if !converged {
+		obsEigenNonConverged.Add(1)
+	}
 
 	res := &EigenResult{
-		Values:  make([]float64, n),
-		Vectors: make([][]float64, n),
+		Values:    make([]float64, n),
+		Vectors:   make([][]float64, n),
+		Sweeps:    sweeps,
+		Converged: converged,
 	}
 	order := make([]int, n)
 	for i := range order {

@@ -277,3 +277,37 @@ func TestPowerIterationValidation(t *testing.T) {
 		t.Fatalf("zero matrix: %g, %v", val, err)
 	}
 }
+
+func TestEigenConvergenceReported(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	n := 12
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := rng.NormFloat64()
+			m.Set(i, j, v)
+			m.Set(j, i, v)
+		}
+	}
+	res, err := SymmetricEigen(m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("well-conditioned matrix reported non-converged after %d sweeps", res.Sweeps)
+	}
+	if res.Sweeps < 1 || res.Sweeps > jacobiMaxSweeps {
+		t.Fatalf("sweeps = %d out of (0,%d]", res.Sweeps, jacobiMaxSweeps)
+	}
+}
+
+func TestEigenDiagonalConvergesInZeroSweeps(t *testing.T) {
+	m, _ := FromRows([][]float64{{4, 0}, {0, 1}})
+	res, err := SymmetricEigen(m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged || res.Sweeps != 0 {
+		t.Fatalf("diagonal input: converged=%v sweeps=%d, want true/0", res.Converged, res.Sweeps)
+	}
+}

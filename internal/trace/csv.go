@@ -4,6 +4,7 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 
 	"jobgraph/internal/obs"
@@ -25,60 +26,53 @@ var (
 	obsInstRowErrs = obs.Default().Counter("trace.instance_row_errors")
 )
 
-// ReadTasks streams batch_task rows from r, invoking fn for each record.
-// fn returning an error aborts the scan with that error. Empty numeric
-// fields (common in the raw trace) parse as zero.
+// ReadTasks streams batch_task rows from r in Strict mode, invoking fn
+// for each record. fn returning an error aborts the scan with that
+// error. Empty numeric fields (common in the raw trace) parse as zero.
 func ReadTasks(r io.Reader, fn func(TaskRecord) error) error {
-	cr := csv.NewReader(r)
-	cr.FieldsPerRecord = taskColumns
-	cr.ReuseRecord = true
-	line := 0
-	for {
-		row, err := cr.Read()
-		if err == io.EOF {
-			return nil
-		}
-		if err != nil {
-			obsTaskRowErrs.Add(1)
-			return fmt.Errorf("trace: batch_task row %d: %w", line+1, err)
-		}
-		line++
-		rec, err := parseTask(row)
-		if err != nil {
-			obsTaskRowErrs.Add(1)
-			return fmt.Errorf("trace: batch_task row %d: %w", line, err)
-		}
-		obsTaskRows.Add(1)
-		if err := fn(rec); err != nil {
-			return err
-		}
-	}
+	_, err := ReadTasksOpts(r, ReadOptions{}, fn)
+	return err
+}
+
+// ReadTasksOpts streams batch_task rows from r under opt. In Lenient
+// mode malformed rows are skipped, classified and tallied on the
+// returned stats (and quarantined when configured) until the error
+// budget is exceeded, and a truncated input stream ends the read with
+// stats.Partial set instead of an error.
+func ReadTasksOpts(r io.Reader, opt ReadOptions, fn func(TaskRecord) error) (ReadStats, error) {
+	return readTable(r, tableSpec[TaskRecord]{
+		name:    "batch_task",
+		columns: taskColumns,
+		parse:   parseTask,
+		rowsOK:  obsTaskRows,
+		rowsBad: obsTaskRowErrs,
+	}, opt, fn)
 }
 
 // parseTask decodes one batch_task row:
 // task_name,instance_num,job_name,task_type,status,start_time,end_time,plan_cpu,plan_mem
-func parseTask(row []string) (TaskRecord, error) {
+func parseTask(row []string, ctx *rowCtx) (TaskRecord, error) {
 	var rec TaskRecord
 	rec.TaskName = row[0]
-	n, err := atoiEmpty(row[1])
+	n, err := atoiEmpty(row[1], "instance_num")
 	if err != nil {
-		return rec, fmt.Errorf("instance_num: %w", err)
+		return rec, err
 	}
 	rec.InstanceNum = n
 	rec.JobName = row[2]
 	rec.TaskType = row[3]
 	rec.Status = Status(row[4])
-	if rec.StartTime, err = atoi64Empty(row[5]); err != nil {
-		return rec, fmt.Errorf("start_time: %w", err)
+	if rec.StartTime, err = atoi64Empty(row[5], "start_time"); err != nil {
+		return rec, err
 	}
-	if rec.EndTime, err = atoi64Empty(row[6]); err != nil {
-		return rec, fmt.Errorf("end_time: %w", err)
+	if rec.EndTime, err = atoi64Empty(row[6], "end_time"); err != nil {
+		return rec, err
 	}
-	if rec.PlanCPU, err = atofEmpty(row[7]); err != nil {
-		return rec, fmt.Errorf("plan_cpu: %w", err)
+	if rec.PlanCPU, err = ctx.float(row[7], "plan_cpu"); err != nil {
+		return rec, err
 	}
-	if rec.PlanMem, err = atofEmpty(row[8]); err != nil {
-		return rec, fmt.Errorf("plan_mem: %w", err)
+	if rec.PlanMem, err = ctx.float(row[8], "plan_mem"); err != nil {
+		return rec, err
 	}
 	return rec, rec.Validate()
 }
@@ -108,38 +102,28 @@ func WriteTasks(w io.Writer, records []TaskRecord) error {
 	return cw.Error()
 }
 
-// ReadInstances streams batch_instance rows from r.
+// ReadInstances streams batch_instance rows from r in Strict mode.
 func ReadInstances(r io.Reader, fn func(InstanceRecord) error) error {
-	cr := csv.NewReader(r)
-	cr.FieldsPerRecord = instanceColumns
-	cr.ReuseRecord = true
-	line := 0
-	for {
-		row, err := cr.Read()
-		if err == io.EOF {
-			return nil
-		}
-		if err != nil {
-			obsInstRowErrs.Add(1)
-			return fmt.Errorf("trace: batch_instance row %d: %w", line+1, err)
-		}
-		line++
-		rec, err := parseInstance(row)
-		if err != nil {
-			obsInstRowErrs.Add(1)
-			return fmt.Errorf("trace: batch_instance row %d: %w", line, err)
-		}
-		obsInstRows.Add(1)
-		if err := fn(rec); err != nil {
-			return err
-		}
-	}
+	_, err := ReadInstancesOpts(r, ReadOptions{}, fn)
+	return err
+}
+
+// ReadInstancesOpts streams batch_instance rows from r under opt; see
+// ReadTasksOpts for the Lenient-mode contract.
+func ReadInstancesOpts(r io.Reader, opt ReadOptions, fn func(InstanceRecord) error) (ReadStats, error) {
+	return readTable(r, tableSpec[InstanceRecord]{
+		name:    "batch_instance",
+		columns: instanceColumns,
+		parse:   parseInstance,
+		rowsOK:  obsInstRows,
+		rowsBad: obsInstRowErrs,
+	}, opt, fn)
 }
 
 // parseInstance decodes one batch_instance row:
 // instance_name,task_name,job_name,task_type,status,start_time,end_time,
 // machine_id,seq_no,total_seq_no,cpu_avg,cpu_max,mem_avg,mem_max
-func parseInstance(row []string) (InstanceRecord, error) {
+func parseInstance(row []string, ctx *rowCtx) (InstanceRecord, error) {
 	var rec InstanceRecord
 	var err error
 	rec.InstanceName = row[0]
@@ -147,30 +131,30 @@ func parseInstance(row []string) (InstanceRecord, error) {
 	rec.JobName = row[2]
 	rec.TaskType = row[3]
 	rec.Status = Status(row[4])
-	if rec.StartTime, err = atoi64Empty(row[5]); err != nil {
-		return rec, fmt.Errorf("start_time: %w", err)
+	if rec.StartTime, err = atoi64Empty(row[5], "start_time"); err != nil {
+		return rec, err
 	}
-	if rec.EndTime, err = atoi64Empty(row[6]); err != nil {
-		return rec, fmt.Errorf("end_time: %w", err)
+	if rec.EndTime, err = atoi64Empty(row[6], "end_time"); err != nil {
+		return rec, err
 	}
 	rec.MachineID = row[7]
-	if rec.SeqNo, err = atoiEmpty(row[8]); err != nil {
-		return rec, fmt.Errorf("seq_no: %w", err)
+	if rec.SeqNo, err = atoiEmpty(row[8], "seq_no"); err != nil {
+		return rec, err
 	}
-	if rec.TotalSeqNo, err = atoiEmpty(row[9]); err != nil {
-		return rec, fmt.Errorf("total_seq_no: %w", err)
+	if rec.TotalSeqNo, err = atoiEmpty(row[9], "total_seq_no"); err != nil {
+		return rec, err
 	}
-	if rec.CPUAvg, err = atofEmpty(row[10]); err != nil {
-		return rec, fmt.Errorf("cpu_avg: %w", err)
+	if rec.CPUAvg, err = ctx.float(row[10], "cpu_avg"); err != nil {
+		return rec, err
 	}
-	if rec.CPUMax, err = atofEmpty(row[11]); err != nil {
-		return rec, fmt.Errorf("cpu_max: %w", err)
+	if rec.CPUMax, err = ctx.float(row[11], "cpu_max"); err != nil {
+		return rec, err
 	}
-	if rec.MemAvg, err = atofEmpty(row[12]); err != nil {
-		return rec, fmt.Errorf("mem_avg: %w", err)
+	if rec.MemAvg, err = ctx.float(row[12], "mem_avg"); err != nil {
+		return rec, err
 	}
-	if rec.MemMax, err = atofEmpty(row[13]); err != nil {
-		return rec, fmt.Errorf("mem_max: %w", err)
+	if rec.MemMax, err = ctx.float(row[13], "mem_max"); err != nil {
+		return rec, err
 	}
 	return rec, rec.Validate()
 }
@@ -205,25 +189,50 @@ func WriteInstances(w io.Writer, records []InstanceRecord) error {
 	return cw.Error()
 }
 
-func atoiEmpty(s string) (int, error) {
+func atoiEmpty(s, field string) (int, error) {
 	if s == "" {
 		return 0, nil
 	}
-	return strconv.Atoi(s)
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, &fieldError{field: field, class: ErrClassNumeric, err: err}
+	}
+	return n, nil
 }
 
-func atoi64Empty(s string) (int64, error) {
+func atoi64Empty(s, field string) (int64, error) {
 	if s == "" {
 		return 0, nil
 	}
-	return strconv.ParseInt(s, 10, 64)
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0, &fieldError{field: field, class: ErrClassNumeric, err: err}
+	}
+	return n, nil
 }
 
-func atofEmpty(s string) (float64, error) {
+// float parses a trace float field. Empty parses as zero (the raw
+// trace leaves many resource fields blank). NaN and ±Inf — which
+// strconv.ParseFloat happily accepts — are rejected in Strict mode and
+// zeroed-plus-tallied in Lenient mode so a poisoned plan_cpu can never
+// propagate into resource statistics.
+func (c *rowCtx) float(s, field string) (float64, error) {
 	if s == "" {
 		return 0, nil
 	}
-	return strconv.ParseFloat(s, 64)
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, &fieldError{field: field, class: ErrClassNumeric, err: err}
+	}
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		if c.lenient {
+			c.nonFinite++
+			return 0, nil
+		}
+		return 0, &fieldError{field: field, class: ErrClassNonFinite,
+			err: fmt.Errorf("non-finite value %q", s)}
+	}
+	return f, nil
 }
 
 func formatFloat(f float64) string {

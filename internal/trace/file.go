@@ -1,12 +1,29 @@
 package trace
 
 import (
+	"compress/flate"
 	"compress/gzip"
+	"errors"
 	"fmt"
 	"io"
 	"os"
 	"strings"
 )
+
+// IsTruncated reports whether err indicates an input stream that died
+// mid-file — a truncated plain file or a truncated/corrupt gzip member
+// — meaning the bytes delivered before the error are intact and worth
+// keeping. The lenient readers use this to return the rows parsed so
+// far with a Partial marker instead of discarding them.
+func IsTruncated(err error) bool {
+	if errors.Is(err, io.ErrUnexpectedEOF) ||
+		errors.Is(err, gzip.ErrChecksum) ||
+		errors.Is(err, gzip.ErrHeader) {
+		return true
+	}
+	var ce flate.CorruptInputError
+	return errors.As(err, &ce)
+}
 
 // OpenTable opens a trace table file for reading, transparently
 // decompressing when the path ends in ".gz" — the real Alibaba tables

@@ -22,14 +22,54 @@ func FuzzReadTasks(f *testing.F) {
 	f.Add("bad row\n")
 	f.Add(",,,,,,,,\n")
 	f.Add("M1,1,j_1,1,Terminated,-1,0,0,0\n")
+	f.Add("M1,1,j_1,1,Terminated,1,2,NaN,Inf\n")
+	f.Add("\"M\n1\",1,j_1,1,Terminated,1,2,1,1\nshort,row\n")
 
 	f.Fuzz(func(t *testing.T, data string) {
+		// Lenient mode must never panic and never reject a stream for
+		// row-level problems: every row is either delivered valid or
+		// tallied, and the two modes agree on the accepted prefix.
+		var lenientRecs []TaskRecord
+		stats, lerr := ReadTasksOpts(strings.NewReader(data), ReadOptions{Mode: Lenient},
+			func(r TaskRecord) error {
+				lenientRecs = append(lenientRecs, r)
+				return nil
+			})
+		if lerr == nil {
+			for _, r := range lenientRecs {
+				if err := r.Validate(); err != nil {
+					t.Fatalf("lenient reader delivered invalid record: %v", err)
+				}
+			}
+			if stats.Rows != int64(len(lenientRecs)) {
+				t.Fatalf("stats.Rows=%d but delivered %d", stats.Rows, len(lenientRecs))
+			}
+			var tallied int64
+			for _, n := range stats.ByClass {
+				tallied += n
+			}
+			if tallied != stats.BadRows {
+				t.Fatalf("class tallies %d != BadRows %d", tallied, stats.BadRows)
+			}
+		}
+
 		var recs []TaskRecord
 		if err := ReadTasks(strings.NewReader(data), func(r TaskRecord) error {
 			recs = append(recs, r)
 			return nil
 		}); err != nil {
 			return
+		}
+		// Strict accepted everything, so lenient must have too, with an
+		// identical record stream.
+		if lerr != nil || len(lenientRecs) != len(recs) {
+			t.Fatalf("modes disagree on clean input: strict %d rows, lenient %d (err %v)",
+				len(recs), len(lenientRecs), lerr)
+		}
+		for i := range recs {
+			if recs[i] != lenientRecs[i] {
+				t.Fatalf("row %d differs between modes", i)
+			}
 		}
 		for _, r := range recs {
 			if err := r.Validate(); err != nil {

@@ -27,12 +27,23 @@ func GroupTasks(records []TaskRecord) []Job {
 // trace should use ReadTasks and their own windowed accumulation; for
 // the paper-scale samples this convenience is the right tool.
 func ReadJobs(r io.Reader) ([]Job, error) {
+	jobs, _, err := ReadJobsOpts(r, ReadOptions{})
+	return jobs, err
+}
+
+// ReadJobsOpts is ReadJobs under explicit ReadOptions, returning the
+// ingest-health stats alongside the grouped jobs. In Lenient mode a
+// truncated table yields the jobs parsed before the cut with
+// stats.Partial set (the last job may be incomplete — availability
+// filtering downstream decides whether it is usable).
+func ReadJobsOpts(r io.Reader, opt ReadOptions) ([]Job, ReadStats, error) {
 	var records []TaskRecord
-	if err := ReadTasks(r, func(rec TaskRecord) error {
+	stats, err := ReadTasksOpts(r, opt, func(rec TaskRecord) error {
 		records = append(records, rec)
 		return nil
-	}); err != nil {
-		return nil, err
+	})
+	if err != nil {
+		return nil, stats, err
 	}
-	return GroupTasks(records), nil
+	return GroupTasks(records), stats, nil
 }

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"io"
 	"strconv"
+
+	"jobgraph/internal/obs"
 )
 
 // MachineRecord is one row of machine_meta: the static description of a
@@ -22,52 +24,58 @@ type MachineRecord struct {
 // Validate checks internal consistency of the record.
 func (m MachineRecord) Validate() error {
 	if m.MachineID == "" {
-		return fmt.Errorf("trace: machine record missing id")
+		return validationError("missing_id", "trace: machine record missing id")
 	}
 	if m.CPUNum < 0 || m.MemSize < 0 {
-		return fmt.Errorf("trace: machine %s has negative capacity", m.MachineID)
+		return validationError("negative_capacity", "trace: machine %s has negative capacity", m.MachineID)
 	}
 	return nil
 }
 
 const machineColumns = 7
 
-// ReadMachines streams machine_meta rows from r.
+var (
+	obsMachineRows    = obs.Default().Counter("trace.machine_rows_parsed")
+	obsMachineRowErrs = obs.Default().Counter("trace.machine_row_errors")
+)
+
+// ReadMachines streams machine_meta rows from r in Strict mode.
 func ReadMachines(r io.Reader, fn func(MachineRecord) error) error {
-	cr := csv.NewReader(r)
-	cr.FieldsPerRecord = machineColumns
-	cr.ReuseRecord = true
-	line := 0
-	for {
-		row, err := cr.Read()
-		if err == io.EOF {
-			return nil
-		}
-		if err != nil {
-			return fmt.Errorf("trace: machine_meta row %d: %w", line+1, err)
-		}
-		line++
-		var rec MachineRecord
-		rec.MachineID = row[0]
-		if rec.TimeStamp, err = atoi64Empty(row[1]); err != nil {
-			return fmt.Errorf("trace: machine_meta row %d: timestamp: %w", line, err)
-		}
-		rec.FailureDomain1 = row[2]
-		rec.FailureDomain2 = row[3]
-		if rec.CPUNum, err = atoiEmpty(row[4]); err != nil {
-			return fmt.Errorf("trace: machine_meta row %d: cpu_num: %w", line, err)
-		}
-		if rec.MemSize, err = atofEmpty(row[5]); err != nil {
-			return fmt.Errorf("trace: machine_meta row %d: mem_size: %w", line, err)
-		}
-		rec.Status = row[6]
-		if err := rec.Validate(); err != nil {
-			return fmt.Errorf("trace: machine_meta row %d: %w", line, err)
-		}
-		if err := fn(rec); err != nil {
-			return err
-		}
+	_, err := ReadMachinesOpts(r, ReadOptions{}, fn)
+	return err
+}
+
+// ReadMachinesOpts streams machine_meta rows from r under opt; see
+// ReadTasksOpts for the Lenient-mode contract.
+func ReadMachinesOpts(r io.Reader, opt ReadOptions, fn func(MachineRecord) error) (ReadStats, error) {
+	return readTable(r, tableSpec[MachineRecord]{
+		name:    "machine_meta",
+		columns: machineColumns,
+		parse:   parseMachine,
+		rowsOK:  obsMachineRows,
+		rowsBad: obsMachineRowErrs,
+	}, opt, fn)
+}
+
+// parseMachine decodes one machine_meta row:
+// machine_id,time_stamp,failure_domain_1,failure_domain_2,cpu_num,mem_size,status
+func parseMachine(row []string, ctx *rowCtx) (MachineRecord, error) {
+	var rec MachineRecord
+	var err error
+	rec.MachineID = row[0]
+	if rec.TimeStamp, err = atoi64Empty(row[1], "time_stamp"); err != nil {
+		return rec, err
 	}
+	rec.FailureDomain1 = row[2]
+	rec.FailureDomain2 = row[3]
+	if rec.CPUNum, err = atoiEmpty(row[4], "cpu_num"); err != nil {
+		return rec, err
+	}
+	if rec.MemSize, err = ctx.float(row[5], "mem_size"); err != nil {
+		return rec, err
+	}
+	rec.Status = row[6]
+	return rec, rec.Validate()
 }
 
 // WriteMachines encodes records to w in trace column order.

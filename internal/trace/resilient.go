@@ -1,0 +1,413 @@
+package trace
+
+import (
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+
+	"jobgraph/internal/obs"
+)
+
+// Mode selects how the streaming readers treat malformed rows.
+type Mode int
+
+const (
+	// Strict aborts the read on the first malformed row — the zero
+	// value, preserving the historical fail-fast behaviour.
+	Strict Mode = iota
+	// Lenient skips malformed rows (tallying them by ErrClass and
+	// optionally quarantining the raw bytes) until the error budget is
+	// exhausted, and recovers the rows already parsed when the input
+	// stream is truncated mid-file.
+	Lenient
+)
+
+func (m Mode) String() string {
+	if m == Lenient {
+		return "lenient"
+	}
+	return "strict"
+}
+
+// ErrClass classifies why a row was rejected. The classes drive the
+// per-class obs counters (trace.bad_rows.<table>.<class>) and the
+// ingest-health report of cmd/tracecheck.
+type ErrClass string
+
+const (
+	// ErrClassCSV is a structural CSV defect: bare quote, unterminated
+	// quoted field, and similar syntax errors.
+	ErrClassCSV ErrClass = "csv_syntax"
+	// ErrClassColumns is a row with the wrong number of fields.
+	ErrClassColumns ErrClass = "column_count"
+	// ErrClassNumeric is a numeric field that fails to parse.
+	ErrClassNumeric ErrClass = "numeric_parse"
+	// ErrClassNonFinite is a numeric field carrying NaN or ±Inf —
+	// strconv.ParseFloat accepts them, resource statistics do not.
+	ErrClassNonFinite ErrClass = "non_finite"
+	// ErrClassValidation is a row that parses but fails the record's
+	// Validate semantic checks.
+	ErrClassValidation ErrClass = "validation"
+)
+
+// ReadOptions configures one streaming read. The zero value is Strict
+// with no budget and no quarantine — exactly the historical behaviour.
+type ReadOptions struct {
+	Mode Mode
+
+	// MaxBadRows is the absolute error budget in Lenient mode: the
+	// read aborts with a *BudgetError as soon as more than this many
+	// rows have been rejected. 0 means unlimited.
+	MaxBadRows int64
+
+	// MaxBadRatio bounds rejected/(parsed+rejected) in Lenient mode;
+	// 0 disables the check. The ratio is enforced at end of stream,
+	// and mid-stream once ratioMinRows records have been seen so a
+	// hopeless file aborts early instead of after millions of rows.
+	MaxBadRatio float64
+
+	// Quarantine, when non-nil in Lenient mode, receives every
+	// rejected row: one '#' provenance comment (table, line, byte
+	// offset, class, error) followed by the record's verbatim bytes.
+	// Re-read a quarantine file by setting csv.Reader.Comment = '#'.
+	Quarantine io.Writer
+}
+
+// ratioMinRows is the minimum number of records before MaxBadRatio is
+// enforced mid-stream; below it one early bad row would dominate the
+// ratio.
+const ratioMinRows = 1000
+
+// maxLoggedBadRows bounds the per-read slog noise: the first few
+// rejects are logged individually, the rest only appear in the tallies.
+const maxLoggedBadRows = 10
+
+// ReadStats describes the health of one streaming read.
+type ReadStats struct {
+	// Rows is the number of records delivered to the callback.
+	Rows int64
+	// BadRows is the number of records rejected (Lenient) or the
+	// single record that aborted the read (Strict).
+	BadRows int64
+	// ByClass tallies rejected rows by error class.
+	ByClass map[ErrClass]int64
+	// ZeroedFields counts non-finite numeric fields that were zeroed
+	// in Lenient mode; the owning rows were kept.
+	ZeroedFields int64
+	// Quarantined counts rows written to the quarantine sidecar.
+	Quarantined int64
+	// Partial reports that the input ended early — truncated or
+	// corrupt gzip tail — and the rows read up to that point were
+	// delivered anyway (Lenient mode only).
+	Partial bool
+	// PartialCause is the stream error behind Partial.
+	PartialCause error
+}
+
+// Classes returns the tallied error classes in sorted order.
+func (s *ReadStats) Classes() []ErrClass {
+	out := make([]ErrClass, 0, len(s.ByClass))
+	for c := range s.ByClass {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Summary renders the stats as one log-friendly line.
+func (s *ReadStats) Summary() string {
+	msg := fmt.Sprintf("rows=%d bad=%d", s.Rows, s.BadRows)
+	for _, c := range s.Classes() {
+		msg += fmt.Sprintf(" %s=%d", c, s.ByClass[c])
+	}
+	if s.ZeroedFields > 0 {
+		msg += fmt.Sprintf(" zeroed_fields=%d", s.ZeroedFields)
+	}
+	if s.Quarantined > 0 {
+		msg += fmt.Sprintf(" quarantined=%d", s.Quarantined)
+	}
+	if s.Partial {
+		msg += fmt.Sprintf(" partial=true (%v)", s.PartialCause)
+	}
+	return msg
+}
+
+// RowError is a classified per-row failure with accurate provenance:
+// Line is the 1-based input line the record starts on (multi-line
+// quoted records included), Offset the byte offset of the record start
+// in the decompressed stream.
+type RowError struct {
+	Table  string
+	Line   int
+	Offset int64
+	Class  ErrClass
+	Err    error
+}
+
+func (e *RowError) Error() string {
+	return fmt.Sprintf("trace: %s line %d (byte %d): %s: %v",
+		e.Table, e.Line, e.Offset, e.Class, e.Err)
+}
+
+func (e *RowError) Unwrap() error { return e.Err }
+
+// BudgetError reports a Lenient read aborted because rejected rows
+// exceeded the configured budget. Stats covers everything read up to
+// the abort; Last is the rejection that tipped the budget.
+type BudgetError struct {
+	Table string
+	Stats ReadStats
+	Last  *RowError
+}
+
+func (e *BudgetError) Error() string {
+	return fmt.Sprintf("trace: %s: error budget exceeded (%s); last: %v",
+		e.Table, e.Stats.Summary(), e.Last)
+}
+
+func (e *BudgetError) Unwrap() error { return e.Last }
+
+// fieldError is a classified single-field parse failure.
+type fieldError struct {
+	field string
+	class ErrClass
+	err   error
+}
+
+func (e *fieldError) Error() string { return e.field + ": " + e.err.Error() }
+func (e *fieldError) Unwrap() error { return e.err }
+
+// rowCtx threads the leniency mode through the per-row parse
+// functions and collects field-level recoveries.
+type rowCtx struct {
+	lenient   bool
+	nonFinite int // non-finite fields zeroed on the current row
+}
+
+// classify maps a parse-function error to its ErrClass.
+func classify(err error) ErrClass {
+	var fe *fieldError
+	if errors.As(err, &fe) {
+		return fe.class
+	}
+	var ve *ValidationError
+	if errors.As(err, &ve) {
+		return ErrClassValidation
+	}
+	return ErrClassValidation
+}
+
+// tableSpec binds one trace table's schema to its parse function and
+// volume counters.
+type tableSpec[T any] struct {
+	name    string
+	columns int
+	parse   func([]string, *rowCtx) (T, error)
+	rowsOK  *obs.Counter
+	rowsBad *obs.Counter
+}
+
+// readTable is the shared streaming loop behind ReadTasks,
+// ReadInstances and ReadMachines: CSV decode, classified error
+// handling, budget accounting, quarantine, and partial-read recovery.
+func readTable[T any](r io.Reader, spec tableSpec[T], opt ReadOptions, fn func(T) error) (ReadStats, error) {
+	stats := ReadStats{ByClass: make(map[ErrClass]int64)}
+	lenient := opt.Mode == Lenient
+	var capt *captureReader
+	src := r
+	if lenient && opt.Quarantine != nil {
+		capt = &captureReader{r: r}
+		src = capt
+	}
+	cr := csv.NewReader(src)
+	cr.FieldsPerRecord = spec.columns
+	cr.ReuseRecord = true
+	ctx := &rowCtx{lenient: lenient}
+	lg := obs.Default().Logger()
+	classCounters := make(map[ErrClass]*obs.Counter)
+	logged := 0
+
+	for {
+		start := cr.InputOffset()
+		if capt != nil {
+			capt.discard(start)
+		}
+		ctx.nonFinite = 0
+		row, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		var rerr *RowError
+		if err != nil {
+			if IsTruncated(err) {
+				// The stream died mid-file; everything parsed so far
+				// is intact. Lenient mode keeps it, Strict discards.
+				if lenient {
+					stats.Partial = true
+					stats.PartialCause = err
+					lg.Warn("truncated input, keeping rows read so far",
+						"table", spec.name, "rows", stats.Rows, "offset", start, "err", err)
+					break
+				}
+				return stats, fmt.Errorf("trace: %s: truncated input at byte %d: %w",
+					spec.name, start, err)
+			}
+			var pe *csv.ParseError
+			if !errors.As(err, &pe) {
+				// Non-CSV reader failure (I/O): always fatal — there is
+				// no way to resynchronize on the record stream.
+				return stats, fmt.Errorf("trace: %s: %w", spec.name, err)
+			}
+			class := ErrClassCSV
+			if errors.Is(err, csv.ErrFieldCount) {
+				class = ErrClassColumns
+			}
+			rerr = &RowError{Table: spec.name, Line: pe.StartLine, Offset: start, Class: class, Err: pe.Err}
+		} else {
+			rec, perr := spec.parse(row, ctx)
+			if ctx.nonFinite > 0 {
+				stats.ZeroedFields += int64(ctx.nonFinite)
+				obs.Default().Counter("trace.fields_zeroed_nonfinite").Add(int64(ctx.nonFinite))
+			}
+			if perr == nil {
+				stats.Rows++
+				spec.rowsOK.Add(1)
+				if err := fn(rec); err != nil {
+					return stats, err
+				}
+				continue
+			}
+			line, _ := cr.FieldPos(0)
+			rerr = &RowError{Table: spec.name, Line: line, Offset: start, Class: classify(perr), Err: perr}
+		}
+
+		stats.BadRows++
+		stats.ByClass[rerr.Class]++
+		spec.rowsBad.Add(1)
+		c := classCounters[rerr.Class]
+		if c == nil {
+			c = obs.Default().Counter("trace.bad_rows." + spec.name + "." + string(rerr.Class))
+			classCounters[rerr.Class] = c
+		}
+		c.Add(1)
+		var ve *ValidationError
+		if errors.As(rerr.Err, &ve) {
+			obs.Default().Counter("trace.validation." + ve.Kind).Add(1)
+		}
+		if !lenient {
+			return stats, rerr
+		}
+		if logged < maxLoggedBadRows {
+			logged++
+			lg.Warn("malformed row skipped", "table", spec.name, "line", rerr.Line,
+				"offset", rerr.Offset, "class", rerr.Class, "err", rerr.Err)
+			if logged == maxLoggedBadRows {
+				lg.Warn("further malformed rows logged only in tallies", "table", spec.name)
+			}
+		}
+		if capt != nil {
+			if err := writeQuarantine(opt.Quarantine, rerr, capt.slice(start, cr.InputOffset())); err != nil {
+				return stats, fmt.Errorf("trace: quarantine: %w", err)
+			}
+			stats.Quarantined++
+		}
+		if err := checkBudget(spec.name, opt, &stats, rerr, false); err != nil {
+			return stats, err
+		}
+	}
+	if err := checkBudget(spec.name, opt, &stats, nil, true); err != nil {
+		return stats, err
+	}
+	return stats, nil
+}
+
+// checkBudget enforces the Lenient error budget; final selects the
+// end-of-stream ratio check that also covers short files.
+func checkBudget(table string, opt ReadOptions, s *ReadStats, last *RowError, final bool) error {
+	if opt.Mode != Lenient || s.BadRows == 0 {
+		return nil
+	}
+	if opt.MaxBadRows > 0 && s.BadRows > opt.MaxBadRows {
+		return &BudgetError{Table: table, Stats: *s, Last: last}
+	}
+	if opt.MaxBadRatio > 0 {
+		total := s.Rows + s.BadRows
+		if (final || total >= ratioMinRows) &&
+			float64(s.BadRows) > opt.MaxBadRatio*float64(total) {
+			return &BudgetError{Table: table, Stats: *s, Last: last}
+		}
+	}
+	return nil
+}
+
+// writeQuarantine appends one rejected record to the sidecar: a '#'
+// provenance comment, then the verbatim row bytes.
+func writeQuarantine(w io.Writer, rerr *RowError, raw []byte) error {
+	if _, err := fmt.Fprintf(w, "# table=%s line=%d offset=%d class=%s err=%q\n",
+		rerr.Table, rerr.Line, rerr.Offset, rerr.Class, rerr.Err.Error()); err != nil {
+		return err
+	}
+	if len(raw) == 0 {
+		return nil
+	}
+	if _, err := w.Write(raw); err != nil {
+		return err
+	}
+	if raw[len(raw)-1] != '\n' {
+		_, err := io.WriteString(w, "\n")
+		return err
+	}
+	return nil
+}
+
+// captureReader tees the byte stream into a sliding window addressed
+// by absolute offset, so the verbatim bytes of a record csv.Reader has
+// already consumed can be recovered for quarantine. discard bounds the
+// window to the current record plus csv's read-ahead buffer.
+type captureReader struct {
+	r    io.Reader
+	buf  []byte
+	base int64 // absolute offset of buf[0]
+}
+
+func (c *captureReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	if n > 0 {
+		c.buf = append(c.buf, p[:n]...)
+	}
+	return n, err
+}
+
+// discard drops captured bytes before the absolute offset upTo.
+func (c *captureReader) discard(upTo int64) {
+	n := upTo - c.base
+	if n <= 0 {
+		return
+	}
+	if n >= int64(len(c.buf)) {
+		c.base += int64(len(c.buf))
+		c.buf = c.buf[:0]
+		return
+	}
+	c.buf = append(c.buf[:0], c.buf[n:]...)
+	c.base = upTo
+}
+
+// slice copies the captured bytes in [start, end).
+func (c *captureReader) slice(start, end int64) []byte {
+	lo, hi := start-c.base, end-c.base
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > int64(len(c.buf)) {
+		hi = int64(len(c.buf))
+	}
+	if lo >= hi {
+		return nil
+	}
+	out := make([]byte, hi-lo)
+	copy(out, c.buf[lo:hi])
+	return out
+}

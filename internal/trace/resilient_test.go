@@ -1,0 +1,383 @@
+package trace
+
+import (
+	"bytes"
+	"compress/gzip"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"jobgraph/internal/faultinject"
+)
+
+// goodRow is a well-formed batch_task line usable as filler.
+const goodRow = "M1,1,j_1,1,Terminated,100,200,50,0.5\n"
+
+func readLenient(t *testing.T, in string, opt ReadOptions) ([]TaskRecord, ReadStats, error) {
+	t.Helper()
+	opt.Mode = Lenient
+	var recs []TaskRecord
+	stats, err := ReadTasksOpts(strings.NewReader(in), opt, func(r TaskRecord) error {
+		recs = append(recs, r)
+		return nil
+	})
+	return recs, stats, err
+}
+
+func TestLenientSkipsMalformedRows(t *testing.T) {
+	in := goodRow +
+		"M2,xx,j_1,1,Terminated,1,2,1,1\n" + // numeric_parse
+		"short,row\n" + // column_count
+		goodRow +
+		"M3,1,,1,Terminated,1,2,1,1\n" + // validation: empty job
+		goodRow
+	recs, stats, err := readLenient(t, in, ReadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 || stats.Rows != 3 {
+		t.Fatalf("rows = %d (stats %d), want 3", len(recs), stats.Rows)
+	}
+	if stats.BadRows != 3 {
+		t.Fatalf("bad rows = %d, want 3: %s", stats.BadRows, stats.Summary())
+	}
+	want := map[ErrClass]int64{ErrClassNumeric: 1, ErrClassColumns: 1, ErrClassValidation: 1}
+	for c, n := range want {
+		if stats.ByClass[c] != n {
+			t.Errorf("class %s = %d, want %d", c, stats.ByClass[c], n)
+		}
+	}
+}
+
+func TestLenientAbsoluteBudget(t *testing.T) {
+	in := strings.Repeat("bad,row\n", 5) + goodRow
+	_, stats, err := readLenient(t, in, ReadOptions{MaxBadRows: 3})
+	var be *BudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("err = %v, want BudgetError", err)
+	}
+	if be.Table != "batch_task" || stats.BadRows != 4 {
+		t.Fatalf("budget error %+v, stats %s", be, stats.Summary())
+	}
+	if be.Last == nil || be.Last.Class != ErrClassColumns {
+		t.Fatalf("last row error = %+v", be.Last)
+	}
+}
+
+func TestLenientRatioBudgetAtEOF(t *testing.T) {
+	// 2 bad of 12 total = 16.7% > 10%: the end-of-stream check must
+	// catch it even though the file is far below ratioMinRows.
+	in := strings.Repeat(goodRow, 10) + "bad,row\n" + "worse,row\n"
+	_, _, err := readLenient(t, in, ReadOptions{MaxBadRatio: 0.10})
+	var be *BudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("err = %v, want BudgetError", err)
+	}
+	// 2 bad of 22 total = 9.1% <= 10% passes.
+	_, stats, err := readLenient(t, strings.Repeat(goodRow, 20)+"bad,row\n"+"worse,row\n",
+		ReadOptions{MaxBadRatio: 0.10})
+	if err != nil {
+		t.Fatalf("under-ratio read failed: %v (%s)", err, stats.Summary())
+	}
+}
+
+func TestLenientRatioBudgetMidStream(t *testing.T) {
+	// All-bad input must abort once ratioMinRows records have been
+	// seen, not stream millions of rejects to the end.
+	in := strings.Repeat("bad,row\n", 5000)
+	_, stats, err := readLenient(t, in, ReadOptions{MaxBadRatio: 0.01})
+	var be *BudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("err = %v, want BudgetError", err)
+	}
+	if stats.BadRows > ratioMinRows {
+		t.Fatalf("read %d bad rows before aborting, want <= %d", stats.BadRows, ratioMinRows)
+	}
+}
+
+func TestNonFiniteStrictRejected(t *testing.T) {
+	for _, in := range []string{
+		"M1,1,j_1,1,Terminated,1,2,NaN,0\n",
+		"M1,1,j_1,1,Terminated,1,2,0,+Inf\n",
+		"M1,1,j_1,1,Terminated,1,2,-Inf,0\n",
+	} {
+		err := ReadTasks(strings.NewReader(in), func(TaskRecord) error { return nil })
+		var re *RowError
+		if !errors.As(err, &re) || re.Class != ErrClassNonFinite {
+			t.Errorf("%q: err = %v, want non_finite RowError", in, err)
+		}
+	}
+}
+
+func TestNonFiniteLenientZeroedAndKept(t *testing.T) {
+	in := "M1,1,j_1,1,Terminated,1,2,NaN,Inf\n" + goodRow
+	recs, stats, err := readLenient(t, in, ReadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The poisoned row is kept with its non-finite fields zeroed.
+	if len(recs) != 2 || stats.BadRows != 0 {
+		t.Fatalf("rows=%d bad=%d, want 2/0", len(recs), stats.BadRows)
+	}
+	if recs[0].PlanCPU != 0 || recs[0].PlanMem != 0 {
+		t.Fatalf("non-finite fields not zeroed: %+v", recs[0])
+	}
+	if stats.ZeroedFields != 2 {
+		t.Fatalf("zeroed fields = %d, want 2", stats.ZeroedFields)
+	}
+}
+
+func TestValidationKinds(t *testing.T) {
+	for _, tc := range []struct {
+		rec  TaskRecord
+		kind string
+	}{
+		{TaskRecord{TaskName: "M1"}, "empty_job_name"},
+		{TaskRecord{JobName: "j"}, "empty_task_name"},
+		{TaskRecord{TaskName: "M1", JobName: "j", InstanceNum: -1}, "negative_instances"},
+		{TaskRecord{TaskName: "M1", JobName: "j", EndTime: -1}, "negative_timestamp"},
+	} {
+		var ve *ValidationError
+		if err := tc.rec.Validate(); !errors.As(err, &ve) || ve.Kind != tc.kind {
+			t.Errorf("%+v: got %v, want kind %s", tc.rec, err, tc.kind)
+		}
+	}
+	var ve *ValidationError
+	if err := (InstanceRecord{InstanceName: "i"}).Validate(); !errors.As(err, &ve) || ve.Kind != "missing_names" {
+		t.Errorf("instance: %v", ve)
+	}
+	if err := (MachineRecord{}).Validate(); !errors.As(err, &ve) || ve.Kind != "missing_id" {
+		t.Errorf("machine: %v", ve)
+	}
+}
+
+// TestStrictErrorLineNumbers is the regression test for the historical
+// off-by-one: the old hand-kept row counter disagreed with the file's
+// line numbers as soon as a quoted record spanned multiple lines. The
+// reported position must be the line the bad record starts on.
+func TestStrictErrorLineNumbers(t *testing.T) {
+	// Record 1 spans lines 1-2 (quoted embedded newline); record 2
+	// starts on line 3 and is malformed.
+	in := "\"M\n1\",1,j_1,1,Terminated,1,2,1,1\nM2,xx,j_1,1,Terminated,1,2,1,1\n"
+	err := ReadTasks(strings.NewReader(in), func(TaskRecord) error { return nil })
+	var re *RowError
+	if !errors.As(err, &re) {
+		t.Fatalf("err = %v, want RowError", err)
+	}
+	if re.Line != 3 {
+		t.Fatalf("reported line %d, want 3 (error: %v)", re.Line, re)
+	}
+	if re.Class != ErrClassNumeric {
+		t.Fatalf("class = %s, want numeric_parse", re.Class)
+	}
+	wantOffset := int64(len("\"M\n1\",1,j_1,1,Terminated,1,2,1,1\n"))
+	if re.Offset != wantOffset {
+		t.Fatalf("offset = %d, want %d", re.Offset, wantOffset)
+	}
+}
+
+func TestQuarantineSidecar(t *testing.T) {
+	badA := "M2,xx,j_1,1,Terminated,1,2,1,1\n"
+	badB := "onlythree,fields,here\n"
+	in := goodRow + badA + goodRow + badB
+	var q bytes.Buffer
+	recs, stats, err := readLenient(t, in, ReadOptions{Quarantine: &q})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || stats.Quarantined != 2 {
+		t.Fatalf("rows=%d quarantined=%d, want 2/2", len(recs), stats.Quarantined)
+	}
+	out := q.String()
+	// Verbatim row bytes, each preceded by a provenance comment.
+	if !strings.Contains(out, badA) || !strings.Contains(out, badB) {
+		t.Fatalf("quarantine missing verbatim rows:\n%s", out)
+	}
+	if !strings.Contains(out, "# table=batch_task line=2 offset=37 class=numeric_parse") {
+		t.Fatalf("quarantine missing provenance:\n%s", out)
+	}
+	if !strings.Contains(out, "line=4") {
+		t.Fatalf("second provenance line wrong:\n%s", out)
+	}
+}
+
+func gzipTasks(t *testing.T, n int) []byte {
+	t.Helper()
+	recs := make([]TaskRecord, n)
+	for i := range recs {
+		recs[i] = TaskRecord{TaskName: fmt.Sprintf("M%d", i+1), InstanceNum: 1,
+			JobName: fmt.Sprintf("j_%d", i/3), TaskType: "1", Status: StatusTerminated,
+			StartTime: int64(i), EndTime: int64(i + 10), PlanCPU: 50, PlanMem: 0.5}
+	}
+	var plain bytes.Buffer
+	if err := WriteTasks(&plain, recs); err != nil {
+		t.Fatal(err)
+	}
+	var gz bytes.Buffer
+	zw := gzip.NewWriter(&gz)
+	if _, err := zw.Write(plain.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return gz.Bytes()
+}
+
+func TestPartialReadTruncatedGzip(t *testing.T) {
+	compressed := gzipTasks(t, 2000)
+	open := func() *gzip.Reader {
+		zr, err := gzip.NewReader(faultinject.CleanTruncateAt(bytes.NewReader(compressed), int64(len(compressed)*3/4)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return zr
+	}
+
+	// Strict: the truncation is fatal, as before.
+	err := ReadTasks(open(), func(TaskRecord) error { return nil })
+	if err == nil || !IsTruncated(errors.Unwrap(err)) && !IsTruncated(err) {
+		t.Fatalf("strict err = %v, want truncation", err)
+	}
+
+	// Lenient: the rows before the cut survive, flagged Partial.
+	var recs []TaskRecord
+	stats, err := ReadTasksOpts(open(), ReadOptions{Mode: Lenient}, func(r TaskRecord) error {
+		recs = append(recs, r)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Partial || stats.PartialCause == nil {
+		t.Fatalf("partial not flagged: %s", stats.Summary())
+	}
+	if len(recs) == 0 || len(recs) >= 2000 {
+		t.Fatalf("recovered %d rows, want (0, 2000)", len(recs))
+	}
+	// Every recovered row is intact.
+	for _, r := range recs {
+		if err := r.Validate(); err != nil {
+			t.Fatalf("recovered corrupt row: %v", err)
+		}
+	}
+}
+
+func TestPartialReadBitFlippedGzip(t *testing.T) {
+	compressed := gzipTasks(t, 2000)
+	zr, err := gzip.NewReader(faultinject.FlipBit(bytes.NewReader(compressed), int64(len(compressed)/2), 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows int64
+	stats, err := ReadTasksOpts(zr, ReadOptions{Mode: Lenient}, func(TaskRecord) error {
+		rows++
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("lenient read of corrupt stream failed: %v", err)
+	}
+	if !stats.Partial {
+		t.Fatalf("corruption not flagged partial: %s", stats.Summary())
+	}
+	if rows == 0 {
+		t.Fatal("no rows recovered before the corruption point")
+	}
+}
+
+func TestReadJobsOptsPartial(t *testing.T) {
+	compressed := gzipTasks(t, 900)
+	zr, err := gzip.NewReader(faultinject.CleanTruncateAt(bytes.NewReader(compressed), int64(len(compressed)/2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs, stats, err := ReadJobsOpts(zr, ReadOptions{Mode: Lenient})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Partial || len(jobs) == 0 {
+		t.Fatalf("jobs=%d partial=%v", len(jobs), stats.Partial)
+	}
+}
+
+func TestStrictOptsMatchesReadTasks(t *testing.T) {
+	// The Opts plumbing must not change what Strict mode accepts.
+	var buf bytes.Buffer
+	if err := WriteTasks(&buf, sampleTasks()); err != nil {
+		t.Fatal(err)
+	}
+	in := buf.String()
+	var a, b []TaskRecord
+	if err := ReadTasks(strings.NewReader(in), func(r TaskRecord) error { a = append(a, r); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := ReadTasksOpts(strings.NewReader(in), ReadOptions{}, func(r TaskRecord) error { b = append(b, r); return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) || stats.Rows != int64(len(a)) || stats.BadRows != 0 {
+		t.Fatalf("strict mismatch: %d vs %d (%s)", len(a), len(b), stats.Summary())
+	}
+}
+
+func TestLenientShortReads(t *testing.T) {
+	// The reader stack must be agnostic to read fragmentation.
+	in := strings.Repeat(goodRow, 50) + "bad,row\n" + strings.Repeat(goodRow, 50)
+	var rows int
+	stats, err := ReadTasksOpts(faultinject.ShortReads(strings.NewReader(in), 3, 7),
+		ReadOptions{Mode: Lenient}, func(TaskRecord) error { rows++; return nil })
+	if err != nil || rows != 100 || stats.BadRows != 1 {
+		t.Fatalf("rows=%d err=%v stats=%s", rows, err, stats.Summary())
+	}
+}
+
+func TestLenientInstancesAndMachines(t *testing.T) {
+	instIn := "i_1,M1,j_1,1,Terminated,10,20,m_1,1,4,50,90,0.2,0.4\n" +
+		"i_2,M1,j_1,1,Terminated,10,20,m_1,9,4,50,90,0.2,0.4\n" + // bad sequence
+		"i_3,M1,j_1,1,Terminated,10,20,m_1,1,4,NaN,90,0.2,0.4\n" // NaN zeroed, kept
+	var inst []InstanceRecord
+	stats, err := ReadInstancesOpts(strings.NewReader(instIn), ReadOptions{Mode: Lenient},
+		func(r InstanceRecord) error { inst = append(inst, r); return nil })
+	if err != nil || len(inst) != 2 {
+		t.Fatalf("instances=%d err=%v", len(inst), err)
+	}
+	if stats.ByClass[ErrClassValidation] != 1 || stats.ZeroedFields != 1 {
+		t.Fatalf("instance stats: %s", stats.Summary())
+	}
+	if inst[1].CPUAvg != 0 {
+		t.Fatalf("NaN cpu_avg not zeroed: %+v", inst[1])
+	}
+
+	machIn := "m_1,0,fd_1,rack_1,96,1,USING\n" +
+		"m_2,0,fd_1,rack_1,-2,1,USING\n" + // negative capacity
+		"m_3,zz,fd_1,rack_1,96,1,USING\n" // bad timestamp
+	var mach []MachineRecord
+	mstats, err := ReadMachinesOpts(strings.NewReader(machIn), ReadOptions{Mode: Lenient},
+		func(m MachineRecord) error { mach = append(mach, m); return nil })
+	if err != nil || len(mach) != 1 {
+		t.Fatalf("machines=%d err=%v", len(mach), err)
+	}
+	if mstats.BadRows != 2 {
+		t.Fatalf("machine stats: %s", mstats.Summary())
+	}
+}
+
+func TestBudgetErrorMessage(t *testing.T) {
+	_, _, err := readLenient(t, strings.Repeat("bad,row\n", 3), ReadOptions{MaxBadRows: 1})
+	if err == nil || !strings.Contains(err.Error(), "error budget exceeded") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestReadStatsSummary(t *testing.T) {
+	s := ReadStats{Rows: 10, BadRows: 2,
+		ByClass: map[ErrClass]int64{ErrClassNumeric: 2}, Quarantined: 2, Partial: true,
+		PartialCause: errors.New("unexpected EOF")}
+	got := s.Summary()
+	for _, want := range []string{"rows=10", "bad=2", "numeric_parse=2", "quarantined=2", "partial=true"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("summary %q missing %q", got, want)
+		}
+	}
+}

@@ -10,6 +10,21 @@ package trace
 
 import "fmt"
 
+// ValidationError is a semantic (not syntactic) record defect. Kind is
+// a stable identifier — e.g. "empty_job_name", "bad_sequence" — used
+// as the obs counter suffix trace.validation.<kind> by the lenient
+// ingest path.
+type ValidationError struct {
+	Kind string
+	msg  string
+}
+
+func (e *ValidationError) Error() string { return e.msg }
+
+func validationError(kind, format string, args ...interface{}) *ValidationError {
+	return &ValidationError{Kind: kind, msg: fmt.Sprintf(format, args...)}
+}
+
 // Status is a task or instance lifecycle state as recorded in the trace.
 type Status string
 
@@ -56,20 +71,22 @@ func (t TaskRecord) Duration() float64 {
 	return float64(t.EndTime - t.StartTime)
 }
 
-// Validate checks internal consistency of the record.
+// Validate checks internal consistency of the record. Failures are
+// *ValidationError values whose Kind names the defect, so the lenient
+// ingest path can tally each failure kind separately.
 func (t TaskRecord) Validate() error {
 	if t.JobName == "" {
-		return fmt.Errorf("trace: task %q has empty job name", t.TaskName)
+		return validationError("empty_job_name", "trace: task %q has empty job name", t.TaskName)
 	}
 	if t.TaskName == "" {
-		return fmt.Errorf("trace: job %s has a task with empty name", t.JobName)
+		return validationError("empty_task_name", "trace: job %s has a task with empty name", t.JobName)
 	}
 	if t.InstanceNum < 0 {
-		return fmt.Errorf("trace: task %s/%s has negative instance count %d",
+		return validationError("negative_instances", "trace: task %s/%s has negative instance count %d",
 			t.JobName, t.TaskName, t.InstanceNum)
 	}
 	if t.StartTime < 0 || t.EndTime < 0 {
-		return fmt.Errorf("trace: task %s/%s has negative timestamp", t.JobName, t.TaskName)
+		return validationError("negative_timestamp", "trace: task %s/%s has negative timestamp", t.JobName, t.TaskName)
 	}
 	return nil
 }
@@ -100,13 +117,14 @@ func (r InstanceRecord) Duration() float64 {
 	return float64(r.EndTime - r.StartTime)
 }
 
-// Validate checks internal consistency of the record.
+// Validate checks internal consistency of the record; failures are
+// kind-tagged *ValidationError values (see TaskRecord.Validate).
 func (r InstanceRecord) Validate() error {
 	if r.JobName == "" || r.TaskName == "" {
-		return fmt.Errorf("trace: instance %q missing job/task name", r.InstanceName)
+		return validationError("missing_names", "trace: instance %q missing job/task name", r.InstanceName)
 	}
 	if r.SeqNo < 0 || r.TotalSeqNo < 0 || (r.TotalSeqNo > 0 && r.SeqNo > r.TotalSeqNo) {
-		return fmt.Errorf("trace: instance %s has bad sequence %d/%d",
+		return validationError("bad_sequence", "trace: instance %s has bad sequence %d/%d",
 			r.InstanceName, r.SeqNo, r.TotalSeqNo)
 	}
 	return nil

@@ -12,8 +12,25 @@ import (
 
 // obsKernelPairs counts pairwise similarity evaluations (upper
 // triangle including the diagonal) — the O(n²) term every scaling
-// argument about the kernel matrix rests on.
-var obsKernelPairs = obs.Default().Counter("wl.kernel_pairs")
+// argument about the kernel matrix rests on. obsKernelAborts counts
+// computations cancelled through MatrixOptions.OnRow.
+var (
+	obsKernelPairs  = obs.Default().Counter("wl.kernel_pairs")
+	obsKernelAborts = obs.Default().Counter("wl.kernel_aborts")
+)
+
+// MatrixOptions configures the parallel kernel-matrix computation.
+type MatrixOptions struct {
+	// Workers bounds the row-band goroutines (<=0: GOMAXPROCS).
+	Workers int
+	// OnRow, when non-nil, is invoked serially after each completed row
+	// with the number of rows finished so far and the total. Returning a
+	// non-nil error cancels the computation: in-flight rows finish, all
+	// workers drain, and MatrixFromVectorsOpts returns a nil matrix
+	// wrapping the callback's error. This is the hook for progress
+	// reporting, deadlines, and cooperative cancellation.
+	OnRow func(done, total int) error
+}
 
 // KernelMatrix computes the full normalized similarity matrix over the
 // given job graphs — the data behind the paper's Figure 7 heat map.
@@ -38,10 +55,17 @@ func KernelMatrix(graphs []*dag.Graph, opt Options, workers int) (*linalg.Matrix
 // MatrixFromVectors computes the normalized similarity matrix from
 // pre-computed feature vectors (they must share one dictionary).
 func MatrixFromVectors(vecs []Vector, workers int) (*linalg.Matrix, error) {
+	return MatrixFromVectorsOpts(vecs, MatrixOptions{Workers: workers})
+}
+
+// MatrixFromVectorsOpts is MatrixFromVectors with progress reporting and
+// cooperative cancellation (see MatrixOptions.OnRow).
+func MatrixFromVectorsOpts(vecs []Vector, opt MatrixOptions) (*linalg.Matrix, error) {
 	n := len(vecs)
 	if n == 0 {
 		return nil, fmt.Errorf("wl: kernel matrix over zero vectors")
 	}
+	workers := opt.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -58,8 +82,18 @@ func MatrixFromVectors(vecs []Vector, workers int) (*linalg.Matrix, error) {
 	m := linalg.NewMatrix(n, n)
 	// Row i owns columns j >= i (upper triangle). Rows are handed out
 	// via a channel so long rows (small i) and short rows (large i)
-	// balance across workers without precomputing a schedule.
+	// balance across workers without precomputing a schedule. On abort
+	// the feeder stops handing out rows and closes the channel, so every
+	// worker — including ones mid-row — exits after its current row; a
+	// worker never writes outside its own rows, so the dropped matrix
+	// holds no torn cells (it is discarded regardless).
 	rows := make(chan int)
+	stop := make(chan struct{})
+	var stopOnce sync.Once
+	var mu sync.Mutex // guards done + abortErr, serializes OnRow
+	var abortErr error
+	done := 0
+
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -78,14 +112,37 @@ func MatrixFromVectors(vecs []Vector, workers int) (*linalg.Matrix, error) {
 					m.Set(i, j, s)
 					m.Set(j, i, s)
 				}
+				if opt.OnRow == nil {
+					continue
+				}
+				mu.Lock()
+				done++
+				err := opt.OnRow(done, n)
+				if err != nil && abortErr == nil {
+					abortErr = fmt.Errorf("wl: kernel matrix aborted after %d/%d rows: %w", done, n, err)
+				}
+				mu.Unlock()
+				if err != nil {
+					stopOnce.Do(func() { close(stop) })
+					return
+				}
 			}
 		}()
 	}
+feed:
 	for i := 0; i < n; i++ {
-		rows <- i
+		select {
+		case rows <- i:
+		case <-stop:
+			break feed
+		}
 	}
 	close(rows)
 	wg.Wait()
+	if abortErr != nil {
+		obsKernelAborts.Add(1)
+		return nil, abortErr
+	}
 	obsKernelPairs.Add(int64(n) * int64(n+1) / 2)
 	return m, nil
 }

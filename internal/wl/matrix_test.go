@@ -1,10 +1,14 @@
 package wl
 
 import (
+	"errors"
 	"math"
 	"math/rand"
+	"runtime"
+	"strings"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"jobgraph/internal/dag"
 )
@@ -146,6 +150,101 @@ func TestIdenticalChainsClusterAtOne(t *testing.T) {
 		for j := 0; j < 3; j++ {
 			if m.At(i, j) != 1 {
 				t.Fatalf("identical chains (%d,%d) = %g", i, j, m.At(i, j))
+			}
+		}
+	}
+}
+
+func testVectors(t testing.TB, n int, seed int64) []Vector {
+	t.Helper()
+	vecs, _, err := Features(sampleGraphs(t, n, seed), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return vecs
+}
+
+func TestMatrixOnRowProgress(t *testing.T) {
+	vecs := testVectors(t, 25, 5)
+	var calls int
+	last := 0
+	m, err := MatrixFromVectorsOpts(vecs, MatrixOptions{Workers: 1, OnRow: func(done, total int) error {
+		calls++
+		if total != 25 || done != last+1 {
+			t.Fatalf("progress (%d,%d) after %d", done, total, last)
+		}
+		last = done
+		return nil
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 25 || m == nil {
+		t.Fatalf("calls = %d, matrix nil = %v", calls, m == nil)
+	}
+}
+
+// TestMatrixAbortMidRun cancels the parallel computation from the OnRow
+// callback and checks the contract: nil matrix, the callback's error
+// wrapped, no goroutine leak, and no worker stuck feeding. Run under
+// -race this also proves the abort path has no unsynchronized state.
+func TestMatrixAbortMidRun(t *testing.T) {
+	vecs := testVectors(t, 60, 6)
+	before := runtime.NumGoroutine()
+	boom := errors.New("deadline blown")
+	for trial := 0; trial < 20; trial++ {
+		m, err := MatrixFromVectorsOpts(vecs, MatrixOptions{Workers: 8, OnRow: func(done, total int) error {
+			if done >= 3+trial {
+				return boom
+			}
+			return nil
+		}})
+		if m != nil {
+			t.Fatalf("trial %d: aborted run returned a matrix", trial)
+		}
+		if !errors.Is(err, boom) {
+			t.Fatalf("trial %d: err = %v, want wrapped boom", trial, err)
+		}
+		if !strings.Contains(err.Error(), "aborted after") {
+			t.Fatalf("trial %d: err lacks progress context: %v", trial, err)
+		}
+	}
+	// All workers and the feeder must have drained. Allow the runtime a
+	// moment to reap finished goroutines before comparing.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > before {
+		t.Fatalf("goroutines leaked: %d before, %d after", before, g)
+	}
+}
+
+func TestMatrixAbortFirstRow(t *testing.T) {
+	vecs := testVectors(t, 10, 7)
+	boom := errors.New("stop immediately")
+	m, err := MatrixFromVectorsOpts(vecs, MatrixOptions{Workers: 4, OnRow: func(done, total int) error {
+		return boom
+	}})
+	if m != nil || !errors.Is(err, boom) {
+		t.Fatalf("m=%v err=%v", m, err)
+	}
+}
+
+func TestMatrixOptsMatchesPlain(t *testing.T) {
+	vecs := testVectors(t, 15, 8)
+	a, err := MatrixFromVectors(vecs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MatrixFromVectorsOpts(vecs, MatrixOptions{Workers: 4, OnRow: func(done, total int) error { return nil }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < a.Cols; j++ {
+			if a.At(i, j) != b.At(i, j) {
+				t.Fatalf("matrices differ at (%d,%d)", i, j)
 			}
 		}
 	}

@@ -1,0 +1,199 @@
+// End-to-end resilience tests: a trace with malformed rows AND a
+// truncated gzip tail flows through the lenient reader into the full
+// analysis pipeline, exactly the path `reproduce -lenient` takes on a
+// damaged real-world table.
+package jobgraph_test
+
+import (
+	"bytes"
+	"compress/gzip"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"jobgraph/internal/core"
+	"jobgraph/internal/faultinject"
+	"jobgraph/internal/trace"
+	"jobgraph/internal/tracegen"
+)
+
+// dirtyTrace builds a gzip-compressed batch_task table with bad rows
+// interleaved every `badEvery` lines, returning the compressed bytes
+// and the number of injected bad rows.
+func dirtyTrace(t *testing.T, nJobs int, seed int64, badEvery int) ([]byte, int) {
+	t.Helper()
+	records, err := tracegen.Generate(tracegen.DefaultConfig(nJobs, seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var plain bytes.Buffer
+	if err := trace.WriteTasks(&plain, records); err != nil {
+		t.Fatal(err)
+	}
+	var dirty bytes.Buffer
+	bad := 0
+	for i, line := range strings.SplitAfter(plain.String(), "\n") {
+		if line == "" {
+			continue
+		}
+		if badEvery > 0 && i%badEvery == badEvery-1 {
+			switch bad % 3 {
+			case 0:
+				dirty.WriteString("corrupt,row\n")
+			case 1:
+				dirty.WriteString("task_bad,NOTANUM,j_x,1,Terminated,1,2,1,1\n")
+			case 2:
+				dirty.WriteString("task_nan,1,j_x,1,Terminated,1,2,NaN,0.5\n")
+			}
+			bad++
+		}
+		dirty.WriteString(line)
+	}
+	var gz bytes.Buffer
+	zw := gzip.NewWriter(&gz)
+	if _, err := zw.Write(dirty.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return gz.Bytes(), bad
+}
+
+// TestResilientPipelineSurvivesDamagedTrace is the acceptance path: a
+// trace with malformed rows under budget AND a truncated gzip tail must
+// still produce a non-empty Analysis, with Partial flagged and the
+// degradations spelled out in Warnings.
+func TestResilientPipelineSurvivesDamagedTrace(t *testing.T) {
+	compressed, injected := dirtyTrace(t, 4000, 202, 400)
+	if injected == 0 {
+		t.Fatal("fixture injected no bad rows")
+	}
+	zr, err := gzip.NewReader(faultinject.CleanTruncateAt(
+		bytes.NewReader(compressed), int64(len(compressed)*4/5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var quarantine bytes.Buffer
+	jobs, stats, err := trace.ReadJobsOpts(zr, trace.ReadOptions{
+		Mode:        trace.Lenient,
+		MaxBadRatio: 0.05,
+		Quarantine:  &quarantine,
+	})
+	if err != nil {
+		t.Fatalf("lenient read of damaged trace failed: %v", err)
+	}
+	if !stats.Partial {
+		t.Fatalf("truncation not flagged: %s", stats.Summary())
+	}
+	if stats.BadRows == 0 || stats.Quarantined != stats.BadRows {
+		t.Fatalf("bad rows not tallied/quarantined: %s", stats.Summary())
+	}
+	if !strings.Contains(quarantine.String(), "corrupt,row") {
+		t.Fatal("quarantine sidecar missing verbatim bad row")
+	}
+	if len(jobs) == 0 {
+		t.Fatal("no jobs recovered from damaged trace")
+	}
+
+	cfg := core.DefaultConfig(benchWindow, 202)
+	cfg.SampleSize = 50
+	cfg.Ingest = &stats
+	an, err := core.Run(jobs, cfg)
+	if err != nil {
+		t.Fatalf("pipeline failed on recovered jobs: %v", err)
+	}
+	if len(an.Sample) == 0 || len(an.Groups) == 0 || len(an.Labels) == 0 {
+		t.Fatalf("empty analysis: sample=%d groups=%d", len(an.Sample), len(an.Groups))
+	}
+	if !an.Partial {
+		t.Fatal("analysis not marked Partial despite truncated ingest")
+	}
+	var sawTrunc, sawBad bool
+	for _, w := range an.Warnings {
+		if strings.Contains(w, "truncated") {
+			sawTrunc = true
+		}
+		if strings.Contains(w, "malformed rows skipped") {
+			sawBad = true
+		}
+	}
+	if !sawTrunc || !sawBad {
+		t.Fatalf("ingest degradations not surfaced: %v", an.Warnings)
+	}
+}
+
+// TestResilientPipelineAbortsOverBudget proves the flip side: when the
+// damage exceeds the configured budget the read aborts with a
+// BudgetError instead of silently analyzing a gutted trace.
+func TestResilientPipelineAbortsOverBudget(t *testing.T) {
+	compressed, injected := dirtyTrace(t, 2000, 303, 50)
+	zr, err := gzip.NewReader(bytes.NewReader(compressed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget := int64(injected / 2)
+	_, stats, err := trace.ReadJobsOpts(zr, trace.ReadOptions{
+		Mode:       trace.Lenient,
+		MaxBadRows: budget,
+	})
+	var be *trace.BudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("err = %v, want BudgetError", err)
+	}
+	if stats.BadRows != budget+1 {
+		t.Fatalf("aborted after %d bad rows, budget %d", stats.BadRows, budget)
+	}
+}
+
+// TestStrictModeUnchangedOnDamage re-checks the seed contract: strict
+// mode still fails fast on the same damaged input.
+func TestStrictModeUnchangedOnDamage(t *testing.T) {
+	compressed, _ := dirtyTrace(t, 500, 404, 100)
+	zr, err := gzip.NewReader(bytes.NewReader(compressed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = trace.ReadJobsOpts(zr, trace.ReadOptions{})
+	var re *trace.RowError
+	if !errors.As(err, &re) {
+		t.Fatalf("strict read of damaged trace: err = %v, want RowError", err)
+	}
+}
+
+// TestLenientCleanTraceByteIdentical asserts the other acceptance
+// clause: on a clean trace, Strict and Lenient deliver byte-identical
+// record streams and Lenient reports a spotless bill of health.
+func TestLenientCleanTraceByteIdentical(t *testing.T) {
+	records, err := tracegen.Generate(tracegen.DefaultConfig(1500, 505))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := trace.WriteTasks(&buf, records); err != nil {
+		t.Fatal(err)
+	}
+	clean := buf.String()
+
+	render := func(mode trace.Mode) (string, trace.ReadStats) {
+		var out bytes.Buffer
+		stats, err := trace.ReadTasksOpts(strings.NewReader(clean), trace.ReadOptions{Mode: mode},
+			func(r trace.TaskRecord) error {
+				fmt.Fprintf(&out, "%+v\n", r)
+				return nil
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out.String(), stats
+	}
+	strictOut, _ := render(trace.Strict)
+	lenientOut, stats := render(trace.Lenient)
+	if strictOut != lenientOut {
+		t.Fatal("clean trace renders differently between modes")
+	}
+	if stats.BadRows != 0 || stats.Partial || stats.ZeroedFields != 0 {
+		t.Fatalf("clean trace reported damage: %s", stats.Summary())
+	}
+}
