@@ -6,8 +6,12 @@
 // Usage:
 //
 //	characterize [-trace batch_task.csv | -gen 10000] [-sample 100] [-seed 1]
-//	             [-v] [-log-json] [-debug-addr localhost:6060]
+//	             [-workers N] [-v] [-log-json] [-debug-addr localhost:6060]
 //	             [-trace-out trace.json] [-ledger results/runs/ledger.jsonl]
+//
+// -workers spreads the parallel stages (trace decode, filtering, the
+// per-job DAG stage, the WL kernel) across that many goroutines; 0
+// uses every CPU, 1 forces the bit-identical sequential pipeline.
 package main
 
 import (
@@ -17,6 +21,7 @@ import (
 	"jobgraph/internal/cli"
 	"jobgraph/internal/core"
 	"jobgraph/internal/sampling"
+	"jobgraph/internal/trace"
 )
 
 func main() { cli.Run(run) }
@@ -29,6 +34,7 @@ func run() error {
 		seed      = flag.Int64("seed", 1, "RNG seed")
 	)
 	obsFlags := cli.RegisterObsFlags()
+	workers := cli.RegisterWorkersFlag()
 	flag.Parse()
 
 	sess, err := obsFlags.Start("characterize")
@@ -37,11 +43,12 @@ func run() error {
 	}
 	defer sess.Close()
 
-	jobs, err := cli.LoadOrGenerate(*tracePath, *gen, *seed)
+	jobs, _, err := cli.LoadOrGenerateOpts(*tracePath, *gen, *seed,
+		trace.ReadOptions{Workers: *workers})
 	if err != nil {
 		return fmt.Errorf("characterize: %v", err)
 	}
-	cands, fstats, err := sampling.Filter(jobs, sampling.PaperCriteria(cli.TraceWindow()))
+	cands, fstats, err := sampling.FilterParallel(jobs, sampling.PaperCriteria(cli.TraceWindow()), *workers)
 	if err != nil {
 		return fmt.Errorf("characterize: %v", err)
 	}
@@ -75,7 +82,7 @@ func run() error {
 	fmt.Println(census)
 
 	// Fig 6 needs a bounded per-job table: sample first.
-	an, err := core.Run(jobs, sampleConfig(*sample, *seed))
+	an, err := core.Run(jobs, sampleConfig(*sample, *seed, *workers))
 	if err != nil {
 		return fmt.Errorf("characterize: %v", err)
 	}
@@ -83,8 +90,9 @@ func run() error {
 	return nil
 }
 
-func sampleConfig(sample int, seed int64) core.Config {
+func sampleConfig(sample int, seed int64, workers int) core.Config {
 	cfg := core.DefaultConfig(cli.TraceWindow(), seed)
 	cfg.SampleSize = sample
+	cfg.Workers = workers
 	return cfg
 }

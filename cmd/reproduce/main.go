@@ -6,8 +6,13 @@
 // Usage:
 //
 //	reproduce [-trace batch_task.csv | -gen 20000] [-seed 1] [-out results/]
-//	          [-v] [-log-json] [-debug-addr localhost:6060]
+//	          [-workers N] [-v] [-log-json] [-debug-addr localhost:6060]
 //	          [-trace-out trace.json] [-ledger results/runs/ledger.jsonl]
+//
+// -workers spreads the parallel stages (trace decode, job grouping,
+// candidate filtering, per-job DAG metrics, the WL kernel matrix)
+// across that many goroutines; 0 uses every CPU and 1 forces the
+// sequential pipeline, which produces bit-identical output.
 //
 // With -out, a metrics.json snapshot of every pipeline counter, span
 // and histogram is written next to the CSV artifacts. -trace-out emits
@@ -50,6 +55,7 @@ func run() error {
 	)
 	obsFlags := cli.RegisterObsFlags()
 	ingestFlags := cli.RegisterIngestFlags()
+	workers := cli.RegisterWorkersFlag()
 	flag.Parse()
 
 	sess, err := obsFlags.Start("reproduce")
@@ -62,6 +68,7 @@ func run() error {
 	if err != nil {
 		return fmt.Errorf("reproduce: %v", err)
 	}
+	readOpts.Workers = *workers
 	defer ingestFlags.Close()
 
 	if *outDir != "" {
@@ -84,7 +91,7 @@ func run() error {
 		fmt.Printf("== Ingest ==\n%s\n\n", istats.Summary())
 	}
 
-	cands, fstats, err := sampling.Filter(jobs, sampling.PaperCriteria(cli.TraceWindow()))
+	cands, fstats, err := sampling.FilterParallel(jobs, sampling.PaperCriteria(cli.TraceWindow()), *workers)
 	if err != nil {
 		return fmt.Errorf("reproduce: %v", err)
 	}
@@ -94,6 +101,7 @@ func run() error {
 		fstats.NotTerminated, fstats.OutsideWindow, fstats.NonDAG, fstats.NoWindow)
 
 	cfg := core.DefaultConfig(cli.TraceWindow(), *seed)
+	cfg.Workers = *workers
 	cfg.Ingest = istats
 	an, err := core.Run(jobs, cfg)
 	if err != nil {

@@ -16,6 +16,11 @@
 // flag. The exit status is non-zero when the error budget was exceeded
 // or the lint found errors. The shared observability flags (-v,
 // -log-json, -debug-addr, -trace-out, -ledger) are accepted too.
+//
+// Real traces are linted as a stream: jobs are checked as they come off
+// the reader (trace.ForEachJob), so memory is bounded by the in-flight
+// job window rather than the table size, and -workers spreads the CSV
+// decode across CPUs.
 package main
 
 import (
@@ -40,6 +45,7 @@ func run() error {
 	)
 	obsFlags := cli.RegisterObsFlags()
 	ingestFlags := cli.RegisterIngestFlags()
+	workers := cli.RegisterWorkersFlag()
 	flag.Parse()
 
 	sess, err := obsFlags.Start("tracecheck")
@@ -52,9 +58,26 @@ func run() error {
 	if err != nil {
 		return fmt.Errorf("tracecheck: %v", err)
 	}
+	readOpts.Workers = *workers
 	defer ingestFlags.Close()
 
-	jobs, stats, err := cli.LoadOrGenerateOpts(*tracePath, *gen, *seed, readOpts)
+	// With a real trace, lint jobs as they stream off the reader —
+	// memory stays bounded by the job window, not the table size.
+	var rep *lint.Report
+	var stats *trace.ReadStats
+	if *tracePath != "" {
+		rep = lint.NewReport()
+		stats, err = cli.StreamJobs(*tracePath, readOpts, func(j trace.Job) error {
+			rep.Lint(j)
+			return nil
+		})
+	} else {
+		var jobs []trace.Job
+		jobs, stats, err = cli.LoadOrGenerateOpts("", *gen, *seed, readOpts)
+		if err == nil {
+			rep = lint.Jobs(jobs)
+		}
+	}
 	if err != nil {
 		var be *trace.BudgetError
 		if errors.As(err, &be) {
@@ -71,7 +94,7 @@ func run() error {
 			sess.AddWarning(fmt.Sprintf("partial read: %v", stats.PartialCause))
 		}
 	}
-	rep := lint.Jobs(jobs)
+	rep.Finish()
 
 	fmt.Printf("linted %d jobs: %d errors, %d warnings, %d info\n\n",
 		rep.Jobs, rep.Count(lint.Error), rep.Count(lint.Warning), rep.Count(lint.Info))
@@ -124,6 +147,9 @@ func printIngestHealth(stats *trace.ReadStats, quarantinePath string) {
 	}
 	if quarantinePath != "" {
 		fmt.Printf("quarantined:     %d rows -> %s\n", stats.Quarantined, quarantinePath)
+	}
+	if stats.ReopenedJobs > 0 {
+		fmt.Printf("reopened jobs:   %d (rows resurfaced after the job window flushed)\n", stats.ReopenedJobs)
 	}
 	fmt.Printf("partial read:    %v", stats.Partial)
 	if stats.Partial {

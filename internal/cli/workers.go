@@ -1,0 +1,51 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"jobgraph/internal/obs"
+	"jobgraph/internal/trace"
+)
+
+// RegisterWorkersFlag registers the shared -workers flag on the process
+// flag set: one knob for every parallel stage (shard decoding, job
+// grouping, candidate filtering, the per-job DAG stage, the kernel
+// matrix). 0 uses every CPU; 1 forces the sequential pipeline, which
+// reproduces the parallel output bit-for-bit.
+func RegisterWorkersFlag() *int { return RegisterWorkersFlagOn(flag.CommandLine) }
+
+// RegisterWorkersFlagOn registers -workers on fs (tests use private
+// flag sets).
+func RegisterWorkersFlagOn(fs *flag.FlagSet) *int {
+	return fs.Int("workers", 0, "worker goroutines for parallel stages (0: all CPUs, 1: sequential)")
+}
+
+// StreamJobs streams a trace table through trace.ForEachJob under the
+// trace.load span: each job is handed to fn as soon as its rows are
+// complete, so memory stays bounded by the job window instead of the
+// table size. Budget violations surface as a *trace.BudgetError.
+func StreamJobs(path string, opt trace.ReadOptions, fn func(trace.Job) error) (*trace.ReadStats, error) {
+	reg := obs.Default()
+	sp := reg.StartSpan("trace.load")
+	f, err := trace.OpenTable(path)
+	if err != nil {
+		return nil, fmt.Errorf("open trace: %w", err)
+	}
+	defer f.Close()
+	var jobs int64
+	stats, err := trace.ForEachJob(f, opt, func(j trace.Job) error {
+		jobs++
+		return fn(j)
+	})
+	if err != nil {
+		return &stats, fmt.Errorf("parse trace %s: %w", path, err)
+	}
+	reg.Counter("trace.jobs_loaded").Add(jobs)
+	d := sp.End()
+	reg.Logger().Info("stage complete", "stage", "trace.load",
+		"duration", d.Round(time.Microsecond), "jobs", jobs, "source", path,
+		"ingest", stats.Summary())
+	return &stats, nil
+}

@@ -11,6 +11,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"time"
 
@@ -54,8 +55,16 @@ type Config struct {
 	WL wl.Options
 	// Groups is the spectral cluster count (the paper finds 5).
 	Groups int
-	// Workers bounds kernel-matrix parallelism (<=0: GOMAXPROCS).
+	// Workers bounds the pipeline's parallel stages — candidate
+	// filtering, the per-job DAG stage, and the kernel matrix (<=0:
+	// GOMAXPROCS; 1: fully sequential). Every worker count produces the
+	// same Analysis bit-for-bit.
 	Workers int
+	// OnJob, when non-nil, is invoked serially after each job finishes
+	// the per-job DAG stage with (done, total) — the per-job counterpart
+	// of wl.MatrixOptions.OnRow. Returning a non-nil error cancels the
+	// run cooperatively.
+	OnJob func(done, total int) error
 	// Ingest carries the trace reader's health stats when the jobs came
 	// from a lenient read. A partial or lossy ingest is surfaced as
 	// warnings on the Analysis (and Partial when the table was
@@ -121,12 +130,31 @@ type GroupProfile struct {
 	Members []int
 }
 
+// JobStat is the per-sampled-job structural and resource summary
+// computed by the dag.jobs stage, index-aligned with Analysis.Sample.
+type JobStat struct {
+	// Size/Depth/MaxWidth describe the (possibly conflated) DAG: node
+	// count, critical-path length, and maximum antichain width.
+	Size, Depth, MaxWidth int
+	// Chain reports a straight-chain topology (pattern.Chain).
+	Chain bool
+	// Merged is the number of nodes removed by conflation (0 when
+	// conflation is disabled).
+	Merged int
+	// Instances/PlanCPU/Duration are the job's summed resource demand
+	// across its DAG nodes.
+	Instances, PlanCPU, Duration float64
+}
+
 // Analysis is the full pipeline output.
 type Analysis struct {
 	// Sample is the analyzed candidate set (post-filter, post-sample).
 	Sample []sampling.Candidate
 	// Graphs are the DAGs the kernel ran on (conflated when configured).
 	Graphs []*dag.Graph
+	// JobStats are the per-job structural summaries, aligned with
+	// Sample/Graphs.
+	JobStats []JobStat
 	// FilterStats reports the §IV-B selection outcome.
 	FilterStats sampling.FilterStats
 	// Similarity is the n×n normalized WL kernel matrix (Figure 7).
@@ -255,7 +283,7 @@ func Run(jobs []trace.Job, cfg Config) (*Analysis, error) {
 	var fstats sampling.FilterStats
 	if err := stage("sampling.filter", func() (string, error) {
 		var err error
-		cands, fstats, err = sampling.Filter(jobs, cfg.Criteria)
+		cands, fstats, err = sampling.FilterParallel(jobs, cfg.Criteria, cfg.Workers)
 		if err != nil {
 			return "", err
 		}
@@ -278,23 +306,60 @@ func Run(jobs []trace.Job, cfg Config) (*Analysis, error) {
 		return nil, err
 	}
 
+	// dag.jobs: the per-job structural stage — conflation (when
+	// configured) plus size / critical path / max width / chain
+	// classification / resource sums — run across the worker pool with
+	// index-addressed writes, so collection is order-stable and the
+	// result is identical at every worker count.
 	graphs := make([]*dag.Graph, len(sample))
-	if err := stage("conflate", func() (string, error) {
-		merged := 0
-		for i, c := range sample {
-			g := c.Graph
+	jstats := make([]JobStat, len(sample))
+	if err := stage("dag.jobs", func() (string, error) {
+		workers := cfg.Workers
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		err := runPool("dag.jobs", len(sample), workers, cfg.OnJob, func(i int) error {
+			g := sample[i].Graph
+			js := JobStat{}
 			if cfg.Conflate {
 				cg, cst, err := conflate.Conflate(g)
 				if err != nil {
-					return "", fmt.Errorf("core: conflating %s: %w", g.JobID, err)
+					return fmt.Errorf("core: conflating %s: %w", g.JobID, err)
 				}
-				merged += cst.SizeBefore - cst.SizeAfter
+				js.Merged = cst.SizeBefore - cst.SizeAfter
 				g = cg
 			}
+			depth, err := g.Depth()
+			if err != nil {
+				return fmt.Errorf("core: depth of %s: %w", g.JobID, err)
+			}
+			width, err := g.MaxWidth()
+			if err != nil {
+				return fmt.Errorf("core: width of %s: %w", g.JobID, err)
+			}
+			js.Size, js.Depth, js.MaxWidth = g.Size(), depth, width
+			if s, err := pattern.Classify(g); err == nil && s == pattern.Chain {
+				js.Chain = true
+			}
+			for _, id := range g.NodeIDs() {
+				n := g.Node(id)
+				js.Instances += float64(n.Instances)
+				js.PlanCPU += n.PlanCPU
+				js.Duration += n.Duration
+			}
 			graphs[i] = g
+			jstats[i] = js
+			return nil
+		})
+		if err != nil {
+			return "", err
 		}
 		if !cfg.Conflate {
-			return "disabled", nil
+			return fmt.Sprintf("structural stats for %d graphs (conflation disabled)", len(graphs)), nil
+		}
+		merged := 0
+		for i := range jstats {
+			merged += jstats[i].Merged
 		}
 		return fmt.Sprintf("merged %d nodes across %d graphs", merged, len(graphs)), nil
 	}); err != nil {
@@ -355,6 +420,7 @@ func Run(jobs []trace.Job, cfg Config) (*Analysis, error) {
 
 	an.Sample = sample
 	an.Graphs = graphs
+	an.JobStats = jstats
 	an.FilterStats = fstats
 	an.Similarity = sim
 	an.Labels = spec.Labels
@@ -363,10 +429,7 @@ func Run(jobs []trace.Job, cfg Config) (*Analysis, error) {
 	an.vectors = vectors
 
 	if err := stage("profile.groups", func() (string, error) {
-		var err error
-		if an.Groups, err = profileGroups(graphs, sim, spec.Labels); err != nil {
-			return "", err
-		}
+		an.Groups = profileGroups(graphs, jstats, sim, spec.Labels)
 		if dist, err := cluster.DistanceFromSimilarity(sim); err == nil {
 			if s, err := cluster.Silhouette(dist, spec.Labels); err == nil {
 				an.Silhouette = s
@@ -409,8 +472,9 @@ func sizeQuantileLabels(graphs []*dag.Graph, k int) []int {
 	return labels
 }
 
-// profileGroups computes population-ranked group statistics.
-func profileGroups(graphs []*dag.Graph, sim *linalg.Matrix, labels []int) ([]GroupProfile, error) {
+// profileGroups computes population-ranked group statistics from the
+// per-job summaries the dag.jobs stage already produced.
+func profileGroups(graphs []*dag.Graph, jstats []JobStat, sim *linalg.Matrix, labels []int) []GroupProfile {
 	byLabel := make(map[int][]int)
 	for i, l := range labels {
 		byLabel[l] = append(byLabel[l], i)
@@ -443,30 +507,19 @@ func profileGroups(graphs []*dag.Graph, sim *linalg.Matrix, labels []int) ([]Gro
 		chains, short := 0, 0
 		var sumInst, sumCPU, sumDur float64
 		for _, idx := range e.members {
-			g := graphs[idx]
-			depth, err := g.Depth()
-			if err != nil {
-				return nil, err
-			}
-			width, err := g.MaxWidth()
-			if err != nil {
-				return nil, err
-			}
-			sizes = append(sizes, float64(g.Size()))
-			depths = append(depths, float64(depth))
-			widths = append(widths, float64(width))
-			if s, err := pattern.Classify(g); err == nil && s == pattern.Chain {
+			js := jstats[idx]
+			sizes = append(sizes, float64(js.Size))
+			depths = append(depths, float64(js.Depth))
+			widths = append(widths, float64(js.MaxWidth))
+			if js.Chain {
 				chains++
 			}
-			if g.Size() < 3 {
+			if js.Size < 3 {
 				short++
 			}
-			for _, id := range g.NodeIDs() {
-				n := g.Node(id)
-				sumInst += float64(n.Instances)
-				sumCPU += n.PlanCPU
-				sumDur += n.Duration
-			}
+			sumInst += js.Instances
+			sumCPU += js.PlanCPU
+			sumDur += js.Duration
 		}
 		gp.MeanInstances = sumInst / float64(len(e.members))
 		gp.MeanPlanCPU = sumCPU / float64(len(e.members))
@@ -479,7 +532,7 @@ func profileGroups(graphs []*dag.Graph, sim *linalg.Matrix, labels []int) ([]Gro
 		gp.Representative = graphs[medoid(sim, e.members)].JobID
 		groups = append(groups, gp)
 	}
-	return groups, nil
+	return groups
 }
 
 // medoid returns the member index with the highest total similarity to

@@ -1,0 +1,181 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// TestRunWorkersDeterminism is the tentpole guarantee: Workers=1 (the
+// fully sequential pipeline) and Workers=8 produce an identical
+// Analysis on a 3k-job synthetic trace — similarity matrix bytes,
+// labels, groups, per-job stats, everything except wall-clock timings.
+func TestRunWorkersDeterminism(t *testing.T) {
+	jobs := genJobs(t, 3000, 21)
+	run := func(workers int) *Analysis {
+		cfg := DefaultConfig(testWindow, 21)
+		cfg.Workers = workers
+		an, err := Run(jobs, cfg)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return an
+	}
+	seq := run(1)
+	par := run(8)
+
+	if !reflect.DeepEqual(seq.Similarity.Data, par.Similarity.Data) {
+		t.Error("similarity matrices differ")
+	}
+	if !reflect.DeepEqual(seq.Labels, par.Labels) {
+		t.Error("cluster labels differ")
+	}
+	if !reflect.DeepEqual(seq.Groups, par.Groups) {
+		t.Error("group profiles differ")
+	}
+	if !reflect.DeepEqual(seq.JobStats, par.JobStats) {
+		t.Error("per-job stats differ")
+	}
+	if seq.Silhouette != par.Silhouette {
+		t.Errorf("silhouette differs: %v vs %v", seq.Silhouette, par.Silhouette)
+	}
+	if !reflect.DeepEqual(seq.FilterStats, par.FilterStats) {
+		t.Errorf("filter stats differ: %+v vs %+v", seq.FilterStats, par.FilterStats)
+	}
+	if len(seq.Sample) != len(par.Sample) {
+		t.Fatalf("sample sizes differ: %d vs %d", len(seq.Sample), len(par.Sample))
+	}
+	for i := range seq.Sample {
+		if seq.Sample[i].Job.Name != par.Sample[i].Job.Name {
+			t.Fatalf("sample[%d] differs: %s vs %s", i, seq.Sample[i].Job.Name, par.Sample[i].Job.Name)
+		}
+	}
+	if !reflect.DeepEqual(seq.Warnings, par.Warnings) {
+		t.Errorf("warnings differ: %v vs %v", seq.Warnings, par.Warnings)
+	}
+}
+
+func TestRunWorkersDeterminismConflated(t *testing.T) {
+	jobs := genJobs(t, 1500, 9)
+	run := func(workers int) *Analysis {
+		cfg := DefaultConfig(testWindow, 9)
+		cfg.Conflate = true
+		cfg.Workers = workers
+		an, err := Run(jobs, cfg)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return an
+	}
+	seq, par := run(1), run(4)
+	if !reflect.DeepEqual(seq.JobStats, par.JobStats) {
+		t.Error("conflated per-job stats differ")
+	}
+	if !reflect.DeepEqual(seq.Labels, par.Labels) {
+		t.Error("conflated labels differ")
+	}
+}
+
+func TestJobStatsAligned(t *testing.T) {
+	an := runPipeline(t, 2000, 3)
+	if len(an.JobStats) != len(an.Sample) || len(an.JobStats) != len(an.Graphs) {
+		t.Fatalf("JobStats misaligned: %d stats, %d sample, %d graphs",
+			len(an.JobStats), len(an.Sample), len(an.Graphs))
+	}
+	for i, js := range an.JobStats {
+		if js.Size != an.Graphs[i].Size() {
+			t.Fatalf("JobStats[%d].Size=%d, graph size %d", i, js.Size, an.Graphs[i].Size())
+		}
+		if js.Depth < 1 || js.MaxWidth < 1 {
+			t.Fatalf("JobStats[%d] has empty structure: %+v", i, js)
+		}
+	}
+}
+
+func TestRunPoolOrderStable(t *testing.T) {
+	for _, workers := range []int{1, 4, 16} {
+		n := 500
+		out := make([]int, n)
+		err := runPool("test", n, workers, nil, func(i int) error {
+			out[i] = i * i
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range out {
+			if out[i] != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d", workers, i, out[i])
+			}
+		}
+	}
+}
+
+func TestRunPoolLowestIndexErrorWins(t *testing.T) {
+	wantErr := errors.New("boom")
+	for _, workers := range []int{1, 4} {
+		err := runPool("test", 100, workers, nil, func(i int) error {
+			if i == 7 || i == 60 {
+				return fmt.Errorf("item %d: %w", i, wantErr)
+			}
+			return nil
+		})
+		if err == nil || !errors.Is(err, wantErr) {
+			t.Fatalf("workers=%d: err = %v", workers, err)
+		}
+		// Item 7's error must win: it is always dispatched before any
+		// later failing index can halt the pool.
+		if got := err.Error(); got != "item 7: boom" {
+			t.Fatalf("workers=%d: err = %q, want item 7's", workers, got)
+		}
+	}
+}
+
+func TestRunPoolCancellation(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		var mu sync.Mutex
+		ran := 0
+		err := runPool("test", 1000, workers, func(done, total int) error {
+			if done >= 10 {
+				return errors.New("enough")
+			}
+			return nil
+		}, func(i int) error {
+			mu.Lock()
+			ran++
+			mu.Unlock()
+			return nil
+		})
+		if err == nil {
+			t.Fatalf("workers=%d: expected abort error", workers)
+		}
+		wantPrefix := "core: test aborted after "
+		if got := err.Error(); len(got) < len(wantPrefix) || got[:len(wantPrefix)] != wantPrefix {
+			t.Fatalf("workers=%d: err = %q", workers, got)
+		}
+		mu.Lock()
+		n := ran
+		mu.Unlock()
+		if n >= 1000 {
+			t.Fatalf("workers=%d: cancellation did not stop the pool (ran %d)", workers, n)
+		}
+	}
+}
+
+func TestRunOnJobCancels(t *testing.T) {
+	jobs := genJobs(t, 1500, 5)
+	cfg := DefaultConfig(testWindow, 5)
+	cfg.Workers = 4
+	cfg.OnJob = func(done, total int) error {
+		if done > 3 {
+			return errors.New("user interrupt")
+		}
+		return nil
+	}
+	_, err := Run(jobs, cfg)
+	if err == nil {
+		t.Fatal("expected OnJob cancellation to abort the run")
+	}
+}

@@ -74,20 +74,38 @@ func (r *Report) Count(s Severity) int {
 // Clean reports whether the corpus has no Error findings.
 func (r *Report) Clean() bool { return r.Count(Error) == 0 }
 
+// NewReport returns an empty report ready for incremental Lint calls —
+// the streaming counterpart of Jobs, for callers consuming
+// trace.ForEachJob. Call Finish once all jobs have been linted.
+func NewReport() *Report {
+	return &Report{ByCheck: make(map[string]int)}
+}
+
+// Lint checks one job and accumulates its findings.
+func (r *Report) Lint(j trace.Job) {
+	r.Jobs++
+	lintJob(r, j)
+}
+
+// Finish sorts the findings into deterministic output order (by job,
+// then check). The report is ready to read afterwards.
+func (r *Report) Finish() *Report {
+	sort.SliceStable(r.Findings, func(a, b int) bool {
+		if r.Findings[a].Job != r.Findings[b].Job {
+			return r.Findings[a].Job < r.Findings[b].Job
+		}
+		return r.Findings[a].Check < r.Findings[b].Check
+	})
+	return r
+}
+
 // Jobs lints a grouped trace.
 func Jobs(jobs []trace.Job) *Report {
-	rep := &Report{Jobs: len(jobs), ByCheck: make(map[string]int)}
+	rep := NewReport()
 	for _, j := range jobs {
-		lintJob(rep, j)
+		rep.Lint(j)
 	}
-	// Deterministic output order: by job, then check.
-	sort.SliceStable(rep.Findings, func(a, b int) bool {
-		if rep.Findings[a].Job != rep.Findings[b].Job {
-			return rep.Findings[a].Job < rep.Findings[b].Job
-		}
-		return rep.Findings[a].Check < rep.Findings[b].Check
-	})
-	return rep
+	return rep.Finish()
 }
 
 func (r *Report) add(sev Severity, job, check, detail string) {

@@ -8,7 +8,9 @@ package sampling
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sort"
+	"sync"
 
 	"jobgraph/internal/dag"
 	"jobgraph/internal/obs"
@@ -102,10 +104,62 @@ type FilterStats struct {
 // are counted as NonDAG and dropped (they are the ~50% independent
 // workload, not an error).
 func Filter(jobs []trace.Job, c Criteria) ([]Candidate, FilterStats, error) {
+	return FilterParallel(jobs, c, 1)
+}
+
+// FilterParallel is Filter across `workers` goroutines (<=0 uses all
+// CPUs): the job list is cut into contiguous shards filtered
+// independently — per-job DAG construction dominates the cost and is
+// embarrassingly parallel — and the surviving candidates are merged in
+// shard order, so the output is identical at every worker count.
+func FilterParallel(jobs []trace.Job, c Criteria, workers int) ([]Candidate, FilterStats, error) {
 	if err := c.validate(); err != nil {
 		return nil, FilterStats{}, err
 	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	var out []Candidate
 	st := FilterStats{Input: len(jobs)}
+	if workers > 1 {
+		outs := make([][]Candidate, workers)
+		stats := make([]FilterStats, workers)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			lo := len(jobs) * w / workers
+			hi := len(jobs) * (w + 1) / workers
+			wg.Add(1)
+			go func(w, lo, hi int) {
+				defer wg.Done()
+				outs[w], stats[w] = filterRange(jobs[lo:hi], c)
+			}(w, lo, hi)
+		}
+		wg.Wait()
+		for w := 0; w < workers; w++ {
+			out = append(out, outs[w]...)
+			st.NotTerminated += stats[w].NotTerminated
+			st.OutsideWindow += stats[w].OutsideWindow
+			st.NoWindow += stats[w].NoWindow
+			st.NonDAG += stats[w].NonDAG
+			st.SizeRejected += stats[w].SizeRejected
+			st.BuildErrors += stats[w].BuildErrors
+		}
+	} else {
+		out, st = filterRange(jobs, c)
+		st.Input = len(jobs)
+	}
+	st.Kept = len(out)
+	st.record()
+	return out, st, nil
+}
+
+// filterRange applies the selection criteria to one contiguous job
+// shard; Input/Kept and the obs mirroring are the caller's job.
+func filterRange(jobs []trace.Job, c Criteria) ([]Candidate, FilterStats) {
+	var st FilterStats
 	var out []Candidate
 	for _, j := range jobs {
 		if c.RequireTerminated && !j.AllTerminated() {
@@ -147,9 +201,7 @@ func Filter(jobs []trace.Job, c Criteria) ([]Candidate, FilterStats, error) {
 		}
 		out = append(out, Candidate{Job: j, Graph: res.Graph})
 	}
-	st.Kept = len(out)
-	st.record()
-	return out, st, nil
+	return out, st
 }
 
 // SampleDiverse draws n candidates preserving Variability without

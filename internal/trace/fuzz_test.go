@@ -53,6 +53,61 @@ func FuzzReadTasks(f *testing.F) {
 			}
 		}
 
+		// The sharded parallel decoder must agree with the sequential
+		// one: always in Strict mode (it aborts on the first error, and
+		// everything before the first error splits exactly), and in
+		// Lenient mode whenever the input's quoting is well-formed (no
+		// csv_syntax rejections — see splitShards).
+		old := shardTargetBytes
+		shardTargetBytes = 64
+		t.Cleanup(func() { shardTargetBytes = old })
+		var seqStrict []TaskRecord
+		_, seqStrictErr := ReadTasksOpts(strings.NewReader(data), ReadOptions{Workers: 1},
+			func(r TaskRecord) error {
+				seqStrict = append(seqStrict, r)
+				return nil
+			})
+		var parStrict []TaskRecord
+		_, parStrictErr := ReadTasksOpts(strings.NewReader(data), ReadOptions{Workers: 4},
+			func(r TaskRecord) error {
+				parStrict = append(parStrict, r)
+				return nil
+			})
+		if (seqStrictErr == nil) != (parStrictErr == nil) {
+			t.Fatalf("strict accept/reject differs: seq=%v par=%v", seqStrictErr, parStrictErr)
+		}
+		if seqStrictErr != nil && seqStrictErr.Error() != parStrictErr.Error() {
+			t.Fatalf("strict errors differ:\nseq: %v\npar: %v", seqStrictErr, parStrictErr)
+		}
+		if len(seqStrict) != len(parStrict) {
+			t.Fatalf("strict rows differ: seq=%d par=%d", len(seqStrict), len(parStrict))
+		}
+		for i := range seqStrict {
+			if seqStrict[i] != parStrict[i] {
+				t.Fatalf("strict row %d differs between worker counts", i)
+			}
+		}
+		if lerr == nil && stats.ByClass[ErrClassCSV] == 0 {
+			var parLenient []TaskRecord
+			pstats, perr := ReadTasksOpts(strings.NewReader(data), ReadOptions{Mode: Lenient, Workers: 4},
+				func(r TaskRecord) error {
+					parLenient = append(parLenient, r)
+					return nil
+				})
+			if perr != nil {
+				t.Fatalf("parallel lenient failed where sequential succeeded: %v", perr)
+			}
+			if len(parLenient) != len(lenientRecs) || pstats.BadRows != stats.BadRows {
+				t.Fatalf("parallel lenient diverged: %d/%d rows, %d/%d bad",
+					len(parLenient), len(lenientRecs), pstats.BadRows, stats.BadRows)
+			}
+			for i := range lenientRecs {
+				if lenientRecs[i] != parLenient[i] {
+					t.Fatalf("lenient row %d differs between worker counts", i)
+				}
+			}
+		}
+
 		var recs []TaskRecord
 		if err := ReadTasks(strings.NewReader(data), func(r TaskRecord) error {
 			recs = append(recs, r)

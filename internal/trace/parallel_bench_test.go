@@ -1,0 +1,36 @@
+package trace
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// BenchmarkParallelIngest measures the sharded CSV decoder against the
+// sequential one on a synthetic batch_task table; cmd/benchdiff tracks
+// the per-worker results across runs.
+func BenchmarkParallelIngest(b *testing.B) {
+	in := syntheticTasks(200_000, 5)
+	workerCounts := []int{1, 2, 4}
+	if g := runtime.GOMAXPROCS(0); g > 4 {
+		workerCounts = append(workerCounts, g)
+	}
+	for _, w := range workerCounts {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			b.SetBytes(int64(len(in)))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				rows := 0
+				_, err := ReadTasksOpts(strings.NewReader(in), ReadOptions{Workers: w},
+					func(TaskRecord) error { rows++; return nil })
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rows != 200_000 {
+					b.Fatalf("parsed %d rows", rows)
+				}
+			}
+		})
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"sort"
 
 	"jobgraph/internal/obs"
@@ -53,7 +54,8 @@ const (
 )
 
 // ReadOptions configures one streaming read. The zero value is Strict
-// with no budget and no quarantine — exactly the historical behaviour.
+// with no budget and no quarantine — the historical behaviour, decoded
+// across all CPUs (see Workers).
 type ReadOptions struct {
 	Mode Mode
 
@@ -73,6 +75,14 @@ type ReadOptions struct {
 	// offset, class, error) followed by the record's verbatim bytes.
 	// Re-read a quarantine file by setting csv.Reader.Comment = '#'.
 	Quarantine io.Writer
+
+	// Workers bounds the parallel shard decoders: <=0 uses GOMAXPROCS,
+	// 1 forces the single-threaded decoder, and larger values fan the
+	// table out across that many parsers. Every observable output —
+	// record stream, stats, quarantine sidecar, error values — is
+	// identical at every worker count; Workers=1 is bit-for-bit the
+	// historical sequential read.
+	Workers int
 }
 
 // ratioMinRows is the minimum number of records before MaxBadRatio is
@@ -98,6 +108,10 @@ type ReadStats struct {
 	ZeroedFields int64
 	// Quarantined counts rows written to the quarantine sidecar.
 	Quarantined int64
+	// ReopenedJobs counts jobs a ForEachJob stream emitted more than
+	// once because their rows reappeared after the bounded job window
+	// had already flushed them (out-of-order traces only).
+	ReopenedJobs int64
 	// Partial reports that the input ended early — truncated or
 	// corrupt gzip tail — and the rows read up to that point were
 	// delivered anyway (Lenient mode only).
@@ -127,6 +141,9 @@ func (s *ReadStats) Summary() string {
 	}
 	if s.Quarantined > 0 {
 		msg += fmt.Sprintf(" quarantined=%d", s.Quarantined)
+	}
+	if s.ReopenedJobs > 0 {
+		msg += fmt.Sprintf(" reopened_jobs=%d", s.ReopenedJobs)
 	}
 	if s.Partial {
 		msg += fmt.Sprintf(" partial=true (%v)", s.PartialCause)
@@ -209,25 +226,128 @@ type tableSpec[T any] struct {
 	rowsBad *obs.Counter
 }
 
-// readTable is the shared streaming loop behind ReadTasks,
-// ReadInstances and ReadMachines: CSV decode, classified error
-// handling, budget accounting, quarantine, and partial-read recovery.
+// rowSink is the per-row bookkeeping shared by the sequential and
+// parallel read paths: stats tallies, per-class obs counters, bounded
+// logging, quarantine writes and budget enforcement. Keeping it in one
+// place guarantees the two decoders cannot drift semantically.
+type rowSink struct {
+	table         string
+	opt           ReadOptions
+	lenient       bool
+	lg            *slog.Logger
+	stats         ReadStats
+	rowsOK        *obs.Counter
+	rowsBad       *obs.Counter
+	classCounters map[ErrClass]*obs.Counter
+	logged        int
+}
+
+func newRowSink(table string, opt ReadOptions, rowsOK, rowsBad *obs.Counter) *rowSink {
+	return &rowSink{
+		table:         table,
+		opt:           opt,
+		lenient:       opt.Mode == Lenient,
+		lg:            obs.Default().Logger(),
+		stats:         ReadStats{ByClass: make(map[ErrClass]int64)},
+		rowsOK:        rowsOK,
+		rowsBad:       rowsBad,
+		classCounters: make(map[ErrClass]*obs.Counter),
+	}
+}
+
+// zeroed tallies non-finite numeric fields zeroed on the current row.
+func (s *rowSink) zeroed(n int) {
+	if n <= 0 {
+		return
+	}
+	s.stats.ZeroedFields += int64(n)
+	obs.Default().Counter("trace.fields_zeroed_nonfinite").Add(int64(n))
+}
+
+// accept books one delivered record and hands it to fn.
+func (s *rowSink) accept(fn func() error) error {
+	s.stats.Rows++
+	s.rowsOK.Add(1)
+	return fn()
+}
+
+// reject books one rejected row: tallies, counters, bounded logging,
+// quarantine (raw is the record's verbatim bytes, nil when no sidecar
+// is configured) and budget enforcement. A non-nil return aborts the
+// read: the row error itself in Strict mode, a quarantine I/O failure,
+// or a *BudgetError.
+func (s *rowSink) reject(rerr *RowError, raw []byte) error {
+	s.stats.BadRows++
+	s.stats.ByClass[rerr.Class]++
+	s.rowsBad.Add(1)
+	c := s.classCounters[rerr.Class]
+	if c == nil {
+		c = obs.Default().Counter("trace.bad_rows." + s.table + "." + string(rerr.Class))
+		s.classCounters[rerr.Class] = c
+	}
+	c.Add(1)
+	var ve *ValidationError
+	if errors.As(rerr.Err, &ve) {
+		obs.Default().Counter("trace.validation." + ve.Kind).Add(1)
+	}
+	if !s.lenient {
+		return rerr
+	}
+	if s.logged < maxLoggedBadRows {
+		s.logged++
+		s.lg.Warn("malformed row skipped", "table", s.table, "line", rerr.Line,
+			"offset", rerr.Offset, "class", rerr.Class, "err", rerr.Err)
+		if s.logged == maxLoggedBadRows {
+			s.lg.Warn("further malformed rows logged only in tallies", "table", s.table)
+		}
+	}
+	if s.opt.Quarantine != nil {
+		if err := writeQuarantine(s.opt.Quarantine, rerr, raw); err != nil {
+			return fmt.Errorf("trace: quarantine: %w", err)
+		}
+		s.stats.Quarantined++
+	}
+	return checkBudget(s.table, s.opt, &s.stats, rerr, false)
+}
+
+// truncated books a mid-file stream death: Lenient keeps the rows read
+// so far with a Partial marker, Strict discards them with an error.
+func (s *rowSink) truncated(err error, offset int64) error {
+	if !s.lenient {
+		return fmt.Errorf("trace: %s: truncated input at byte %d: %w", s.table, offset, err)
+	}
+	s.stats.Partial = true
+	s.stats.PartialCause = err
+	s.lg.Warn("truncated input, keeping rows read so far",
+		"table", s.table, "rows", s.stats.Rows, "offset", offset, "err", err)
+	return nil
+}
+
+// readTable is the entry point behind ReadTasks, ReadInstances and
+// ReadMachines: it dispatches between the single-threaded decoder and
+// the sharded parallel one (see parallel.go) on opt.Workers.
 func readTable[T any](r io.Reader, spec tableSpec[T], opt ReadOptions, fn func(T) error) (ReadStats, error) {
-	stats := ReadStats{ByClass: make(map[ErrClass]int64)}
-	lenient := opt.Mode == Lenient
+	if w := resolveWorkers(opt.Workers); w > 1 {
+		return readTableParallel(r, spec, opt, w, fn)
+	}
+	return readTableSeq(r, spec, opt, fn)
+}
+
+// readTableSeq is the single-threaded streaming loop: CSV decode,
+// classified error handling, budget accounting, quarantine, and
+// partial-read recovery.
+func readTableSeq[T any](r io.Reader, spec tableSpec[T], opt ReadOptions, fn func(T) error) (ReadStats, error) {
+	sink := newRowSink(spec.name, opt, spec.rowsOK, spec.rowsBad)
 	var capt *captureReader
 	src := r
-	if lenient && opt.Quarantine != nil {
+	if sink.lenient && opt.Quarantine != nil {
 		capt = &captureReader{r: r}
 		src = capt
 	}
 	cr := csv.NewReader(src)
 	cr.FieldsPerRecord = spec.columns
 	cr.ReuseRecord = true
-	ctx := &rowCtx{lenient: lenient}
-	lg := obs.Default().Logger()
-	classCounters := make(map[ErrClass]*obs.Counter)
-	logged := 0
+	ctx := &rowCtx{lenient: sink.lenient}
 
 	for {
 		start := cr.InputOffset()
@@ -244,21 +364,16 @@ func readTable[T any](r io.Reader, spec tableSpec[T], opt ReadOptions, fn func(T
 			if IsTruncated(err) {
 				// The stream died mid-file; everything parsed so far
 				// is intact. Lenient mode keeps it, Strict discards.
-				if lenient {
-					stats.Partial = true
-					stats.PartialCause = err
-					lg.Warn("truncated input, keeping rows read so far",
-						"table", spec.name, "rows", stats.Rows, "offset", start, "err", err)
-					break
+				if terr := sink.truncated(err, start); terr != nil {
+					return sink.stats, terr
 				}
-				return stats, fmt.Errorf("trace: %s: truncated input at byte %d: %w",
-					spec.name, start, err)
+				break
 			}
 			var pe *csv.ParseError
 			if !errors.As(err, &pe) {
 				// Non-CSV reader failure (I/O): always fatal — there is
 				// no way to resynchronize on the record stream.
-				return stats, fmt.Errorf("trace: %s: %w", spec.name, err)
+				return sink.stats, fmt.Errorf("trace: %s: %w", spec.name, err)
 			}
 			class := ErrClassCSV
 			if errors.Is(err, csv.ErrFieldCount) {
@@ -267,15 +382,10 @@ func readTable[T any](r io.Reader, spec tableSpec[T], opt ReadOptions, fn func(T
 			rerr = &RowError{Table: spec.name, Line: pe.StartLine, Offset: start, Class: class, Err: pe.Err}
 		} else {
 			rec, perr := spec.parse(row, ctx)
-			if ctx.nonFinite > 0 {
-				stats.ZeroedFields += int64(ctx.nonFinite)
-				obs.Default().Counter("trace.fields_zeroed_nonfinite").Add(int64(ctx.nonFinite))
-			}
+			sink.zeroed(ctx.nonFinite)
 			if perr == nil {
-				stats.Rows++
-				spec.rowsOK.Add(1)
-				if err := fn(rec); err != nil {
-					return stats, err
+				if err := sink.accept(func() error { return fn(rec) }); err != nil {
+					return sink.stats, err
 				}
 				continue
 			}
@@ -283,44 +393,18 @@ func readTable[T any](r io.Reader, spec tableSpec[T], opt ReadOptions, fn func(T
 			rerr = &RowError{Table: spec.name, Line: line, Offset: start, Class: classify(perr), Err: perr}
 		}
 
-		stats.BadRows++
-		stats.ByClass[rerr.Class]++
-		spec.rowsBad.Add(1)
-		c := classCounters[rerr.Class]
-		if c == nil {
-			c = obs.Default().Counter("trace.bad_rows." + spec.name + "." + string(rerr.Class))
-			classCounters[rerr.Class] = c
-		}
-		c.Add(1)
-		var ve *ValidationError
-		if errors.As(rerr.Err, &ve) {
-			obs.Default().Counter("trace.validation." + ve.Kind).Add(1)
-		}
-		if !lenient {
-			return stats, rerr
-		}
-		if logged < maxLoggedBadRows {
-			logged++
-			lg.Warn("malformed row skipped", "table", spec.name, "line", rerr.Line,
-				"offset", rerr.Offset, "class", rerr.Class, "err", rerr.Err)
-			if logged == maxLoggedBadRows {
-				lg.Warn("further malformed rows logged only in tallies", "table", spec.name)
-			}
-		}
+		var raw []byte
 		if capt != nil {
-			if err := writeQuarantine(opt.Quarantine, rerr, capt.slice(start, cr.InputOffset())); err != nil {
-				return stats, fmt.Errorf("trace: quarantine: %w", err)
-			}
-			stats.Quarantined++
+			raw = capt.slice(start, cr.InputOffset())
 		}
-		if err := checkBudget(spec.name, opt, &stats, rerr, false); err != nil {
-			return stats, err
+		if err := sink.reject(rerr, raw); err != nil {
+			return sink.stats, err
 		}
 	}
-	if err := checkBudget(spec.name, opt, &stats, nil, true); err != nil {
-		return stats, err
+	if err := checkBudget(spec.name, opt, &sink.stats, nil, true); err != nil {
+		return sink.stats, err
 	}
-	return stats, nil
+	return sink.stats, nil
 }
 
 // checkBudget enforces the Lenient error budget; final selects the
