@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race bench fuzz reproduce metrics trace ledger baseline benchdiff staticcheck govulncheck fmt vet clean
+.PHONY: all build test test-short race bench fuzz reproduce metrics trace ledger baseline benchdiff cache-demo staticcheck govulncheck fmt vet clean
 
 all: build test
 
@@ -51,9 +51,11 @@ ledger:
 # instrumented run. CI compares PR runs against this file and fails on
 # >15% per-stage wall-time regressions, so refresh it (on hardware
 # comparable to the CI runner) whenever a deliberate perf change lands.
+# -no-cache keeps the measured stages honest: the gate compares cold
+# compute, never cache loads.
 baseline:
 	rm -f results/bench_baseline.jsonl
-	$(GO) run ./cmd/reproduce -gen 2000 -seed 1 -out /tmp/jobgraph-bench/ -ledger results/bench_baseline.jsonl >/dev/null
+	$(GO) run ./cmd/reproduce -gen 2000 -seed 1 -no-cache -out /tmp/jobgraph-bench/ -ledger results/bench_baseline.jsonl >/dev/null
 	@echo "wrote results/bench_baseline.jsonl"
 
 # Compare a fresh run against the committed baseline ledger, mirroring
@@ -61,8 +63,24 @@ baseline:
 benchdiff:
 	mkdir -p /tmp/jobgraph-bench
 	cp results/bench_baseline.jsonl /tmp/jobgraph-bench/gate.jsonl
-	$(GO) run ./cmd/reproduce -gen 2000 -seed 1 -out /tmp/jobgraph-bench/ -ledger /tmp/jobgraph-bench/gate.jsonl >/dev/null
+	$(GO) run ./cmd/reproduce -gen 2000 -seed 1 -no-cache -out /tmp/jobgraph-bench/ -ledger /tmp/jobgraph-bench/gate.jsonl >/dev/null
 	$(GO) run ./cmd/benchdiff -ledger /tmp/jobgraph-bench/gate.jsonl -threshold 0.15 -min-ms 20 -warn-only
+
+# Artifact-cache demonstration: a cold clusterjobs run populates the
+# cache, a warm re-run at a different group count reuses everything up
+# to the kernel matrix, and the warm output must match an uncached run
+# at the new count byte-for-byte.
+cache-demo:
+	rm -rf /tmp/jobgraph-cache-demo
+	mkdir -p /tmp/jobgraph-cache-demo
+	@echo "== cold run (populates the cache) =="
+	time $(GO) run ./cmd/clusterjobs -gen 6000 -seed 1 -cache-dir /tmp/jobgraph-cache-demo/cache > /tmp/jobgraph-cache-demo/cold.txt
+	@echo "== warm run (-groups 4: reclusters the cached kernel matrix) =="
+	time $(GO) run ./cmd/clusterjobs -gen 6000 -seed 1 -groups 4 -cache-dir /tmp/jobgraph-cache-demo/cache > /tmp/jobgraph-cache-demo/warm.txt
+	@echo "== uncached reference at -groups 4 =="
+	$(GO) run ./cmd/clusterjobs -gen 6000 -seed 1 -groups 4 -no-cache > /tmp/jobgraph-cache-demo/ref.txt
+	diff /tmp/jobgraph-cache-demo/warm.txt /tmp/jobgraph-cache-demo/ref.txt
+	@echo "warm output identical to the uncached run"
 
 # Static analysis as run in CI. Tools are installed on demand into
 # GOPATH/bin; they are not module dependencies.

@@ -22,10 +22,12 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"jobgraph/internal/cli"
 	"jobgraph/internal/ledger"
 	"jobgraph/internal/obs"
+	"jobgraph/internal/stages"
 )
 
 func main() { cli.Run(run) }
@@ -65,10 +67,37 @@ func execute(cfg config, w io.Writer) error {
 	}
 	rep := ledger.Diff(base, cur, cfg.opt)
 	fmt.Fprint(w, rep.String())
+	if missing := missingCoreStages(cur); len(missing) > 0 {
+		fmt.Fprintf(w, "note: core stages not timed in current run (cached or not reached): %s\n",
+			strings.Join(missing, ", "))
+	}
 	if n := len(rep.Regressions); n > 0 && !cfg.warnOnly {
 		return fmt.Errorf("benchdiff: %d stage(s) regressed beyond threshold", n)
 	}
 	return nil
+}
+
+// missingCoreStages lists the canonical pipeline stages (stages.Core)
+// absent from the snapshot's "pipeline" span — stages the wall-time
+// gate cannot see because they were cache-loaded or never reached.
+// Informational only: a warm run legitimately skips stages.
+func missingCoreStages(snap obs.Snapshot) []string {
+	have := make(map[string]bool)
+	for _, s := range snap.Spans {
+		if s.Name != stages.Pipeline {
+			continue
+		}
+		for _, c := range s.Children {
+			have[c.Name] = true
+		}
+	}
+	var missing []string
+	for _, name := range stages.Core {
+		if !have[name] {
+			missing = append(missing, name)
+		}
+	}
+	return missing
 }
 
 func load(cfg config, w io.Writer) (base, cur obs.Snapshot, err error) {

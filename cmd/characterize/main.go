@@ -6,12 +6,15 @@
 // Usage:
 //
 //	characterize [-trace batch_task.csv | -gen 10000] [-sample 100] [-seed 1]
-//	             [-workers N] [-v] [-log-json] [-debug-addr localhost:6060]
+//	             [-workers N] [-cache-dir .jobgraph-cache] [-no-cache]
+//	             [-lenient] [-v] [-log-json] [-debug-addr localhost:6060]
 //	             [-trace-out trace.json] [-ledger results/runs/ledger.jsonl]
 //
 // -workers spreads the parallel stages (trace decode, filtering, the
 // per-job DAG stage, the WL kernel) across that many goroutines; 0
 // uses every CPU, 1 forces the bit-identical sequential pipeline.
+// -cache-dir reuses pipeline stage artifacts across runs with matching
+// upstream configuration (see clusterjobs for details).
 package main
 
 import (
@@ -21,7 +24,6 @@ import (
 	"jobgraph/internal/cli"
 	"jobgraph/internal/core"
 	"jobgraph/internal/sampling"
-	"jobgraph/internal/trace"
 )
 
 func main() { cli.Run(run) }
@@ -33,22 +35,25 @@ func run() error {
 		sample    = flag.Int("sample", 100, "jobs to sample for the per-job tables")
 		seed      = flag.Int64("seed", 1, "RNG seed")
 	)
-	obsFlags := cli.RegisterObsFlags()
-	workers := cli.RegisterWorkersFlag()
+	pf := cli.RegisterPipelineFlags("characterize", true)
 	flag.Parse()
 
-	sess, err := obsFlags.Start("characterize")
+	sess, err := pf.Start()
 	if err != nil {
 		return fmt.Errorf("characterize: %v", err)
 	}
 	defer sess.Close()
+	defer pf.Close()
 
-	jobs, _, err := cli.LoadOrGenerateOpts(*tracePath, *gen, *seed,
-		trace.ReadOptions{Workers: *workers})
+	readOpts, err := pf.ReadOptions()
 	if err != nil {
 		return fmt.Errorf("characterize: %v", err)
 	}
-	cands, fstats, err := sampling.FilterParallel(jobs, sampling.PaperCriteria(cli.TraceWindow()), *workers)
+	jobs, istats, err := cli.LoadOrGenerateOpts(*tracePath, *gen, *seed, readOpts)
+	if err != nil {
+		return fmt.Errorf("characterize: %v", err)
+	}
+	cands, fstats, err := sampling.FilterParallel(jobs, sampling.PaperCriteria(cli.TraceWindow()), *pf.Workers)
 	if err != nil {
 		return fmt.Errorf("characterize: %v", err)
 	}
@@ -82,17 +87,17 @@ func run() error {
 	fmt.Println(census)
 
 	// Fig 6 needs a bounded per-job table: sample first.
-	an, err := core.Run(jobs, sampleConfig(*sample, *seed, *workers))
+	cfg := core.DefaultConfig(cli.TraceWindow(), *seed)
+	cfg.SampleSize = *sample
+	cfg.Ingest = istats
+	pf.Configure(&cfg)
+	an, err := core.Run(jobs, cfg)
 	if err != nil {
 		return fmt.Errorf("characterize: %v", err)
 	}
+	for _, w := range an.Warnings {
+		sess.AddWarning(w)
+	}
 	fmt.Println(core.Fig6TaskTypes(an))
 	return nil
-}
-
-func sampleConfig(sample int, seed int64, workers int) core.Config {
-	cfg := core.DefaultConfig(cli.TraceWindow(), seed)
-	cfg.SampleSize = sample
-	cfg.Workers = workers
-	return cfg
 }

@@ -6,9 +6,17 @@
 // Usage:
 //
 //	clusterjobs [-trace batch_task.csv | -gen 10000] [-groups 5]
-//	            [-sample 100] [-dot-dir reps/] [-v] [-log-json]
+//	            [-sample 100] [-dot-dir reps/] [-workers N]
+//	            [-cache-dir .jobgraph-cache] [-no-cache]
+//	            [-lenient] [-v] [-log-json]
 //	            [-debug-addr localhost:6060] [-trace-out trace.json]
 //	            [-ledger results/runs/ledger.jsonl]
+//
+// With -cache-dir, completed stage artifacts are persisted to a
+// content-addressed store: re-running with only downstream knobs
+// changed (say -groups) reuses the cached kernel matrix, and an
+// interrupted run resumes from its last completed stage. The printed
+// analysis is identical either way.
 package main
 
 import (
@@ -32,25 +40,35 @@ func run() error {
 		groups    = flag.Int("groups", 5, "number of spectral groups")
 		dotDir    = flag.String("dot-dir", "", "optional directory for representative DOT files")
 	)
-	obsFlags := cli.RegisterObsFlags()
+	pf := cli.RegisterPipelineFlags("clusterjobs", true)
 	flag.Parse()
 
-	sess, err := obsFlags.Start("clusterjobs")
+	sess, err := pf.Start()
 	if err != nil {
 		return fmt.Errorf("clusterjobs: %v", err)
 	}
 	defer sess.Close()
+	defer pf.Close()
 
-	jobs, err := cli.LoadOrGenerate(*tracePath, *gen, *seed)
+	readOpts, err := pf.ReadOptions()
+	if err != nil {
+		return fmt.Errorf("clusterjobs: %v", err)
+	}
+	jobs, istats, err := cli.LoadOrGenerateOpts(*tracePath, *gen, *seed, readOpts)
 	if err != nil {
 		return fmt.Errorf("clusterjobs: %v", err)
 	}
 	cfg := core.DefaultConfig(cli.TraceWindow(), *seed)
 	cfg.SampleSize = *sample
 	cfg.Groups = *groups
+	cfg.Ingest = istats
+	pf.Configure(&cfg)
 	an, err := core.Run(jobs, cfg)
 	if err != nil {
 		return fmt.Errorf("clusterjobs: %v", err)
+	}
+	for _, w := range an.Warnings {
+		sess.AddWarning(w)
 	}
 
 	fmt.Println(core.Fig9GroupTable(an))

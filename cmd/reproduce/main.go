@@ -6,13 +6,18 @@
 // Usage:
 //
 //	reproduce [-trace batch_task.csv | -gen 20000] [-seed 1] [-out results/]
-//	          [-workers N] [-v] [-log-json] [-debug-addr localhost:6060]
+//	          [-workers N] [-cache-dir .jobgraph-cache] [-no-cache]
+//	          [-v] [-log-json] [-debug-addr localhost:6060]
 //	          [-trace-out trace.json] [-ledger results/runs/ledger.jsonl]
 //
 // -workers spreads the parallel stages (trace decode, job grouping,
 // candidate filtering, per-job DAG metrics, the WL kernel matrix)
 // across that many goroutines; 0 uses every CPU and 1 forces the
 // sequential pipeline, which produces bit-identical output.
+//
+// -cache-dir persists completed pipeline-stage artifacts to a
+// content-addressed store and reuses them on re-runs whose upstream
+// configuration matches; -no-cache forces a cold run for baselines.
 //
 // With -out, a metrics.json snapshot of every pipeline counter, span
 // and histogram is written next to the CSV artifacts. -trace-out emits
@@ -53,23 +58,20 @@ func run() error {
 		seed      = flag.Int64("seed", 1, "RNG seed")
 		outDir    = flag.String("out", "", "optional output directory for CSV artifacts and metrics.json")
 	)
-	obsFlags := cli.RegisterObsFlags()
-	ingestFlags := cli.RegisterIngestFlags()
-	workers := cli.RegisterWorkersFlag()
+	pf := cli.RegisterPipelineFlags("reproduce", true)
 	flag.Parse()
 
-	sess, err := obsFlags.Start("reproduce")
+	sess, err := pf.Start()
 	if err != nil {
 		return fmt.Errorf("reproduce: %v", err)
 	}
 	defer sess.Close()
+	defer pf.Close()
 
-	readOpts, err := ingestFlags.Options()
+	readOpts, err := pf.ReadOptions()
 	if err != nil {
 		return fmt.Errorf("reproduce: %v", err)
 	}
-	readOpts.Workers = *workers
-	defer ingestFlags.Close()
 
 	if *outDir != "" {
 		if err := os.MkdirAll(*outDir, 0o755); err != nil {
@@ -91,7 +93,7 @@ func run() error {
 		fmt.Printf("== Ingest ==\n%s\n\n", istats.Summary())
 	}
 
-	cands, fstats, err := sampling.FilterParallel(jobs, sampling.PaperCriteria(cli.TraceWindow()), *workers)
+	cands, fstats, err := sampling.FilterParallel(jobs, sampling.PaperCriteria(cli.TraceWindow()), *pf.Workers)
 	if err != nil {
 		return fmt.Errorf("reproduce: %v", err)
 	}
@@ -101,8 +103,8 @@ func run() error {
 		fstats.NotTerminated, fstats.OutsideWindow, fstats.NonDAG, fstats.NoWindow)
 
 	cfg := core.DefaultConfig(cli.TraceWindow(), *seed)
-	cfg.Workers = *workers
 	cfg.Ingest = istats
+	pf.Configure(&cfg)
 	an, err := core.Run(jobs, cfg)
 	if err != nil {
 		return fmt.Errorf("reproduce: %v", err)

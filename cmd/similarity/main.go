@@ -5,9 +5,13 @@
 // Usage:
 //
 //	similarity [-trace batch_task.csv | -gen 10000] [-sample 100]
-//	           [-h 3] [-csv sim.csv] [-workers 0] [-v] [-log-json]
-//	           [-debug-addr localhost:6060] [-trace-out trace.json]
-//	           [-ledger results/runs/ledger.jsonl]
+//	           [-h 3] [-csv sim.csv] [-workers 0]
+//	           [-cache-dir .jobgraph-cache] [-no-cache] [-lenient]
+//	           [-v] [-log-json] [-debug-addr localhost:6060]
+//	           [-trace-out trace.json] [-ledger results/runs/ledger.jsonl]
+//
+// With -cache-dir, pipeline stage artifacts are reused across runs with
+// matching upstream configuration (see clusterjobs for details).
 package main
 
 import (
@@ -32,16 +36,16 @@ func run() error {
 		iterations = flag.Int("h", 3, "WL refinement iterations")
 		base       = flag.String("base", "subtree", "base kernel: subtree, shortest-path or edge")
 		csvOut     = flag.String("csv", "", "optional CSV output for the matrix")
-		workers    = flag.Int("workers", 0, "kernel workers (0 = GOMAXPROCS)")
 	)
-	obsFlags := cli.RegisterObsFlags()
+	pf := cli.RegisterPipelineFlags("similarity", true)
 	flag.Parse()
 
-	sess, err := obsFlags.Start("similarity")
+	sess, err := pf.Start()
 	if err != nil {
 		return fmt.Errorf("similarity: %v", err)
 	}
 	defer sess.Close()
+	defer pf.Close()
 
 	var baseKernel wl.BaseKernel
 	switch *base {
@@ -55,17 +59,25 @@ func run() error {
 		return fmt.Errorf("similarity: unknown base kernel %q", *base)
 	}
 
-	jobs, err := cli.LoadOrGenerate(*tracePath, *gen, *seed)
+	readOpts, err := pf.ReadOptions()
+	if err != nil {
+		return fmt.Errorf("similarity: %v", err)
+	}
+	jobs, istats, err := cli.LoadOrGenerateOpts(*tracePath, *gen, *seed, readOpts)
 	if err != nil {
 		return fmt.Errorf("similarity: %v", err)
 	}
 	cfg := core.DefaultConfig(cli.TraceWindow(), *seed)
 	cfg.SampleSize = *sample
 	cfg.WL = wl.Options{Iterations: *iterations, UseTypeLabels: true, Base: baseKernel}
-	cfg.Workers = *workers
+	cfg.Ingest = istats
+	pf.Configure(&cfg)
 	an, err := core.Run(jobs, cfg)
 	if err != nil {
 		return fmt.Errorf("similarity: %v", err)
+	}
+	for _, w := range an.Warnings {
+		sess.AddWarning(w)
 	}
 
 	fmt.Printf("Fig 7: WL similarity map over %d jobs (h=%d, %s base)\n",

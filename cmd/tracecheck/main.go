@@ -43,23 +43,21 @@ func run() error {
 		seed        = flag.Int64("seed", 1, "RNG seed for generation")
 		maxFindings = flag.Int("max-findings", 50, "findings to print per severity")
 	)
-	obsFlags := cli.RegisterObsFlags()
-	ingestFlags := cli.RegisterIngestFlags()
-	workers := cli.RegisterWorkersFlag()
+	// tracecheck is a pre-flight lint, not an analysis: no cache flags.
+	pf := cli.RegisterPipelineFlags("tracecheck", false)
 	flag.Parse()
 
-	sess, err := obsFlags.Start("tracecheck")
+	sess, err := pf.Start()
 	if err != nil {
 		return fmt.Errorf("tracecheck: %v", err)
 	}
 	defer sess.Close()
+	defer pf.Close()
 
-	readOpts, err := ingestFlags.Options()
+	readOpts, err := pf.ReadOptions()
 	if err != nil {
 		return fmt.Errorf("tracecheck: %v", err)
 	}
-	readOpts.Workers = *workers
-	defer ingestFlags.Close()
 
 	// With a real trace, lint jobs as they stream off the reader —
 	// memory stays bounded by the job window, not the table size.
@@ -81,7 +79,7 @@ func run() error {
 	if err != nil {
 		var be *trace.BudgetError
 		if errors.As(err, &be) {
-			printIngestHealth(&be.Stats, ingestFlags.Quarantine)
+			printIngestHealth(&be.Stats, pf.Ingest.Quarantine)
 			fmt.Printf("FAIL: %v\n", be)
 			sess.AddWarning(be.Error())
 			cli.Exit(1)
@@ -89,7 +87,7 @@ func run() error {
 		return fmt.Errorf("tracecheck: %v", err)
 	}
 	if stats != nil && (stats.BadRows > 0 || stats.Partial || readOpts.Mode == trace.Lenient) {
-		printIngestHealth(stats, ingestFlags.Quarantine)
+		printIngestHealth(stats, pf.Ingest.Quarantine)
 		if stats.Partial {
 			sess.AddWarning(fmt.Sprintf("partial read: %v", stats.PartialCause))
 		}

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"jobgraph/internal/obs"
+	"jobgraph/internal/stages"
 	"jobgraph/internal/trace"
 	"jobgraph/internal/tracegen"
 )
@@ -93,7 +94,7 @@ func Exit(code int) {
 func LoadOrGenerate(path string, numJobs int, seed int64) ([]trace.Job, error) {
 	reg := obs.Default()
 	if path != "" {
-		sp := reg.StartSpan("trace.load")
+		sp := reg.StartSpan(stages.TraceLoad)
 		f, err := trace.OpenTable(path)
 		if err != nil {
 			return nil, fmt.Errorf("open trace: %w", err)
@@ -105,18 +106,18 @@ func LoadOrGenerate(path string, numJobs int, seed int64) ([]trace.Job, error) {
 		}
 		reg.Counter("trace.jobs_loaded").Add(int64(len(jobs)))
 		d := sp.End()
-		reg.Logger().Info("stage complete", "stage", "trace.load",
+		reg.Logger().Info("stage complete", "stage", stages.TraceLoad,
 			"duration", d.Round(time.Microsecond), "jobs", len(jobs), "source", path)
 		return jobs, nil
 	}
-	sp := reg.StartSpan("trace.generate")
+	sp := reg.StartSpan(stages.TraceGenerate)
 	jobs, err := tracegen.GenerateJobs(tracegen.DefaultConfig(numJobs, seed))
 	if err != nil {
 		return nil, fmt.Errorf("generate trace: %w", err)
 	}
 	reg.Counter("tracegen.jobs_generated").Add(int64(len(jobs)))
 	d := sp.End()
-	reg.Logger().Info("stage complete", "stage", "trace.generate",
+	reg.Logger().Info("stage complete", "stage", stages.TraceGenerate,
 		"duration", d.Round(time.Microsecond), "jobs", len(jobs), "seed", seed)
 	return jobs, nil
 }

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"jobgraph/internal/obs"
+	"jobgraph/internal/stages"
 	"jobgraph/internal/trace"
 )
 
@@ -93,7 +94,7 @@ func LoadOrGenerateOpts(path string, numJobs int, seed int64, opt trace.ReadOpti
 		return jobs, nil, err
 	}
 	reg := obs.Default()
-	sp := reg.StartSpan("trace.load")
+	sp := reg.StartSpan(stages.TraceLoad)
 	f, err := trace.OpenTable(path)
 	if err != nil {
 		return nil, nil, fmt.Errorf("open trace: %w", err)
@@ -105,7 +106,7 @@ func LoadOrGenerateOpts(path string, numJobs int, seed int64, opt trace.ReadOpti
 	}
 	reg.Counter("trace.jobs_loaded").Add(int64(len(jobs)))
 	d := sp.End()
-	reg.Logger().Info("stage complete", "stage", "trace.load",
+	reg.Logger().Info("stage complete", "stage", stages.TraceLoad,
 		"duration", d.Round(time.Microsecond), "jobs", len(jobs), "source", path,
 		"ingest", stats.Summary())
 	return jobs, &stats, nil

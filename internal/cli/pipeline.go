@@ -1,0 +1,98 @@
+package cli
+
+import (
+	"flag"
+
+	"jobgraph/internal/core"
+	"jobgraph/internal/trace"
+)
+
+// PipelineFlags folds the per-command pipeline plumbing — the shared
+// observability session, resilient ingest, the -workers bound, and the
+// artifact cache — into one registration:
+//
+//	pf := cli.RegisterPipelineFlags("clusterjobs", true)
+//	flag.Parse()
+//	sess, err := pf.Start()
+//	defer sess.Close()
+//	defer pf.Close()
+//	readOpts, err := pf.ReadOptions()
+//	...
+//	pf.Configure(&cfg) // Workers + CacheDir onto a core.Config
+//
+// The cache flags (-cache-dir, -no-cache) are only registered when the
+// command runs the analysis pipeline; pre-flight tools like tracecheck
+// pass cache=false and keep their flag surface honest.
+type PipelineFlags struct {
+	Obs     *ObsFlags
+	Ingest  *IngestFlags
+	Workers *int
+
+	// CacheDir and NoCache are the artifact-cache knobs. Use
+	// EffectiveCacheDir (or Configure), which resolves their
+	// interaction, rather than reading CacheDir directly.
+	CacheDir string
+	NoCache  bool
+
+	command string
+}
+
+// RegisterPipelineFlags registers the shared pipeline flags on the
+// process flag set. command names the observability session; cache
+// controls whether the artifact-cache flags are registered.
+func RegisterPipelineFlags(command string, cache bool) *PipelineFlags {
+	return RegisterPipelineFlagsOn(flag.CommandLine, command, cache)
+}
+
+// RegisterPipelineFlagsOn registers the shared pipeline flags on fs
+// (tests use private flag sets).
+func RegisterPipelineFlagsOn(fs *flag.FlagSet, command string, cache bool) *PipelineFlags {
+	p := &PipelineFlags{
+		Obs:     RegisterObsFlagsOn(fs),
+		Ingest:  RegisterIngestFlagsOn(fs),
+		Workers: RegisterWorkersFlagOn(fs),
+		command: command,
+	}
+	if cache {
+		fs.StringVar(&p.CacheDir, "cache-dir", "",
+			"persist stage artifacts to this content-addressed cache directory and reuse them on matching re-runs")
+		fs.BoolVar(&p.NoCache, "no-cache", false,
+			"run fully uncached even when -cache-dir is set (cold-run baselines)")
+	}
+	return p
+}
+
+// Start opens the observability session. Call after flag.Parse; defer
+// Close on the returned session.
+func (p *PipelineFlags) Start() (*RunSession, error) { return p.Obs.Start(p.command) }
+
+// ReadOptions builds the trace reader configuration the flags describe:
+// ingest budgets and quarantine plus the shared worker bound. The
+// quarantine sidecar (when configured) stays open until Close.
+func (p *PipelineFlags) ReadOptions() (trace.ReadOptions, error) {
+	opt, err := p.Ingest.Options()
+	if err != nil {
+		return opt, err
+	}
+	opt.Workers = *p.Workers
+	return opt, nil
+}
+
+// Close releases flag-owned resources (the quarantine sidecar). Safe
+// to call when nothing was opened, and more than once.
+func (p *PipelineFlags) Close() error { return p.Ingest.Close() }
+
+// EffectiveCacheDir resolves the artifact-cache directory: -no-cache
+// wins over -cache-dir.
+func (p *PipelineFlags) EffectiveCacheDir() string {
+	if p.NoCache {
+		return ""
+	}
+	return p.CacheDir
+}
+
+// Configure applies the shared pipeline knobs to a core configuration.
+func (p *PipelineFlags) Configure(cfg *core.Config) {
+	cfg.Workers = *p.Workers
+	cfg.CacheDir = p.EffectiveCacheDir()
+}

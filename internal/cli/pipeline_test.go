@@ -1,0 +1,64 @@
+package cli
+
+import (
+	"flag"
+	"testing"
+
+	"jobgraph/internal/core"
+	"jobgraph/internal/trace"
+)
+
+func TestPipelineFlagsConfigure(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	pf := RegisterPipelineFlagsOn(fs, "test", true)
+	if err := fs.Parse([]string{"-workers", "3", "-cache-dir", "/tmp/c", "-lenient"}); err != nil {
+		t.Fatal(err)
+	}
+	defer pf.Close()
+
+	if *pf.Workers != 3 {
+		t.Fatalf("workers = %d", *pf.Workers)
+	}
+	opts, err := pf.ReadOptions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.Workers != 3 || opts.Mode != trace.Lenient {
+		t.Fatalf("read options = %+v", opts)
+	}
+
+	var cfg core.Config
+	pf.Configure(&cfg)
+	if cfg.Workers != 3 || cfg.CacheDir != "/tmp/c" {
+		t.Fatalf("configured core config = %+v", cfg)
+	}
+}
+
+func TestPipelineFlagsNoCacheWins(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	pf := RegisterPipelineFlagsOn(fs, "test", true)
+	if err := fs.Parse([]string{"-cache-dir", "/tmp/c", "-no-cache"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := pf.EffectiveCacheDir(); got != "" {
+		t.Fatalf("EffectiveCacheDir = %q, want empty under -no-cache", got)
+	}
+	var cfg core.Config
+	pf.Configure(&cfg)
+	if cfg.CacheDir != "" {
+		t.Fatalf("config cache dir = %q", cfg.CacheDir)
+	}
+}
+
+// Commands that never run the analysis pipeline (tracecheck) keep
+// their flag surface honest: no cache flags registered.
+func TestPipelineFlagsWithoutCache(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	RegisterPipelineFlagsOn(fs, "test", false)
+	if fs.Lookup("cache-dir") != nil || fs.Lookup("no-cache") != nil {
+		t.Fatal("cache flags registered for a cache=false command")
+	}
+	if fs.Lookup("workers") == nil || fs.Lookup("lenient") == nil || fs.Lookup("v") == nil {
+		t.Fatal("shared flags missing")
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"jobgraph/internal/obs"
+	"jobgraph/internal/stages"
 	"jobgraph/internal/trace"
 )
 
@@ -28,7 +29,7 @@ func RegisterWorkersFlagOn(fs *flag.FlagSet) *int {
 // table size. Budget violations surface as a *trace.BudgetError.
 func StreamJobs(path string, opt trace.ReadOptions, fn func(trace.Job) error) (*trace.ReadStats, error) {
 	reg := obs.Default()
-	sp := reg.StartSpan("trace.load")
+	sp := reg.StartSpan(stages.TraceLoad)
 	f, err := trace.OpenTable(path)
 	if err != nil {
 		return nil, fmt.Errorf("open trace: %w", err)
@@ -44,7 +45,7 @@ func StreamJobs(path string, opt trace.ReadOptions, fn func(trace.Job) error) (*
 	}
 	reg.Counter("trace.jobs_loaded").Add(jobs)
 	d := sp.End()
-	reg.Logger().Info("stage complete", "stage", "trace.load",
+	reg.Logger().Info("stage complete", "stage", stages.TraceLoad,
 		"duration", d.Round(time.Microsecond), "jobs", jobs, "source", path,
 		"ingest", stats.Summary())
 	return &stats, nil

@@ -10,17 +10,18 @@
 package core
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
 	"fmt"
-	"runtime"
 	"sort"
 	"time"
 
 	"jobgraph/internal/cluster"
-	"jobgraph/internal/conflate"
 	"jobgraph/internal/dag"
+	"jobgraph/internal/engine"
 	"jobgraph/internal/linalg"
 	"jobgraph/internal/obs"
-	"jobgraph/internal/pattern"
 	"jobgraph/internal/sampling"
 	"jobgraph/internal/stats"
 	"jobgraph/internal/trace"
@@ -65,6 +66,16 @@ type Config struct {
 	// of wl.MatrixOptions.OnRow. Returning a non-nil error cancels the
 	// run cooperatively.
 	OnJob func(done, total int) error
+	// OnRow is forwarded to the kernel-matrix stage
+	// (wl.MatrixOptions.OnRow): serial per-row progress with cooperative
+	// cancellation. Like OnJob and Workers it does not affect artifacts,
+	// so it stays out of the cache fingerprints.
+	OnRow func(done, total int) error
+	// CacheDir, when non-empty, enables the engine's content-addressed
+	// artifact store rooted at that directory: completed stage artifacts
+	// are persisted as the run progresses and re-loaded on later runs
+	// whose upstream configuration matches. Empty disables caching.
+	CacheDir string
 	// Ingest carries the trace reader's health stats when the jobs came
 	// from a lenient read. A partial or lossy ingest is surfaced as
 	// warnings on the Analysis (and Partial when the table was
@@ -175,10 +186,18 @@ type Analysis struct {
 	// the analysis covers only the rows read before the cut.
 	Partial bool
 
-	// Stages records each pipeline stage's wall time in execution
-	// order — the per-run view of the durations the obs span tree
-	// aggregates across runs.
+	// Stages records each executed pipeline stage's wall time in
+	// execution order — the per-run view of the durations the obs span
+	// tree aggregates across runs. Stages satisfied from the artifact
+	// cache do not appear here; they are listed on CachedStages.
 	Stages []StageTiming
+	// CachedStages lists the stages loaded from the artifact store
+	// instead of executing, in plan order. Empty on uncached runs.
+	CachedStages []string
+
+	// stageIdx backs StageDuration with O(1) lookups; built by
+	// indexStages when Run assembles the analysis.
+	stageIdx map[string]time.Duration
 
 	// Kernel state retained for classifying new jobs (AssignGroup).
 	wlOpts  wl.Options
@@ -187,20 +206,60 @@ type Analysis struct {
 }
 
 // StageTiming is one pipeline stage's measured wall time.
-type StageTiming struct {
-	Name     string
-	Duration time.Duration
+type StageTiming = engine.StageTiming
+
+// indexStages (re)builds the StageDuration lookup map from Stages.
+func (an *Analysis) indexStages() {
+	an.stageIdx = make(map[string]time.Duration, len(an.Stages))
+	for _, s := range an.Stages {
+		an.stageIdx[s.Name] = s.Duration
+	}
 }
 
 // StageDuration returns the recorded wall time of the named stage and
-// whether the stage ran.
+// whether the stage executed (cached stages report false: they have no
+// wall time of their own).
 func (an *Analysis) StageDuration(name string) (time.Duration, bool) {
+	if an.stageIdx != nil {
+		d, ok := an.stageIdx[name]
+		return d, ok
+	}
+	// Zero-value Analysis values (hand-built in tests, or decoded from
+	// JSON) may not have the index; fall back to the scan.
 	for _, s := range an.Stages {
 		if s.Name == name {
 			return s.Duration, true
 		}
 	}
 	return 0, false
+}
+
+// Fingerprint is a SHA-256 over the analysis payload — every field a
+// consumer can observe except the run-dependent ones (stage timings and
+// cache provenance). Two runs over the same jobs and semantically equal
+// configuration must fingerprint identically whether their artifacts
+// were computed, cache-loaded, or resumed mid-pipeline; the
+// cache-equivalence tests and the CI gate rely on exactly that.
+func (an *Analysis) Fingerprint() (string, error) {
+	payload := struct {
+		Sample      []sampling.Candidate
+		Graphs      []*dag.Graph
+		JobStats    []JobStat
+		FilterStats sampling.FilterStats
+		Similarity  *linalg.Matrix
+		Labels      []int
+		Groups      []GroupProfile
+		Silhouette  float64
+		Warnings    []string
+		Partial     bool
+	}{an.Sample, an.Graphs, an.JobStats, an.FilterStats, an.Similarity,
+		an.Labels, an.Groups, an.Silhouette, an.Warnings, an.Partial}
+	b, err := json.Marshal(payload)
+	if err != nil {
+		return "", fmt.Errorf("core: fingerprinting analysis: %w", err)
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
 }
 
 // AssignGroup classifies a job that was not part of the analysis into
@@ -233,219 +292,6 @@ func (an *Analysis) AssignGroup(g *dag.Graph) (GroupProfile, float64, error) {
 		}
 	}
 	return an.Groups[bestIdx], bestScore, nil
-}
-
-// Run executes the pipeline over the given trace jobs.
-//
-// Every stage is wrapped in an obs span (aggregated under "pipeline" in
-// the Default registry's stage tree) and timed on Analysis.Stages; with
-// a logger installed (obs.Default().SetLogger, the commands' -v flag)
-// one structured record per stage carries the stage name, duration and
-// key counts.
-func Run(jobs []trace.Job, cfg Config) (*Analysis, error) {
-	if err := cfg.validate(); err != nil {
-		return nil, err
-	}
-	reg := obs.Default()
-	lg := reg.Logger()
-	an := &Analysis{}
-	root := reg.StartSpan("pipeline")
-	defer root.End()
-	// stage runs fn inside a child span, records the wall time on the
-	// analysis, and emits one structured record with the returned counts.
-	stage := func(name string, fn func() (string, error)) error {
-		sp := root.Child(name)
-		detail, err := fn()
-		d := sp.End()
-		an.Stages = append(an.Stages, StageTiming{Name: name, Duration: d})
-		if err != nil {
-			lg.Error("stage failed", "stage", name, "duration", d.Round(time.Microsecond), "err", err)
-			return err
-		}
-		lg.Info("stage complete", "stage", name, "duration", d.Round(time.Microsecond), "detail", detail)
-		return nil
-	}
-
-	if cfg.Ingest != nil {
-		if cfg.Ingest.Partial {
-			an.Partial = true
-			an.Warnings = append(an.Warnings, fmt.Sprintf(
-				"ingest: trace truncated (%v); analysis covers the %d rows read before the cut",
-				cfg.Ingest.PartialCause, cfg.Ingest.Rows))
-		}
-		if cfg.Ingest.BadRows > 0 {
-			an.Warnings = append(an.Warnings, fmt.Sprintf(
-				"ingest: %d malformed rows skipped (%s)", cfg.Ingest.BadRows, cfg.Ingest.Summary()))
-		}
-	}
-
-	var cands, sample []sampling.Candidate
-	var fstats sampling.FilterStats
-	if err := stage("sampling.filter", func() (string, error) {
-		var err error
-		cands, fstats, err = sampling.FilterParallel(jobs, cfg.Criteria, cfg.Workers)
-		if err != nil {
-			return "", err
-		}
-		if len(cands) == 0 {
-			return "", fmt.Errorf("core: no jobs survive filtering (stats %+v)", fstats)
-		}
-		return fmt.Sprintf("kept %d/%d (integrity %d, availability %d, non-DAG %d)",
-			fstats.Kept, fstats.Input, fstats.NotTerminated, fstats.OutsideWindow, fstats.NonDAG), nil
-	}); err != nil {
-		return nil, err
-	}
-
-	if err := stage("sampling.sample", func() (string, error) {
-		sample = sampling.SampleDiverse(cands, cfg.SampleSize, cfg.Seed)
-		if len(sample) < cfg.Groups {
-			return "", fmt.Errorf("core: sample of %d too small for %d groups", len(sample), cfg.Groups)
-		}
-		return fmt.Sprintf("%d jobs from pool of %d", len(sample), len(cands)), nil
-	}); err != nil {
-		return nil, err
-	}
-
-	// dag.jobs: the per-job structural stage — conflation (when
-	// configured) plus size / critical path / max width / chain
-	// classification / resource sums — run across the worker pool with
-	// index-addressed writes, so collection is order-stable and the
-	// result is identical at every worker count.
-	graphs := make([]*dag.Graph, len(sample))
-	jstats := make([]JobStat, len(sample))
-	if err := stage("dag.jobs", func() (string, error) {
-		workers := cfg.Workers
-		if workers <= 0 {
-			workers = runtime.GOMAXPROCS(0)
-		}
-		err := runPool("dag.jobs", len(sample), workers, cfg.OnJob, func(i int) error {
-			g := sample[i].Graph
-			js := JobStat{}
-			if cfg.Conflate {
-				cg, cst, err := conflate.Conflate(g)
-				if err != nil {
-					return fmt.Errorf("core: conflating %s: %w", g.JobID, err)
-				}
-				js.Merged = cst.SizeBefore - cst.SizeAfter
-				g = cg
-			}
-			depth, err := g.Depth()
-			if err != nil {
-				return fmt.Errorf("core: depth of %s: %w", g.JobID, err)
-			}
-			width, err := g.MaxWidth()
-			if err != nil {
-				return fmt.Errorf("core: width of %s: %w", g.JobID, err)
-			}
-			js.Size, js.Depth, js.MaxWidth = g.Size(), depth, width
-			if s, err := pattern.Classify(g); err == nil && s == pattern.Chain {
-				js.Chain = true
-			}
-			for _, id := range g.NodeIDs() {
-				n := g.Node(id)
-				js.Instances += float64(n.Instances)
-				js.PlanCPU += n.PlanCPU
-				js.Duration += n.Duration
-			}
-			graphs[i] = g
-			jstats[i] = js
-			return nil
-		})
-		if err != nil {
-			return "", err
-		}
-		if !cfg.Conflate {
-			return fmt.Sprintf("structural stats for %d graphs (conflation disabled)", len(graphs)), nil
-		}
-		merged := 0
-		for i := range jstats {
-			merged += jstats[i].Merged
-		}
-		return fmt.Sprintf("merged %d nodes across %d graphs", merged, len(graphs)), nil
-	}); err != nil {
-		return nil, err
-	}
-
-	var vectors []wl.Vector
-	var dict *wl.Dictionary
-	if err := stage("wl.features", func() (string, error) {
-		var err error
-		vectors, dict, err = wl.Features(graphs, cfg.WL)
-		if err != nil {
-			return "", err
-		}
-		return fmt.Sprintf("%d graphs embedded, %d distinct labels (h=%d)",
-			len(vectors), dict.Len(), cfg.WL.Iterations), nil
-	}); err != nil {
-		return nil, err
-	}
-
-	var sim *linalg.Matrix
-	if err := stage("wl.matrix", func() (string, error) {
-		var err error
-		sim, err = wl.MatrixFromVectors(vectors, cfg.Workers)
-		if err != nil {
-			return "", err
-		}
-		n := len(vectors)
-		return fmt.Sprintf("%dx%d similarities (%d pairs)", n, n, n*(n+1)/2), nil
-	}); err != nil {
-		return nil, err
-	}
-
-	var spec *cluster.SpectralResult
-	if err := stage("cluster.spectral", func() (string, error) {
-		var err error
-		spec, err = spectralFn(sim, cluster.SpectralOptions{
-			K:      cfg.Groups,
-			KMeans: cluster.KMeansOptions{Seed: cfg.Seed},
-		})
-		if err != nil {
-			// Degrade rather than abort: group by job-size quantiles so
-			// the run still yields profiles, flagged loudly. Size is the
-			// strongest single structural signal the paper identifies,
-			// so the fallback is coarse but not arbitrary.
-			obsSpectralFallback.Add(1)
-			an.Warnings = append(an.Warnings, fmt.Sprintf(
-				"spectral clustering failed (%v); fell back to size-quantile grouping", err))
-			lg.Warn("spectral clustering failed; using size-quantile fallback", "err", err)
-			spec = &cluster.SpectralResult{Labels: sizeQuantileLabels(graphs, cfg.Groups)}
-			return fmt.Sprintf("degraded: size-quantile fallback into %d groups", cfg.Groups), nil
-		}
-		an.Warnings = append(an.Warnings, spec.Warnings...)
-		return fmt.Sprintf("%d groups over %d jobs", cfg.Groups, len(spec.Labels)), nil
-	}); err != nil {
-		return nil, err
-	}
-
-	an.Sample = sample
-	an.Graphs = graphs
-	an.JobStats = jstats
-	an.FilterStats = fstats
-	an.Similarity = sim
-	an.Labels = spec.Labels
-	an.wlOpts = cfg.WL
-	an.dict = dict
-	an.vectors = vectors
-
-	if err := stage("profile.groups", func() (string, error) {
-		an.Groups = profileGroups(graphs, jstats, sim, spec.Labels)
-		if dist, err := cluster.DistanceFromSimilarity(sim); err == nil {
-			if s, err := cluster.Silhouette(dist, spec.Labels); err == nil {
-				an.Silhouette = s
-			}
-		}
-		return fmt.Sprintf("%d groups, silhouette %.3f", len(an.Groups), an.Silhouette), nil
-	}); err != nil {
-		return nil, err
-	}
-	if len(an.Warnings) > 0 {
-		obsDegradedRuns.Add(1)
-		for _, w := range an.Warnings {
-			lg.Warn("analysis degraded", "warning", w)
-		}
-	}
-	return an, nil
 }
 
 // sizeQuantileLabels groups graphs into k contiguous job-size quantile

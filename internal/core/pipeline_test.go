@@ -1,0 +1,276 @@
+package core
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"jobgraph/internal/stages"
+)
+
+// genCacheBlocker returns a path where a cache directory cannot be
+// created: a regular file already occupies it.
+func genCacheBlocker(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "blocked")
+	if err := os.WriteFile(path, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// fingerprint runs Run and returns the analysis plus its payload
+// fingerprint.
+func runFingerprint(t *testing.T, nJobs int, cfg Config) (*Analysis, string) {
+	t.Helper()
+	an, err := Run(genJobs(t, nJobs, 1), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, err := an.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return an, fp
+}
+
+func executedNames(an *Analysis) []string {
+	out := make([]string, len(an.Stages))
+	for i, s := range an.Stages {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// TestCacheEquivalence is the tentpole guarantee: cold, warm, and
+// uncached runs produce bit-identical analyses, at the default worker
+// count and sequentially.
+func TestCacheEquivalence(t *testing.T) {
+	const n = 2000
+	base := DefaultConfig(testWindow, 1)
+	base.SampleSize = 40
+	base.Groups = 4
+
+	uncached := base
+	_, refFP := runFingerprint(t, n, uncached)
+
+	cached := base
+	cached.CacheDir = t.TempDir()
+	cold, coldFP := runFingerprint(t, n, cached)
+	if len(cold.CachedStages) != 0 {
+		t.Fatalf("cold run loaded from cache: %v", cold.CachedStages)
+	}
+	if got := executedNames(cold); strings.Join(got, ",") != strings.Join(stages.Core, ",") {
+		t.Fatalf("cold run executed %v, want %v", got, stages.Core)
+	}
+	if coldFP != refFP {
+		t.Fatalf("cold cached run differs from uncached run")
+	}
+
+	warm, warmFP := runFingerprint(t, n, cached)
+	if len(warm.Stages) != 0 {
+		t.Fatalf("warm run executed %v", executedNames(warm))
+	}
+	if got := strings.Join(warm.CachedStages, ","); got != strings.Join(stages.Core, ",") {
+		t.Fatalf("warm run cached %v, want all of %v", warm.CachedStages, stages.Core)
+	}
+	if warmFP != refFP {
+		t.Fatalf("warm run differs from uncached run")
+	}
+
+	// Worker-invariance: a cache populated at the default worker count
+	// must serve a sequential run — and produce the identical analysis.
+	seq := cached
+	seq.Workers = 1
+	seqWarm, seqFP := runFingerprint(t, n, seq)
+	if len(seqWarm.Stages) != 0 {
+		t.Fatalf("workers=1 warm run executed %v", executedNames(seqWarm))
+	}
+	if seqFP != refFP {
+		t.Fatalf("workers=1 warm run differs from uncached run")
+	}
+}
+
+// TestWarmRunWithChangedGroupsReusesMatrix: changing only the
+// downstream cluster count must reuse the cached WL kernel matrix —
+// wl.matrix absent from the executed stages — while producing exactly
+// the analysis an uncached run at the new count produces.
+func TestWarmRunWithChangedGroupsReusesMatrix(t *testing.T) {
+	const n = 2000
+	cfg := DefaultConfig(testWindow, 1)
+	cfg.SampleSize = 40
+	cfg.Groups = 5
+	cfg.CacheDir = t.TempDir()
+	if _, err := Run(genJobs(t, n, 1), cfg); err != nil {
+		t.Fatal(err)
+	}
+
+	regrouped := cfg
+	regrouped.Groups = 4
+	warm, warmFP := runFingerprint(t, n, regrouped)
+	for _, s := range warm.Stages {
+		if s.Name == stages.WLMatrix {
+			t.Fatalf("warm run recomputed %s; executed %v", stages.WLMatrix, executedNames(warm))
+		}
+	}
+	want := []string{stages.ClusterSpectral, stages.ProfileGroups}
+	if got := executedNames(warm); strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Fatalf("warm run executed %v, want %v", got, want)
+	}
+	found := false
+	for _, s := range warm.CachedStages {
+		if s == stages.WLMatrix {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("%s not among cached stages %v", stages.WLMatrix, warm.CachedStages)
+	}
+
+	ref := regrouped
+	ref.CacheDir = ""
+	_, refFP := runFingerprint(t, n, ref)
+	if warmFP != refFP {
+		t.Fatalf("warm regrouped run differs from uncached run")
+	}
+}
+
+// TestResumeAfterCancelMidMatrix: a run cancelled inside wl.matrix (via
+// OnRow) leaves the upstream artifacts persisted; the retry resumes
+// from them — dag.jobs and everything before it load from cache — and
+// the finished analysis is identical to an uncached run.
+func TestResumeAfterCancelMidMatrix(t *testing.T) {
+	const n = 2000
+	boom := errors.New("deadline")
+	cfg := DefaultConfig(testWindow, 1)
+	cfg.SampleSize = 40
+	cfg.Groups = 4
+	cfg.CacheDir = t.TempDir()
+	cfg.OnRow = func(done, total int) error {
+		if done >= total/2 {
+			return boom
+		}
+		return nil
+	}
+	if _, err := Run(genJobs(t, n, 1), cfg); !errors.Is(err, boom) {
+		t.Fatalf("cancelled run error = %v, want %v", err, boom)
+	}
+
+	cfg.OnRow = nil
+	resumed, resumedFP := runFingerprint(t, n, cfg)
+	upstream := []string{stages.SamplingFilter, stages.SamplingSample, stages.DAGJobs, stages.WLFeatures}
+	if got := strings.Join(resumed.CachedStages, ","); got != strings.Join(upstream, ",") {
+		t.Fatalf("resumed run cached %v, want %v", resumed.CachedStages, upstream)
+	}
+	want := []string{stages.WLMatrix, stages.ClusterSpectral, stages.ProfileGroups}
+	if got := executedNames(resumed); strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Fatalf("resumed run executed %v, want %v", got, want)
+	}
+
+	ref := cfg
+	ref.CacheDir = ""
+	_, refFP := runFingerprint(t, n, ref)
+	if resumedFP != refFP {
+		t.Fatalf("resumed run differs from uncached run")
+	}
+}
+
+// TestCacheDirUnusableDegradesToUncached: an unopenable cache directory
+// must warn, not abort.
+func TestCacheDirUnusableDegradesToUncached(t *testing.T) {
+	cfg := DefaultConfig(testWindow, 1)
+	cfg.SampleSize = 20
+	cfg.Groups = 3
+	// A file where the cache directory should be: MkdirAll fails.
+	cfg.CacheDir = genCacheBlocker(t)
+	an, err := Run(genJobs(t, 1500, 1), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, w := range an.Warnings {
+		if strings.Contains(w, "artifact cache disabled") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("missing cache-disabled warning in %v", an.Warnings)
+	}
+	if len(an.CachedStages) != 0 || len(an.Stages) != len(stages.Core) {
+		t.Fatalf("degraded run: cached %v, executed %v", an.CachedStages, executedNames(an))
+	}
+}
+
+func TestDefaultConfigMirrorsPaper(t *testing.T) {
+	cfg := DefaultConfig(testWindow, 7)
+	if cfg.SampleSize != 100 || cfg.Groups != 5 || cfg.Seed != 7 {
+		t.Fatalf("DefaultConfig = %+v", cfg)
+	}
+	if cfg.Conflate || cfg.Workers != 0 || cfg.CacheDir != "" {
+		t.Fatalf("DefaultConfig enables non-default behavior: %+v", cfg)
+	}
+	if cfg.WL.Iterations != 3 || !cfg.WL.UseTypeLabels {
+		t.Fatalf("DefaultConfig WL = %+v", cfg.WL)
+	}
+}
+
+func TestConfigValidateEdgeCases(t *testing.T) {
+	jobs := genJobs(t, 300, 1)
+	for _, tc := range []struct {
+		name   string
+		mutate func(*Config)
+		want   string
+	}{
+		{"zero sample", func(c *Config) { c.SampleSize = 0 }, "SampleSize"},
+		{"negative sample", func(c *Config) { c.SampleSize = -5 }, "SampleSize"},
+		{"zero groups", func(c *Config) { c.Groups = 0 }, "Groups"},
+		{"negative groups", func(c *Config) { c.Groups = -1 }, "Groups"},
+	} {
+		cfg := DefaultConfig(testWindow, 1)
+		tc.mutate(&cfg)
+		_, err := Run(jobs, cfg)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want mention of %s", tc.name, err, tc.want)
+		}
+	}
+
+	// Negative workers are not an error: the pool treats <=0 as
+	// GOMAXPROCS, so the run completes normally.
+	cfg := DefaultConfig(testWindow, 1)
+	cfg.SampleSize = 20
+	cfg.Groups = 3
+	cfg.Workers = -3
+	if _, err := Run(genJobs(t, 1500, 1), cfg); err != nil {
+		t.Errorf("negative workers: %v", err)
+	}
+}
+
+// TestStageDurationLookup covers both the indexed and the fallback
+// (hand-built Analysis) paths of StageDuration.
+func TestStageDurationLookup(t *testing.T) {
+	cfg := DefaultConfig(testWindow, 1)
+	cfg.SampleSize = 20
+	cfg.Groups = 3
+	an, err := Run(genJobs(t, 1500, 1), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range stages.Core {
+		if _, ok := an.StageDuration(name); !ok {
+			t.Errorf("executed stage %s not found", name)
+		}
+	}
+	if _, ok := an.StageDuration("no.such.stage"); ok {
+		t.Error("unknown stage reported as present")
+	}
+
+	manual := &Analysis{Stages: []StageTiming{{Name: "x", Duration: 42}}}
+	if d, ok := manual.StageDuration("x"); !ok || d != 42 {
+		t.Errorf("fallback lookup = %v, %v", d, ok)
+	}
+	if _, ok := manual.StageDuration("y"); ok {
+		t.Error("fallback reported missing stage as present")
+	}
+}

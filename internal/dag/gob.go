@@ -1,0 +1,15 @@
+package dag
+
+// Gob support for Graph, required by the engine's artifact cache: gob
+// cannot see the graph's unexported adjacency, so the codec delegates
+// to the deterministic JSON wire format, which already validates on
+// decode. The encoded form is the canonical node/edge listing, so a
+// decoded graph is structurally identical to the original (same nodes,
+// same edges, same attributes) and every downstream metric — depth,
+// width, WL refinement, conflation — computes the same values on it.
+
+// GobEncode implements gob.GobEncoder.
+func (g *Graph) GobEncode() ([]byte, error) { return g.MarshalJSON() }
+
+// GobDecode implements gob.GobDecoder; the receiver is reset.
+func (g *Graph) GobDecode(data []byte) error { return g.UnmarshalJSON(data) }

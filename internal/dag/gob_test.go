@@ -1,0 +1,64 @@
+package dag
+
+import (
+	"bytes"
+	"encoding/gob"
+	"testing"
+
+	"jobgraph/internal/taskname"
+)
+
+func TestGraphGobRoundTrip(t *testing.T) {
+	g := New("j_gob")
+	for i := 1; i <= 4; i++ {
+		typ := taskname.TypeMap
+		if i%2 == 0 {
+			typ = taskname.TypeReduce
+		}
+		if err := g.AddNode(Node{ID: NodeID(i), Type: typ, Duration: float64(i) * 1.5, Instances: i, PlanCPU: 0.5, PlanMem: 0.25}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, e := range [][2]NodeID{{1, 2}, {1, 3}, {2, 4}, {3, 4}} {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(g); err != nil {
+		t.Fatal(err)
+	}
+	var got Graph
+	if err := gob.NewDecoder(&buf).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+
+	// The JSON wire format is canonical, so byte equality of the
+	// marshaled forms is structural equality.
+	a, err := g.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := got.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("round trip changed the graph:\n%s\nvs\n%s", a, b)
+	}
+
+	// Pointer slices (the shape artifacts actually use) survive too.
+	graphs := []*Graph{g, g}
+	buf.Reset()
+	if err := gob.NewEncoder(&buf).Encode(graphs); err != nil {
+		t.Fatal(err)
+	}
+	var back []*Graph
+	if err := gob.NewDecoder(&buf).Decode(&back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 2 || back[0].Size() != g.Size() {
+		t.Fatalf("slice round trip: %d graphs, size %d", len(back), back[0].Size())
+	}
+}

@@ -1,0 +1,206 @@
+// Package cache is a content-addressed artifact store for pipeline
+// stage outputs. Each artifact is stored under its stage name plus the
+// stage's content key (a digest over the configuration fields and
+// upstream artifact digests that determine the output), so a lookup
+// either returns exactly the bytes a previous run computed for the same
+// effective inputs or misses. Files are written atomically (temp file +
+// rename), so a run cancelled mid-stage never leaves a partial artifact
+// behind — the property that makes interrupted runs resumable.
+package cache
+
+import (
+	"bufio"
+	"encoding/gob"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Schema identifies the artifact file layout; bump on breaking changes
+// so stale caches read as misses instead of decode errors.
+const Schema = "jobgraph-artifact/v1"
+
+// header is the first JSON line of every artifact file. The full
+// content key is repeated inside the file so a truncated filename or a
+// renamed file can never satisfy the wrong lookup.
+type header struct {
+	Schema string `json:"schema"`
+	Stage  string `json:"stage"`
+	Key    string `json:"key"`
+	Codec  string `json:"codec"`
+}
+
+// Codec serializes one artifact type. Encode must accept exactly the
+// values Decode returns; Ext names the payload format in the artifact
+// header and filename.
+type Codec interface {
+	Ext() string
+	Encode(w io.Writer, v any) error
+	Decode(r io.Reader) (any, error)
+}
+
+// Gob returns a Codec that stores values of type T in gob encoding —
+// the compact binary default for pure-Go artifact structs. Types with
+// unexported fields participate through GobEncoder/GobDecoder.
+func Gob[T any]() Codec { return gobCodec[T]{} }
+
+type gobCodec[T any] struct{}
+
+func (gobCodec[T]) Ext() string { return "gob" }
+
+func (gobCodec[T]) Encode(w io.Writer, v any) error {
+	t, ok := v.(T)
+	if !ok {
+		return fmt.Errorf("cache: gob codec for %T got %T", t, v)
+	}
+	return gob.NewEncoder(w).Encode(&t)
+}
+
+func (gobCodec[T]) Decode(r io.Reader) (any, error) {
+	var t T
+	if err := gob.NewDecoder(r).Decode(&t); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// JSON returns a Codec that stores values of type T as JSON — for
+// artifacts that benefit from being inspectable with standard tooling.
+func JSON[T any]() Codec { return jsonCodec[T]{} }
+
+type jsonCodec[T any] struct{}
+
+func (jsonCodec[T]) Ext() string { return "json" }
+
+func (jsonCodec[T]) Encode(w io.Writer, v any) error {
+	t, ok := v.(T)
+	if !ok {
+		return fmt.Errorf("cache: json codec for %T got %T", t, v)
+	}
+	return json.NewEncoder(w).Encode(&t)
+}
+
+func (jsonCodec[T]) Decode(r io.Reader) (any, error) {
+	var t T
+	if err := json.NewDecoder(r).Decode(&t); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Store is a directory of content-addressed artifacts.
+type Store struct {
+	dir string
+}
+
+// Open returns a store rooted at dir, creating the directory as needed.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("cache: empty store directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("cache: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// path places an artifact: <stage>-<key prefix>.<ext>. The filename
+// carries a 128-bit key prefix for addressing; the header inside the
+// file holds the full key and is always verified on load.
+func (s *Store) path(stage, key, ext string) string {
+	short := key
+	if len(short) > 32 {
+		short = short[:32]
+	}
+	name := fmt.Sprintf("%s-%s.%s", sanitize(stage), short, ext)
+	return filepath.Join(s.dir, name)
+}
+
+// sanitize keeps stage names filesystem-safe without losing identity
+// (stage names are dotted lowercase words; this is belt and braces).
+func sanitize(stage string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '.', r == '_', r == '-':
+			return r
+		default:
+			return '_'
+		}
+	}, stage)
+}
+
+// Load returns the artifact stored for (stage, key), decoding it with
+// c. ok is false on a clean miss; a non-nil error means the file exists
+// but could not be used (corrupt, wrong schema, key collision) — the
+// caller should treat it as a miss and overwrite.
+func (s *Store) Load(stage, key string, c Codec) (v any, ok bool, err error) {
+	f, err := os.Open(s.path(stage, key, c.Ext()))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, false, nil
+		}
+		return nil, false, fmt.Errorf("cache: %w", err)
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+	line, err := r.ReadBytes('\n')
+	if err != nil {
+		return nil, false, fmt.Errorf("cache: %s/%s: reading header: %w", stage, key[:8], err)
+	}
+	var h header
+	if err := json.Unmarshal(line, &h); err != nil {
+		return nil, false, fmt.Errorf("cache: %s/%s: bad header: %w", stage, key[:8], err)
+	}
+	if h.Schema != Schema {
+		return nil, false, fmt.Errorf("cache: %s: schema %q, want %q", stage, h.Schema, Schema)
+	}
+	if h.Stage != stage || h.Key != key || h.Codec != c.Ext() {
+		return nil, false, fmt.Errorf("cache: %s: header identifies %s/%s (%s)", stage, h.Stage, h.Key, h.Codec)
+	}
+	v, err = c.Decode(r)
+	if err != nil {
+		return nil, false, fmt.Errorf("cache: %s/%s: decode: %w", stage, key[:8], err)
+	}
+	return v, true, nil
+}
+
+// Save stores the artifact for (stage, key) atomically: the bytes land
+// in a temp file first and are renamed into place, so concurrent or
+// interrupted writers can never expose a partial artifact.
+func (s *Store) Save(stage, key string, c Codec, v any) error {
+	tmp, err := os.CreateTemp(s.dir, ".tmp-"+sanitize(stage)+"-*")
+	if err != nil {
+		return fmt.Errorf("cache: %w", err)
+	}
+	defer func() {
+		tmp.Close()
+		os.Remove(tmp.Name()) // no-op after a successful rename
+	}()
+	w := bufio.NewWriter(tmp)
+	hb, err := json.Marshal(header{Schema: Schema, Stage: stage, Key: key, Codec: c.Ext()})
+	if err != nil {
+		return fmt.Errorf("cache: header: %w", err)
+	}
+	if _, err := w.Write(append(hb, '\n')); err != nil {
+		return fmt.Errorf("cache: %w", err)
+	}
+	if err := c.Encode(w, v); err != nil {
+		return fmt.Errorf("cache: %s: encode: %w", stage, err)
+	}
+	if err := w.Flush(); err != nil {
+		return fmt.Errorf("cache: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("cache: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), s.path(stage, key, c.Ext())); err != nil {
+		return fmt.Errorf("cache: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,120 @@
+package cache
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+type artifact struct {
+	Name   string
+	Values []float64
+	Table  map[int]float64
+}
+
+const key = "0123456789abcdef0123456789abcdef0123456789abcdef0123456789abcdef"
+
+func sample() artifact {
+	return artifact{
+		Name:   "wl.matrix",
+		Values: []float64{0.1, 1, 0.25},
+		Table:  map[int]float64{3: 0.5, 9: 1},
+	}
+}
+
+func TestRoundTripGobAndJSON(t *testing.T) {
+	for _, c := range []Codec{Gob[artifact](), JSON[artifact]()} {
+		s, err := Open(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok, err := s.Load("stage", key, c); ok || err != nil {
+			t.Fatalf("%s: fresh store: ok=%v err=%v", c.Ext(), ok, err)
+		}
+		want := sample()
+		if err := s.Save("stage", key, c, want); err != nil {
+			t.Fatalf("%s: %v", c.Ext(), err)
+		}
+		got, ok, err := s.Load("stage", key, c)
+		if err != nil || !ok {
+			t.Fatalf("%s: load: ok=%v err=%v", c.Ext(), ok, err)
+		}
+		if !reflect.DeepEqual(got.(artifact), want) {
+			t.Fatalf("%s: round trip: got %+v want %+v", c.Ext(), got, want)
+		}
+	}
+}
+
+func TestLoadRejectsWrongKey(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := Gob[artifact]()
+	if err := s.Save("stage", key, c, sample()); err != nil {
+		t.Fatal(err)
+	}
+	// Same 128-bit filename prefix, different full key: the header
+	// check must refuse it.
+	other := key[:32] + strings.Repeat("f", 32)
+	if _, ok, err := s.Load("stage", other, c); ok || err == nil {
+		t.Fatalf("collision load: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestLoadCorruptFileErrorsNotPanics(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := Gob[artifact]()
+	if err := s.Save("stage", key, c, sample()); err != nil {
+		t.Fatal(err)
+	}
+	files, _ := filepath.Glob(filepath.Join(dir, "stage-*"))
+	if len(files) != 1 {
+		t.Fatalf("artifact files: %v", files)
+	}
+	data, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(files[0], data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := s.Load("stage", key, c); ok || err == nil {
+		t.Fatalf("truncated artifact: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestSaveLeavesNoTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save("a.b", key, JSON[artifact](), sample()); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), ".tmp-") {
+			t.Fatalf("temp file left behind: %s", e.Name())
+		}
+	}
+	if len(entries) != 1 {
+		t.Fatalf("expected exactly one artifact, got %d", len(entries))
+	}
+}
+
+func TestOpenRejectsEmptyDir(t *testing.T) {
+	if _, err := Open(""); err == nil {
+		t.Fatal("Open(\"\") succeeded")
+	}
+}

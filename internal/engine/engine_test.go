@@ -1,0 +1,259 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"jobgraph/internal/engine/cache"
+)
+
+// plan builds a three-stage chain a -> b -> c over an integer source:
+// b doubles, c adds its fingerprint-controlled offset. runs records
+// which stages executed.
+func chainPlan(input int, offsetC int, runs *[]string) *Plan {
+	p := NewPlan()
+	p.Source("src", input, func() string { return fmt.Sprintf("src:%d", input) })
+	p.Add(&Stage{
+		Name:        "double",
+		Deps:        []string{"src"},
+		Fingerprint: "x2",
+		Codec:       cache.Gob[int](),
+		Run: func(in Inputs) (any, string, error) {
+			*runs = append(*runs, "double")
+			v, err := In[int](in, "src")
+			if err != nil {
+				return nil, "", err
+			}
+			return v * 2, "doubled", nil
+		},
+	})
+	p.Add(&Stage{
+		Name:        "offset",
+		Deps:        []string{"double"},
+		Fingerprint: fmt.Sprintf("off:%d", offsetC),
+		Codec:       cache.Gob[int](),
+		Run: func(in Inputs) (any, string, error) {
+			*runs = append(*runs, "offset")
+			v, err := In[int](in, "double")
+			if err != nil {
+				return nil, "", err
+			}
+			return v + offsetC, "offset applied", nil
+		},
+	})
+	return p
+}
+
+func TestExecuteNoCacheRunsEverything(t *testing.T) {
+	var runs []string
+	res, err := chainPlan(21, 5, &runs).Execute(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := ArtifactAs[int](res, "offset")
+	if err != nil || v != 47 {
+		t.Fatalf("offset artifact = %v, %v", v, err)
+	}
+	if len(runs) != 2 || len(res.Executed) != 2 || len(res.Cached) != 0 {
+		t.Fatalf("runs=%v executed=%v cached=%v", runs, res.Executed, res.Cached)
+	}
+	if len(res.Keys) != 0 {
+		t.Fatalf("keys computed without a store: %v", res.Keys)
+	}
+}
+
+func TestExecuteWarmRunLoadsFromCache(t *testing.T) {
+	store, err := cache.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cold []string
+	cres, err := chainPlan(21, 5, &cold).Execute(Options{Store: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cres.Misses != 2 || cres.Hits != 0 {
+		t.Fatalf("cold run hits=%d misses=%d", cres.Hits, cres.Misses)
+	}
+	var warm []string
+	wres, err := chainPlan(21, 5, &warm).Execute(Options{Store: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(warm) != 0 {
+		t.Fatalf("warm run executed %v", warm)
+	}
+	if wres.Hits != 2 || len(wres.Cached) != 2 {
+		t.Fatalf("warm run hits=%d cached=%v", wres.Hits, wres.Cached)
+	}
+	cv, _ := ArtifactAs[int](cres, "offset")
+	wv, _ := ArtifactAs[int](wres, "offset")
+	if cv != wv {
+		t.Fatalf("cold %d != warm %d", cv, wv)
+	}
+}
+
+func TestDownstreamConfigChangeReusesUpstream(t *testing.T) {
+	store, err := cache.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var first []string
+	if _, err := chainPlan(21, 5, &first).Execute(Options{Store: store}); err != nil {
+		t.Fatal(err)
+	}
+	// Change only the last stage's fingerprint: "double" must be a
+	// cache hit, "offset" must recompute.
+	var second []string
+	res, err := chainPlan(21, 9, &second).Execute(Options{Store: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []string{"offset"}; strings.Join(second, ",") != strings.Join(want, ",") {
+		t.Fatalf("second run executed %v, want %v", second, want)
+	}
+	if len(res.Cached) != 1 || res.Cached[0] != "double" {
+		t.Fatalf("cached = %v", res.Cached)
+	}
+	if v, _ := ArtifactAs[int](res, "offset"); v != 51 {
+		t.Fatalf("offset artifact = %d", v)
+	}
+}
+
+func TestInputChangeInvalidatesEverything(t *testing.T) {
+	store, err := cache.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var first, second []string
+	if _, err := chainPlan(21, 5, &first).Execute(Options{Store: store}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := chainPlan(22, 5, &second).Execute(Options{Store: store}); err != nil {
+		t.Fatal(err)
+	}
+	if len(second) != 2 {
+		t.Fatalf("changed input executed only %v", second)
+	}
+}
+
+func TestFailedStageResumesFromPersistedArtifacts(t *testing.T) {
+	store, err := cache.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("cancelled")
+	fail := true
+	mk := func(runs *[]string) *Plan {
+		p := NewPlan()
+		p.Source("src", 1, func() string { return "src:1" })
+		p.Add(&Stage{
+			Name: "a", Deps: []string{"src"}, Fingerprint: "a", Codec: cache.Gob[int](),
+			Run: func(in Inputs) (any, string, error) {
+				*runs = append(*runs, "a")
+				return 10, "", nil
+			},
+		})
+		p.Add(&Stage{
+			Name: "b", Deps: []string{"a"}, Fingerprint: "b", Codec: cache.Gob[int](),
+			Run: func(in Inputs) (any, string, error) {
+				*runs = append(*runs, "b")
+				if fail {
+					return nil, "", boom
+				}
+				return 20, "", nil
+			},
+		})
+		return p
+	}
+	var r1 []string
+	if _, err := mk(&r1).Execute(Options{Store: store}); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	fail = false
+	var r2 []string
+	res, err := mk(&r2).Execute(Options{Store: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "a" resumes from its persisted artifact; only "b" re-runs.
+	if strings.Join(r2, ",") != "b" {
+		t.Fatalf("resumed run executed %v", r2)
+	}
+	if len(res.Cached) != 1 || res.Cached[0] != "a" {
+		t.Fatalf("resumed cached = %v", res.Cached)
+	}
+}
+
+func TestCorruptArtifactIsAMissNotAFailure(t *testing.T) {
+	dir := t.TempDir()
+	store, err := cache.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var r1 []string
+	if _, err := chainPlan(3, 1, &r1).Execute(Options{Store: store}); err != nil {
+		t.Fatal(err)
+	}
+	files, _ := filepath.Glob(filepath.Join(dir, "double-*"))
+	if len(files) != 1 {
+		t.Fatalf("double artifacts: %v", files)
+	}
+	if err := os.WriteFile(files[0], []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var r2 []string
+	res, err := chainPlan(3, 1, &r2).Execute(Options{Store: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(r2, ",") != "double" {
+		t.Fatalf("after corruption executed %v, want just double", r2)
+	}
+	if v, _ := ArtifactAs[int](res, "offset"); v != 7 {
+		t.Fatalf("offset = %d", v)
+	}
+	// The corrupt file must have been overwritten with a good artifact.
+	var r3 []string
+	if _, err := chainPlan(3, 1, &r3).Execute(Options{Store: store}); err != nil || len(r3) != 0 {
+		t.Fatalf("third run executed %v err %v", r3, err)
+	}
+}
+
+func TestPlanValidation(t *testing.T) {
+	noop := func(in Inputs) (any, string, error) { return nil, "", nil }
+	cases := []struct {
+		name string
+		plan *Plan
+		want string
+	}{
+		{"duplicate", NewPlan().
+			Add(&Stage{Name: "a", Run: noop}).
+			Add(&Stage{Name: "a", Run: noop}), "duplicate"},
+		{"unknown dep", NewPlan().
+			Add(&Stage{Name: "a", Deps: []string{"ghost"}, Run: noop}), "not declared"},
+		{"forward dep", NewPlan().
+			Add(&Stage{Name: "a", Deps: []string{"b"}, Run: noop}).
+			Add(&Stage{Name: "b", Run: noop}), "not declared"},
+		{"missing run", NewPlan().Add(&Stage{Name: "a"}), "no Run func"},
+	}
+	for _, tc := range cases {
+		if _, err := tc.plan.Execute(Options{}); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want containing %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestInTypeMismatch(t *testing.T) {
+	in := Inputs{artifacts: map[string]any{"a": "text"}}
+	if _, err := In[int](in, "a"); err == nil {
+		t.Fatal("type mismatch not reported")
+	}
+	if _, err := In[string](in, "missing"); err == nil {
+		t.Fatal("missing input not reported")
+	}
+}

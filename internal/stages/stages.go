@@ -1,0 +1,63 @@
+// Package stages is the single authority for pipeline stage names.
+//
+// Stage names appear in four places that must agree for the tooling to
+// work: the engine's stage graph (and therefore the artifact cache
+// keys), the obs span tree (and therefore metrics.json and the Perfetto
+// timeline), the run ledger entries cmd/benchdiff diffs for the perf
+// gate, and the per-run Analysis.Stages timings. Before this package
+// each site spelled the names as ad-hoc string literals, so renaming a
+// stage could silently disconnect the perf gate from the stage it was
+// supposed to guard. Referencing the exported constants makes a renamed
+// stage a compile error instead.
+//
+// The package has no dependencies so every layer (core, engine, cli,
+// obs consumers, commands) can import it.
+package stages
+
+// Pipeline is the root span every core.Run stage nests under.
+const Pipeline = "pipeline"
+
+// Ingest-layer stages recorded by the cli helpers, outside core.Run.
+const (
+	// TraceLoad covers parsing a trace table from disk.
+	TraceLoad = "trace.load"
+	// TraceGenerate covers synthesizing a trace in memory.
+	TraceGenerate = "trace.generate"
+)
+
+// Core pipeline stages, in execution order. Ingest is the engine's
+// source stage (the jobs handed to core.Run); the rest are computed.
+const (
+	// Ingest is the engine source stage holding the input trace jobs.
+	// It is provided, not executed, so it never appears as a span.
+	Ingest = "ingest"
+	// SamplingFilter applies the paper's §IV-B integrity/availability
+	// criteria and builds a DAG per surviving job.
+	SamplingFilter = "sampling.filter"
+	// SamplingSample draws the diverse job sample.
+	SamplingSample = "sampling.sample"
+	// DAGJobs is the per-job structural stage: optional conflation plus
+	// size/depth/width/chain classification and resource sums.
+	DAGJobs = "dag.jobs"
+	// WLFeatures embeds every sampled DAG as a WL feature vector.
+	WLFeatures = "wl.features"
+	// WLMatrix computes the n×n normalized kernel similarity matrix.
+	WLMatrix = "wl.matrix"
+	// ClusterSpectral runs spectral clustering over the kernel matrix.
+	ClusterSpectral = "cluster.spectral"
+	// ProfileGroups computes the population-ranked group profiles.
+	ProfileGroups = "profile.groups"
+)
+
+// Core lists the computed core pipeline stages in execution order —
+// the stages the perf gate expects to find under Pipeline in a cold
+// instrumented run.
+var Core = []string{
+	SamplingFilter,
+	SamplingSample,
+	DAGJobs,
+	WLFeatures,
+	WLMatrix,
+	ClusterSpectral,
+	ProfileGroups,
+}

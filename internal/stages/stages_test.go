@@ -1,0 +1,19 @@
+package stages
+
+import "testing"
+
+func TestCoreStagesUniqueAndNonEmpty(t *testing.T) {
+	seen := make(map[string]bool)
+	for _, s := range Core {
+		if s == "" {
+			t.Fatal("empty stage name in Core")
+		}
+		if seen[s] {
+			t.Fatalf("duplicate stage name %q in Core", s)
+		}
+		seen[s] = true
+	}
+	if seen[Pipeline] || seen[Ingest] {
+		t.Fatal("Core must list only computed stages, not the root or the source")
+	}
+}

@@ -13,6 +13,8 @@
 package wl
 
 import (
+	"bytes"
+	"encoding/gob"
 	"fmt"
 	"math"
 	"sort"
@@ -153,6 +155,27 @@ func (d *Dictionary) id(label string) int {
 
 // Len returns the number of distinct labels interned so far.
 func (d *Dictionary) Len() int { return len(d.ids) }
+
+// GobEncode implements gob.GobEncoder so analyses cached by the engine
+// retain their kernel state: a restored dictionary embeds new graphs
+// (Analysis.AssignGroup) with exactly the ids the original interned.
+func (d *Dictionary) GobEncode() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(d.ids); err != nil {
+		return nil, fmt.Errorf("wl: encoding dictionary: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// GobDecode implements gob.GobDecoder; the receiver is reset.
+func (d *Dictionary) GobDecode(data []byte) error {
+	ids := make(map[string]int)
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&ids); err != nil {
+		return fmt.Errorf("wl: decoding dictionary: %w", err)
+	}
+	d.ids = ids
+	return nil
+}
 
 // Embed computes the WL feature vector of g against the dictionary,
 // interning any new labels. Embedding is deterministic given the
