@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race bench fuzz reproduce metrics trace ledger baseline benchdiff cache-demo staticcheck govulncheck fmt vet clean
+.PHONY: all build test test-short race bench fuzz reproduce metrics trace ledger baseline benchdiff cache-demo report staticcheck govulncheck fmt vet clean
 
 all: build test
 
@@ -46,6 +46,13 @@ trace:
 ledger:
 	$(GO) run ./cmd/reproduce -gen 2000 -seed 1 -out /tmp/jobgraph-metrics/ -ledger results/runs/ledger.jsonl >/dev/null
 	@echo "appended to results/runs/ledger.jsonl"
+
+# Self-contained HTML run report: append a fresh instrumented run to
+# the local ledger, then render its newest entry. Open
+# results/report.html in any browser — no external assets.
+report:
+	$(GO) run ./cmd/reproduce -gen 2000 -seed 1 -out /tmp/jobgraph-metrics/ -ledger results/runs/ledger.jsonl >/dev/null
+	$(GO) run ./cmd/runreport -ledger results/runs/ledger.jsonl -out results/report.html
 
 # Regenerate the committed perf-gate baseline ledger from a fresh
 # instrumented run. CI compares PR runs against this file and fails on

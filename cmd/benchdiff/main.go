@@ -22,9 +22,11 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strings"
 
 	"jobgraph/internal/cli"
+	"jobgraph/internal/engine"
 	"jobgraph/internal/ledger"
 	"jobgraph/internal/obs"
 	"jobgraph/internal/stages"
@@ -67,14 +69,90 @@ func execute(cfg config, w io.Writer) error {
 	}
 	rep := ledger.Diff(base, cur, cfg.opt)
 	fmt.Fprint(w, rep.String())
+	stats := stageCacheStats(cur)
+	if len(stats) > 0 {
+		fmt.Fprintf(w, "engine cache (current run):\n")
+		fmt.Fprintf(w, "  %-24s %6s %6s %12s %14s\n", "stage", "hits", "miss", "bytes_read", "bytes_written")
+		for _, cs := range stats {
+			fmt.Fprintf(w, "  %-24s %6d %6d %12d %14d\n",
+				cs.stage, cs.hits, cs.misses, cs.bytesRead, cs.bytesWritten)
+		}
+	}
 	if missing := missingCoreStages(cur); len(missing) > 0 {
-		fmt.Fprintf(w, "note: core stages not timed in current run (cached or not reached): %s\n",
-			strings.Join(missing, ", "))
+		fmt.Fprintf(w, "note: core stages not timed in current run: %s\n",
+			strings.Join(annotateCached(missing, stats), ", "))
 	}
 	if n := len(rep.Regressions); n > 0 && !cfg.warnOnly {
 		return fmt.Errorf("benchdiff: %d stage(s) regressed beyond threshold", n)
 	}
 	return nil
+}
+
+// cacheStat is one stage's engine cache traffic, aggregated from the
+// flat engine.cache.stage.<stage>.<kind> counters.
+type cacheStat struct {
+	stage        string
+	hits, misses int64
+	bytesRead    int64
+	bytesWritten int64
+}
+
+// stageCacheStats extracts per-stage engine cache counters from a
+// snapshot, sorted by stage name.
+func stageCacheStats(snap obs.Snapshot) []cacheStat {
+	byStage := make(map[string]*cacheStat)
+	for name, v := range snap.Counters {
+		rest, ok := strings.CutPrefix(name, engine.StageCacheMetricPrefix)
+		if !ok {
+			continue
+		}
+		i := strings.LastIndex(rest, ".")
+		if i <= 0 {
+			continue
+		}
+		stage, kind := rest[:i], rest[i+1:]
+		cs := byStage[stage]
+		if cs == nil {
+			cs = &cacheStat{stage: stage}
+			byStage[stage] = cs
+		}
+		switch kind {
+		case "hits":
+			cs.hits = v
+		case "misses":
+			cs.misses = v
+		case "bytes_read":
+			cs.bytesRead = v
+		case "bytes_written":
+			cs.bytesWritten = v
+		}
+	}
+	out := make([]cacheStat, 0, len(byStage))
+	for _, cs := range byStage {
+		out = append(out, *cs)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].stage < out[j].stage })
+	return out
+}
+
+// annotateCached marks each missing stage with why it has no timing:
+// "cached" when the cache counters show a hit, "not reached" otherwise.
+func annotateCached(missing []string, stats []cacheStat) []string {
+	hits := make(map[string]bool, len(stats))
+	for _, cs := range stats {
+		if cs.hits > 0 {
+			hits[cs.stage] = true
+		}
+	}
+	out := make([]string, len(missing))
+	for i, name := range missing {
+		if hits[name] {
+			out[i] = name + " (cached)"
+		} else {
+			out[i] = name + " (not reached)"
+		}
+	}
+	return out
 }
 
 // missingCoreStages lists the canonical pipeline stages (stages.Core)

@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"jobgraph/internal/engine"
 	"jobgraph/internal/ledger"
 	"jobgraph/internal/obs"
 )
@@ -169,5 +170,50 @@ func TestSnapshotFilesRemainParseable(t *testing.T) {
 	}
 	if snap.Schema != obs.SnapshotSchema {
 		t.Fatalf("schema = %q", snap.Schema)
+	}
+}
+
+// TestExecuteReportsCacheStats: a current run with per-stage engine
+// cache counters gets a cache table, and core stages missing from the
+// span tree are annotated cached vs. not reached.
+func TestExecuteReportsCacheStats(t *testing.T) {
+	dir := t.TempDir()
+	basePath := writeSnapshot(t, dir, "base.json", 50)
+
+	r := obs.NewRegistry()
+	r.RecordSpan([]string{"pipeline"}, 200*time.Millisecond, 1<<20)
+	r.RecordSpan([]string{"pipeline", "wl.matrix"}, 55*time.Millisecond, 1<<19)
+	r.Counter(engine.StageCacheMetricPrefix + "dag.jobs.hits").Add(1)
+	r.Counter(engine.StageCacheMetricPrefix + "dag.jobs.bytes_read").Add(4096)
+	r.Counter(engine.StageCacheMetricPrefix + "wl.matrix.misses").Add(1)
+	r.Counter(engine.StageCacheMetricPrefix + "wl.matrix.bytes_written").Add(8192)
+	curPath := filepath.Join(dir, "cur.json")
+	if err := r.WriteSnapshotFile(curPath); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := config{
+		basePath: basePath,
+		curPath:  curPath,
+		opt:      ledger.Options{TimePct: 0.25, MinMs: 5},
+	}
+	var out bytes.Buffer
+	if err := execute(cfg, &out); err != nil {
+		t.Fatalf("execute: %v\n%s", err, out.String())
+	}
+	rep := out.String()
+	if !strings.Contains(rep, "engine cache (current run):") {
+		t.Fatalf("report lacks cache table:\n%s", rep)
+	}
+	for _, want := range []string{"dag.jobs", "4096", "8192"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("cache table missing %q:\n%s", want, rep)
+		}
+	}
+	if !strings.Contains(rep, "dag.jobs (cached)") {
+		t.Errorf("missing-stage note lacks cached annotation:\n%s", rep)
+	}
+	if !strings.Contains(rep, "sampling.filter (not reached)") {
+		t.Errorf("missing-stage note lacks not-reached annotation:\n%s", rep)
 	}
 }

@@ -1,0 +1,60 @@
+// Command promlint validates Prometheus text exposition (the /metrics
+// format) read from files or stdin, using the same in-repo parser the
+// exposition writer is tested against. CI scrapes a live run's
+// /metrics endpoint and pipes the body through this to catch format
+// drift without external tooling.
+//
+// Usage:
+//
+//	promlint metrics.txt [more.txt ...]
+//	curl -s localhost:6060/metrics | promlint
+//
+// Exits non-zero when any input has problems; each problem is printed
+// as file:line: message.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"jobgraph/internal/cli"
+	"jobgraph/internal/obs/promexport"
+)
+
+func main() { cli.Run(run) }
+
+func run() error {
+	flag.Parse()
+	return execute(flag.Args(), os.Stdin, os.Stdout)
+}
+
+// execute lints each named file, or stdin when no files are given, and
+// errors when any input had problems.
+func execute(paths []string, stdin io.Reader, w io.Writer) error {
+	bad := 0
+	if len(paths) == 0 {
+		bad += lint("<stdin>", stdin, w)
+	}
+	for _, path := range paths {
+		f, err := os.Open(path)
+		if err != nil {
+			return fmt.Errorf("promlint: %v", err)
+		}
+		bad += lint(path, f, w)
+		f.Close()
+	}
+	if bad > 0 {
+		return fmt.Errorf("promlint: %d problem(s) found", bad)
+	}
+	return nil
+}
+
+func lint(name string, r io.Reader, w io.Writer) int {
+	problems := promexport.Lint(r)
+	for _, p := range problems {
+		fmt.Fprintf(w, "%s:%d: %s\n", name, p.Line, p.Msg)
+	}
+	return len(problems)
+}

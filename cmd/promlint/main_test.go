@@ -1,0 +1,66 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const goodExposition = `# HELP jobgraph_rows_total rows
+# TYPE jobgraph_rows_total counter
+jobgraph_rows_total 42
+`
+
+const badExposition = `# TYPE jobgraph_rows_total counter
+jobgraph_rows_total notanumber
+jobgraph-bad-name 1
+`
+
+func TestExecuteStdinClean(t *testing.T) {
+	var out bytes.Buffer
+	if err := execute(nil, strings.NewReader(goodExposition), &out); err != nil {
+		t.Fatalf("clean input rejected: %v\n%s", err, out.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("clean input produced output: %s", out.String())
+	}
+}
+
+func TestExecuteStdinProblems(t *testing.T) {
+	var out bytes.Buffer
+	err := execute(nil, strings.NewReader(badExposition), &out)
+	if err == nil {
+		t.Fatal("bad input accepted")
+	}
+	if !strings.Contains(out.String(), "<stdin>:2:") {
+		t.Errorf("problems not reported with line numbers:\n%s", out.String())
+	}
+}
+
+func TestExecuteFiles(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.txt")
+	bad := filepath.Join(dir, "bad.txt")
+	if err := os.WriteFile(good, []byte(goodExposition), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(bad, []byte(badExposition), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var out bytes.Buffer
+	if err := execute([]string{good}, nil, &out); err != nil {
+		t.Fatalf("good file rejected: %v", err)
+	}
+	if err := execute([]string{good, bad}, nil, &out); err == nil {
+		t.Fatal("bad file accepted")
+	}
+	if !strings.Contains(out.String(), "bad.txt:") {
+		t.Errorf("problem not attributed to file:\n%s", out.String())
+	}
+	if err := execute([]string{filepath.Join(dir, "missing.txt")}, nil, &out); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

@@ -1,0 +1,107 @@
+// Command runreport renders one run's telemetry — a metrics.json
+// snapshot or a ledger entry — into a self-contained HTML document
+// (inline CSS and SVG, no external assets) suitable for CI artifacts.
+//
+// Usage:
+//
+//	runreport -metrics out/metrics.json -out report.html
+//	runreport -ledger results/runs/ledger.jsonl -out report.html
+//	runreport -ledger ledger.jsonl -run 1a2b3c... -out report.html
+//
+// With -ledger and no -run, the newest entry is reported. With -out
+// omitted, the HTML goes to stdout.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"jobgraph/internal/cli"
+	"jobgraph/internal/ledger"
+	"jobgraph/internal/obs"
+	"jobgraph/internal/report"
+)
+
+func main() { cli.Run(run) }
+
+type config struct {
+	metricsPath string
+	ledgerPath  string
+	runID       string
+	outPath     string
+}
+
+func run() error {
+	var cfg config
+	flag.StringVar(&cfg.metricsPath, "metrics", "", "metrics.json snapshot to report")
+	flag.StringVar(&cfg.ledgerPath, "ledger", "", "run ledger JSONL (alternative to -metrics)")
+	flag.StringVar(&cfg.runID, "run", "", "ledger run id to report (default: newest entry)")
+	flag.StringVar(&cfg.outPath, "out", "", "write the HTML here (default: stdout)")
+	flag.Parse()
+
+	w := io.Writer(os.Stdout)
+	if cfg.outPath != "" {
+		f, err := os.Create(cfg.outPath)
+		if err != nil {
+			return fmt.Errorf("runreport: %v", err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := execute(cfg, w); err != nil {
+		return fmt.Errorf("runreport: %v", err)
+	}
+	if cfg.outPath != "" {
+		fmt.Fprintf(os.Stderr, "report written to %s\n", cfg.outPath)
+	}
+	return nil
+}
+
+// execute loads the requested run and renders the report to w.
+func execute(cfg config, w io.Writer) error {
+	snap, entry, err := load(cfg)
+	if err != nil {
+		return err
+	}
+	return report.WriteRunHTML(w, snap, entry, time.Now())
+}
+
+func load(cfg config) (obs.Snapshot, *ledger.Entry, error) {
+	switch {
+	case cfg.ledgerPath != "":
+		entries, err := ledger.Read(cfg.ledgerPath)
+		if err != nil {
+			return obs.Snapshot{}, nil, err
+		}
+		if len(entries) == 0 {
+			return obs.Snapshot{}, nil, fmt.Errorf("ledger %s is empty", cfg.ledgerPath)
+		}
+		e := entries[len(entries)-1]
+		if cfg.runID != "" {
+			var ok bool
+			if e, ok = ledger.Find(entries, cfg.runID); !ok {
+				return obs.Snapshot{}, nil, fmt.Errorf("run %s not found in ledger", cfg.runID)
+			}
+		}
+		return e.Metrics, &e, nil
+	case cfg.metricsPath != "":
+		data, err := os.ReadFile(cfg.metricsPath)
+		if err != nil {
+			return obs.Snapshot{}, nil, err
+		}
+		var snap obs.Snapshot
+		if err := json.Unmarshal(data, &snap); err != nil {
+			return obs.Snapshot{}, nil, fmt.Errorf("parse %s: %w", cfg.metricsPath, err)
+		}
+		if snap.Schema != obs.SnapshotSchema {
+			return obs.Snapshot{}, nil, fmt.Errorf("%s: schema %q, want %q", cfg.metricsPath, snap.Schema, obs.SnapshotSchema)
+		}
+		return snap, nil, nil
+	default:
+		return obs.Snapshot{}, nil, fmt.Errorf("give either -metrics or -ledger")
+	}
+}

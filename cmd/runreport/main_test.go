@@ -1,0 +1,102 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"jobgraph/internal/ledger"
+	"jobgraph/internal/obs"
+)
+
+func writeTestLedger(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "ledger.jsonl")
+	for i, id := range []string{"run0000000000old", "run0000000000new"} {
+		e := ledger.Entry{
+			Schema:    ledger.Schema,
+			RunID:     id,
+			Command:   "characterize",
+			StartedAt: time.Date(2026, 2, 3, 10, 30+i, 0, 0, time.UTC),
+			WallMs:    100,
+			Host:      ledger.Host{Hostname: "test", NumCPU: 1, GoVersion: "go1.22"},
+			Metrics: obs.Snapshot{
+				Schema:   obs.SnapshotSchema,
+				Counters: map[string]int64{"ingest.rows": int64(100 * (i + 1))},
+				Spans: []obs.SpanSnapshot{
+					{Name: "pipeline", Count: 1, TotalMs: 50, MinMs: 50, MaxMs: 50},
+				},
+			},
+		}
+		if err := ledger.Append(path, e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return path
+}
+
+func TestExecuteLedgerNewest(t *testing.T) {
+	var buf bytes.Buffer
+	err := execute(config{ledgerPath: writeTestLedger(t)}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	html := buf.String()
+	if !strings.Contains(html, "run0000000000new") {
+		t.Errorf("report is not for the newest run:\n%.300s", html)
+	}
+	if strings.Contains(html, "http://") || strings.Contains(html, "https://") {
+		t.Error("report references external URLs")
+	}
+}
+
+func TestExecuteLedgerByRunID(t *testing.T) {
+	path := writeTestLedger(t)
+	var buf bytes.Buffer
+	if err := execute(config{ledgerPath: path, runID: "run0000000000old"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "run0000000000old") {
+		t.Error("report is not for the requested run")
+	}
+	if err := execute(config{ledgerPath: path, runID: "nope"}, &buf); err == nil {
+		t.Error("unknown run id accepted")
+	}
+}
+
+func TestExecuteMetricsFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "metrics.json")
+	reg := obs.NewRegistry()
+	reg.Counter("ingest.rows").Add(42)
+	sp := reg.StartSpan("pipeline")
+	sp.Child("dag.jobs").End()
+	sp.End()
+	if err := reg.WriteSnapshotFile(path); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := execute(config{metricsPath: path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	html := buf.String()
+	for _, want := range []string{"ingest.rows", "pipeline/dag.jobs", "No ledger entry"} {
+		if !strings.Contains(html, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
+func TestExecuteErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := execute(config{}, &buf); err == nil {
+		t.Error("no inputs accepted")
+	}
+	empty := filepath.Join(t.TempDir(), "missing.json")
+	if err := execute(config{metricsPath: empty}, &buf); err == nil {
+		t.Error("missing metrics file accepted")
+	}
+}

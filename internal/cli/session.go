@@ -9,30 +9,35 @@ import (
 	"hash/fnv"
 	"log/slog"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/debug"
+	"runtime/pprof"
 	"time"
 
 	"jobgraph/internal/ledger"
 	"jobgraph/internal/obs"
+	"jobgraph/internal/obs/promexport"
 	"jobgraph/internal/obs/traceexport"
 )
 
 // ObsFlags is the observability flag set shared by every command:
 //
-//	-v           per-stage progress logging (slog text, Info level)
-//	-log-json    structured JSON logs for machines
-//	-debug-addr  live expvar + pprof endpoint
-//	-trace-out   Perfetto/chrome://tracing timeline JSON on exit
-//	-ledger      append the run's metrics snapshot to a JSONL ledger
+//	-v            per-stage progress logging (slog text, Info level)
+//	-log-json     structured JSON logs for machines
+//	-debug-addr   live /metrics, /progress, expvar + pprof endpoint
+//	-trace-out    Perfetto/chrome://tracing timeline JSON on exit
+//	-ledger       append the run's metrics snapshot to a JSONL ledger
+//	-profile-dir  capture CPU + heap profiles named by run id
 //
 // Register the flags before flag.Parse, Start the session after.
 type ObsFlags struct {
-	Verbose   bool
-	LogJSON   bool
-	DebugAddr string
-	TraceOut  string
-	Ledger    string
+	Verbose    bool
+	LogJSON    bool
+	DebugAddr  string
+	TraceOut   string
+	Ledger     string
+	ProfileDir string
 
 	fs *flag.FlagSet
 }
@@ -50,6 +55,7 @@ func RegisterObsFlagsOn(fs *flag.FlagSet) *ObsFlags {
 	fs.StringVar(&o.DebugAddr, "debug-addr", "", "serve /debug/vars and /debug/pprof/ on this address (e.g. localhost:6060)")
 	fs.StringVar(&o.TraceOut, "trace-out", "", "write a Perfetto-compatible trace JSON to this path on exit")
 	fs.StringVar(&o.Ledger, "ledger", "", "append this run's metrics snapshot to this JSONL run ledger")
+	fs.StringVar(&o.ProfileDir, "profile-dir", "", "write <run_id>.cpu.pprof and <run_id>.heap.pprof into this directory")
 	return o
 }
 
@@ -72,9 +78,15 @@ type RunInfo struct {
 type RunSession struct {
 	Info   RunInfo
 	Logger *slog.Logger
+	// DebugAddr is the debug server's resolved listen address (empty
+	// without -debug-addr) — with -debug-addr :0, the kernel-assigned
+	// port lands here.
+	DebugAddr string
 
 	flags      *ObsFlags
 	closeDebug func() error
+	sampler    *obs.RuntimeSampler
+	cpuProfile *os.File
 	closed     bool
 	warnings   []string
 }
@@ -127,18 +139,86 @@ func (o *ObsFlags) Start(command string) (*RunSession, error) {
 
 	s := &RunSession{Info: info, Logger: lg, flags: o}
 	if o.DebugAddr != "" {
-		ds, err := reg.ServeDebug(o.DebugAddr)
+		ds, err := reg.ServeDebug(o.DebugAddr, obs.Endpoint{
+			Pattern: "/metrics",
+			Handler: promexport.Handler(reg),
+		})
 		if err != nil {
 			return nil, err
 		}
 		// Announced unconditionally (not at Info) so -debug-addr :0 is
 		// usable without -v.
-		fmt.Fprintf(os.Stderr, "debug server listening on http://%s/debug/vars and /debug/pprof/\n", ds.Addr)
+		fmt.Fprintf(os.Stderr, "debug server listening on http://%s/metrics, /progress, /debug/vars and /debug/pprof/\n", ds.Addr)
+		s.DebugAddr = ds.Addr
 		s.closeDebug = ds.Close
+	}
+	// Runtime self-telemetry rides along with every instrumented output:
+	// a scrape, the exit snapshot and the ledger all carry runtime.*
+	// gauges without each command opting in.
+	if o.DebugAddr != "" || o.Ledger != "" || o.TraceOut != "" {
+		s.sampler = reg.NewRuntimeSampler()
+		s.sampler.Start(obs.DefaultRuntimeSampleInterval)
+	}
+	if o.ProfileDir != "" {
+		if err := s.startCPUProfile(); err != nil {
+			s.Close()
+			return nil, err
+		}
 	}
 	lg.Info("run started", "git_sha", info.GitSHA, "host", info.Host.Hostname,
 		"go", info.Host.GoVersion, "cpus", info.Host.NumCPU)
 	return s, nil
+}
+
+// startCPUProfile begins CPU profiling into
+// <profile-dir>/<run_id>.cpu.pprof.
+func (s *RunSession) startCPUProfile() error {
+	if err := os.MkdirAll(s.flags.ProfileDir, 0o755); err != nil {
+		return fmt.Errorf("cli: profile dir: %w", err)
+	}
+	path := filepath.Join(s.flags.ProfileDir, s.Info.RunID+".cpu.pprof")
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("cli: cpu profile: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return fmt.Errorf("cli: cpu profile: %w", err)
+	}
+	s.cpuProfile = f
+	return nil
+}
+
+// stopProfiles ends the CPU profile and writes the heap profile; both
+// are named by run id so profiles pair with ledger entries.
+func (s *RunSession) stopProfiles() error {
+	var errs []error
+	if s.cpuProfile != nil {
+		pprof.StopCPUProfile()
+		if err := s.cpuProfile.Close(); err != nil {
+			errs = append(errs, fmt.Errorf("cli: cpu profile: %w", err))
+		} else {
+			s.Logger.Info("cpu profile written", "path", s.cpuProfile.Name())
+		}
+		s.cpuProfile = nil
+	}
+	if s.flags.ProfileDir != "" {
+		path := filepath.Join(s.flags.ProfileDir, s.Info.RunID+".heap.pprof")
+		f, err := os.Create(path)
+		if err != nil {
+			return errors.Join(append(errs, fmt.Errorf("cli: heap profile: %w", err))...)
+		}
+		runtime.GC() // settle the heap so the profile reflects live objects
+		if err := pprof.Lookup("heap").WriteTo(f, 0); err != nil {
+			errs = append(errs, fmt.Errorf("cli: heap profile: %w", err))
+		} else {
+			s.Logger.Info("heap profile written", "path", path)
+		}
+		if err := f.Close(); err != nil {
+			errs = append(errs, fmt.Errorf("cli: heap profile: %w", err))
+		}
+	}
+	return errors.Join(errs...)
 }
 
 // Close flushes the run's observability outputs: the Perfetto trace,
@@ -151,6 +231,14 @@ func (s *RunSession) Close() error {
 	s.closed = true
 	reg := obs.Default()
 	var errs []error
+	// Profiles and the final runtime sample land before the snapshot
+	// consumers below, so the ledger entry sees up-to-date gauges.
+	if err := s.stopProfiles(); err != nil {
+		errs = append(errs, err)
+	}
+	if s.sampler != nil {
+		s.sampler.Stop()
+	}
 	if s.flags.TraceOut != "" {
 		events := reg.Events()
 		meta := traceexport.Meta{

@@ -1,15 +1,20 @@
 package cli
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
+	"io"
+	"net/http"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
 	"jobgraph/internal/ledger"
 	"jobgraph/internal/obs"
+	"jobgraph/internal/obs/promexport"
 	"jobgraph/internal/obs/traceexport"
 )
 
@@ -164,8 +169,95 @@ func TestSessionDebugServer(t *testing.T) {
 	if sess.closeDebug == nil {
 		t.Fatal("debug server not started")
 	}
+	if sess.DebugAddr == "" || strings.HasSuffix(sess.DebugAddr, ":0") {
+		t.Fatalf("DebugAddr = %q, want a resolved port", sess.DebugAddr)
+	}
+
+	// /metrics serves valid Prometheus text exposition while running.
+	obs.Default().Counter("session.test_counter").Add(7)
+	res, err := http.Get("http://" + sess.DebugAddr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(res.Body)
+	res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", res.StatusCode)
+	}
+	if !strings.Contains(string(body), "jobgraph_session_test_counter_total 7") {
+		t.Fatalf("/metrics missing counter:\n%.400s", body)
+	}
+	if err := promexport.Check(bytes.NewReader(body)); err != nil {
+		t.Fatalf("/metrics fails lint:\n%v", err)
+	}
+
+	// /progress serves the progress schema.
+	res, err = http.Get("http://" + sess.DebugAddr + "/progress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(res.Body)
+	res.Body.Close()
+	if !strings.Contains(string(body), obs.ProgressSchema) {
+		t.Fatalf("/progress = %.200s", body)
+	}
+
 	if err := sess.Close(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestSessionProfileCapture(t *testing.T) {
+	resetDefaultObs(t)
+	dir := filepath.Join(t.TempDir(), "profiles")
+	o := newTestFlags(t, "-profile-dir", dir)
+	sess, err := o.Start("testcmd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burn a little CPU so the profile has something to record.
+	x := 0.0
+	for i := 0; i < 1e6; i++ {
+		x += float64(i % 7)
+	}
+	_ = x
+	if err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, suffix := range []string{".cpu.pprof", ".heap.pprof"} {
+		path := filepath.Join(dir, sess.Info.RunID+suffix)
+		fi, err := os.Stat(path)
+		if err != nil {
+			t.Errorf("%s: %v", suffix, err)
+			continue
+		}
+		if fi.Size() == 0 {
+			t.Errorf("%s: empty profile", suffix)
+		}
+	}
+}
+
+func TestSessionRuntimeSampler(t *testing.T) {
+	resetDefaultObs(t)
+	ledgerPath := filepath.Join(t.TempDir(), "ledger.jsonl")
+	o := newTestFlags(t, "-ledger", ledgerPath)
+	sess, err := o.Start("testcmd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := ledger.Read(ledgerPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("ledger entries = %d", len(entries))
+	}
+	if g := entries[0].Metrics.Gauges["runtime.goroutines"]; g < 1 {
+		t.Errorf("ledger runtime.goroutines = %d, want >= 1", g)
 	}
 }
 

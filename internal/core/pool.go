@@ -78,6 +78,9 @@ func runPool(stageName string, n, workers int, onItem func(done, total int) erro
 		return nil
 	}
 
+	// Windowed items/s across all workers: live throughput for this
+	// stage on /metrics, alongside the per-worker lifetime counters.
+	rate := obs.Default().RateCounter("core.pool."+stageName+".items", obs.DefaultWindow)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -96,6 +99,7 @@ func runPool(stageName string, n, workers int, onItem func(done, total int) erro
 					return
 				}
 				ctr.Add(1)
+				rate.Add(1)
 				if err := finish(); err != nil {
 					halt()
 					return

@@ -136,71 +136,90 @@ func sanitize(stage string) string {
 }
 
 // Load returns the artifact stored for (stage, key), decoding it with
-// c. ok is false on a clean miss; a non-nil error means the file exists
-// but could not be used (corrupt, wrong schema, key collision) — the
-// caller should treat it as a miss and overwrite.
-func (s *Store) Load(stage, key string, c Codec) (v any, ok bool, err error) {
+// c, along with the artifact file's size in bytes (the cache-read
+// traffic the caller accounts). ok is false on a clean miss; a non-nil
+// error means the file exists but could not be used (corrupt, wrong
+// schema, key collision) — the caller should treat it as a miss and
+// overwrite.
+func (s *Store) Load(stage, key string, c Codec) (v any, n int64, ok bool, err error) {
 	f, err := os.Open(s.path(stage, key, c.Ext()))
 	if err != nil {
 		if os.IsNotExist(err) {
-			return nil, false, nil
+			return nil, 0, false, nil
 		}
-		return nil, false, fmt.Errorf("cache: %w", err)
+		return nil, 0, false, fmt.Errorf("cache: %w", err)
 	}
 	defer f.Close()
+	if fi, err := f.Stat(); err == nil {
+		n = fi.Size()
+	}
 	r := bufio.NewReader(f)
 	line, err := r.ReadBytes('\n')
 	if err != nil {
-		return nil, false, fmt.Errorf("cache: %s/%s: reading header: %w", stage, key[:8], err)
+		return nil, n, false, fmt.Errorf("cache: %s/%s: reading header: %w", stage, key[:8], err)
 	}
 	var h header
 	if err := json.Unmarshal(line, &h); err != nil {
-		return nil, false, fmt.Errorf("cache: %s/%s: bad header: %w", stage, key[:8], err)
+		return nil, n, false, fmt.Errorf("cache: %s/%s: bad header: %w", stage, key[:8], err)
 	}
 	if h.Schema != Schema {
-		return nil, false, fmt.Errorf("cache: %s: schema %q, want %q", stage, h.Schema, Schema)
+		return nil, n, false, fmt.Errorf("cache: %s: schema %q, want %q", stage, h.Schema, Schema)
 	}
 	if h.Stage != stage || h.Key != key || h.Codec != c.Ext() {
-		return nil, false, fmt.Errorf("cache: %s: header identifies %s/%s (%s)", stage, h.Stage, h.Key, h.Codec)
+		return nil, n, false, fmt.Errorf("cache: %s: header identifies %s/%s (%s)", stage, h.Stage, h.Key, h.Codec)
 	}
 	v, err = c.Decode(r)
 	if err != nil {
-		return nil, false, fmt.Errorf("cache: %s/%s: decode: %w", stage, key[:8], err)
+		return nil, n, false, fmt.Errorf("cache: %s/%s: decode: %w", stage, key[:8], err)
 	}
-	return v, true, nil
+	return v, n, true, nil
 }
 
-// Save stores the artifact for (stage, key) atomically: the bytes land
+// countingWriter tallies the bytes passing through it.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n += int64(n)
+	return n, err
+}
+
+// Save stores the artifact for (stage, key) atomically — the bytes land
 // in a temp file first and are renamed into place, so concurrent or
-// interrupted writers can never expose a partial artifact.
-func (s *Store) Save(stage, key string, c Codec, v any) error {
+// interrupted writers can never expose a partial artifact — and returns
+// the number of bytes written (header plus payload).
+func (s *Store) Save(stage, key string, c Codec, v any) (int64, error) {
 	tmp, err := os.CreateTemp(s.dir, ".tmp-"+sanitize(stage)+"-*")
 	if err != nil {
-		return fmt.Errorf("cache: %w", err)
+		return 0, fmt.Errorf("cache: %w", err)
 	}
 	defer func() {
 		tmp.Close()
 		os.Remove(tmp.Name()) // no-op after a successful rename
 	}()
-	w := bufio.NewWriter(tmp)
+	cw := &countingWriter{w: tmp}
+	w := bufio.NewWriter(cw)
 	hb, err := json.Marshal(header{Schema: Schema, Stage: stage, Key: key, Codec: c.Ext()})
 	if err != nil {
-		return fmt.Errorf("cache: header: %w", err)
+		return 0, fmt.Errorf("cache: header: %w", err)
 	}
 	if _, err := w.Write(append(hb, '\n')); err != nil {
-		return fmt.Errorf("cache: %w", err)
+		return cw.n, fmt.Errorf("cache: %w", err)
 	}
 	if err := c.Encode(w, v); err != nil {
-		return fmt.Errorf("cache: %s: encode: %w", stage, err)
+		return cw.n, fmt.Errorf("cache: %s: encode: %w", stage, err)
 	}
 	if err := w.Flush(); err != nil {
-		return fmt.Errorf("cache: %w", err)
+		return cw.n, fmt.Errorf("cache: %w", err)
 	}
 	if err := tmp.Close(); err != nil {
-		return fmt.Errorf("cache: %w", err)
+		return cw.n, fmt.Errorf("cache: %w", err)
 	}
 	if err := os.Rename(tmp.Name(), s.path(stage, key, c.Ext())); err != nil {
-		return fmt.Errorf("cache: %w", err)
+		return cw.n, fmt.Errorf("cache: %w", err)
 	}
-	return nil
+	return cw.n, nil
 }

@@ -30,19 +30,23 @@ func TestRoundTripGobAndJSON(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if _, ok, err := s.Load("stage", key, c); ok || err != nil {
+		if _, _, ok, err := s.Load("stage", key, c); ok || err != nil {
 			t.Fatalf("%s: fresh store: ok=%v err=%v", c.Ext(), ok, err)
 		}
 		want := sample()
-		if err := s.Save("stage", key, c, want); err != nil {
+		wrote, err := s.Save("stage", key, c, want)
+		if err != nil {
 			t.Fatalf("%s: %v", c.Ext(), err)
 		}
-		got, ok, err := s.Load("stage", key, c)
+		got, read, ok, err := s.Load("stage", key, c)
 		if err != nil || !ok {
 			t.Fatalf("%s: load: ok=%v err=%v", c.Ext(), ok, err)
 		}
 		if !reflect.DeepEqual(got.(artifact), want) {
 			t.Fatalf("%s: round trip: got %+v want %+v", c.Ext(), got, want)
+		}
+		if wrote <= 0 || read != wrote {
+			t.Fatalf("%s: byte accounting: wrote %d, read %d", c.Ext(), wrote, read)
 		}
 	}
 }
@@ -53,13 +57,13 @@ func TestLoadRejectsWrongKey(t *testing.T) {
 		t.Fatal(err)
 	}
 	c := Gob[artifact]()
-	if err := s.Save("stage", key, c, sample()); err != nil {
+	if _, err := s.Save("stage", key, c, sample()); err != nil {
 		t.Fatal(err)
 	}
 	// Same 128-bit filename prefix, different full key: the header
 	// check must refuse it.
 	other := key[:32] + strings.Repeat("f", 32)
-	if _, ok, err := s.Load("stage", other, c); ok || err == nil {
+	if _, _, ok, err := s.Load("stage", other, c); ok || err == nil {
 		t.Fatalf("collision load: ok=%v err=%v", ok, err)
 	}
 }
@@ -71,7 +75,7 @@ func TestLoadCorruptFileErrorsNotPanics(t *testing.T) {
 		t.Fatal(err)
 	}
 	c := Gob[artifact]()
-	if err := s.Save("stage", key, c, sample()); err != nil {
+	if _, err := s.Save("stage", key, c, sample()); err != nil {
 		t.Fatal(err)
 	}
 	files, _ := filepath.Glob(filepath.Join(dir, "stage-*"))
@@ -85,7 +89,7 @@ func TestLoadCorruptFileErrorsNotPanics(t *testing.T) {
 	if err := os.WriteFile(files[0], data[:len(data)/2], 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, ok, err := s.Load("stage", key, c); ok || err == nil {
+	if _, _, ok, err := s.Load("stage", key, c); ok || err == nil {
 		t.Fatalf("truncated artifact: ok=%v err=%v", ok, err)
 	}
 }
@@ -96,7 +100,7 @@ func TestSaveLeavesNoTempFiles(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Save("a.b", key, JSON[artifact](), sample()); err != nil {
+	if _, err := s.Save("a.b", key, JSON[artifact](), sample()); err != nil {
 		t.Fatal(err)
 	}
 	entries, err := os.ReadDir(dir)

@@ -47,6 +47,18 @@ var (
 	obsStagesCache = obs.Default().Counter("engine.stages_cached")
 )
 
+// StageCacheMetricPrefix namespaces the per-stage cache counters:
+// <prefix><stage>.hits / .misses / .bytes_read / .bytes_written.
+// Flat dotted names (rather than labels) keep them greppable in
+// metrics.json and parseable by benchdiff.
+const StageCacheMetricPrefix = "engine.cache.stage."
+
+// stageCacheCounter returns the per-stage cache counter for one metric
+// kind ("hits", "misses", "bytes_read", "bytes_written").
+func stageCacheCounter(stage, kind string) *obs.Counter {
+	return obs.Default().Counter(StageCacheMetricPrefix + stage + "." + kind)
+}
+
 // Inputs hands a stage the artifacts of its declared dependencies.
 type Inputs struct {
 	artifacts map[string]any
@@ -232,6 +244,8 @@ func (p *Plan) Execute(opt Options) (*Result, error) {
 			res.Keys[s.name] = contentKey(s.name, s.fingerprint(), nil, res.Keys)
 		}
 	}
+	prog := obs.Default().Progress()
+	stageWindow := obs.Default().WindowHistogram("engine.stage_ms", obs.DefaultWindow)
 	for _, st := range p.stages {
 		var key string
 		if caching {
@@ -239,7 +253,7 @@ func (p *Plan) Execute(opt Options) (*Result, error) {
 			res.Keys[st.Name] = key
 		}
 		if caching && st.Codec != nil {
-			v, ok, err := opt.Store.Load(st.Name, key, st.Codec)
+			v, n, ok, err := opt.Store.Load(st.Name, key, st.Codec)
 			if err != nil {
 				// A corrupt or stale artifact is a miss, not a failure:
 				// recompute and overwrite.
@@ -249,33 +263,44 @@ func (p *Plan) Execute(opt Options) (*Result, error) {
 			if ok {
 				obsCacheHits.Add(1)
 				obsStagesCache.Add(1)
+				stageCacheCounter(st.Name, "hits").Add(1)
+				stageCacheCounter(st.Name, "bytes_read").Add(n)
 				res.Hits++
 				res.Cached = append(res.Cached, st.Name)
 				res.artifacts[st.Name] = v
+				prog.StageFinished(st.Name, obs.StageCached, 0)
 				lg.Info("stage cached", "stage", st.Name, "key", key[:12])
 				continue
 			}
 			obsCacheMisses.Add(1)
+			stageCacheCounter(st.Name, "misses").Add(1)
 			res.Misses++
 		}
 		in := Inputs{artifacts: res.artifacts}
+		prog.StageStarted(st.Name)
 		sp := opt.Parent.Child(st.Name)
 		v, detail, err := st.Run(in)
 		d := sp.End()
 		res.Executed = append(res.Executed, StageTiming{Name: st.Name, Duration: d})
 		obsStagesRun.Add(1)
+		stageWindow.Observe(float64(d) / float64(time.Millisecond))
 		if err != nil {
+			prog.StageFinished(st.Name, obs.StageFailed, d)
 			lg.Error("stage failed", "stage", st.Name, "duration", d.Round(time.Microsecond), "err", err)
 			return res, err
 		}
+		prog.StageFinished(st.Name, obs.StageDone, d)
 		lg.Info("stage complete", "stage", st.Name, "duration", d.Round(time.Microsecond), "detail", detail)
 		res.artifacts[st.Name] = v
 		if caching && st.Codec != nil {
-			if err := opt.Store.Save(st.Name, key, st.Codec, v); err != nil {
+			n, err := opt.Store.Save(st.Name, key, st.Codec, v)
+			if err != nil {
 				// Failing to persist must not fail the run; the next
 				// invocation just recomputes.
 				obsCacheErrors.Add(1)
 				lg.Warn("stage artifact not persisted", "stage", st.Name, "err", err)
+			} else {
+				stageCacheCounter(st.Name, "bytes_written").Add(n)
 			}
 		}
 	}

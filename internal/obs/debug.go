@@ -6,24 +6,41 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sync"
 	"time"
 )
 
+// Endpoint mounts an extra handler on the debug server's mux — the
+// mechanism by which layers obs cannot import (the Prometheus
+// exposition writer in obs/promexport) still land on the same server.
+type Endpoint struct {
+	Pattern string
+	Handler http.Handler
+}
+
 // DebugServer is the live debug endpoint behind the commands'
 // -debug-addr flag: /debug/vars (expvar, including the registry
-// snapshot) and /debug/pprof/ (profiles) on a dedicated mux, so
-// long-running analyses can be inspected without instrumented binaries
-// touching http.DefaultServeMux.
+// snapshot), /debug/pprof/ (profiles) and /progress (live per-stage
+// pipeline state) on a dedicated mux, so long-running analyses can be
+// inspected without instrumented binaries touching
+// http.DefaultServeMux. The commands additionally mount /metrics
+// (Prometheus text exposition) via the Endpoint parameter.
 type DebugServer struct {
-	Addr string // bound address, e.g. "127.0.0.1:6060"
+	Addr string // resolved bound address, e.g. "127.0.0.1:6060"
 	ln   net.Listener
 	srv  *http.Server
+
+	closeOnce sync.Once
+	closeErr  error
+	done      chan struct{} // closed when the serve goroutine exits
 }
 
 // ServeDebug publishes the registry over expvar under "jobgraph" and
 // starts the debug HTTP server on addr (e.g. "localhost:6060"; a :0
-// port picks a free one). The server runs until Close.
-func (r *Registry) ServeDebug(addr string) (*DebugServer, error) {
+// port picks a free one — read the resolved port off DebugServer.Addr).
+// extra endpoints are mounted on the same mux. The server runs until
+// Close.
+func (r *Registry) ServeDebug(addr string, extra ...Endpoint) (*DebugServer, error) {
 	r.PublishExpvar("jobgraph")
 
 	mux := http.NewServeMux()
@@ -33,12 +50,21 @@ func (r *Registry) ServeDebug(addr string) (*DebugServer, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/progress", r.ProgressHandler())
+	index := []string{"/debug/vars", "/debug/pprof/", "/progress"}
+	for _, e := range extra {
+		mux.Handle(e.Pattern, e.Handler)
+		index = append(index, e.Pattern)
+	}
 	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
 		if req.URL.Path != "/" {
 			http.NotFound(w, req)
 			return
 		}
-		fmt.Fprintf(w, "jobgraph debug endpoint\n\n/debug/vars\n/debug/pprof/\n")
+		fmt.Fprintf(w, "jobgraph debug endpoint\n\n")
+		for _, p := range index {
+			fmt.Fprintln(w, p)
+		}
 	})
 
 	ln, err := net.Listen("tcp", addr)
@@ -52,8 +78,10 @@ func (r *Registry) ServeDebug(addr string) (*DebugServer, error) {
 			Handler:           mux,
 			ReadHeaderTimeout: 5 * time.Second,
 		},
+		done: make(chan struct{}),
 	}
 	go func() {
+		defer close(ds.done)
 		// Serve returns ErrServerClosed on Close; anything else means the
 		// debug endpoint died mid-run, which is worth a progress line but
 		// must not take the analysis down.
@@ -64,10 +92,17 @@ func (r *Registry) ServeDebug(addr string) (*DebugServer, error) {
 	return ds, nil
 }
 
-// Close shuts the debug server down.
+// Close shuts the debug server down and waits for its serve goroutine
+// to exit, so a test (or a command's deferred cleanup) that returns
+// after Close leaves no goroutine behind. Idempotent: every call after
+// the first returns the first call's result.
 func (ds *DebugServer) Close() error {
 	if ds == nil {
 		return nil
 	}
-	return ds.srv.Close()
+	ds.closeOnce.Do(func() {
+		ds.closeErr = ds.srv.Close()
+		<-ds.done
+	})
+	return ds.closeErr
 }

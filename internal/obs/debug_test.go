@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// startDebug binds a debug server on a kernel-assigned port and fails
+// the test if the goroutine count has not returned to baseline shortly
+// after Close — the leak guard for the serve goroutine.
+func startDebug(t *testing.T, extra ...Endpoint) *DebugServer {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	r := NewRegistry()
+	ds, err := r.ServeDebug("127.0.0.1:0", extra...)
+	if err != nil {
+		t.Fatalf("ServeDebug: %v", err)
+	}
+	t.Cleanup(func() {
+		if err := ds.Close(); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+		// The serve goroutine must be gone once Close returns; idle
+		// keep-alive conns may take a beat to unwind.
+		deadline := time.Now().Add(2 * time.Second)
+		for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+			time.Sleep(10 * time.Millisecond)
+		}
+		if n := runtime.NumGoroutine(); n > before {
+			t.Errorf("goroutines after Close: %d, was %d before ServeDebug", n, before)
+		}
+	})
+	return ds
+}
+
+func TestDebugServerResolvedAddr(t *testing.T) {
+	ds := startDebug(t)
+	if strings.HasSuffix(ds.Addr, ":0") {
+		t.Fatalf("Addr = %q, want the kernel-resolved port, not :0", ds.Addr)
+	}
+	if !strings.HasPrefix(ds.Addr, "127.0.0.1:") {
+		t.Fatalf("Addr = %q, want 127.0.0.1:<port>", ds.Addr)
+	}
+}
+
+func TestDebugServerCloseIdempotent(t *testing.T) {
+	r := NewRegistry()
+	ds, err := r.ServeDebug("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("ServeDebug: %v", err)
+	}
+	first := ds.Close()
+	second := ds.Close()
+	if first != second {
+		t.Errorf("second Close = %v, want first result %v", second, first)
+	}
+	var nilDS *DebugServer
+	if err := nilDS.Close(); err != nil {
+		t.Errorf("nil Close = %v, want nil", err)
+	}
+}
+
+func TestDebugServerEndpoints(t *testing.T) {
+	extra := Endpoint{
+		Pattern: "/extra",
+		Handler: http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+			io.WriteString(w, "extra ok")
+		}),
+	}
+	ds := startDebug(t, extra)
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		res, err := http.Get("http://" + ds.Addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer res.Body.Close()
+		body, _ := io.ReadAll(res.Body)
+		return res.StatusCode, string(body)
+	}
+
+	if code, body := get("/"); code != http.StatusOK ||
+		!strings.Contains(body, "/progress") || !strings.Contains(body, "/extra") {
+		t.Errorf("index: code=%d body=%q", code, body)
+	}
+	if code, body := get("/progress"); code != http.StatusOK || !strings.Contains(body, ProgressSchema) {
+		t.Errorf("/progress: code=%d body=%q", code, body)
+	}
+	if code, body := get("/extra"); code != http.StatusOK || body != "extra ok" {
+		t.Errorf("/extra: code=%d body=%q", code, body)
+	}
+	if code, _ := get("/nope"); code != http.StatusNotFound {
+		t.Errorf("/nope: code=%d, want 404", code)
+	}
+}

@@ -45,6 +45,13 @@ type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
+	rates    map[string]*RateCounter
+	windows  map[string]*WindowHistogram
+
+	// progress is the live per-stage execution state served at
+	// /progress on the debug server (progress.go).
+	progressOnce sync.Once
+	progress     *Progress
 
 	spanMu sync.Mutex
 	root   *SpanStats // unnamed root of the aggregated span tree
@@ -65,6 +72,8 @@ func NewRegistry() *Registry {
 		counters: make(map[string]*Counter),
 		gauges:   make(map[string]*Gauge),
 		hists:    make(map[string]*Histogram),
+		rates:    make(map[string]*RateCounter),
+		windows:  make(map[string]*WindowHistogram),
 		root:     newSpanStats(""),
 	}
 	r.enabled.Store(true)
@@ -287,7 +296,14 @@ func (r *Registry) Reset() {
 	for _, h := range r.hists {
 		h.reset()
 	}
+	for _, rc := range r.rates {
+		rc.reset()
+	}
+	for _, wh := range r.windows {
+		wh.reset()
+	}
 	r.mu.Unlock()
+	r.Progress().Reset()
 	r.spanMu.Lock()
 	r.root = newSpanStats("")
 	r.spanMu.Unlock()

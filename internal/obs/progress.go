@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// ProgressSchema identifies the /progress JSON layout; bump on breaking
+// changes so scrapers can dispatch.
+const ProgressSchema = "jobgraph-progress/v1"
+
+// StageState is a pipeline stage's live execution state.
+type StageState string
+
+const (
+	// StageRunning marks a stage currently executing.
+	StageRunning StageState = "running"
+	// StageDone marks a stage that completed by computing its artifact.
+	StageDone StageState = "done"
+	// StageCached marks a stage satisfied from the artifact cache.
+	StageCached StageState = "cached"
+	// StageFailed marks a stage that returned an error.
+	StageFailed StageState = "failed"
+)
+
+// StageProgress is one stage's entry in the live progress report.
+type StageProgress struct {
+	Name      string     `json:"name"`
+	State     StageState `json:"state"`
+	StartedAt time.Time  `json:"started_at"`
+	// DurationMs is the stage's wall time once finished; for a running
+	// stage it is the time elapsed so far at snapshot time.
+	DurationMs float64 `json:"duration_ms"`
+}
+
+// Progress tracks per-stage execution state for a live observer: the
+// engine marks stages running/cached/done/failed as it executes a plan,
+// and the debug server serves the current list as JSON at /progress —
+// the "where is my 4M-job ingest" answer that metrics.json (written at
+// exit) cannot give. Times are read from the registry clock, so tests
+// drive it deterministically.
+type Progress struct {
+	reg *Registry
+
+	mu     sync.Mutex
+	order  []string
+	stages map[string]*StageProgress
+}
+
+// Progress returns the registry's stage-progress tracker, creating it
+// on first use.
+func (r *Registry) Progress() *Progress {
+	r.progressOnce.Do(func() {
+		r.progress = &Progress{reg: r, stages: make(map[string]*StageProgress)}
+	})
+	return r.progress
+}
+
+// StageStarted marks a stage as running (no-op while the registry is
+// disabled). Restarting a stage (a second plan execution in the same
+// process) resets its entry.
+func (p *Progress) StageStarted(name string) {
+	if p == nil || !p.reg.enabled.Load() {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	sp, ok := p.stages[name]
+	if !ok {
+		sp = &StageProgress{Name: name}
+		p.stages[name] = sp
+		p.order = append(p.order, name)
+	}
+	sp.State = StageRunning
+	sp.StartedAt = p.reg.now()
+	sp.DurationMs = 0
+}
+
+// StageFinished records a stage's terminal state and wall time (no-op
+// while the registry is disabled). A stage never marked started (e.g. a
+// cache hit) gains an entry with StartedAt = now.
+func (p *Progress) StageFinished(name string, state StageState, d time.Duration) {
+	if p == nil || !p.reg.enabled.Load() {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	sp, ok := p.stages[name]
+	if !ok {
+		sp = &StageProgress{Name: name, StartedAt: p.reg.now()}
+		p.stages[name] = sp
+		p.order = append(p.order, name)
+	}
+	sp.State = state
+	sp.DurationMs = float64(d) / float64(time.Millisecond)
+}
+
+// Reset clears every stage entry (a new run starts clean).
+func (p *Progress) Reset() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.order = p.order[:0]
+	p.stages = make(map[string]*StageProgress)
+	p.mu.Unlock()
+}
+
+// Snapshot returns the stages in first-started order. Running stages
+// report their elapsed time so far.
+func (p *Progress) Snapshot() []StageProgress {
+	if p == nil {
+		return nil
+	}
+	now := p.reg.now()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]StageProgress, 0, len(p.order))
+	for _, name := range p.order {
+		sp := *p.stages[name]
+		if sp.State == StageRunning {
+			sp.DurationMs = float64(now.Sub(sp.StartedAt)) / float64(time.Millisecond)
+		}
+		out = append(out, sp)
+	}
+	return out
+}
+
+// ProgressReport is the JSON document served at /progress.
+type ProgressReport struct {
+	Schema string          `json:"schema"`
+	Stages []StageProgress `json:"stages"`
+}
+
+// ProgressHandler serves the registry's live stage progress as JSON —
+// mounted at /progress on the debug server.
+func (r *Registry) ProgressHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		rep := ProgressReport{Schema: ProgressSchema, Stages: r.Progress().Snapshot()}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		// Encode errors here are broken client connections, not state
+		// corruption; nothing useful to do with them.
+		_ = enc.Encode(rep)
+	})
+}

@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func TestProgressLifecycle(t *testing.T) {
+	r, clk := clockedRegistry()
+	p := r.Progress()
+
+	p.StageStarted("sampling.filter")
+	clk.Advance(100 * time.Millisecond)
+
+	// A running stage reports elapsed time so far.
+	snap := p.Snapshot()
+	if len(snap) != 1 {
+		t.Fatalf("got %d stages, want 1", len(snap))
+	}
+	if snap[0].State != StageRunning || snap[0].DurationMs != 100 {
+		t.Fatalf("running stage = %+v, want running/100ms", snap[0])
+	}
+
+	p.StageFinished("sampling.filter", StageDone, 150*time.Millisecond)
+	p.StageFinished("dag.jobs", StageCached, 0) // cache hit: never started
+
+	snap = p.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("got %d stages, want 2", len(snap))
+	}
+	if snap[0].Name != "sampling.filter" || snap[0].State != StageDone || snap[0].DurationMs != 150 {
+		t.Fatalf("finished stage = %+v", snap[0])
+	}
+	if snap[1].Name != "dag.jobs" || snap[1].State != StageCached {
+		t.Fatalf("cached stage = %+v", snap[1])
+	}
+
+	// Restarting a stage (a second Execute in-process) resets its entry.
+	clk.Advance(time.Second)
+	p.StageStarted("sampling.filter")
+	snap = p.Snapshot()
+	if snap[0].State != StageRunning || snap[0].DurationMs != 0 {
+		t.Fatalf("restarted stage = %+v, want running/0ms", snap[0])
+	}
+}
+
+func TestProgressReset(t *testing.T) {
+	r, _ := clockedRegistry()
+	p := r.Progress()
+	p.StageStarted("a")
+	r.Reset()
+	if snap := p.Snapshot(); len(snap) != 0 {
+		t.Fatalf("after registry Reset: %d stages, want 0", len(snap))
+	}
+}
+
+func TestProgressDisabledRegistry(t *testing.T) {
+	r, _ := clockedRegistry()
+	r.SetEnabled(false)
+	p := r.Progress()
+	p.StageStarted("a")
+	p.StageFinished("b", StageDone, time.Second)
+	if snap := p.Snapshot(); len(snap) != 0 {
+		t.Fatalf("disabled registry recorded %d stages", len(snap))
+	}
+}
+
+func TestProgressHandler(t *testing.T) {
+	r, _ := clockedRegistry()
+	r.Progress().StageFinished("wl.features", StageDone, 42*time.Millisecond)
+
+	rec := httptest.NewRecorder()
+	r.ProgressHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/progress", nil))
+
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json; charset=utf-8" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	var rep ProgressReport
+	if err := json.Unmarshal(rec.Body.Bytes(), &rep); err != nil {
+		t.Fatalf("decode /progress: %v", err)
+	}
+	if rep.Schema != ProgressSchema {
+		t.Errorf("schema = %q, want %q", rep.Schema, ProgressSchema)
+	}
+	if len(rep.Stages) != 1 || rep.Stages[0].Name != "wl.features" || rep.Stages[0].DurationMs != 42 {
+		t.Errorf("stages = %+v", rep.Stages)
+	}
+}

@@ -1,0 +1,298 @@
+package promexport
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Lint is an in-repo validator for the text exposition format (version
+// 0.0.4): CI scrapes /metrics mid-run and refuses output a Prometheus
+// server would reject, without adding a dependency on one. It checks
+// line grammar (comments, samples, labels, values, timestamps), name
+// and label-name alphabets, TYPE declarations (known type, at most one
+// per metric, declared before the metric's samples), metric-family
+// grouping (all samples of one family consecutive), and duplicate
+// sample lines.
+
+// Problem is one lint finding.
+type Problem struct {
+	Line int
+	Msg  string
+}
+
+func (p Problem) String() string { return fmt.Sprintf("line %d: %s", p.Line, p.Msg) }
+
+// validTypes are the metric types the format defines.
+var validTypes = map[string]bool{
+	"counter": true, "gauge": true, "summary": true, "histogram": true, "untyped": true,
+}
+
+// Lint scans the exposition text and returns every problem found (nil
+// when the input is clean).
+func Lint(r io.Reader) []Problem {
+	var probs []Problem
+	addf := func(line int, format string, args ...any) {
+		probs = append(probs, Problem{Line: line, Msg: fmt.Sprintf(format, args...)})
+	}
+
+	types := map[string]string{}     // family -> declared type
+	sealed := map[string]bool{}      // family -> a later family started, no more samples allowed
+	seenSamples := map[string]bool{} // name{labels} -> dup detection
+	family := ""                     // family of the previous sample line
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	n := 0
+	for sc.Scan() {
+		n++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			name, typ, ok := parseTypeLine(line)
+			if !ok {
+				continue // HELP and free comments are unconstrained
+			}
+			if !validName(name) {
+				addf(n, "TYPE for invalid metric name %q", name)
+			}
+			if !validTypes[typ] {
+				addf(n, "unknown metric type %q for %s", typ, name)
+			}
+			if _, dup := types[name]; dup {
+				addf(n, "duplicate TYPE declaration for %s", name)
+			}
+			if sealed[name] {
+				addf(n, "TYPE for %s after its samples ended", name)
+			}
+			types[name] = typ
+			continue
+		}
+
+		name, labels, err := parseSample(line)
+		if err != nil {
+			addf(n, "%v", err)
+			continue
+		}
+		fam := familyOf(name, types)
+		if fam != family {
+			if family != "" {
+				sealed[family] = true
+			}
+			if sealed[fam] {
+				addf(n, "samples of %s are not consecutive", fam)
+			}
+			family = fam
+		}
+		if t, declared := types[fam]; declared {
+			if err := checkFamilyMember(name, fam, t); err != nil {
+				addf(n, "%v", err)
+			}
+		}
+		key := name + "{" + labels + "}"
+		if seenSamples[key] {
+			addf(n, "duplicate sample %s", key)
+		}
+		seenSamples[key] = true
+	}
+	if err := sc.Err(); err != nil {
+		addf(n+1, "read: %v", err)
+	}
+	return probs
+}
+
+// Check is Lint folded into a single error, convenient for tests.
+func Check(r io.Reader) error {
+	probs := Lint(r)
+	if len(probs) == 0 {
+		return nil
+	}
+	msgs := make([]string, len(probs))
+	for i, p := range probs {
+		msgs[i] = p.String()
+	}
+	return fmt.Errorf("promexport: %d problem(s):\n%s", len(probs), strings.Join(msgs, "\n"))
+}
+
+// parseTypeLine recognizes "# TYPE <name> <type>".
+func parseTypeLine(line string) (name, typ string, ok bool) {
+	rest, found := strings.CutPrefix(line, "# TYPE ")
+	if !found {
+		return "", "", false
+	}
+	fields := strings.Fields(rest)
+	if len(fields) != 2 {
+		return rest, "", true // malformed TYPE: surfaces as invalid name/type
+	}
+	return fields[0], fields[1], true
+}
+
+// familyOf maps a sample name to its metric family: summary samples
+// <f>_sum/<f>_count (and histogram <f>_bucket) belong to family <f>
+// when <f> has a TYPE declaration.
+func familyOf(name string, types map[string]string) string {
+	for _, suffix := range []string{"_sum", "_count", "_bucket"} {
+		if base, found := strings.CutSuffix(name, suffix); found {
+			if t, ok := types[base]; ok && (t == "summary" || t == "histogram") {
+				if suffix == "_bucket" && t != "histogram" {
+					continue
+				}
+				return base
+			}
+		}
+	}
+	return name
+}
+
+// checkFamilyMember validates that a sample name is legal for its
+// declared family type.
+func checkFamilyMember(name, fam, typ string) error {
+	if name == fam {
+		return nil
+	}
+	switch typ {
+	case "summary":
+		if name == fam+"_sum" || name == fam+"_count" {
+			return nil
+		}
+	case "histogram":
+		if name == fam+"_sum" || name == fam+"_count" || name == fam+"_bucket" {
+			return nil
+		}
+	}
+	return fmt.Errorf("sample %s does not belong to %s family %s", name, typ, fam)
+}
+
+// parseSample validates one sample line:
+//
+//	name[{label="value",...}] value [timestamp]
+//
+// returning the metric name and the raw label text for duplicate
+// detection.
+func parseSample(line string) (name, labels string, err error) {
+	rest := line
+	i := strings.IndexAny(rest, "{ ")
+	if i < 0 {
+		return "", "", fmt.Errorf("sample line without value: %q", line)
+	}
+	name = rest[:i]
+	if !validName(name) {
+		return "", "", fmt.Errorf("invalid metric name %q", name)
+	}
+	rest = rest[i:]
+	if rest[0] == '{' {
+		end, lerr := parseLabels(rest)
+		if lerr != nil {
+			return "", "", fmt.Errorf("metric %s: %v", name, lerr)
+		}
+		labels = rest[1 : end-1]
+		rest = rest[end:]
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return "", "", fmt.Errorf("metric %s: want value [timestamp], got %q", name, strings.TrimSpace(rest))
+	}
+	if _, perr := parseValue(fields[0]); perr != nil {
+		return "", "", fmt.Errorf("metric %s: bad value %q", name, fields[0])
+	}
+	if len(fields) == 2 {
+		if _, perr := strconv.ParseInt(fields[1], 10, 64); perr != nil {
+			return "", "", fmt.Errorf("metric %s: bad timestamp %q", name, fields[1])
+		}
+	}
+	return name, labels, nil
+}
+
+// parseLabels scans a {label="value",...} block starting at s[0]=='{'
+// and returns the index just past the closing '}'.
+func parseLabels(s string) (end int, err error) {
+	i := 1
+	for {
+		if i >= len(s) {
+			return 0, fmt.Errorf("unterminated label block")
+		}
+		if s[i] == '}' {
+			return i + 1, nil
+		}
+		// label name
+		j := i
+		for j < len(s) && isLabelNameRune(s[j], j > i) {
+			j++
+		}
+		if j == i {
+			return 0, fmt.Errorf("empty label name at offset %d", i)
+		}
+		if j >= len(s) || s[j] != '=' {
+			return 0, fmt.Errorf("label %q not followed by '='", s[i:j])
+		}
+		j++
+		if j >= len(s) || s[j] != '"' {
+			return 0, fmt.Errorf("label value must be quoted")
+		}
+		j++
+		for j < len(s) && s[j] != '"' {
+			if s[j] == '\\' {
+				j++
+				if j >= len(s) {
+					return 0, fmt.Errorf("unterminated escape in label value")
+				}
+				if c := s[j]; c != '\\' && c != '"' && c != 'n' {
+					return 0, fmt.Errorf("invalid escape \\%c in label value", c)
+				}
+			}
+			j++
+		}
+		if j >= len(s) {
+			return 0, fmt.Errorf("unterminated label value")
+		}
+		j++ // past closing quote
+		if j < len(s) && s[j] == ',' {
+			j++
+		}
+		i = j
+	}
+}
+
+// parseValue accepts Go float syntax plus the format's special values.
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf", "-Inf", "NaN", "Nan":
+		return 0, nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// validName checks the metric-name alphabet [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// isLabelNameRune checks the label-name alphabet [a-zA-Z_][a-zA-Z0-9_]*.
+func isLabelNameRune(c byte, notFirst bool) bool {
+	switch {
+	case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		return true
+	case c >= '0' && c <= '9':
+		return notFirst
+	default:
+		return false
+	}
+}

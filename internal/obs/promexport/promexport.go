@@ -1,0 +1,251 @@
+// Package promexport renders an obs registry snapshot in the
+// Prometheus text exposition format (version 0.0.4), stdlib-only.
+// Mounted at /metrics on the debug server, it is what turns the
+// repository's batch-era metrics.json into something a scraper can
+// poll, window and alert on while a run (or the future jobgraphd
+// daemon) is alive:
+//
+//   - counters export as <prefix>_<name>_total counters
+//   - gauges export as <prefix>_<name> gauges
+//   - histograms and sliding-window histograms export as summaries
+//     (quantile-labeled samples plus _sum and _count), with min/max as
+//     companion gauges
+//   - rolling rate counters export their windowed per-second rate as a
+//     gauge plus the all-time total as a counter
+//   - the aggregated span tree exports per-stage wall-seconds, run
+//     counts and allocated bytes, labeled by slash-joined stage path
+//
+// Metric names are sanitized into the Prometheus alphabet
+// ([a-zA-Z0-9_:]) and the output is sorted, so a given snapshot always
+// renders the same bytes — the property the golden test pins.
+package promexport
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+
+	"jobgraph/internal/obs"
+)
+
+// Prefix namespaces every exported metric.
+const Prefix = "jobgraph"
+
+// ContentType is the HTTP content type of the exposition format.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// Handler serves the registry's live snapshot as /metrics.
+func Handler(r *obs.Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", ContentType)
+		// A failed write is a dropped client connection; the next scrape
+		// starts fresh.
+		_ = Write(w, r.Snapshot())
+	})
+}
+
+// Write renders the snapshot in text exposition format.
+func Write(w io.Writer, snap obs.Snapshot) error {
+	b := &strings.Builder{}
+
+	writeCounters(b, snap.Counters)
+	writeGauges(b, snap.Gauges)
+	writeHistograms(b, snap.Histograms)
+	writeRates(b, snap.Rates)
+	writeWindows(b, snap.Windows)
+	writeSpans(b, snap.Spans)
+
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func writeCounters(b *strings.Builder, counters map[string]int64) {
+	for _, name := range sortedKeys(counters) {
+		m := Prefix + "_" + sanitize(name) + "_total"
+		head(b, m, "counter", "obs counter "+name)
+		sample(b, m, "", float64(counters[name]))
+	}
+}
+
+func writeGauges(b *strings.Builder, gauges map[string]int64) {
+	for _, name := range sortedKeys(gauges) {
+		m := Prefix + "_" + sanitize(name)
+		head(b, m, "gauge", "obs gauge "+name)
+		sample(b, m, "", float64(gauges[name]))
+	}
+}
+
+func writeHistograms(b *strings.Builder, hists map[string]obs.HistogramSnapshot) {
+	for _, name := range sortedKeys(hists) {
+		h := hists[name]
+		m := Prefix + "_" + sanitize(name)
+		writeSummary(b, m, "obs histogram "+name, h.Count, h.Mean, h.Min, h.Max, h.P50, h.P90, h.P99)
+	}
+}
+
+func writeRates(b *strings.Builder, rates map[string]obs.RateSnapshot) {
+	for _, name := range sortedKeys(rates) {
+		r := rates[name]
+		m := Prefix + "_" + sanitize(name)
+		head(b, m+"_per_sec", "gauge",
+			fmt.Sprintf("obs rate %s over a %gs rolling window", name, r.WindowSec))
+		sample(b, m+"_per_sec", "", r.PerSec)
+		head(b, m+"_total", "counter", "obs rate "+name+" all-time event count")
+		sample(b, m+"_total", "", float64(r.Total))
+	}
+}
+
+func writeWindows(b *strings.Builder, windows map[string]obs.WindowHistogramSnapshot) {
+	for _, name := range sortedKeys(windows) {
+		h := windows[name]
+		m := Prefix + "_" + sanitize(name)
+		writeSummary(b, m,
+			fmt.Sprintf("obs sliding-window histogram %s over a %gs window", name, h.WindowSec),
+			h.Count, h.Mean, h.Min, h.Max, h.P50, h.P90, h.P99)
+	}
+}
+
+// writeSummary renders one quantile summary plus min/max companion
+// gauges.
+func writeSummary(b *strings.Builder, m, help string, count int64, mean, min, max, p50, p90, p99 float64) {
+	head(b, m, "summary", help)
+	sample(b, m, `quantile="0.5"`, p50)
+	sample(b, m, `quantile="0.9"`, p90)
+	sample(b, m, `quantile="0.99"`, p99)
+	sample(b, m+"_sum", "", mean*float64(count))
+	sample(b, m+"_count", "", float64(count))
+	head(b, m+"_min", "gauge", help+" minimum")
+	sample(b, m+"_min", "", min)
+	head(b, m+"_max", "gauge", help+" maximum")
+	sample(b, m+"_max", "", max)
+}
+
+func writeSpans(b *strings.Builder, spans []obs.SpanSnapshot) {
+	type flatSpan struct {
+		path string
+		s    obs.SpanSnapshot
+	}
+	var flat []flatSpan
+	var walk func(prefix string, s obs.SpanSnapshot)
+	walk = func(prefix string, s obs.SpanSnapshot) {
+		path := s.Name
+		if prefix != "" {
+			path = prefix + "/" + s.Name
+		}
+		flat = append(flat, flatSpan{path: path, s: s})
+		for _, c := range s.Children {
+			walk(path, c)
+		}
+	}
+	for _, s := range spans {
+		walk("", s)
+	}
+	if len(flat) == 0 {
+		return
+	}
+	sort.Slice(flat, func(i, j int) bool { return flat[i].path < flat[j].path })
+
+	// All samples of one metric must be consecutive, so each family is
+	// emitted in its own pass over the sorted stages.
+	sec := Prefix + "_stage_duration_seconds_total"
+	head(b, sec, "counter", "aggregated span wall time per stage path")
+	for _, f := range flat {
+		sample(b, sec, stageLabel(f.path), f.s.TotalMs/1000)
+	}
+	runs := Prefix + "_stage_runs_total"
+	head(b, runs, "counter", "completed span count per stage path")
+	for _, f := range flat {
+		sample(b, runs, stageLabel(f.path), float64(f.s.Count))
+	}
+	alloc := Prefix + "_stage_alloc_bytes_total"
+	head(b, alloc, "counter", "heap bytes allocated during spans per stage path")
+	for _, f := range flat {
+		sample(b, alloc, stageLabel(f.path), float64(f.s.AllocBytes))
+	}
+}
+
+func stageLabel(path string) string {
+	return `stage="` + escapeLabel(path) + `"`
+}
+
+// head emits the HELP and TYPE comment lines for one metric.
+func head(b *strings.Builder, name, typ, help string) {
+	b.WriteString("# HELP ")
+	b.WriteString(name)
+	b.WriteByte(' ')
+	b.WriteString(escapeHelp(help))
+	b.WriteByte('\n')
+	b.WriteString("# TYPE ")
+	b.WriteString(name)
+	b.WriteByte(' ')
+	b.WriteString(typ)
+	b.WriteByte('\n')
+}
+
+// sample emits one sample line; labels is the pre-rendered inner label
+// list (empty for none).
+func sample(b *strings.Builder, name, labels string, v float64) {
+	b.WriteString(name)
+	if labels != "" {
+		b.WriteByte('{')
+		b.WriteString(labels)
+		b.WriteByte('}')
+	}
+	b.WriteByte(' ')
+	b.WriteString(formatValue(v))
+	b.WriteByte('\n')
+}
+
+// formatValue renders a sample value the way Prometheus clients do.
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// sanitize maps an obs metric name ("trace.task_rows_parsed") into the
+// Prometheus name alphabet: every rune outside [a-zA-Z0-9_:] becomes
+// '_'. A leading digit is prefixed — impossible after Prefix, but kept
+// so the function is safe standalone.
+func sanitize(name string) string {
+	var sb strings.Builder
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+			sb.WriteRune(r)
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				sb.WriteByte('_')
+			}
+			sb.WriteRune(r)
+		default:
+			sb.WriteByte('_')
+		}
+	}
+	return sb.String()
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return v
+}
+
+// escapeHelp escapes a HELP text per the exposition format.
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return v
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}

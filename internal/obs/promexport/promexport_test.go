@@ -1,0 +1,169 @@
+package promexport
+
+import (
+	"bytes"
+	"flag"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"jobgraph/internal/obs"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenRegistry builds a registry with one instrument of every kind
+// under an injected clock, so its exposition output is byte-stable.
+func goldenRegistry(t *testing.T) *obs.Registry {
+	t.Helper()
+	r := obs.NewRegistry()
+	now := time.Unix(1700000000, 0)
+	r.SetClock(func() time.Time { return now })
+
+	r.Counter("trace.task_rows_parsed").Add(1234)
+	r.Counter("engine.cache.hits").Add(3)
+	r.Gauge("runtime.goroutines").Set(17)
+	r.Gauge("trace.workers").Set(8)
+
+	h := r.Histogram("dag.edges_per_job")
+	for _, v := range []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 100} {
+		h.Observe(v)
+	}
+
+	rc := r.RateCounter("trace.task_rows", obs.DefaultWindow)
+	rc.Add(50)
+	now = now.Add(10 * time.Second)
+	rc.Add(10)
+
+	wh := r.WindowHistogram("engine.stage_ms", obs.DefaultWindow)
+	for _, v := range []float64{10, 20, 30, 40} {
+		wh.Observe(v)
+	}
+
+	r.RecordSpan([]string{"pipeline"}, 1500*time.Millisecond, 4096)
+	r.RecordSpan([]string{"pipeline", "dag.jobs"}, 500*time.Millisecond, 1024)
+	r.RecordSpan([]string{"pipeline", "wl.features"}, 250*time.Millisecond, 512)
+	return r
+}
+
+// TestWriteGolden pins the exposition output byte-for-byte. Regenerate
+// with: go test ./internal/obs/promexport -run Golden -update
+func TestWriteGolden(t *testing.T) {
+	r := goldenRegistry(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, r.Snapshot()); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+
+	golden := filepath.Join("testdata", "metrics.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if got := buf.Bytes(); !bytes.Equal(got, want) {
+		t.Errorf("exposition output differs from golden.\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestWriteLints runs the in-repo format validator over the golden
+// output: what we serve must be what a Prometheus server accepts.
+func TestWriteLints(t *testing.T) {
+	r := goldenRegistry(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, r.Snapshot()); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if err := Check(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("golden output fails lint:\n%v", err)
+	}
+}
+
+func TestHandler(t *testing.T) {
+	r := goldenRegistry(t)
+	srv := httptest.NewServer(Handler(r))
+	defer srv.Close()
+
+	res, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	if ct := res.Header.Get("Content-Type"); ct != ContentType {
+		t.Errorf("Content-Type = %q, want %q", ct, ContentType)
+	}
+	if err := Check(res.Body); err != nil {
+		t.Errorf("served output fails lint:\n%v", err)
+	}
+}
+
+func TestSanitize(t *testing.T) {
+	cases := map[string]string{
+		"trace.task_rows": "trace_task_rows",
+		"core.pool.w-1":   "core_pool_w_1",
+		"a:b":             "a:b",
+		"9lives":          "_9lives",
+		"ok_name":         "ok_name",
+		"sp ace/slash":    "sp_ace_slash",
+	}
+	for in, want := range cases {
+		if got := sanitize(in); got != want {
+			t.Errorf("sanitize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestEscapeLabel(t *testing.T) {
+	in := "a\\b\"c\nd"
+	want := `a\\b\"c\nd`
+	if got := escapeLabel(in); got != want {
+		t.Errorf("escapeLabel = %q, want %q", got, want)
+	}
+}
+
+func TestLintCatchesBadInput(t *testing.T) {
+	cases := map[string]string{
+		"bad name":           "9bad_name 1\n",
+		"bad value":          "metric_a abc\n",
+		"unknown type":       "# TYPE metric_a widget\nmetric_a 1\n",
+		"duplicate type":     "# TYPE m counter\n# TYPE m counter\nm 1\n",
+		"duplicate sample":   "m 1\nm 2\n",
+		"interleaved family": "a 1\nb 2\na{x=\"1\"} 3\n",
+		"unterminated label": "m{x=\"1 2\n",
+		"bad escape":         "m{x=\"a\\t\"} 1\n",
+		"missing value":      "metric_only\n",
+	}
+	for name, in := range cases {
+		if probs := Lint(strings.NewReader(in)); len(probs) == 0 {
+			t.Errorf("%s: Lint accepted %q", name, in)
+		}
+	}
+}
+
+func TestLintAcceptsEdgeCases(t *testing.T) {
+	in := strings.Join([]string{
+		`# HELP free text with "anything" at all`,
+		`# TYPE m summary`,
+		`m{quantile="0.5"} 1.5`,
+		`m_sum 10`,
+		`m_count 4`,
+		`# TYPE inf_gauge gauge`,
+		`inf_gauge +Inf`,
+		`# random comment`,
+		`untyped_metric{a="x",b="esc\"aped\n"} -2.5e-3 1700000000`,
+		``,
+	}, "\n")
+	if probs := Lint(strings.NewReader(in)); len(probs) != 0 {
+		t.Errorf("Lint rejected valid input: %v", probs)
+	}
+}

@@ -1,0 +1,173 @@
+package obs
+
+import (
+	"math"
+	"runtime/metrics"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// RuntimeSampler folds the Go runtime's own telemetry (runtime/metrics)
+// into registry gauges on a ticker, so a scrape of /metrics — or the
+// exit snapshot — answers "is this process healthy" without attaching a
+// profiler: live goroutine count, heap footprint, GC cycle count, and
+// streaming quantiles of GC pause and scheduler latency.
+//
+// The sampler is driven either by its own time.Ticker (Start) or by an
+// injected tick channel (Run), which is how tests make it
+// deterministic. Each tick costs one metrics.Read over a fixed sample
+// set — a few microseconds, irrelevant at multi-second intervals.
+type RuntimeSampler struct {
+	reg      *Registry
+	samples  []metrics.Sample
+	stop     chan struct{}
+	done     chan struct{}
+	stopOnce sync.Once
+	running  atomic.Bool
+}
+
+// DefaultRuntimeSampleInterval is the sampling period RunSession uses:
+// frequent enough for a 60s-window scraper, cheap enough to be
+// unconditional.
+const DefaultRuntimeSampleInterval = 5 * time.Second
+
+// runtimeSampleSet maps the runtime/metrics names the sampler reads to
+// the registry gauge each feeds. Histogram-kind metrics fan out into
+// p50/p99 gauges (microseconds) instead.
+var runtimeSampleSet = []struct {
+	metric string
+	gauge  string // base gauge name; histogram kinds append _p50_us/_p99_us
+}{
+	{"/sched/goroutines:goroutines", "runtime.goroutines"},
+	{"/memory/classes/heap/objects:bytes", "runtime.heap_objects_bytes"},
+	{"/memory/classes/total:bytes", "runtime.memory_total_bytes"},
+	{"/gc/cycles/total:gc-cycles", "runtime.gc_cycles"},
+	{"/gc/pauses:seconds", "runtime.gc_pause"},
+	{"/sched/latencies:seconds", "runtime.sched_latency"},
+}
+
+// NewRuntimeSampler returns a sampler feeding this registry. It reads
+// nothing until Sample, Start or Run is called.
+func (r *Registry) NewRuntimeSampler() *RuntimeSampler {
+	s := &RuntimeSampler{
+		reg:  r,
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	for _, m := range runtimeSampleSet {
+		s.samples = append(s.samples, metrics.Sample{Name: m.metric})
+	}
+	return s
+}
+
+// Sample reads the runtime metric set once and stores the values on the
+// registry's gauges (no-op while the registry is disabled).
+func (s *RuntimeSampler) Sample() {
+	if !s.reg.enabled.Load() {
+		return
+	}
+	metrics.Read(s.samples)
+	for i, m := range runtimeSampleSet {
+		v := s.samples[i].Value
+		switch v.Kind() {
+		case metrics.KindUint64:
+			u := v.Uint64()
+			if u > math.MaxInt64 {
+				u = math.MaxInt64
+			}
+			s.reg.Gauge(m.gauge).Set(int64(u))
+		case metrics.KindFloat64:
+			s.reg.Gauge(m.gauge).Set(int64(v.Float64()))
+		case metrics.KindFloat64Histogram:
+			h := v.Float64Histogram()
+			s.reg.Gauge(m.gauge + "_p50_us").Set(int64(histQuantile(h, 0.50) * 1e6))
+			s.reg.Gauge(m.gauge + "_p99_us").Set(int64(histQuantile(h, 0.99) * 1e6))
+		default:
+			// KindBad: the metric does not exist in this Go version.
+			// Skipping keeps the sampler forward- and backward-portable.
+		}
+	}
+}
+
+// histQuantile estimates the q-quantile of a runtime cumulative bucket
+// histogram, interpolating inside the selected bucket. Unbounded edge
+// buckets fall back to their finite boundary.
+func histQuantile(h *metrics.Float64Histogram, q float64) float64 {
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	target := uint64(q * float64(total))
+	if target >= total {
+		target = total - 1
+	}
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		if cum <= target {
+			continue
+		}
+		// Bucket i spans Buckets[i] .. Buckets[i+1].
+		lo, hi := h.Buckets[i], h.Buckets[i+1]
+		if math.IsInf(lo, -1) {
+			return hi
+		}
+		if math.IsInf(hi, +1) {
+			return lo
+		}
+		// Linear interpolation by rank within the bucket.
+		rankInBucket := float64(target-(cum-c)) + 0.5
+		return lo + (hi-lo)*rankInBucket/float64(c)
+	}
+	return h.Buckets[len(h.Buckets)-1]
+}
+
+// Start launches the sampler on its own ticker, taking one synchronous
+// sample first so gauges are populated immediately. Call Stop to end
+// it.
+func (s *RuntimeSampler) Start(interval time.Duration) {
+	if interval <= 0 {
+		interval = DefaultRuntimeSampleInterval
+	}
+	s.Sample()
+	tick := time.NewTicker(interval)
+	// Marked before the goroutine launches so a Stop racing Start still
+	// waits for the loop to exit.
+	s.running.Store(true)
+	go func() {
+		defer tick.Stop()
+		s.Run(tick.C)
+	}()
+}
+
+// Run samples on every tick until Stop is called — the injectable-
+// ticker loop Start wraps, and the entry point tests drive with a
+// hand-fed channel. Run may be started at most once per sampler.
+func (s *RuntimeSampler) Run(ticks <-chan time.Time) {
+	s.running.Store(true)
+	defer close(s.done)
+	for {
+		select {
+		case <-ticks:
+			s.Sample()
+		case <-s.stop:
+			return
+		}
+	}
+}
+
+// Stop ends the sampling loop (waiting for the loop goroutine to exit,
+// so no goroutine leaks past it) and takes one final sample so short
+// runs still export runtime gauges. Idempotent, and safe without a
+// prior Start/Run — then it only samples.
+func (s *RuntimeSampler) Stop() {
+	s.stopOnce.Do(func() { close(s.stop) })
+	if s.running.Load() {
+		<-s.done
+	}
+	s.Sample()
+}

@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"math"
+	"runtime/metrics"
+	"testing"
+	"time"
+)
+
+func TestRuntimeSamplerSample(t *testing.T) {
+	r := NewRegistry()
+	s := r.NewRuntimeSampler()
+	s.Sample()
+
+	snap := r.Snapshot()
+	if g, ok := snap.Gauges["runtime.goroutines"]; !ok || g < 1 {
+		t.Errorf("runtime.goroutines = %d (present=%v), want >= 1", g, ok)
+	}
+	if g, ok := snap.Gauges["runtime.memory_total_bytes"]; !ok || g <= 0 {
+		t.Errorf("runtime.memory_total_bytes = %d (present=%v), want > 0", g, ok)
+	}
+	if _, ok := snap.Gauges["runtime.heap_objects_bytes"]; !ok {
+		t.Error("runtime.heap_objects_bytes missing")
+	}
+}
+
+func TestRuntimeSamplerRunWithInjectedTicks(t *testing.T) {
+	r := NewRegistry()
+	s := r.NewRuntimeSampler()
+	ticks := make(chan time.Time)
+	go s.Run(ticks)
+
+	// Each tick takes one full sample; the gauges must be populated
+	// after the tick is consumed.
+	ticks <- time.Now()
+	s.Stop() // waits for the loop, then takes a final sample
+
+	if g := r.Gauge("runtime.goroutines").Value(); g < 1 {
+		t.Errorf("runtime.goroutines = %d, want >= 1", g)
+	}
+}
+
+func TestRuntimeSamplerStopIdempotent(t *testing.T) {
+	r := NewRegistry()
+	s := r.NewRuntimeSampler()
+	s.Start(time.Hour) // interval never fires during the test
+	s.Stop()
+	s.Stop() // second Stop must not panic or deadlock
+}
+
+func TestRuntimeSamplerStopWithoutStart(t *testing.T) {
+	r := NewRegistry()
+	s := r.NewRuntimeSampler()
+	done := make(chan struct{})
+	go func() {
+		s.Stop() // must not block waiting for a loop that never ran
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Stop without Start blocked")
+	}
+}
+
+func TestRuntimeSamplerDisabledRegistry(t *testing.T) {
+	r := NewRegistry()
+	r.SetEnabled(false)
+	s := r.NewRuntimeSampler()
+	s.Sample()
+	r.SetEnabled(true)
+	if len(r.Snapshot().Gauges) != 0 {
+		t.Error("disabled registry gained runtime gauges")
+	}
+}
+
+func TestHistQuantile(t *testing.T) {
+	h := &metrics.Float64Histogram{
+		Counts:  []uint64{0, 10, 10, 0},
+		Buckets: []float64{0, 1, 2, 3, 4},
+	}
+	if q := histQuantile(h, 0.0); q < 1 || q > 2 {
+		t.Errorf("p0 = %v, want inside first non-empty bucket [1,2]", q)
+	}
+	if q := histQuantile(h, 0.99); q < 2 || q > 3 {
+		t.Errorf("p99 = %v, want inside last non-empty bucket [2,3]", q)
+	}
+
+	// Unbounded edge buckets fall back to their finite boundary.
+	inf := &metrics.Float64Histogram{
+		Counts:  []uint64{5, 5},
+		Buckets: []float64{math.Inf(-1), 1, math.Inf(1)},
+	}
+	if q := histQuantile(inf, 0.01); q != 1 {
+		t.Errorf("quantile in -Inf bucket = %v, want 1", q)
+	}
+	if q := histQuantile(inf, 0.99); q != 1 {
+		t.Errorf("quantile in +Inf bucket = %v, want 1", q)
+	}
+
+	empty := &metrics.Float64Histogram{Counts: []uint64{0}, Buckets: []float64{0, 1}}
+	if q := histQuantile(empty, 0.5); q != 0 {
+		t.Errorf("empty histogram quantile = %v, want 0", q)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"io"
 	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -21,7 +22,12 @@ type Snapshot struct {
 	Counters   map[string]int64             `json:"counters"`
 	Gauges     map[string]int64             `json:"gauges"`
 	Histograms map[string]HistogramSnapshot `json:"histograms"`
-	Spans      []SpanSnapshot               `json:"spans"`
+	// Rates and Windows are the rolling-window instruments (window.go).
+	// Omitted when a run registered none, which keeps pre-existing
+	// snapshots and their consumers unchanged.
+	Rates   map[string]RateSnapshot            `json:"rates,omitempty"`
+	Windows map[string]WindowHistogramSnapshot `json:"windows,omitempty"`
+	Spans   []SpanSnapshot                     `json:"spans"`
 }
 
 // SpanSnapshot is the exported form of one aggregated stage-tree node.
@@ -75,11 +81,31 @@ func (r *Registry) Snapshot() Snapshot {
 	for name, h := range r.hists {
 		hists[name] = h
 	}
+	rates := make(map[string]*RateCounter, len(r.rates))
+	for name, c := range r.rates {
+		rates[name] = c
+	}
+	windows := make(map[string]*WindowHistogram, len(r.windows))
+	for name, h := range r.windows {
+		windows[name] = h
+	}
 	r.mu.Unlock()
 	// Histogram snapshots take each histogram's own lock; do it outside
 	// the registry lock to keep Observe callers unblocked.
 	for name, h := range hists {
 		snap.Histograms[name] = h.snapshot()
+	}
+	if len(rates) > 0 {
+		snap.Rates = make(map[string]RateSnapshot, len(rates))
+		for name, c := range rates {
+			snap.Rates[name] = c.snapshot()
+		}
+	}
+	if len(windows) > 0 {
+		snap.Windows = make(map[string]WindowHistogramSnapshot, len(windows))
+		for name, h := range windows {
+			snap.Windows[name] = h.Snapshot()
+		}
 	}
 	for _, st := range r.SpanTree() {
 		snap.Spans = append(snap.Spans, spanSnapshot(st))
@@ -114,21 +140,27 @@ func (r *Registry) WriteSnapshotFile(path string) error {
 	return f.Close()
 }
 
-// expvar.Publish panics on duplicate names; remember what we exported.
+// expvar.Publish panics on duplicate names, so each name is published
+// once behind an indirection that always reads the most recently
+// published registry.
 var (
-	expvarMu        sync.Mutex
-	expvarPublished = map[string]bool{}
+	expvarMu   sync.Mutex
+	expvarRegs = map[string]*atomic.Pointer[Registry]{}
 )
 
 // PublishExpvar exports the registry's live snapshot under the given
-// expvar name (shown at /debug/vars). Publishing the same name twice is
-// a no-op: the first registry wins, matching expvar's global namespace.
+// expvar name (shown at /debug/vars). Publishing the same name again
+// rebinds it to the newest registry — expvar's namespace is global and
+// process-wide, and the registry serving traffic is the one that
+// matters (tests spin up many registries in one process).
 func (r *Registry) PublishExpvar(name string) {
 	expvarMu.Lock()
 	defer expvarMu.Unlock()
-	if expvarPublished[name] {
-		return
+	holder, ok := expvarRegs[name]
+	if !ok {
+		holder = &atomic.Pointer[Registry]{}
+		expvarRegs[name] = holder
+		expvar.Publish(name, expvar.Func(func() any { return holder.Load().Snapshot() }))
 	}
-	expvarPublished[name] = true
-	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+	holder.Store(r)
 }

@@ -1,0 +1,326 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Windowed instruments: where Counter and Histogram aggregate over the
+// whole process lifetime (the right shape for a batch run that ends
+// with one metrics.json), a long-lived process needs "what happened in
+// the last minute". RateCounter and WindowHistogram answer that with
+// bounded memory, read the registry clock (so tests drive them with an
+// injected deterministic clock), and surface in Snapshot alongside the
+// all-time instruments.
+
+// DefaultWindow is the rolling window the pipeline's windowed
+// instruments use: long enough to smooth scheduler noise, short enough
+// that a stalled ingest shows up on the next scrape.
+const DefaultWindow = 60 * time.Second
+
+// rateBuckets is the ring resolution of a RateCounter: the window is
+// divided into this many buckets, so a 60s window advances in 1s steps.
+const rateBuckets = 60
+
+// RateCounter counts events into a ring of time buckets covering a
+// rolling window, so Rate reports recent throughput (rows/s, jobs/s)
+// instead of a lifetime average. Add is lock-free on the fast path (one
+// clock read plus two atomic adds) and safe for concurrent use; bucket
+// rotation takes a mutex. Counts that land exactly while the ring
+// rotates may be attributed to a neighboring bucket — an accepted
+// imprecision for telemetry, never for correctness-bearing counts (use
+// Counter for those).
+type RateCounter struct {
+	reg     *Registry
+	window  time.Duration
+	bucketD time.Duration
+
+	total atomic.Int64
+	epoch atomic.Int64 // absolute index of the newest accounted bucket
+
+	mu      sync.Mutex // serializes ring rotation
+	buckets [rateBuckets]atomic.Int64
+}
+
+func newRateCounter(r *Registry, window time.Duration) *RateCounter {
+	if window <= 0 {
+		window = DefaultWindow
+	}
+	c := &RateCounter{reg: r, window: window, bucketD: window / rateBuckets}
+	c.epoch.Store(c.absIndex(r.now()))
+	return c
+}
+
+// absIndex is the absolute bucket index of t.
+func (c *RateCounter) absIndex(t time.Time) int64 {
+	return t.UnixNano() / int64(c.bucketD)
+}
+
+// Add counts n events at the current registry clock (no-op while the
+// registry is disabled).
+func (c *RateCounter) Add(n int64) {
+	if !c.reg.enabled.Load() {
+		return
+	}
+	c.total.Add(n)
+	abs := c.absIndex(c.reg.now())
+	c.advance(abs)
+	c.buckets[bucketSlot(abs)].Add(n)
+}
+
+// bucketSlot maps an absolute index onto the ring.
+func bucketSlot(abs int64) int {
+	s := int(abs % rateBuckets)
+	if s < 0 {
+		s += rateBuckets
+	}
+	return s
+}
+
+// advance zeroes every bucket between the last accounted index and abs,
+// so stale counts from a previous lap never leak into the window.
+func (c *RateCounter) advance(abs int64) {
+	if abs <= c.epoch.Load() {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cur := c.epoch.Load()
+	if abs <= cur {
+		return
+	}
+	steps := abs - cur
+	if steps > rateBuckets {
+		steps = rateBuckets
+	}
+	for i := int64(1); i <= steps; i++ {
+		c.buckets[bucketSlot(cur+i)].Store(0)
+	}
+	c.epoch.Store(abs)
+}
+
+// Total returns the all-time event count.
+func (c *RateCounter) Total() int64 { return c.total.Load() }
+
+// WindowCount returns the events counted inside the rolling window
+// ending now.
+func (c *RateCounter) WindowCount() int64 {
+	c.advance(c.absIndex(c.reg.now()))
+	var sum int64
+	for i := range c.buckets {
+		sum += c.buckets[i].Load()
+	}
+	return sum
+}
+
+// Rate returns the windowed event rate in events per second. During the
+// first window after startup it under-reports (the divisor is always
+// the full window), which reads as a ramp-up — preferable to a spike.
+func (c *RateCounter) Rate() float64 {
+	return float64(c.WindowCount()) / c.window.Seconds()
+}
+
+// RateSnapshot is the exported summary of a RateCounter.
+type RateSnapshot struct {
+	Total       int64   `json:"total"`
+	WindowCount int64   `json:"window_count"`
+	WindowSec   float64 `json:"window_sec"`
+	PerSec      float64 `json:"per_sec"`
+}
+
+func (c *RateCounter) snapshot() RateSnapshot {
+	wc := c.WindowCount()
+	return RateSnapshot{
+		Total:       c.Total(),
+		WindowCount: wc,
+		WindowSec:   c.window.Seconds(),
+		PerSec:      float64(wc) / c.window.Seconds(),
+	}
+}
+
+// windowHistogramCap bounds a WindowHistogram's retained samples. At 16
+// bytes per sample this caps memory at 64 KiB per instrument; when a
+// window sees more observations than this, the oldest are evicted early
+// and the snapshot notes the shortened effective window via Evicted.
+const windowHistogramCap = 4096
+
+type windowSample struct {
+	at time.Time
+	v  float64
+}
+
+// WindowHistogram summarizes the observations of a rolling window with
+// exact quantiles: a bounded ring of timestamped samples, expired by
+// the registry clock. Unlike Histogram (P² over the whole run), its
+// quantiles are computed over at most windowHistogramCap retained
+// samples, so they track recent behavior and recover after a slow
+// phase ends. Observe takes a mutex — use it for per-stage or per-job
+// observations, not per-row inner loops.
+type WindowHistogram struct {
+	reg    *Registry
+	window time.Duration
+
+	mu      sync.Mutex
+	buf     []windowSample // ring of len windowHistogramCap
+	head, n int
+	total   int64 // all-time observations
+	evicted int64 // in-window samples dropped to capacity
+}
+
+func newWindowHistogram(r *Registry, window time.Duration) *WindowHistogram {
+	if window <= 0 {
+		window = DefaultWindow
+	}
+	return &WindowHistogram{reg: r, window: window}
+}
+
+// Observe folds one observation in at the current registry clock
+// (no-op while the registry is disabled).
+func (h *WindowHistogram) Observe(v float64) {
+	if !h.reg.enabled.Load() {
+		return
+	}
+	now := h.reg.now()
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.buf == nil {
+		h.buf = make([]windowSample, windowHistogramCap)
+	}
+	h.expire(now)
+	if h.n == len(h.buf) {
+		h.head = (h.head + 1) % len(h.buf)
+		h.n--
+		h.evicted++
+	}
+	h.buf[(h.head+h.n)%len(h.buf)] = windowSample{at: now, v: v}
+	h.n++
+	h.total++
+}
+
+// expire drops samples older than the window. Callers hold h.mu.
+func (h *WindowHistogram) expire(now time.Time) {
+	for h.n > 0 && now.Sub(h.buf[h.head].at) > h.window {
+		h.head = (h.head + 1) % len(h.buf)
+		h.n--
+	}
+}
+
+// Count returns the number of in-window samples retained right now.
+func (h *WindowHistogram) Count() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.expire(h.reg.now())
+	return h.n
+}
+
+// WindowHistogramSnapshot is the exported summary of a rolling-window
+// histogram: exact order statistics over the retained in-window
+// samples.
+type WindowHistogramSnapshot struct {
+	WindowSec float64 `json:"window_sec"`
+	Count     int64   `json:"count"` // in-window samples summarized
+	Total     int64   `json:"total"` // all-time observations
+	Evicted   int64   `json:"evicted,omitempty"`
+	Mean      float64 `json:"mean"`
+	Min       float64 `json:"min"`
+	Max       float64 `json:"max"`
+	P50       float64 `json:"p50"`
+	P90       float64 `json:"p90"`
+	P99       float64 `json:"p99"`
+}
+
+// Snapshot summarizes the current window.
+func (h *WindowHistogram) Snapshot() WindowHistogramSnapshot {
+	now := h.reg.now()
+	h.mu.Lock()
+	h.expire(now)
+	vals := make([]float64, h.n)
+	for i := 0; i < h.n; i++ {
+		vals[i] = h.buf[(h.head+i)%len(h.buf)].v
+	}
+	snap := WindowHistogramSnapshot{
+		WindowSec: h.window.Seconds(),
+		Count:     int64(h.n),
+		Total:     h.total,
+		Evicted:   h.evicted,
+	}
+	h.mu.Unlock()
+	if len(vals) == 0 {
+		return snap
+	}
+	sort.Float64s(vals)
+	var sum float64
+	for _, v := range vals {
+		sum += v
+	}
+	snap.Mean = sum / float64(len(vals))
+	snap.Min = vals[0]
+	snap.Max = vals[len(vals)-1]
+	snap.P50 = quantSorted(vals, 0.50)
+	snap.P90 = quantSorted(vals, 0.90)
+	snap.P99 = quantSorted(vals, 0.99)
+	return snap
+}
+
+// quantSorted is the nearest-rank quantile (ceil(q*n)-th order
+// statistic) over a sorted slice.
+func quantSorted(s []float64, q float64) float64 {
+	if len(s) == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(q*float64(len(s)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
+	return s[idx]
+}
+
+func (h *WindowHistogram) reset() {
+	h.mu.Lock()
+	h.head, h.n, h.total, h.evicted = 0, 0, 0, 0
+	h.mu.Unlock()
+}
+
+func (c *RateCounter) reset() {
+	c.mu.Lock()
+	for i := range c.buckets {
+		c.buckets[i].Store(0)
+	}
+	c.total.Store(0)
+	c.epoch.Store(c.absIndex(c.reg.now()))
+	c.mu.Unlock()
+}
+
+// RateCounter interns and returns the named rolling-rate counter. The
+// window is fixed on first use; later calls with a different window
+// return the existing instrument unchanged.
+func (r *Registry) RateCounter(name string, window time.Duration) *RateCounter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.rates[name]
+	if !ok {
+		c = newRateCounter(r, window)
+		r.rates[name] = c
+	}
+	return c
+}
+
+// WindowHistogram interns and returns the named sliding-window
+// histogram. The window is fixed on first use; later calls with a
+// different window return the existing instrument unchanged.
+func (r *Registry) WindowHistogram(name string, window time.Duration) *WindowHistogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.windows[name]
+	if !ok {
+		h = newWindowHistogram(r, window)
+		r.windows[name] = h
+	}
+	return h
+}

@@ -1,0 +1,226 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// manualClock is a registry clock tests advance by hand.
+type manualClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newManualClock() *manualClock {
+	return &manualClock{now: time.Unix(1700000000, 0)}
+}
+
+func (c *manualClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *manualClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+func clockedRegistry() (*Registry, *manualClock) {
+	r := NewRegistry()
+	clk := newManualClock()
+	r.SetClock(clk.Now)
+	return r, clk
+}
+
+func TestRateCounterWindow(t *testing.T) {
+	r, clk := clockedRegistry()
+	rc := r.RateCounter("rows", 60*time.Second)
+
+	rc.Add(100)
+	if got := rc.WindowCount(); got != 100 {
+		t.Fatalf("WindowCount after first add = %d, want 100", got)
+	}
+
+	// 30s later the first batch is still inside the 60s window.
+	clk.Advance(30 * time.Second)
+	rc.Add(50)
+	if got := rc.WindowCount(); got != 150 {
+		t.Fatalf("WindowCount mid-window = %d, want 150", got)
+	}
+
+	// 31 more seconds: the first batch (61s old) rotates out, the second
+	// (31s old) stays.
+	clk.Advance(31 * time.Second)
+	if got := rc.WindowCount(); got != 50 {
+		t.Fatalf("WindowCount after first expiry = %d, want 50", got)
+	}
+	if got := rc.Total(); got != 150 {
+		t.Fatalf("Total = %d, want 150 (all-time count never expires)", got)
+	}
+	if got, want := rc.Rate(), 50.0/60.0; got != want {
+		t.Fatalf("Rate = %v, want %v", got, want)
+	}
+
+	// Far beyond the window everything expires, including after a full
+	// ring lap.
+	clk.Advance(10 * time.Minute)
+	if got := rc.WindowCount(); got != 0 {
+		t.Fatalf("WindowCount after long idle = %d, want 0", got)
+	}
+}
+
+func TestRateCounterSnapshotAndReset(t *testing.T) {
+	r, clk := clockedRegistry()
+	rc := r.RateCounter("rows", 10*time.Second)
+	rc.Add(20)
+	clk.Advance(2 * time.Second)
+
+	snap := r.Snapshot()
+	rs, ok := snap.Rates["rows"]
+	if !ok {
+		t.Fatal("snapshot is missing the rate counter")
+	}
+	if rs.Total != 20 || rs.WindowCount != 20 || rs.WindowSec != 10 || rs.PerSec != 2 {
+		t.Fatalf("RateSnapshot = %+v", rs)
+	}
+
+	r.Reset()
+	if rc.Total() != 0 || rc.WindowCount() != 0 {
+		t.Fatalf("after Reset: total=%d window=%d, want 0/0", rc.Total(), rc.WindowCount())
+	}
+}
+
+func TestRateCounterDisabledRegistry(t *testing.T) {
+	r, _ := clockedRegistry()
+	rc := r.RateCounter("rows", time.Minute)
+	r.SetEnabled(false)
+	rc.Add(5)
+	if got := rc.Total(); got != 0 {
+		t.Fatalf("disabled registry counted %d events", got)
+	}
+}
+
+func TestRateCounterInterning(t *testing.T) {
+	r, _ := clockedRegistry()
+	a := r.RateCounter("x", time.Minute)
+	b := r.RateCounter("x", 5*time.Second) // window fixed on first use
+	if a != b {
+		t.Fatal("same name returned distinct RateCounters")
+	}
+}
+
+func TestWindowHistogramExpiry(t *testing.T) {
+	r, clk := clockedRegistry()
+	wh := r.WindowHistogram("lat", 60*time.Second)
+
+	wh.Observe(100)
+	clk.Advance(30 * time.Second)
+	wh.Observe(10)
+	wh.Observe(20)
+
+	snap := wh.Snapshot()
+	if snap.Count != 3 || snap.Total != 3 {
+		t.Fatalf("Count/Total = %d/%d, want 3/3", snap.Count, snap.Total)
+	}
+	if snap.Min != 10 || snap.Max != 100 {
+		t.Fatalf("Min/Max = %v/%v, want 10/100", snap.Min, snap.Max)
+	}
+
+	// The first observation (100) ages out; quantiles follow the window.
+	clk.Advance(31 * time.Second)
+	snap = wh.Snapshot()
+	if snap.Count != 2 {
+		t.Fatalf("Count after expiry = %d, want 2", snap.Count)
+	}
+	if snap.Max != 20 || snap.Mean != 15 {
+		t.Fatalf("Max/Mean after expiry = %v/%v, want 20/15", snap.Max, snap.Mean)
+	}
+	if snap.Total != 3 {
+		t.Fatalf("Total after expiry = %d, want 3 (all-time)", snap.Total)
+	}
+
+	clk.Advance(time.Hour)
+	snap = wh.Snapshot()
+	if snap.Count != 0 || snap.Mean != 0 {
+		t.Fatalf("empty-window snapshot = %+v, want zeroed stats", snap)
+	}
+}
+
+func TestWindowHistogramQuantiles(t *testing.T) {
+	r, _ := clockedRegistry()
+	wh := r.WindowHistogram("lat", time.Minute)
+	for i := 1; i <= 100; i++ {
+		wh.Observe(float64(i))
+	}
+	snap := wh.Snapshot()
+	if snap.P50 != 50 {
+		t.Errorf("P50 = %v, want 50", snap.P50)
+	}
+	if snap.P90 != 90 {
+		t.Errorf("P90 = %v, want 90", snap.P90)
+	}
+	if snap.P99 != 99 {
+		t.Errorf("P99 = %v, want 99", snap.P99)
+	}
+}
+
+func TestWindowHistogramCapacityEviction(t *testing.T) {
+	r, _ := clockedRegistry()
+	wh := r.WindowHistogram("lat", time.Hour)
+	for i := 0; i < windowHistogramCap+10; i++ {
+		wh.Observe(float64(i))
+	}
+	snap := wh.Snapshot()
+	if snap.Count != windowHistogramCap {
+		t.Fatalf("Count = %d, want cap %d", snap.Count, windowHistogramCap)
+	}
+	if snap.Evicted != 10 {
+		t.Fatalf("Evicted = %d, want 10", snap.Evicted)
+	}
+	// Oldest evicted first: the minimum retained sample is 10.
+	if snap.Min != 10 {
+		t.Fatalf("Min = %v, want 10", snap.Min)
+	}
+	if snap.Total != windowHistogramCap+10 {
+		t.Fatalf("Total = %d, want %d", snap.Total, windowHistogramCap+10)
+	}
+}
+
+func TestWindowHistogramReset(t *testing.T) {
+	r, _ := clockedRegistry()
+	wh := r.WindowHistogram("lat", time.Minute)
+	wh.Observe(1)
+	r.Reset()
+	snap := wh.Snapshot()
+	if snap.Count != 0 || snap.Total != 0 {
+		t.Fatalf("after Reset: %+v", snap)
+	}
+}
+
+func TestRateCounterConcurrentAdd(t *testing.T) {
+	r, clk := clockedRegistry()
+	rc := r.RateCounter("rows", time.Minute)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				rc.Add(1)
+				if i%100 == 0 {
+					clk.Advance(time.Millisecond)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := rc.Total(); got != 8000 {
+		t.Fatalf("Total = %d, want 8000", got)
+	}
+	if got := rc.WindowCount(); got != 8000 {
+		t.Fatalf("WindowCount = %d, want 8000 (all adds within window)", got)
+	}
+}

@@ -1,0 +1,353 @@
+package report
+
+import (
+	"fmt"
+	"html/template"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"jobgraph/internal/ledger"
+	"jobgraph/internal/obs"
+)
+
+// Run-report HTML: renders one run's metrics snapshot (plus its ledger
+// entry, when available) as a single self-contained HTML document —
+// inline CSS, inline SVG sparklines, zero external assets — so the file
+// can be archived as a CI artifact or mailed around and still open
+// years later, offline.
+
+// RunHTMLData is the assembled view model for the run report template.
+type RunHTMLData struct {
+	Title      string
+	Generated  string
+	Entry      *ledger.Entry // nil when only a metrics.json is available
+	Warnings   []string
+	Stages     []stageRow
+	CacheRows  []cacheRow
+	Counters   []kvRow
+	Gauges     []kvRow
+	Histograms []histRow
+	Rates      []rateRow
+	Windows    []histRow
+}
+
+type stageRow struct {
+	Path    string
+	Count   int64
+	TotalMs float64
+	MinMs   float64
+	MaxMs   float64
+	AllocMB float64
+	Bar     template.HTML // inline SVG duration bar
+}
+
+type cacheRow struct {
+	Stage        string
+	Hits, Misses int64
+	BytesRead    int64
+	BytesWritten int64
+}
+
+type kvRow struct {
+	Name  string
+	Value int64
+}
+
+type histRow struct {
+	Name  string
+	Count int64
+	Mean  float64
+	Min   float64
+	Max   float64
+	P50   float64
+	P90   float64
+	P99   float64
+	Spark template.HTML // inline SVG min/p50/p90/p99/max sparkline
+}
+
+type rateRow struct {
+	Name        string
+	Total       int64
+	WindowCount int64
+	WindowSec   float64
+	PerSec      float64
+}
+
+// stageCachePrefix mirrors engine.StageCacheMetricPrefix without
+// importing the engine package (report is a leaf formatting layer).
+const stageCachePrefix = "engine.cache.stage."
+
+// BuildRunHTMLData assembles the view model from a snapshot and an
+// optional ledger entry.
+func BuildRunHTMLData(snap obs.Snapshot, entry *ledger.Entry, now time.Time) RunHTMLData {
+	d := RunHTMLData{
+		Title:     "jobgraph run report",
+		Generated: now.UTC().Format("2006-01-02 15:04:05 UTC"),
+		Entry:     entry,
+	}
+	if entry != nil {
+		d.Title = "jobgraph run " + entry.RunID
+		d.Warnings = entry.Warnings
+	}
+
+	// Flatten the span tree into slash paths and scale bars against the
+	// longest stage.
+	type flat struct {
+		path string
+		s    obs.SpanSnapshot
+	}
+	var spans []flat
+	var walk func(prefix string, s obs.SpanSnapshot)
+	walk = func(prefix string, s obs.SpanSnapshot) {
+		path := s.Name
+		if prefix != "" {
+			path = prefix + "/" + s.Name
+		}
+		spans = append(spans, flat{path, s})
+		for _, c := range s.Children {
+			walk(path, c)
+		}
+	}
+	for _, s := range snap.Spans {
+		walk("", s)
+	}
+	var maxMs float64
+	for _, f := range spans {
+		if f.s.TotalMs > maxMs {
+			maxMs = f.s.TotalMs
+		}
+	}
+	for _, f := range spans {
+		d.Stages = append(d.Stages, stageRow{
+			Path:    f.path,
+			Count:   f.s.Count,
+			TotalMs: f.s.TotalMs,
+			MinMs:   f.s.MinMs,
+			MaxMs:   f.s.MaxMs,
+			AllocMB: float64(f.s.AllocBytes) / (1 << 20),
+			Bar:     barSVG(f.s.TotalMs, maxMs),
+		})
+	}
+
+	cache := map[string]*cacheRow{}
+	for name, v := range snap.Counters {
+		if rest, ok := strings.CutPrefix(name, stageCachePrefix); ok {
+			i := strings.LastIndex(rest, ".")
+			if i <= 0 {
+				continue
+			}
+			stage, kind := rest[:i], rest[i+1:]
+			cr := cache[stage]
+			if cr == nil {
+				cr = &cacheRow{Stage: stage}
+				cache[stage] = cr
+			}
+			switch kind {
+			case "hits":
+				cr.Hits = v
+			case "misses":
+				cr.Misses = v
+			case "bytes_read":
+				cr.BytesRead = v
+			case "bytes_written":
+				cr.BytesWritten = v
+			}
+			continue
+		}
+		d.Counters = append(d.Counters, kvRow{Name: name, Value: v})
+	}
+	sort.Slice(d.Counters, func(i, j int) bool { return d.Counters[i].Name < d.Counters[j].Name })
+	for _, cr := range cache {
+		d.CacheRows = append(d.CacheRows, *cr)
+	}
+	sort.Slice(d.CacheRows, func(i, j int) bool { return d.CacheRows[i].Stage < d.CacheRows[j].Stage })
+
+	for name, v := range snap.Gauges {
+		d.Gauges = append(d.Gauges, kvRow{Name: name, Value: v})
+	}
+	sort.Slice(d.Gauges, func(i, j int) bool { return d.Gauges[i].Name < d.Gauges[j].Name })
+
+	for _, name := range sortedNames(snap.Histograms) {
+		h := snap.Histograms[name]
+		d.Histograms = append(d.Histograms, histRow{
+			Name: name, Count: h.Count, Mean: h.Mean, Min: h.Min, Max: h.Max,
+			P50: h.P50, P90: h.P90, P99: h.P99,
+			Spark: sparkSVG(h.Min, h.P50, h.P90, h.P99, h.Max),
+		})
+	}
+	for _, name := range sortedNames(snap.Windows) {
+		h := snap.Windows[name]
+		d.Windows = append(d.Windows, histRow{
+			Name:  fmt.Sprintf("%s (last %gs)", name, h.WindowSec),
+			Count: h.Count, Mean: h.Mean, Min: h.Min, Max: h.Max,
+			P50: h.P50, P90: h.P90, P99: h.P99,
+			Spark: sparkSVG(h.Min, h.P50, h.P90, h.P99, h.Max),
+		})
+	}
+	for _, name := range sortedNames(snap.Rates) {
+		r := snap.Rates[name]
+		d.Rates = append(d.Rates, rateRow{
+			Name: name, Total: r.Total, WindowCount: r.WindowCount,
+			WindowSec: r.WindowSec, PerSec: r.PerSec,
+		})
+	}
+	return d
+}
+
+func sortedNames[V any](m map[string]V) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+// barSVG renders a horizontal duration bar scaled against the longest
+// stage.
+func barSVG(v, max float64) template.HTML {
+	const w = 160.0
+	frac := 0.0
+	if max > 0 {
+		frac = v / max
+	}
+	bw := frac * w
+	if v > 0 && bw < 2 {
+		bw = 2 // visible sliver for tiny-but-present stages
+	}
+	return template.HTML(fmt.Sprintf(
+		`<svg width="%d" height="12" role="img"><rect width="%.1f" height="12" rx="2" fill="#4a7aa7"/></svg>`,
+		int(w), bw))
+}
+
+// sparkSVG renders the five summary points of a histogram as a tiny
+// bar strip — a shape cue (tight vs. long-tailed) rather than a chart.
+func sparkSVG(vals ...float64) template.HTML {
+	var max float64
+	for _, v := range vals {
+		if v > max {
+			max = v
+		}
+	}
+	var b strings.Builder
+	bw, gap, h := 9, 2, 24
+	fmt.Fprintf(&b, `<svg width="%d" height="%d" role="img">`, len(vals)*(bw+gap), h)
+	for i, v := range vals {
+		bh := 1.0
+		if max > 0 {
+			bh = 1 + (v/max)*float64(h-1)
+		}
+		fmt.Fprintf(&b, `<rect x="%d" y="%.1f" width="%d" height="%.1f" fill="#769e6e"/>`,
+			i*(bw+gap), float64(h)-bh, bw, bh)
+	}
+	b.WriteString(`</svg>`)
+	return template.HTML(b.String())
+}
+
+// WriteRunHTML renders the report document to w.
+func WriteRunHTML(w io.Writer, snap obs.Snapshot, entry *ledger.Entry, now time.Time) error {
+	return runHTMLTmpl.Execute(w, BuildRunHTMLData(snap, entry, now))
+}
+
+var runHTMLTmpl = template.Must(template.New("runreport").Parse(`<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>{{.Title}}</title>
+<style>
+body { font: 14px/1.5 system-ui, sans-serif; margin: 2rem auto; max-width: 70rem; padding: 0 1rem; color: #1c2733; }
+h1 { font-size: 1.4rem; } h2 { font-size: 1.1rem; margin-top: 2rem; border-bottom: 1px solid #d4dce4; padding-bottom: .25rem; }
+table { border-collapse: collapse; width: 100%; font-variant-numeric: tabular-nums; }
+th, td { text-align: left; padding: .25rem .6rem; border-bottom: 1px solid #e8edf2; }
+th { background: #f3f6f9; font-weight: 600; }
+td.num, th.num { text-align: right; }
+code { background: #f3f6f9; padding: 0 .25rem; border-radius: 3px; }
+.meta dt { font-weight: 600; display: inline-block; min-width: 8rem; }
+.meta dd { display: inline; margin: 0; }
+.meta div { margin: .15rem 0; }
+.warn { background: #fff4e5; border-left: 4px solid #d97706; padding: .5rem .75rem; margin: .5rem 0; }
+.muted { color: #61707f; }
+footer { margin-top: 3rem; color: #61707f; font-size: .85rem; }
+</style>
+</head>
+<body>
+<h1>{{.Title}}</h1>
+{{with .Entry}}
+<dl class="meta">
+<div><dt>command</dt><dd><code>{{.Command}}</code></dd></div>
+<div><dt>run id</dt><dd><code>{{.RunID}}</code></dd></div>
+<div><dt>started</dt><dd>{{.StartedAt.Format "2006-01-02 15:04:05 UTC"}}</dd></div>
+<div><dt>wall time</dt><dd>{{printf "%.1f" .WallMs}} ms</dd></div>
+{{if .GitSHA}}<div><dt>git</dt><dd><code>{{.GitSHA}}</code></dd></div>{{end}}
+<div><dt>config hash</dt><dd><code>{{.ConfigHash}}</code></dd></div>
+<div><dt>host</dt><dd>{{.Host.Hostname}} ({{.Host.OS}}/{{.Host.Arch}}, {{.Host.NumCPU}} cpus, {{.Host.GoVersion}})</dd></div>
+</dl>
+{{else}}<p class="muted">No ledger entry: stage and metric data only.</p>{{end}}
+
+{{if .Warnings}}
+<h2>Warnings</h2>
+{{range .Warnings}}<div class="warn">{{.}}</div>{{end}}
+{{end}}
+
+{{if .Stages}}
+<h2>Stages</h2>
+<table>
+<tr><th>stage</th><th class="num">runs</th><th class="num">total ms</th><th class="num">min ms</th><th class="num">max ms</th><th class="num">alloc MiB</th><th></th></tr>
+{{range .Stages}}<tr><td><code>{{.Path}}</code></td><td class="num">{{.Count}}</td><td class="num">{{printf "%.2f" .TotalMs}}</td><td class="num">{{printf "%.2f" .MinMs}}</td><td class="num">{{printf "%.2f" .MaxMs}}</td><td class="num">{{printf "%.2f" .AllocMB}}</td><td>{{.Bar}}</td></tr>
+{{end}}</table>
+{{end}}
+
+{{if .CacheRows}}
+<h2>Engine cache</h2>
+<table>
+<tr><th>stage</th><th class="num">hits</th><th class="num">misses</th><th class="num">bytes read</th><th class="num">bytes written</th></tr>
+{{range .CacheRows}}<tr><td><code>{{.Stage}}</code></td><td class="num">{{.Hits}}</td><td class="num">{{.Misses}}</td><td class="num">{{.BytesRead}}</td><td class="num">{{.BytesWritten}}</td></tr>
+{{end}}</table>
+{{end}}
+
+{{if .Histograms}}
+<h2>Histograms</h2>
+<table>
+<tr><th>metric</th><th class="num">count</th><th class="num">mean</th><th class="num">min</th><th class="num">p50</th><th class="num">p90</th><th class="num">p99</th><th class="num">max</th><th>shape</th></tr>
+{{range .Histograms}}<tr><td><code>{{.Name}}</code></td><td class="num">{{.Count}}</td><td class="num">{{printf "%.3g" .Mean}}</td><td class="num">{{printf "%.3g" .Min}}</td><td class="num">{{printf "%.3g" .P50}}</td><td class="num">{{printf "%.3g" .P90}}</td><td class="num">{{printf "%.3g" .P99}}</td><td class="num">{{printf "%.3g" .Max}}</td><td>{{.Spark}}</td></tr>
+{{end}}</table>
+{{end}}
+
+{{if .Windows}}
+<h2>Windowed histograms</h2>
+<table>
+<tr><th>metric</th><th class="num">count</th><th class="num">mean</th><th class="num">min</th><th class="num">p50</th><th class="num">p90</th><th class="num">p99</th><th class="num">max</th><th>shape</th></tr>
+{{range .Windows}}<tr><td><code>{{.Name}}</code></td><td class="num">{{.Count}}</td><td class="num">{{printf "%.3g" .Mean}}</td><td class="num">{{printf "%.3g" .Min}}</td><td class="num">{{printf "%.3g" .P50}}</td><td class="num">{{printf "%.3g" .P90}}</td><td class="num">{{printf "%.3g" .P99}}</td><td class="num">{{printf "%.3g" .Max}}</td><td>{{.Spark}}</td></tr>
+{{end}}</table>
+{{end}}
+
+{{if .Rates}}
+<h2>Rates</h2>
+<table>
+<tr><th>metric</th><th class="num">total</th><th class="num">window count</th><th class="num">window s</th><th class="num">per second</th></tr>
+{{range .Rates}}<tr><td><code>{{.Name}}</code></td><td class="num">{{.Total}}</td><td class="num">{{.WindowCount}}</td><td class="num">{{printf "%g" .WindowSec}}</td><td class="num">{{printf "%.3g" .PerSec}}</td></tr>
+{{end}}</table>
+{{end}}
+
+{{if .Counters}}
+<h2>Counters</h2>
+<table>
+<tr><th>metric</th><th class="num">value</th></tr>
+{{range .Counters}}<tr><td><code>{{.Name}}</code></td><td class="num">{{.Value}}</td></tr>
+{{end}}</table>
+{{end}}
+
+{{if .Gauges}}
+<h2>Gauges</h2>
+<table>
+<tr><th>metric</th><th class="num">value</th></tr>
+{{range .Gauges}}<tr><td><code>{{.Name}}</code></td><td class="num">{{.Value}}</td></tr>
+{{end}}</table>
+{{end}}
+
+<footer>generated {{.Generated}} by jobgraph runreport — self-contained document, no external assets</footer>
+</body>
+</html>
+`))

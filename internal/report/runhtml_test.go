@@ -1,0 +1,144 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"jobgraph/internal/ledger"
+	"jobgraph/internal/obs"
+)
+
+func reportSnapshot() obs.Snapshot {
+	return obs.Snapshot{
+		Schema: obs.SnapshotSchema,
+		Counters: map[string]int64{
+			"ingest.rows":                                12345,
+			"engine.cache.stage.dag.jobs.hits":           1,
+			"engine.cache.stage.dag.jobs.bytes_read":     4096,
+			"engine.cache.stage.wl.matrix.misses":        1,
+			"engine.cache.stage.wl.matrix.bytes_written": 8192,
+		},
+		Gauges: map[string]int64{"runtime.goroutines": 8},
+		Histograms: map[string]obs.HistogramSnapshot{
+			"dag.depth": {Count: 100, Mean: 4.2, Min: 1, Max: 17, P50: 4, P90: 9, P99: 15},
+		},
+		Rates: map[string]obs.RateSnapshot{
+			"trace.jobs.rows": {Total: 9000, WindowCount: 600, WindowSec: 60, PerSec: 10},
+		},
+		Windows: map[string]obs.WindowHistogramSnapshot{
+			"engine.stage_ms": {WindowSec: 60, Count: 5, Total: 5, Mean: 20, Min: 5, Max: 80, P50: 12, P90: 70, P99: 80},
+		},
+		Spans: []obs.SpanSnapshot{{
+			Name: "pipeline", Count: 1, TotalMs: 1200, MinMs: 1200, MaxMs: 1200, AllocBytes: 64 << 20,
+			Children: []obs.SpanSnapshot{
+				{Name: "dag.jobs", Count: 1, TotalMs: 800, MinMs: 800, MaxMs: 800, AllocBytes: 32 << 20},
+				{Name: "wl.matrix", Count: 1, TotalMs: 300, MinMs: 300, MaxMs: 300, AllocBytes: 8 << 20},
+			},
+		}},
+	}
+}
+
+func reportEntry() *ledger.Entry {
+	return &ledger.Entry{
+		Schema:     ledger.Schema,
+		RunID:      "cafe0123beef4567",
+		Command:    "characterize",
+		StartedAt:  time.Date(2026, 2, 3, 10, 30, 0, 0, time.UTC),
+		WallMs:     1234.5,
+		GitSHA:     "abc123",
+		ConfigHash: "deadbeef00000000",
+		Host:       ledger.Host{Hostname: "ci-runner", OS: "linux", Arch: "amd64", NumCPU: 8, GoVersion: "go1.22"},
+		Warnings:   []string{"trace: 3 rows quarantined in jobs.csv"},
+	}
+}
+
+func renderedReport(t *testing.T, entry *ledger.Entry) string {
+	t.Helper()
+	var buf bytes.Buffer
+	now := time.Date(2026, 2, 3, 11, 0, 0, 0, time.UTC)
+	if err := WriteRunHTML(&buf, reportSnapshot(), entry, now); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func TestRunHTMLSelfContained(t *testing.T) {
+	// The acceptance bar for the report: one file, zero external assets.
+	// No http(s) URLs, no <script>, no <link>, no <img src=...>.
+	html := renderedReport(t, reportEntry())
+	for _, banned := range []string{"http://", "https://", "<script", "<link", "<img"} {
+		if strings.Contains(html, banned) {
+			t.Errorf("report references external asset machinery: found %q", banned)
+		}
+	}
+	if !strings.HasPrefix(html, "<!DOCTYPE html>") {
+		t.Errorf("not an HTML document: %.60s", html)
+	}
+}
+
+func TestRunHTMLContent(t *testing.T) {
+	html := renderedReport(t, reportEntry())
+	for _, want := range []string{
+		"jobgraph run cafe0123beef4567", // title from ledger entry
+		"characterize",                  // command
+		"ci-runner",                     // host
+		"pipeline/dag.jobs",             // flattened span path
+		"pipeline/wl.matrix",            //
+		"trace: 3 rows quarantined",     // warning surfaced
+		"runtime.goroutines",            // gauge
+		"ingest.rows",                   // plain counter kept
+		"trace.jobs.rows",               // rate row
+		"engine.stage_ms",               // windowed histogram
+		"dag.depth",                     // histogram
+		"<svg",                          // sparklines/bars inline
+	} {
+		if !strings.Contains(html, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
+func TestRunHTMLCacheTable(t *testing.T) {
+	html := renderedReport(t, reportEntry())
+	if !strings.Contains(html, "Engine cache") {
+		t.Fatal("cache section missing")
+	}
+	for _, want := range []string{"dag.jobs", "wl.matrix", "4096", "8192"} {
+		if !strings.Contains(html, want) {
+			t.Errorf("cache table missing %q", want)
+		}
+	}
+	// Cache counters are folded into the cache table, not repeated in the
+	// flat counter list.
+	if strings.Contains(html, "engine.cache.stage.") {
+		t.Error("raw cache counter names leaked into the counters table")
+	}
+}
+
+func TestRunHTMLWithoutLedgerEntry(t *testing.T) {
+	html := renderedReport(t, nil)
+	if !strings.Contains(html, "No ledger entry") {
+		t.Error("missing metrics-only notice")
+	}
+	if !strings.Contains(html, "jobgraph run report") {
+		t.Error("missing generic title")
+	}
+	if strings.Contains(html, "Warnings") {
+		t.Error("warnings section rendered with no entry")
+	}
+}
+
+func TestRunHTMLEscapesUntrustedStrings(t *testing.T) {
+	entry := reportEntry()
+	entry.Command = `characterize <script>alert(1)</script>`
+	entry.Warnings = []string{`bad "row" & <tag>`}
+	html := renderedReport(t, entry)
+	if strings.Contains(html, "<script>") {
+		t.Error("command not HTML-escaped")
+	}
+	if strings.Contains(html, "<tag>") {
+		t.Error("warning not HTML-escaped")
+	}
+}

@@ -123,6 +123,81 @@ func TestP2QuantileSmallStreamsExact(t *testing.T) {
 	}
 }
 
+func TestP2QuantileBelowFiveIsExactOrderStatistic(t *testing.T) {
+	// With fewer than five observations P² has no markers yet; Value
+	// must fall back to the exact type-7 order statistic for every p,
+	// not just the median.
+	vals := []float64{42, -3, 17, 8}
+	for n := 1; n <= len(vals); n++ {
+		for _, p := range []float64{0.01, 0.25, 0.5, 0.9, 0.99} {
+			e, err := NewP2Quantile(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, x := range vals[:n] {
+				e.Add(x)
+			}
+			if e.N() != n {
+				t.Fatalf("N = %d, want %d", e.N(), n)
+			}
+			want, _ := Quantile(vals[:n], p)
+			if !almostEqual(e.Value(), want, 1e-12) {
+				t.Errorf("n=%d p=%g: got %g want %g", n, p, e.Value(), want)
+			}
+		}
+	}
+}
+
+func TestP2QuantileBelowFiveOrderInvariant(t *testing.T) {
+	// The exact fallback sorts internally, so insertion order must not
+	// matter below the marker threshold.
+	perms := [][]float64{
+		{1, 2, 3, 4},
+		{4, 3, 2, 1},
+		{2, 4, 1, 3},
+	}
+	var want float64
+	for i, xs := range perms {
+		e, err := NewP2Quantile(0.9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, x := range xs {
+			e.Add(x)
+		}
+		if i == 0 {
+			want = e.Value()
+			continue
+		}
+		if e.Value() != want {
+			t.Errorf("perm %v: got %g want %g", xs, e.Value(), want)
+		}
+	}
+}
+
+func TestP2QuantileFifthObservationSeedsMarkers(t *testing.T) {
+	// At exactly five observations the markers are the five sorted
+	// values and the median marker is the exact sample median.
+	e, err := NewP2Quantile(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{50, 10, 40, 20, 30} {
+		e.Add(x)
+	}
+	if e.Value() != 30 {
+		t.Fatalf("median of 5 = %g, want 30", e.Value())
+	}
+	// Duplicate-heavy and single-value streams stay finite and exact.
+	d, _ := NewP2Quantile(0.9)
+	for i := 0; i < 4; i++ {
+		d.Add(7)
+	}
+	if d.Value() != 7 {
+		t.Fatalf("constant stream quantile = %g, want 7", d.Value())
+	}
+}
+
 func TestP2QuantileTracksSortedBatch(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	for _, p := range []float64{0.5, 0.9, 0.99} {

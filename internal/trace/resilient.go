@@ -238,19 +238,23 @@ type rowSink struct {
 	stats         ReadStats
 	rowsOK        *obs.Counter
 	rowsBad       *obs.Counter
+	rowRate       *obs.RateCounter
 	classCounters map[ErrClass]*obs.Counter
 	logged        int
 }
 
 func newRowSink(table string, opt ReadOptions, rowsOK, rowsBad *obs.Counter) *rowSink {
 	return &rowSink{
-		table:         table,
-		opt:           opt,
-		lenient:       opt.Mode == Lenient,
-		lg:            obs.Default().Logger(),
-		stats:         ReadStats{ByClass: make(map[ErrClass]int64)},
-		rowsOK:        rowsOK,
-		rowsBad:       rowsBad,
+		table:   table,
+		opt:     opt,
+		lenient: opt.Mode == Lenient,
+		lg:      obs.Default().Logger(),
+		stats:   ReadStats{ByClass: make(map[ErrClass]int64)},
+		rowsOK:  rowsOK,
+		rowsBad: rowsBad,
+		// Windowed rows/s per table: the "is ingest still moving, and how
+		// fast right now" signal on /metrics during a multi-minute load.
+		rowRate:       obs.Default().RateCounter("trace."+table+".rows", obs.DefaultWindow),
 		classCounters: make(map[ErrClass]*obs.Counter),
 	}
 }
@@ -268,6 +272,7 @@ func (s *rowSink) zeroed(n int) {
 func (s *rowSink) accept(fn func() error) error {
 	s.stats.Rows++
 	s.rowsOK.Add(1)
+	s.rowRate.Add(1)
 	return fn()
 }
 
