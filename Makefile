@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race bench fuzz reproduce metrics trace ledger baseline benchdiff cache-demo report staticcheck govulncheck fmt vet clean
+.PHONY: all build test test-short race bench fuzz reproduce metrics trace ledger baseline benchdiff cache-demo report flight-demo staticcheck govulncheck fmt vet clean
 
 all: build test
 
@@ -34,6 +34,7 @@ reproduce:
 metrics:
 	$(GO) run ./cmd/reproduce -gen 2000 -seed 1 -out /tmp/jobgraph-metrics/ >/dev/null
 	cp /tmp/jobgraph-metrics/metrics.json results/metrics.json
+	$(GO) run ./cmd/promlint -metrics results/metrics.json
 	cat results/metrics.json
 
 # Perfetto timeline for a small run: open results/trace.json at
@@ -88,6 +89,25 @@ cache-demo:
 	$(GO) run ./cmd/clusterjobs -gen 6000 -seed 1 -groups 4 -no-cache > /tmp/jobgraph-cache-demo/ref.txt
 	diff /tmp/jobgraph-cache-demo/warm.txt /tmp/jobgraph-cache-demo/ref.txt
 	@echo "warm output identical to the uncached run"
+
+# Stall-watchdog demonstration: generate a small trace, then lint it
+# through a fault-injected reader that stalls forever after 64 KiB. The
+# ingest heartbeat goes silent, the 2s watchdog trips, captures
+# goroutine/heap profiles plus a flight dump, and -watchdog-exit ends
+# the wedged run with status 7. flightcheck then renders the dump.
+# (tracecheck runs as a built binary: `go run` collapses the program's
+# exit code to 1, and the demo asserts on the watchdog's status 7.)
+flight-demo:
+	rm -rf /tmp/jobgraph-flight-demo
+	mkdir -p /tmp/jobgraph-flight-demo
+	$(GO) build -o /tmp/jobgraph-flight-demo/tracecheck ./cmd/tracecheck
+	$(GO) run ./cmd/tracegen -jobs 20000 -seed 1 -out /tmp/jobgraph-flight-demo/batch_task.csv
+	/tmp/jobgraph-flight-demo/tracecheck -trace /tmp/jobgraph-flight-demo/batch_task.csv \
+		-fi-stall-bytes 65536 -watchdog 2s -watchdog-exit \
+		-flight-dir /tmp/jobgraph-flight-demo; \
+	status=$$?; if [ $$status -ne 7 ]; then \
+		echo "expected exit status 7 (watchdog trip), got $$status"; exit 1; fi
+	$(GO) run ./cmd/flightcheck /tmp/jobgraph-flight-demo/*.flight.json
 
 # Static analysis as run in CI. Tools are installed on demand into
 # GOPATH/bin; they are not module dependencies.

@@ -16,6 +16,7 @@ import (
 	"jobgraph/internal/features"
 	"jobgraph/internal/ged"
 	"jobgraph/internal/obs"
+	"jobgraph/internal/obs/flight"
 	"jobgraph/internal/pattern"
 	"jobgraph/internal/sampling"
 	"jobgraph/internal/sched"
@@ -465,6 +466,17 @@ func BenchmarkInstrumentedWL(b *testing.B) {
 	}
 	b.Run("enabled", func(b *testing.B) {
 		reg.SetEnabled(true)
+		kernel(b)
+	})
+	// The flight recorder observes every span begin/end into its
+	// bounded ring — the production default once a session starts. Its
+	// tax rides on the same <2% budget as the base instrumentation.
+	b.Run("flight", func(b *testing.B) {
+		reg.SetEnabled(true)
+		rec := flight.NewRecorder(reg, flight.DefaultCapacity)
+		rec.SetRunInfo("bench", "bench")
+		reg.SetObserver(rec)
+		defer reg.SetObserver(nil)
 		kernel(b)
 	})
 	b.Run("disabled", func(b *testing.B) {

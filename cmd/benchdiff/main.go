@@ -208,6 +208,14 @@ func load(cfg config, w io.Writer) (base, cur obs.Snapshot, err error) {
 		if be.Host.Hostname != ce.Host.Hostname || be.Host.NumCPU != ce.Host.NumCPU {
 			fmt.Fprintf(w, "note: hosts differ — wall times are not directly comparable\n")
 		}
+		// A run whose stall watchdog tripped spent part of its wall time
+		// wedged; its timings measure the stall, not the code.
+		if be.FlightDump != "" {
+			fmt.Fprintf(w, "note: baseline run tripped the stall watchdog (flight dump %s) — its timings describe a stalled run\n", be.FlightDump)
+		}
+		if ce.FlightDump != "" {
+			fmt.Fprintf(w, "note: current run tripped the stall watchdog (flight dump %s) — its timings describe a stalled run\n", ce.FlightDump)
+		}
 		return be.Metrics, ce.Metrics, nil
 	case cfg.basePath != "" && cfg.curPath != "":
 		if base, err = readSnapshot(cfg.basePath); err != nil {

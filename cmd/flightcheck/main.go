@@ -1,0 +1,95 @@
+// Command flightcheck validates and summarizes a flight-recorder dump
+// (<run_id>.flight.json, written on panic, SIGQUIT or a stall-watchdog
+// trip). It re-parses the dump through the same schema validation the
+// recorder's tests use and prints a human-oriented triage summary: why
+// the dump was taken, what was running, which heartbeats were silent,
+// and the tail of the event ring leading up to the capture.
+//
+// Usage:
+//
+//	flightcheck /tmp/1a2b3c4d.flight.json
+//	flightcheck -tail 40 dump.flight.json
+//
+// Exits non-zero when the dump is missing, malformed, or fails schema
+// validation — so CI can assert "the watchdog produced a valid dump"
+// with a single command.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"jobgraph/internal/cli"
+	"jobgraph/internal/obs/flight"
+)
+
+func main() { cli.Run(run) }
+
+func run() error {
+	tail := flag.Int("tail", 20, "event-ring entries to print from the end")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		return fmt.Errorf("flightcheck: give exactly one <run_id>.flight.json path")
+	}
+	return execute(flag.Arg(0), *tail, os.Stdout)
+}
+
+func execute(path string, tail int, w io.Writer) error {
+	d, err := flight.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("flightcheck: %v", err)
+	}
+	summarize(w, d, tail)
+	return nil
+}
+
+// summarize prints the triage view of a validated dump.
+func summarize(w io.Writer, d flight.Dump, tail int) {
+	fmt.Fprintf(w, "flight dump: run %s (%s)\n", d.RunID, d.Command)
+	fmt.Fprintf(w, "reason:      %s", d.Reason)
+	if d.Detail != "" {
+		fmt.Fprintf(w, " — %s", d.Detail)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "captured:    %s\n", d.CapturedAt.Format("2006-01-02 15:04:05.000 MST"))
+	fmt.Fprintf(w, "events:      %d retained, %d dropped by the ring\n", len(d.Events), d.EventsDropped)
+
+	if len(d.Stages) > 0 {
+		fmt.Fprintf(w, "\nstages at capture:\n")
+		for _, st := range d.Stages {
+			fmt.Fprintf(w, "  %-24s %s\n", st.Name, st.State)
+		}
+	}
+	if len(d.Heartbeats) > 0 {
+		fmt.Fprintf(w, "\nheartbeats at capture:\n")
+		for _, hb := range d.Heartbeats {
+			state := "done"
+			if hb.Active {
+				state = fmt.Sprintf("ACTIVE, silent %.0fms", hb.AgeMs)
+			}
+			fmt.Fprintf(w, "  %-28s %s (%d beats)\n", hb.Name, state, hb.Beats)
+		}
+	}
+	if tail > 0 && len(d.Events) > 0 {
+		evs := d.Events
+		if len(evs) > tail {
+			evs = evs[len(evs)-tail:]
+		}
+		fmt.Fprintf(w, "\nlast %d events:\n", len(evs))
+		for _, ev := range evs {
+			fmt.Fprintf(w, "  #%-6d %-10s %s", ev.Seq, ev.Kind, ev.Name)
+			if ev.DurMs > 0 {
+				fmt.Fprintf(w, " (%.2fms)", ev.DurMs)
+			}
+			if ev.Detail != "" {
+				fmt.Fprintf(w, " — %s", ev.Detail)
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	if d.Stack != "" {
+		fmt.Fprintf(w, "\ncrash stack captured (%d bytes) — view with: jq -r .stack %s\n", len(d.Stack), "<dump>")
+	}
+}

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"jobgraph/internal/obs"
+	"jobgraph/internal/obs/flight"
+)
+
+func TestFlightcheckSummarizesValidDump(t *testing.T) {
+	reg := obs.Default()
+	reg.Reset()
+	defer reg.Reset()
+	defer reg.SetObserver(nil)
+
+	rec := flight.NewRecorder(reg, 64)
+	rec.SetRunInfo("deadbeef", "tracecheck")
+	reg.SetObserver(rec)
+	reg.StartSpan("pipeline").End()
+	hb := reg.Heartbeat("trace.ingest.batch_task")
+	hb.Beat()
+	rec.Note("watchdog", "heartbeat-stall: trace.ingest.batch_task")
+
+	dir := t.TempDir()
+	path, err := rec.DumpTo(dir, "watchdog", "heartbeat-stall", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf strings.Builder
+	if err := execute(path, 20, &buf); err != nil {
+		t.Fatalf("flightcheck rejected a valid dump: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"run deadbeef", "tracecheck", "reason:      watchdog",
+		"trace.ingest.batch_task", "ACTIVE", "pipeline",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestFlightcheckRejectsBadInputs(t *testing.T) {
+	dir := t.TempDir()
+	if err := execute(filepath.Join(dir, "absent.flight.json"), 20, &strings.Builder{}); err == nil {
+		t.Error("missing file accepted")
+	}
+	bad := filepath.Join(dir, "bad.flight.json")
+	if err := os.WriteFile(bad, []byte(`{"schema":"wrong/v9","reason":"panic"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := execute(bad, 20, &strings.Builder{}); err == nil {
+		t.Error("wrong-schema dump accepted")
+	}
+	garbage := filepath.Join(dir, "garbage.flight.json")
+	if err := os.WriteFile(garbage, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := execute(garbage, 20, &strings.Builder{}); err == nil {
+		t.Error("non-JSON dump accepted")
+	}
+}

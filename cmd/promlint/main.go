@@ -8,26 +8,63 @@
 //
 //	promlint metrics.txt [more.txt ...]
 //	curl -s localhost:6060/metrics | promlint
+//	promlint -metrics out/metrics.json
+//
+// With -metrics, the input is a metrics.json snapshot instead of
+// exposition text: the snapshot is rendered through the exposition
+// writer and the result linted, proving every metric name a run
+// produced survives the Prometheus round trip.
 //
 // Exits non-zero when any input has problems; each problem is printed
 // as file:line: message.
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 
 	"jobgraph/internal/cli"
+	"jobgraph/internal/obs"
 	"jobgraph/internal/obs/promexport"
 )
 
 func main() { cli.Run(run) }
 
 func run() error {
+	metricsPath := flag.String("metrics", "", "lint the exposition rendered from this metrics.json snapshot instead of raw text inputs")
 	flag.Parse()
+	if *metricsPath != "" {
+		return lintSnapshot(*metricsPath, os.Stdout)
+	}
 	return execute(flag.Args(), os.Stdin, os.Stdout)
+}
+
+// lintSnapshot renders a metrics.json snapshot through the exposition
+// writer and lints the result — the offline twin of scraping /metrics.
+func lintSnapshot(path string, w io.Writer) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("promlint: %v", err)
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return fmt.Errorf("promlint: parse %s: %v", path, err)
+	}
+	if snap.Schema != obs.SnapshotSchema {
+		return fmt.Errorf("promlint: %s: schema %q, want %q", path, snap.Schema, obs.SnapshotSchema)
+	}
+	var buf bytes.Buffer
+	if err := promexport.Write(&buf, snap); err != nil {
+		return fmt.Errorf("promlint: render %s: %v", path, err)
+	}
+	if bad := lint(path, &buf, w); bad > 0 {
+		return fmt.Errorf("promlint: %d problem(s) found", bad)
+	}
+	return nil
 }
 
 // execute lints each named file, or stdin when no files are given, and

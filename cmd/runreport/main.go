@@ -1,6 +1,10 @@
 // Command runreport renders one run's telemetry — a metrics.json
 // snapshot or a ledger entry — into a self-contained HTML document
 // (inline CSS and SVG, no external assets) suitable for CI artifacts.
+// The report includes the stage tree, engine cache traffic, metric
+// tables, the slow-job exemplar table (top-k slowest dag.jobs entries
+// with duration bars), and a stall-watchdog banner when the run's
+// ledger entry carries a flight-dump path.
 //
 // Usage:
 //

@@ -11,6 +11,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime/debug"
+	"sync/atomic"
 	"time"
 
 	"jobgraph/internal/obs"
@@ -18,6 +20,24 @@ import (
 	"jobgraph/internal/trace"
 	"jobgraph/internal/tracegen"
 )
+
+// crashDumpFn flushes the flight recorder on an escaping panic:
+// (reason, detail, stack). Installed by RunSession.Start, cleared by
+// Close; an atomic pointer because the panic may race a concurrent
+// Close.
+type crashDumpFn func(reason, detail string, stack []byte)
+
+var crashDump atomic.Pointer[crashDumpFn]
+
+// installCrashDump registers fn as the panic-time flight-dump hook
+// (nil uninstalls).
+func installCrashDump(fn crashDumpFn) {
+	if fn == nil {
+		crashDump.Store(nil)
+		return
+	}
+	crashDump.Store(&fn)
+}
 
 // exitError carries a fatal condition through a panic so that Run can
 // unwind main's defers (snapshot writers, file closes) before exiting.
@@ -58,6 +78,13 @@ func protect(fn func() error) (err error) {
 			if ee, ok := r.(*exitError); ok {
 				err = ee
 				return
+			}
+			// A real panic: flush the flight recorder before re-raising
+			// so the crash leaves a <run_id>.flight.json next to Go's
+			// own stack dump. The hook must not itself panic the crash
+			// path away, so it is best-effort by construction.
+			if h := crashDump.Load(); h != nil {
+				(*h)("panic", fmt.Sprint(r), debug.Stack())
 			}
 			panic(r)
 		}

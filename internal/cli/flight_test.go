@@ -1,0 +1,181 @@
+package cli
+
+import (
+	"errors"
+	"flag"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"jobgraph/internal/core"
+	"jobgraph/internal/ledger"
+	"jobgraph/internal/obs"
+	"jobgraph/internal/obs/flight"
+)
+
+// TestPanicWritesFlightDump is the acceptance path for crash capture: a
+// panic escaping the command body through protect must leave a parseable
+// <run_id>.flight.json carrying the panic value, the stack, and the
+// events recorded before the crash — and the panic itself must still
+// propagate.
+func TestPanicWritesFlightDump(t *testing.T) {
+	reg := obs.Default()
+	reg.Reset()
+	defer reg.Reset()
+	defer reg.SetObserver(nil)
+
+	dir := t.TempDir()
+	fs := flag.NewFlagSet("panictest", flag.ContinueOnError)
+	o := RegisterObsFlagsOn(fs)
+	if err := fs.Parse([]string{"-flight-dir", dir}); err != nil {
+		t.Fatal(err)
+	}
+	s, err := o.Start("panictest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("panic did not propagate through protect")
+		}
+		d, err := flight.ReadFile(flight.DumpPath(dir, s.Info.RunID))
+		if err != nil {
+			t.Fatalf("flight dump does not round-trip: %v", err)
+		}
+		if d.Reason != "panic" || d.RunID != s.Info.RunID || d.Command != "panictest" {
+			t.Fatalf("dump identity wrong: %+v", d)
+		}
+		if !strings.Contains(d.Detail, "kaboom") {
+			t.Fatalf("dump detail %q does not carry the panic value", d.Detail)
+		}
+		if !strings.Contains(d.Stack, "protect") {
+			t.Fatal("dump stack does not show the crash site")
+		}
+		found := false
+		for _, ev := range d.Events {
+			if ev.Kind == flight.KindSpanEnd && strings.Contains(ev.Name, "doomed") {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatal("dump ring does not hold the span recorded before the crash")
+		}
+	}()
+	_ = protect(func() error {
+		reg.StartSpan("doomed").End()
+		panic("kaboom")
+	})
+}
+
+// TestSessionWatchdogTrip drives the session-level stall path: a
+// heartbeat that goes silent under -watchdog trips the poller, which
+// records the warning and dump path on the session, arms cooperative
+// cancellation (-watchdog-cancel via Configure), and lands the dump
+// path in the run's ledger entry on Close.
+func TestSessionWatchdogTrip(t *testing.T) {
+	reg := obs.Default()
+	reg.Reset()
+	defer reg.Reset()
+	defer reg.SetObserver(nil)
+
+	dir := t.TempDir()
+	ledgerPath := filepath.Join(dir, "runs.jsonl")
+	fs := flag.NewFlagSet("wdtest", flag.ContinueOnError)
+	pf := RegisterPipelineFlagsOn(fs, "wdtest", true)
+	if err := fs.Parse([]string{
+		"-flight-dir", dir, "-watchdog", "50ms", "-watchdog-cancel", "-ledger", ledgerPath,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	s, err := pf.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	hb := reg.Heartbeat("test.stall")
+	hb.Beat() // arm, then go silent
+
+	deadline := time.Now().Add(5 * time.Second)
+	for s.FlightDump() == "" && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	dump := s.FlightDump()
+	if dump == "" {
+		t.Fatal("watchdog did not trip on the silent heartbeat")
+	}
+	if _, err := flight.ReadFile(dump); err != nil {
+		t.Fatalf("trip dump does not round-trip: %v", err)
+	}
+	if err := s.CancelErr(); !errors.Is(err, flight.ErrStalled) {
+		t.Fatalf("CancelErr = %v, want ErrStalled", err)
+	}
+
+	// Configure must chain the trip into the cooperative hooks, and
+	// preserve a pre-existing hook when the watchdog is quiet.
+	var cfg core.Config
+	pf.Configure(&cfg)
+	if err := cfg.OnJob(1, 10); !errors.Is(err, flight.ErrStalled) {
+		t.Fatalf("OnJob after trip = %v, want ErrStalled", err)
+	}
+	if err := cfg.OnRow(1, 10); !errors.Is(err, flight.ErrStalled) {
+		t.Fatalf("OnRow after trip = %v, want ErrStalled", err)
+	}
+
+	hb.Done()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := ledger.Read(ledgerPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("ledger entries = %d, want 1", len(entries))
+	}
+	e := entries[0]
+	if e.FlightDump != dump {
+		t.Fatalf("ledger flight_dump = %q, want %q", e.FlightDump, dump)
+	}
+	warned := false
+	for _, w := range e.Warnings {
+		if strings.Contains(w, "watchdog tripped") {
+			warned = true
+		}
+	}
+	if !warned {
+		t.Fatalf("ledger warnings missing the trip: %v", e.Warnings)
+	}
+}
+
+// TestCancelErrQuietWatchdog proves the cancellation probe stays nil
+// while the watchdog has not tripped, and that Configure leaves the
+// hooks alone entirely when no watchdog (or no -watchdog-cancel) is
+// configured.
+func TestCancelErrQuietWatchdog(t *testing.T) {
+	reg := obs.Default()
+	reg.Reset()
+	defer reg.Reset()
+	defer reg.SetObserver(nil)
+
+	fs := flag.NewFlagSet("quiet", flag.ContinueOnError)
+	pf := RegisterPipelineFlagsOn(fs, "quiet", true)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	s, err := pf.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.CancelErr(); err != nil {
+		t.Fatalf("CancelErr with no watchdog = %v", err)
+	}
+	var cfg core.Config
+	pf.Configure(&cfg)
+	if cfg.OnJob != nil || cfg.OnRow != nil {
+		t.Fatal("Configure installed hooks without -watchdog-cancel")
+	}
+}

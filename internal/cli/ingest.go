@@ -3,9 +3,11 @@ package cli
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
+	"jobgraph/internal/faultinject"
 	"jobgraph/internal/obs"
 	"jobgraph/internal/stages"
 	"jobgraph/internal/trace"
@@ -26,6 +28,11 @@ type IngestFlags struct {
 	MaxBadRows  int64
 	MaxBadRatio float64
 	Quarantine  string
+	// StallBytes (-fi-stall-bytes) is a fault injector: deliver this
+	// many bytes of the trace, then block the reader forever. Exists to
+	// exercise the stall watchdog end to end (make flight-demo, CI);
+	// never set it on a real run.
+	StallBytes int64
 
 	qfile *os.File
 }
@@ -42,6 +49,7 @@ func RegisterIngestFlagsOn(fs *flag.FlagSet) *IngestFlags {
 	fs.Int64Var(&f.MaxBadRows, "max-bad-rows", 0, "abort a lenient read after this many bad rows (0: unlimited)")
 	fs.Float64Var(&f.MaxBadRatio, "max-bad-ratio", 0, "abort a lenient read when bad/total exceeds this ratio (0: unlimited)")
 	fs.StringVar(&f.Quarantine, "quarantine", "", "write skipped rows verbatim (with line/offset provenance) to this sidecar file")
+	fs.Int64Var(&f.StallBytes, "fi-stall-bytes", 0, "FAULT INJECTION: stall the trace reader forever after this many bytes (0: off) — pairs with -watchdog to demo stall detection")
 	return f
 }
 
@@ -66,6 +74,10 @@ func (f *IngestFlags) Options() (trace.ReadOptions, error) {
 		}
 		f.qfile = qf
 		opt.Quarantine = qf
+	}
+	if f.StallBytes > 0 {
+		n := f.StallBytes
+		opt.WrapReader = func(r io.Reader) io.Reader { return faultinject.StallAt(r, n) }
 	}
 	return opt, nil
 }

@@ -34,7 +34,12 @@ type PipelineFlags struct {
 	CacheDir string
 	NoCache  bool
 
+	// SlowJobs sizes the slow-job exemplar list (-slow-jobs); only
+	// registered for analysis commands (cache=true).
+	SlowJobs int
+
 	command string
+	sess    *RunSession
 }
 
 // RegisterPipelineFlags registers the shared pipeline flags on the
@@ -58,13 +63,19 @@ func RegisterPipelineFlagsOn(fs *flag.FlagSet, command string, cache bool) *Pipe
 			"persist stage artifacts to this content-addressed cache directory and reuse them on matching re-runs")
 		fs.BoolVar(&p.NoCache, "no-cache", false,
 			"run fully uncached even when -cache-dir is set (cold-run baselines)")
+		fs.IntVar(&p.SlowJobs, "slow-jobs", 0,
+			"slow-job exemplars to keep from DAG construction (0: default 8, negative: off)")
 	}
 	return p
 }
 
 // Start opens the observability session. Call after flag.Parse; defer
 // Close on the returned session.
-func (p *PipelineFlags) Start() (*RunSession, error) { return p.Obs.Start(p.command) }
+func (p *PipelineFlags) Start() (*RunSession, error) {
+	s, err := p.Obs.Start(p.command)
+	p.sess = s
+	return s, err
+}
 
 // ReadOptions builds the trace reader configuration the flags describe:
 // ingest budgets and quarantine plus the shared worker bound. The
@@ -92,7 +103,30 @@ func (p *PipelineFlags) EffectiveCacheDir() string {
 }
 
 // Configure applies the shared pipeline knobs to a core configuration.
+// With -watchdog-cancel, the session's watchdog state is chained into
+// the cooperative progress hooks: a tripped watchdog aborts the
+// pipeline at the next per-job/per-row callback instead of letting the
+// wedged stage run on.
 func (p *PipelineFlags) Configure(cfg *core.Config) {
 	cfg.Workers = *p.Workers
 	cfg.CacheDir = p.EffectiveCacheDir()
+	cfg.SlowJobK = p.SlowJobs
+	if p.sess != nil && p.sess.watchdog != nil && p.sess.flags.WatchdogCancel {
+		cfg.OnJob = chainCancel(cfg.OnJob, p.sess.CancelErr)
+		cfg.OnRow = chainCancel(cfg.OnRow, p.sess.CancelErr)
+	}
+}
+
+// chainCancel wraps a progress hook so check's error (the watchdog
+// trip) cancels the run even when no hook was installed.
+func chainCancel(prev func(done, total int) error, check func() error) func(done, total int) error {
+	return func(done, total int) error {
+		if err := check(); err != nil {
+			return err
+		}
+		if prev != nil {
+			return prev(done, total)
+		}
+		return nil
+	}
 }

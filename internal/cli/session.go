@@ -13,10 +13,12 @@ import (
 	"runtime"
 	"runtime/debug"
 	"runtime/pprof"
+	"sync"
 	"time"
 
 	"jobgraph/internal/ledger"
 	"jobgraph/internal/obs"
+	"jobgraph/internal/obs/flight"
 	"jobgraph/internal/obs/promexport"
 	"jobgraph/internal/obs/traceexport"
 )
@@ -29,6 +31,10 @@ import (
 //	-trace-out    Perfetto/chrome://tracing timeline JSON on exit
 //	-ledger       append the run's metrics snapshot to a JSONL ledger
 //	-profile-dir  capture CPU + heap profiles named by run id
+//	-flight-dir   where crash/stall flight dumps land (default: temp dir)
+//	-watchdog     stall watchdog budget for stages and heartbeats
+//	-watchdog-cancel  cancel the run cooperatively when the watchdog trips
+//	-watchdog-exit    exit 7 when the watchdog trips (for wedged runs)
 //
 // Register the flags before flag.Parse, Start the session after.
 type ObsFlags struct {
@@ -38,6 +44,11 @@ type ObsFlags struct {
 	TraceOut   string
 	Ledger     string
 	ProfileDir string
+
+	FlightDir      string
+	Watchdog       time.Duration
+	WatchdogCancel bool
+	WatchdogExit   bool
 
 	fs *flag.FlagSet
 }
@@ -56,6 +67,10 @@ func RegisterObsFlagsOn(fs *flag.FlagSet) *ObsFlags {
 	fs.StringVar(&o.TraceOut, "trace-out", "", "write a Perfetto-compatible trace JSON to this path on exit")
 	fs.StringVar(&o.Ledger, "ledger", "", "append this run's metrics snapshot to this JSONL run ledger")
 	fs.StringVar(&o.ProfileDir, "profile-dir", "", "write <run_id>.cpu.pprof and <run_id>.heap.pprof into this directory")
+	fs.StringVar(&o.FlightDir, "flight-dir", "", "write <run_id>.flight.json crash/stall dumps into this directory (default: the system temp dir)")
+	fs.DurationVar(&o.Watchdog, "watchdog", 0, "trip the stall watchdog when a stage or worker pool is silent this long (0: disabled)")
+	fs.BoolVar(&o.WatchdogCancel, "watchdog-cancel", false, "on a watchdog trip, also cancel the run cooperatively at the next progress callback")
+	fs.BoolVar(&o.WatchdogExit, "watchdog-exit", false, "on a watchdog trip, exit with status 7 after capturing the flight dump (for runs wedged beyond cooperative cancellation)")
 	return o
 }
 
@@ -88,18 +103,77 @@ type RunSession struct {
 	sampler    *obs.RuntimeSampler
 	cpuProfile *os.File
 	closed     bool
+
+	recorder *flight.Recorder
+	watchdog *flight.Watchdog
+	sigStop  func()
+
+	// mu guards warnings and flightDump: the watchdog trips from its
+	// own goroutine while the command body may be adding warnings.
+	mu         sync.Mutex
 	warnings   []string
+	flightDump string
 }
 
 // AddWarning records a non-fatal degradation on the session: it is
 // logged immediately at Warn level and lands in the run's ledger entry
-// on Close. Call before Close.
+// on Close. Call before Close. Safe from any goroutine (the stall
+// watchdog warns from its polling goroutine).
 func (s *RunSession) AddWarning(w string) {
 	if s == nil || w == "" {
 		return
 	}
+	s.mu.Lock()
 	s.warnings = append(s.warnings, w)
+	s.mu.Unlock()
 	s.Logger.Warn("run degraded", "warning", w)
+}
+
+// FlightDump returns the path of the flight dump captured by a
+// watchdog trip this run, or "" when none was written.
+func (s *RunSession) FlightDump() string {
+	if s == nil {
+		return ""
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.flightDump
+}
+
+// CancelErr reports why the run should stop: non-nil (wrapping
+// flight.ErrStalled) once the watchdog has tripped and -watchdog-cancel
+// was set. Wired into the pipeline's cooperative progress hooks by
+// PipelineFlags.Configure.
+func (s *RunSession) CancelErr() error {
+	if s == nil || s.watchdog == nil || !s.flags.WatchdogCancel {
+		return nil
+	}
+	return s.watchdog.Err()
+}
+
+// flightDir resolves where crash and stall artifacts land.
+func (s *RunSession) flightDir() string {
+	if s.flags.FlightDir != "" {
+		return s.flags.FlightDir
+	}
+	return os.TempDir()
+}
+
+// dumpFlight captures counter deltas and writes the flight dump,
+// returning its path ("" on failure — crash paths must not fail on
+// telemetry).
+func (s *RunSession) dumpFlight(reason, detail string, stack []byte) string {
+	if s == nil || s.recorder == nil {
+		return ""
+	}
+	s.recorder.CaptureMetrics()
+	path, err := s.recorder.DumpTo(s.flightDir(), reason, detail, string(stack))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "flight dump failed: %v\n", err)
+		return ""
+	}
+	fmt.Fprintf(os.Stderr, "flight dump written to %s\n", path)
+	return path
 }
 
 // DefaultEventCapacity bounds the span event ring enabled by
@@ -123,21 +197,64 @@ func (o *ObsFlags) Start(command string) (*RunSession, error) {
 	if o.Verbose {
 		level = slog.LevelInfo
 	}
+	reg := obs.Default()
+	// The flight recorder rides along on every run: a bounded in-memory
+	// ring of recent spans, stage transitions and log records that a
+	// panic, SIGQUIT or watchdog trip dumps as <run_id>.flight.json.
+	rec := flight.NewRecorder(reg, flight.DefaultCapacity)
+	rec.SetRunInfo(info.RunID, command)
+	reg.SetObserver(rec)
+
 	var h slog.Handler
 	if o.LogJSON {
 		h = slog.NewJSONHandler(os.Stderr, &slog.HandlerOptions{Level: level})
 	} else {
 		h = slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level})
 	}
+	// Tee log records into the ring regardless of the stderr level, so
+	// a crash dump carries the Info-level narrative even on quiet runs.
+	h = rec.TeeHandler(h)
 	lg := slog.New(h).With("cmd", command, "run_id", info.RunID, "config_hash", info.ConfigHash)
-	reg := obs.Default()
 	reg.SetLogger(lg)
 
 	if o.TraceOut != "" {
 		reg.SetEventCapacity(DefaultEventCapacity)
 	}
 
-	s := &RunSession{Info: info, Logger: lg, flags: o}
+	s := &RunSession{Info: info, Logger: lg, flags: o, recorder: rec}
+
+	// Crash capture: a panic escaping the command body (via cli.Run's
+	// protect) and a SIGQUIT both flush the ring before the process
+	// dies; SIGQUIT then re-raises so Go's default stack dump still
+	// prints.
+	installCrashDump(func(reason, detail string, stack []byte) {
+		s.dumpFlight(reason, detail, stack)
+	})
+	s.sigStop = notifySIGQUIT(func() {
+		s.dumpFlight("sigquit", "SIGQUIT received", nil)
+	})
+
+	if o.Watchdog > 0 {
+		s.watchdog = flight.NewWatchdog(flight.Config{
+			Registry:         reg,
+			Recorder:         rec,
+			StageBudget:      o.Watchdog,
+			HeartbeatTimeout: o.Watchdog,
+			FlightDir:        s.flightDir(),
+			RunID:            info.RunID,
+			OnTrip: func(ti flight.TripInfo) {
+				s.mu.Lock()
+				s.flightDump = ti.DumpPath
+				s.mu.Unlock()
+				s.AddWarning(fmt.Sprintf("watchdog tripped: %s", ti))
+				if o.WatchdogExit {
+					fmt.Fprintf(os.Stderr, "watchdog: %s; flight dump at %s\n", ti, ti.DumpPath)
+					os.Exit(7)
+				}
+			},
+		})
+		s.watchdog.Start()
+	}
 	if o.DebugAddr != "" {
 		ds, err := reg.ServeDebug(o.DebugAddr, obs.Endpoint{
 			Pattern: "/metrics",
@@ -231,6 +348,18 @@ func (s *RunSession) Close() error {
 	s.closed = true
 	reg := obs.Default()
 	var errs []error
+	// Crash capture stands down first: after Close the ring stops
+	// filling and a later panic belongs to whatever runs next.
+	if s.watchdog != nil {
+		s.watchdog.Stop()
+	}
+	if s.sigStop != nil {
+		s.sigStop()
+	}
+	installCrashDump(nil)
+	if s.recorder != nil {
+		reg.SetObserver(nil)
+	}
 	// Profiles and the final runtime sample land before the snapshot
 	// consumers below, so the ledger entry sees up-to-date gauges.
 	if err := s.stopProfiles(); err != nil {
@@ -259,6 +388,10 @@ func (s *RunSession) Close() error {
 		}
 	}
 	if s.flags.Ledger != "" {
+		s.mu.Lock()
+		warnings := append([]string(nil), s.warnings...)
+		dump := s.flightDump
+		s.mu.Unlock()
 		e := ledger.Entry{
 			Schema:     ledger.Schema,
 			RunID:      s.Info.RunID,
@@ -269,7 +402,8 @@ func (s *RunSession) Close() error {
 			ConfigHash: s.Info.ConfigHash,
 			Host:       s.Info.Host,
 			Metrics:    reg.Snapshot(),
-			Warnings:   s.warnings,
+			Warnings:   warnings,
+			FlightDump: dump,
 		}
 		if err := ledger.Append(s.flags.Ledger, e); err != nil {
 			errs = append(errs, err)

@@ -1,0 +1,7 @@
+//go:build !unix
+
+package cli
+
+// notifySIGQUIT is a no-op where SIGQUIT does not exist; panic and
+// watchdog capture still work.
+func notifySIGQUIT(func()) (stop func()) { return func() {} }

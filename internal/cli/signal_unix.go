@@ -1,0 +1,33 @@
+//go:build unix
+
+package cli
+
+import (
+	"os"
+	"os/signal"
+	"syscall"
+)
+
+// notifySIGQUIT arranges for dump to run when the process receives
+// SIGQUIT, then re-raises the signal with the default handler restored
+// — so the operator's ^\ still gets Go's full goroutine stack dump,
+// now preceded by a flight dump on disk. The returned stop function
+// uninstalls the handler (Close on the healthy path).
+func notifySIGQUIT(dump func()) (stop func()) {
+	ch := make(chan os.Signal, 1)
+	done := make(chan struct{})
+	signal.Notify(ch, syscall.SIGQUIT)
+	go func() {
+		select {
+		case <-ch:
+			dump()
+			signal.Reset(syscall.SIGQUIT)
+			_ = syscall.Kill(syscall.Getpid(), syscall.SIGQUIT)
+		case <-done:
+		}
+	}()
+	return func() {
+		signal.Stop(ch)
+		close(done)
+	}
+}

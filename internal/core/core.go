@@ -81,6 +81,12 @@ type Config struct {
 	// warnings on the Analysis (and Partial when the table was
 	// truncated) so consumers know the sample universe was incomplete.
 	Ingest *trace.ReadStats
+	// SlowJobK bounds the slow-job exemplars retained from the dag.jobs
+	// stage (Analysis.SlowJobs): 0 keeps DefaultSlowJobK, negative
+	// disables capture. Like Workers and the progress hooks it is pure
+	// measurement configuration — it never affects artifacts or
+	// fingerprints.
+	SlowJobK int
 }
 
 // DefaultConfig mirrors the paper's experimental setup for a trace
@@ -185,6 +191,13 @@ type Analysis struct {
 	// Partial reports that the input trace was truncated mid-table and
 	// the analysis covers only the rows read before the cut.
 	Partial bool
+
+	// SlowJobs are the top-k slowest jobs measured inside the dag.jobs
+	// worker pool, slowest first (see Config.SlowJobK). Wall-clock
+	// measurement, not analysis output: excluded from Fingerprint, and
+	// empty when the stage was served from the artifact cache (a cached
+	// stage computes nothing per job).
+	SlowJobs []SlowJob
 
 	// Stages records each executed pipeline stage's wall time in
 	// execution order — the per-run view of the durations the obs span

@@ -15,6 +15,7 @@ import (
 	"log/slog"
 	"runtime"
 	"strconv"
+	"time"
 
 	"jobgraph/internal/cluster"
 	"jobgraph/internal/conflate"
@@ -115,8 +116,11 @@ func digestJobs(jobs []trace.Job) string {
 
 // plan builds the stage graph for one analysis run. lg is used by the
 // cluster stage's degradation path; stage completion logging is the
-// engine's job.
-func (cfg Config) plan(jobs []trace.Job, lg *slog.Logger) *engine.Plan {
+// engine's job. times, when non-nil, receives per-job wall times from
+// the dag.jobs stage (only when that stage actually executes) — it is
+// measurement plumbing and deliberately bypasses the artifact/cache
+// path so timings never enter the wire format.
+func (cfg Config) plan(jobs []trace.Job, lg *slog.Logger, times *jobTimes) *engine.Plan {
 	p := engine.NewPlan()
 	p.Source(stages.Ingest, jobs, func() string { return digestJobs(jobs) })
 
@@ -180,11 +184,19 @@ func (cfg Config) plan(jobs []trace.Job, lg *slog.Logger) *engine.Plan {
 			sample := sa.Sample
 			graphs := make([]*dag.Graph, len(sample))
 			jstats := make([]JobStat, len(sample))
+			if times != nil {
+				times.durs = make([]time.Duration, len(sample))
+			}
 			workers := cfg.Workers
 			if workers <= 0 {
 				workers = runtime.GOMAXPROCS(0)
 			}
+			reg := obs.Default()
 			err = runPool(stages.DAGJobs, len(sample), workers, cfg.OnJob, func(i int) error {
+				if times != nil {
+					start := reg.Now()
+					defer func() { times.durs[i] = reg.Now().Sub(start) }()
+				}
 				g := sample[i].Graph
 				js := JobStat{}
 				if cfg.Conflate {
@@ -397,9 +409,17 @@ func Run(jobs []trace.Job, cfg Config) (*Analysis, error) {
 		}
 	}
 
+	// Per-job wall times for slow-job exemplars: collected outside the
+	// artifact path so caching and fingerprints stay timing-free. A nil
+	// collector (capture disabled) skips the per-job clock reads.
+	var times *jobTimes
+	if cfg.slowJobK() > 0 {
+		times = &jobTimes{}
+	}
+
 	root := reg.StartSpan(stages.Pipeline)
 	defer root.End()
-	res, err := cfg.plan(jobs, lg).Execute(engine.Options{Store: store, Parent: root, Logger: lg})
+	res, err := cfg.plan(jobs, lg, times).Execute(engine.Options{Store: store, Parent: root, Logger: lg})
 	if res != nil {
 		an.Stages = res.Executed
 		an.CachedStages = append([]string(nil), res.Cached...)
@@ -450,6 +470,11 @@ func Run(jobs []trace.Job, cfg Config) (*Analysis, error) {
 	an.wlOpts = cfg.WL
 	an.dict = fe.Dict
 	an.vectors = fe.Vectors
+
+	if k := cfg.slowJobK(); k > 0 {
+		an.SlowJobs = slowJobs(times, an, k)
+		publishSlowJobs(reg, an.SlowJobs, k)
+	}
 
 	if len(an.Warnings) > 0 {
 		obsDegradedRuns.Add(1)

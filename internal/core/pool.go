@@ -23,6 +23,12 @@ func runPool(stageName string, n, workers int, onItem func(done, total int) erro
 	if n == 0 {
 		return nil
 	}
+	// Pool liveness for the stall watchdog: armed before the first item,
+	// beaten on every completion, disarmed when the pool drains — a pool
+	// whose workers all wedge shows up as an active, silent heartbeat.
+	hb := obs.Default().Heartbeat("core.pool." + stageName)
+	hb.Beat()
+	defer hb.Done()
 	if workers <= 1 {
 		done := 0
 		for i := 0; i < n; i++ {
@@ -30,6 +36,7 @@ func runPool(stageName string, n, workers int, onItem func(done, total int) erro
 				return err
 			}
 			done++
+			hb.Beat()
 			if onItem != nil {
 				if err := onItem(done, n); err != nil {
 					return fmt.Errorf("core: %s aborted after %d/%d jobs: %w", stageName, done, n, err)
@@ -100,6 +107,7 @@ func runPool(stageName string, n, workers int, onItem func(done, total int) erro
 				}
 				ctr.Add(1)
 				rate.Add(1)
+				hb.Beat()
 				if err := finish(); err != nil {
 					halt()
 					return

@@ -1,0 +1,177 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"jobgraph/internal/obs"
+	"jobgraph/internal/stages"
+)
+
+// TestSlowJobsCaptured runs a real pipeline and checks the exemplar
+// invariants that hold regardless of which jobs happen to be slowest:
+// count, sort order, population coverage of graph shape and group
+// assignment, and the obs surfaces (exemplar store + synthetic spans).
+func TestSlowJobsCaptured(t *testing.T) {
+	reg := obs.Default()
+	reg.Reset()
+	defer reg.Reset()
+
+	jobs := genJobs(t, 800, 7)
+	cfg := DefaultConfig(testWindow, 7)
+	cfg.SampleSize = 40
+	cfg.SlowJobK = 5
+	an, err := Run(jobs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(an.SlowJobs) != 5 {
+		t.Fatalf("SlowJobs = %d, want 5", len(an.SlowJobs))
+	}
+	group := make(map[int]string)
+	for _, gp := range an.Groups {
+		for _, idx := range gp.Members {
+			group[idx] = gp.Name
+		}
+	}
+	for i, sj := range an.SlowJobs {
+		if i > 0 && sj.Duration > an.SlowJobs[i-1].Duration {
+			t.Fatalf("SlowJobs not sorted slowest-first at %d", i)
+		}
+		if sj.Index < 0 || sj.Index >= len(an.Graphs) {
+			t.Fatalf("exemplar index %d out of range", sj.Index)
+		}
+		g := an.Graphs[sj.Index]
+		if sj.JobID != g.JobID {
+			t.Fatalf("exemplar %d: JobID %q != graph %q", i, sj.JobID, g.JobID)
+		}
+		if sj.Nodes != an.JobStats[sj.Index].Size || sj.Edges != g.NumEdges() {
+			t.Fatalf("exemplar %s shape mismatch", sj.JobID)
+		}
+		if sj.Group != group[sj.Index] {
+			t.Fatalf("exemplar %s group %q, want %q", sj.JobID, sj.Group, group[sj.Index])
+		}
+	}
+
+	ex := reg.Exemplars()[stages.DAGJobs]
+	if len(ex) != 5 {
+		t.Fatalf("registry exemplars = %d, want 5", len(ex))
+	}
+	if ex[0].ID != an.SlowJobs[0].JobID {
+		t.Fatalf("registry exemplar order diverges: %q vs %q", ex[0].ID, an.SlowJobs[0].JobID)
+	}
+	// Each exemplar gets a synthetic pipeline/dag.jobs/slow/<job> span.
+	snap := reg.Snapshot()
+	var slow *obs.SpanSnapshot
+	for ri := range snap.Spans {
+		root := &snap.Spans[ri]
+		if root.Name != stages.Pipeline {
+			continue
+		}
+		for ci := range root.Children {
+			c := &root.Children[ci]
+			if c.Name != stages.DAGJobs {
+				continue
+			}
+			for cci := range c.Children {
+				if c.Children[cci].Name == "slow" {
+					slow = &c.Children[cci]
+				}
+			}
+		}
+	}
+	if slow == nil {
+		t.Fatal("no pipeline/dag.jobs/slow span subtree")
+	}
+	if len(slow.Children) != 5 {
+		t.Fatalf("slow span has %d children, want 5", len(slow.Children))
+	}
+}
+
+// TestSlowJobsDisabled proves SlowJobK < 0 turns capture off entirely.
+func TestSlowJobsDisabled(t *testing.T) {
+	reg := obs.Default()
+	reg.Reset()
+	defer reg.Reset()
+
+	cfg := DefaultConfig(testWindow, 3)
+	cfg.SampleSize = 20
+	cfg.SlowJobK = -1
+	an, err := Run(genJobs(t, 400, 3), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if an.SlowJobs != nil {
+		t.Fatalf("SlowJobs = %v with capture disabled", an.SlowJobs)
+	}
+	if len(reg.Exemplars()) != 0 {
+		t.Fatalf("registry exemplars recorded with capture disabled")
+	}
+}
+
+// TestSlowJobsAssembly pins the pure assembly logic with hand-built
+// durations: deterministic ordering (ties break on job id), truncation
+// to k, and group attribution.
+func TestSlowJobsAssembly(t *testing.T) {
+	an := runPipeline(t, 400, 11)
+	n := len(an.Graphs)
+	if n < 4 {
+		t.Fatalf("sample too small: %d", n)
+	}
+	times := &jobTimes{durs: make([]time.Duration, n)}
+	for i := range times.durs {
+		times.durs[i] = time.Duration(i%3) * time.Millisecond // ties on purpose
+	}
+	slow := slowJobs(times, an, 3)
+	if len(slow) != 3 {
+		t.Fatalf("got %d exemplars, want 3", len(slow))
+	}
+	for i, sj := range slow {
+		if sj.Duration != 2*time.Millisecond {
+			t.Fatalf("exemplar %d duration %v, want 2ms", i, sj.Duration)
+		}
+		if i > 0 && sj.JobID <= slow[i-1].JobID {
+			t.Fatalf("tie not broken by ascending job id at %d", i)
+		}
+	}
+	if got := slowJobs(nil, an, 3); got != nil {
+		t.Fatalf("nil collector should yield nil, got %v", got)
+	}
+	if got := slowJobs(times, an, 0); got != nil {
+		t.Fatalf("k=0 should yield nil, got %v", got)
+	}
+}
+
+// TestSlowJobsFingerprintStable proves exemplar capture does not
+// perturb the analysis fingerprint: runs with different SlowJobK (and
+// thus different SlowJobs slices) fingerprint identically.
+func TestSlowJobsFingerprintStable(t *testing.T) {
+	jobs := genJobs(t, 400, 5)
+	cfg := DefaultConfig(testWindow, 5)
+	cfg.SampleSize = 20
+
+	cfg.SlowJobK = 3
+	a, err := Run(jobs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.SlowJobK = -1
+	b, err := Run(jobs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fa, err := a.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, err := b.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fa != fb {
+		t.Fatalf("fingerprint depends on SlowJobK: %s vs %s", fa, fb)
+	}
+	if len(a.SlowJobs) == 0 || b.SlowJobs != nil {
+		t.Fatalf("capture flags not honored: a=%d b=%v", len(a.SlowJobs), b.SlowJobs)
+	}
+}

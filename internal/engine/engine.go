@@ -246,6 +246,13 @@ func (p *Plan) Execute(opt Options) (*Result, error) {
 	}
 	prog := obs.Default().Progress()
 	stageWindow := obs.Default().WindowHistogram("engine.stage_ms", obs.DefaultWindow)
+	// Plan-level liveness for the stall watchdog: one beat per stage
+	// boundary. Stages that parallelize internally (runPool, the ingest
+	// shards) carry their own finer-grained heartbeats; this one catches
+	// a plan wedged between stages or inside a monolithic stage's setup.
+	hb := obs.Default().Heartbeat("engine.stages")
+	hb.Beat()
+	defer hb.Done()
 	for _, st := range p.stages {
 		var key string
 		if caching {
@@ -277,6 +284,7 @@ func (p *Plan) Execute(opt Options) (*Result, error) {
 			res.Misses++
 		}
 		in := Inputs{artifacts: res.artifacts}
+		hb.Beat()
 		prog.StageStarted(st.Name)
 		sp := opt.Parent.Child(st.Name)
 		v, detail, err := st.Run(in)

@@ -12,6 +12,7 @@ package faultinject
 import (
 	"io"
 	"math/rand"
+	"sync"
 )
 
 // TruncateAt returns a reader that delivers the first n bytes of r and
@@ -76,6 +77,58 @@ func (f *flipReader) Read(p []byte) (int, error) {
 		p[f.target-f.off] ^= f.mask
 	}
 	f.off += int64(n)
+	return n, err
+}
+
+// StallAt returns a reader that delivers the first n bytes of r and
+// then blocks every Read until Release is called, after which it
+// passes through unchanged — a hung NFS mount or a stuck upstream
+// pipe, the failure mode wall-time budgets can't tell apart from slow
+// work but a stall watchdog must. Release is idempotent and safe to
+// call concurrently with Read.
+func StallAt(r io.Reader, n int64) *Stall {
+	return &Stall{r: r, remain: n, gate: make(chan struct{})}
+}
+
+// Stall is the stalled-reader injector returned by StallAt.
+type Stall struct {
+	r       io.Reader
+	remain  int64
+	gate    chan struct{}
+	release sync.Once
+}
+
+// Release unblocks every pending and future Read.
+func (s *Stall) Release() {
+	s.release.Do(func() { close(s.gate) })
+}
+
+// Stalled reports whether the reader has consumed its pre-stall budget
+// and has not been released: the next Read would block.
+func (s *Stall) Stalled() bool {
+	if s.remain > 0 {
+		return false
+	}
+	select {
+	case <-s.gate:
+		return false
+	default:
+		return true
+	}
+}
+
+func (s *Stall) Read(p []byte) (int, error) {
+	if s.remain <= 0 {
+		// Budget exhausted: block here until released, exactly like a
+		// read on a dead transport that never errors out.
+		<-s.gate
+		return s.r.Read(p)
+	}
+	if int64(len(p)) > s.remain {
+		p = p[:s.remain]
+	}
+	n, err := s.r.Read(p)
+	s.remain -= int64(n)
 	return n, err
 }
 

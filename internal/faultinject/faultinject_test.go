@@ -7,6 +7,7 @@ import (
 	"io"
 	"strings"
 	"testing"
+	"time"
 
 	"jobgraph/internal/trace"
 )
@@ -158,5 +159,52 @@ func TestTruncatedGzip(t *testing.T) {
 	_, err = io.ReadAll(zr)
 	if !errors.Is(err, io.ErrUnexpectedEOF) {
 		t.Fatalf("err = %v, want ErrUnexpectedEOF", err)
+	}
+}
+
+// TestStallAt proves the stalled reader delivers its prefix, blocks
+// pending reads until Release, and passes through afterward.
+func TestStallAt(t *testing.T) {
+	src := []byte("0123456789abcdef")
+	s := StallAt(bytes.NewReader(src), 8)
+
+	prefix := make([]byte, 8)
+	if _, err := io.ReadFull(s, prefix); err != nil {
+		t.Fatalf("prefix read: %v", err)
+	}
+	if string(prefix) != "01234567" {
+		t.Fatalf("prefix = %q", prefix)
+	}
+	if !s.Stalled() {
+		t.Fatal("reader not stalled after its budget")
+	}
+
+	// The next read must block until Release.
+	got := make(chan []byte, 1)
+	go func() {
+		rest, err := io.ReadAll(s)
+		if err != nil {
+			t.Errorf("post-release read: %v", err)
+		}
+		got <- rest
+	}()
+	select {
+	case rest := <-got:
+		t.Fatalf("read returned %q before Release", rest)
+	case <-time.After(20 * time.Millisecond):
+	}
+
+	s.Release()
+	s.Release() // idempotent
+	select {
+	case rest := <-got:
+		if string(rest) != "89abcdef" {
+			t.Fatalf("tail = %q, want %q", rest, "89abcdef")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("read still blocked after Release")
+	}
+	if s.Stalled() {
+		t.Fatal("reader still reports stalled after Release")
 	}
 }

@@ -45,6 +45,11 @@ type Entry struct {
 	// ingest, clustering fallbacks, solver retries) so the history
 	// distinguishes clean runs from degraded ones.
 	Warnings []string `json:"warnings,omitempty"`
+	// FlightDump is the path of the flight-recorder dump captured when
+	// the run's stall watchdog tripped. Empty on healthy runs; a
+	// non-empty value also means the entry's timings describe a stalled
+	// run and are not comparable baselines.
+	FlightDump string `json:"flight_dump,omitempty"`
 }
 
 // Append writes e as one JSON line at the end of the ledger file,

@@ -1,0 +1,79 @@
+package obs
+
+import "sort"
+
+// Exemplar is one retained slowest-item sample: aggregate histograms
+// say how slow the tail is, exemplars say which items are in it. The
+// dag.jobs stage records the top-k slowest jobs here with their graph
+// shape and assigned group.
+type Exemplar struct {
+	ID         string  `json:"id"`
+	DurationMs float64 `json:"duration_ms"`
+	Nodes      int     `json:"nodes,omitempty"`
+	Edges      int     `json:"edges,omitempty"`
+	Group      string  `json:"group,omitempty"`
+	Detail     string  `json:"detail,omitempty"`
+}
+
+// exemplarStore keeps the k largest-duration exemplars for one name.
+type exemplarStore struct {
+	k     int
+	items []Exemplar
+}
+
+// RecordExemplar offers one exemplar to the named top-k store. Only
+// the k largest durations are retained; ties break toward the smaller
+// ID so the retained set is deterministic regardless of offer order.
+// No-op while the registry is disabled or k <= 0.
+func (r *Registry) RecordExemplar(name string, k int, e Exemplar) {
+	if !r.enabled.Load() || k <= 0 {
+		return
+	}
+	r.exMu.Lock()
+	defer r.exMu.Unlock()
+	if r.exemplars == nil {
+		r.exemplars = make(map[string]*exemplarStore)
+	}
+	st, ok := r.exemplars[name]
+	if !ok {
+		st = &exemplarStore{k: k}
+		r.exemplars[name] = st
+	}
+	st.k = k
+	st.items = append(st.items, e)
+	sortExemplars(st.items)
+	if len(st.items) > st.k {
+		st.items = st.items[:st.k]
+	}
+}
+
+func sortExemplars(items []Exemplar) {
+	sort.SliceStable(items, func(i, j int) bool {
+		if items[i].DurationMs != items[j].DurationMs {
+			return items[i].DurationMs > items[j].DurationMs
+		}
+		return items[i].ID < items[j].ID
+	})
+}
+
+// Exemplars returns a copy of every exemplar store, keyed by name,
+// each sorted slowest-first. Nil when nothing was recorded.
+func (r *Registry) Exemplars() map[string][]Exemplar {
+	r.exMu.Lock()
+	defer r.exMu.Unlock()
+	if len(r.exemplars) == 0 {
+		return nil
+	}
+	out := make(map[string][]Exemplar, len(r.exemplars))
+	for name, st := range r.exemplars {
+		out[name] = append([]Exemplar(nil), st.items...)
+	}
+	return out
+}
+
+// resetExemplars drops every retained exemplar.
+func (r *Registry) resetExemplars() {
+	r.exMu.Lock()
+	defer r.exMu.Unlock()
+	r.exemplars = nil
+}

@@ -1,0 +1,389 @@
+// Package flight is the pipeline's postmortem layer: a crash-safe
+// flight recorder that keeps a bounded ring of the most recent
+// structured events — log records, span begin/ends, stage transitions,
+// metric deltas — and serializes it, together with the registry's live
+// stage and heartbeat state, into a deterministic JSON dump when a run
+// dies (panic), is interrogated (SIGQUIT) or is declared stuck (the
+// stall watchdog, watchdog.go).
+//
+// The recorder implements obs.Observer, so installing it on a registry
+// costs the instrumented path one atomic load plus a short mutexed
+// ring append per event; nothing is allocated per event beyond the
+// slot reuse of the ring. Dumps are written atomically
+// (temp + rename) as <run_id>.flight.json with a versioned schema, and
+// Parse/ReadFile round-trip them for tooling (cmd/flightcheck) and CI
+// assertions.
+package flight
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"jobgraph/internal/obs"
+)
+
+// Schema identifies the flight-dump JSON layout; bump on breaking
+// changes so postmortem tooling can dispatch.
+const Schema = "jobgraph-flight/v1"
+
+// Event kinds recorded in the ring.
+const (
+	KindLog       = "log"        // a slog record at Info or above
+	KindSpanBegin = "span_begin" // a span started
+	KindSpanEnd   = "span_end"   // a span ended (DurMs set)
+	KindStage     = "stage"      // a Progress state transition
+	KindMetric    = "metric"     // a counter delta since the last capture
+	KindNote      = "note"       // free-form marker (watchdog trips, signals)
+)
+
+// Event is one entry in the flight ring. Seq is a monotonically
+// increasing sequence number assigned at record time; dumps list
+// events in Seq order, oldest surviving entry first.
+type Event struct {
+	Seq    int64     `json:"seq"`
+	T      time.Time `json:"t"`
+	Kind   string    `json:"kind"`
+	Name   string    `json:"name"`
+	Detail string    `json:"detail,omitempty"`
+	DurMs  float64   `json:"dur_ms,omitempty"`
+}
+
+// DefaultCapacity is the ring size used when NewRecorder is given a
+// non-positive capacity: enough for the recent history of a busy run
+// at a few hundred kilobytes of dump.
+const DefaultCapacity = 4096
+
+// metricCaptureLimit bounds how many counter deltas one CaptureMetrics
+// call records, so a metric-heavy run cannot flush the ring's log and
+// span history with its own bookkeeping.
+const metricCaptureLimit = 64
+
+// Recorder is the bounded event ring. It is safe for concurrent use;
+// install it with reg.SetObserver(rec) and as a slog tee via
+// TeeHandler to populate it.
+type Recorder struct {
+	reg *obs.Registry
+
+	mu           sync.Mutex
+	buf          []Event
+	next         int
+	seq          int64
+	runID        string
+	command      string
+	lastCounters map[string]int64
+}
+
+// NewRecorder returns a recorder ringed at capacity events (<= 0 uses
+// DefaultCapacity), timestamping via the registry's clock.
+func NewRecorder(reg *obs.Registry, capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Recorder{reg: reg, buf: make([]Event, 0, capacity)}
+}
+
+// SetRunInfo stamps the run identity onto future dumps.
+func (rec *Recorder) SetRunInfo(runID, command string) {
+	rec.mu.Lock()
+	rec.runID = runID
+	rec.command = command
+	rec.mu.Unlock()
+}
+
+// add appends one event to the ring, overwriting the oldest entry once
+// full. The caller supplies everything but Seq.
+func (rec *Recorder) add(ev Event) {
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	rec.seq++
+	ev.Seq = rec.seq
+	if len(rec.buf) < cap(rec.buf) {
+		rec.buf = append(rec.buf, ev)
+		return
+	}
+	rec.buf[rec.next] = ev
+	rec.next = (rec.next + 1) % cap(rec.buf)
+}
+
+// SpanStarted implements obs.Observer.
+func (rec *Recorder) SpanStarted(path string, at time.Time) {
+	rec.add(Event{T: at, Kind: KindSpanBegin, Name: path})
+}
+
+// SpanEnded implements obs.Observer.
+func (rec *Recorder) SpanEnded(path string, at time.Time, dur time.Duration) {
+	rec.add(Event{T: at, Kind: KindSpanEnd, Name: path, DurMs: ms(dur)})
+}
+
+// StageChanged implements obs.Observer.
+func (rec *Recorder) StageChanged(name string, state obs.StageState, at time.Time) {
+	rec.add(Event{T: at, Kind: KindStage, Name: name, Detail: string(state)})
+}
+
+// Note records a free-form marker (watchdog trip, signal receipt).
+func (rec *Recorder) Note(name, detail string) {
+	rec.add(Event{T: rec.reg.Now(), Kind: KindNote, Name: name, Detail: detail})
+}
+
+// CaptureMetrics records the counters that moved since the previous
+// capture as metric events (at most metricCaptureLimit, the largest
+// deltas first). Called right before a dump so the tail of the ring
+// carries the run's most recent activity profile.
+func (rec *Recorder) CaptureMetrics() {
+	snap := rec.reg.Snapshot()
+	now := rec.reg.Now()
+	rec.mu.Lock()
+	last := rec.lastCounters
+	rec.lastCounters = snap.Counters
+	rec.mu.Unlock()
+
+	type delta struct {
+		name string
+		d    int64
+	}
+	var deltas []delta
+	for name, v := range snap.Counters {
+		if d := v - last[name]; d != 0 {
+			deltas = append(deltas, delta{name, d})
+		}
+	}
+	sort.Slice(deltas, func(i, j int) bool {
+		if deltas[i].d != deltas[j].d {
+			return deltas[i].d > deltas[j].d
+		}
+		return deltas[i].name < deltas[j].name
+	})
+	if len(deltas) > metricCaptureLimit {
+		deltas = deltas[:metricCaptureLimit]
+	}
+	for _, d := range deltas {
+		rec.add(Event{T: now, Kind: KindMetric, Name: d.name, Detail: fmt.Sprintf("+%d", d.d)})
+	}
+}
+
+// Events returns the ring's surviving events in sequence order.
+func (rec *Recorder) Events() []Event {
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	out := make([]Event, 0, len(rec.buf))
+	out = append(out, rec.buf[rec.next:]...)
+	out = append(out, rec.buf[:rec.next]...)
+	return out
+}
+
+// Dropped reports how many events were overwritten because the ring
+// was full.
+func (rec *Recorder) Dropped() int64 {
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	return rec.seq - int64(len(rec.buf))
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// Dump is the flight-dump JSON document.
+type Dump struct {
+	Schema  string `json:"schema"`
+	RunID   string `json:"run_id,omitempty"`
+	Command string `json:"command,omitempty"`
+	// Reason is why the dump was taken: "panic", "sigquit", "watchdog"
+	// or a caller-supplied marker.
+	Reason string `json:"reason"`
+	Detail string `json:"detail,omitempty"`
+	// Stack carries the panic stack trace when Reason is "panic".
+	Stack         string               `json:"stack,omitempty"`
+	CapturedAt    time.Time            `json:"captured_at"`
+	EventsTotal   int64                `json:"events_total"`
+	EventsDropped int64                `json:"events_dropped"`
+	Events        []Event              `json:"events"`
+	Stages        []obs.StageProgress  `json:"stages,omitempty"`
+	Heartbeats    []obs.HeartbeatState `json:"heartbeats,omitempty"`
+	Counters      map[string]int64     `json:"counters,omitempty"`
+	Gauges        map[string]int64     `json:"gauges,omitempty"`
+}
+
+// BuildDump assembles the dump document: the surviving ring plus the
+// registry's live stage, heartbeat, counter and gauge state.
+func (rec *Recorder) BuildDump(reason, detail, stack string) Dump {
+	snap := rec.reg.Snapshot()
+	rec.mu.Lock()
+	runID, command := rec.runID, rec.command
+	seq := rec.seq
+	rec.mu.Unlock()
+	d := Dump{
+		Schema:      Schema,
+		RunID:       runID,
+		Command:     command,
+		Reason:      reason,
+		Detail:      detail,
+		Stack:       stack,
+		CapturedAt:  rec.reg.Now(),
+		EventsTotal: seq,
+		Events:      rec.Events(),
+		Stages:      rec.reg.Progress().Snapshot(),
+		Heartbeats:  rec.reg.HeartbeatStates(),
+		Counters:    snap.Counters,
+		Gauges:      snap.Gauges,
+	}
+	d.EventsDropped = d.EventsTotal - int64(len(d.Events))
+	return d
+}
+
+// DumpPath returns the dump filename for a run inside dir.
+func DumpPath(dir, runID string) string {
+	if runID == "" {
+		runID = "run"
+	}
+	return filepath.Join(dir, runID+".flight.json")
+}
+
+// WriteDump serializes the dump as indented JSON at path, atomically:
+// a same-directory temp file renamed into place, so a reader never
+// observes a half-written postmortem.
+func WriteDump(path string, d Dump) error {
+	data, err := json.MarshalIndent(d, "", "  ")
+	if err != nil {
+		return fmt.Errorf("flight: marshal dump: %w", err)
+	}
+	data = append(data, '\n')
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("flight: %w", err)
+	}
+	tmp, err := os.CreateTemp(dir, ".flight-*")
+	if err != nil {
+		return fmt.Errorf("flight: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("flight: write dump: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("flight: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("flight: %w", err)
+	}
+	return nil
+}
+
+// DumpTo builds the dump and writes it to DumpPath(dir, runID),
+// returning the written path.
+func (rec *Recorder) DumpTo(dir, reason, detail, stack string) (string, error) {
+	rec.mu.Lock()
+	runID := rec.runID
+	rec.mu.Unlock()
+	path := DumpPath(dir, runID)
+	if err := WriteDump(path, rec.BuildDump(reason, detail, stack)); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// Parse decodes and validates a flight dump.
+func Parse(data []byte) (Dump, error) {
+	var d Dump
+	if err := json.Unmarshal(data, &d); err != nil {
+		return Dump{}, fmt.Errorf("flight: parse dump: %w", err)
+	}
+	if d.Schema != Schema {
+		return Dump{}, fmt.Errorf("flight: schema %q, want %q", d.Schema, Schema)
+	}
+	if d.Reason == "" {
+		return Dump{}, fmt.Errorf("flight: dump has no reason")
+	}
+	for i := 1; i < len(d.Events); i++ {
+		if d.Events[i].Seq <= d.Events[i-1].Seq {
+			return Dump{}, fmt.Errorf("flight: events out of sequence at index %d", i)
+		}
+	}
+	return d, nil
+}
+
+// ReadFile loads and validates the flight dump at path.
+func ReadFile(path string) (Dump, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Dump{}, fmt.Errorf("flight: %w", err)
+	}
+	return Parse(data)
+}
+
+// TeeHandler returns a slog.Handler that records every Info-or-above
+// record into the flight ring and forwards everything to next. The tee
+// records even when next's own level filter would drop the record, so
+// a quiet stderr still leaves a full in-memory history for postmortems.
+func (rec *Recorder) TeeHandler(next slog.Handler) slog.Handler {
+	return &teeHandler{rec: rec, next: next}
+}
+
+type teeHandler struct {
+	rec    *Recorder
+	next   slog.Handler
+	attrs  []slog.Attr
+	groups []string
+}
+
+func (h *teeHandler) Enabled(ctx context.Context, level slog.Level) bool {
+	// Info and above always reach the ring; below that, defer to next.
+	return level >= slog.LevelInfo || h.next.Enabled(ctx, level)
+}
+
+func (h *teeHandler) Handle(ctx context.Context, recd slog.Record) error {
+	if recd.Level >= slog.LevelInfo {
+		var sb strings.Builder
+		prefix := strings.Join(h.groups, ".")
+		emit := func(a slog.Attr) {
+			if sb.Len() > 0 {
+				sb.WriteByte(' ')
+			}
+			if prefix != "" {
+				sb.WriteString(prefix)
+				sb.WriteByte('.')
+			}
+			fmt.Fprintf(&sb, "%s=%v", a.Key, a.Value)
+		}
+		for _, a := range h.attrs {
+			emit(a)
+		}
+		recd.Attrs(func(a slog.Attr) bool {
+			emit(a)
+			return true
+		})
+		h.rec.add(Event{
+			T:      h.rec.reg.Now(),
+			Kind:   KindLog,
+			Name:   recd.Message,
+			Detail: sb.String(),
+		})
+	}
+	if h.next.Enabled(ctx, recd.Level) {
+		return h.next.Handle(ctx, recd)
+	}
+	return nil
+}
+
+func (h *teeHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	na := make([]slog.Attr, 0, len(h.attrs)+len(attrs))
+	na = append(na, h.attrs...)
+	na = append(na, attrs...)
+	return &teeHandler{rec: h.rec, next: h.next.WithAttrs(attrs), attrs: na, groups: h.groups}
+}
+
+func (h *teeHandler) WithGroup(name string) slog.Handler {
+	ng := make([]string, 0, len(h.groups)+1)
+	ng = append(ng, h.groups...)
+	ng = append(ng, name)
+	return &teeHandler{rec: h.rec, next: h.next.WithGroup(name), attrs: h.attrs, groups: ng}
+}

@@ -1,0 +1,192 @@
+package flight
+
+import (
+	"log/slog"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"jobgraph/internal/obs"
+)
+
+// testClock returns a registry clock advancing 1ms per read from a
+// fixed epoch, so recorded timestamps are deterministic.
+func testClock() func() time.Time {
+	now := time.Unix(1700000000, 0).UTC()
+	return func() time.Time {
+		now = now.Add(time.Millisecond)
+		return now
+	}
+}
+
+func newTestRegistry() *obs.Registry {
+	r := obs.NewRegistry()
+	r.SetTrackAllocs(false)
+	r.SetClock(testClock())
+	return r
+}
+
+func TestRecorderRingOverflow(t *testing.T) {
+	r := newTestRegistry()
+	rec := NewRecorder(r, 4)
+	r.SetObserver(rec)
+
+	for i := 0; i < 6; i++ {
+		r.StartSpan("s").End() // two events each: begin + end
+	}
+	evs := rec.Events()
+	if len(evs) != 4 {
+		t.Fatalf("ring kept %d events, want 4", len(evs))
+	}
+	if rec.Dropped() != 8 {
+		t.Fatalf("Dropped = %d, want 8", rec.Dropped())
+	}
+	// Survivors are the most recent events, in strict sequence order.
+	for i, ev := range evs {
+		if want := int64(9 + i); ev.Seq != want {
+			t.Fatalf("event %d has seq %d, want %d", i, ev.Seq, want)
+		}
+	}
+	// The last two events must be the final span's begin/end pair.
+	if evs[2].Kind != KindSpanBegin || evs[3].Kind != KindSpanEnd {
+		t.Fatalf("tail events are %s/%s, want begin/end", evs[2].Kind, evs[3].Kind)
+	}
+}
+
+func TestDumpRoundTrip(t *testing.T) {
+	r := newTestRegistry()
+	rec := NewRecorder(r, 64)
+	rec.SetRunInfo("cafef00d", "reproduce")
+	r.SetObserver(rec)
+
+	r.Counter("trace.rows").Add(41)
+	r.Progress().StageStarted("ingest")
+	r.StartSpan("pipeline").End()
+	r.Heartbeat("pool").Beat()
+	rec.Note("marker", "before dump")
+	rec.CaptureMetrics()
+
+	dir := t.TempDir()
+	path, err := rec.DumpTo(dir, "watchdog", "stage ingest overran", "")
+	if err != nil {
+		t.Fatalf("DumpTo: %v", err)
+	}
+	if want := filepath.Join(dir, "cafef00d.flight.json"); path != want {
+		t.Fatalf("dump path %q, want %q", path, want)
+	}
+
+	d, err := ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if d.Schema != Schema || d.RunID != "cafef00d" || d.Command != "reproduce" {
+		t.Fatalf("identity not round-tripped: %+v", d)
+	}
+	if d.Reason != "watchdog" || d.Detail != "stage ingest overran" {
+		t.Fatalf("reason not round-tripped: %+v", d)
+	}
+	if d.EventsTotal != int64(len(d.Events)) || d.EventsDropped != 0 {
+		t.Fatalf("event accounting wrong: total=%d dropped=%d len=%d",
+			d.EventsTotal, d.EventsDropped, len(d.Events))
+	}
+	if d.Counters["trace.rows"] != 41 {
+		t.Fatalf("counters not captured: %v", d.Counters)
+	}
+	if len(d.Stages) != 1 || d.Stages[0].Name != "ingest" || d.Stages[0].State != obs.StageRunning {
+		t.Fatalf("stages not captured: %+v", d.Stages)
+	}
+	if len(d.Heartbeats) != 1 || d.Heartbeats[0].Name != "pool" || !d.Heartbeats[0].Active {
+		t.Fatalf("heartbeats not captured: %+v", d.Heartbeats)
+	}
+	kinds := map[string]bool{}
+	for _, ev := range d.Events {
+		kinds[ev.Kind] = true
+	}
+	for _, k := range []string{KindSpanBegin, KindSpanEnd, KindStage, KindNote, KindMetric} {
+		if !kinds[k] {
+			t.Fatalf("dump is missing a %s event; kinds seen: %v", k, kinds)
+		}
+	}
+
+	// A second identical build must serialize identically modulo the
+	// clock-driven CapturedAt (determinism of ordering and content).
+	d2 := rec.BuildDump("watchdog", "stage ingest overran", "")
+	if len(d2.Events) != len(d.Events) {
+		t.Fatalf("rebuild changed event count: %d vs %d", len(d2.Events), len(d.Events))
+	}
+	for i := range d2.Events {
+		if d2.Events[i].Seq != d.Events[i].Seq || d2.Events[i].Kind != d.Events[i].Kind {
+			t.Fatalf("rebuild changed event %d: %+v vs %+v", i, d2.Events[i], d.Events[i])
+		}
+	}
+}
+
+func TestParseRejectsBadDumps(t *testing.T) {
+	if _, err := Parse([]byte("{")); err == nil {
+		t.Fatalf("Parse accepted malformed JSON")
+	}
+	if _, err := Parse([]byte(`{"schema":"wrong/v9","reason":"x"}`)); err == nil {
+		t.Fatalf("Parse accepted a wrong schema")
+	}
+	if _, err := Parse([]byte(`{"schema":"` + Schema + `"}`)); err == nil {
+		t.Fatalf("Parse accepted a dump without a reason")
+	}
+	bad := `{"schema":"` + Schema + `","reason":"x","events":[{"seq":2},{"seq":1}]}`
+	if _, err := Parse([]byte(bad)); err == nil {
+		t.Fatalf("Parse accepted out-of-sequence events")
+	}
+}
+
+func TestTeeHandlerRecordsAndForwards(t *testing.T) {
+	r := newTestRegistry()
+	rec := NewRecorder(r, 16)
+
+	var out strings.Builder
+	// stderr handler filtered to Warn: Info must still reach the ring
+	// but not the writer.
+	next := slog.NewTextHandler(&out, &slog.HandlerOptions{Level: slog.LevelWarn})
+	lg := slog.New(rec.TeeHandler(next)).With("run_id", "abc")
+
+	lg.Info("stage complete", "stage", "ingest")
+	lg.WithGroup("grp").Warn("trouble", "k", "v")
+	lg.Debug("invisible")
+
+	evs := rec.Events()
+	if len(evs) != 2 {
+		t.Fatalf("ring has %d log events, want 2: %+v", len(evs), evs)
+	}
+	if evs[0].Name != "stage complete" || !strings.Contains(evs[0].Detail, "run_id=abc") ||
+		!strings.Contains(evs[0].Detail, "stage=ingest") {
+		t.Fatalf("info record not captured with attrs: %+v", evs[0])
+	}
+	if evs[1].Name != "trouble" || !strings.Contains(evs[1].Detail, "grp.k=v") {
+		t.Fatalf("grouped attrs not prefixed: %+v", evs[1])
+	}
+	if strings.Contains(out.String(), "stage complete") {
+		t.Fatalf("tee leaked an Info record past the Warn-filtered next handler")
+	}
+	if !strings.Contains(out.String(), "trouble") {
+		t.Fatalf("tee did not forward the Warn record")
+	}
+}
+
+func TestWriteDumpAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "x.flight.json")
+	if err := WriteDump(path, Dump{Schema: Schema, Reason: "test"}); err != nil {
+		t.Fatalf("WriteDump: %v", err)
+	}
+	// No temp litter left behind.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "x.flight.json" {
+		t.Fatalf("unexpected directory contents: %v", entries)
+	}
+	if _, err := ReadFile(path); err != nil {
+		t.Fatalf("round-trip: %v", err)
+	}
+}

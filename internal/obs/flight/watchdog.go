@@ -1,0 +1,270 @@
+package flight
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime/pprof"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"jobgraph/internal/obs"
+)
+
+// ErrStalled is the sentinel a tripped watchdog reports through Err;
+// pipeline cancellation hooks wrap it so callers can errors.Is it.
+var ErrStalled = errors.New("watchdog: run stalled")
+
+// Config parameterizes a Watchdog. Zero-valued budgets disable the
+// corresponding check.
+type Config struct {
+	// Registry supplies stage progress, heartbeats and the clock.
+	// Defaults to obs.Default().
+	Registry *obs.Registry
+	// Recorder receives trip notes and supplies the flight dump.
+	// Optional; without it a trip captures profiles only.
+	Recorder *Recorder
+	// StageBudget is the default wall-time budget for any running
+	// stage; StageBudgets overrides it per stage name.
+	StageBudget  time.Duration
+	StageBudgets map[string]time.Duration
+	// HeartbeatTimeout trips when an active heartbeat has been silent
+	// this long.
+	HeartbeatTimeout time.Duration
+	// Tick is the polling interval of the background loop (Start).
+	// Defaults to a quarter of the smallest enabled budget, clamped to
+	// [10ms, 5s].
+	Tick time.Duration
+	// FlightDir is where the trip's flight dump and profiles land.
+	// Empty means os.TempDir().
+	FlightDir string
+	// RunID names the dump and profile files.
+	RunID string
+	// OnTrip, when set, is called once (from the goroutine that
+	// detected the trip) after capture completes.
+	OnTrip func(TripInfo)
+}
+
+// TripInfo describes the first trip a watchdog detected.
+type TripInfo struct {
+	// Reason is "stage-deadline" or "heartbeat-stall".
+	Reason string
+	// Name is the offending stage or heartbeat.
+	Name string
+	// Age is how long the stage had been running, or the heartbeat
+	// silent, at detection time.
+	Age time.Duration
+	// Budget is the limit that was exceeded.
+	Budget time.Duration
+	// DumpPath, GoroutineProfile and HeapProfile are the capture
+	// artifacts (empty on write failure — the trip still stands).
+	DumpPath         string
+	GoroutineProfile string
+	HeapProfile      string
+}
+
+func (t TripInfo) String() string {
+	return fmt.Sprintf("%s: %s ran %v against a %v budget", t.Reason, t.Name, t.Age.Round(time.Millisecond), t.Budget)
+}
+
+// Watchdog polls a registry's stage progress and heartbeats against
+// configured budgets. The first violation trips it exactly once:
+// goroutine and heap profiles plus a flight dump are captured, a trip
+// counter is bumped, and OnTrip fires. Poll is exported and
+// deterministic under an injected registry clock; Start runs Poll on a
+// real ticker for production use.
+type Watchdog struct {
+	cfg  Config
+	trip atomic.Pointer[TripInfo]
+
+	startOnce sync.Once
+	stopOnce  sync.Once
+	stop      chan struct{}
+	done      chan struct{}
+}
+
+// NewWatchdog validates cfg and returns an unstarted watchdog.
+func NewWatchdog(cfg Config) *Watchdog {
+	if cfg.Registry == nil {
+		cfg.Registry = obs.Default()
+	}
+	if cfg.FlightDir == "" {
+		cfg.FlightDir = os.TempDir()
+	}
+	if cfg.Tick <= 0 {
+		cfg.Tick = defaultTick(cfg)
+	}
+	return &Watchdog{cfg: cfg, stop: make(chan struct{}), done: make(chan struct{})}
+}
+
+func defaultTick(cfg Config) time.Duration {
+	min := time.Duration(0)
+	consider := func(d time.Duration) {
+		if d > 0 && (min == 0 || d < min) {
+			min = d
+		}
+	}
+	consider(cfg.StageBudget)
+	consider(cfg.HeartbeatTimeout)
+	for _, d := range cfg.StageBudgets {
+		consider(d)
+	}
+	tick := min / 4
+	if tick < 10*time.Millisecond {
+		tick = 10 * time.Millisecond
+	}
+	if tick > 5*time.Second {
+		tick = 5 * time.Second
+	}
+	return tick
+}
+
+// Tripped returns the trip info, or nil while the watchdog has not
+// tripped.
+func (w *Watchdog) Tripped() *TripInfo {
+	return w.trip.Load()
+}
+
+// Err returns a wrapped ErrStalled after a trip, nil before. Pipeline
+// cancellation hooks (OnJob/OnRow) call it per item to abort stalled
+// runs cooperatively.
+func (w *Watchdog) Err() error {
+	if t := w.trip.Load(); t != nil {
+		return fmt.Errorf("%w (%s)", ErrStalled, t)
+	}
+	return nil
+}
+
+// Poll checks every budget once against the registry clock and returns
+// the trip, performing first-trip capture if a violation is found.
+// Deterministic for tests: inject a clock, arrange state, call Poll.
+func (w *Watchdog) Poll() *TripInfo {
+	if t := w.trip.Load(); t != nil {
+		return t
+	}
+	t := w.check()
+	if t == nil {
+		return nil
+	}
+	w.capture(t)
+	// First writer wins; a concurrent Poll's capture of the same trip
+	// is harmless (same files, same content modulo clock).
+	if !w.trip.CompareAndSwap(nil, t) {
+		return w.trip.Load()
+	}
+	reg := w.cfg.Registry
+	reg.Counter("flight.watchdog_trips").Add(1)
+	reg.Logger().Error("watchdog tripped",
+		"reason", t.Reason, "name", t.Name,
+		"age_ms", ms(t.Age), "budget_ms", ms(t.Budget),
+		"dump", t.DumpPath)
+	if w.cfg.OnTrip != nil {
+		w.cfg.OnTrip(*t)
+	}
+	return t
+}
+
+// check scans stages and heartbeats for the first budget violation.
+// Detection only; no capture, no side effects.
+func (w *Watchdog) check() *TripInfo {
+	now := w.cfg.Registry.Now()
+	for _, sp := range w.cfg.Registry.Progress().Snapshot() {
+		if sp.State != obs.StageRunning {
+			continue
+		}
+		budget := w.cfg.StageBudget
+		if b, ok := w.cfg.StageBudgets[sp.Name]; ok {
+			budget = b
+		}
+		if budget <= 0 {
+			continue
+		}
+		if age := now.Sub(sp.StartedAt); age > budget {
+			return &TripInfo{Reason: "stage-deadline", Name: sp.Name, Age: age, Budget: budget}
+		}
+	}
+	if w.cfg.HeartbeatTimeout > 0 {
+		for _, hb := range w.cfg.Registry.HeartbeatStates() {
+			if !hb.Active || hb.LastBeat.IsZero() {
+				continue
+			}
+			if age := now.Sub(hb.LastBeat); age > w.cfg.HeartbeatTimeout {
+				return &TripInfo{Reason: "heartbeat-stall", Name: hb.Name, Age: age, Budget: w.cfg.HeartbeatTimeout}
+			}
+		}
+	}
+	return nil
+}
+
+// capture grabs the goroutine and heap profiles and the flight dump.
+// Failures leave the corresponding path empty; the trip still stands.
+func (w *Watchdog) capture(t *TripInfo) {
+	runID := w.cfg.RunID
+	if runID == "" {
+		runID = "run"
+	}
+	base := filepath.Join(w.cfg.FlightDir, runID)
+	if err := os.MkdirAll(w.cfg.FlightDir, 0o755); err == nil {
+		if err := writeProfile(base+".goroutines.txt", "goroutine", 2); err == nil {
+			t.GoroutineProfile = base + ".goroutines.txt"
+		}
+		if err := writeProfile(base+".heap.pprof", "heap", 0); err == nil {
+			t.HeapProfile = base + ".heap.pprof"
+		}
+	}
+	if w.cfg.Recorder != nil {
+		w.cfg.Recorder.Note("watchdog.trip", t.String())
+		w.cfg.Recorder.CaptureMetrics()
+		if path, err := w.cfg.Recorder.DumpTo(w.cfg.FlightDir, "watchdog", t.String(), ""); err == nil {
+			t.DumpPath = path
+		}
+	}
+}
+
+// writeProfile dumps the named pprof profile at path. debug=2 renders
+// goroutines as readable stack traces; debug=0 writes binary pprof.
+func writeProfile(path, profile string, debug int) error {
+	p := pprof.Lookup(profile)
+	if p == nil {
+		return fmt.Errorf("flight: no %s profile", profile)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := p.WriteTo(f, debug); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Start launches the background polling loop on a real ticker. Safe to
+// call once; Stop terminates the loop and waits for it.
+func (w *Watchdog) Start() {
+	w.startOnce.Do(func() {
+		go func() {
+			defer close(w.done)
+			tick := time.NewTicker(w.cfg.Tick)
+			defer tick.Stop()
+			for {
+				select {
+				case <-w.stop:
+					return
+				case <-tick.C:
+					w.Poll()
+				}
+			}
+		}()
+	})
+}
+
+// Stop terminates the polling loop and waits for it to exit.
+// Idempotent; a watchdog never started stops trivially.
+func (w *Watchdog) Stop() {
+	w.stopOnce.Do(func() { close(w.stop) })
+	w.startOnce.Do(func() { close(w.done) }) // never started: unblock the wait
+	<-w.done
+}

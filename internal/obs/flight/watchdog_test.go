@@ -1,0 +1,193 @@
+package flight
+
+import (
+	"errors"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"jobgraph/internal/obs"
+)
+
+// manualClock is an injectable registry clock tests advance explicitly.
+type manualClock struct{ now time.Time }
+
+func (c *manualClock) read() time.Time         { return c.now }
+func (c *manualClock) advance(d time.Duration) { c.now = c.now.Add(d) }
+func newManualClock() *manualClock             { return &manualClock{now: time.Unix(1700000000, 0).UTC()} }
+func installClock(r *obs.Registry) *manualClock {
+	c := newManualClock()
+	r.SetClock(c.read)
+	return c
+}
+
+func TestWatchdogStageDeadline(t *testing.T) {
+	r := obs.NewRegistry()
+	r.SetTrackAllocs(false)
+	clk := installClock(r)
+	rec := NewRecorder(r, 32)
+	rec.SetRunInfo("deadbeef", "test")
+	r.SetObserver(rec)
+
+	dir := t.TempDir()
+	var tripped []TripInfo
+	w := NewWatchdog(Config{
+		Registry:     r,
+		Recorder:     rec,
+		StageBudget:  10 * time.Second,
+		StageBudgets: map[string]time.Duration{"wl.matrix": 2 * time.Second},
+		FlightDir:    dir,
+		RunID:        "deadbeef",
+		OnTrip:       func(ti TripInfo) { tripped = append(tripped, ti) },
+	})
+
+	r.Progress().StageStarted("wl.matrix")
+	clk.advance(1 * time.Second)
+	if tr := w.Poll(); tr != nil {
+		t.Fatalf("tripped inside budget: %+v", tr)
+	}
+	if err := w.Err(); err != nil {
+		t.Fatalf("Err non-nil before trip: %v", err)
+	}
+
+	clk.advance(1500 * time.Millisecond) // 2.5s elapsed > 2s stage budget
+	tr := w.Poll()
+	if tr == nil {
+		t.Fatalf("did not trip past the stage budget")
+	}
+	if tr.Reason != "stage-deadline" || tr.Name != "wl.matrix" {
+		t.Fatalf("wrong trip: %+v", tr)
+	}
+	if tr.Budget != 2*time.Second || tr.Age != 2500*time.Millisecond {
+		t.Fatalf("wrong timing in trip: %+v", tr)
+	}
+	if len(tripped) != 1 {
+		t.Fatalf("OnTrip fired %d times, want 1", len(tripped))
+	}
+
+	// Capture artifacts: flight dump round-trips; goroutine profile has
+	// stacks; heap profile exists.
+	d, err := ReadFile(tr.DumpPath)
+	if err != nil {
+		t.Fatalf("dump unreadable: %v", err)
+	}
+	if d.Reason != "watchdog" || !strings.Contains(d.Detail, "wl.matrix") {
+		t.Fatalf("dump misses trip context: reason=%q detail=%q", d.Reason, d.Detail)
+	}
+	gp, err := os.ReadFile(tr.GoroutineProfile)
+	if err != nil {
+		t.Fatalf("goroutine profile: %v", err)
+	}
+	if !strings.Contains(string(gp), "goroutine") {
+		t.Fatalf("goroutine profile has no stacks")
+	}
+	if fi, err := os.Stat(tr.HeapProfile); err != nil || fi.Size() == 0 {
+		t.Fatalf("heap profile missing or empty: %v", err)
+	}
+	if r.Counter("flight.watchdog_trips").Value() != 1 {
+		t.Fatalf("trip counter not bumped")
+	}
+
+	// A later Poll returns the same trip without re-capturing.
+	clk.advance(time.Hour)
+	if tr2 := w.Poll(); tr2 != tr {
+		t.Fatalf("second Poll produced a new trip")
+	}
+	if len(tripped) != 1 {
+		t.Fatalf("OnTrip re-fired")
+	}
+	if !errors.Is(w.Err(), ErrStalled) {
+		t.Fatalf("Err does not wrap ErrStalled: %v", w.Err())
+	}
+}
+
+func TestWatchdogHeartbeatStall(t *testing.T) {
+	r := obs.NewRegistry()
+	r.SetTrackAllocs(false)
+	clk := installClock(r)
+	rec := NewRecorder(r, 32)
+	r.SetObserver(rec)
+
+	w := NewWatchdog(Config{
+		Registry:         r,
+		Recorder:         rec,
+		HeartbeatTimeout: time.Second,
+		FlightDir:        t.TempDir(),
+		RunID:            "hb",
+	})
+
+	hb := r.Heartbeat("trace.ingest")
+	hb.Beat()
+	clk.advance(900 * time.Millisecond)
+	hb.Beat() // still alive
+	clk.advance(900 * time.Millisecond)
+	if tr := w.Poll(); tr != nil {
+		t.Fatalf("tripped on a beating heartbeat: %+v", tr)
+	}
+
+	clk.advance(200 * time.Millisecond) // 1.1s of silence
+	tr := w.Poll()
+	if tr == nil {
+		t.Fatalf("did not trip on heartbeat silence")
+	}
+	if tr.Reason != "heartbeat-stall" || tr.Name != "trace.ingest" {
+		t.Fatalf("wrong trip: %+v", tr)
+	}
+	if tr.Age != 1100*time.Millisecond {
+		t.Fatalf("wrong silence age: %v", tr.Age)
+	}
+}
+
+func TestWatchdogIgnoresFinishedWork(t *testing.T) {
+	r := obs.NewRegistry()
+	r.SetTrackAllocs(false)
+	clk := installClock(r)
+
+	w := NewWatchdog(Config{
+		Registry:         r,
+		StageBudget:      time.Second,
+		HeartbeatTimeout: time.Second,
+		FlightDir:        t.TempDir(),
+	})
+
+	r.Progress().StageStarted("ingest")
+	hb := r.Heartbeat("pool")
+	hb.Beat()
+	r.Progress().StageFinished("ingest", obs.StageDone, 10*time.Millisecond)
+	hb.Done()
+
+	clk.advance(time.Hour)
+	if tr := w.Poll(); tr != nil {
+		t.Fatalf("tripped on finished work: %+v", tr)
+	}
+}
+
+func TestWatchdogStartStop(t *testing.T) {
+	r := obs.NewRegistry()
+	r.SetTrackAllocs(false)
+	w := NewWatchdog(Config{Registry: r, StageBudget: time.Hour, Tick: time.Millisecond, FlightDir: t.TempDir()})
+	w.Start()
+	time.Sleep(5 * time.Millisecond)
+	w.Stop()
+	w.Stop() // idempotent
+
+	// Stop before Start is also safe.
+	w2 := NewWatchdog(Config{Registry: r, StageBudget: time.Hour, FlightDir: t.TempDir()})
+	w2.Stop()
+}
+
+func TestDefaultTickClamp(t *testing.T) {
+	w := NewWatchdog(Config{StageBudget: 8 * time.Second})
+	if w.cfg.Tick != 2*time.Second {
+		t.Fatalf("tick = %v, want 2s", w.cfg.Tick)
+	}
+	w = NewWatchdog(Config{HeartbeatTimeout: time.Millisecond})
+	if w.cfg.Tick != 10*time.Millisecond {
+		t.Fatalf("tick = %v, want 10ms floor", w.cfg.Tick)
+	}
+	w = NewWatchdog(Config{StageBudget: time.Hour})
+	if w.cfg.Tick != 5*time.Second {
+		t.Fatalf("tick = %v, want 5s ceiling", w.cfg.Tick)
+	}
+}

@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Heartbeat is a liveness instrument for long-running loops: a worker
+// pool or a streaming decoder calls Beat on every unit of progress and
+// Done when it finishes. The stall watchdog reads the age of the last
+// beat — an active heartbeat that stops beating means a loop is stuck
+// (blocked read, deadlocked worker), which per-stage wall-time budgets
+// alone cannot distinguish from legitimate slow work.
+//
+// Beat is one atomic store of the registry clock plus one atomic add;
+// safe for concurrent use from many workers sharing one heartbeat.
+type Heartbeat struct {
+	reg    *Registry
+	name   string
+	active atomic.Bool
+	last   atomic.Int64 // UnixNano of the most recent beat
+	beats  atomic.Int64
+}
+
+// Beat records one unit of progress and (re)activates the heartbeat.
+// No-op while the registry is disabled.
+func (h *Heartbeat) Beat() {
+	if !h.reg.enabled.Load() {
+		return
+	}
+	h.last.Store(h.reg.now().UnixNano())
+	h.active.Store(true)
+	h.beats.Add(1)
+}
+
+// Done deactivates the heartbeat: the loop exited, silence is expected.
+func (h *Heartbeat) Done() { h.active.Store(false) }
+
+// Active reports whether the heartbeat expects further beats.
+func (h *Heartbeat) Active() bool { return h.active.Load() }
+
+// Beats returns the total number of beats recorded.
+func (h *Heartbeat) Beats() int64 { return h.beats.Load() }
+
+// HeartbeatState is one heartbeat's exported snapshot.
+type HeartbeatState struct {
+	Name   string `json:"name"`
+	Active bool   `json:"active"`
+	Beats  int64  `json:"beats"`
+	// LastBeat is the registry-clock time of the most recent beat
+	// (zero if the heartbeat never beat).
+	LastBeat time.Time `json:"last_beat"`
+	// AgeMs is the silence since the last beat at snapshot time.
+	AgeMs float64 `json:"age_ms"`
+}
+
+// Heartbeat interns and returns the named heartbeat.
+func (r *Registry) Heartbeat(name string) *Heartbeat {
+	r.hbMu.Lock()
+	defer r.hbMu.Unlock()
+	if r.heartbeats == nil {
+		r.heartbeats = make(map[string]*Heartbeat)
+	}
+	h, ok := r.heartbeats[name]
+	if !ok {
+		h = &Heartbeat{reg: r, name: name}
+		r.heartbeats[name] = h
+	}
+	return h
+}
+
+// HeartbeatStates returns every interned heartbeat's state, sorted by
+// name. Ages are measured against the registry clock.
+func (r *Registry) HeartbeatStates() []HeartbeatState {
+	now := r.now()
+	r.hbMu.Lock()
+	defer r.hbMu.Unlock()
+	out := make([]HeartbeatState, 0, len(r.heartbeats))
+	for _, name := range sortedKeys(r.heartbeats) {
+		h := r.heartbeats[name]
+		st := HeartbeatState{Name: name, Active: h.active.Load(), Beats: h.beats.Load()}
+		if ns := h.last.Load(); ns != 0 {
+			st.LastBeat = time.Unix(0, ns)
+			st.AgeMs = float64(now.Sub(st.LastBeat)) / float64(time.Millisecond)
+		}
+		out = append(out, st)
+	}
+	return out
+}
+
+// resetHeartbeats zeroes every heartbeat in place (handles stay valid).
+func (r *Registry) resetHeartbeats() {
+	r.hbMu.Lock()
+	defer r.hbMu.Unlock()
+	for _, h := range r.heartbeats {
+		h.active.Store(false)
+		h.last.Store(0)
+		h.beats.Store(0)
+	}
+}

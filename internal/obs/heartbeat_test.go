@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+func TestHeartbeatStates(t *testing.T) {
+	r := NewRegistry()
+	now := time.Unix(1000, 0)
+	r.SetClock(func() time.Time { return now })
+
+	hb := r.Heartbeat("pool.dag")
+	if hb != r.Heartbeat("pool.dag") {
+		t.Fatalf("Heartbeat did not intern by name")
+	}
+	hb.Beat()
+	hb.Beat()
+	now = now.Add(3 * time.Second)
+
+	states := r.HeartbeatStates()
+	if len(states) != 1 {
+		t.Fatalf("got %d states, want 1", len(states))
+	}
+	st := states[0]
+	if st.Name != "pool.dag" || !st.Active || st.Beats != 2 {
+		t.Fatalf("unexpected state: %+v", st)
+	}
+	if st.AgeMs != 3000 {
+		t.Fatalf("AgeMs = %v, want 3000", st.AgeMs)
+	}
+
+	hb.Done()
+	if r.HeartbeatStates()[0].Active {
+		t.Fatalf("heartbeat still active after Done")
+	}
+
+	r.Reset()
+	st = r.HeartbeatStates()[0]
+	if st.Beats != 0 || st.Active || !st.LastBeat.IsZero() {
+		t.Fatalf("Reset did not zero heartbeat: %+v", st)
+	}
+	hb.Beat() // handle stays valid
+	if r.HeartbeatStates()[0].Beats != 1 {
+		t.Fatalf("handle dead after Reset")
+	}
+}
+
+func TestHeartbeatDisabledRegistry(t *testing.T) {
+	r := NewRegistry()
+	r.SetEnabled(false)
+	hb := r.Heartbeat("x")
+	hb.Beat()
+	if hb.Beats() != 0 || hb.Active() {
+		t.Fatalf("disabled registry recorded a beat")
+	}
+}
+
+func TestExemplarsTopK(t *testing.T) {
+	r := NewRegistry()
+	// Offer in an order that exercises both insertion directions and a
+	// duration tie; only the top 3 must survive, slowest first, ties by ID.
+	offers := []Exemplar{
+		{ID: "j2", DurationMs: 20},
+		{ID: "j5", DurationMs: 50},
+		{ID: "j1", DurationMs: 10},
+		{ID: "j4b", DurationMs: 40},
+		{ID: "j4a", DurationMs: 40},
+	}
+	for _, e := range offers {
+		r.RecordExemplar("dag.jobs", 3, e)
+	}
+	got := r.Exemplars()["dag.jobs"]
+	want := []Exemplar{
+		{ID: "j5", DurationMs: 50},
+		{ID: "j4a", DurationMs: 40},
+		{ID: "j4b", DurationMs: 40},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("exemplars = %+v, want %+v", got, want)
+	}
+
+	snap := r.Snapshot()
+	if !reflect.DeepEqual(snap.Exemplars["dag.jobs"], want) {
+		t.Fatalf("snapshot exemplars = %+v", snap.Exemplars["dag.jobs"])
+	}
+
+	r.Reset()
+	if r.Exemplars() != nil {
+		t.Fatalf("Reset kept exemplars")
+	}
+}
+
+type recordingObserver struct {
+	events []string
+}
+
+func (o *recordingObserver) SpanStarted(path string, at time.Time) {
+	o.events = append(o.events, "begin "+path)
+}
+func (o *recordingObserver) SpanEnded(path string, at time.Time, dur time.Duration) {
+	o.events = append(o.events, "end "+path)
+}
+func (o *recordingObserver) StageChanged(name string, state StageState, at time.Time) {
+	o.events = append(o.events, "stage "+name+" "+string(state))
+}
+
+func TestObserverNotifications(t *testing.T) {
+	r := NewRegistry()
+	r.SetTrackAllocs(false)
+	now := time.Unix(0, 0)
+	r.SetClock(func() time.Time { now = now.Add(time.Millisecond); return now })
+
+	var rec recordingObserver
+	r.SetObserver(&rec)
+
+	sp := r.StartSpan("pipeline")
+	child := sp.Child("ingest")
+	child.End()
+	sp.End()
+	r.Progress().StageStarted("ingest")
+	r.Progress().StageFinished("ingest", StageDone, time.Second)
+
+	want := []string{
+		"begin pipeline",
+		"begin pipeline/ingest",
+		"end pipeline/ingest",
+		"end pipeline",
+		"stage ingest running",
+		"stage ingest done",
+	}
+	if !reflect.DeepEqual(rec.events, want) {
+		t.Fatalf("observer events = %q, want %q", rec.events, want)
+	}
+
+	// Removing the observer stops notifications.
+	r.SetObserver(nil)
+	r.StartSpan("quiet").End()
+	if len(rec.events) != len(want) {
+		t.Fatalf("observer still notified after removal")
+	}
+}

@@ -40,6 +40,7 @@ type Registry struct {
 	logf        atomic.Pointer[func(format string, args ...any)]
 	logger      atomic.Pointer[slog.Logger]
 	clock       atomic.Pointer[func() time.Time]
+	observer    atomic.Pointer[observerBox]
 
 	mu       sync.Mutex
 	counters map[string]*Counter
@@ -55,6 +56,13 @@ type Registry struct {
 
 	spanMu sync.Mutex
 	root   *SpanStats // unnamed root of the aggregated span tree
+
+	// Liveness heartbeats (heartbeat.go) and slowest-item exemplar
+	// stores (exemplar.go), both interned by name.
+	hbMu       sync.Mutex
+	heartbeats map[string]*Heartbeat
+	exMu       sync.Mutex
+	exemplars  map[string]*exemplarStore
 
 	// Bounded trace-event ring buffer for timeline export (events.go).
 	// eventCap doubles as the enable flag: zero (the default) keeps
@@ -312,6 +320,8 @@ func (r *Registry) Reset() {
 	r.eventNext = 0
 	r.eventTotal = 0
 	r.eventMu.Unlock()
+	r.resetHeartbeats()
+	r.resetExemplars()
 }
 
 // sortedKeys returns the map's keys in lexical order.

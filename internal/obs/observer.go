@@ -1,0 +1,51 @@
+package obs
+
+import "time"
+
+// Observer receives structured notifications as instrumentation events
+// happen: span begin/end and stage state transitions. The flight
+// recorder (internal/obs/flight) implements it to keep a crash-safe
+// ring of recent events; other consumers could stream them.
+//
+// Callbacks run synchronously on the instrumented goroutine and must
+// be cheap and non-blocking. They are invoked only while the registry
+// is enabled; a disabled registry, or no observer installed, costs one
+// atomic load per event.
+type Observer interface {
+	// SpanStarted fires when a span begins. Path is the slash-joined
+	// tree path, e.g. "pipeline/wl.matrix".
+	SpanStarted(path string, at time.Time)
+	// SpanEnded fires when a span ends.
+	SpanEnded(path string, at time.Time, dur time.Duration)
+	// StageChanged fires on every Progress transition (running, done,
+	// cached, failed).
+	StageChanged(name string, state StageState, at time.Time)
+}
+
+// observerBox wraps the interface so it can live in an atomic.Pointer.
+type observerBox struct{ o Observer }
+
+// SetObserver installs the registry's event observer (nil to remove).
+// At most one observer is active at a time; installing replaces the
+// previous one.
+func (r *Registry) SetObserver(o Observer) {
+	if o == nil {
+		r.observer.Store(nil)
+		return
+	}
+	r.observer.Store(&observerBox{o: o})
+}
+
+// observerFor returns the installed observer, or nil. One atomic load.
+func (r *Registry) observerFor() Observer {
+	if b := r.observer.Load(); b != nil {
+		return b.o
+	}
+	return nil
+}
+
+// Now reads the registry's clock (time.Now unless SetClock overrode
+// it). Exported so companion packages — the watchdog, the flight
+// recorder — share the registry's notion of time and stay
+// deterministic under an injected clock.
+func (r *Registry) Now() time.Time { return r.now() }

@@ -65,8 +65,8 @@ func (p *Progress) StageStarted(name string) {
 	if p == nil || !p.reg.enabled.Load() {
 		return
 	}
+	now := p.reg.now()
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	sp, ok := p.stages[name]
 	if !ok {
 		sp = &StageProgress{Name: name}
@@ -74,8 +74,12 @@ func (p *Progress) StageStarted(name string) {
 		p.order = append(p.order, name)
 	}
 	sp.State = StageRunning
-	sp.StartedAt = p.reg.now()
+	sp.StartedAt = now
 	sp.DurationMs = 0
+	p.mu.Unlock()
+	if o := p.reg.observerFor(); o != nil {
+		o.StageChanged(name, StageRunning, now)
+	}
 }
 
 // StageFinished records a stage's terminal state and wall time (no-op
@@ -85,16 +89,20 @@ func (p *Progress) StageFinished(name string, state StageState, d time.Duration)
 	if p == nil || !p.reg.enabled.Load() {
 		return
 	}
+	now := p.reg.now()
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	sp, ok := p.stages[name]
 	if !ok {
-		sp = &StageProgress{Name: name, StartedAt: p.reg.now()}
+		sp = &StageProgress{Name: name, StartedAt: now}
 		p.stages[name] = sp
 		p.order = append(p.order, name)
 	}
 	sp.State = state
 	sp.DurationMs = float64(d) / float64(time.Millisecond)
+	p.mu.Unlock()
+	if o := p.reg.observerFor(); o != nil {
+		o.StageChanged(name, state, now)
+	}
 }
 
 // Reset clears every stage entry (a new run starts clean).
@@ -128,17 +136,24 @@ func (p *Progress) Snapshot() []StageProgress {
 	return out
 }
 
-// ProgressReport is the JSON document served at /progress.
+// ProgressReport is the JSON document served at /progress. Exemplars
+// (the slowest items seen so far, keyed by stage) are additive and
+// omitted when none were recorded, so v1 consumers are unaffected.
 type ProgressReport struct {
-	Schema string          `json:"schema"`
-	Stages []StageProgress `json:"stages"`
+	Schema    string                `json:"schema"`
+	Stages    []StageProgress       `json:"stages"`
+	Exemplars map[string][]Exemplar `json:"exemplars,omitempty"`
 }
 
 // ProgressHandler serves the registry's live stage progress as JSON —
 // mounted at /progress on the debug server.
 func (r *Registry) ProgressHandler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
-		rep := ProgressReport{Schema: ProgressSchema, Stages: r.Progress().Snapshot()}
+		rep := ProgressReport{
+			Schema:    ProgressSchema,
+			Stages:    r.Progress().Snapshot(),
+			Exemplars: r.Exemplars(),
+		}
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")

@@ -27,7 +27,10 @@ type Snapshot struct {
 	// snapshots and their consumers unchanged.
 	Rates   map[string]RateSnapshot            `json:"rates,omitempty"`
 	Windows map[string]WindowHistogramSnapshot `json:"windows,omitempty"`
-	Spans   []SpanSnapshot                     `json:"spans"`
+	// Exemplars are the retained slowest items per stage (exemplar.go),
+	// e.g. the top-k slowest jobs of dag.jobs. Omitted when empty.
+	Exemplars map[string][]Exemplar `json:"exemplars,omitempty"`
+	Spans     []SpanSnapshot        `json:"spans"`
 }
 
 // SpanSnapshot is the exported form of one aggregated stage-tree node.
@@ -107,6 +110,7 @@ func (r *Registry) Snapshot() Snapshot {
 			snap.Windows[name] = h.Snapshot()
 		}
 	}
+	snap.Exemplars = r.Exemplars()
 	for _, st := range r.SpanTree() {
 		snap.Spans = append(snap.Spans, spanSnapshot(st))
 	}

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"runtime"
+	"strings"
 	"time"
 )
 
@@ -52,6 +53,9 @@ func (r *Registry) startSpan(path []string) *Span {
 		runtime.ReadMemStats(&ms)
 		s.startAllocs = ms.TotalAlloc
 	}
+	if o := r.observerFor(); o != nil {
+		o.SpanStarted(strings.Join(path, "/"), s.start)
+	}
 	return s
 }
 
@@ -76,6 +80,9 @@ func (s *Span) End() time.Duration {
 	}
 	s.reg.RecordSpan(s.path, dur, allocs)
 	s.reg.recordEvent(s.path, s.start, dur)
+	if o := s.reg.observerFor(); o != nil {
+		o.SpanEnded(strings.Join(s.path, "/"), s.start.Add(dur), dur)
+	}
 	return dur
 }
 

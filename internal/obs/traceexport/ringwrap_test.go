@@ -1,0 +1,94 @@
+package traceexport
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"jobgraph/internal/obs"
+)
+
+// wrapRegistry drives more spans through a capacity-4 event ring than
+// it can hold, on a deterministic clock: seven sequential spans
+// wrap01..wrap07, each open for exactly one 250µs clock tick. The ring
+// must keep the newest four and count the three oldest as dropped.
+func wrapRegistry() *obs.Registry {
+	r := obs.NewRegistry()
+	r.SetTrackAllocs(false)
+	var mu sync.Mutex
+	t := time.Unix(1700000000, 0).UTC()
+	r.SetClock(func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		t = t.Add(250 * time.Microsecond)
+		return t
+	})
+	r.SetEventCapacity(4)
+	for _, name := range []string{"wrap01", "wrap02", "wrap03", "wrap04", "wrap05", "wrap06", "wrap07"} {
+		r.StartSpan(name).End()
+	}
+	return r
+}
+
+// TestEventRingWrapSurvivors pins which spans survive a full ring
+// rotation and that each survivor keeps its exact begin/end pair: the
+// retained interval must still be [Start, Start+Dur] of the original
+// span, not an artifact of the overwrite position.
+func TestEventRingWrapSurvivors(t *testing.T) {
+	r := wrapRegistry()
+	evs := r.Events()
+	if len(evs) != 4 {
+		t.Fatalf("ring kept %d events, want 4", len(evs))
+	}
+	if d := r.EventsDropped(); d != 3 {
+		t.Fatalf("EventsDropped = %d, want 3", d)
+	}
+	// Survivors are the newest four, returned oldest-first; span N
+	// begins at tick 2N-1 and ends one tick later (SetClock advances
+	// 250µs per read, and each span reads the clock twice).
+	base := time.Unix(1700000000, 0).UTC()
+	for i, want := range []string{"wrap04", "wrap05", "wrap06", "wrap07"} {
+		ev := evs[i]
+		if ev.Path != want {
+			t.Fatalf("survivor[%d] = %q, want %q", i, ev.Path, want)
+		}
+		tick := time.Duration(2*(4+i)-1) * 250 * time.Microsecond
+		if wantStart := base.Add(tick); !ev.Start.Equal(wantStart) {
+			t.Fatalf("%s begin = %v, want %v", ev.Path, ev.Start, wantStart)
+		}
+		if ev.Dur != 250*time.Microsecond {
+			t.Fatalf("%s dur = %v, want 250µs (begin/end pairing broken)", ev.Path, ev.Dur)
+		}
+	}
+}
+
+// TestEventRingWrapGolden pins the exported Perfetto document for the
+// wrapped ring byte-for-byte: the overwritten spans must not appear,
+// the survivors must render as complete ("X") events whose ts/dur are
+// the original begin/end pairs, relative to the oldest survivor.
+func TestEventRingWrapGolden(t *testing.T) {
+	var buf bytes.Buffer
+	meta := Meta{Process: "ringwrap", Labels: map[string]string{"run_id": "ringwrap00000000"}}
+	if err := Write(&buf, wrapRegistry().Events(), meta); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "ringwrap_golden.json")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run `go test ./internal/obs/traceexport/ -run RingWrapGolden -update` to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("ring-wrap trace differs from golden:\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+	if bytes.Contains(want, []byte("wrap01")) || bytes.Contains(want, []byte("wrap03")) {
+		t.Fatal("golden still contains overwritten spans")
+	}
+}

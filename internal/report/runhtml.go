@@ -24,7 +24,9 @@ type RunHTMLData struct {
 	Generated  string
 	Entry      *ledger.Entry // nil when only a metrics.json is available
 	Warnings   []string
+	FlightDump string // path of the stall watchdog's flight dump, when one was captured
 	Stages     []stageRow
+	Exemplars  []exemplarRow
 	CacheRows  []cacheRow
 	Counters   []kvRow
 	Gauges     []kvRow
@@ -41,6 +43,19 @@ type stageRow struct {
 	MaxMs   float64
 	AllocMB float64
 	Bar     template.HTML // inline SVG duration bar
+}
+
+// exemplarRow is one slow-job exemplar, bar-scaled against the slowest
+// job of the same stage.
+type exemplarRow struct {
+	Stage      string
+	ID         string
+	DurationMs float64
+	Nodes      int
+	Edges      int
+	Group      string
+	Detail     string
+	Bar        template.HTML
 }
 
 type cacheRow struct {
@@ -90,6 +105,7 @@ func BuildRunHTMLData(snap obs.Snapshot, entry *ledger.Entry, now time.Time) Run
 	if entry != nil {
 		d.Title = "jobgraph run " + entry.RunID
 		d.Warnings = entry.Warnings
+		d.FlightDump = entry.FlightDump
 	}
 
 	// Flatten the span tree into slash paths and scale bars against the
@@ -129,6 +145,30 @@ func BuildRunHTMLData(snap obs.Snapshot, entry *ledger.Entry, now time.Time) Run
 			AllocMB: float64(f.s.AllocBytes) / (1 << 20),
 			Bar:     barSVG(f.s.TotalMs, maxMs),
 		})
+	}
+
+	// Slow-job exemplars, slowest first (the store keeps them sorted);
+	// bars scale against each stage's slowest job.
+	for _, stage := range sortedNames(snap.Exemplars) {
+		exs := snap.Exemplars[stage]
+		var exMax float64
+		for _, e := range exs {
+			if e.DurationMs > exMax {
+				exMax = e.DurationMs
+			}
+		}
+		for _, e := range exs {
+			d.Exemplars = append(d.Exemplars, exemplarRow{
+				Stage:      stage,
+				ID:         e.ID,
+				DurationMs: e.DurationMs,
+				Nodes:      e.Nodes,
+				Edges:      e.Edges,
+				Group:      e.Group,
+				Detail:     e.Detail,
+				Bar:        barSVG(e.DurationMs, exMax),
+			})
+		}
 	}
 
 	cache := map[string]*cacheRow{}
@@ -290,12 +330,23 @@ footer { margin-top: 3rem; color: #61707f; font-size: .85rem; }
 <h2>Warnings</h2>
 {{range .Warnings}}<div class="warn">{{.}}</div>{{end}}
 {{end}}
+{{if .FlightDump}}
+<div class="warn">stall watchdog tripped during this run — flight dump at <code>{{.FlightDump}}</code>; timings below describe a stalled run</div>
+{{end}}
 
 {{if .Stages}}
 <h2>Stages</h2>
 <table>
 <tr><th>stage</th><th class="num">runs</th><th class="num">total ms</th><th class="num">min ms</th><th class="num">max ms</th><th class="num">alloc MiB</th><th></th></tr>
 {{range .Stages}}<tr><td><code>{{.Path}}</code></td><td class="num">{{.Count}}</td><td class="num">{{printf "%.2f" .TotalMs}}</td><td class="num">{{printf "%.2f" .MinMs}}</td><td class="num">{{printf "%.2f" .MaxMs}}</td><td class="num">{{printf "%.2f" .AllocMB}}</td><td>{{.Bar}}</td></tr>
+{{end}}</table>
+{{end}}
+
+{{if .Exemplars}}
+<h2>Slow-job exemplars</h2>
+<table>
+<tr><th>stage</th><th>job</th><th class="num">ms</th><th class="num">nodes</th><th class="num">edges</th><th>group</th><th>detail</th><th></th></tr>
+{{range .Exemplars}}<tr><td><code>{{.Stage}}</code></td><td><code>{{.ID}}</code></td><td class="num">{{printf "%.2f" .DurationMs}}</td><td class="num">{{.Nodes}}</td><td class="num">{{.Edges}}</td><td>{{.Group}}</td><td class="muted">{{.Detail}}</td><td>{{.Bar}}</td></tr>
 {{end}}</table>
 {{end}}
 

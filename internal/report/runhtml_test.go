@@ -142,3 +142,82 @@ func TestRunHTMLEscapesUntrustedStrings(t *testing.T) {
 		t.Error("warning not HTML-escaped")
 	}
 }
+
+// TestRunHTMLEscapesMetricAndStageNames pushes hostile strings through
+// every template slot fed from the metrics snapshot — span (stage)
+// names, counter names, exemplar ids/groups/details, and the flight
+// dump path — and asserts none of them reach the document unescaped.
+// Metric names normally come from our own code, but the report must
+// stay safe when rendering a snapshot file it did not produce.
+func TestRunHTMLEscapesMetricAndStageNames(t *testing.T) {
+	hostile := `<img src=x onerror=alert(1)> "quoted" & <b>`
+	snap := obs.Snapshot{
+		Schema:   obs.SnapshotSchema,
+		Counters: map[string]int64{`evil.<b>.counter & "q"`: 1},
+		Spans: []obs.SpanSnapshot{{
+			Name: "pipeline", Count: 1, TotalMs: 10, MinMs: 10, MaxMs: 10,
+			Children: []obs.SpanSnapshot{
+				{Name: hostile, Count: 1, TotalMs: 5, MinMs: 5, MaxMs: 5},
+			},
+		}},
+		Exemplars: map[string][]obs.Exemplar{
+			hostile: {{ID: `job<&>"1"`, DurationMs: 3, Nodes: 2, Edges: 1, Group: `<A&>`, Detail: hostile}},
+		},
+	}
+	entry := reportEntry()
+	entry.FlightDump = `/tmp/<run>&"dump".flight.json`
+
+	var buf bytes.Buffer
+	if err := WriteRunHTML(&buf, snap, entry, time.Date(2026, 2, 3, 11, 0, 0, 0, time.UTC)); err != nil {
+		t.Fatal(err)
+	}
+	html := buf.String()
+	for _, banned := range []string{"<img", "<b>", `job<&>`, "<A&>", `<run>&"dump"`} {
+		if strings.Contains(html, banned) {
+			t.Errorf("unescaped interpolation: %q reached the document", banned)
+		}
+	}
+	// The escaped forms must still be present — escaping, not dropping.
+	for _, want := range []string{"&lt;img", "&lt;A&amp;&gt;", "flight.json"} {
+		if !strings.Contains(html, want) {
+			t.Errorf("escaped form %q missing from the document", want)
+		}
+	}
+}
+
+// TestRunHTMLExemplarTable checks the slow-job exemplar section: rows
+// in store order (slowest first), duration bars, and the watchdog
+// banner when the entry carries a flight dump.
+func TestRunHTMLExemplarTable(t *testing.T) {
+	snap := reportSnapshot()
+	snap.Exemplars = map[string][]obs.Exemplar{
+		"dag.jobs": {
+			{ID: "j_slowest", DurationMs: 40, Nodes: 90, Edges: 120, Group: "A", Detail: "depth=7 width=12"},
+			{ID: "j_second", DurationMs: 15, Nodes: 30, Edges: 29, Group: "C"},
+		},
+	}
+	entry := reportEntry()
+	entry.FlightDump = "/tmp/run.flight.json"
+
+	var buf bytes.Buffer
+	if err := WriteRunHTML(&buf, snap, entry, time.Date(2026, 2, 3, 11, 0, 0, 0, time.UTC)); err != nil {
+		t.Fatal(err)
+	}
+	html := buf.String()
+	for _, want := range []string{
+		"Slow-job exemplars", "j_slowest", "j_second", "depth=7 width=12",
+		"stall watchdog tripped", "/tmp/run.flight.json",
+	} {
+		if !strings.Contains(html, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	if strings.Index(html, "j_slowest") > strings.Index(html, "j_second") {
+		t.Error("exemplars not rendered slowest-first")
+	}
+	// No exemplars, no section.
+	plain := renderedReport(t, reportEntry())
+	if strings.Contains(plain, "Slow-job exemplars") {
+		t.Error("exemplar section rendered without exemplars")
+	}
+}

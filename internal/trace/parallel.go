@@ -247,6 +247,7 @@ func parseShard[T any](sh shard, spec tableSpec[T], lenient, wantRaw bool) shard
 // values, log lines) is identical at any worker count.
 func readTableParallel[T any](r io.Reader, spec tableSpec[T], opt ReadOptions, workers int, fn func(T) error) (ReadStats, error) {
 	sink := newRowSink(spec.name, opt, spec.rowsOK, spec.rowsBad)
+	defer sink.done()
 	wantRaw := sink.lenient && opt.Quarantine != nil
 
 	reg := obs.Default()

@@ -83,6 +83,12 @@ type ReadOptions struct {
 	// identical at every worker count; Workers=1 is bit-for-bit the
 	// historical sequential read.
 	Workers int
+
+	// WrapReader, when non-nil, wraps the decompressed byte stream
+	// before decoding — the hook fault injectors (internal/faultinject)
+	// use to exercise truncation, corruption and stall paths against
+	// the full reader stack without fixtures on disk.
+	WrapReader func(io.Reader) io.Reader
 }
 
 // ratioMinRows is the minimum number of records before MaxBadRatio is
@@ -239,12 +245,13 @@ type rowSink struct {
 	rowsOK        *obs.Counter
 	rowsBad       *obs.Counter
 	rowRate       *obs.RateCounter
+	hb            *obs.Heartbeat
 	classCounters map[ErrClass]*obs.Counter
 	logged        int
 }
 
 func newRowSink(table string, opt ReadOptions, rowsOK, rowsBad *obs.Counter) *rowSink {
-	return &rowSink{
+	s := &rowSink{
 		table:   table,
 		opt:     opt,
 		lenient: opt.Mode == Lenient,
@@ -254,10 +261,22 @@ func newRowSink(table string, opt ReadOptions, rowsOK, rowsBad *obs.Counter) *ro
 		rowsBad: rowsBad,
 		// Windowed rows/s per table: the "is ingest still moving, and how
 		// fast right now" signal on /metrics during a multi-minute load.
-		rowRate:       obs.Default().RateCounter("trace."+table+".rows", obs.DefaultWindow),
+		rowRate: obs.Default().RateCounter("trace."+table+".rows", obs.DefaultWindow),
+		// Per-table ingest liveness for the stall watchdog: beats on
+		// every accepted or rejected row, so a reader blocked on a dead
+		// transport shows up as an active-but-silent heartbeat.
+		hb:            obs.Default().Heartbeat("trace.ingest." + table),
 		classCounters: make(map[ErrClass]*obs.Counter),
 	}
+	// An initial beat arms the heartbeat before the first row, so a
+	// stream that stalls before delivering anything is still caught.
+	s.hb.Beat()
+	return s
 }
+
+// done disarms the liveness heartbeat; both decoders call it when the
+// read ends, however it ends.
+func (s *rowSink) done() { s.hb.Done() }
 
 // zeroed tallies non-finite numeric fields zeroed on the current row.
 func (s *rowSink) zeroed(n int) {
@@ -273,6 +292,7 @@ func (s *rowSink) accept(fn func() error) error {
 	s.stats.Rows++
 	s.rowsOK.Add(1)
 	s.rowRate.Add(1)
+	s.hb.Beat()
 	return fn()
 }
 
@@ -285,6 +305,7 @@ func (s *rowSink) reject(rerr *RowError, raw []byte) error {
 	s.stats.BadRows++
 	s.stats.ByClass[rerr.Class]++
 	s.rowsBad.Add(1)
+	s.hb.Beat()
 	c := s.classCounters[rerr.Class]
 	if c == nil {
 		c = obs.Default().Counter("trace.bad_rows." + s.table + "." + string(rerr.Class))
@@ -332,6 +353,9 @@ func (s *rowSink) truncated(err error, offset int64) error {
 // ReadMachines: it dispatches between the single-threaded decoder and
 // the sharded parallel one (see parallel.go) on opt.Workers.
 func readTable[T any](r io.Reader, spec tableSpec[T], opt ReadOptions, fn func(T) error) (ReadStats, error) {
+	if opt.WrapReader != nil {
+		r = opt.WrapReader(r)
+	}
 	if w := resolveWorkers(opt.Workers); w > 1 {
 		return readTableParallel(r, spec, opt, w, fn)
 	}
@@ -343,6 +367,7 @@ func readTable[T any](r io.Reader, spec tableSpec[T], opt ReadOptions, fn func(T
 // partial-read recovery.
 func readTableSeq[T any](r io.Reader, spec tableSpec[T], opt ReadOptions, fn func(T) error) (ReadStats, error) {
 	sink := newRowSink(spec.name, opt, spec.rowsOK, spec.rowsBad)
+	defer sink.done()
 	var capt *captureReader
 	src := r
 	if sink.lenient && opt.Quarantine != nil {

@@ -1,0 +1,171 @@
+package trace
+
+import (
+	"io"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"jobgraph/internal/faultinject"
+	"jobgraph/internal/obs"
+	"jobgraph/internal/obs/flight"
+)
+
+// TestWatchdogCatchesStalledReader is the end-to-end stall scenario
+// from the acceptance criteria: a reader that hangs mid-table (the
+// faultinject stall injector under ReadOptions.WrapReader) must trip
+// the running watchdog within its configured deadline, producing a
+// goroutine profile and a flight dump that round-trips through the
+// parser; releasing the stall must let the read finish normally. Runs
+// under -race in CI.
+func TestWatchdogCatchesStalledReader(t *testing.T) {
+	reg := obs.Default()
+	reg.Reset()
+	defer reg.Reset()
+	defer reg.SetObserver(nil)
+
+	// A multi-row task table; stall after 256 bytes so the decoder has
+	// delivered some rows before the transport goes dead.
+	input := strings.Repeat(goodRow, 200)
+
+	rec := flight.NewRecorder(reg, 256)
+	rec.SetRunInfo("stalltest", "trace_test")
+	reg.SetObserver(rec)
+
+	dir := t.TempDir()
+	tripped := make(chan flight.TripInfo, 1)
+	w := flight.NewWatchdog(flight.Config{
+		Registry:         reg,
+		Recorder:         rec,
+		HeartbeatTimeout: 100 * time.Millisecond,
+		Tick:             10 * time.Millisecond,
+		FlightDir:        dir,
+		RunID:            "stalltest",
+		OnTrip:           func(ti flight.TripInfo) { tripped <- ti },
+	})
+	w.Start()
+	defer w.Stop()
+
+	var (
+		wg       sync.WaitGroup
+		rows     int
+		readErr  error
+		readDone = make(chan struct{})
+		stallCh  = make(chan *faultinject.Stall, 1)
+	)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(readDone)
+		opt := ReadOptions{
+			Workers: 1,
+			WrapReader: func(r io.Reader) io.Reader {
+				s := faultinject.StallAt(r, 256)
+				stallCh <- s
+				return s
+			},
+		}
+		_, readErr = ReadTasksOpts(strings.NewReader(input), opt, func(TaskRecord) error {
+			rows++
+			return nil
+		})
+	}()
+	stall := <-stallCh
+
+	// The watchdog must trip within its deadline (plus scheduling
+	// slack) while the reader is still blocked.
+	var trip flight.TripInfo
+	select {
+	case trip = <-tripped:
+	case <-time.After(5 * time.Second):
+		t.Fatal("watchdog did not trip on the stalled reader")
+	}
+	select {
+	case <-readDone:
+		t.Fatal("read finished before the stall was released")
+	default:
+	}
+
+	if trip.Reason != "heartbeat-stall" || trip.Name != "trace.ingest.batch_task" {
+		t.Fatalf("unexpected trip: %+v", trip)
+	}
+	d, err := flight.ReadFile(trip.DumpPath)
+	if err != nil {
+		t.Fatalf("flight dump does not round-trip: %v", err)
+	}
+	if d.RunID != "stalltest" || d.Reason != "watchdog" {
+		t.Fatalf("dump identity wrong: run=%q reason=%q", d.RunID, d.Reason)
+	}
+	found := false
+	for _, hb := range d.Heartbeats {
+		if hb.Name == "trace.ingest.batch_task" && hb.Active {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("dump does not show the stalled heartbeat: %+v", d.Heartbeats)
+	}
+	gp, err := os.ReadFile(trip.GoroutineProfile)
+	if err != nil {
+		t.Fatalf("goroutine profile: %v", err)
+	}
+	if !strings.Contains(string(gp), "faultinject") {
+		t.Fatalf("goroutine profile does not show the blocked reader stack")
+	}
+
+	// Releasing the stall lets the read complete normally.
+	stall.Release()
+	wg.Wait()
+	if readErr != nil {
+		t.Fatalf("read failed after release: %v", readErr)
+	}
+	if rows != 200 {
+		t.Fatalf("read %d rows, want 200", rows)
+	}
+}
+
+// TestWrapReaderAppliesToParallelDecoder proves the fault-injection
+// hook wraps the stream for the sharded decoder too, and that the
+// ingest heartbeat disarms once a read completes at any worker count.
+func TestWrapReaderAppliesToParallelDecoder(t *testing.T) {
+	reg := obs.Default()
+	reg.Reset()
+	defer reg.Reset()
+
+	input := strings.Repeat(goodRow, 500)
+	for _, workers := range []int{1, 4} {
+		wrapped := false
+		opt := ReadOptions{
+			Workers: workers,
+			WrapReader: func(r io.Reader) io.Reader {
+				wrapped = true
+				return r
+			},
+		}
+		var rows int
+		if _, err := ReadTasksOpts(strings.NewReader(input), opt, func(TaskRecord) error {
+			rows++
+			return nil
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !wrapped {
+			t.Fatalf("workers=%d: WrapReader not applied", workers)
+		}
+		if rows != 500 {
+			t.Fatalf("workers=%d: rows=%d, want 500", workers, rows)
+		}
+	}
+	for _, hb := range reg.HeartbeatStates() {
+		if hb.Name == "trace.ingest.batch_task" {
+			if hb.Active {
+				t.Fatal("ingest heartbeat still active after the read finished")
+			}
+			if hb.Beats == 0 {
+				t.Fatal("ingest heartbeat never beat")
+			}
+		}
+	}
+}
