@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race bench fuzz reproduce metrics trace ledger baseline benchdiff cache-demo report flight-demo staticcheck govulncheck fmt vet clean
+.PHONY: all build test test-short race bench fuzz reproduce metrics trace ledger baseline benchdiff cache-demo report flight-demo daemon-demo staticcheck govulncheck fmt vet clean
 
 all: build test
 
@@ -108,6 +108,38 @@ flight-demo:
 	status=$$?; if [ $$status -ne 7 ]; then \
 		echo "expected exit status 7 (watchdog trip), got $$status"; exit 1; fi
 	$(GO) run ./cmd/flightcheck /tmp/jobgraph-flight-demo/*.flight.json
+
+# Serving-plane demonstration: boot-train jobgraphd with a journal and
+# an accept-stall fault, classify jobs through the retrying client
+# (the stall is absorbed by backoff), then kill -9 mid-flight and show
+# the journal replaying the crash window exactly once. See
+# "Load-testing the daemon" in EXPERIMENTS.md.
+daemon-demo:
+	rm -rf /tmp/jobgraph-daemon-demo
+	mkdir -p /tmp/jobgraph-daemon-demo
+	$(GO) build -o /tmp/jobgraph-daemon-demo/jobgraphd ./cmd/jobgraphd
+	$(GO) build -o /tmp/jobgraph-daemon-demo/jobgraphctl ./cmd/jobgraphctl
+	@echo "== boot (trains and saves a model, accept-stall fault active) =="
+	/tmp/jobgraph-daemon-demo/jobgraphd -addr localhost:8847 \
+		-model /tmp/jobgraph-daemon-demo/model.gob \
+		-journal /tmp/jobgraph-daemon-demo/serve.journal \
+		-gen 4000 -sample 60 -fault-accept-stall 500ms -fault-accept-stall-conns 2 \
+		-watchdog 30s & echo $$! > /tmp/jobgraph-daemon-demo/pid; sleep 1
+	until /tmp/jobgraph-daemon-demo/jobgraphctl -mode stats >/dev/null 2>&1; do sleep 1; done
+	/tmp/jobgraph-daemon-demo/jobgraphctl -mode post -jobs 5 -gen 2000
+	/tmp/jobgraph-daemon-demo/jobgraphctl -mode rows -jobs 1 -gen 2000 \
+		| tee /tmp/jobgraph-daemon-demo/rows.txt
+	@echo "== kill -9, journal surgery (crash window), replay =="
+	kill -9 $$(cat /tmp/jobgraph-daemon-demo/pid)
+	/tmp/jobgraph-daemon-demo/jobgraphctl -mode journal-complete \
+		-journal /tmp/jobgraph-daemon-demo/serve.journal \
+		-job $$(head -n1 /tmp/jobgraph-daemon-demo/rows.txt | cut -f1)
+	/tmp/jobgraph-daemon-demo/jobgraphd -addr localhost:8847 \
+		-model /tmp/jobgraph-daemon-demo/model.gob \
+		-journal /tmp/jobgraph-daemon-demo/serve.journal & echo $$! > /tmp/jobgraph-daemon-demo/pid; sleep 2
+	/tmp/jobgraph-daemon-demo/jobgraphctl -mode stats
+	kill -TERM $$(cat /tmp/jobgraph-daemon-demo/pid); wait $$(cat /tmp/jobgraph-daemon-demo/pid) || true
+	@echo "drained cleanly"
 
 # Static analysis as run in CI. Tools are installed on demand into
 # GOPATH/bin; they are not module dependencies.

@@ -1,0 +1,193 @@
+// Command jobgraphctl is the operator/CI client for jobgraphd. It
+// generates synthetic jobs client-side and drives the daemon's API
+// through the retrying client, so saturation (429) and drain (503)
+// responses are absorbed by backoff instead of failing the run.
+//
+// Usage:
+//
+//	jobgraphctl -mode post    [-addr host:port] [-gen 2000] [-seed 1] [-jobs 5]
+//	jobgraphctl -mode rows    [-addr host:port] [-gen 2000] [-seed 1] [-jobs 5]
+//	jobgraphctl -mode complete -job j_0000042
+//	jobgraphctl -mode reload
+//	jobgraphctl -mode stats
+//	jobgraphctl -mode journal-complete -journal serve.journal -job j_0000042
+//
+// Modes:
+//
+//	post      POST whole jobs to /v1/jobs and print each classification
+//	rows      stream jobs' rows to /v1/rows without completing them
+//	          (pending state the daemon must preserve across restarts)
+//	complete  POST /v1/complete for -job and print the result
+//	reload    POST /model/reload
+//	stats     GET /v1/stats and print the JSON
+//	journal-complete
+//	          offline: append an OpComplete record for -job to the
+//	          journal at -journal (daemon must be down). This reproduces
+//	          the exact on-disk state a daemon killed between committing
+//	          a completion and journaling its result leaves behind, so
+//	          crash-window replay is testable deterministically: the
+//	          next boot must classify the job exactly once.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"jobgraph/internal/cli"
+	"jobgraph/internal/serve"
+	"jobgraph/internal/serve/client"
+	"jobgraph/internal/trace"
+	"jobgraph/internal/tracegen"
+)
+
+func main() { cli.Run(run) }
+
+func run() error {
+	var (
+		addr     = flag.String("addr", "localhost:8847", "jobgraphd address (host:port)")
+		mode     = flag.String("mode", "post", "post | rows | complete | reload | stats")
+		gen      = flag.Int("gen", 2000, "jobs to generate client-side (post/rows modes)")
+		seed     = flag.Int64("seed", 1, "generation RNG seed")
+		jobCount = flag.Int("jobs", 5, "how many generated jobs to send (post/rows modes)")
+		jobName  = flag.String("job", "", "job to complete (complete / journal-complete modes)")
+		jpath    = flag.String("journal", "", "journal file for -mode journal-complete")
+		timeout  = flag.Duration("timeout", 2*time.Minute, "overall deadline for the whole operation")
+		retries  = flag.Int("retries", 30, "max attempts per request (backpressure absorbs into backoff)")
+	)
+	flag.Parse()
+
+	if *mode == "journal-complete" {
+		// Offline journal surgery; no daemon, no HTTP client.
+		if *jobName == "" || *jpath == "" {
+			return fmt.Errorf("jobgraphctl: -mode journal-complete requires -job and -journal")
+		}
+		return journalComplete(*jpath, *jobName)
+	}
+
+	c, err := client.New(client.Config{
+		Base:        "http://" + *addr,
+		MaxAttempts: *retries,
+	})
+	if err != nil {
+		return fmt.Errorf("jobgraphctl: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	switch *mode {
+	case "post", "rows":
+		jobs, err := pickJobs(*gen, *seed, *jobCount)
+		if err != nil {
+			return fmt.Errorf("jobgraphctl: %v", err)
+		}
+		for _, job := range jobs {
+			if *mode == "post" {
+				var res serve.Result
+				err := c.Post(ctx, "/v1/jobs", map[string]any{"name": job.Name, "tasks": job.Tasks}, &res)
+				if err != nil {
+					return fmt.Errorf("jobgraphctl: post %s: %v", job.Name, err)
+				}
+				fmt.Printf("%s\tgroup=%s\tscore=%.4f\tsize=%d\n", res.Job, res.Group, res.Score, res.Size)
+				continue
+			}
+			var ack struct {
+				Accepted int `json:"accepted"`
+			}
+			if err := c.Post(ctx, "/v1/rows", map[string]any{"rows": job.Tasks}, &ack); err != nil {
+				return fmt.Errorf("jobgraphctl: rows %s: %v", job.Name, err)
+			}
+			fmt.Printf("%s\trows_accepted=%d\n", job.Name, ack.Accepted)
+		}
+		return nil
+
+	case "complete":
+		if *jobName == "" {
+			return fmt.Errorf("jobgraphctl: -mode complete requires -job")
+		}
+		var res serve.Result
+		if err := c.Post(ctx, "/v1/complete", map[string]string{"job": *jobName}, &res); err != nil {
+			return fmt.Errorf("jobgraphctl: complete %s: %v", *jobName, err)
+		}
+		fmt.Printf("%s\tgroup=%s\tscore=%.4f\treplayed=%v\n", res.Job, res.Group, res.Score, res.Replayed)
+		return nil
+
+	case "reload":
+		var out map[string]any
+		if err := c.Post(ctx, "/model/reload", struct{}{}, &out); err != nil {
+			return fmt.Errorf("jobgraphctl: reload: %v", err)
+		}
+		fmt.Printf("reloaded: %v\n", out)
+		return nil
+
+	case "stats":
+		var st serve.Stats
+		if err := c.Get(ctx, "/v1/stats", &st); err != nil {
+			return fmt.Errorf("jobgraphctl: stats: %v", err)
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(st)
+
+	default:
+		return fmt.Errorf("jobgraphctl: unknown -mode %q", *mode)
+	}
+}
+
+// journalComplete appends an OpComplete record for job to the journal
+// at path, recreating the crash window a daemon killed between its two
+// group commits leaves on disk. The job must already have journaled
+// rows; the next daemon boot replays and classifies it exactly once.
+func journalComplete(path, job string) error {
+	j, recs, truncated, err := serve.OpenJournal(path)
+	if err != nil {
+		return fmt.Errorf("jobgraphctl: %v", err)
+	}
+	defer j.Close()
+	if truncated {
+		fmt.Fprintln(os.Stderr, "jobgraphctl: journal had a damaged tail (truncated)")
+	}
+	rows := 0
+	for _, rec := range recs {
+		if rec.Op == serve.OpRow && rec.Job == job {
+			rows++
+		}
+	}
+	if rows == 0 {
+		return fmt.Errorf("jobgraphctl: journal has no rows for %s", job)
+	}
+	if err := j.Append(serve.Record{Op: serve.OpComplete, Seq: j.NextSeq(), Job: job}); err != nil {
+		return fmt.Errorf("jobgraphctl: %v", err)
+	}
+	if err := j.Sync(); err != nil {
+		return fmt.Errorf("jobgraphctl: %v", err)
+	}
+	fmt.Printf("%s\tmarked complete in %s (%d journaled rows)\n", job, path, rows)
+	return nil
+}
+
+// pickJobs generates a synthetic workload and returns the first n jobs
+// that carry real dependency structure (multi-task, dependency-encoded
+// names) — the interesting ones to classify.
+func pickJobs(gen int, seed int64, n int) ([]trace.Job, error) {
+	jobs, err := tracegen.GenerateJobs(tracegen.DefaultConfig(gen, seed))
+	if err != nil {
+		return nil, err
+	}
+	var out []trace.Job
+	for _, job := range jobs {
+		if len(job.Tasks) >= 3 {
+			out = append(out, job)
+		}
+		if len(out) == n {
+			return out, nil
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no multi-task jobs in %d generated", gen)
+	}
+	return out, nil
+}

@@ -151,9 +151,9 @@ func TestSessionWatchdogTrip(t *testing.T) {
 }
 
 // TestCancelErrQuietWatchdog proves the cancellation probe stays nil
-// while the watchdog has not tripped, and that Configure leaves the
-// hooks alone entirely when no watchdog (or no -watchdog-cancel) is
-// configured.
+// while nothing has gone wrong — no watchdog trip, no termination
+// signal — and that the hooks Configure installs (always, for
+// SIGINT/SIGTERM coverage) pass cleanly on a healthy run.
 func TestCancelErrQuietWatchdog(t *testing.T) {
 	reg := obs.Default()
 	reg.Reset()
@@ -171,11 +171,17 @@ func TestCancelErrQuietWatchdog(t *testing.T) {
 	}
 	defer s.Close()
 	if err := s.CancelErr(); err != nil {
-		t.Fatalf("CancelErr with no watchdog = %v", err)
+		t.Fatalf("CancelErr on a healthy run = %v", err)
 	}
 	var cfg core.Config
 	pf.Configure(&cfg)
-	if cfg.OnJob != nil || cfg.OnRow != nil {
-		t.Fatal("Configure installed hooks without -watchdog-cancel")
+	if cfg.OnJob == nil || cfg.OnRow == nil {
+		t.Fatal("Configure did not install cancellation hooks")
+	}
+	if err := cfg.OnJob(1, 2); err != nil {
+		t.Fatalf("OnJob on a healthy run = %v", err)
+	}
+	if err := cfg.OnRow(1, 2); err != nil {
+		t.Fatalf("OnRow on a healthy run = %v", err)
 	}
 }

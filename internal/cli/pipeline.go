@@ -102,16 +102,16 @@ func (p *PipelineFlags) EffectiveCacheDir() string {
 	return p.CacheDir
 }
 
-// Configure applies the shared pipeline knobs to a core configuration.
-// With -watchdog-cancel, the session's watchdog state is chained into
-// the cooperative progress hooks: a tripped watchdog aborts the
-// pipeline at the next per-job/per-row callback instead of letting the
-// wedged stage run on.
+// Configure applies the shared pipeline knobs to a core configuration
+// and chains the session's cancellation state — SIGINT/SIGTERM, plus
+// the watchdog with -watchdog-cancel — into the cooperative progress
+// hooks, so any of them aborts the pipeline at the next per-job/per-row
+// callback instead of letting the stage run on.
 func (p *PipelineFlags) Configure(cfg *core.Config) {
 	cfg.Workers = *p.Workers
 	cfg.CacheDir = p.EffectiveCacheDir()
 	cfg.SlowJobK = p.SlowJobs
-	if p.sess != nil && p.sess.watchdog != nil && p.sess.flags.WatchdogCancel {
+	if p.sess != nil {
 		cfg.OnJob = chainCancel(cfg.OnJob, p.sess.CancelErr)
 		cfg.OnRow = chainCancel(cfg.OnRow, p.sess.CancelErr)
 	}

@@ -107,12 +107,60 @@ type RunSession struct {
 	recorder *flight.Recorder
 	watchdog *flight.Watchdog
 	sigStop  func()
+	termStop func()
+	termCh   chan struct{}
 
-	// mu guards warnings and flightDump: the watchdog trips from its
-	// own goroutine while the command body may be adding warnings.
+	// mu guards warnings, flightDump and the termination state: the
+	// watchdog trips and signals arrive on their own goroutines while
+	// the command body may be adding warnings.
 	mu         sync.Mutex
 	warnings   []string
 	flightDump string
+	termSig    string
+	termHooks  []func()
+}
+
+// ErrTerminated marks a run stopped cooperatively by SIGINT or SIGTERM.
+// Pipeline hooks surface it through CancelErr; match with errors.Is.
+var ErrTerminated = errors.New("cli: terminated by signal")
+
+// Terminated returns a channel closed when the first SIGINT/SIGTERM
+// arrives — the daemon's cue to stop accepting and drain. A second
+// signal hard-exits the process (130/143), so a wedged drain never
+// traps the operator.
+func (s *RunSession) Terminated() <-chan struct{} { return s.termCh }
+
+// TermErr reports the termination signal as an error wrapping
+// ErrTerminated, or nil while the run is unsignalled.
+func (s *RunSession) TermErr() error {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	sig := s.termSig
+	s.mu.Unlock()
+	if sig == "" {
+		return nil
+	}
+	return fmt.Errorf("%w (%s)", ErrTerminated, sig)
+}
+
+// OnTerminate registers fn to run (on the signal goroutine) when the
+// first termination signal arrives. Registered after the signal, fn
+// runs immediately.
+func (s *RunSession) OnTerminate(fn func()) {
+	if s == nil || fn == nil {
+		return
+	}
+	s.mu.Lock()
+	fired := s.termSig != ""
+	if !fired {
+		s.termHooks = append(s.termHooks, fn)
+	}
+	s.mu.Unlock()
+	if fired {
+		fn()
+	}
 }
 
 // AddWarning records a non-fatal degradation on the session: it is
@@ -140,12 +188,21 @@ func (s *RunSession) FlightDump() string {
 	return s.flightDump
 }
 
-// CancelErr reports why the run should stop: non-nil (wrapping
-// flight.ErrStalled) once the watchdog has tripped and -watchdog-cancel
-// was set. Wired into the pipeline's cooperative progress hooks by
-// PipelineFlags.Configure.
+// CancelErr reports why the run should stop: non-nil once a
+// termination signal has arrived (wrapping ErrTerminated), or once the
+// watchdog has tripped with -watchdog-cancel set (wrapping
+// flight.ErrStalled). Wired into the pipeline's cooperative progress
+// hooks by PipelineFlags.Configure, so both SIGINT/SIGTERM and a
+// tripped watchdog stop a batch run at the next per-job/per-row
+// callback — the same cooperative path the daemon's drain uses.
 func (s *RunSession) CancelErr() error {
-	if s == nil || s.watchdog == nil || !s.flags.WatchdogCancel {
+	if s == nil {
+		return nil
+	}
+	if err := s.TermErr(); err != nil {
+		return err
+	}
+	if s.watchdog == nil || !s.flags.WatchdogCancel {
 		return nil
 	}
 	return s.watchdog.Err()
@@ -221,7 +278,8 @@ func (o *ObsFlags) Start(command string) (*RunSession, error) {
 		reg.SetEventCapacity(DefaultEventCapacity)
 	}
 
-	s := &RunSession{Info: info, Logger: lg, flags: o, recorder: rec}
+	s := &RunSession{Info: info, Logger: lg, flags: o, recorder: rec,
+		termCh: make(chan struct{})}
 
 	// Crash capture: a panic escaping the command body (via cli.Run's
 	// protect) and a SIGQUIT both flush the ring before the process
@@ -232,6 +290,23 @@ func (o *ObsFlags) Start(command string) (*RunSession, error) {
 	})
 	s.sigStop = notifySIGQUIT(func() {
 		s.dumpFlight("sigquit", "SIGQUIT received", nil)
+	})
+	// Cooperative termination: the first SIGINT/SIGTERM flips the
+	// session's termination state (CancelErr, Terminated, OnTerminate
+	// hooks); a second one hard-exits. Every command gets the same
+	// two-signal contract — batch runs cancel at the next progress
+	// callback, the daemon starts its drain.
+	s.termStop = notifyTermination(func(sig string) {
+		s.mu.Lock()
+		s.termSig = sig
+		hooks := s.termHooks
+		s.termHooks = nil
+		s.mu.Unlock()
+		lg.Warn("termination signal received; finishing cooperatively (signal again to force exit)", "signal", sig)
+		close(s.termCh)
+		for _, fn := range hooks {
+			fn()
+		}
 	})
 
 	if o.Watchdog > 0 {
@@ -355,6 +430,9 @@ func (s *RunSession) Close() error {
 	}
 	if s.sigStop != nil {
 		s.sigStop()
+	}
+	if s.termStop != nil {
+		s.termStop()
 	}
 	installCrashDump(nil)
 	if s.recorder != nil {

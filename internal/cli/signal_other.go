@@ -2,6 +2,36 @@
 
 package cli
 
+import (
+	"os"
+	"os/signal"
+)
+
 // notifySIGQUIT is a no-op where SIGQUIT does not exist; panic and
 // watchdog capture still work.
 func notifySIGQUIT(func()) (stop func()) { return func() {} }
+
+// notifyTermination watches os.Interrupt only where SIGTERM does not
+// exist; semantics otherwise match the unix version.
+func notifyTermination(onFirst func(sig string)) (stop func()) {
+	ch := make(chan os.Signal, 2)
+	done := make(chan struct{})
+	signal.Notify(ch, os.Interrupt)
+	go func() {
+		select {
+		case <-ch:
+		case <-done:
+			return
+		}
+		onFirst("interrupt")
+		select {
+		case <-ch:
+			os.Exit(130)
+		case <-done:
+		}
+	}()
+	return func() {
+		signal.Stop(ch)
+		close(done)
+	}
+}

@@ -31,3 +31,47 @@ func notifySIGQUIT(dump func()) (stop func()) {
 		close(done)
 	}
 }
+
+// notifyTermination watches SIGINT and SIGTERM. The first signal runs
+// onFirst (once) so the command can finish cooperatively — batch runs
+// cancel at the next progress hook, the daemon drains. A second signal
+// means the operator is done waiting: hard exit with the conventional
+// 128+signum status. The returned stop uninstalls the handler.
+func notifyTermination(onFirst func(sig string)) (stop func()) {
+	ch := make(chan os.Signal, 2)
+	done := make(chan struct{})
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		var sig os.Signal
+		select {
+		case sig = <-ch:
+		case <-done:
+			return
+		}
+		onFirst(sigString(sig))
+		select {
+		case sig = <-ch:
+			os.Exit(termExitCode(sig))
+		case <-done:
+		}
+	}()
+	return func() {
+		signal.Stop(ch)
+		close(done)
+	}
+}
+
+func sigString(sig os.Signal) string {
+	if sig == syscall.SIGTERM {
+		return "SIGTERM"
+	}
+	return "SIGINT"
+}
+
+// termExitCode is the shell convention: 128 + signal number.
+func termExitCode(sig os.Signal) int {
+	if sig == syscall.SIGTERM {
+		return 143
+	}
+	return 130
+}

@@ -1,0 +1,83 @@
+//go:build unix
+
+package cli
+
+import (
+	"errors"
+	"flag"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+
+	"jobgraph/internal/core"
+	"jobgraph/internal/obs"
+)
+
+// One real SIGTERM to ourselves: the session handler must intercept it
+// (not kill the test binary), flip every termination surface —
+// Terminated, TermErr, CancelErr, OnTerminate, the Configure'd hooks —
+// and late OnTerminate registrations must still fire.
+func TestSessionTermination(t *testing.T) {
+	reg := obs.Default()
+	reg.Reset()
+	defer reg.Reset()
+	defer reg.SetObserver(nil)
+
+	fs := flag.NewFlagSet("term", flag.ContinueOnError)
+	pf := RegisterPipelineFlagsOn(fs, "term", true)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	s, err := pf.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	var cfg core.Config
+	pf.Configure(&cfg)
+
+	var hooked atomic.Int32
+	s.OnTerminate(func() { hooked.Add(1) })
+
+	if err := s.TermErr(); err != nil {
+		t.Fatalf("TermErr before signal = %v", err)
+	}
+	select {
+	case <-s.Terminated():
+		t.Fatal("Terminated closed before any signal")
+	default:
+	}
+
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-s.Terminated():
+	case <-time.After(5 * time.Second):
+		t.Fatal("Terminated never closed after SIGTERM")
+	}
+	if hooked.Load() != 1 {
+		t.Fatalf("OnTerminate hook ran %d times, want 1", hooked.Load())
+	}
+	// Registration after the signal fires immediately.
+	s.OnTerminate(func() { hooked.Add(1) })
+	if hooked.Load() != 2 {
+		t.Fatalf("late OnTerminate did not fire: %d", hooked.Load())
+	}
+
+	if err := s.TermErr(); !errors.Is(err, ErrTerminated) {
+		t.Fatalf("TermErr = %v, want ErrTerminated", err)
+	}
+	if err := s.CancelErr(); !errors.Is(err, ErrTerminated) {
+		t.Fatalf("CancelErr = %v, want ErrTerminated", err)
+	}
+	// The pipeline hooks now abort the run cooperatively.
+	if err := cfg.OnJob(1, 10); !errors.Is(err, ErrTerminated) {
+		t.Fatalf("OnJob after signal = %v, want ErrTerminated", err)
+	}
+	if err := cfg.OnRow(1, 10); !errors.Is(err, ErrTerminated) {
+		t.Fatalf("OnRow after signal = %v, want ErrTerminated", err)
+	}
+}

@@ -1,0 +1,132 @@
+// Connection-level fault injectors: deterministic wrappers over
+// net.Listener and net.Conn that reproduce the transport failures a
+// serving daemon must survive — a stalled accept loop, a client that
+// opens a connection and then goes silent mid-body, and a trickling
+// sender. Faults are keyed by accepted-connection ordinal and absolute
+// byte offset, so the same flag set always wedges the same connection
+// at the same byte.
+package faultinject
+
+import (
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ListenerFaults describes the connection-level faults to inject. The
+// zero value injects nothing.
+type ListenerFaults struct {
+	// AcceptStall delays Accept by this much for the first
+	// AcceptStallConns accepted connections — a listener wedged behind a
+	// slow accept queue. Zero AcceptStallConns with a nonzero stall means
+	// every connection.
+	AcceptStall      time.Duration
+	AcceptStallConns int
+
+	// ReadStallAfter, when > 0, makes reads on matching connections
+	// block forever after that many bytes — a client that dies mid-body
+	// without closing. ReadStallConns bounds how many connections (in
+	// accept order) get the fault; 0 means every connection.
+	ReadStallAfter int64
+	ReadStallConns int
+
+	// SlowReadChunk/SlowReadDelay, when both set, cap each matching
+	// connection's reads at SlowReadChunk bytes with SlowReadDelay
+	// between them — a trickling sender that keeps a request alive far
+	// longer than its size warrants.
+	SlowReadChunk int
+	SlowReadDelay time.Duration
+}
+
+// Active reports whether any fault is configured.
+func (f ListenerFaults) Active() bool {
+	return f.AcceptStall > 0 || f.ReadStallAfter > 0 ||
+		(f.SlowReadChunk > 0 && f.SlowReadDelay > 0)
+}
+
+// Wrap returns ln with the configured faults injected. A zero-value
+// fault set returns ln unchanged.
+func (f ListenerFaults) Wrap(ln net.Listener) net.Listener {
+	if !f.Active() {
+		return ln
+	}
+	return &faultListener{Listener: ln, faults: f}
+}
+
+type faultListener struct {
+	net.Listener
+	faults   ListenerFaults
+	accepted atomic.Int64 // accepted-connection ordinal, 0-based
+}
+
+func (l *faultListener) Accept() (net.Conn, error) {
+	ordinal := l.accepted.Add(1) - 1
+	if d := l.faults.AcceptStall; d > 0 {
+		if n := l.faults.AcceptStallConns; n <= 0 || ordinal < int64(n) {
+			time.Sleep(d)
+		}
+	}
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return c, err
+	}
+	f := l.faults
+	stallThis := f.ReadStallAfter > 0 &&
+		(f.ReadStallConns <= 0 || ordinal < int64(f.ReadStallConns))
+	slowThis := f.SlowReadChunk > 0 && f.SlowReadDelay > 0
+	if !stallThis && !slowThis {
+		return c, nil
+	}
+	fc := &faultConn{Conn: c}
+	if stallThis {
+		fc.stallAfter = f.ReadStallAfter
+		fc.gate = make(chan struct{})
+	}
+	if slowThis {
+		fc.chunk = f.SlowReadChunk
+		fc.delay = f.SlowReadDelay
+	}
+	return fc, nil
+}
+
+// faultConn injects read-side faults on one accepted connection.
+type faultConn struct {
+	net.Conn
+	stallAfter int64 // bytes before the permanent read stall (0: off)
+	read       int64
+	gate       chan struct{}
+	gateOnce   sync.Once
+
+	chunk int // max bytes per read (0: unlimited)
+	delay time.Duration
+}
+
+func (c *faultConn) Read(p []byte) (int, error) {
+	if c.stallAfter > 0 && c.read >= c.stallAfter {
+		// The mid-body stall: never return, never error — exactly what a
+		// silent peer looks like until a deadline fires. Close unblocks
+		// it so shutdown does not leak the goroutine.
+		<-c.gate
+		return 0, net.ErrClosed
+	}
+	if c.delay > 0 {
+		time.Sleep(c.delay)
+	}
+	if c.chunk > 0 && len(p) > c.chunk {
+		p = p[:c.chunk]
+	}
+	if c.stallAfter > 0 && int64(len(p)) > c.stallAfter-c.read {
+		p = p[:c.stallAfter-c.read]
+	}
+	n, err := c.Conn.Read(p)
+	c.read += int64(n)
+	return n, err
+}
+
+func (c *faultConn) Close() error {
+	if c.gate != nil {
+		c.gateOnce.Do(func() { close(c.gate) })
+	}
+	return c.Conn.Close()
+}

@@ -1,0 +1,170 @@
+package faultinject
+
+import (
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// pipeListen starts a TCP listener on loopback wrapped with faults,
+// returning it plus a dial helper.
+func pipeListen(t *testing.T, f ListenerFaults) (net.Listener, func() net.Conn) {
+	t.Helper()
+	raw, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln := f.Wrap(raw)
+	t.Cleanup(func() { ln.Close() })
+	dial := func() net.Conn {
+		c, err := net.Dial("tcp", raw.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { c.Close() })
+		return c
+	}
+	return ln, dial
+}
+
+func TestWrapInactiveIsIdentity(t *testing.T) {
+	raw, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	if ln := (ListenerFaults{}).Wrap(raw); ln != raw {
+		t.Fatal("zero-value faults wrapped the listener")
+	}
+	if !(ListenerFaults{AcceptStall: time.Second}).Active() {
+		t.Fatal("AcceptStall not active")
+	}
+}
+
+func TestAcceptStallDelaysFirstConns(t *testing.T) {
+	ln, dial := pipeListen(t, ListenerFaults{
+		AcceptStall:      80 * time.Millisecond,
+		AcceptStallConns: 1,
+	})
+
+	accepted := make(chan net.Conn, 2)
+	go func() {
+		for i := 0; i < 2; i++ {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			accepted <- c
+		}
+	}()
+
+	start := time.Now()
+	dial()
+	c1 := <-accepted
+	defer c1.Close()
+	if d := time.Since(start); d < 80*time.Millisecond {
+		t.Fatalf("first accept returned in %v, want >= 80ms stall", d)
+	}
+
+	// The second connection is past the stall budget: fast.
+	start = time.Now()
+	dial()
+	c2 := <-accepted
+	defer c2.Close()
+	if d := time.Since(start); d > 60*time.Millisecond {
+		t.Fatalf("second accept took %v; stall leaked past AcceptStallConns", d)
+	}
+}
+
+func TestReadStallAfterWedgesMidBody(t *testing.T) {
+	ln, dial := pipeListen(t, ListenerFaults{ReadStallAfter: 4, ReadStallConns: 1})
+
+	serverSide := make(chan net.Conn, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		serverSide <- c
+	}()
+	client := dial()
+	srv := <-serverSide
+	defer srv.Close()
+
+	if _, err := client.Write([]byte("12345678")); err != nil {
+		t.Fatal(err)
+	}
+
+	// First 4 bytes arrive; the read crossing the boundary blocks.
+	buf := make([]byte, 8)
+	n, err := io.ReadFull(srv, buf[:4])
+	if err != nil || n != 4 {
+		t.Fatalf("pre-stall read: %d %v", n, err)
+	}
+
+	type res struct {
+		n   int
+		err error
+	}
+	got := make(chan res, 1)
+	go func() {
+		n, err := srv.Read(buf[4:])
+		got <- res{n, err}
+	}()
+	select {
+	case r := <-got:
+		t.Fatalf("read past the stall returned (%d, %v); should block", r.n, r.err)
+	case <-time.After(100 * time.Millisecond):
+	}
+	// Close unblocks the wedged read instead of leaking its goroutine.
+	srv.Close()
+	select {
+	case <-got:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not unblock the stalled read")
+	}
+}
+
+func TestSlowReadTrickles(t *testing.T) {
+	ln, dial := pipeListen(t, ListenerFaults{
+		SlowReadChunk: 2,
+		SlowReadDelay: 10 * time.Millisecond,
+	})
+
+	serverSide := make(chan net.Conn, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		serverSide <- c
+	}()
+	client := dial()
+	srv := <-serverSide
+	defer srv.Close()
+
+	msg := []byte("0123456789")
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		client.Write(msg)
+	}()
+
+	start := time.Now()
+	buf := make([]byte, len(msg))
+	if _, err := io.ReadFull(srv, buf); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	// 10 bytes at <=2 per read with 10ms between reads: at least 5 reads
+	// and ~50ms of injected delay.
+	if d := time.Since(start); d < 40*time.Millisecond {
+		t.Fatalf("10 bytes trickled in %v; slow-read fault not applied", d)
+	}
+	if string(buf) != string(msg) {
+		t.Fatalf("payload corrupted: %q", buf)
+	}
+}

@@ -54,8 +54,9 @@ type Entry struct {
 
 // Append writes e as one JSON line at the end of the ledger file,
 // creating the file and its directory as needed. Each entry is a
-// single O_APPEND write, so runs from different processes land as
-// whole lines.
+// single O_APPEND write fsync'd before Close, so runs from different
+// processes land as whole lines and a crash right after a run ends
+// cannot lose the entry that run already reported as written.
 func Append(path string, e Entry) error {
 	if e.Schema == "" {
 		e.Schema = Schema
@@ -78,10 +79,19 @@ func Append(path string, e Entry) error {
 		f.Close()
 		return fmt.Errorf("ledger: append: %w", err)
 	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("ledger: fsync: %w", err)
+	}
 	return f.Close()
 }
 
-// Read loads every entry in the ledger, oldest first.
+// Read loads every entry in the ledger, oldest first. A damaged FINAL
+// line — the torn tail a crash mid-append leaves behind — is skipped
+// with the preceding history intact, because losing one interrupted
+// run's entry must not make the whole history unreadable. Damage
+// anywhere but the tail still fails loudly: that is corruption, not a
+// crash artifact.
 func Read(path string) ([]Entry, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -92,6 +102,8 @@ func Read(path string) ([]Entry, error) {
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<26)
 	line := 0
+	var badLine int
+	var badErr error
 	for sc.Scan() {
 		line++
 		text := sc.Bytes()
@@ -100,7 +112,16 @@ func Read(path string) ([]Entry, error) {
 		}
 		var e Entry
 		if err := json.Unmarshal(text, &e); err != nil {
-			return nil, fmt.Errorf("ledger: %s:%d: %w", path, line, err)
+			if badErr != nil {
+				// Two bad lines: the first was not a torn tail.
+				return nil, fmt.Errorf("ledger: %s:%d: %w", path, badLine, badErr)
+			}
+			badLine, badErr = line, err
+			continue
+		}
+		if badErr != nil {
+			// A good entry after a bad line: mid-file corruption.
+			return nil, fmt.Errorf("ledger: %s:%d: %w", path, badLine, badErr)
 		}
 		out = append(out, e)
 	}

@@ -90,13 +90,67 @@ func TestAppendIsOneLinePerEntry(t *testing.T) {
 	}
 }
 
-func TestReadRejectsMalformedLine(t *testing.T) {
+func TestReadRejectsMidFileCorruption(t *testing.T) {
+	// A malformed line with more history AFTER it is corruption, not a
+	// torn tail: Read must fail loudly rather than drop entries.
 	path := filepath.Join(t.TempDir(), "ledger.jsonl")
-	if err := os.WriteFile(path, []byte("{\"schema\":\"jobgraph-ledger/v1\"}\nnot json\n"), 0o644); err != nil {
+	body := "{\"schema\":\"jobgraph-ledger/v1\",\"run_id\":\"r1\"}\n" +
+		"not json\n" +
+		"{\"schema\":\"jobgraph-ledger/v1\",\"run_id\":\"r2\"}\n"
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := Read(path); err == nil {
-		t.Fatal("malformed line accepted")
+		t.Fatal("mid-file corruption accepted")
+	}
+
+	// Two consecutive bad lines are also not a single torn tail.
+	body = "{\"schema\":\"jobgraph-ledger/v1\",\"run_id\":\"r1\"}\nnot json\nalso not json\n"
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(path); err == nil {
+		t.Fatal("two malformed lines accepted")
+	}
+}
+
+func TestReadSkipsTornFinalLine(t *testing.T) {
+	// A crash mid-append leaves a partial last line. Read keeps the
+	// preceding history instead of making the whole ledger unreadable.
+	path := filepath.Join(t.TempDir(), "ledger.jsonl")
+	if err := Append(path, testEntry("run-a", nil)); err != nil {
+		t.Fatal(err)
+	}
+	if err := Append(path, testEntry("run-b", nil)); err != nil {
+		t.Fatal(err)
+	}
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tear the final entry at a few depths: just its opening brace, the
+	// middle of the JSON, and all-but-the-last-byte.
+	secondStart := len(full) / 2
+	for i := secondStart; i < len(full); i++ {
+		if full[i-1] == '\n' {
+			secondStart = i
+			break
+		}
+	}
+	for _, cut := range []int{secondStart + 1, secondStart + (len(full)-secondStart)/2, len(full) - 2} {
+		if err := os.WriteFile(path, full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		entries, err := Read(path)
+		if err != nil {
+			t.Fatalf("cut %d: torn tail made ledger unreadable: %v", cut, err)
+		}
+		if len(entries) != 1 || entries[0].RunID != "run-a" {
+			t.Fatalf("cut %d: entries = %+v, want just run-a", cut, entries)
+		}
+		// The ledger stays appendable after a torn tail... though the torn
+		// line remains (Append is O_APPEND-only); history before it is
+		// what Read preserves.
 	}
 }
 

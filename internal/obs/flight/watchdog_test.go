@@ -191,3 +191,67 @@ func TestDefaultTickClamp(t *testing.T) {
 		t.Fatalf("tick = %v, want 5s ceiling", w.cfg.Tick)
 	}
 }
+
+func TestWatchdogToleratesBackwardsClock(t *testing.T) {
+	// NTP step-backs and VM suspend/resume can make the clock read
+	// earlier than a stage start or a last beat. Negative ages must not
+	// trip the watchdog, and recovery must re-arm the budgets cleanly.
+	r := obs.NewRegistry()
+	r.SetTrackAllocs(false)
+	clk := installClock(r)
+	w := NewWatchdog(Config{
+		Registry:         r,
+		StageBudget:      time.Second,
+		HeartbeatTimeout: time.Second,
+		FlightDir:        t.TempDir(),
+	})
+	r.Progress().StageStarted("ingest")
+	r.Heartbeat("pool").Beat()
+
+	clk.advance(-time.Hour) // clock steps backwards past the start
+	if tr := w.Poll(); tr != nil {
+		t.Fatalf("tripped on a backwards clock: %+v", tr)
+	}
+	clk.advance(time.Hour + 500*time.Millisecond) // recovered, inside budget
+	if tr := w.Poll(); tr != nil {
+		t.Fatalf("tripped inside budget after clock recovery: %+v", tr)
+	}
+	clk.advance(time.Second) // genuinely over budget now
+	if tr := w.Poll(); tr == nil {
+		t.Fatal("did not trip once the recovered clock passed the budget")
+	}
+}
+
+func TestWatchdogZeroBudgetsDisable(t *testing.T) {
+	r := obs.NewRegistry()
+	r.SetTrackAllocs(false)
+	clk := installClock(r)
+
+	// All budgets zero-valued: nothing trips, however long the silence.
+	w := NewWatchdog(Config{Registry: r, FlightDir: t.TempDir()})
+	r.Progress().StageStarted("ingest")
+	r.Heartbeat("pool").Beat()
+	clk.advance(240 * time.Hour)
+	if tr := w.Poll(); tr != nil {
+		t.Fatalf("zero-valued budgets tripped: %+v", tr)
+	}
+
+	// A zero per-stage override disables just that stage while the
+	// default budget still guards every other one. The silent heartbeat
+	// also stays exempt: HeartbeatTimeout is zero here too.
+	w2 := NewWatchdog(Config{
+		Registry:     r,
+		StageBudget:  time.Second,
+		StageBudgets: map[string]time.Duration{"ingest": 0},
+		FlightDir:    t.TempDir(),
+	})
+	if tr := w2.Poll(); tr != nil {
+		t.Fatalf("zero per-stage override tripped: %+v", tr)
+	}
+	r.Progress().StageStarted("cluster")
+	clk.advance(2 * time.Second)
+	tr := w2.Poll()
+	if tr == nil || tr.Name != "cluster" || tr.Reason != "stage-deadline" {
+		t.Fatalf("default budget did not guard the un-overridden stage: %+v", tr)
+	}
+}

@@ -141,3 +141,29 @@ func TestObserverNotifications(t *testing.T) {
 		t.Fatalf("observer still notified after removal")
 	}
 }
+
+func TestHeartbeatStatesBackwardsClock(t *testing.T) {
+	// A clock step-back between the last beat and the snapshot yields a
+	// negative age rather than saturating; the stall watchdog reads
+	// negative silence as "not stalled".
+	r := NewRegistry()
+	now := time.Unix(1000, 0)
+	r.SetClock(func() time.Time { return now })
+	hb := r.Heartbeat("pool")
+	hb.Beat()
+	now = now.Add(-5 * time.Second)
+	st := r.HeartbeatStates()[0]
+	if st.AgeMs != -5000 {
+		t.Fatalf("AgeMs = %v, want -5000", st.AgeMs)
+	}
+	if !st.LastBeat.Equal(time.Unix(1000, 0)) {
+		t.Fatalf("LastBeat = %v, want the beat time", st.LastBeat)
+	}
+	// Beating on the stepped-back clock rewinds LastBeat with it; the
+	// snapshot stays consistent with the registry clock.
+	hb.Beat()
+	st = r.HeartbeatStates()[0]
+	if st.AgeMs != 0 || !st.LastBeat.Equal(now) {
+		t.Fatalf("post-stepback beat not reflected: %+v", st)
+	}
+}

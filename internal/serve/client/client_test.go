@@ -1,0 +1,180 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func fastClient(t *testing.T, base string, mutate func(*Config)) *Client {
+	t.Helper()
+	cfg := Config{
+		Base:        base,
+		MaxAttempts: 6,
+		BaseDelay:   time.Millisecond,
+		MaxDelay:    10 * time.Millisecond,
+		Seed:        42,
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// A server that sheds the first N attempts with 429 must eventually see
+// the request land, with every attempt carrying the same body.
+func TestClientRetries429UntilSuccess(t *testing.T) {
+	var attempts atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if attempts.Add(1) <= 3 {
+			w.Header().Set("Retry-After", "0")
+			http.Error(w, "queue full", http.StatusTooManyRequests)
+			return
+		}
+		w.Write([]byte(`{"ok":true}`))
+	}))
+	defer ts.Close()
+
+	c := fastClient(t, ts.URL, nil)
+	var out struct {
+		OK bool `json:"ok"`
+	}
+	if err := c.Post(context.Background(), "/v1/jobs", map[string]string{"name": "j"}, &out); err != nil {
+		t.Fatalf("post: %v", err)
+	}
+	if !out.OK || attempts.Load() != 4 {
+		t.Fatalf("ok=%v attempts=%d", out.OK, attempts.Load())
+	}
+}
+
+func TestClientHonorsRetryAfter(t *testing.T) {
+	var first atomic.Int64
+	var second atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if first.CompareAndSwap(0, time.Now().UnixNano()) {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "busy", http.StatusServiceUnavailable)
+			return
+		}
+		second.Store(time.Now().UnixNano())
+		w.Write([]byte(`{}`))
+	}))
+	defer ts.Close()
+
+	// BaseDelay 1ms, but Retry-After says 1s: the gap must be >= ~1s.
+	c := fastClient(t, ts.URL, nil)
+	if err := c.Post(context.Background(), "/x", struct{}{}, nil); err != nil {
+		t.Fatalf("post: %v", err)
+	}
+	gap := time.Duration(second.Load() - first.Load())
+	if gap < 900*time.Millisecond {
+		t.Fatalf("retried after %v; Retry-After: 1 ignored", gap)
+	}
+}
+
+func TestClientDoesNotRetryTerminalStatus(t *testing.T) {
+	var attempts atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		attempts.Add(1)
+		http.Error(w, "bad body", http.StatusBadRequest)
+	}))
+	defer ts.Close()
+
+	c := fastClient(t, ts.URL, nil)
+	err := c.Post(context.Background(), "/x", struct{}{}, nil)
+	var se *StatusError
+	if !errors.As(err, &se) || se.Status != http.StatusBadRequest {
+		t.Fatalf("err = %v, want StatusError 400", err)
+	}
+	if attempts.Load() != 1 {
+		t.Fatalf("400 retried %d times", attempts.Load())
+	}
+}
+
+func TestClientGivesUpAfterMaxAttempts(t *testing.T) {
+	var attempts atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		attempts.Add(1)
+		http.Error(w, "always full", http.StatusTooManyRequests)
+	}))
+	defer ts.Close()
+
+	c := fastClient(t, ts.URL, func(c *Config) { c.MaxAttempts = 3 })
+	err := c.Post(context.Background(), "/x", struct{}{}, nil)
+	if err == nil {
+		t.Fatal("expected give-up error")
+	}
+	var se *StatusError
+	if !errors.As(err, &se) || se.Status != http.StatusTooManyRequests {
+		t.Fatalf("give-up error should wrap the last StatusError: %v", err)
+	}
+	if attempts.Load() != 3 {
+		t.Fatalf("made %d attempts, want 3", attempts.Load())
+	}
+}
+
+func TestClientRetriesTransportErrors(t *testing.T) {
+	// A listener that closed: every dial fails, and the context cuts the
+	// retry loop short.
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	base := ts.URL
+	ts.Close()
+
+	c := fastClient(t, base, func(c *Config) { c.MaxAttempts = 100; c.MaxDelay = 5 * time.Millisecond })
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := c.Post(ctx, "/x", struct{}{}, nil)
+	if err == nil {
+		t.Fatal("expected error against a dead server")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context deadline", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("retry loop ignored the context for far too long")
+	}
+}
+
+func TestClientBackoffGrowsAndJitters(t *testing.T) {
+	c := fastClient(t, "http://x", func(c *Config) {
+		c.BaseDelay = 10 * time.Millisecond
+		c.MaxDelay = 80 * time.Millisecond
+	})
+	for attempt := 0; attempt < 6; attempt++ {
+		d := c.backoff(attempt, 0)
+		// Full jitter keeps every delay within [step/2, step], capped.
+		step := c.cfg.BaseDelay << attempt
+		if step > c.cfg.MaxDelay || step <= 0 {
+			step = c.cfg.MaxDelay
+		}
+		if d < step/2 || d > step {
+			t.Fatalf("attempt %d: backoff %v outside [%v, %v]", attempt, d, step/2, step)
+		}
+	}
+	// Retry-After longer than the computed delay wins.
+	if d := c.backoff(0, time.Second); d != time.Second {
+		t.Fatalf("Retry-After not honored: %v", d)
+	}
+}
+
+func TestNewValidates(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("empty base accepted")
+	}
+	c, err := New(Config{Base: "http://h/"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.base != "http://h" {
+		t.Fatalf("base not trimmed: %q", c.base)
+	}
+}

@@ -67,24 +67,30 @@ func shortestPaths(g *dag.Graph) map[dag.NodeID]map[dag.NodeID]int {
 }
 
 // recordEdge interns one iteration's edge pairs and node labels into
-// the vector.
-func (d *Dictionary) recordEdge(vec Vector, g *dag.Graph, labels map[dag.NodeID]string) {
+// the vector (labels unknown to a frozen view are skipped).
+func recordEdge(ld labeler, vec Vector, g *dag.Graph, labels map[dag.NodeID]string) {
 	for _, u := range g.NodeIDs() {
-		vec[d.id("N|"+labels[u])]++
+		if id, ok := ld.labelID("N|" + labels[u]); ok {
+			vec[id]++
+		}
 		for _, v := range g.Succ(u) {
-			vec[d.id(fmt.Sprintf("E|%s|%s", labels[u], labels[v]))]++
+			if id, ok := ld.labelID(fmt.Sprintf("E|%s|%s", labels[u], labels[v])); ok {
+				vec[id]++
+			}
 		}
 	}
 }
 
 // recordShortestPath interns one iteration's shortest-path triples into
-// the vector.
-func (d *Dictionary) recordShortestPath(vec Vector, g *dag.Graph,
+// the vector (labels unknown to a frozen view are skipped).
+func recordShortestPath(ld labeler, vec Vector,
 	labels map[dag.NodeID]string, dists map[dag.NodeID]map[dag.NodeID]int) {
 	for u, row := range dists {
 		lu := labels[u]
 		for v, dist := range row {
-			vec[d.id(fmt.Sprintf("SP|%s|%s|%d", lu, labels[v], dist))]++
+			if id, ok := ld.labelID(fmt.Sprintf("SP|%s|%s|%d", lu, labels[v], dist)); ok {
+				vec[id]++
+			}
 		}
 	}
 }

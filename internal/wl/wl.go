@@ -16,6 +16,7 @@ import (
 	"bytes"
 	"encoding/gob"
 	"fmt"
+	"hash/fnv"
 	"math"
 	"sort"
 	"strings"
@@ -156,6 +157,47 @@ func (d *Dictionary) id(label string) int {
 // Len returns the number of distinct labels interned so far.
 func (d *Dictionary) Len() int { return len(d.ids) }
 
+// labeler abstracts label-to-id resolution for embed: the mutable
+// Dictionary interns unseen labels, a Frozen view reports them absent.
+type labeler interface {
+	labelID(label string) (int, bool)
+}
+
+func (d *Dictionary) labelID(label string) (int, bool) { return d.id(label), true }
+
+// Frozen is an immutable snapshot of a Dictionary for concurrent
+// serving: Embed on a Frozen never mutates shared state, so any number
+// of goroutines may classify against one snapshot while another
+// goroutine swaps in a replacement. Labels unseen at freeze time
+// contribute nothing to the feature vector — exactly the weight they
+// would carry against any vector built from the frozen label space.
+type Frozen struct {
+	ids map[string]int
+}
+
+// Freeze copies the dictionary into an immutable view.
+func (d *Dictionary) Freeze() *Frozen {
+	ids := make(map[string]int, len(d.ids))
+	for k, v := range d.ids {
+		ids[k] = v
+	}
+	return &Frozen{ids: ids}
+}
+
+func (f *Frozen) labelID(label string) (int, bool) {
+	v, ok := f.ids[label]
+	return v, ok
+}
+
+// Len returns the number of labels in the frozen view.
+func (f *Frozen) Len() int { return len(f.ids) }
+
+// Embed computes the WL feature vector of g against the frozen label
+// space without mutating it. See Dictionary.Embed for semantics.
+func (f *Frozen) Embed(g *dag.Graph, opt Options) (Vector, error) {
+	return embed(f, g, opt)
+}
+
 // GobEncode implements gob.GobEncoder so analyses cached by the engine
 // retain their kernel state: a restored dictionary embeds new graphs
 // (Analysis.AssignGroup) with exactly the ids the original interned.
@@ -182,6 +224,15 @@ func (d *Dictionary) GobDecode(data []byte) error {
 // dictionary state, and embedding the same graph twice yields the same
 // vector.
 func (d *Dictionary) Embed(g *dag.Graph, opt Options) (Vector, error) {
+	return embed(d, g, opt)
+}
+
+// embed is the shared refinement loop behind Dictionary.Embed (interning)
+// and Frozen.Embed (read-only). Under a Dictionary the two behave
+// identically to the historical Embed; under a Frozen view, labels the
+// dictionary never saw are skipped when recording and compressed by
+// content hash instead of by id.
+func embed(ld labeler, g *dag.Graph, opt Options) (Vector, error) {
 	if err := opt.validate(); err != nil {
 		return nil, err
 	}
@@ -208,12 +259,14 @@ func (d *Dictionary) Embed(g *dag.Graph, opt Options) (Vector, error) {
 	record := func() {
 		switch opt.Base {
 		case BaseShortestPath:
-			d.recordShortestPath(vec, g, labels, dists)
+			recordShortestPath(ld, vec, labels, dists)
 		case BaseEdge:
-			d.recordEdge(vec, g, labels)
+			recordEdge(ld, vec, g, labels)
 		default:
 			for _, id := range ids {
-				vec[d.id(labels[id])]++
+				if v, ok := ld.labelID(labels[id]); ok {
+					vec[v]++
+				}
 			}
 		}
 	}
@@ -225,9 +278,15 @@ func (d *Dictionary) Embed(g *dag.Graph, opt Options) (Vector, error) {
 			next[id] = refineLabel(g, id, labels, opt.Undirected)
 		}
 		// Compress through the dictionary so label strings don't grow
-		// exponentially across iterations.
+		// exponentially across iterations. Unseen labels under a frozen
+		// view compress by content hash: still deterministic and
+		// fixed-width, just outside the learned id space.
 		for id, l := range next {
-			next[id] = fmt.Sprintf("#%d", d.id(l))
+			if v, ok := ld.labelID(l); ok {
+				next[id] = fmt.Sprintf("#%d", v)
+			} else {
+				next[id] = hashLabel(l)
+			}
 		}
 		labels = next
 		record()
@@ -235,8 +294,19 @@ func (d *Dictionary) Embed(g *dag.Graph, opt Options) (Vector, error) {
 	obsEmbeds.Add(1)
 	obsRefineRounds.Add(int64(opt.Iterations))
 	obsVectorSize.Observe(float64(len(vec)))
-	obsDictLabels.Set(int64(d.Len()))
+	if d, ok := ld.(*Dictionary); ok {
+		obsDictLabels.Set(int64(d.Len()))
+	}
 	return vec, nil
+}
+
+// hashLabel compresses a refined label absent from a frozen dictionary:
+// deterministic and fixed-width so refinement stays bounded, and
+// prefixed so it can never collide with a "#id" compression.
+func hashLabel(l string) string {
+	h := fnv.New64a()
+	h.Write([]byte(l))
+	return fmt.Sprintf("?%016x", h.Sum64())
 }
 
 // refineLabel builds the iteration-(i+1) label string for one node.
