@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race bench fuzz reproduce metrics trace ledger baseline benchdiff cache-demo report flight-demo daemon-demo staticcheck govulncheck fmt vet clean
+.PHONY: all build test test-short race bench fuzz reproduce metrics trace ledger baseline benchdiff ann-gate cache-demo report flight-demo daemon-demo staticcheck govulncheck fmt vet clean
 
 all: build test
 
@@ -63,7 +63,7 @@ report:
 # compute, never cache loads.
 baseline:
 	rm -f results/bench_baseline.jsonl
-	$(GO) run ./cmd/reproduce -gen 2000 -seed 1 -no-cache -out /tmp/jobgraph-bench/ -ledger results/bench_baseline.jsonl >/dev/null
+	$(GO) run ./cmd/reproduce -gen 2000 -seed 1 -no-cache -ann -out /tmp/jobgraph-bench/ -ledger results/bench_baseline.jsonl >/dev/null
 	@echo "wrote results/bench_baseline.jsonl"
 
 # Compare a fresh run against the committed baseline ledger, mirroring
@@ -71,8 +71,22 @@ baseline:
 benchdiff:
 	mkdir -p /tmp/jobgraph-bench
 	cp results/bench_baseline.jsonl /tmp/jobgraph-bench/gate.jsonl
-	$(GO) run ./cmd/reproduce -gen 2000 -seed 1 -no-cache -out /tmp/jobgraph-bench/ -ledger /tmp/jobgraph-bench/gate.jsonl >/dev/null
+	$(GO) run ./cmd/reproduce -gen 2000 -seed 1 -no-cache -ann -out /tmp/jobgraph-bench/ -ledger /tmp/jobgraph-bench/gate.jsonl >/dev/null
 	$(GO) run ./cmd/benchdiff -ledger /tmp/jobgraph-bench/gate.jsonl -threshold 0.15 -min-ms 20 -warn-only
+
+# Local mirror of CI's ANN gate: recall@10 against the exact kernel on
+# the 100-job sample, the accuracy-vs-speed band sweep, and p50 query
+# latency over a 1M-job synthetic sketch corpus.
+ann-gate:
+	mkdir -p /tmp/jobgraph-ann
+	$(GO) run ./cmd/similarity -gen 20000 -sample 100 -seed 1 \
+		-ann -topk 10 -minhash 64 -bands 32 -recall-check \
+		-ann-report /tmp/jobgraph-ann/gate.json \
+		-ann-csv /tmp/jobgraph-ann/accuracy_vs_speed.csv \
+		-ann-scale 1000000
+	jq -e '.recall_at_k >= 0.9' /tmp/jobgraph-ann/gate.json
+	jq -e '.p50_query_us < 1000' /tmp/jobgraph-ann/gate.json
+	@echo "ANN gate passed"
 
 # Artifact-cache demonstration: a cold clusterjobs run populates the
 # cache, a warm re-run at a different group count reuses everything up

@@ -7,6 +7,7 @@ package jobgraph_test
 
 import (
 	"fmt"
+	"math/rand"
 	"sync"
 	"testing"
 
@@ -374,6 +375,80 @@ func BenchmarkIndexQuery(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := ix.Query(query, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// annBenchCorpus synthesizes n hashed WL embeddings shaped like the
+// prototype-plus-perturbation population the scale probe uses, sketches
+// them, and loads them into a built ANN index.
+func annBenchCorpus(b *testing.B, n int) (*wl.ANNIndex, []string) {
+	b.Helper()
+	opt := wl.SketchOptions{Buckets: 1 << 20, Hashes: 64, Bands: 32, Seed: 7}
+	rng := rand.New(rand.NewSource(7))
+	protos := make([][]int32, 512)
+	for i := range protos {
+		keys := make([]int32, 12+rng.Intn(24))
+		for j := range keys {
+			keys[j] = int32(rng.Intn(1 << 20))
+		}
+		protos[i] = keys
+	}
+	vecs := make([]wl.Vector, n)
+	ids := make([]string, n)
+	for i := 0; i < n; i++ {
+		v := make(wl.Vector)
+		for _, k := range protos[rng.Intn(len(protos))] {
+			v[int(k)] = float64(1 + rng.Intn(3))
+		}
+		v[rng.Intn(1<<20)] = 1
+		vecs[i] = v
+		ids[i] = fmt.Sprintf("bench-job-%d", i)
+	}
+	sigs, err := wl.Sketches(vecs, opt, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ix, err := wl.NewANNIndexFromSketches(wl.DefaultOptions(), opt, ids, vecs, sigs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ix.Build()
+	return ix, ids
+}
+
+// BenchmarkANNQuery measures a banded-LSH top-k query (candidate lookup
+// plus exact cosine re-rank) against a 100k-job sketch index — the
+// sublinear path that replaces the O(n) exact index scan at scale.
+func BenchmarkANNQuery(b *testing.B) {
+	ix, ids := annBenchCorpus(b, 100_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ix.QueryJob(ids[i%len(ids)], 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSketchCluster measures mini-batch k-means over 20k hashed
+// embeddings — the sketch-space clustering that stands in for exact
+// spectral beyond the 100-job reference scale.
+func BenchmarkSketchCluster(b *testing.B) {
+	rng := rand.New(rand.NewSource(11))
+	pts := make([]map[int]float64, 20_000)
+	for i := range pts {
+		base := (i % 5) * 40
+		v := make(map[int]float64, 12)
+		for j := 0; j < 10; j++ {
+			v[base+rng.Intn(40)] = float64(1 + rng.Intn(3))
+		}
+		v[200+rng.Intn(1<<16)] = 1
+		pts[i] = v
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cluster.MiniBatchKMeans(pts, cluster.MiniBatchKMeansOptions{K: 5, Seed: 1}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -8,6 +8,7 @@
 //	jobgraphctl -mode post    [-addr host:port] [-gen 2000] [-seed 1] [-jobs 5]
 //	jobgraphctl -mode rows    [-addr host:port] [-gen 2000] [-seed 1] [-jobs 5]
 //	jobgraphctl -mode complete -job j_0000042
+//	jobgraphctl -mode similar -job j_0000042 [-topk 10]
 //	jobgraphctl -mode reload
 //	jobgraphctl -mode stats
 //	jobgraphctl -mode journal-complete -journal serve.journal -job j_0000042
@@ -18,6 +19,7 @@
 //	rows      stream jobs' rows to /v1/rows without completing them
 //	          (pending state the daemon must preserve across restarts)
 //	complete  POST /v1/complete for -job and print the result
+//	similar   GET /v1/similar/{-job} and print the top -topk neighbours
 //	reload    POST /model/reload
 //	stats     GET /v1/stats and print the JSON
 //	journal-complete
@@ -34,6 +36,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/url"
 	"os"
 	"time"
 
@@ -49,11 +52,12 @@ func main() { cli.Run(run) }
 func run() error {
 	var (
 		addr     = flag.String("addr", "localhost:8847", "jobgraphd address (host:port)")
-		mode     = flag.String("mode", "post", "post | rows | complete | reload | stats")
+		mode     = flag.String("mode", "post", "post | rows | complete | similar | reload | stats")
 		gen      = flag.Int("gen", 2000, "jobs to generate client-side (post/rows modes)")
 		seed     = flag.Int64("seed", 1, "generation RNG seed")
 		jobCount = flag.Int("jobs", 5, "how many generated jobs to send (post/rows modes)")
-		jobName  = flag.String("job", "", "job to complete (complete / journal-complete modes)")
+		jobName  = flag.String("job", "", "job to act on (complete / similar / journal-complete modes)")
+		topK     = flag.Int("topk", 10, "neighbours to request (similar mode)")
 		jpath    = flag.String("journal", "", "journal file for -mode journal-complete")
 		timeout  = flag.Duration("timeout", 2*time.Minute, "overall deadline for the whole operation")
 		retries  = flag.Int("retries", 30, "max attempts per request (backpressure absorbs into backoff)")
@@ -113,6 +117,23 @@ func run() error {
 			return fmt.Errorf("jobgraphctl: complete %s: %v", *jobName, err)
 		}
 		fmt.Printf("%s\tgroup=%s\tscore=%.4f\treplayed=%v\n", res.Job, res.Group, res.Score, res.Replayed)
+		return nil
+
+	case "similar":
+		if *jobName == "" {
+			return fmt.Errorf("jobgraphctl: -mode similar requires -job")
+		}
+		var res serve.SimilarResponse
+		path := fmt.Sprintf("/v1/similar/%s?k=%d", url.PathEscape(*jobName), *topK)
+		if err := c.Get(ctx, path, &res); err != nil {
+			return fmt.Errorf("jobgraphctl: similar %s: %v", *jobName, err)
+		}
+		for _, h := range res.Hits {
+			fmt.Printf("%s\tsimilarity=%.4f\n", h.Job, h.Similarity)
+		}
+		if len(res.Hits) == 0 {
+			fmt.Printf("%s\tno neighbours in the index\n", res.Job)
+		}
 		return nil
 
 	case "reload":

@@ -6,6 +6,7 @@
 // Usage:
 //
 //	jobgraphd [-addr localhost:8847] [-model model.gob]
+//	          [-ann] [-ann-index index.gob]
 //	          [-trace batch_task.csv | -gen 10000] [-sample 100] [-groups 5]
 //	          [-journal serve.journal] [-batch-size 64] [-batch-wait 25ms]
 //	          [-queue-depth 1024] [-request-timeout 30s] [-drain-timeout 30s]
@@ -36,6 +37,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"path/filepath"
 	"time"
 
 	"jobgraph/internal/cli"
@@ -43,6 +45,7 @@ import (
 	"jobgraph/internal/faultinject"
 	"jobgraph/internal/obs"
 	"jobgraph/internal/serve"
+	"jobgraph/internal/wl"
 )
 
 func main() { cli.Run(run) }
@@ -56,6 +59,8 @@ func run() error {
 		sample    = flag.Int("sample", 100, "jobs to sample for boot training")
 		seed      = flag.Int64("seed", 1, "RNG seed for boot training")
 		groups    = flag.Int("groups", 5, "number of spectral groups for boot training")
+		ann       = flag.Bool("ann", false, "serve GET /v1/similar/{job} from a sketch-LSH index built at boot training")
+		annIndex  = flag.String("ann-index", "", "ANN index file: loaded when present, written after boot training with -ann")
 
 		journal        = flag.String("journal", "", "crash-safe admission journal path (empty: accepted work is not durable)")
 		batchSize      = flag.Int("batch-size", 64, "admission operations per group-committed batch")
@@ -81,13 +86,14 @@ func run() error {
 	defer sess.Close()
 	defer pf.Close()
 
-	model, err := bootModel(pf, *modelPath, *tracePath, *gen, *sample, *seed, *groups)
+	model, annIx, err := bootModel(pf, *modelPath, *annIndex, *tracePath, *gen, *sample, *seed, *groups, *ann)
 	if err != nil {
 		return fmt.Errorf("jobgraphd: %v", err)
 	}
 
 	cfg := serve.Config{
 		Model:          model,
+		ANN:            annIx,
 		JournalPath:    *journal,
 		RequestTimeout: *requestTimeout,
 		Workers:        *pf.Workers,
@@ -100,6 +106,11 @@ func run() error {
 	if *modelPath != "" {
 		cfg.Reload = func(ctx context.Context) (*core.Model, error) {
 			return core.LoadModel(*modelPath)
+		}
+	}
+	if *annIndex != "" {
+		cfg.ReloadANN = func(ctx context.Context) (*wl.ANNIndex, error) {
+			return loadANNFile(*annIndex)
 		}
 	}
 	srv, err := serve.New(cfg)
@@ -172,48 +183,104 @@ func run() error {
 
 // bootModel loads the model file when it exists; otherwise it trains
 // one from the trace (or a generated workload) and, when -model was
-// given, saves the result for the next boot.
-func bootModel(pf *cli.PipelineFlags, modelPath, tracePath string, gen, sample int, seed int64, groups int) (*core.Model, error) {
+// given, saves the result for the next boot. With ann set, the training
+// run also builds the sketch-LSH similarity index (persisted to
+// annIndexPath when given, mirroring -model); a prebuilt model skips
+// training, so ann then requires an existing index file.
+func bootModel(pf *cli.PipelineFlags, modelPath, annIndexPath, tracePath string, gen, sample int, seed int64, groups int, ann bool) (*core.Model, *wl.ANNIndex, error) {
 	lg := obs.Default().Logger()
+	var ix *wl.ANNIndex
+	if annIndexPath != "" {
+		if _, err := os.Stat(annIndexPath); err == nil {
+			ix, err = loadANNFile(annIndexPath)
+			if err != nil {
+				return nil, nil, err
+			}
+			lg.Info("ann index loaded", "path", annIndexPath, "jobs", ix.Len())
+		}
+	}
 	if modelPath != "" {
 		if _, err := os.Stat(modelPath); err == nil {
 			m, err := core.LoadModel(modelPath)
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			lg.Info("model loaded", "path", modelPath, "groups", len(m.Groups),
 				"trained_on", m.TrainedOn, "built_at", m.BuiltAt)
-			return m, nil
+			if ann && ix == nil {
+				return nil, nil, fmt.Errorf("-ann with a prebuilt model needs an existing -ann-index file (remove %s to retrain both)", modelPath)
+			}
+			return m, ix, nil
 		}
 	}
 
 	readOpts, err := pf.ReadOptions()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	jobs, istats, err := cli.LoadOrGenerateOpts(tracePath, gen, seed, readOpts)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	cfg := core.DefaultConfig(cli.TraceWindow(), seed)
 	cfg.SampleSize = sample
 	cfg.Groups = groups
 	cfg.Ingest = istats
+	cfg.ANN = ann && ix == nil
 	pf.Configure(&cfg)
 	an, err := core.Run(jobs, cfg)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	m, err := core.ExtractModel(an, cfg.Conflate)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	lg.Info("model trained", "groups", len(m.Groups), "trained_on", m.TrainedOn)
 	if modelPath != "" {
 		if err := m.Save(modelPath); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		lg.Info("model saved", "path", modelPath)
 	}
-	return m, nil
+	if an.ANNIndex != nil {
+		ix = an.ANNIndex
+		lg.Info("ann index built", "jobs", ix.Len())
+		if annIndexPath != "" {
+			if err := saveANNFile(ix, annIndexPath); err != nil {
+				return nil, nil, err
+			}
+			lg.Info("ann index saved", "path", annIndexPath)
+		}
+	}
+	return m, ix, nil
+}
+
+func loadANNFile(path string) (*wl.ANNIndex, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return wl.LoadANNIndex(f)
+}
+
+// saveANNFile writes the index via a same-directory temp file and
+// rename, so a crash mid-write never leaves a torn index for the next
+// boot (or a reload) to trip over.
+func saveANNFile(ix *wl.ANNIndex, path string) error {
+	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	if err := ix.Save(f); err != nil {
+		f.Close()
+		os.Remove(f.Name())
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(f.Name())
+		return err
+	}
+	return os.Rename(f.Name(), path)
 }

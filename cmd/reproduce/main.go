@@ -6,7 +6,7 @@
 // Usage:
 //
 //	reproduce [-trace batch_task.csv | -gen 20000] [-seed 1] [-out results/]
-//	          [-workers N] [-cache-dir .jobgraph-cache] [-no-cache]
+//	          [-workers N] [-cache-dir .jobgraph-cache] [-no-cache] [-ann]
 //	          [-v] [-log-json] [-debug-addr localhost:6060]
 //	          [-trace-out trace.json] [-ledger results/runs/ledger.jsonl]
 //
@@ -57,6 +57,7 @@ func run() error {
 		gen       = flag.Int("gen", 20000, "jobs to generate when no trace given")
 		seed      = flag.Int64("seed", 1, "RNG seed")
 		outDir    = flag.String("out", "", "optional output directory for CSV artifacts and metrics.json")
+		ann       = flag.Bool("ann", false, "also sketch the sample and build the banded-LSH index (wl.sketch/wl.annindex stages)")
 	)
 	pf := cli.RegisterPipelineFlags("reproduce", true)
 	flag.Parse()
@@ -104,6 +105,7 @@ func run() error {
 
 	cfg := core.DefaultConfig(cli.TraceWindow(), *seed)
 	cfg.Ingest = istats
+	cfg.ANN = *ann
 	pf.Configure(&cfg)
 	an, err := core.Run(jobs, cfg)
 	if err != nil {
@@ -118,6 +120,11 @@ func run() error {
 			fmt.Printf("warning: %s\n", w)
 		}
 		fmt.Println()
+	}
+
+	if an.ANNIndex != nil {
+		fmt.Printf("== ANN ==\nsketch index over %d jobs (%d hashes, %d bands)\n\n",
+			an.ANNIndex.Len(), an.ANNIndex.Options().Hashes, an.ANNIndex.Options().Bands)
 	}
 
 	runE0(jobs)

@@ -9,9 +9,20 @@
 //	           [-cache-dir .jobgraph-cache] [-no-cache] [-lenient]
 //	           [-v] [-log-json] [-debug-addr localhost:6060]
 //	           [-trace-out trace.json] [-ledger results/runs/ledger.jsonl]
+//	           [-ann] [-topk 10] [-recall-check] [-ann-report gate.json]
+//	           [-ann-csv curve.csv] [-ann-out index.gob]
+//	           [-minhash 64] [-bands 16] [-buckets 1048576] [-ann-scale N]
 //
 // With -cache-dir, pipeline stage artifacts are reused across runs with
 // matching upstream configuration (see clusterjobs for details).
+//
+// With -ann, the pipeline additionally sketches the sampled DAGs
+// (MinHash over feature-hashed WL vectors) and builds a banded-LSH
+// index: -recall-check measures recall@k and sketch-cluster agreement
+// against the exact kernel, -ann-csv sweeps the band count for the
+// accuracy-vs-speed curve, and -ann-scale measures query latency over a
+// synthetic corpus of N sketched jobs. -ann-report writes the numbers
+// CI's ann-gate asserts on.
 package main
 
 import (
@@ -38,7 +49,12 @@ func run() error {
 		csvOut     = flag.String("csv", "", "optional CSV output for the matrix")
 	)
 	pf := cli.RegisterPipelineFlags("similarity", true)
+	af := registerANNFlags()
 	flag.Parse()
+
+	if af.recallCheck && !af.enabled {
+		return fmt.Errorf("similarity: -recall-check requires -ann")
+	}
 
 	sess, err := pf.Start()
 	if err != nil {
@@ -71,6 +87,10 @@ func run() error {
 	cfg.SampleSize = *sample
 	cfg.WL = wl.Options{Iterations: *iterations, UseTypeLabels: true, Base: baseKernel}
 	cfg.Ingest = istats
+	if af.enabled {
+		cfg.ANN = true
+		cfg.Sketch = af.sketchOptions()
+	}
 	pf.Configure(&cfg)
 	an, err := core.Run(jobs, cfg)
 	if err != nil {
@@ -96,6 +116,12 @@ func run() error {
 			return fmt.Errorf("similarity: close: %v", err)
 		}
 		fmt.Printf("matrix written to %s\n", *csvOut)
+	}
+
+	if af.enabled {
+		if err := runANN(af, an, cfg, cfg.Workers); err != nil {
+			return fmt.Errorf("similarity: ann: %v", err)
+		}
 	}
 	return nil
 }

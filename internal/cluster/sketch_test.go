@@ -1,0 +1,162 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// plantedSparse builds perGroup points per group, each group supported
+// on a disjoint feature block plus a little shared noise — clusters any
+// cosine method must recover.
+func plantedSparse(rng *rand.Rand, groups, perGroup int) ([]map[int]float64, []int) {
+	var points []map[int]float64
+	var truth []int
+	for g := 0; g < groups; g++ {
+		base := g * 1000
+		for i := 0; i < perGroup; i++ {
+			v := make(map[int]float64)
+			for f := 0; f < 20; f++ {
+				v[base+f] = 1 + float64(rng.Intn(3))
+			}
+			// Sparse cross-group noise.
+			v[9000+rng.Intn(10)] = 1
+			points = append(points, v)
+			truth = append(truth, g)
+		}
+	}
+	return points, truth
+}
+
+func TestMiniBatchKMeansRecoversPlantedClusters(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	points, truth := plantedSparse(rng, 3, 40)
+	res, err := MiniBatchKMeans(points, MiniBatchKMeansOptions{K: 3, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Labels) != len(points) {
+		t.Fatalf("labels %d, want %d", len(res.Labels), len(points))
+	}
+	ari, err := ARI(res.Labels, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ari < 0.95 {
+		t.Fatalf("ARI %.3f vs planted clusters", ari)
+	}
+	if res.Inertia < 0 {
+		t.Fatalf("negative inertia %v", res.Inertia)
+	}
+}
+
+func TestMiniBatchKMeansDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	points, _ := plantedSparse(rng, 4, 25)
+	a, err := MiniBatchKMeans(points, MiniBatchKMeansOptions{K: 4, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MiniBatchKMeans(points, MiniBatchKMeansOptions{K: 4, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Labels {
+		if a.Labels[i] != b.Labels[i] {
+			t.Fatalf("label %d differs across identical runs", i)
+		}
+	}
+}
+
+func TestMiniBatchKMeansValidation(t *testing.T) {
+	if _, err := MiniBatchKMeans(nil, MiniBatchKMeansOptions{K: 2}); err == nil {
+		t.Fatal("zero points accepted")
+	}
+	pts := []map[int]float64{{1: 1}, {2: 1}}
+	if _, err := MiniBatchKMeans(pts, MiniBatchKMeansOptions{K: 3}); err == nil {
+		t.Fatal("k > n accepted")
+	}
+	if _, err := MiniBatchKMeans(pts, MiniBatchKMeansOptions{K: 0}); err == nil {
+		t.Fatal("k = 0 accepted")
+	}
+}
+
+func TestSketchKMedoidsRecoversPlantedClusters(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	points, truth := plantedSparse(rng, 3, 30)
+	res, err := SketchKMedoids(points, nil, SketchKMedoidsOptions{K: 3, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ari, err := ARI(res.Labels, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ari < 0.95 {
+		t.Fatalf("ARI %.3f vs planted clusters", ari)
+	}
+	if len(res.Medoids) != 3 {
+		t.Fatalf("medoids %v", res.Medoids)
+	}
+	for c, m := range res.Medoids {
+		if res.Labels[m] != c {
+			t.Fatalf("medoid %d of cluster %d labeled %d", m, c, res.Labels[m])
+		}
+	}
+}
+
+func TestSketchKMedoidsWithNeighborLists(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	points, truth := plantedSparse(rng, 3, 20)
+	// Candidate graph: every point's same-group peers — what LSH
+	// produces on well-separated clusters.
+	neighbors := make([][]int32, len(points))
+	for i := range points {
+		for j := range points {
+			if i != j && truth[i] == truth[j] {
+				neighbors[i] = append(neighbors[i], int32(j))
+			}
+		}
+	}
+	res, err := SketchKMedoids(points, neighbors, SketchKMedoidsOptions{K: 3, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ari, err := ARI(res.Labels, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ari < 0.95 {
+		t.Fatalf("ARI %.3f vs planted clusters", ari)
+	}
+}
+
+func TestSketchKMedoidsValidation(t *testing.T) {
+	pts := []map[int]float64{{1: 1}, {2: 1}}
+	if _, err := SketchKMedoids(nil, nil, SketchKMedoidsOptions{K: 1}); err == nil {
+		t.Fatal("zero points accepted")
+	}
+	if _, err := SketchKMedoids(pts, [][]int32{{1}}, SketchKMedoidsOptions{K: 1}); err == nil {
+		t.Fatal("short neighbour list accepted")
+	}
+	if _, err := SketchKMedoids(pts, [][]int32{{5}, {}}, SketchKMedoidsOptions{K: 1}); err == nil {
+		t.Fatal("out-of-range neighbour accepted")
+	}
+}
+
+func TestSketchKMedoidsDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	points, _ := plantedSparse(rng, 2, 30)
+	a, err := SketchKMedoids(points, nil, SketchKMedoidsOptions{K: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SketchKMedoids(points, nil, SketchKMedoidsOptions{K: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Labels {
+		if a.Labels[i] != b.Labels[i] {
+			t.Fatalf("label %d differs across identical runs", i)
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"jobgraph/internal/stages"
+)
+
+// The ANN path is additive: default runs execute exactly stages.Core
+// (pinned elsewhere); an ANN run executes Core followed by stages.ANN
+// and surfaces a queryable index aligned with the sample.
+func TestANNPipelineStages(t *testing.T) {
+	cfg := DefaultConfig(testWindow, 1)
+	cfg.SampleSize = 40
+	cfg.Groups = 4
+	cfg.ANN = true
+
+	an, err := Run(genJobs(t, 2000, 1), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append(append([]string(nil), stages.Core...), stages.ANN...)
+	if got := executedNames(an); strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Fatalf("executed %v, want %v", got, want)
+	}
+	if an.ANNIndex == nil {
+		t.Fatal("ANN run produced no index")
+	}
+	if an.ANNIndex.Len() != len(an.Sample) {
+		t.Fatalf("index holds %d jobs, sample has %d", an.ANNIndex.Len(), len(an.Sample))
+	}
+	if len(an.HashedVectors) != len(an.Sample) {
+		t.Fatalf("%d hashed vectors, sample has %d", len(an.HashedVectors), len(an.Sample))
+	}
+	hits, err := an.ANNIndex.QueryJob(an.Graphs[0].JobID, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range hits {
+		if h.JobID == an.Graphs[0].JobID {
+			t.Fatal("query returned the query job")
+		}
+	}
+}
+
+// ANN artifacts are cacheable like every other stage: a warm run loads
+// wl.sketch and wl.annindex from the store, reproduces the payload
+// fingerprint, and the reloaded index answers queries identically.
+func TestANNCacheEquivalence(t *testing.T) {
+	cfg := DefaultConfig(testWindow, 1)
+	cfg.SampleSize = 40
+	cfg.Groups = 4
+	cfg.ANN = true
+	cfg.CacheDir = t.TempDir()
+
+	cold, coldFP := runFingerprint(t, 2000, cfg)
+	warm, warmFP := runFingerprint(t, 2000, cfg)
+	if coldFP != warmFP {
+		t.Fatal("warm ANN run changed the payload fingerprint")
+	}
+	if len(warm.Stages) != 0 {
+		t.Fatalf("warm run executed %v", executedNames(warm))
+	}
+	wantCached := append(append([]string(nil), stages.Core...), stages.ANN...)
+	if got := strings.Join(warm.CachedStages, ","); got != strings.Join(wantCached, ",") {
+		t.Fatalf("warm run cached %v, want %v", warm.CachedStages, wantCached)
+	}
+	for _, jobID := range []string{cold.Graphs[0].JobID, cold.Graphs[7].JobID} {
+		a, err := cold.ANNIndex.QueryJob(jobID, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := warm.ANNIndex.QueryJob(jobID, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a) != len(b) {
+			t.Fatalf("job %s: %d hits cold, %d warm", jobID, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("job %s hit %d: cold %+v, warm %+v", jobID, i, a[i], b[i])
+			}
+		}
+	}
+
+	// Disabling ANN on the same cache keeps the default stage list and
+	// carries no index.
+	off := cfg
+	off.ANN = false
+	plain, plainFP := runFingerprint(t, 2000, off)
+	if plain.ANNIndex != nil {
+		t.Fatal("non-ANN run carries an index")
+	}
+	if plainFP != coldFP {
+		t.Fatal("ANN toggle changed the payload fingerprint")
+	}
+}

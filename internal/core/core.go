@@ -81,6 +81,15 @@ type Config struct {
 	// warnings on the Analysis (and Partial when the table was
 	// truncated) so consumers know the sample universe was incomplete.
 	Ingest *trace.ReadStats
+	// ANN appends the approximate-similarity stages (wl.sketch,
+	// wl.annindex) to the plan: the sampled DAGs are feature-hashed,
+	// MinHash-sketched, and assembled into a persistent LSH index
+	// exposed as Analysis.ANNIndex. Off by default — the exact kernel
+	// path is the reference and its stage list is unchanged.
+	ANN bool
+	// Sketch configures the ANN sketch geometry; zero fields resolve to
+	// wl.DefaultSketchOptions. Ignored unless ANN is set.
+	Sketch wl.SketchOptions
 	// SlowJobK bounds the slow-job exemplars retained from the dag.jobs
 	// stage (Analysis.SlowJobs): 0 keeps DefaultSlowJobK, negative
 	// disables capture. Like Workers and the progress hooks it is pure
@@ -191,6 +200,16 @@ type Analysis struct {
 	// Partial reports that the input trace was truncated mid-table and
 	// the analysis covers only the rows read before the cut.
 	Partial bool
+
+	// ANNIndex is the approximate-similarity index over the sampled
+	// jobs, present only when Config.ANN was set. Like the kernel state
+	// it is operational output, not part of the paper-comparable payload,
+	// so it stays out of Fingerprint.
+	ANNIndex *wl.ANNIndex
+	// HashedVectors are the feature-hashed WL embeddings backing
+	// ANNIndex, index-aligned with Sample/Graphs (nil without
+	// Config.ANN).
+	HashedVectors []wl.Vector
 
 	// SlowJobs are the top-k slowest jobs measured inside the dag.jobs
 	// worker pool, slowest first (see Config.SlowJobK). Wall-clock

@@ -67,6 +67,13 @@ type (
 		Groups     []GroupProfile
 		Silhouette float64
 	}
+	sketchArtifact struct {
+		Vectors []wl.Vector
+		Sigs    []wl.Sketch
+	}
+	annArtifact struct {
+		Index *wl.ANNIndex
+	}
 )
 
 // digestJobs fingerprints the ingest source: a SHA-256 over every field
@@ -358,6 +365,64 @@ func (cfg Config) plan(jobs []trace.Job, lg *slog.Logger, times *jobTimes) *engi
 		},
 	})
 
+	// Approximate-similarity stages, opt-in. They branch off dag.jobs —
+	// not wl.features — because the ANN path embeds with feature hashing
+	// (no shared dictionary), so the exact and approximate pipelines
+	// only share the structural prefix.
+	if cfg.ANN {
+		sk := cfg.Sketch.Resolved()
+		p.Add(&engine.Stage{
+			Name:        stages.WLSketch,
+			Deps:        []string{stages.DAGJobs},
+			Fingerprint: fmt.Sprintf("wl:%+v sketch:%+v", cfg.WL, sk),
+			Codec:       cache.Gob[sketchArtifact](),
+			Run: func(in engine.Inputs) (any, string, error) {
+				da, err := engine.In[dagJobsArtifact](in, stages.DAGJobs)
+				if err != nil {
+					return nil, "", err
+				}
+				vectors, err := wl.HashedFeatures(da.Graphs, cfg.WL, sk.Buckets, cfg.Workers)
+				if err != nil {
+					return nil, "", err
+				}
+				sigs, err := wl.Sketches(vectors, sk, cfg.Workers)
+				if err != nil {
+					return nil, "", err
+				}
+				return sketchArtifact{Vectors: vectors, Sigs: sigs},
+					fmt.Sprintf("%d jobs sketched (%d hashes, %d bands, %d buckets)",
+						len(sigs), sk.Hashes, sk.Bands, sk.Buckets), nil
+			},
+		})
+
+		p.Add(&engine.Stage{
+			Name:        stages.WLANNIndex,
+			Deps:        []string{stages.DAGJobs, stages.WLSketch},
+			Fingerprint: fmt.Sprintf("wl:%+v sketch:%+v", cfg.WL, sk),
+			Codec:       cache.Gob[annArtifact](),
+			Run: func(in engine.Inputs) (any, string, error) {
+				da, err := engine.In[dagJobsArtifact](in, stages.DAGJobs)
+				if err != nil {
+					return nil, "", err
+				}
+				sa, err := engine.In[sketchArtifact](in, stages.WLSketch)
+				if err != nil {
+					return nil, "", err
+				}
+				jobIDs := make([]string, len(da.Graphs))
+				for i, g := range da.Graphs {
+					jobIDs[i] = g.JobID
+				}
+				ix, err := wl.NewANNIndexFromSketches(cfg.WL, sk, jobIDs, sa.Vectors, sa.Sigs)
+				if err != nil {
+					return nil, "", err
+				}
+				return annArtifact{Index: ix},
+					fmt.Sprintf("%d jobs indexed across %d LSH bands", ix.Len(), sk.Bands), nil
+			},
+		})
+	}
+
 	return p
 }
 
@@ -456,6 +521,19 @@ func Run(jobs []trace.Job, cfg Config) (*Analysis, error) {
 	pa, err := engine.ArtifactAs[profileArtifact](res, stages.ProfileGroups)
 	if err != nil {
 		return nil, err
+	}
+
+	if cfg.ANN {
+		ska, err := engine.ArtifactAs[sketchArtifact](res, stages.WLSketch)
+		if err != nil {
+			return nil, err
+		}
+		aa, err := engine.ArtifactAs[annArtifact](res, stages.WLANNIndex)
+		if err != nil {
+			return nil, err
+		}
+		an.HashedVectors = ska.Vectors
+		an.ANNIndex = aa.Index
 	}
 
 	an.Sample = sa.Sample

@@ -40,6 +40,7 @@ import (
 	"jobgraph/internal/obs"
 	"jobgraph/internal/obs/promexport"
 	"jobgraph/internal/trace"
+	"jobgraph/internal/wl"
 )
 
 // Config parameterizes a Server.
@@ -50,6 +51,14 @@ type Config struct {
 	// /model/reload. It runs outside the admission path; classification
 	// continues against the old model until the swap.
 	Reload func(ctx context.Context) (*core.Model, error)
+	// ANN, when non-nil, serves GET /v1/similar/{job}: approximate
+	// top-k similarity over the indexed corpus. Absent, the endpoint
+	// answers 501.
+	ANN *wl.ANNIndex
+	// ReloadANN, when non-nil, builds a replacement ANN index during
+	// POST /model/reload so the similarity corpus swaps atomically with
+	// the model it was trained beside.
+	ReloadANN func(ctx context.Context) (*wl.ANNIndex, error)
 	// JournalPath enables the crash-safe admission journal. Empty runs
 	// journal-less (accepted-but-unclassified work dies with the
 	// process — tests and throwaway runs only).
@@ -103,6 +112,8 @@ type Stats struct {
 	ModelGroups     int    `json:"model_groups"`
 	ModelTrainedOn  int    `json:"model_trained_on"`
 	ModelLoadedAt   string `json:"model_loaded_at"`
+	// IndexedJobs is the ANN similarity corpus size (0: no index).
+	IndexedJobs int `json:"indexed_jobs"`
 }
 
 // StatsSchema versions the /v1/stats payload.
@@ -115,7 +126,8 @@ type Server struct {
 	reg     *obs.Registry
 	lg      *slog.Logger
 	model   atomic.Pointer[core.Model]
-	loaded  atomic.Int64 // unix nano of the last model swap
+	ann     atomic.Pointer[wl.ANNIndex] // nil-able: similarity unconfigured
+	loaded  atomic.Int64                // unix nano of the last model swap
 	batcher *Batcher
 	journal *Journal // nil when journal-less
 
@@ -202,6 +214,10 @@ func New(cfg Config) (*Server, error) {
 		reqLatency:  cfg.Registry.WindowHistogram("serve.request_ms", time.Minute),
 	}
 	s.model.Store(cfg.Model)
+	if cfg.ANN != nil {
+		cfg.ANN.Build() // freeze LSH tables before concurrent queries
+		s.ann.Store(cfg.ANN)
+	}
 	s.loaded.Store(time.Now().UnixNano())
 
 	if cfg.JournalPath != "" {
@@ -569,6 +585,20 @@ func (s *Server) SwapModel(m *core.Model) {
 	s.reg.Counter("serve.model_reloads").Add(1)
 }
 
+// ANN returns the live similarity index (nil when unconfigured).
+func (s *Server) ANN() *wl.ANNIndex { return s.ann.Load() }
+
+// SwapANN atomically replaces the similarity index; in-flight queries
+// finish against whichever index they loaded. The index is built before
+// the swap so no query pays the table-freeze cost.
+func (s *Server) SwapANN(ix *wl.ANNIndex) {
+	if ix != nil {
+		ix.Build()
+	}
+	s.ann.Store(ix)
+	s.reg.Counter("serve.ann_reloads").Add(1)
+}
+
 // MarkDraining flips readiness (GET /readyz answers 503) ahead of the
 // actual drain, so health checks divert traffic before the listener
 // stops accepting.
@@ -608,7 +638,7 @@ func (s *Server) Drain() error {
 // Stats snapshots the daemon state.
 func (s *Server) Stats() Stats {
 	m := s.model.Load()
-	return Stats{
+	st := Stats{
 		Schema:          StatsSchema,
 		Pending:         int(s.gPending.Value()),
 		Classified:      s.cClassified.Value(),
@@ -622,6 +652,10 @@ func (s *Server) Stats() Stats {
 		ModelTrainedOn:  m.TrainedOn,
 		ModelLoadedAt:   time.Unix(0, s.loaded.Load()).UTC().Format(time.RFC3339),
 	}
+	if ix := s.ann.Load(); ix != nil {
+		st.IndexedJobs = ix.Len()
+	}
+	return st
 }
 
 // Handler returns the daemon's HTTP mux: the v1 API plus the telemetry
@@ -632,6 +666,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/jobs", s.instrument(s.handleJob))
 	mux.HandleFunc("POST /v1/complete", s.instrument(s.handleComplete))
 	mux.HandleFunc("POST /model/reload", s.instrument(s.handleReload))
+	mux.HandleFunc("GET /v1/similar/{job}", s.instrument(s.handleSimilar))
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Stats())
 	})
@@ -757,6 +792,57 @@ func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, v)
 }
 
+// SimilarSchema versions the /v1/similar payload.
+const SimilarSchema = "jobgraph-similar/v1"
+
+// SimilarHit is one approximate nearest neighbour.
+type SimilarHit struct {
+	Job        string  `json:"job"`
+	Similarity float64 `json:"similarity"`
+}
+
+// SimilarResponse is the GET /v1/similar/{job} payload.
+type SimilarResponse struct {
+	Schema string       `json:"schema"`
+	Job    string       `json:"job"`
+	K      int          `json:"k"`
+	Hits   []SimilarHit `json:"hits"`
+}
+
+// defaultSimilarK is the ?k= default for /v1/similar.
+const defaultSimilarK = 10
+
+// handleSimilar answers approximate top-k similarity against the
+// hot-swapped ANN index. Reads only the atomic pointer — never the
+// admission path — so similarity stays available while a batch drains.
+func (s *Server) handleSimilar(w http.ResponseWriter, r *http.Request) {
+	ix := s.ann.Load()
+	if ix == nil {
+		http.Error(w, "no similarity index configured", http.StatusNotImplemented)
+		return
+	}
+	job := r.PathValue("job")
+	k := defaultSimilarK
+	if raw := r.URL.Query().Get("k"); raw != "" {
+		v, err := strconv.Atoi(raw)
+		if err != nil || v < 1 {
+			http.Error(w, fmt.Sprintf("bad k %q", raw), http.StatusBadRequest)
+			return
+		}
+		k = v
+	}
+	hits, err := ix.QueryJob(job, k)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	resp := SimilarResponse{Schema: SimilarSchema, Job: job, K: k, Hits: make([]SimilarHit, len(hits))}
+	for i, h := range hits {
+		resp.Hits[i] = SimilarHit{Job: h.JobID, Similarity: h.Similarity}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
 func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 	if s.cfg.Reload == nil {
 		http.Error(w, "no reload source configured", http.StatusNotImplemented)
@@ -771,12 +857,28 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, fmt.Sprintf("reload: %v", err), http.StatusInternalServerError)
 		return
 	}
+	// Rebuild the similarity index before swapping anything so the
+	// model and its corpus change together or not at all.
+	var ix *wl.ANNIndex
+	if s.cfg.ReloadANN != nil {
+		ix, err = s.cfg.ReloadANN(r.Context())
+		if err != nil {
+			http.Error(w, fmt.Sprintf("reload ann: %v", err), http.StatusInternalServerError)
+			return
+		}
+	}
 	s.SwapModel(m)
-	s.lg.Info("model reloaded", "groups", len(m.Groups), "trained_on", m.TrainedOn)
+	indexed := 0
+	if ix != nil {
+		s.SwapANN(ix)
+		indexed = ix.Len()
+	}
+	s.lg.Info("model reloaded", "groups", len(m.Groups), "trained_on", m.TrainedOn, "indexed_jobs", indexed)
 	writeJSON(w, http.StatusOK, map[string]any{
-		"groups":     len(m.Groups),
-		"trained_on": m.TrainedOn,
-		"built_at":   m.BuiltAt,
+		"groups":       len(m.Groups),
+		"trained_on":   m.TrainedOn,
+		"built_at":     m.BuiltAt,
+		"indexed_jobs": indexed,
 	})
 }
 

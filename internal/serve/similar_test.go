@@ -1,0 +1,126 @@
+package serve
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+
+	"jobgraph/internal/wl"
+)
+
+// testANNIndex builds a small index whose corpus is the training jobs'
+// DAGs (embedded with the default hashed WL options).
+func testANNIndex(t *testing.T) *wl.ANNIndex {
+	t.Helper()
+	_, jobs := testModel(t)
+	ix, err := wl.NewANNIndex(wl.DefaultOptions(), wl.SketchOptions{Hashes: 32, Bands: 32, Buckets: 1 << 14, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, job := range jobs {
+		g, err := (&Server{}).buildGraph(job.Name, job.Tasks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ix.AddGraph(g); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return ix
+}
+
+func getJSON(t *testing.T, url string, v any) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != nil && resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(data, v); err != nil {
+			t.Fatalf("decoding %s: %v (%s)", url, err, data)
+		}
+	}
+	return resp, data
+}
+
+func TestSimilarEndpoint(t *testing.T) {
+	ix := testANNIndex(t)
+	_, ts := newTestServer(t, func(c *Config) { c.ANN = ix })
+	_, jobs := testModel(t)
+
+	var out SimilarResponse
+	resp, body := getJSON(t, ts.URL+"/v1/similar/"+jobs[0].Name+"?k=3", &out)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if out.Schema != SimilarSchema || out.Job != jobs[0].Name || out.K != 3 {
+		t.Fatalf("payload %+v", out)
+	}
+	if len(out.Hits) > 3 {
+		t.Fatalf("%d hits for k=3", len(out.Hits))
+	}
+	for _, h := range out.Hits {
+		if h.Job == jobs[0].Name {
+			t.Fatal("similar returned the query job")
+		}
+	}
+
+	// Unknown job: 404. Bad k: 400.
+	if resp, _ := getJSON(t, ts.URL+"/v1/similar/definitely-not-a-job", nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job status %d", resp.StatusCode)
+	}
+	if resp, _ := getJSON(t, ts.URL+"/v1/similar/"+jobs[0].Name+"?k=zero", nil); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad k status %d", resp.StatusCode)
+	}
+
+	// Stats surfaces the corpus size.
+	var st Stats
+	if resp, body := getJSON(t, ts.URL+"/v1/stats", &st); resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats status %d: %s", resp.StatusCode, body)
+	}
+	if st.IndexedJobs != ix.Len() {
+		t.Fatalf("stats indexed_jobs %d, want %d", st.IndexedJobs, ix.Len())
+	}
+}
+
+func TestSimilarUnconfigured(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	resp, _ := getJSON(t, ts.URL+"/v1/similar/anything", nil)
+	if resp.StatusCode != http.StatusNotImplemented {
+		t.Fatalf("status %d, want 501", resp.StatusCode)
+	}
+	var st Stats
+	if _, err := http.Get(ts.URL + "/v1/stats"); err != nil {
+		t.Fatal(err)
+	}
+	getJSON(t, ts.URL+"/v1/stats", &st)
+	if st.IndexedJobs != 0 {
+		t.Fatalf("indexed_jobs %d without an index", st.IndexedJobs)
+	}
+}
+
+func TestSimilarHotSwap(t *testing.T) {
+	ix := testANNIndex(t)
+	s, ts := newTestServer(t, nil)
+	_, jobs := testModel(t)
+
+	// Starts unconfigured, becomes available after a swap — the reload
+	// path's observable effect without retraining a model.
+	if resp, _ := getJSON(t, ts.URL+"/v1/similar/"+jobs[0].Name, nil); resp.StatusCode != http.StatusNotImplemented {
+		t.Fatalf("pre-swap status %d, want 501", resp.StatusCode)
+	}
+	s.SwapANN(ix)
+	var out SimilarResponse
+	if resp, body := getJSON(t, ts.URL+"/v1/similar/"+jobs[0].Name, &out); resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-swap status %d: %s", resp.StatusCode, body)
+	}
+	if out.K != defaultSimilarK {
+		t.Fatalf("default k = %d, want %d", out.K, defaultSimilarK)
+	}
+}

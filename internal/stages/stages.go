@@ -49,6 +49,22 @@ const (
 	ProfileGroups = "profile.groups"
 )
 
+// Approximate-similarity stages, appended to the plan only when the
+// run opts in (core.Config.ANN). They are additive: the exact kernel
+// stages above stay the reference path, so Core is unchanged and the
+// perf gate's expectations hold for default runs.
+const (
+	// WLSketch computes feature-hashed WL embeddings of the sampled
+	// DAGs and their MinHash signatures.
+	WLSketch = "wl.sketch"
+	// WLANNIndex assembles the banded-LSH ANN index from the sketches.
+	WLANNIndex = "wl.annindex"
+)
+
+// ANN lists the opt-in approximate-similarity stages in execution
+// order; an ANN-enabled run executes Core followed by ANN.
+var ANN = []string{WLSketch, WLANNIndex}
+
 // Core lists the computed core pipeline stages in execution order —
 // the stages the perf gate expects to find under Pipeline in a cold
 // instrumented run.

@@ -1,0 +1,296 @@
+package wl
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"testing"
+
+	"jobgraph/internal/dag"
+)
+
+// annCorpus builds n sample graphs with unique job ids and an ANNIndex
+// over them.
+func annCorpus(t testing.TB, n int, opt SketchOptions) (*ANNIndex, []*dag.Graph) {
+	t.Helper()
+	graphs := sampleGraphs(t, n, 11)
+	for i, g := range graphs {
+		g.JobID = fmt.Sprintf("job%03d", i)
+	}
+	ix, err := NewANNIndex(DefaultOptions(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range graphs {
+		if err := ix.AddGraph(g); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return ix, graphs
+}
+
+func TestANNIndexRejectsDuplicates(t *testing.T) {
+	ix, graphs := annCorpus(t, 5, SketchOptions{})
+	err := ix.AddGraph(graphs[0])
+	if err == nil {
+		t.Fatal("duplicate job id accepted")
+	}
+	if want := "wl: job job000 already indexed"; err.Error() != want {
+		t.Fatalf("error %q, want %q", err, want)
+	}
+}
+
+func TestANNIndexRejectsNonSubtreeBase(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Base = BaseShortestPath
+	if _, err := NewANNIndex(opts, SketchOptions{}); err == nil {
+		t.Fatal("non-subtree base accepted")
+	}
+}
+
+func TestANNQueryJob(t *testing.T) {
+	ix, _ := annCorpus(t, 40, SketchOptions{Hashes: 64, Bands: 64, Buckets: 1 << 16, Seed: 5})
+	hits, err := ix.QueryJob("job007", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range hits {
+		if h.JobID == "job007" {
+			t.Fatal("query job returned itself")
+		}
+		if h.Similarity < 0 || h.Similarity > 1 {
+			t.Fatalf("similarity %v out of range", h.Similarity)
+		}
+	}
+	if _, err := ix.QueryJob("nope", 5); err == nil {
+		t.Fatal("unknown job accepted")
+	}
+	if _, err := ix.QueryJob("job007", 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+}
+
+// At bands = hashes (1-row bands) a pair becomes a candidate when any
+// single MinHash position agrees — probability 1-(1-J)^64, which is
+// 1-5e-21 at J=0.5. So every sufficiently similar exact neighbour must
+// appear in the candidate set: exact top-k ⊆ LSH candidates.
+func TestANNCandidatesCoverExactTopK(t *testing.T) {
+	const n, k = 60, 5
+	opt := SketchOptions{Hashes: 64, Bands: 64, Buckets: 1 << 16, Seed: 9}
+	ix, graphs := annCorpus(t, n, opt)
+	vectors := make([]Vector, n)
+	for i, g := range graphs {
+		vectors[i] = hashedEmbed(g, ix.WLOptions(), opt.Buckets)
+	}
+	sigs, err := Sketches(vectors, opt, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for q := 0; q < n; q++ {
+		// Exact top-k by cosine over the same hashed vectors.
+		type pair struct {
+			id  int
+			sim float64
+		}
+		exact := make([]pair, 0, n-1)
+		for j := 0; j < n; j++ {
+			if j == q {
+				continue
+			}
+			exact = append(exact, pair{j, Similarity(vectors[q], vectors[j])})
+		}
+		sort.Slice(exact, func(a, b int) bool {
+			if exact[a].sim != exact[b].sim {
+				return exact[a].sim > exact[b].sim
+			}
+			return exact[a].id < exact[b].id
+		})
+		cands := make(map[string]bool)
+		for _, id := range ix.Candidates(vectors[q]) {
+			cands[id] = true
+		}
+		for _, p := range exact[:k] {
+			j, err := SketchJaccard(sigs[q], sigs[p.id])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if j < 0.5 {
+				continue // below the deterministic-coverage regime
+			}
+			if !cands[graphs[p.id].JobID] {
+				t.Errorf("query %d: exact neighbour %s (sim %.3f, J %.2f) missing from candidates",
+					q, graphs[p.id].JobID, p.sim, j)
+			}
+		}
+	}
+}
+
+// Within its candidate set the re-rank is exact: at full-coverage
+// settings ANN top-k must equal brute-force cosine top-k.
+func TestANNRerankMatchesBruteForce(t *testing.T) {
+	const n, k = 50, 3
+	opt := SketchOptions{Hashes: 64, Bands: 64, Buckets: 1 << 16, Seed: 13}
+	ix, graphs := annCorpus(t, n, opt)
+	for q := 0; q < n; q += 7 {
+		qv := hashedEmbed(graphs[q], ix.WLOptions(), opt.Buckets)
+		hits, err := ix.Query(qv, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(hits) == 0 {
+			t.Fatalf("query %d: no hits", q)
+		}
+		// The query graph itself is indexed: top hit must be it at 1.0.
+		if hits[0].Similarity < 1-1e-12 {
+			t.Fatalf("query %d: top similarity %v", q, hits[0].Similarity)
+		}
+		for j := range hits {
+			want := Similarity(qv, hashedEmbed(graphs[ixOf(t, ix, hits[j].JobID)], ix.WLOptions(), opt.Buckets))
+			if math.Abs(hits[j].Similarity-want) > 1e-9 {
+				t.Fatalf("query %d hit %s: sim %v, brute force %v", q, hits[j].JobID, hits[j].Similarity, want)
+			}
+		}
+		_ = k
+	}
+}
+
+func ixOf(t testing.TB, ix *ANNIndex, jobID string) int {
+	t.Helper()
+	i, ok := ix.byID[jobID]
+	if !ok {
+		t.Fatalf("job %s not indexed", jobID)
+	}
+	return int(i)
+}
+
+func TestANNIndexGobRoundTrip(t *testing.T) {
+	ix, graphs := annCorpus(t, 30, SketchOptions{Hashes: 32, Bands: 8, Buckets: 1 << 14, Seed: 21})
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadANNIndex(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameIndex(t, ix, got, graphs)
+
+	// Alien bytes fail fast with the schema error, not a gob panic.
+	if _, err := LoadANNIndex(strings.NewReader("not an index file at all\n")); err == nil ||
+		!strings.Contains(err.Error(), ANNIndexSchema) {
+		t.Fatalf("alien file error = %v", err)
+	}
+}
+
+func TestANNIndexJSONRoundTrip(t *testing.T) {
+	ix, graphs := annCorpus(t, 30, SketchOptions{Hashes: 32, Bands: 8, Buckets: 1 << 14, Seed: 21})
+	var buf bytes.Buffer
+	if err := ix.SaveJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadANNIndexJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameIndex(t, ix, got, graphs)
+}
+
+func TestANNIndexGobCodec(t *testing.T) {
+	ix, graphs := annCorpus(t, 12, SketchOptions{Hashes: 16, Bands: 4, Buckets: 1 << 12, Seed: 2})
+	blob, err := ix.GobEncode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got ANNIndex
+	if err := got.GobDecode(blob); err != nil {
+		t.Fatal(err)
+	}
+	assertSameIndex(t, ix, &got, graphs)
+}
+
+// assertSameIndex checks a reloaded index answers queries identically.
+func assertSameIndex(t *testing.T, want, got *ANNIndex, graphs []*dag.Graph) {
+	t.Helper()
+	if got.Len() != want.Len() {
+		t.Fatalf("len %d, want %d", got.Len(), want.Len())
+	}
+	if got.Options() != want.Options() {
+		t.Fatalf("sketch options %+v, want %+v", got.Options(), want.Options())
+	}
+	for q := 0; q < len(graphs); q += 5 {
+		a, err := want.QueryGraph(graphs[q], 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := got.QueryGraph(graphs[q], 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a) != len(b) {
+			t.Fatalf("query %d: %d hits vs %d", q, len(a), len(b))
+		}
+		for i := range a {
+			if a[i].JobID != b[i].JobID || math.Abs(a[i].Similarity-b[i].Similarity) > 1e-12 {
+				t.Fatalf("query %d hit %d: %+v vs %+v", q, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+func TestANNBulkLoadValidation(t *testing.T) {
+	opt := SketchOptions{Hashes: 16, Bands: 4, Buckets: 1 << 12, Seed: 2}
+	sig, err := SketchVector(Vector{1: 1}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewANNIndexFromSketches(DefaultOptions(), opt,
+		[]string{"a", "b"}, []Vector{{1: 1}}, []Sketch{sig, sig}); err == nil {
+		t.Fatal("mismatched lengths accepted")
+	}
+	if _, err := NewANNIndexFromSketches(DefaultOptions(), opt,
+		[]string{"a"}, []Vector{{1: 1}}, []Sketch{make(Sketch, 8)}); err == nil {
+		t.Fatal("wrong sketch width accepted")
+	}
+	ix, err := NewANNIndexFromSketches(DefaultOptions(), opt,
+		[]string{"a", "b"}, []Vector{{1: 1}, {2: 1}}, []Sketch{sig, sig})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Len() != 2 {
+		t.Fatalf("len = %d", ix.Len())
+	}
+}
+
+func TestANNCandidateNeighbors(t *testing.T) {
+	ix, _ := annCorpus(t, 25, SketchOptions{Hashes: 32, Bands: 32, Buckets: 1 << 14, Seed: 4})
+	nbr := ix.CandidateNeighbors(3)
+	if len(nbr) != ix.Len() {
+		t.Fatalf("neighbour lists %d, want %d", len(nbr), ix.Len())
+	}
+	for i, ns := range nbr {
+		if len(ns) > 3 {
+			t.Fatalf("job %d has %d neighbours, cap 3", i, len(ns))
+		}
+		for _, j := range ns {
+			if int(j) == i {
+				t.Fatalf("job %d is its own neighbour", i)
+			}
+		}
+	}
+}
+
+func TestANNEmptyIndexQuery(t *testing.T) {
+	ix, err := NewANNIndex(DefaultOptions(), SketchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits, err := ix.Query(Vector{1: 1}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 0 {
+		t.Fatalf("hits on empty index: %v", hits)
+	}
+}

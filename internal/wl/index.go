@@ -19,6 +19,7 @@ type Index struct {
 	opts    Options
 	dict    *Dictionary
 	jobIDs  []string
+	byID    map[string]int
 	vectors []Vector
 	selfDot []float64
 }
@@ -28,21 +29,20 @@ func NewIndex(opts Options) (*Index, error) {
 	if err := opts.validate(); err != nil {
 		return nil, err
 	}
-	return &Index{opts: opts, dict: NewDictionary()}, nil
+	return &Index{opts: opts, dict: NewDictionary(), byID: make(map[string]int)}, nil
 }
 
 // Add embeds a graph and stores it under its JobID. Duplicate job ids
 // are rejected: an index is a registry, not a multiset.
 func (ix *Index) Add(g *dag.Graph) error {
-	for _, id := range ix.jobIDs {
-		if id == g.JobID {
-			return fmt.Errorf("wl: job %s already indexed", g.JobID)
-		}
+	if _, dup := ix.byID[g.JobID]; dup {
+		return fmt.Errorf("wl: job %s already indexed", g.JobID)
 	}
 	v, err := ix.dict.Embed(g, ix.opts)
 	if err != nil {
 		return err
 	}
+	ix.byID[g.JobID] = len(ix.jobIDs)
 	ix.jobIDs = append(ix.jobIDs, g.JobID)
 	ix.vectors = append(ix.vectors, v)
 	ix.selfDot = append(ix.selfDot, Dot(v, v))
@@ -131,7 +131,7 @@ func LoadIndex(r io.Reader) (*Index, error) {
 		return nil, fmt.Errorf("wl: index has %d jobs but %d vectors",
 			len(wire.Jobs), len(wire.Vectors))
 	}
-	ix := &Index{opts: wire.Options, dict: &Dictionary{ids: wire.Labels}}
+	ix := &Index{opts: wire.Options, dict: &Dictionary{ids: wire.Labels}, byID: make(map[string]int, len(wire.Jobs))}
 	if ix.dict.ids == nil {
 		ix.dict.ids = make(map[string]int)
 	}
@@ -156,6 +156,10 @@ func LoadIndex(r io.Reader) (*Index, error) {
 			}
 			v[id] = c
 		}
+		if _, dup := ix.byID[wire.Jobs[i]]; dup {
+			return nil, fmt.Errorf("wl: index file has duplicate job %s", wire.Jobs[i])
+		}
+		ix.byID[wire.Jobs[i]] = len(ix.jobIDs)
 		ix.jobIDs = append(ix.jobIDs, wire.Jobs[i])
 		ix.vectors = append(ix.vectors, v)
 		ix.selfDot = append(ix.selfDot, Dot(v, v))
