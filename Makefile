@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race bench fuzz reproduce metrics trace ledger baseline benchdiff ann-gate cache-demo report flight-demo daemon-demo staticcheck govulncheck fmt vet clean
+.PHONY: all build test test-short race bench fuzz reproduce metrics trace ledger baseline benchdiff memprofile ann-gate cache-demo report flight-demo daemon-demo staticcheck govulncheck fmt vet clean
 
 all: build test
 
@@ -67,12 +67,23 @@ baseline:
 	@echo "wrote results/bench_baseline.jsonl"
 
 # Compare a fresh run against the committed baseline ledger, mirroring
-# the CI perf gate. Warn-only locally; CI enforces on pull requests.
+# the CI perf gate: wall time AND per-stage allocation regressions.
+# Warn-only locally; CI enforces on pull requests.
 benchdiff:
 	mkdir -p /tmp/jobgraph-bench
 	cp results/bench_baseline.jsonl /tmp/jobgraph-bench/gate.jsonl
 	$(GO) run ./cmd/reproduce -gen 2000 -seed 1 -no-cache -ann -out /tmp/jobgraph-bench/ -ledger /tmp/jobgraph-bench/gate.jsonl >/dev/null
-	$(GO) run ./cmd/benchdiff -ledger /tmp/jobgraph-bench/gate.jsonl -threshold 0.15 -min-ms 20 -warn-only
+	$(GO) run ./cmd/benchdiff -ledger /tmp/jobgraph-bench/gate.jsonl -threshold 0.15 -alloc-threshold 0.25 -min-ms 20 -warn-only
+
+# Heap (and CPU) profile for a 500-sample clustering run — the standard
+# workload for chasing allocation hot spots. Inspect with:
+#   go tool pprof -top /tmp/jobgraph-memprofile/*.heap.pprof
+memprofile:
+	rm -rf /tmp/jobgraph-memprofile
+	mkdir -p /tmp/jobgraph-memprofile
+	$(GO) run ./cmd/clusterjobs -gen 10000 -sample 500 -seed 1 -no-cache \
+		-profile-dir /tmp/jobgraph-memprofile >/dev/null
+	@ls /tmp/jobgraph-memprofile/*.pprof
 
 # Local mirror of CI's ANN gate: recall@10 against the exact kernel on
 # the 100-job sample, the accuracy-vs-speed band sweep, and p50 query

@@ -4,6 +4,7 @@ import (
 	"flag"
 
 	"jobgraph/internal/core"
+	"jobgraph/internal/taskname"
 	"jobgraph/internal/trace"
 )
 
@@ -40,6 +41,7 @@ type PipelineFlags struct {
 
 	command string
 	sess    *RunSession
+	arena   *taskname.Arena
 }
 
 // RegisterPipelineFlags registers the shared pipeline flags on the
@@ -79,14 +81,28 @@ func (p *PipelineFlags) Start() (*RunSession, error) {
 
 // ReadOptions builds the trace reader configuration the flags describe:
 // ingest budgets and quarantine plus the shared worker bound. The
-// quarantine sidecar (when configured) stays open until Close.
+// quarantine sidecar (when configured) stays open until Close. The
+// returned options carry the command's task-name interning arena, the
+// same one Configure hands to the pipeline — records read here resolve
+// their name symbols for free during DAG construction.
 func (p *PipelineFlags) ReadOptions() (trace.ReadOptions, error) {
 	opt, err := p.Ingest.Options()
 	if err != nil {
 		return opt, err
 	}
 	opt.Workers = *p.Workers
+	opt.Arena = p.Arena()
 	return opt, nil
+}
+
+// Arena returns the command's task-name interning arena, created on
+// first use. One arena spans the whole command: the trace read interns
+// under it and the pipeline resolves against it.
+func (p *PipelineFlags) Arena() *taskname.Arena {
+	if p.arena == nil {
+		p.arena = taskname.NewArena()
+	}
+	return p.arena
 }
 
 // Close releases flag-owned resources (the quarantine sidecar). Safe
@@ -111,6 +127,7 @@ func (p *PipelineFlags) Configure(cfg *core.Config) {
 	cfg.Workers = *p.Workers
 	cfg.CacheDir = p.EffectiveCacheDir()
 	cfg.SlowJobK = p.SlowJobs
+	cfg.Arena = p.Arena()
 	if p.sess != nil {
 		cfg.OnJob = chainCancel(cfg.OnJob, p.sess.CancelErr)
 		cfg.OnRow = chainCancel(cfg.OnRow, p.sess.CancelErr)

@@ -12,9 +12,8 @@
 package conflate
 
 import (
+	"encoding/binary"
 	"fmt"
-	"sort"
-	"strings"
 
 	"jobgraph/internal/dag"
 	"jobgraph/internal/obs"
@@ -55,54 +54,68 @@ func Conflate(g *dag.Graph) (*dag.Graph, Stats, error) {
 		return nil, st, fmt.Errorf("conflate: %w", err)
 	}
 
-	// Group vertices by (type, preds, succs).
-	groups := make(map[string][]dag.NodeID)
-	for _, id := range g.NodeIDs() {
-		key := groupKey(g, id)
-		groups[key] = append(groups[key], id)
-	}
-
-	// Representative mapping: every node → smallest id in its group.
-	rep := make(map[dag.NodeID]dag.NodeID, g.Size())
-	for _, members := range groups {
-		sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
-		r := members[0]
-		for _, m := range members {
-			rep[m] = r
+	// Group vertices by (type, preds, succs), all in node-position
+	// space: positions are canonical within a graph (ascending task id),
+	// so a compact binary key over neighbor position lists identifies a
+	// neighbor set without rendering ids to text. Walking positions in
+	// ascending order keeps each group's member list sorted by id and
+	// the group numbering deterministic.
+	n := g.NumNodes()
+	keyIdx := make(map[string]int32, n)
+	members := make([][]int32, 0, n)
+	memberOf := make([]int32, n)
+	var buf []byte
+	for p := 0; p < n; p++ {
+		buf = appendGroupKey(buf[:0], g, p)
+		gi, ok := keyIdx[string(buf)]
+		if !ok {
+			gi = int32(len(members))
+			keyIdx[string(buf)] = gi
+			members = append(members, nil)
 		}
-		if len(members) > 1 {
-			st.Groups++
-		}
+		members[gi] = append(members[gi], int32(p))
+		memberOf[p] = gi
 	}
 
 	out := dag.New(g.JobID)
-	// Nodes: aggregate each group into its representative.
-	for _, members := range groups {
-		r := members[0]
-		base := *g.Node(r)
-		for _, m := range members[1:] {
-			n := g.Node(m)
-			base.Instances += n.Instances
-			base.PlanCPU += n.PlanCPU
-			base.PlanMem += n.PlanMem
-			if n.Duration > base.Duration {
-				base.Duration = n.Duration
+	// Nodes: aggregate each group into its representative — the
+	// smallest task id, which is the first member since members arrive
+	// in ascending position order.
+	repPos := make([]int32, len(members))
+	for gi, ms := range members {
+		repPos[gi] = ms[0]
+		if len(ms) > 1 {
+			st.Groups++
+		}
+		base := *g.NodeAt(int(ms[0]))
+		for _, m := range ms[1:] {
+			nd := g.NodeAt(int(m))
+			base.Instances += nd.Instances
+			base.PlanCPU += nd.PlanCPU
+			base.PlanMem += nd.PlanMem
+			if nd.Duration > base.Duration {
+				base.Duration = nd.Duration
 			}
 		}
 		if err := out.AddNode(base); err != nil {
 			return nil, st, fmt.Errorf("conflate: %w", err)
 		}
 	}
-	// Edges: project through rep and deduplicate.
-	seen := make(map[[2]dag.NodeID]bool)
-	for _, from := range g.NodeIDs() {
-		for _, to := range g.Succ(from) {
-			e := [2]dag.NodeID{rep[from], rep[to]}
-			if e[0] == e[1] || seen[e] {
+	// Edges: project through the representatives and deduplicate.
+	seen := make(map[uint64]bool)
+	for p := 0; p < n; p++ {
+		from := repPos[memberOf[p]]
+		for _, q := range g.SuccPos(p) {
+			to := repPos[memberOf[q]]
+			if from == to {
+				continue
+			}
+			e := uint64(uint32(from))<<32 | uint64(uint32(to))
+			if seen[e] {
 				continue
 			}
 			seen[e] = true
-			if err := out.AddEdge(e[0], e[1]); err != nil {
+			if err := out.AddEdge(g.IDAt(int(from)), g.IDAt(int(to))); err != nil {
 				return nil, st, fmt.Errorf("conflate: %w", err)
 			}
 		}
@@ -119,19 +132,21 @@ func Conflate(g *dag.Graph) (*dag.Graph, Stats, error) {
 	return out, st, nil
 }
 
-// groupKey canonically encodes (type, predecessor set, successor set).
-func groupKey(g *dag.Graph, id dag.NodeID) string {
-	var b strings.Builder
-	b.WriteString(g.Node(id).Type.String())
-	b.WriteString("|P:")
-	for _, p := range g.Pred(id) {
-		fmt.Fprintf(&b, "%d,", p)
+// appendGroupKey appends a canonical binary encoding of node p's
+// (type, predecessor set, successor set) to dst. Neighbor sets are
+// position lists, already ascending in CSR order; a uvarint length
+// prefix on the predecessors makes the encoding unambiguous.
+func appendGroupKey(dst []byte, g *dag.Graph, p int) []byte {
+	preds, succs := g.PredPos(p), g.SuccPos(p)
+	dst = append(dst, byte(g.NodeAt(p).Type))
+	dst = binary.AppendUvarint(dst, uint64(len(preds)))
+	for _, q := range preds {
+		dst = binary.AppendUvarint(dst, uint64(q))
 	}
-	b.WriteString("|S:")
-	for _, s := range g.Succ(id) {
-		fmt.Fprintf(&b, "%d,", s)
+	for _, q := range succs {
+		dst = binary.AppendUvarint(dst, uint64(q))
 	}
-	return b.String()
+	return dst
 }
 
 // FixedPoint applies Conflate repeatedly until the graph stops

@@ -24,6 +24,7 @@ import (
 	"jobgraph/internal/obs"
 	"jobgraph/internal/sampling"
 	"jobgraph/internal/stats"
+	"jobgraph/internal/taskname"
 	"jobgraph/internal/trace"
 	"jobgraph/internal/wl"
 )
@@ -71,6 +72,13 @@ type Config struct {
 	// cancellation. Like OnJob and Workers it does not affect artifacts,
 	// so it stays out of the cache fingerprints.
 	OnRow func(done, total int) error
+	// Arena, when non-nil, is the task-name interning arena the trace
+	// was read with (trace.ReadOptions.Arena): the sampling filter
+	// resolves the records' symbols to cached parses instead of
+	// re-decoding each name. Pure execution configuration — symbols
+	// never change which jobs survive or what the graphs contain, so
+	// like Workers it stays out of the cache fingerprints.
+	Arena *taskname.Arena
 	// CacheDir, when non-empty, enables the engine's content-addressed
 	// artifact store rooted at that directory: completed stage artifacts
 	// are persisted as the run progresses and re-loaded on later runs

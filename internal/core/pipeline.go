@@ -50,9 +50,15 @@ type (
 	featuresArtifact struct {
 		Vectors []wl.Vector
 		Dict    *wl.Dictionary
+		// Compact mirrors Vectors in sorted parallel-array form — the
+		// layout the kernel-matrix stage merge-joins over.
+		Compact []wl.CompactVector
 	}
 	matrixArtifact struct {
-		Sim *linalg.Matrix
+		// Sim is packed (upper triangle): symmetric similarity matrices
+		// cache and ship at half the dense size. Consumers needing the
+		// full n² layout (eigendecomposition, reports) call Sim.Dense().
+		Sim *linalg.SymMatrix
 	}
 	clusterArtifact struct {
 		Labels []int
@@ -141,7 +147,8 @@ func (cfg Config) plan(jobs []trace.Job, lg *slog.Logger, times *jobTimes) *engi
 			if err != nil {
 				return nil, "", err
 			}
-			cands, fstats, err := sampling.FilterParallel(jobs, cfg.Criteria, cfg.Workers)
+			cands, fstats, err := sampling.FilterOpts(jobs, cfg.Criteria,
+				sampling.FilterOptions{Workers: cfg.Workers, Arena: cfg.Arena})
 			if err != nil {
 				return nil, "", err
 			}
@@ -214,20 +221,16 @@ func (cfg Config) plan(jobs []trace.Job, lg *slog.Logger, times *jobTimes) *engi
 					js.Merged = cst.SizeBefore - cst.SizeAfter
 					g = cg
 				}
-				depth, err := g.Depth()
+				depth, width, err := g.DepthAndMaxWidth()
 				if err != nil {
-					return fmt.Errorf("core: depth of %s: %w", g.JobID, err)
-				}
-				width, err := g.MaxWidth()
-				if err != nil {
-					return fmt.Errorf("core: width of %s: %w", g.JobID, err)
+					return fmt.Errorf("core: depth/width of %s: %w", g.JobID, err)
 				}
 				js.Size, js.Depth, js.MaxWidth = g.Size(), depth, width
 				if s, err := pattern.Classify(g); err == nil && s == pattern.Chain {
 					js.Chain = true
 				}
-				for _, id := range g.NodeIDs() {
-					n := g.Node(id)
+				for p := 0; p < g.NumNodes(); p++ {
+					n := g.NodeAt(p)
 					js.Instances += float64(n.Instances)
 					js.PlanCPU += n.PlanCPU
 					js.Duration += n.Duration
@@ -265,7 +268,7 @@ func (cfg Config) plan(jobs []trace.Job, lg *slog.Logger, times *jobTimes) *engi
 			if err != nil {
 				return nil, "", err
 			}
-			return featuresArtifact{Vectors: vectors, Dict: dict},
+			return featuresArtifact{Vectors: vectors, Dict: dict, Compact: wl.CompactAll(vectors)},
 				fmt.Sprintf("%d graphs embedded, %d distinct labels (h=%d)",
 					len(vectors), dict.Len(), cfg.WL.Iterations), nil
 		},
@@ -280,7 +283,13 @@ func (cfg Config) plan(jobs []trace.Job, lg *slog.Logger, times *jobTimes) *engi
 			if err != nil {
 				return nil, "", err
 			}
-			sim, err := wl.MatrixFromVectorsOpts(fa.Vectors, wl.MatrixOptions{
+			compact := fa.Compact
+			if len(compact) != len(fa.Vectors) {
+				// Defensive: an artifact written without the compact
+				// mirror (not expected under the v2 schema) still works.
+				compact = wl.CompactAll(fa.Vectors)
+			}
+			sim, err := wl.SymMatrixFromCompactOpts(compact, wl.MatrixOptions{
 				Workers: cfg.Workers,
 				OnRow:   cfg.OnRow,
 			})
@@ -307,10 +316,10 @@ func (cfg Config) plan(jobs []trace.Job, lg *slog.Logger, times *jobTimes) *engi
 			// artifact does not depend on Groups — a cached sample can
 			// be smaller than a newly requested group count, so the
 			// check must also hold here.
-			if ma.Sim.Rows < cfg.Groups {
-				return nil, "", fmt.Errorf("core: sample of %d too small for %d groups", ma.Sim.Rows, cfg.Groups)
+			if ma.Sim.N < cfg.Groups {
+				return nil, "", fmt.Errorf("core: sample of %d too small for %d groups", ma.Sim.N, cfg.Groups)
 			}
-			spec, err := spectralFn(ma.Sim, cluster.SpectralOptions{
+			spec, err := spectralFn(ma.Sim.Dense(), cluster.SpectralOptions{
 				K:      cfg.Groups,
 				KMeans: cluster.KMeansOptions{Seed: cfg.Seed},
 			})
@@ -355,8 +364,9 @@ func (cfg Config) plan(jobs []trace.Job, lg *slog.Logger, times *jobTimes) *engi
 			if err != nil {
 				return nil, "", err
 			}
-			art := profileArtifact{Groups: profileGroups(da.Graphs, da.Stats, ma.Sim, ca.Labels)}
-			if dist, err := cluster.DistanceFromSimilarity(ma.Sim); err == nil {
+			sim := ma.Sim.Dense()
+			art := profileArtifact{Groups: profileGroups(da.Graphs, da.Stats, sim, ca.Labels)}
+			if dist, err := cluster.DistanceFromSimilarity(sim); err == nil {
 				if s, err := cluster.Silhouette(dist, ca.Labels); err == nil {
 					art.Silhouette = s
 				}
@@ -540,7 +550,7 @@ func Run(jobs []trace.Job, cfg Config) (*Analysis, error) {
 	an.Graphs = da.Graphs
 	an.JobStats = da.Stats
 	an.FilterStats = fa.Stats
-	an.Similarity = ma.Sim
+	an.Similarity = ma.Sim.Dense()
 	an.Labels = ca.Labels
 	an.Warnings = append(an.Warnings, ca.Warnings...)
 	an.Groups = pa.Groups

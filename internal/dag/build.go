@@ -9,7 +9,13 @@ import (
 // TaskSpec is the per-task input to the DAG builder: a raw trace task
 // name plus the runtime attributes carried into the node.
 type TaskSpec struct {
-	Name      string
+	Name string
+	// Sym is the interned symbol for Name when the row passed through a
+	// taskname.Arena at ingest; zero means "not interned". With an arena
+	// on BuildOptions, a non-zero symbol resolves to a cached parse so
+	// the name is decoded once per distinct name instead of once per
+	// task occurrence.
+	Sym       taskname.Symbol
 	Duration  float64
 	Instances int
 	PlanCPU   float64
@@ -23,6 +29,9 @@ type BuildOptions struct {
 	// these, typically jobs truncated at the collection boundary).
 	// When false, a missing target is an error.
 	SkipMissingDeps bool
+	// Arena resolves TaskSpec.Sym to cached parses. nil (or a zero Sym)
+	// falls back to parsing TaskSpec.Name.
+	Arena *taskname.Arena
 }
 
 // BuildResult reports what FromTasks did with the input.
@@ -45,7 +54,15 @@ func FromTasks(jobID string, tasks []TaskSpec, opt BuildOptions) (BuildResult, e
 	res := BuildResult{Graph: New(jobID)}
 	parsed := make([]taskname.Parsed, 0, len(tasks))
 	for _, t := range tasks {
-		p, err := taskname.Parse(t.Name)
+		var p taskname.Parsed
+		var err error
+		var cached bool
+		if opt.Arena != nil && t.Sym != 0 {
+			p, err, cached = opt.Arena.ParseNamed(t.Sym, t.Name)
+		}
+		if !cached {
+			p, err = taskname.Parse(t.Name)
+		}
 		if err != nil {
 			return res, fmt.Errorf("dag: job %s: %w", jobID, err)
 		}

@@ -16,47 +16,49 @@ type Signature uint64
 
 // CanonicalSignature computes the fingerprint. It is label-aware: node
 // colors start from the task type, so an all-Map chain and an all-Reduce
-// chain differ.
+// chain differ. Colors are tracked per position over the CSR arrays;
+// the emitted strings (and therefore the signature values) are the same
+// as the map-era implementation produced.
 func (g *Graph) CanonicalSignature() Signature {
 	n := g.Size()
 	h := fnv.New64a()
-	fmt.Fprintf(h, "n=%d;e=%d;", n, g.edges)
+	fmt.Fprintf(h, "n=%d;e=%d;", n, g.NumEdges())
 	if n == 0 {
 		return Signature(h.Sum64())
 	}
+	g.ensureBuilt()
 
 	// Color refinement to a fixed point (at most n rounds).
-	colors := make(map[NodeID]string, n)
-	for id, node := range g.nodes {
-		colors[id] = fmt.Sprintf("%s/%d/%d", node.Type, len(g.pred[id]), len(g.succ[id]))
+	colors := make([]string, n)
+	for p := 0; p < n; p++ {
+		node := g.nodes[g.byID[p]]
+		colors[p] = fmt.Sprintf("%s/%d/%d", node.Type,
+			g.predOff[p+1]-g.predOff[p], g.succOff[p+1]-g.succOff[p])
 	}
+	next := make([]string, n)
 	for round := 0; round < n; round++ {
-		next := make(map[NodeID]string, n)
-		for id := range g.nodes {
-			preds := make([]string, 0, len(g.pred[id]))
-			for _, p := range g.pred[id] {
-				preds = append(preds, colors[p])
+		for p := 0; p < n; p++ {
+			preds := make([]string, 0, g.predOff[p+1]-g.predOff[p])
+			for _, q := range g.predAdj[g.predOff[p]:g.predOff[p+1]] {
+				preds = append(preds, colors[q])
 			}
-			succs := make([]string, 0, len(g.succ[id]))
-			for _, s := range g.succ[id] {
-				succs = append(succs, colors[s])
+			succs := make([]string, 0, g.succOff[p+1]-g.succOff[p])
+			for _, q := range g.succAdj[g.succOff[p]:g.succOff[p+1]] {
+				succs = append(succs, colors[q])
 			}
 			sort.Strings(preds)
 			sort.Strings(succs)
-			next[id] = colors[id] + "|P:" + strings.Join(preds, ",") + "|S:" + strings.Join(succs, ",")
+			next[p] = colors[p] + "|P:" + strings.Join(preds, ",") + "|S:" + strings.Join(succs, ",")
 		}
 		// Compress to short color names to bound string growth.
-		next = compressColors(next)
-		if sameColoring(colors, next) {
+		compressed := compressColors(next)
+		if countDistinct(colors) == countDistinct(compressed) {
 			break
 		}
-		colors = next
+		colors, next = compressed, colors
 	}
 
-	multiset := make([]string, 0, n)
-	for _, c := range colors {
-		multiset = append(multiset, c)
-	}
+	multiset := append([]string(nil), colors...)
 	sort.Strings(multiset)
 	for _, c := range multiset {
 		h.Write([]byte(c))
@@ -67,7 +69,7 @@ func (g *Graph) CanonicalSignature() Signature {
 
 // compressColors renames each distinct color string to a short canonical
 // token ("c0", "c1", ... in lexicographic order of the original strings).
-func compressColors(colors map[NodeID]string) map[NodeID]string {
+func compressColors(colors []string) []string {
 	distinct := make([]string, 0, len(colors))
 	seen := make(map[string]bool, len(colors))
 	for _, c := range colors {
@@ -81,23 +83,17 @@ func compressColors(colors map[NodeID]string) map[NodeID]string {
 	for i, c := range distinct {
 		rename[c] = fmt.Sprintf("c%d", i)
 	}
-	out := make(map[NodeID]string, len(colors))
-	for id, c := range colors {
-		out[id] = rename[c]
+	out := make([]string, len(colors))
+	for i, c := range colors {
+		out[i] = rename[c]
 	}
 	return out
 }
 
-// sameColoring reports whether two colorings induce the same partition
-// refinement state (same number of color classes and same class per
-// node up to renaming). Because compressColors canonicalizes names by
-// lexicographic order of the underlying strings, the refinement has
-// converged when the number of distinct classes stops growing.
-func sameColoring(a, b map[NodeID]string) bool {
-	return countDistinct(a) == countDistinct(b)
-}
-
-func countDistinct(colors map[NodeID]string) int {
+// countDistinct counts color classes; the refinement has converged when
+// the count stops growing (compressColors canonicalizes names, so class
+// identity survives the renaming).
+func countDistinct(colors []string) int {
 	seen := make(map[string]bool, len(colors))
 	for _, c := range colors {
 		seen[c] = true

@@ -8,26 +8,28 @@ import "sort"
 // jobs (rare truncation artifacts in the trace) can be split into
 // components and analyzed piecewise.
 func (g *Graph) Components() [][]NodeID {
-	seen := make(map[NodeID]bool, g.Size())
+	g.ensureBuilt()
+	n := g.Size()
+	seen := make([]bool, n)
 	var comps [][]NodeID
-	for _, start := range g.NodeIDs() {
+	for start := 0; start < n; start++ {
 		if seen[start] {
 			continue
 		}
 		var comp []NodeID
-		queue := []NodeID{start}
+		queue := []int32{int32(start)}
 		seen[start] = true
 		for len(queue) > 0 {
 			v := queue[0]
 			queue = queue[1:]
-			comp = append(comp, v)
-			for _, nb := range g.succ[v] {
+			comp = append(comp, g.nodes[g.byID[v]].ID)
+			for _, nb := range g.succAdj[g.succOff[v]:g.succOff[v+1]] {
 				if !seen[nb] {
 					seen[nb] = true
 					queue = append(queue, nb)
 				}
 			}
-			for _, nb := range g.pred[v] {
+			for _, nb := range g.predAdj[g.predOff[v]:g.predOff[v+1]] {
 				if !seen[nb] {
 					seen[nb] = true
 					queue = append(queue, nb)
@@ -37,8 +39,8 @@ func (g *Graph) Components() [][]NodeID {
 		sort.Slice(comp, func(i, j int) bool { return comp[i] < comp[j] })
 		comps = append(comps, comp)
 	}
-	// NodeIDs() iterates ascending, so components already appear in
-	// order of smallest member; keep the contract explicit anyway.
+	// Start positions iterate ascending by id, so components already
+	// appear in order of smallest member; keep the contract explicit.
 	sort.Slice(comps, func(i, j int) bool { return comps[i][0] < comps[j][0] })
 	return comps
 }
@@ -63,9 +65,11 @@ func (g *Graph) InducedSubgraph(ids []NodeID) (*Graph, error) {
 		}
 	}
 	for id := range keep {
-		for _, s := range g.succ[id] {
-			if keep[s] {
-				if err := sub.AddEdge(id, s); err != nil {
+		p := g.PosOf(id)
+		for _, q := range g.SuccPos(p) {
+			to := g.nodes[g.byID[q]].ID
+			if keep[to] {
+				if err := sub.AddEdge(id, to); err != nil {
 					return nil, err
 				}
 			}

@@ -2,36 +2,28 @@ package dag
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 )
 
 // DOT renders the graph in Graphviz dot format, one node per task
 // labeled "<Type><ID>", matching the paper's Figure 2/8 visual style.
-// Output is deterministic: nodes and edges appear in ascending order.
+// Output is deterministic: nodes and edges appear in ascending order
+// (CSR rows are already sorted by id on both endpoints).
 func (g *Graph) DOT() string {
+	g.ensureBuilt()
 	var b strings.Builder
 	fmt.Fprintf(&b, "digraph %q {\n", "job_"+g.JobID)
 	b.WriteString("  rankdir=TB;\n  node [shape=circle];\n")
-	for _, id := range g.NodeIDs() {
-		n := g.nodes[id]
-		fmt.Fprintf(&b, "  t%d [label=\"%s%d\"];\n", id, n.Type, id)
+	n := g.NumNodes()
+	for p := 0; p < n; p++ {
+		node := g.NodeAt(p)
+		fmt.Fprintf(&b, "  t%d [label=\"%s%d\"];\n", node.ID, node.Type, node.ID)
 	}
-	type edge struct{ from, to NodeID }
-	var edges []edge
-	for from, ss := range g.succ {
-		for _, to := range ss {
-			edges = append(edges, edge{from, to})
+	for p := 0; p < n; p++ {
+		from := g.IDAt(p)
+		for _, q := range g.SuccPos(p) {
+			fmt.Fprintf(&b, "  t%d -> t%d;\n", from, g.IDAt(int(q)))
 		}
-	}
-	sort.Slice(edges, func(i, j int) bool {
-		if edges[i].from != edges[j].from {
-			return edges[i].from < edges[j].from
-		}
-		return edges[i].to < edges[j].to
-	})
-	for _, e := range edges {
-		fmt.Fprintf(&b, "  t%d -> t%d;\n", e.from, e.to)
 	}
 	b.WriteString("}\n")
 	return b.String()
@@ -47,26 +39,27 @@ func (g *Graph) ASCII() string {
 	if g.Size() == 0 {
 		return "(empty job)\n"
 	}
-	lvl, err := g.Levels()
+	lvl, err := g.levelsPositions()
 	if err != nil {
 		return fmt.Sprintf("(invalid job: %v)\n", err)
 	}
-	maxL := 0
+	var maxL int32
 	for _, l := range lvl {
 		if l > maxL {
 			maxL = l
 		}
 	}
-	byLevel := make([][]NodeID, maxL+1)
-	for id, l := range lvl {
-		byLevel[l] = append(byLevel[l], id)
+	byLevel := make([][]int32, maxL+1)
+	for p, l := range lvl {
+		// Positions ascend by id, so each level list is already sorted.
+		byLevel[l] = append(byLevel[l], int32(p))
 	}
 	var b strings.Builder
-	for l, ids := range byLevel {
-		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for l, ps := range byLevel {
 		fmt.Fprintf(&b, "L%d:", l)
-		for _, id := range ids {
-			fmt.Fprintf(&b, " %s%d", g.nodes[id].Type, id)
+		for _, p := range ps {
+			node := g.NodeAt(int(p))
+			fmt.Fprintf(&b, " %s%d", node.Type, node.ID)
 		}
 		b.WriteByte('\n')
 	}

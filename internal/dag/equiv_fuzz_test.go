@@ -1,0 +1,305 @@
+package dag
+
+import (
+	"math/rand"
+	"slices"
+	"sort"
+	"testing"
+)
+
+// refAdj is the map-based adjacency model the pre-CSR Graph used: plain
+// NodeID-keyed successor and predecessor sets. The fuzz target rebuilds
+// it independently from the same edge list and demands the CSR Graph
+// agree on every query the map era answered.
+type refAdj struct {
+	ids  []NodeID
+	succ map[NodeID]map[NodeID]bool
+	pred map[NodeID]map[NodeID]bool
+}
+
+func newRefAdj() *refAdj {
+	return &refAdj{
+		succ: make(map[NodeID]map[NodeID]bool),
+		pred: make(map[NodeID]map[NodeID]bool),
+	}
+}
+
+func (r *refAdj) addNode(id NodeID) {
+	r.ids = append(r.ids, id)
+	r.succ[id] = make(map[NodeID]bool)
+	r.pred[id] = make(map[NodeID]bool)
+}
+
+func (r *refAdj) addEdge(from, to NodeID) {
+	r.succ[from][to] = true
+	r.pred[to][from] = true
+}
+
+func (r *refAdj) numEdges() int {
+	n := 0
+	for _, s := range r.succ {
+		n += len(s)
+	}
+	return n
+}
+
+func (r *refAdj) sortedNeighbors(m map[NodeID]bool) []NodeID {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make([]NodeID, 0, len(m))
+	for id := range m {
+		out = append(out, id)
+	}
+	slices.Sort(out)
+	return out
+}
+
+// topo runs Kahn's algorithm with the smallest-id-first tie-break the
+// Graph documents, entirely over the map model.
+func (r *refAdj) topo() ([]NodeID, bool) {
+	indeg := make(map[NodeID]int, len(r.ids))
+	for _, id := range r.ids {
+		indeg[id] = len(r.pred[id])
+	}
+	var ready []NodeID
+	for _, id := range r.ids {
+		if indeg[id] == 0 {
+			ready = append(ready, id)
+		}
+	}
+	slices.Sort(ready)
+	var order []NodeID
+	for len(ready) > 0 {
+		id := ready[0]
+		ready = ready[1:]
+		order = append(order, id)
+		for s := range r.succ[id] {
+			indeg[s]--
+			if indeg[s] == 0 {
+				// Insert keeping ready sorted — a toy priority queue.
+				i := sort.Search(len(ready), func(i int) bool { return ready[i] >= s })
+				ready = append(ready, 0)
+				copy(ready[i+1:], ready[i:])
+				ready[i] = s
+			}
+		}
+	}
+	return order, len(order) == len(r.ids)
+}
+
+// checkAgainstRef asserts the CSR graph and the map model agree on node
+// set, edge count, per-node neighbor lists (both directions, via both
+// the id API and the position API), degree queries, sources/sinks and
+// topological order.
+func checkAgainstRef(t *testing.T, g *Graph, ref *refAdj) {
+	t.Helper()
+	if g.Size() != len(ref.ids) {
+		t.Fatalf("Size=%d, reference has %d nodes", g.Size(), len(ref.ids))
+	}
+	if g.NumEdges() != ref.numEdges() {
+		t.Fatalf("NumEdges=%d, reference has %d", g.NumEdges(), ref.numEdges())
+	}
+
+	sortedIDs := slices.Clone(ref.ids)
+	slices.Sort(sortedIDs)
+	if got := g.NodeIDs(); !slices.Equal(got, sortedIDs) {
+		t.Fatalf("NodeIDs=%v, want %v", got, sortedIDs)
+	}
+
+	for p, id := range sortedIDs {
+		if got := g.IDAt(p); got != id {
+			t.Fatalf("IDAt(%d)=%d, want %d", p, got, id)
+		}
+		if got := g.PosOf(id); got != p {
+			t.Fatalf("PosOf(%d)=%d, want %d", id, got, p)
+		}
+		wantSucc := ref.sortedNeighbors(ref.succ[id])
+		wantPred := ref.sortedNeighbors(ref.pred[id])
+		if got := g.Succ(id); !slices.Equal(got, wantSucc) {
+			t.Fatalf("Succ(%d)=%v, want %v", id, got, wantSucc)
+		}
+		if got := g.Pred(id); !slices.Equal(got, wantPred) {
+			t.Fatalf("Pred(%d)=%v, want %v", id, got, wantPred)
+		}
+		if got := g.OutDegree(id); got != len(wantSucc) {
+			t.Fatalf("OutDegree(%d)=%d, want %d", id, got, len(wantSucc))
+		}
+		if got := g.InDegree(id); got != len(wantPred) {
+			t.Fatalf("InDegree(%d)=%d, want %d", id, got, len(wantPred))
+		}
+		// Position-space views must name the same neighbors, ascending.
+		for i, q := range g.SuccPos(p) {
+			if got := g.IDAt(int(q)); got != wantSucc[i] {
+				t.Fatalf("SuccPos(%d)[%d] -> id %d, want %d", p, i, got, wantSucc[i])
+			}
+		}
+		for i, q := range g.PredPos(p) {
+			if got := g.IDAt(int(q)); got != wantPred[i] {
+				t.Fatalf("PredPos(%d)[%d] -> id %d, want %d", p, i, got, wantPred[i])
+			}
+		}
+		for _, s := range wantSucc {
+			if !g.HasEdge(id, s) {
+				t.Fatalf("HasEdge(%d,%d)=false, edge exists", id, s)
+			}
+		}
+	}
+
+	var wantSources, wantSinks []NodeID
+	for _, id := range sortedIDs {
+		if len(ref.pred[id]) == 0 {
+			wantSources = append(wantSources, id)
+		}
+		if len(ref.succ[id]) == 0 {
+			wantSinks = append(wantSinks, id)
+		}
+	}
+	if got := g.Sources(); !slices.Equal(got, wantSources) {
+		t.Fatalf("Sources=%v, want %v", got, wantSources)
+	}
+	if got := g.Sinks(); !slices.Equal(got, wantSinks) {
+		t.Fatalf("Sinks=%v, want %v", got, wantSinks)
+	}
+
+	wantOrder, acyclic := ref.topo()
+	gotOrder, err := g.TopoSort()
+	if acyclic != (err == nil) {
+		t.Fatalf("cycle detection disagrees: reference acyclic=%v, TopoSort err=%v", acyclic, err)
+	}
+	if acyclic && !slices.Equal(gotOrder, wantOrder) {
+		t.Fatalf("TopoSort=%v, want %v", gotOrder, wantOrder)
+	}
+}
+
+// FuzzCSRMatchesMapAdjacency decodes an arbitrary byte string into a
+// node count plus an edge list, builds both the CSR Graph and the
+// map-based reference, and demands they agree everywhere. Edge bytes
+// also drive interleaved duplicate/self-loop attempts, which must be
+// rejected without corrupting either model.
+func FuzzCSRMatchesMapAdjacency(f *testing.F) {
+	f.Add([]byte{4, 0, 1, 1, 2, 2, 3})          // chain 1->2->3->4
+	f.Add([]byte{3, 0, 1, 0, 2})                // fan-out
+	f.Add([]byte{3, 0, 2, 1, 2})                // fan-in
+	f.Add([]byte{2, 0, 1, 1, 0})                // 2-cycle
+	f.Add([]byte{5, 4, 0, 3, 1, 2, 0, 1, 4, 2}) // shuffled order
+	f.Add([]byte{1})
+	f.Add([]byte{0})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		n := int(data[0])%32 + 1
+		g := New("fuzz")
+		ref := newRefAdj()
+		for id := 1; id <= n; id++ {
+			if err := g.AddNode(Node{ID: NodeID(id)}); err != nil {
+				t.Fatalf("AddNode(%d): %v", id, err)
+			}
+			ref.addNode(NodeID(id))
+		}
+		for i := 1; i+1 < len(data); i += 2 {
+			from := NodeID(int(data[i])%n + 1)
+			to := NodeID(int(data[i+1])%n + 1)
+			err := g.AddEdge(from, to)
+			switch {
+			case from == to:
+				if err == nil {
+					t.Fatalf("AddEdge(%d,%d) accepted a self-loop", from, to)
+				}
+			case ref.succ[from][to]:
+				if err == nil {
+					t.Fatalf("AddEdge(%d,%d) accepted a duplicate", from, to)
+				}
+			default:
+				if err != nil {
+					t.Fatalf("AddEdge(%d,%d): %v", from, to, err)
+				}
+				ref.addEdge(from, to)
+			}
+			// Interleave queries so lazy CSR rebuilds are exercised
+			// mid-construction, not just once at the end.
+			if i%8 == 1 {
+				if got := g.NumEdges(); got != ref.numEdges() {
+					t.Fatalf("mid-build NumEdges=%d, want %d", got, ref.numEdges())
+				}
+				_ = g.Succ(from)
+			}
+		}
+		checkAgainstRef(t, g, ref)
+	})
+}
+
+// TestCSRShuffledEdgeOrderEquivalence is the deterministic property
+// test behind the fuzz target: the same DAG built from edge lists in
+// many insertion orders must produce identical adjacency and identical
+// topological order — insertion order is not observable through the
+// CSR view.
+func TestCSRShuffledEdgeOrderEquivalence(t *testing.T) {
+	const n = 40
+	rng := rand.New(rand.NewSource(7))
+	type edge struct{ from, to NodeID }
+	var edges []edge
+	for from := 1; from <= n; from++ {
+		for to := from + 1; to <= n; to++ {
+			if rng.Intn(5) == 0 { // forward edges only: guaranteed acyclic
+				edges = append(edges, edge{NodeID(from), NodeID(to)})
+			}
+		}
+	}
+
+	build := func(perm []int, nodeOrder []NodeID) *Graph {
+		g := New("shuffle")
+		for _, id := range nodeOrder {
+			if err := g.AddNode(Node{ID: id}); err != nil {
+				t.Fatalf("AddNode: %v", err)
+			}
+		}
+		for _, i := range perm {
+			if err := g.AddEdge(edges[i].from, edges[i].to); err != nil {
+				t.Fatalf("AddEdge: %v", err)
+			}
+		}
+		return g
+	}
+
+	ref := newRefAdj()
+	ids := make([]NodeID, n)
+	for i := range ids {
+		ids[i] = NodeID(i + 1)
+		ref.addNode(ids[i])
+	}
+	for _, e := range edges {
+		ref.addEdge(e.from, e.to)
+	}
+
+	perm := make([]int, len(edges))
+	for i := range perm {
+		perm[i] = i
+	}
+	baseline := build(perm, ids)
+	checkAgainstRef(t, baseline, ref)
+	wantTopo, err := baseline.TopoSort()
+	if err != nil {
+		t.Fatalf("baseline TopoSort: %v", err)
+	}
+
+	for trial := 0; trial < 10; trial++ {
+		rng.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		shuffledIDs := slices.Clone(ids)
+		rng.Shuffle(len(shuffledIDs), func(i, j int) {
+			shuffledIDs[i], shuffledIDs[j] = shuffledIDs[j], shuffledIDs[i]
+		})
+		g := build(perm, shuffledIDs)
+		checkAgainstRef(t, g, ref)
+		gotTopo, err := g.TopoSort()
+		if err != nil {
+			t.Fatalf("trial %d TopoSort: %v", trial, err)
+		}
+		if !slices.Equal(gotTopo, wantTopo) {
+			t.Fatalf("trial %d: topo order depends on insertion order:\ngot  %v\nwant %v",
+				trial, gotTopo, wantTopo)
+		}
+	}
+}

@@ -7,11 +7,20 @@
 // validation, and the topological metrics the paper characterizes:
 // critical path (depth), level widths (parallelism), degree statistics
 // and a canonical structural signature used to detect recurring shapes.
+//
+// Storage is a compact CSR (compressed sparse row) layout: one flat
+// []Node plus int32 offset+index arrays for successors and predecessors,
+// built once from the inserted edge list and rebuilt lazily after any
+// mutation. Algorithms address vertices by *position* — the index of a
+// vertex in ascending-NodeID order — which keeps every traversal a walk
+// over flat slices with no per-vertex map or sort work. The historical
+// map-era API (NodeIDs, Succ, Pred, ...) is preserved as thin accessors
+// over the CSR arrays so callers migrate incrementally.
 package dag
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"jobgraph/internal/taskname"
 )
@@ -37,20 +46,33 @@ type Node struct {
 type Graph struct {
 	JobID string
 
-	nodes map[NodeID]*Node
-	succ  map[NodeID][]NodeID
-	pred  map[NodeID][]NodeID
-	edges int
+	// nodes holds vertices in insertion order; pos maps id → insertion
+	// index. Node attribute storage never moves, so *Node pointers stay
+	// valid across CSR rebuilds (but not across AddNode, which may grow
+	// the backing array).
+	nodes []Node
+	pos   map[NodeID]int32
+
+	// edgeFrom/edgeTo record edges as insertion-index endpoint pairs in
+	// insertion order; edgeSet detects duplicates and answers HasEdge in
+	// O(1). The CSR arrays are derived from this list.
+	edgeFrom, edgeTo []int32
+	edgeSet          map[uint64]struct{}
+
+	// Lazily built CSR view, invalidated by AddNode/AddEdge. byID lists
+	// insertion indexes in ascending-ID order (position p → insertion
+	// index); rank is its inverse. succOff/predOff are the n+1 CSR row
+	// offsets per position; succAdj/predAdj hold neighbor positions,
+	// ascending within each row (ascending position == ascending ID).
+	built            bool
+	byID, rank       []int32
+	succOff, predOff []int32
+	succAdj, predAdj []int32
 }
 
 // New returns an empty graph for the given job.
 func New(jobID string) *Graph {
-	return &Graph{
-		JobID: jobID,
-		nodes: make(map[NodeID]*Node),
-		succ:  make(map[NodeID][]NodeID),
-		pred:  make(map[NodeID][]NodeID),
-	}
+	return &Graph{JobID: jobID, pos: make(map[NodeID]int32)}
 }
 
 // AddNode inserts a task vertex. Adding a duplicate ID is an error: task
@@ -60,12 +82,18 @@ func (g *Graph) AddNode(n Node) error {
 	if n.ID <= 0 {
 		return fmt.Errorf("dag: node id %d must be positive", n.ID)
 	}
-	if _, ok := g.nodes[n.ID]; ok {
+	if _, ok := g.pos[n.ID]; ok {
 		return fmt.Errorf("dag: duplicate node %d in job %s", n.ID, g.JobID)
 	}
-	copied := n
-	g.nodes[n.ID] = &copied
+	g.pos[n.ID] = int32(len(g.nodes))
+	g.nodes = append(g.nodes, n)
+	g.built = false
 	return nil
+}
+
+// edgeKey packs an (from, to) insertion-index pair into one map key.
+func edgeKey(fi, ti int32) uint64 {
+	return uint64(uint32(fi))<<32 | uint64(uint32(ti))
 }
 
 // AddEdge inserts a dependency edge from → to ("to starts after from").
@@ -76,121 +104,293 @@ func (g *Graph) AddEdge(from, to NodeID) error {
 	if from == to {
 		return fmt.Errorf("dag: self-loop on node %d", from)
 	}
-	if _, ok := g.nodes[from]; !ok {
+	fi, ok := g.pos[from]
+	if !ok {
 		return fmt.Errorf("dag: edge source %d not in graph", from)
 	}
-	if _, ok := g.nodes[to]; !ok {
+	ti, ok := g.pos[to]
+	if !ok {
 		return fmt.Errorf("dag: edge target %d not in graph", to)
 	}
-	for _, s := range g.succ[from] {
-		if s == to {
-			return fmt.Errorf("dag: duplicate edge %d->%d", from, to)
-		}
+	key := edgeKey(fi, ti)
+	if g.edgeSet == nil {
+		g.edgeSet = make(map[uint64]struct{})
 	}
-	g.succ[from] = append(g.succ[from], to)
-	g.pred[to] = append(g.pred[to], from)
-	g.edges++
+	if _, dup := g.edgeSet[key]; dup {
+		return fmt.Errorf("dag: duplicate edge %d->%d", from, to)
+	}
+	g.edgeSet[key] = struct{}{}
+	g.edgeFrom = append(g.edgeFrom, fi)
+	g.edgeTo = append(g.edgeTo, ti)
+	g.built = false
 	return nil
 }
 
 // HasEdge reports whether the edge from → to exists.
 func (g *Graph) HasEdge(from, to NodeID) bool {
-	for _, s := range g.succ[from] {
-		if s == to {
-			return true
-		}
+	fi, ok := g.pos[from]
+	if !ok {
+		return false
 	}
-	return false
+	ti, ok := g.pos[to]
+	if !ok {
+		return false
+	}
+	_, ok = g.edgeSet[edgeKey(fi, ti)]
+	return ok
 }
 
-// Node returns the vertex with the given id, or nil.
-func (g *Graph) Node(id NodeID) *Node { return g.nodes[id] }
+// Node returns the vertex with the given id, or nil. The pointer aliases
+// the graph's flat node storage: attribute writes through it are seen by
+// the graph, and it is invalidated by a subsequent AddNode.
+func (g *Graph) Node(id NodeID) *Node {
+	i, ok := g.pos[id]
+	if !ok {
+		return nil
+	}
+	return &g.nodes[i]
+}
 
 // Size returns the number of task vertices — the paper's "job size".
 func (g *Graph) Size() int { return len(g.nodes) }
 
 // NumEdges returns the number of dependency edges.
-func (g *Graph) NumEdges() int { return g.edges }
+func (g *Graph) NumEdges() int { return len(g.edgeFrom) }
+
+// ensureBuilt (re)derives the CSR arrays from the node and edge lists.
+// Cost is O(V log V + E); every mutation invalidates, every traversal
+// entry point calls it.
+func (g *Graph) ensureBuilt() {
+	if g.built {
+		return
+	}
+	n := len(g.nodes)
+	g.byID = resizeInt32(g.byID, n)
+	for i := range g.byID {
+		g.byID[i] = int32(i)
+	}
+	slices.SortFunc(g.byID, func(a, b int32) int {
+		// IDs are unique, so this never compares equal entries.
+		if g.nodes[a].ID < g.nodes[b].ID {
+			return -1
+		}
+		return 1
+	})
+	g.rank = resizeInt32(g.rank, n)
+	for p, ai := range g.byID {
+		g.rank[ai] = int32(p)
+	}
+
+	e := len(g.edgeFrom)
+	g.succOff = zeroInt32(resizeInt32(g.succOff, n+1))
+	g.predOff = zeroInt32(resizeInt32(g.predOff, n+1))
+	for i := 0; i < e; i++ {
+		g.succOff[g.rank[g.edgeFrom[i]]+1]++
+		g.predOff[g.rank[g.edgeTo[i]]+1]++
+	}
+	for p := 0; p < n; p++ {
+		g.succOff[p+1] += g.succOff[p]
+		g.predOff[p+1] += g.predOff[p]
+	}
+	g.succAdj = resizeInt32(g.succAdj, e)
+	g.predAdj = resizeInt32(g.predAdj, e)
+	// Fill rows using the offsets as cursors, then rewind the cursors by
+	// sliding them one slot: after the fill, succOff[p] holds the end of
+	// row p, which is the start of row p+1.
+	for i := 0; i < e; i++ {
+		sp, tp := g.rank[g.edgeFrom[i]], g.rank[g.edgeTo[i]]
+		g.succAdj[g.succOff[sp]] = tp
+		g.succOff[sp]++
+		g.predAdj[g.predOff[tp]] = sp
+		g.predOff[tp]++
+	}
+	for p := n; p > 0; p-- {
+		g.succOff[p] = g.succOff[p-1]
+		g.predOff[p] = g.predOff[p-1]
+	}
+	g.succOff[0], g.predOff[0] = 0, 0
+	for p := 0; p < n; p++ {
+		slices.Sort(g.succAdj[g.succOff[p]:g.succOff[p+1]])
+		slices.Sort(g.predAdj[g.predOff[p]:g.predOff[p+1]])
+	}
+	g.built = true
+}
+
+// resizeInt32 returns s with length n, reusing capacity when possible.
+func resizeInt32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+// zeroInt32 clears s in place and returns it.
+func zeroInt32(s []int32) []int32 {
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+// --- Position API ---------------------------------------------------
+//
+// A position is a vertex's index in ascending-NodeID order, 0-based.
+// Positions are stable between mutations, and every adjacency slice the
+// CSR hands out lists neighbor positions in ascending order, so
+// position-order iteration is ID-order iteration. This is the zero-
+// allocation surface the hot paths (WL refinement, conflation, metrics)
+// run on; the NodeID-keyed accessors below are derived from it.
+
+// NumNodes returns the vertex count (same as Size; named for symmetry
+// with the position API).
+func (g *Graph) NumNodes() int { return len(g.nodes) }
+
+// PosOf returns the position of a vertex id, or -1 when absent.
+func (g *Graph) PosOf(id NodeID) int {
+	g.ensureBuilt()
+	i, ok := g.pos[id]
+	if !ok {
+		return -1
+	}
+	return int(g.rank[i])
+}
+
+// IDAt returns the vertex id at a position.
+func (g *Graph) IDAt(p int) NodeID {
+	g.ensureBuilt()
+	return g.nodes[g.byID[p]].ID
+}
+
+// NodeAt returns the vertex at a position. The pointer aliases graph
+// storage exactly as Node does.
+func (g *Graph) NodeAt(p int) *Node {
+	g.ensureBuilt()
+	return &g.nodes[g.byID[p]]
+}
+
+// SuccPos returns the successor positions of position p, ascending. The
+// slice is a view into the CSR arrays: read-only, invalidated by the
+// next mutation.
+func (g *Graph) SuccPos(p int) []int32 {
+	g.ensureBuilt()
+	return g.succAdj[g.succOff[p]:g.succOff[p+1]]
+}
+
+// PredPos returns the predecessor positions of position p, ascending,
+// under the same view contract as SuccPos.
+func (g *Graph) PredPos(p int) []int32 {
+	g.ensureBuilt()
+	return g.predAdj[g.predOff[p]:g.predOff[p+1]]
+}
+
+// --- NodeID-keyed accessors (map-era API) ---------------------------
 
 // NodeIDs returns all vertex ids in increasing order.
 func (g *Graph) NodeIDs() []NodeID {
-	ids := make([]NodeID, 0, len(g.nodes))
-	for id := range g.nodes {
-		ids = append(ids, id)
+	g.ensureBuilt()
+	ids := make([]NodeID, len(g.nodes))
+	for p, ai := range g.byID {
+		ids[p] = g.nodes[ai].ID
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	return ids
 }
 
 // Succ returns a copy of the successors of id in increasing order.
-func (g *Graph) Succ(id NodeID) []NodeID { return sortedCopy(g.succ[id]) }
+func (g *Graph) Succ(id NodeID) []NodeID { return g.neighborIDs(id, true) }
 
 // Pred returns a copy of the predecessors of id in increasing order.
-func (g *Graph) Pred(id NodeID) []NodeID { return sortedCopy(g.pred[id]) }
+func (g *Graph) Pred(id NodeID) []NodeID { return g.neighborIDs(id, false) }
+
+func (g *Graph) neighborIDs(id NodeID, succ bool) []NodeID {
+	p := g.PosOf(id)
+	if p < 0 {
+		return nil
+	}
+	var adj []int32
+	if succ {
+		adj = g.SuccPos(p)
+	} else {
+		adj = g.PredPos(p)
+	}
+	if len(adj) == 0 {
+		return nil
+	}
+	out := make([]NodeID, len(adj))
+	for i, q := range adj {
+		out[i] = g.nodes[g.byID[q]].ID
+	}
+	return out
+}
 
 // InDegree returns the number of dependencies of id.
-func (g *Graph) InDegree(id NodeID) int { return len(g.pred[id]) }
+func (g *Graph) InDegree(id NodeID) int {
+	p := g.PosOf(id)
+	if p < 0 {
+		return 0
+	}
+	return int(g.predOff[p+1] - g.predOff[p])
+}
 
 // OutDegree returns the number of dependents of id.
-func (g *Graph) OutDegree(id NodeID) int { return len(g.succ[id]) }
+func (g *Graph) OutDegree(id NodeID) int {
+	p := g.PosOf(id)
+	if p < 0 {
+		return 0
+	}
+	return int(g.succOff[p+1] - g.succOff[p])
+}
 
 // Sources returns vertices with in-degree zero (the paper's "input
 // vertices") in increasing order.
 func (g *Graph) Sources() []NodeID {
+	g.ensureBuilt()
 	var out []NodeID
-	for id := range g.nodes {
-		if len(g.pred[id]) == 0 {
-			out = append(out, id)
+	for p := 0; p < len(g.nodes); p++ {
+		if g.predOff[p+1] == g.predOff[p] {
+			out = append(out, g.nodes[g.byID[p]].ID)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
 // Sinks returns vertices with out-degree zero (terminal tasks) in
 // increasing order.
 func (g *Graph) Sinks() []NodeID {
+	g.ensureBuilt()
 	var out []NodeID
-	for id := range g.nodes {
-		if len(g.succ[id]) == 0 {
-			out = append(out, id)
+	for p := 0; p < len(g.nodes); p++ {
+		if g.succOff[p+1] == g.succOff[p] {
+			out = append(out, g.nodes[g.byID[p]].ID)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
 // Clone returns a deep copy of g.
 func (g *Graph) Clone() *Graph {
-	c := New(g.JobID)
-	for id, n := range g.nodes {
-		copied := *n
-		c.nodes[id] = &copied
+	c := &Graph{
+		JobID:    g.JobID,
+		nodes:    slices.Clone(g.nodes),
+		pos:      make(map[NodeID]int32, len(g.pos)),
+		edgeFrom: slices.Clone(g.edgeFrom),
+		edgeTo:   slices.Clone(g.edgeTo),
 	}
-	for id, ss := range g.succ {
-		c.succ[id] = append([]NodeID(nil), ss...)
+	for id, i := range g.pos {
+		c.pos[id] = i
 	}
-	for id, ps := range g.pred {
-		c.pred[id] = append([]NodeID(nil), ps...)
+	if g.edgeSet != nil {
+		c.edgeSet = make(map[uint64]struct{}, len(g.edgeSet))
+		for k := range g.edgeSet {
+			c.edgeSet[k] = struct{}{}
+		}
 	}
-	c.edges = g.edges
 	return c
 }
 
-// Validate checks structural invariants: every edge endpoint exists,
-// predecessor/successor lists agree, and the graph is acyclic.
+// Validate checks structural invariants. Edge endpoints are enforced at
+// insertion by AddEdge, so this reduces to the global acyclicity check.
 func (g *Graph) Validate() error {
-	for from, ss := range g.succ {
-		if _, ok := g.nodes[from]; !ok && len(ss) > 0 {
-			return fmt.Errorf("dag: job %s: edges from unknown node %d", g.JobID, from)
-		}
-		for _, to := range ss {
-			if _, ok := g.nodes[to]; !ok {
-				return fmt.Errorf("dag: job %s: edge %d->%d to unknown node", g.JobID, from, to)
-			}
-		}
-	}
-	if _, err := g.TopoSort(); err != nil {
+	if _, err := g.topoPositions(nil); err != nil {
 		return err
 	}
 	return nil
@@ -200,80 +400,114 @@ func (g *Graph) Validate() error {
 // algorithm, ties broken by ascending id for determinism), or an error
 // naming the job when a cycle exists.
 func (g *Graph) TopoSort() ([]NodeID, error) {
-	indeg := make(map[NodeID]int, len(g.nodes))
-	for id := range g.nodes {
-		indeg[id] = len(g.pred[id])
+	order, err := g.topoPositions(nil)
+	if err != nil {
+		return nil, err
 	}
-	frontier := make([]NodeID, 0, len(g.nodes))
-	for id, d := range indeg {
-		if d == 0 {
-			frontier = append(frontier, id)
+	out := make([]NodeID, len(order))
+	for i, p := range order {
+		out[i] = g.nodes[g.byID[p]].ID
+	}
+	return out, nil
+}
+
+// topoPositions runs Kahn's algorithm over the CSR arrays, emitting
+// positions. The ready frontier is a binary min-heap of positions, so
+// the smallest pending id is always emitted first — the same
+// deterministic tie-break the map-era implementation used. buf, when
+// non-nil and large enough, backs the returned order.
+func (g *Graph) topoPositions(buf []int32) ([]int32, error) {
+	g.ensureBuilt()
+	n := len(g.nodes)
+	if cap(buf) < n {
+		buf = make([]int32, n)
+	}
+	order := buf[:0]
+	indeg := make([]int32, n)
+	heap := make([]int32, 0, n)
+	for p := 0; p < n; p++ {
+		indeg[p] = g.predOff[p+1] - g.predOff[p]
+		if indeg[p] == 0 {
+			heap = heapPushInt32(heap, int32(p))
 		}
 	}
-	sort.Slice(frontier, func(i, j int) bool { return frontier[i] < frontier[j] })
-
-	order := make([]NodeID, 0, len(g.nodes))
-	for len(frontier) > 0 {
-		// Pop the smallest id to keep the order deterministic.
-		id := frontier[0]
-		frontier = frontier[1:]
-		order = append(order, id)
-		released := make([]NodeID, 0, len(g.succ[id]))
-		for _, s := range g.succ[id] {
+	for len(heap) > 0 {
+		var p int32
+		heap, p = heapPopInt32(heap)
+		order = append(order, p)
+		for _, s := range g.succAdj[g.succOff[p]:g.succOff[p+1]] {
 			indeg[s]--
 			if indeg[s] == 0 {
-				released = append(released, s)
+				heap = heapPushInt32(heap, s)
 			}
 		}
-		sort.Slice(released, func(i, j int) bool { return released[i] < released[j] })
-		frontier = mergeSorted(frontier, released)
 	}
-	if len(order) != len(g.nodes) {
+	if len(order) != n {
 		return nil, fmt.Errorf("dag: job %s contains a dependency cycle", g.JobID)
 	}
 	return order, nil
+}
+
+// heapPushInt32 / heapPopInt32 implement a plain binary min-heap on a
+// slice — the frontier of topoPositions — without container/heap's
+// interface boxing.
+func heapPushInt32(h []int32, x int32) []int32 {
+	h = append(h, x)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h[parent] <= h[i] {
+			break
+		}
+		h[parent], h[i] = h[i], h[parent]
+		i = parent
+	}
+	return h
+}
+
+func heapPopInt32(h []int32) ([]int32, int32) {
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	h = h[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(h) && h[l] < h[small] {
+			small = l
+		}
+		if r < len(h) && h[r] < h[small] {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h[i], h[small] = h[small], h[i]
+		i = small
+	}
+	return h, top
 }
 
 // Reachable returns the set of vertices reachable from id by following
 // dependency edges forward (id itself excluded).
 func (g *Graph) Reachable(id NodeID) map[NodeID]bool {
 	out := make(map[NodeID]bool)
-	stack := append([]NodeID(nil), g.succ[id]...)
+	p := g.PosOf(id)
+	if p < 0 {
+		return out
+	}
+	seen := make([]bool, len(g.nodes))
+	stack := append([]int32(nil), g.SuccPos(p)...)
 	for len(stack) > 0 {
 		v := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		if out[v] {
+		if seen[v] {
 			continue
 		}
-		out[v] = true
-		stack = append(stack, g.succ[v]...)
+		seen[v] = true
+		out[g.nodes[g.byID[v]].ID] = true
+		stack = append(stack, g.succAdj[g.succOff[v]:g.succOff[v+1]]...)
 	}
-	return out
-}
-
-func sortedCopy(xs []NodeID) []NodeID {
-	out := append([]NodeID(nil), xs...)
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
-}
-
-// mergeSorted merges two ascending NodeID slices into one.
-func mergeSorted(a, b []NodeID) []NodeID {
-	if len(b) == 0 {
-		return a
-	}
-	out := make([]NodeID, 0, len(a)+len(b))
-	i, j := 0, 0
-	for i < len(a) && j < len(b) {
-		if a[i] <= b[j] {
-			out = append(out, a[i])
-			i++
-		} else {
-			out = append(out, b[j])
-			j++
-		}
-	}
-	out = append(out, a[i:]...)
-	out = append(out, b[j:]...)
 	return out
 }

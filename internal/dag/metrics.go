@@ -5,25 +5,41 @@ import (
 	"sort"
 )
 
+// levelsPositions assigns each position its longest-path layer over the
+// CSR arrays: sources are level 0 and every other vertex sits one past
+// its deepest predecessor. All level consumers (Depth, WidthProfile,
+// ASCII) run on this flat form; Levels wraps it in the map-era shape.
+func (g *Graph) levelsPositions() ([]int32, error) {
+	order, err := g.topoPositions(nil)
+	if err != nil {
+		return nil, err
+	}
+	lvl := make([]int32, len(order))
+	for _, p := range order {
+		var l int32
+		for _, q := range g.predAdj[g.predOff[p]:g.predOff[p+1]] {
+			if lvl[q]+1 > l {
+				l = lvl[q] + 1
+			}
+		}
+		lvl[p] = l
+	}
+	return lvl, nil
+}
+
 // Levels assigns each vertex its longest-path layer: sources are level 0
 // and every other vertex sits one past its deepest predecessor. This is
 // the layering behind the paper's critical-path and width measurements.
 func (g *Graph) Levels() (map[NodeID]int, error) {
-	order, err := g.TopoSort()
+	lvl, err := g.levelsPositions()
 	if err != nil {
 		return nil, err
 	}
-	lvl := make(map[NodeID]int, len(order))
-	for _, id := range order {
-		l := 0
-		for _, p := range g.pred[id] {
-			if lvl[p]+1 > l {
-				l = lvl[p] + 1
-			}
-		}
-		lvl[id] = l
+	out := make(map[NodeID]int, len(lvl))
+	for p, l := range lvl {
+		out[g.IDAt(p)] = int(l)
 	}
-	return lvl, nil
+	return out, nil
 }
 
 // Depth returns the critical-path length measured in vertices — the
@@ -33,17 +49,17 @@ func (g *Graph) Depth() (int, error) {
 	if g.Size() == 0 {
 		return 0, nil
 	}
-	lvl, err := g.Levels()
+	lvl, err := g.levelsPositions()
 	if err != nil {
 		return 0, err
 	}
-	maxL := 0
+	var maxL int32
 	for _, l := range lvl {
 		if l > maxL {
 			maxL = l
 		}
 	}
-	return maxL + 1, nil
+	return int(maxL) + 1, nil
 }
 
 // WidthProfile returns the number of vertices per level, index = level.
@@ -51,11 +67,11 @@ func (g *Graph) WidthProfile() ([]int, error) {
 	if g.Size() == 0 {
 		return nil, nil
 	}
-	lvl, err := g.Levels()
+	lvl, err := g.levelsPositions()
 	if err != nil {
 		return nil, err
 	}
-	maxL := 0
+	var maxL int32
 	for _, l := range lvl {
 		if l > maxL {
 			maxL = l
@@ -68,17 +84,55 @@ func (g *Graph) WidthProfile() ([]int, error) {
 	return widths, nil
 }
 
+// DepthAndMaxWidth computes Depth and MaxWidth from one level
+// assignment — the per-job structural stage asks for both, and the
+// level computation dominates either metric.
+func (g *Graph) DepthAndMaxWidth() (depth, maxWidth int, err error) {
+	if g.Size() == 0 {
+		return 0, 0, nil
+	}
+	lvl, err := g.levelsPositions()
+	if err != nil {
+		return 0, 0, err
+	}
+	var maxL int32
+	for _, l := range lvl {
+		if l > maxL {
+			maxL = l
+		}
+	}
+	counts := make([]int, maxL+1)
+	for _, l := range lvl {
+		counts[l]++
+		if counts[l] > maxWidth {
+			maxWidth = counts[l]
+		}
+	}
+	return int(maxL) + 1, maxWidth, nil
+}
+
 // MaxWidth returns the maximum number of same-level tasks — the paper's
 // "job maximum width", its proxy for attainable parallelism (§V-A).
 func (g *Graph) MaxWidth() (int, error) {
-	widths, err := g.WidthProfile()
+	if g.Size() == 0 {
+		return 0, nil
+	}
+	lvl, err := g.levelsPositions()
 	if err != nil {
 		return 0, err
 	}
+	var maxL int32
+	for _, l := range lvl {
+		if l > maxL {
+			maxL = l
+		}
+	}
+	counts := make([]int, maxL+1)
 	maxW := 0
-	for _, w := range widths {
-		if w > maxW {
-			maxW = w
+	for _, l := range lvl {
+		counts[l]++
+		if counts[l] > maxW {
+			maxW = counts[l]
 		}
 	}
 	return maxW, nil
@@ -90,37 +144,37 @@ func (g *Graph) CriticalPath() ([]NodeID, error) {
 	if g.Size() == 0 {
 		return nil, nil
 	}
-	order, err := g.TopoSort()
+	order, err := g.topoPositions(nil)
 	if err != nil {
 		return nil, err
 	}
-	best := make(map[NodeID]int, len(order)) // longest path ending at v, in vertices
-	prev := make(map[NodeID]NodeID, len(order))
-	for _, id := range order {
-		best[id] = 1
-		for _, p := range sortedCopy(g.pred[id]) {
-			if best[p]+1 > best[id] {
-				best[id] = best[p] + 1
-				prev[id] = p
+	n := len(order)
+	best := make([]int32, n) // longest path ending at position, in vertices
+	prev := make([]int32, n)
+	for i := range prev {
+		prev[i] = -1
+	}
+	for _, p := range order {
+		best[p] = 1
+		// Predecessor positions are ascending, so the smallest-id
+		// predecessor wins ties, matching the map-era behavior.
+		for _, q := range g.predAdj[g.predOff[p]:g.predOff[p+1]] {
+			if best[q]+1 > best[p] {
+				best[p] = best[q] + 1
+				prev[p] = q
 			}
 		}
 	}
-	var end NodeID
-	endLen := 0
-	for _, id := range order {
-		if best[id] > endLen || (best[id] == endLen && (endLen == 0 || id < end)) {
-			end = id
-			endLen = best[id]
+	end, endLen := int32(-1), int32(0)
+	for _, p := range order {
+		if best[p] > endLen || (best[p] == endLen && (endLen == 0 || g.IDAt(int(p)) < g.IDAt(int(end)))) {
+			end = p
+			endLen = best[p]
 		}
 	}
 	path := make([]NodeID, 0, endLen)
-	for v := end; ; {
-		path = append(path, v)
-		p, ok := prev[v]
-		if !ok {
-			break
-		}
-		v = p
+	for v := end; v >= 0; v = prev[v] {
+		path = append(path, g.IDAt(int(v)))
 	}
 	// Reverse into source→sink order.
 	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
@@ -133,22 +187,22 @@ func (g *Graph) CriticalPath() ([]NodeID, error) {
 // any dependency path — the lower bound on job completion time given
 // unlimited parallelism. Used by the scheduling application.
 func (g *Graph) CriticalPathDuration() (float64, error) {
-	order, err := g.TopoSort()
+	order, err := g.topoPositions(nil)
 	if err != nil {
 		return 0, err
 	}
-	finish := make(map[NodeID]float64, len(order))
+	finish := make([]float64, len(order))
 	var maxFinish float64
-	for _, id := range order {
+	for _, p := range order {
 		var start float64
-		for _, p := range g.pred[id] {
-			if finish[p] > start {
-				start = finish[p]
+		for _, q := range g.predAdj[g.predOff[p]:g.predOff[p+1]] {
+			if finish[q] > start {
+				start = finish[q]
 			}
 		}
-		finish[id] = start + g.nodes[id].Duration
-		if finish[id] > maxFinish {
-			maxFinish = finish[id]
+		finish[p] = start + g.nodes[g.byID[p]].Duration
+		if finish[p] > maxFinish {
+			maxFinish = finish[p]
 		}
 	}
 	return maxFinish, nil
@@ -168,15 +222,16 @@ func (g *Graph) Degrees() DegreeStats {
 	if n == 0 {
 		return s
 	}
-	for id := range g.nodes {
-		if d := len(g.pred[id]); d > s.MaxIn {
+	g.ensureBuilt()
+	for p := 0; p < n; p++ {
+		if d := int(g.predOff[p+1] - g.predOff[p]); d > s.MaxIn {
 			s.MaxIn = d
 		}
-		if d := len(g.succ[id]); d > s.MaxOut {
+		if d := int(g.succOff[p+1] - g.succOff[p]); d > s.MaxOut {
 			s.MaxOut = d
 		}
 	}
-	s.MeanIn = float64(g.edges) / float64(n)
+	s.MeanIn = float64(g.NumEdges()) / float64(n)
 	s.MeanOut = s.MeanIn
 	return s
 }
@@ -185,8 +240,8 @@ func (g *Graph) Degrees() DegreeStats {
 // census of Figure 6.
 func (g *Graph) TypeCounts() map[string]int {
 	out := make(map[string]int)
-	for _, n := range g.nodes {
-		out[n.Type.String()]++
+	for i := range g.nodes {
+		out[g.nodes[i].Type.String()]++
 	}
 	return out
 }
@@ -195,34 +250,36 @@ func (g *Graph) TypeCounts() map[string]int {
 // weakly connected component. The paper's WL kernel is defined over
 // connected graphs; disconnected jobs are rare and filtered upstream.
 func (g *Graph) IsConnected() bool {
-	if g.Size() <= 1 {
+	n := g.Size()
+	if n <= 1 {
 		return true
 	}
-	// Undirected BFS from an arbitrary vertex.
-	var start NodeID
-	for id := range g.nodes {
-		start = id
-		break
-	}
-	seen := map[NodeID]bool{start: true}
-	queue := []NodeID{start}
+	g.ensureBuilt()
+	// Undirected BFS from position 0.
+	seen := make([]bool, n)
+	seen[0] = true
+	queue := make([]int32, 1, n)
+	queue[0] = 0
+	count := 1
 	for len(queue) > 0 {
 		v := queue[0]
 		queue = queue[1:]
-		for _, nb := range g.succ[v] {
+		for _, nb := range g.succAdj[g.succOff[v]:g.succOff[v+1]] {
 			if !seen[nb] {
 				seen[nb] = true
+				count++
 				queue = append(queue, nb)
 			}
 		}
-		for _, nb := range g.pred[v] {
+		for _, nb := range g.predAdj[g.predOff[v]:g.predOff[v+1]] {
 			if !seen[nb] {
 				seen[nb] = true
+				count++
 				queue = append(queue, nb)
 			}
 		}
 	}
-	return len(seen) == g.Size()
+	return count == n
 }
 
 // Summary renders a one-line structural description for logs and tables.

@@ -11,19 +11,23 @@ package dag
 // from the naming convention's redundancy, and the reduction ratio is
 // itself a workload characteristic (see the redundant-edge experiment).
 func (g *Graph) TransitiveReduction() (*Graph, error) {
-	if _, err := g.TopoSort(); err != nil {
+	if err := g.Validate(); err != nil {
 		return nil, err
 	}
 	out := New(g.JobID)
-	for _, id := range g.NodeIDs() {
-		if err := out.AddNode(*g.Node(id)); err != nil {
+	n := g.NumNodes()
+	for p := 0; p < n; p++ {
+		if err := out.AddNode(*g.NodeAt(p)); err != nil {
 			return nil, err
 		}
 	}
-	for _, u := range g.NodeIDs() {
-		for _, v := range g.Succ(u) {
-			if !reachableAvoiding(g, u, v) {
-				if err := out.AddEdge(u, v); err != nil {
+	// Reused DFS scratch across edge queries.
+	seen := make([]bool, n)
+	stack := make([]int32, 0, n)
+	for u := 0; u < n; u++ {
+		for _, v := range g.SuccPos(u) {
+			if !g.reachableAvoiding(int32(u), v, seen, stack) {
+				if err := out.AddEdge(g.IDAt(u), g.IDAt(int(v))); err != nil {
 					return nil, err
 				}
 			}
@@ -32,16 +36,19 @@ func (g *Graph) TransitiveReduction() (*Graph, error) {
 	return out, nil
 }
 
-// reachableAvoiding reports whether v is reachable from u without using
-// the direct edge u→v.
-func reachableAvoiding(g *Graph, u, v NodeID) bool {
-	stack := make([]NodeID, 0, len(g.succ[u]))
-	for _, s := range g.succ[u] {
+// reachableAvoiding reports whether position v is reachable from u
+// without using the direct edge u→v. seen and stack are caller-owned
+// scratch, cleared here before use.
+func (g *Graph) reachableAvoiding(u, v int32, seen []bool, stack []int32) bool {
+	for i := range seen {
+		seen[i] = false
+	}
+	stack = stack[:0]
+	for _, s := range g.SuccPos(int(u)) {
 		if s != v {
 			stack = append(stack, s)
 		}
 	}
-	seen := make(map[NodeID]bool, len(g.nodes))
 	for len(stack) > 0 {
 		x := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
@@ -52,7 +59,7 @@ func reachableAvoiding(g *Graph, u, v NodeID) bool {
 			continue
 		}
 		seen[x] = true
-		stack = append(stack, g.succ[x]...)
+		stack = append(stack, g.succAdj[g.succOff[x]:g.succOff[x+1]]...)
 	}
 	return false
 }

@@ -36,7 +36,9 @@ import (
 // keySchema salts every content key; bump together with artifact or
 // stage-semantics changes so stale caches miss instead of resurfacing
 // wrong-shaped artifacts.
-const keySchema = "jobgraph-engine/v1"
+// v2: dag.Graph moved to a flat CSR core with a compact binary gob wire
+// form (JGD2), so every cached artifact embedding a graph changed shape.
+const keySchema = "jobgraph-engine/v2"
 
 // Cache traffic counters — the warm/cold visibility in metrics.json.
 var (

@@ -1,0 +1,50 @@
+package linalg
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSymMatrixDenseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{1, 2, 5, 17} {
+		s := NewSymMatrix(n)
+		want := NewMatrix(n, n)
+		for i := 0; i < n; i++ {
+			for j := i; j < n; j++ {
+				v := rng.NormFloat64()
+				s.Set(i, j, v)
+				want.Set(i, j, v)
+				want.Set(j, i, v)
+			}
+		}
+		// At answers both triangles from the packed storage.
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if got := s.At(i, j); got != want.At(i, j) {
+					t.Fatalf("n=%d At(%d,%d)=%v, want %v", n, i, j, got, want.At(i, j))
+				}
+			}
+		}
+		d := s.Dense()
+		if d.Rows != n || d.Cols != n {
+			t.Fatalf("Dense shape %dx%d, want %dx%d", d.Rows, d.Cols, n, n)
+		}
+		for k := range want.Data {
+			if d.Data[k] != want.Data[k] {
+				t.Fatalf("n=%d Dense differs at flat index %d", n, k)
+			}
+		}
+	}
+}
+
+func TestSymMatrixSetMirrors(t *testing.T) {
+	s := NewSymMatrix(3)
+	s.Set(2, 0, 7) // lower-triangle write lands in the same packed cell
+	if s.At(0, 2) != 7 || s.At(2, 0) != 7 {
+		t.Fatalf("mirror write lost: At(0,2)=%v At(2,0)=%v", s.At(0, 2), s.At(2, 0))
+	}
+	if len(s.Data) != 6 {
+		t.Fatalf("packed length %d, want 6", len(s.Data))
+	}
+}

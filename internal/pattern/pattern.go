@@ -76,8 +76,15 @@ func Classify(g *dag.Graph) (Shape, error) {
 	if err != nil {
 		return Empty, err
 	}
-	nSources := len(g.Sources())
-	nSinks := len(g.Sinks())
+	nSources, nSinks := 0, 0
+	for p := 0; p < g.NumNodes(); p++ {
+		if len(g.PredPos(p)) == 0 {
+			nSources++
+		}
+		if len(g.SuccPos(p)) == 0 {
+			nSinks++
+		}
+	}
 
 	if allOnes(widths) {
 		// All levels width 1. With n > 1 and each level holding exactly

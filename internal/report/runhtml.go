@@ -25,6 +25,7 @@ type RunHTMLData struct {
 	Entry      *ledger.Entry // nil when only a metrics.json is available
 	Warnings   []string
 	FlightDump string // path of the stall watchdog's flight dump, when one was captured
+	Ingest     string // trace ingest throughput line, when the run read a trace
 	Stages     []stageRow
 	Exemplars  []exemplarRow
 	CacheRows  []cacheRow
@@ -208,6 +209,9 @@ func BuildRunHTMLData(snap obs.Snapshot, entry *ledger.Entry, now time.Time) Run
 		d.Gauges = append(d.Gauges, kvRow{Name: name, Value: v})
 	}
 	sort.Slice(d.Gauges, func(i, j int) bool { return d.Gauges[i].Name < d.Gauges[j].Name })
+	if rps, ok := snap.Gauges["trace.ingest.rows_per_sec"]; ok && rps > 0 {
+		d.Ingest = fmt.Sprintf("%d rows/s · %d MiB/s", rps, snap.Gauges["trace.ingest.mb_per_sec"])
+	}
 
 	for _, name := range sortedNames(snap.Histograms) {
 		h := snap.Histograms[name]
@@ -332,6 +336,9 @@ footer { margin-top: 3rem; color: #61707f; font-size: .85rem; }
 {{end}}
 {{if .FlightDump}}
 <div class="warn">stall watchdog tripped during this run — flight dump at <code>{{.FlightDump}}</code>; timings below describe a stalled run</div>
+{{end}}
+{{if .Ingest}}
+<p>Trace ingest throughput: <strong>{{.Ingest}}</strong></p>
 {{end}}
 
 {{if .Stages}}

@@ -14,6 +14,7 @@ import (
 
 	"jobgraph/internal/dag"
 	"jobgraph/internal/obs"
+	"jobgraph/internal/taskname"
 	"jobgraph/internal/trace"
 )
 
@@ -99,20 +100,39 @@ type FilterStats struct {
 	BuildErrors   int
 }
 
+// FilterOptions carries the execution knobs of a filter run — unlike
+// Criteria they never change which jobs survive, so they stay out of
+// cache fingerprints.
+type FilterOptions struct {
+	// Workers bounds the filter goroutines (<=0: all CPUs).
+	Workers int
+	// Arena, when non-nil, resolves the task records' interned name
+	// symbols to cached parses during DAG construction (the records must
+	// have been read with the same arena on trace.ReadOptions.Arena;
+	// stale or zero symbols safely fall back to parsing the name).
+	Arena *taskname.Arena
+}
+
 // Filter applies Integrity and Availability, building a DAG for every
 // surviving job. Jobs whose names fail to decode into any DAG vertices
 // are counted as NonDAG and dropped (they are the ~50% independent
 // workload, not an error).
 func Filter(jobs []trace.Job, c Criteria) ([]Candidate, FilterStats, error) {
-	return FilterParallel(jobs, c, 1)
+	return FilterOpts(jobs, c, FilterOptions{Workers: 1})
 }
 
-// FilterParallel is Filter across `workers` goroutines (<=0 uses all
-// CPUs): the job list is cut into contiguous shards filtered
-// independently — per-job DAG construction dominates the cost and is
-// embarrassingly parallel — and the surviving candidates are merged in
-// shard order, so the output is identical at every worker count.
+// FilterParallel is Filter across `workers` goroutines; see FilterOpts.
 func FilterParallel(jobs []trace.Job, c Criteria, workers int) ([]Candidate, FilterStats, error) {
+	return FilterOpts(jobs, c, FilterOptions{Workers: workers})
+}
+
+// FilterOpts is Filter under explicit execution options: the job list
+// is cut into contiguous shards filtered independently — per-job DAG
+// construction dominates the cost and is embarrassingly parallel — and
+// the surviving candidates are merged in shard order, so the output is
+// identical at every worker count.
+func FilterOpts(jobs []trace.Job, c Criteria, opt FilterOptions) ([]Candidate, FilterStats, error) {
+	workers := opt.Workers
 	if err := c.validate(); err != nil {
 		return nil, FilterStats{}, err
 	}
@@ -134,7 +154,7 @@ func FilterParallel(jobs []trace.Job, c Criteria, workers int) ([]Candidate, Fil
 			wg.Add(1)
 			go func(w, lo, hi int) {
 				defer wg.Done()
-				outs[w], stats[w] = filterRange(jobs[lo:hi], c)
+				outs[w], stats[w] = filterRange(jobs[lo:hi], c, opt.Arena)
 			}(w, lo, hi)
 		}
 		wg.Wait()
@@ -148,7 +168,7 @@ func FilterParallel(jobs []trace.Job, c Criteria, workers int) ([]Candidate, Fil
 			st.BuildErrors += stats[w].BuildErrors
 		}
 	} else {
-		out, st = filterRange(jobs, c)
+		out, st = filterRange(jobs, c, opt.Arena)
 		st.Input = len(jobs)
 	}
 	st.Kept = len(out)
@@ -158,7 +178,7 @@ func FilterParallel(jobs []trace.Job, c Criteria, workers int) ([]Candidate, Fil
 
 // filterRange applies the selection criteria to one contiguous job
 // shard; Input/Kept and the obs mirroring are the caller's job.
-func filterRange(jobs []trace.Job, c Criteria) ([]Candidate, FilterStats) {
+func filterRange(jobs []trace.Job, c Criteria, arena *taskname.Arena) ([]Candidate, FilterStats) {
 	var st FilterStats
 	var out []Candidate
 	for _, j := range jobs {
@@ -179,13 +199,14 @@ func filterRange(jobs []trace.Job, c Criteria) ([]Candidate, FilterStats) {
 		for _, t := range j.Tasks {
 			specs = append(specs, dag.TaskSpec{
 				Name:      t.TaskName,
+				Sym:       t.TaskSym,
 				Duration:  t.Duration(),
 				Instances: t.InstanceNum,
 				PlanCPU:   t.PlanCPU,
 				PlanMem:   t.PlanMem,
 			})
 		}
-		res, err := dag.FromTasks(j.Name, specs, dag.BuildOptions{SkipMissingDeps: true})
+		res, err := dag.FromTasks(j.Name, specs, dag.BuildOptions{SkipMissingDeps: true, Arena: arena})
 		if err != nil {
 			st.BuildErrors++
 			continue

@@ -218,11 +218,21 @@ func TestServerBadRequests(t *testing.T) {
 // Saturating the admission queue must yield 429 + Retry-After, and a
 // client that honors it must eventually land every request.
 func TestServerBackpressure429(t *testing.T) {
-	_, ts := newTestServer(t, func(c *Config) {
+	s, ts := newTestServer(t, func(c *Config) {
 		// BatchSize 1 serializes flushes (each one classifies), QueueDepth
 		// 2 makes the queue trivially saturable by 24 concurrent posts.
 		c.Batch = BatcherConfig{BatchSize: 1, MaxWait: time.Millisecond, QueueDepth: 2}
 	})
+	// On a fast machine the admission loop can classify a tiny job
+	// quicker than the HTTP stack delivers the next post, so the queue
+	// would never fill. Interpose a batcher whose flush holds the loop
+	// long enough that concurrent posts deterministically pile up.
+	inner := s.batcher
+	s.batcher = newBatcher(inner.cfg, func(ops []*op) {
+		time.Sleep(2 * time.Millisecond)
+		inner.flush(ops)
+	})
+	t.Cleanup(inner.Close) // s.Drain closes the wrapper
 	_, jobs := testModel(t)
 	job := jobs[2]
 

@@ -1,0 +1,115 @@
+package taskname
+
+import (
+	"strings"
+	"sync"
+)
+
+// Symbol is an interned task-name handle: a dense uint32 assigned by an
+// Arena in first-seen order. The zero Symbol means "not interned", so
+// records that never passed through an arena stay valid.
+type Symbol uint32
+
+// Arena interns task-name strings. A production trace repeats the same
+// few thousand distinct task names across millions of rows; interning
+// collapses each repetition to a 4-byte Symbol, detaches the retained
+// string from the multi-kilobyte CSV record backing it, and caches the
+// parsed DAG structure so each distinct name is parsed exactly once.
+//
+// Interning order is whatever order the caller presents names in, so
+// callers that need run-to-run stable symbol values (the trace reader)
+// must intern at a serialized point. Lookups after interning are safe
+// from any number of goroutines.
+type Arena struct {
+	mu      sync.RWMutex
+	syms    map[string]Symbol
+	entries []arenaEntry // index Symbol-1
+}
+
+type arenaEntry struct {
+	name     string
+	parsed   Parsed
+	parseErr error
+}
+
+// NewArena returns an empty arena.
+func NewArena() *Arena {
+	return &Arena{syms: make(map[string]Symbol)}
+}
+
+// Intern returns the symbol for s, assigning the next dense symbol on
+// first sight. The returned string is the arena's canonical copy —
+// callers should retain it instead of s, which may alias a much larger
+// buffer (a CSV record) that the canonical copy does not pin.
+func (a *Arena) Intern(s string) (Symbol, string) {
+	a.mu.RLock()
+	sym, ok := a.syms[s]
+	var name string
+	if ok {
+		name = a.entries[sym-1].name
+	}
+	a.mu.RUnlock()
+	if ok {
+		return sym, name
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if sym, ok := a.syms[s]; ok {
+		return sym, a.entries[sym-1].name
+	}
+	name = strings.Clone(s)
+	p, err := Parse(name)
+	a.entries = append(a.entries, arenaEntry{name: name, parsed: p, parseErr: err})
+	sym = Symbol(len(a.entries))
+	a.syms[name] = sym
+	return sym, name
+}
+
+// Name returns the canonical string for a symbol, or "" for the zero
+// symbol or an out-of-range value.
+func (a *Arena) Name(sym Symbol) string {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	if sym == 0 || int(sym) > len(a.entries) {
+		return ""
+	}
+	return a.entries[sym-1].name
+}
+
+// ParseSym returns the cached parse of the symbol's name. The Parsed
+// value shares its Deps slice with the arena cache; callers must treat
+// it as read-only.
+func (a *Arena) ParseSym(sym Symbol) (Parsed, error) {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	if sym == 0 || int(sym) > len(a.entries) {
+		return Parsed{Type: TypeOther, Independent: true}, nil
+	}
+	e := &a.entries[sym-1]
+	return e.parsed, e.parseErr
+}
+
+// ParseNamed returns the cached parse for sym when the symbol resolves
+// to name in this arena. ok=false means the symbol is zero or stale —
+// e.g. it rode in on a record decoded under a different arena (a cached
+// artifact from an earlier run) — and the caller must parse the name
+// itself.
+func (a *Arena) ParseNamed(sym Symbol, name string) (p Parsed, err error, ok bool) {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	if sym == 0 || int(sym) > len(a.entries) {
+		return Parsed{}, nil, false
+	}
+	e := &a.entries[sym-1]
+	if e.name != name {
+		return Parsed{}, nil, false
+	}
+	return e.parsed, e.parseErr, true
+}
+
+// Len returns the number of interned names.
+func (a *Arena) Len() int {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return len(a.entries)
+}

@@ -1,0 +1,62 @@
+package trace
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"jobgraph/internal/taskname"
+)
+
+// TestReadTasksWarmArenaAllocs pins the cost of the reused-row-buffer
+// decode path: with Workers=1 (ReuseRecord CSV fields) and a warm
+// interning arena (every name already has a canonical copy), decoding a
+// row costs O(1) small allocations — the csv package's one backing
+// string per record plus parse scratch — independent of how many
+// records the caller retains. Before the arena, every retained record
+// pinned fresh copies of its task name, job name, type and status.
+func TestReadTasksWarmArenaAllocs(t *testing.T) {
+	const rows = 400
+	recs := make([]TaskRecord, 0, rows)
+	for i := 0; i < rows; i++ {
+		job := fmt.Sprintf("j_%d", i%20)
+		name := fmt.Sprintf("M%d_%d", i%7+1, i%7)
+		recs = append(recs, TaskRecord{
+			TaskName: name, InstanceNum: 1 + i%5, JobName: job, TaskType: "1",
+			Status: StatusTerminated, StartTime: int64(100 + i), EndTime: int64(200 + i),
+			PlanCPU: 100, PlanMem: 0.5,
+		})
+	}
+	var buf bytes.Buffer
+	if err := WriteTasks(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.String()
+
+	arena := taskname.NewArena()
+	opt := ReadOptions{Workers: 1, Arena: arena}
+	read := func() int {
+		n := 0
+		if _, err := ReadTasksOpts(strings.NewReader(data), opt, func(r TaskRecord) error {
+			if r.TaskSym == 0 || r.JobSym == 0 {
+				t.Fatal("arena read delivered record without symbols")
+			}
+			n++
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return n
+	}
+	if got := read(); got != rows { // warm the arena
+		t.Fatalf("read %d rows, want %d", got, rows)
+	}
+
+	allocs := testing.AllocsPerRun(10, func() { read() })
+	perRow := (allocs - 64) / rows // generous fixed budget for reader setup
+	if perRow > 3 {
+		t.Fatalf("warm arena decode allocates %.2f objects/row (%.0f total for %d rows), want <= 3",
+			perRow, allocs, rows)
+	}
+}

@@ -39,14 +39,37 @@ func ReadTasks(r io.Reader, fn func(TaskRecord) error) error {
 // returned stats (and quarantined when configured) until the error
 // budget is exceeded, and a truncated input stream ends the read with
 // stats.Partial set instead of an error.
+//
+// With opt.Arena set, each accepted record is interned before delivery:
+// TaskSym/JobSym carry the symbols, TaskName/JobName point at the
+// arena's canonical strings, Status and TaskType are canonicalized —
+// so records retain nothing of the per-row CSV buffers. Interning runs
+// at the serialized delivery point of both decoders, so symbol values
+// are identical at every Workers setting.
 func ReadTasksOpts(r io.Reader, opt ReadOptions, fn func(TaskRecord) error) (ReadStats, error) {
+	deliver := fn
+	if a := opt.Arena; a != nil {
+		deliver = func(rec TaskRecord) error {
+			rec.TaskSym, rec.TaskName = a.Intern(rec.TaskName)
+			rec.JobSym, rec.JobName = a.Intern(rec.JobName)
+			_, rec.TaskType = a.Intern(rec.TaskType)
+			rec.Status = rec.Status.canonical()
+			if !rec.Status.Known() {
+				// Unknown states are rare; intern them too so no code
+				// path retains the CSV record buffer.
+				_, s := a.Intern(string(rec.Status))
+				rec.Status = Status(s)
+			}
+			return fn(rec)
+		}
+	}
 	return readTable(r, tableSpec[TaskRecord]{
 		name:    "batch_task",
 		columns: taskColumns,
 		parse:   parseTask,
 		rowsOK:  obsTaskRows,
 		rowsBad: obsTaskRowErrs,
-	}, opt, fn)
+	}, opt, deliver)
 }
 
 // parseTask decodes one batch_task row:

@@ -298,7 +298,8 @@ func readTableParallel[T any](r io.Reader, spec tableSpec[T], opt ReadOptions, w
 			ev := &events[i]
 			sink.zeroed(ev.zeroed)
 			if ev.rerr == nil {
-				if err := sink.accept(func() error { return fn(ev.rec) }); err != nil {
+				sink.accept()
+				if err := fn(ev.rec); err != nil {
 					return err
 				}
 				continue

@@ -7,8 +7,10 @@ import (
 	"io"
 	"log/slog"
 	"sort"
+	"time"
 
 	"jobgraph/internal/obs"
+	"jobgraph/internal/taskname"
 )
 
 // Mode selects how the streaming readers treat malformed rows.
@@ -89,6 +91,16 @@ type ReadOptions struct {
 	// use to exercise truncation, corruption and stall paths against
 	// the full reader stack without fixtures on disk.
 	WrapReader func(io.Reader) io.Reader
+
+	// Arena, when non-nil, interns task and job names of accepted
+	// records into symbols (TaskRecord.TaskSym/JobSym), replaces the
+	// retained strings with the arena's canonical copies, and
+	// canonicalizes Status to the package constants — so accepted
+	// records stop pinning the per-record CSV backing strings. Interning
+	// happens at the serialized delivery point shared by the sequential
+	// and parallel decoders, so symbol numbering is identical at every
+	// worker count.
+	Arena *taskname.Arena
 }
 
 // ratioMinRows is the minimum number of records before MaxBadRatio is
@@ -287,13 +299,14 @@ func (s *rowSink) zeroed(n int) {
 	obs.Default().Counter("trace.fields_zeroed_nonfinite").Add(int64(n))
 }
 
-// accept books one delivered record and hands it to fn.
-func (s *rowSink) accept(fn func() error) error {
+// accept books one delivered record; the caller invokes its callback
+// immediately after. Keeping the callback out of this method avoids a
+// per-row closure allocation on the ingest hot path.
+func (s *rowSink) accept() {
 	s.stats.Rows++
 	s.rowsOK.Add(1)
 	s.rowRate.Add(1)
 	s.hb.Beat()
-	return fn()
 }
 
 // reject books one rejected row: tallies, counters, bounded logging,
@@ -349,17 +362,49 @@ func (s *rowSink) truncated(err error, offset int64) error {
 	return nil
 }
 
+// Whole-read ingest throughput, published per completed read: rows/sec
+// over accepted+rejected records and MB/sec over the decompressed bytes
+// the decoder consumed. Gauges land in metrics.json and the run ledger
+// automatically and are rendered by cmd/runreport.
+var (
+	obsIngestRowsPerSec = obs.Default().Gauge("trace.ingest.rows_per_sec")
+	obsIngestMBPerSec   = obs.Default().Gauge("trace.ingest.mb_per_sec")
+)
+
+// countingReader counts the bytes the decoder pulled off the stream.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
 // readTable is the entry point behind ReadTasks, ReadInstances and
 // ReadMachines: it dispatches between the single-threaded decoder and
-// the sharded parallel one (see parallel.go) on opt.Workers.
+// the sharded parallel one (see parallel.go) on opt.Workers, and
+// publishes whole-read throughput gauges when the read ends.
 func readTable[T any](r io.Reader, spec tableSpec[T], opt ReadOptions, fn func(T) error) (ReadStats, error) {
 	if opt.WrapReader != nil {
 		r = opt.WrapReader(r)
 	}
+	cnt := &countingReader{r: r}
+	start := time.Now()
+	var stats ReadStats
+	var err error
 	if w := resolveWorkers(opt.Workers); w > 1 {
-		return readTableParallel(r, spec, opt, w, fn)
+		stats, err = readTableParallel(cnt, spec, opt, w, fn)
+	} else {
+		stats, err = readTableSeq(cnt, spec, opt, fn)
 	}
-	return readTableSeq(r, spec, opt, fn)
+	if sec := time.Since(start).Seconds(); sec > 0 {
+		obsIngestRowsPerSec.Set(int64(float64(stats.Rows+stats.BadRows) / sec))
+		obsIngestMBPerSec.Set(int64(float64(cnt.n) / (1 << 20) / sec))
+	}
+	return stats, err
 }
 
 // readTableSeq is the single-threaded streaming loop: CSV decode,
@@ -414,7 +459,8 @@ func readTableSeq[T any](r io.Reader, spec tableSpec[T], opt ReadOptions, fn fun
 			rec, perr := spec.parse(row, ctx)
 			sink.zeroed(ctx.nonFinite)
 			if perr == nil {
-				if err := sink.accept(func() error { return fn(rec) }); err != nil {
+				sink.accept()
+				if err := fn(rec); err != nil {
 					return sink.stats, err
 				}
 				continue

@@ -8,7 +8,11 @@
 // for DAG construction.
 package trace
 
-import "fmt"
+import (
+	"fmt"
+
+	"jobgraph/internal/taskname"
+)
 
 // ValidationError is a semantic (not syntactic) record defect. Kind is
 // a stable identifier — e.g. "empty_job_name", "bad_sequence" — used
@@ -39,6 +43,29 @@ const (
 	StatusInterrupted Status = "Interrupted"
 )
 
+// canonical returns the package constant equal to s when s is a known
+// state, detaching the value from whatever buffer backed it (the CSV
+// record string, on the ingest path); unknown states come back as-is.
+func (s Status) canonical() Status {
+	switch s {
+	case StatusWaiting:
+		return StatusWaiting
+	case StatusReady:
+		return StatusReady
+	case StatusRunning:
+		return StatusRunning
+	case StatusTerminated:
+		return StatusTerminated
+	case StatusFailed:
+		return StatusFailed
+	case StatusCancelled:
+		return StatusCancelled
+	case StatusInterrupted:
+		return StatusInterrupted
+	}
+	return s
+}
+
 // Known reports whether s is one of the trace's documented states.
 func (s Status) Known() bool {
 	switch s {
@@ -60,6 +87,18 @@ type TaskRecord struct {
 	EndTime     int64   // seconds since trace start; 0 when unfinished
 	PlanCPU     float64 // requested CPU in units of 100 = 1 core
 	PlanMem     float64 // requested memory, normalized percentage
+
+	// TaskSym/JobSym are the interned symbols for TaskName/JobName,
+	// assigned in delivery order when the read runs with
+	// ReadOptions.Arena; zero when the record never passed through an
+	// arena. Symbols are a cache key into the arena that interned them —
+	// consumers holding records from elsewhere (a cached artifact, a
+	// different process) must validate them against the name before use
+	// (taskname.Arena.ParseNamed does) and fall back to the string.
+	// They carry no information beyond the name and are excluded from
+	// content digests.
+	TaskSym taskname.Symbol
+	JobSym  taskname.Symbol
 }
 
 // Duration returns the task's wall-clock run time in seconds, 0 when

@@ -1,0 +1,337 @@
+package wl
+
+import (
+	"bytes"
+	"slices"
+	"strconv"
+
+	"jobgraph/internal/dag"
+	"jobgraph/internal/taskname"
+)
+
+// This file is the zero-allocation refinement path for the subtree base
+// kernel. The legacy string-labelled loop in wl.go rebuilt every label
+// map, label string, and neighbor slice on every round of every graph;
+// here a node's label is an int32 code into small side tables, and all
+// scratch (code arrays, neighbor form lists, the composition buffer) is
+// owned by an embedder that lives as long as its dictionary, so a warm
+// embedder refines an already-seen graph shape without allocating at
+// all (asserted by TestEmbedIntoZeroAlloc).
+//
+// The observable outputs are unchanged: label strings interned into the
+// dictionary are byte-identical to the legacy refineLabel format, the
+// per-round phase order (compress all nodes, then record) is preserved,
+// and node order is ascending NodeID exactly as g.NodeIDs() yields it.
+// Only dictionary id *values* can differ from the historical
+// implementation, which never promised them: its compression loop
+// iterated a Go map, so id assignment was already run-to-run
+// nondeterministic. This path interns in node-position order instead,
+// making vectors deterministic — kernel values are invariant either way
+// because every dot product is preserved under a consistent relabeling.
+
+// Label code space. A node's current label is an int32 ref:
+//
+//	ref < 0          frozen-miss hashed label; index -(ref+1) into unseen tables
+//	0 <= ref < 16    initial label; index into initForms/initLabels
+//	ref >= 16        compressed token "#<id>" with id = ref-tokenBase
+const tokenBase = 16
+
+// Initial-label table indices (iteration-0 labels).
+const (
+	initMap = iota
+	initReduce
+	initJoin
+	initOther
+	initUniform // "·" when Options.UseTypeLabels is false
+	numInitLabels
+)
+
+var (
+	initForms  = [numInitLabels][]byte{[]byte("M"), []byte("R"), []byte("J"), []byte("?"), []byte("·")}
+	initLabels = [numInitLabels]string{"M", "R", "J", "?", "·"}
+)
+
+// Sentinels for lazily resolved record keys.
+const (
+	keyAbsent     int32 = -1 // label not in the (frozen) label space
+	keyUnresolved int32 = -2
+)
+
+// fastEmbedder owns the per-labeler refinement state. Exactly one of
+// dict/froz is set; the embedder must only ever be used with that
+// labeler because every cached key below is an id in its space.
+type fastEmbedder struct {
+	dict *Dictionary
+	froz *Frozen
+
+	codes []int32  // current label ref per node position
+	next  []int32  // next round's refs (swapped, never reallocated)
+	forms [][]byte // neighbor byte forms, sorted per multiset
+	buf   []byte   // composition scratch for one refined label
+
+	// initKey[i] is the record id of initLabels[i] under the labeler.
+	initKey [numInitLabels]int32
+
+	// tokForm[id] is the "#<id>" byte form; tokKey[id] its record id.
+	// Forms depend only on the id value, keys on the labeler.
+	tokForm [][]byte
+	tokKey  []int32
+
+	// Frozen-miss labels compress to "?%016x" of their FNV-1a hash.
+	unseenForm [][]byte
+	unseenKey  []int32
+	unseenRef  map[uint64]int32
+}
+
+func newFastEmbedder(d *Dictionary, f *Frozen) *fastEmbedder {
+	e := &fastEmbedder{dict: d, froz: f}
+	for i := range e.initKey {
+		e.initKey[i] = keyUnresolved
+	}
+	return e
+}
+
+// embedInto accumulates g's subtree feature counts into vec. opt must
+// already be validated and opt.Base must be BaseSubtree. A warm
+// embedder (same labeler, all labels seen before) performs no
+// allocations beyond growth of vec itself.
+func (e *fastEmbedder) embedInto(vec Vector, g *dag.Graph, opt Options) {
+	n := g.NumNodes()
+	if n == 0 {
+		return
+	}
+	e.codes = resizeRefs(e.codes, n)
+	e.next = resizeRefs(e.next, n)
+
+	for p := 0; p < n; p++ {
+		e.codes[p] = initRef(g.NodeAt(p).Type, opt.UseTypeLabels)
+	}
+	e.record(vec, n)
+
+	for it := 0; it < opt.Iterations; it++ {
+		for p := 0; p < n; p++ {
+			e.compose(g, p, opt.Undirected)
+			e.next[p] = e.compress()
+		}
+		e.codes, e.next = e.next, e.codes
+		e.record(vec, n)
+	}
+
+	obsEmbeds.Add(1)
+	obsRefineRounds.Add(int64(opt.Iterations))
+	obsVectorSize.Observe(float64(len(vec)))
+	if e.dict != nil {
+		obsDictLabels.Set(int64(e.dict.Len()))
+	}
+}
+
+func initRef(t taskname.Type, useTypes bool) int32 {
+	if !useTypes {
+		return initUniform
+	}
+	switch t {
+	case taskname.TypeMap:
+		return initMap
+	case taskname.TypeReduce:
+		return initReduce
+	case taskname.TypeJoin:
+		return initJoin
+	default:
+		return initOther
+	}
+}
+
+// form returns the byte form of a label ref, as it appears inside a
+// composed refined label.
+func (e *fastEmbedder) form(ref int32) []byte {
+	switch {
+	case ref < 0:
+		return e.unseenForm[-(ref + 1)]
+	case ref < tokenBase:
+		return initForms[ref]
+	default:
+		return e.tokForm[ref-tokenBase]
+	}
+}
+
+// compose builds node p's refined label into e.buf, byte-identical to
+// the legacy refineLabel: own label, then "(P:pred,…|S:succ,…)" with
+// each multiset sorted lexicographically (bytes.Compare orders byte
+// slices exactly as sort.Strings ordered the legacy label strings).
+func (e *fastEmbedder) compose(g *dag.Graph, p int, undirected bool) {
+	preds, succs := g.PredPos(p), g.SuccPos(p)
+	buf := append(e.buf[:0], e.form(e.codes[p])...)
+	if undirected {
+		f := e.gather(preds, nil)
+		f = e.gather(succs, f)
+		slices.SortFunc(f, bytes.Compare)
+		buf = append(buf, '(')
+		buf = joinForms(buf, f)
+		e.buf = append(buf, ')')
+		return
+	}
+	f := e.gather(preds, nil)
+	slices.SortFunc(f, bytes.Compare)
+	buf = append(buf, "(P:"...)
+	buf = joinForms(buf, f)
+	f = e.gather(succs, nil)
+	slices.SortFunc(f, bytes.Compare)
+	buf = append(buf, "|S:"...)
+	buf = joinForms(buf, f)
+	e.buf = append(buf, ')')
+}
+
+// gather appends the byte forms of the given neighbor positions to dst
+// (dst == nil restarts the shared scratch slice).
+func (e *fastEmbedder) gather(nbrs []int32, dst [][]byte) [][]byte {
+	if dst == nil {
+		dst = e.forms[:0]
+	}
+	for _, q := range nbrs {
+		dst = append(dst, e.form(e.codes[q]))
+	}
+	e.forms = dst
+	return dst
+}
+
+func joinForms(buf []byte, forms [][]byte) []byte {
+	for i, f := range forms {
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		buf = append(buf, f...)
+	}
+	return buf
+}
+
+// compress resolves the composed label in e.buf to its next-round ref:
+// a dictionary interns unseen labels, a frozen view hashes them.
+func (e *fastEmbedder) compress() int32 {
+	if e.dict != nil {
+		v, ok := e.dict.ids[string(e.buf)]
+		if !ok {
+			v = len(e.dict.ids)
+			e.dict.ids[string(e.buf)] = v
+		}
+		return e.tokenRef(v)
+	}
+	if v, ok := e.froz.ids[string(e.buf)]; ok {
+		return e.tokenRef(v)
+	}
+	return e.hashedRef()
+}
+
+// tokenRef returns the ref for compressed token "#<v>", materializing
+// its byte form on first use.
+func (e *fastEmbedder) tokenRef(v int) int32 {
+	if grow := v + 1 - len(e.tokForm); grow > 0 {
+		e.tokForm = append(e.tokForm, make([][]byte, grow)...)
+		for len(e.tokKey) < len(e.tokForm) {
+			e.tokKey = append(e.tokKey, keyUnresolved)
+		}
+	}
+	if e.tokForm[v] == nil {
+		e.tokForm[v] = strconv.AppendInt([]byte{'#'}, int64(v), 10)
+	}
+	return tokenBase + int32(v)
+}
+
+// hashedRef compresses the frozen-miss label in e.buf to a "?%016x"
+// form, deduplicated by content hash.
+func (e *fastEmbedder) hashedRef() int32 {
+	h := fnvSum(e.buf)
+	if ref, ok := e.unseenRef[h]; ok {
+		return ref
+	}
+	form := appendHashLabel(make([]byte, 0, 17), h)
+	key := keyAbsent
+	if v, ok := e.froz.ids[string(form)]; ok {
+		key = int32(v)
+	}
+	ref := -int32(len(e.unseenForm)) - 1
+	e.unseenForm = append(e.unseenForm, form)
+	e.unseenKey = append(e.unseenKey, key)
+	if e.unseenRef == nil {
+		e.unseenRef = make(map[uint64]int32)
+	}
+	e.unseenRef[h] = ref
+	return ref
+}
+
+// record adds the current round's label counts to vec, walking nodes in
+// ascending position (= ascending NodeID) order so dictionary interning
+// of compressed tokens stays deterministic.
+func (e *fastEmbedder) record(vec Vector, n int) {
+	for p := 0; p < n; p++ {
+		ref := e.codes[p]
+		var key int32
+		switch {
+		case ref < 0:
+			key = e.unseenKey[-(ref + 1)]
+		case ref < tokenBase:
+			key = e.initKeyOf(ref)
+		default:
+			key = e.tokKeyOf(ref - tokenBase)
+		}
+		if key >= 0 {
+			vec[int(key)]++
+		}
+	}
+}
+
+func (e *fastEmbedder) initKeyOf(i int32) int32 {
+	if e.initKey[i] == keyUnresolved {
+		e.initKey[i] = e.resolveKey(initLabels[i])
+	}
+	return e.initKey[i]
+}
+
+func (e *fastEmbedder) tokKeyOf(v int32) int32 {
+	if e.tokKey[v] == keyUnresolved {
+		e.tokKey[v] = e.resolveKey(string(e.tokForm[v]))
+	}
+	return e.tokKey[v]
+}
+
+// resolveKey interns (dictionary) or looks up (frozen) a record label,
+// mirroring what the legacy loop's record() did with ld.labelID.
+func (e *fastEmbedder) resolveKey(label string) int32 {
+	if e.dict != nil {
+		return int32(e.dict.id(label))
+	}
+	if v, ok := e.froz.ids[label]; ok {
+		return int32(v)
+	}
+	return keyAbsent
+}
+
+func resizeRefs(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+// fnvSum is FNV-1a over b, allocation-free (hash/fnv's New64a escapes).
+func fnvSum(b []byte) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= prime64
+	}
+	return h
+}
+
+// appendHashLabel appends the legacy hashLabel form "?%016x" of h.
+func appendHashLabel(dst []byte, h uint64) []byte {
+	const hexdigits = "0123456789abcdef"
+	dst = append(dst, '?')
+	for shift := 60; shift >= 0; shift -= 4 {
+		dst = append(dst, hexdigits[(h>>uint(shift))&0xf])
+	}
+	return dst
+}

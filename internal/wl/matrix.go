@@ -65,6 +65,76 @@ func MatrixFromVectorsOpts(vecs []Vector, opt MatrixOptions) (*linalg.Matrix, er
 	if n == 0 {
 		return nil, fmt.Errorf("wl: kernel matrix over zero vectors")
 	}
+	m := linalg.NewMatrix(n, n)
+	if err := kernelInto(vecs, opt, func(i, j int, s float64) {
+		m.Set(i, j, s)
+		m.Set(j, i, s)
+	}); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// SymMatrixFromVectorsOpts computes the same normalized kernel into a
+// packed symmetric matrix — half the memory of the dense form, which is
+// what the pipeline caches and ships between stages. Call Dense on the
+// result where a full n² layout is required.
+func SymMatrixFromVectorsOpts(vecs []Vector, opt MatrixOptions) (*linalg.SymMatrix, error) {
+	n := len(vecs)
+	if n == 0 {
+		return nil, fmt.Errorf("wl: kernel matrix over zero vectors")
+	}
+	m := linalg.NewSymMatrix(n)
+	if err := kernelInto(vecs, opt, m.Set); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// SymMatrixFromCompactOpts computes the normalized kernel over compact
+// vectors: every pairwise product is a linear merge-join over sorted
+// key arrays instead of a hash-map walk, and the result is packed. The
+// values are bit-identical to the map-vector paths — counts are exact
+// integers, so summation order cannot change a kernel value.
+func SymMatrixFromCompactOpts(vecs []CompactVector, opt MatrixOptions) (*linalg.SymMatrix, error) {
+	n := len(vecs)
+	if n == 0 {
+		return nil, fmt.Errorf("wl: kernel matrix over zero vectors")
+	}
+	self := make([]float64, n)
+	for i := range vecs {
+		self[i] = vecs[i].SelfDot()
+	}
+	m := linalg.NewSymMatrix(n)
+	err := kernelPairs(n, opt, self, func(i, j int) float64 {
+		return vecs[i].Dot(vecs[j])
+	}, m.Set)
+	if err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// kernelInto is the map-vector front end of kernelPairs.
+func kernelInto(vecs []Vector, opt MatrixOptions, set func(i, j int, s float64)) error {
+	n := len(vecs)
+	// Pre-compute self-kernels once.
+	self := make([]float64, n)
+	for i, v := range vecs {
+		self[i] = Dot(v, v)
+	}
+	return kernelPairs(n, opt, self, func(i, j int) float64 {
+		return Dot(vecs[i], vecs[j])
+	}, set)
+}
+
+// kernelPairs runs the parallel pairwise computation, delivering each
+// normalized upper-triangle cell (i <= j) exactly once through set.
+// dot supplies the raw kernel value for a pair; self holds the
+// precomputed self-kernels. Workers own disjoint rows, so set never
+// sees the same cell twice and needs no locking as long as distinct
+// cells have distinct storage.
+func kernelPairs(n int, opt MatrixOptions, self []float64, dot func(i, j int) float64, set func(i, j int, s float64)) error {
 	workers := opt.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -73,19 +143,12 @@ func MatrixFromVectorsOpts(vecs []Vector, opt MatrixOptions) (*linalg.Matrix, er
 		workers = n
 	}
 
-	// Pre-compute self-kernels once.
-	self := make([]float64, n)
-	for i, v := range vecs {
-		self[i] = Dot(v, v)
-	}
-
-	m := linalg.NewMatrix(n, n)
 	// Row i owns columns j >= i (upper triangle). Rows are handed out
 	// via a channel so long rows (small i) and short rows (large i)
 	// balance across workers without precomputing a schedule. On abort
 	// the feeder stops handing out rows and closes the channel, so every
 	// worker — including ones mid-row — exits after its current row; a
-	// worker never writes outside its own rows, so the dropped matrix
+	// worker never writes outside its own rows, so the dropped result
 	// holds no torn cells (it is discarded regardless).
 	rows := make(chan int)
 	stop := make(chan struct{})
@@ -100,17 +163,20 @@ func MatrixFromVectorsOpts(vecs []Vector, opt MatrixOptions) (*linalg.Matrix, er
 		go func() {
 			defer wg.Done()
 			for i := range rows {
-				vi := vecs[i]
 				for j := i; j < n; j++ {
 					var s float64
-					if i == j {
+					switch {
+					case i == j:
 						s = 1
-					} else {
-						s = similarityWithSelf(vi, vecs[j], self[i], self[j])
+					case self[i] == 0 && self[j] == 0:
+						s = 1 // two empty graphs coincide
+					case self[i] == 0 || self[j] == 0:
+						s = 0
+					default:
+						s = normalizeKernel(dot(i, j), self[i], self[j])
 					}
 					// Distinct cells per (i,j): no write conflicts.
-					m.Set(i, j, s)
-					m.Set(j, i, s)
+					set(i, j, s)
 				}
 				if opt.OnRow == nil {
 					continue
@@ -141,8 +207,8 @@ feed:
 	wg.Wait()
 	if abortErr != nil {
 		obsKernelAborts.Add(1)
-		return nil, abortErr
+		return abortErr
 	}
 	obsKernelPairs.Add(int64(n) * int64(n+1) / 2)
-	return m, nil
+	return nil
 }

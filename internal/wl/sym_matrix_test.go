@@ -1,0 +1,81 @@
+package wl
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"jobgraph/internal/dag"
+	"jobgraph/internal/linalg"
+)
+
+// TestSymMatrixMatchesDense pins the packed kernel path to the dense
+// one bit for bit: the pipeline caches the packed form and expands it
+// downstream, so any divergence here would silently change Analysis
+// output.
+func TestSymMatrixMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	graphs := make([]*dag.Graph, 30)
+	for i := range graphs {
+		graphs[i] = randomDAG(rng, fmt.Sprintf("g%d", i), 2+rng.Intn(10))
+	}
+	vecs, _, err := Features(graphs, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	compact := CompactAll(vecs)
+	for _, workers := range []int{1, 4} {
+		dense, err := MatrixFromVectorsOpts(vecs, MatrixOptions{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		check := func(name string, packed *linalg.SymMatrix) {
+			t.Helper()
+			got := packed.Dense()
+			if got.Rows != dense.Rows || got.Cols != dense.Cols {
+				t.Fatalf("workers=%d %s shape %dx%d, want %dx%d",
+					workers, name, got.Rows, got.Cols, dense.Rows, dense.Cols)
+			}
+			for k := range dense.Data {
+				if got.Data[k] != dense.Data[k] {
+					t.Fatalf("workers=%d %s kernel differs from dense at flat index %d: %v != %v",
+						workers, name, k, got.Data[k], dense.Data[k])
+				}
+			}
+		}
+		packed, err := SymMatrixFromVectorsOpts(vecs, MatrixOptions{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		check("map", packed)
+		merged, err := SymMatrixFromCompactOpts(compact, MatrixOptions{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		check("compact", merged)
+	}
+}
+
+// TestCompactVectorDotMatchesMap pins the merge-join dot to the map
+// dot, including self-kernels and vectors with no overlap.
+func TestCompactVectorDotMatchesMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 50; trial++ {
+		a, b := Vector{}, Vector{}
+		for k := 0; k < 40; k++ {
+			if rng.Intn(3) == 0 {
+				a[rng.Intn(60)] += float64(1 + rng.Intn(5))
+			}
+			if rng.Intn(3) == 0 {
+				b[rng.Intn(60)] += float64(1 + rng.Intn(5))
+			}
+		}
+		ca, cb := CompactFromVector(a), CompactFromVector(b)
+		if got, want := ca.Dot(cb), Dot(a, b); got != want {
+			t.Fatalf("trial %d: compact dot %v != map dot %v", trial, got, want)
+		}
+		if got, want := ca.SelfDot(), Dot(a, a); got != want {
+			t.Fatalf("trial %d: compact self %v != map self %v", trial, got, want)
+		}
+	}
+}

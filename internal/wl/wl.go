@@ -20,6 +20,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync"
 
 	"jobgraph/internal/dag"
 	"jobgraph/internal/obs"
@@ -110,7 +111,12 @@ func similarityWithSelf(a, b Vector, ka, kb float64) float64 {
 	if ka == 0 || kb == 0 {
 		return 0
 	}
-	kab := Dot(a, b)
+	return normalizeKernel(Dot(a, b), ka, kb)
+}
+
+// normalizeKernel maps a raw kernel value kab and the two self-kernels
+// to the normalized similarity in [0, 1]. ka and kb must be non-zero.
+func normalizeKernel(kab, ka, kb float64) float64 {
 	// By Cauchy–Schwarz kab² ≤ ka·kb with equality iff the vectors are
 	// parallel; identical graphs must report exactly 1.0 (the paper's
 	// Figure 7 relies on exact-1 blocks), so catch equality before the
@@ -137,6 +143,12 @@ func similarityWithSelf(a, b Vector, ka, kb float64) float64 {
 // ids are only comparable within a dictionary.
 type Dictionary struct {
 	ids map[string]int
+
+	// fe is the dictionary's reusable refinement state for the subtree
+	// fast path (see embed_fast.go), created on first Embed. Embed
+	// mutates the dictionary, so callers already serialize; reusing one
+	// embedder adds no new concurrency constraint.
+	fe *fastEmbedder
 }
 
 // NewDictionary returns an empty label dictionary.
@@ -173,6 +185,11 @@ func (d *Dictionary) labelID(label string) (int, bool) { return d.id(label), tru
 // would carry against any vector built from the frozen label space.
 type Frozen struct {
 	ids map[string]int
+
+	// pool recycles fastEmbedder scratch across concurrent Embed calls;
+	// every pooled embedder is bound to this frozen view, so cached
+	// label keys never leak across label spaces.
+	pool sync.Pool
 }
 
 // Freeze copies the dictionary into an immutable view.
@@ -195,6 +212,19 @@ func (f *Frozen) Len() int { return len(f.ids) }
 // Embed computes the WL feature vector of g against the frozen label
 // space without mutating it. See Dictionary.Embed for semantics.
 func (f *Frozen) Embed(g *dag.Graph, opt Options) (Vector, error) {
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	if opt.Base == BaseSubtree {
+		e, _ := f.pool.Get().(*fastEmbedder)
+		if e == nil {
+			e = newFastEmbedder(nil, f)
+		}
+		vec := make(Vector)
+		e.embedInto(vec, g, opt)
+		f.pool.Put(e)
+		return vec, nil
+	}
 	return embed(f, g, opt)
 }
 
@@ -216,6 +246,8 @@ func (d *Dictionary) GobDecode(data []byte) error {
 		return fmt.Errorf("wl: decoding dictionary: %w", err)
 	}
 	d.ids = ids
+	// Any embedder cached keys against the previous label space.
+	d.fe = nil
 	return nil
 }
 
@@ -224,6 +256,17 @@ func (d *Dictionary) GobDecode(data []byte) error {
 // dictionary state, and embedding the same graph twice yields the same
 // vector.
 func (d *Dictionary) Embed(g *dag.Graph, opt Options) (Vector, error) {
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	if opt.Base == BaseSubtree {
+		if d.fe == nil {
+			d.fe = newFastEmbedder(d, nil)
+		}
+		vec := make(Vector)
+		d.fe.embedInto(vec, g, opt)
+		return vec, nil
+	}
 	return embed(d, g, opt)
 }
 
